@@ -1,0 +1,273 @@
+(* Benchmark harness: regenerates every table and figure of the
+   paper's evaluation (§5) and prints measured values next to the
+   published ones.
+
+   Usage:
+     dune exec bench/main.exe                 -- all figures
+     dune exec bench/main.exe fig7            -- one figure (fig7|fig9|fig10|fig11)
+     dune exec bench/main.exe all --quick     -- smaller Figure-10 sampling
+     dune exec bench/main.exe bechamel        -- Bechamel micro-benchmarks
+
+   Absolute cycle counts are not comparable with the paper (the
+   TILEPro64 is replaced by a cost-model simulator, inputs are
+   synthetic); the comparisons of interest are the shapes: speedup
+   ranges and ordering, overhead magnitudes, simulator error
+   magnitudes, DSA hit rates, and the Figure 11 generality story. *)
+
+module Table = Bamboo.Table
+module Stats = Bamboo.Stats
+module Bench_def = Bamboo_benchmarks.Bench_def
+module Registry = Bamboo_benchmarks.Registry
+module Exp = Bamboo_benchmarks.Experiments
+
+let fmt_f = Table.fmt_float
+
+(* Paper values (Figures 7, 9, 11 and §5.1 text). *)
+type paper_row = {
+  p_name : string;
+  p_speedup_b : float;
+  p_speedup_c : float;
+  p_overhead : float;
+  p_err1 : float;
+  p_err62 : float;
+  p_gen_orig : float;
+  p_gen_double : float;
+}
+
+let paper : paper_row list =
+  [
+    { p_name = "Tracking"; p_speedup_b = 26.2; p_speedup_c = 26.1; p_overhead = 0.3;
+      p_err1 = -0.1; p_err62 = -3.9; p_gen_orig = 35.6; p_gen_double = 35.7 };
+    { p_name = "KMeans"; p_speedup_b = 38.9; p_speedup_c = 35.1; p_overhead = 10.6;
+      p_err1 = 1.7; p_err62 = -0.3; p_gen_orig = 40.9; p_gen_double = 41.0 };
+    { p_name = "MonteCarlo"; p_speedup_b = 36.2; p_speedup_c = 34.2; p_overhead = 5.9;
+      p_err1 = 0.2; p_err62 = -7.7; p_gen_orig = 36.2; p_gen_double = 52.3 };
+    { p_name = "FilterBank"; p_speedup_b = 37.5; p_speedup_c = 37.5; p_overhead = 0.1;
+      p_err1 = -0.02; p_err62 = -4.7; p_gen_orig = 55.8; p_gen_double = 55.8 };
+    { p_name = "Fractal"; p_speedup_b = 61.6; p_speedup_c = 58.0; p_overhead = 6.2;
+      p_err1 = -1.1; p_err62 = 0.0; p_gen_orig = 50.0; p_gen_double = 56.8 };
+    { p_name = "Series"; p_speedup_b = 61.2; p_speedup_c = 57.6; p_overhead = 6.3;
+      p_err1 = -1.5; p_err62 = -2.9; p_gen_orig = 61.8; p_gen_double = 59.5 };
+  ]
+
+let paper_of name = List.find (fun p -> p.p_name = name) paper
+
+(* Shared Figure 7/9 measurements, computed once. *)
+let results : Exp.bench_result list Lazy.t =
+  lazy
+    (List.map
+       (fun (b : Bench_def.t) ->
+         Printf.eprintf "[bench] evaluating %s...\n%!" b.b_name;
+         Exp.evaluate b)
+       Registry.paper_benchmarks)
+
+let fig7 () =
+  print_endline "== Figure 7: speedup of the benchmarks on 62 cores ==";
+  print_endline
+    "   (cycle counts are model cycles; paper columns are the published ratios)";
+  let rows =
+    List.map
+      (fun (r : Exp.bench_result) ->
+        let p = paper_of r.br_name in
+        [
+          r.br_name;
+          string_of_int r.br_c;
+          string_of_int r.br_b1;
+          string_of_int r.br_bn;
+          fmt_f (Exp.speedup_b r);
+          fmt_f p.p_speedup_b;
+          fmt_f (Exp.speedup_c r);
+          fmt_f p.p_speedup_c;
+          fmt_f (Exp.overhead_pct r);
+          fmt_f p.p_overhead;
+          (if r.br_ok then "yes" else "NO");
+        ])
+      (Lazy.force results)
+  in
+  Table.print
+    ~headers:
+      [
+        "Benchmark"; "1-core C"; "1-core Bamboo"; "62-core Bamboo";
+        "spd/Bamboo"; "(paper)"; "spd/C"; "(paper)"; "overhead%"; "(paper)"; "ok";
+      ]
+    rows;
+  print_endline "";
+  print_endline
+    "-- DSA optimization time (paper: 78 s Tracking, 10 s KMeans, <0.2 s others) --";
+  Table.print
+    ~headers:[ "Benchmark"; "DSA seconds"; "layouts evaluated" ]
+    (List.map
+       (fun (r : Exp.bench_result) ->
+         [ r.br_name; fmt_f r.br_dsa_seconds; string_of_int r.br_dsa_evaluated ])
+       (Lazy.force results));
+  print_endline ""
+
+let fig9 () =
+  print_endline "== Figure 9: accuracy of the scheduling simulator ==";
+  let rows =
+    List.map
+      (fun (r : Exp.bench_result) ->
+        let p = paper_of r.br_name in
+        [
+          r.br_name;
+          string_of_int r.br_est1;
+          string_of_int r.br_b1;
+          Printf.sprintf "%+.1f%%" (Exp.err1_pct r);
+          Printf.sprintf "%+.1f%%" p.p_err1;
+          string_of_int r.br_estn;
+          string_of_int r.br_bn;
+          Printf.sprintf "%+.1f%%" (Exp.errn_pct r);
+          Printf.sprintf "%+.1f%%" p.p_err62;
+        ])
+      (Lazy.force results)
+  in
+  Table.print
+    ~headers:
+      [
+        "Benchmark"; "1-core est"; "1-core real"; "err"; "(paper)";
+        "62-core est"; "62-core real"; "err"; "(paper)";
+      ]
+    rows;
+  print_endline ""
+
+let fig10 ~quick () =
+  print_endline "== Figure 10: efficiency of directed simulated annealing (16 cores) ==";
+  print_endline
+    "   (paper: best layouts are rare among all candidates; DSA reaches the best\n\
+    \    bucket with >=98% probability; Tracking's exhaustive enumeration skipped)";
+  let enumerate_cap = if quick then 300 else 1000 in
+  let dsa_starts = if quick then 10 else 40 in
+  (* Lighter workloads keep the thousands of scheduling simulations
+     tractable for the two benchmarks with many invocations. *)
+  let fig10_args (b : Bench_def.t) =
+    match b.b_name with
+    | "KMeans" -> Some [ "6200"; "4"; "5"; "31"; "4" ]
+    | "Tracking" -> Some [ "96"; "62"; "31"; "3"; "62" ]
+    | _ -> None
+  in
+  List.iter
+    (fun (b : Bench_def.t) ->
+      Printf.eprintf "[bench] fig10 %s...\n%!" b.b_name;
+      let exhaustive = b.b_name <> "Tracking" in
+      let r = Exp.fig10 ~enumerate_cap ~dsa_starts ~exhaustive ?args:(fig10_args b) b in
+      Printf.printf "-- %s --\n" b.b_name;
+      (match r.f10_all with
+      | [] -> print_endline "  (exhaustive enumeration skipped, as in the paper)"
+      | all ->
+          Printf.printf
+            "  all candidates (%d evaluated): best bucket %.1f%%, within 5%% of best: %.1f%%\n"
+            (List.length all)
+            (100.0 *. r.f10_random_best_prob)
+            (100.0 *. r.f10_random_strict_prob);
+          print_endline (Table.render_histogram (Stats.histogram_pct ~bins:12 all)));
+      Printf.printf
+        "  DSA outcomes from %d random starts: best bucket %.1f%% (paper >= 98%%), within 5%% of best: %.1f%%\n"
+        (List.length r.f10_dsa)
+        (100.0 *. r.f10_best_prob)
+        (100.0 *. r.f10_strict_prob);
+      print_endline (Table.render_histogram (Stats.histogram_pct ~bins:12 r.f10_dsa));
+      print_endline "")
+    Registry.paper_benchmarks
+
+let fig11 () =
+  print_endline "== Figure 11: generality of synthesized implementations (doubled input) ==";
+  let rows =
+    List.map
+      (fun (b : Bench_def.t) ->
+        Printf.eprintf "[bench] fig11 %s...\n%!" b.b_name;
+        let r = Exp.fig11 b in
+        let p = paper_of b.b_name in
+        [
+          r.f11_name;
+          string_of_int r.f11_b1_double;
+          string_of_int r.f11_orig_profile_cycles;
+          fmt_f r.f11_orig_profile_speedup;
+          fmt_f p.p_gen_orig;
+          string_of_int r.f11_double_profile_cycles;
+          fmt_f r.f11_double_profile_speedup;
+          fmt_f p.p_gen_double;
+        ])
+      Registry.paper_benchmarks
+  in
+  Table.print
+    ~headers:
+      [
+        "Benchmark"; "1-core"; "orig-prof 62c"; "spd"; "(paper)";
+        "double-prof 62c"; "spd"; "(paper)";
+      ]
+    rows;
+  print_endline ""
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per pipeline stage that
+   backs a table/figure. *)
+
+let bechamel () =
+  let open Bechamel in
+  let kw = Registry.keyword_counter in
+  let prog = Bamboo.compile kw.b_source in
+  let an = Bamboo.analyse prog in
+  let prof = Bamboo.profile ~args:kw.b_args prog in
+  let layout = Bamboo.Runtime.single_core_layout prog in
+  let tests =
+    Test.make_grouped ~name:"bamboo"
+      [
+        Test.make ~name:"frontend.compile (fig7 input)"
+          (Staged.stage (fun () -> ignore (Bamboo.compile kw.b_source)));
+        Test.make ~name:"analysis.astg+disjoint (fig3)"
+          (Staged.stage (fun () -> ignore (Bamboo.analyse prog)));
+        Test.make ~name:"runtime.execute 1-core (fig7)"
+          (Staged.stage (fun () -> ignore (Bamboo.Runtime.run_single ~args:kw.b_args prog)));
+        Test.make ~name:"sim.schedsim (fig9 estimate)"
+          (Staged.stage (fun () -> ignore (Bamboo.Schedsim.simulate prog prof layout)));
+        Test.make ~name:"sim.critpath (fig6)"
+          (Staged.stage (fun () ->
+               let r = Bamboo.Schedsim.simulate prog prof layout in
+               ignore (Bamboo.Critpath.analyse r)));
+        Test.make ~name:"synth.candidates (fig10)"
+          (Staged.stage (fun () ->
+               ignore
+                 (Bamboo.Candidates.generate ~n:8 ~seed:3 prog an.cstg prof Bamboo.Machine.m16)));
+      ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let raws =
+    Benchmark.all
+      (Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ())
+      [ instance ] tests
+  in
+  let results =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+      instance raws
+  in
+  print_endline "== Bechamel micro-benchmarks (pipeline stages) ==";
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Printf.printf "  %-44s %14.0f ns/run\n%!" name est
+      | _ -> Printf.printf "  %-44s (no estimate)\n%!" name)
+    results
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "--quick" args in
+  let args = List.filter (fun a -> a <> "--quick") args in
+  let what = match args with [] -> "all" | w :: _ -> w in
+  (match what with
+  | "fig7" -> fig7 ()
+  | "fig9" -> fig9 ()
+  | "fig10" -> fig10 ~quick ()
+  | "fig11" -> fig11 ()
+  | "bechamel" -> bechamel ()
+  | "all" ->
+      fig7 ();
+      fig9 ();
+      fig10 ~quick ();
+      fig11 ()
+  | other ->
+      Printf.eprintf "unknown target %s (fig7|fig9|fig10|fig11|bechamel|all)\n" other;
+      exit 2);
+  print_endline "done."

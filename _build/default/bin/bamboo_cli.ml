@@ -1,0 +1,204 @@
+(* The bamboo compiler driver.
+
+   Subcommands mirror the pipeline of the paper:
+
+     bamboo check      <file.bam>              -- parse + type check + analyses
+     bamboo astg       <file.bam> <Class>      -- print a class's ASTG
+     bamboo cstg       <file.bam>              -- CSTG as Graphviz dot (Fig. 3)
+     bamboo taskflow   <file.bam>              -- task flow as dot (Fig. 8)
+     bamboo profile    <file.bam> [-- args]    -- single-core profile
+     bamboo synth      <file.bam> [-- args]    -- synthesize a 62-core layout
+     bamboo run        <file.bam> [-- args]    -- synthesize and execute
+     bamboo trace      <file.bam> [-- args]    -- simulated trace + critical path (Fig. 6)
+     bamboo dump-bench <name>                  -- print a built-in benchmark's source
+
+   A file argument of the form bench:<Name> (e.g. bench:KMeans) loads a
+   built-in benchmark instead of reading a file; bench:<Name>:seq loads
+   its sequential version. *)
+
+open Cmdliner
+
+let read_source path =
+  if String.length path > 6 && String.sub path 0 6 = "bench:" then begin
+    let rest = String.sub path 6 (String.length path - 6) in
+    match String.split_on_char ':' rest with
+    | [ name ] -> (Bamboo_benchmarks.Registry.find name).b_source
+    | [ name; "seq" ] -> (Bamboo_benchmarks.Registry.find name).b_seq_source
+    | _ -> invalid_arg ("bad benchmark reference " ^ path)
+  end
+  else begin
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  end
+
+let load path =
+  try Bamboo.compile (read_source path) with
+  | Bamboo_frontend.Lexer.Error (pos, msg) ->
+      Printf.eprintf "%s:%d:%d: syntax error: %s\n" path pos.line pos.col msg;
+      exit 1
+  | Bamboo_frontend.Typecheck.Error (pos, msg) ->
+      Printf.eprintf "%s:%d:%d: type error: %s\n" path pos.line pos.col msg;
+      exit 1
+
+let file_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Bamboo source file or bench:<Name>")
+
+let args_arg =
+  Arg.(value & pos_right 0 string [] & info [] ~docv:"ARGS" ~doc:"program arguments")
+
+let cores_arg =
+  Arg.(value & opt int 62 & info [ "cores" ] ~doc:"number of cores to target")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"search seed")
+
+let machine_of cores = Bamboo.Machine.with_cores Bamboo.Machine.tilepro64 cores
+
+(* ------------------------------------------------------------------ *)
+
+let cmd_check =
+  let run file =
+    let prog = load file in
+    let an = Bamboo.analyse prog in
+    Printf.printf "%d classes, %d tasks, %d allocation sites, %d tag types\n"
+      (Array.length prog.classes) (Array.length prog.tasks) (Array.length prog.sites)
+      (Array.length prog.tag_types);
+    (match Bamboo.Astg.dead_tasks prog an.astgs with
+    | [] -> print_endline "all tasks reachable"
+    | dead ->
+        List.iter
+          (fun tid -> Printf.printf "warning: task %s can never fire\n" prog.tasks.(tid).t_name)
+          dead);
+    List.iter
+      (fun (r : Bamboo.Disjoint.task_report) ->
+        List.iter
+          (fun (i, j) ->
+            let t = prog.tasks.(r.dr_task) in
+            Printf.printf "shared lock: task %s parameters %s and %s\n" t.t_name
+              t.t_params.(i).p_name t.t_params.(j).p_name)
+          r.dr_shared_pairs)
+      an.disjoint
+  in
+  Cmd.v (Cmd.info "check" ~doc:"parse, type check, and run the static analyses")
+    Term.(const run $ file_arg)
+
+let cmd_astg =
+  let run file cls =
+    let prog = load file in
+    let cid =
+      match Bamboo.Ir.find_class prog cls with
+      | Some c -> c
+      | None ->
+          Printf.eprintf "unknown class %s\n" cls;
+          exit 1
+    in
+    let a = Bamboo.Astg.of_class prog cid in
+    Printf.printf "class %s: %d abstract states\n" cls (List.length a.a_states);
+    List.iter
+      (fun (s, sites) ->
+        Printf.printf "  alloc %s (sites %s)\n"
+          (Bamboo.Astg.string_of_astate prog cid s)
+          (String.concat "," (List.map string_of_int sites)))
+      a.a_alloc;
+    List.iter
+      (fun (tr : Bamboo.Astg.transition) ->
+        Printf.printf "  %s --%s/exit%d--> %s\n"
+          (Bamboo.Astg.string_of_astate prog cid tr.tr_src)
+          prog.tasks.(tr.tr_task).t_name tr.tr_exit
+          (Bamboo.Astg.string_of_astate prog cid tr.tr_dst))
+      a.a_transitions
+  in
+  let cls_arg = Arg.(required & pos 1 (some string) None & info [] ~docv:"CLASS") in
+  Cmd.v (Cmd.info "astg" ~doc:"print the abstract state transition graph of a class")
+    Term.(const run $ file_arg $ cls_arg)
+
+let cmd_cstg =
+  let run file =
+    let prog = load file in
+    let an = Bamboo.analyse prog in
+    print_string (Bamboo.Dot.to_string (Bamboo.Cstg.to_dot an.cstg))
+  in
+  Cmd.v (Cmd.info "cstg" ~doc:"emit the combined state transition graph as dot (paper Fig. 3)")
+    Term.(const run $ file_arg)
+
+let cmd_taskflow =
+  let run file =
+    let prog = load file in
+    let an = Bamboo.analyse prog in
+    print_string (Bamboo.Dot.to_string (Bamboo.Cstg.task_flow_dot an.cstg))
+  in
+  Cmd.v (Cmd.info "taskflow" ~doc:"emit the task-flow graph as dot (paper Fig. 8)")
+    Term.(const run $ file_arg)
+
+let cmd_profile =
+  let run file args =
+    let prog = load file in
+    let prof, r = Bamboo.Profile.collect ~args prog in
+    Printf.printf "single-core execution: %d cycles, %d invocations\n%s" r.r_total_cycles
+      r.r_invocations
+      (if r.r_output = "" then "" else "output:\n" ^ r.r_output);
+    Format.printf "%a@?" (fun fmt () -> Bamboo.Profile.pp fmt prog prof) ()
+  in
+  Cmd.v (Cmd.info "profile" ~doc:"run on one core and print the profile statistics")
+    Term.(const run $ file_arg $ args_arg)
+
+let synthesize file args cores seed =
+  let prog = load file in
+  let an = Bamboo.analyse prog in
+  let prof = Bamboo.profile ~args prog in
+  let t0 = Unix.gettimeofday () in
+  let o = Bamboo.synthesize ~seed prog an prof (machine_of cores) in
+  (prog, an, o, Unix.gettimeofday () -. t0)
+
+let cmd_synth =
+  let run file args cores seed =
+    let prog, _, o, dt = synthesize file args cores seed in
+    Printf.printf "estimated %d cycles; %d layouts evaluated in %.1f s\n" o.best_cycles
+      o.evaluated dt;
+    print_string (Bamboo.Layout.to_string prog o.best)
+  in
+  Cmd.v (Cmd.info "synth" ~doc:"synthesize an optimized layout (candidates + DSA)")
+    Term.(const run $ file_arg $ args_arg $ cores_arg $ seed_arg)
+
+let cmd_run =
+  let run file args cores seed =
+    let prog, an, o, _ = synthesize file args cores seed in
+    let r = Bamboo.execute ~args prog an o.best in
+    print_string r.r_output;
+    Printf.printf "%d cycles on %d cores (%d invocations, %d messages, %d failed locks)\n"
+      r.r_total_cycles cores r.r_invocations r.r_messages r.r_failed_locks
+  in
+  Cmd.v (Cmd.info "run" ~doc:"synthesize a layout and execute the program on it")
+    Term.(const run $ file_arg $ args_arg $ cores_arg $ seed_arg)
+
+let cmd_trace =
+  let run file args cores seed =
+    let prog, _, o, _ = synthesize file args cores seed in
+    let prof = Bamboo.profile ~args prog in
+    let sim = Bamboo.Schedsim.simulate prog prof o.best in
+    let cp = Bamboo.Critpath.analyse sim in
+    print_string (Bamboo.Critpath.to_string prog sim cp)
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"print the simulated execution trace and critical path (paper Fig. 6)")
+    Term.(const run $ file_arg $ args_arg $ cores_arg $ seed_arg)
+
+let cmd_dump =
+  let run name seq =
+    let b = Bamboo_benchmarks.Registry.find name in
+    print_string (if seq then b.b_seq_source else b.b_source)
+  in
+  let name_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME") in
+  let seq_arg = Arg.(value & flag & info [ "seq" ] ~doc:"sequential version") in
+  Cmd.v (Cmd.info "dump-bench" ~doc:"print a built-in benchmark's Bamboo source")
+    Term.(const run $ name_arg $ seq_arg)
+
+let () =
+  let doc = "data-centric, object-oriented many-core compiler (Bamboo, PLDI 2010)" in
+  let info = Cmd.info "bamboo" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ cmd_check; cmd_astg; cmd_cstg; cmd_taskflow; cmd_profile; cmd_synth; cmd_run; cmd_trace; cmd_dump ]))

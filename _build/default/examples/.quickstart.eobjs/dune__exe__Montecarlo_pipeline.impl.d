@@ -1,0 +1,1 @@
+examples/montecarlo_pipeline.ml: Array Bamboo Bamboo_benchmarks List Printf String

@@ -1,0 +1,1 @@
+examples/montecarlo_pipeline.mli:

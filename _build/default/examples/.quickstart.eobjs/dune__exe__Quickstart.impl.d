@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Bamboo Bamboo_benchmarks Format List Printf String

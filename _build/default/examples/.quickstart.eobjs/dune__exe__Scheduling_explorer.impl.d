@@ -1,0 +1,1 @@
+examples/scheduling_explorer.ml: Bamboo Bamboo_benchmarks List Printf

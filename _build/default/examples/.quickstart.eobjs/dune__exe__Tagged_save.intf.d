@@ -1,0 +1,1 @@
+examples/tagged_save.mli:

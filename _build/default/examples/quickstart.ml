@@ -1,0 +1,51 @@
+(* Quickstart: the paper's §2 keyword-counting example, end to end.
+
+     dune exec examples/quickstart.exe
+
+   Walks the whole pipeline on the walkthrough program: compile,
+   static analyses (ASTG/CSTG — the paper's Figure 3), single-core
+   profiling, layout synthesis for a quad-core machine (Figure 4),
+   and execution on the many-core runtime. *)
+
+let () =
+  let bench = Bamboo_benchmarks.Registry.keyword_counter in
+  print_endline "=== 1. compile ===";
+  let prog = Bamboo.compile bench.b_source in
+  Printf.printf "classes: %s\n"
+    (String.concat ", "
+       (Array.to_list (Array.map (fun c -> c.Bamboo.Ir.c_name) prog.classes)));
+  Printf.printf "tasks:   %s\n\n"
+    (String.concat ", " (Array.to_list (Array.map (fun t -> t.Bamboo.Ir.t_name) prog.tasks)));
+
+  print_endline "=== 2. static analyses ===";
+  let an = Bamboo.analyse prog in
+  Array.iter
+    (fun (a : Bamboo.Astg.t) ->
+      let c = Bamboo.Ir.class_of prog a.a_class in
+      if a.a_states <> [] then
+        Printf.printf "ASTG %-14s %d states, %d transitions\n" c.c_name
+          (List.length a.a_states) (List.length a.a_transitions))
+    an.astgs;
+  print_endline "\nCSTG (paper Figure 3), as Graphviz dot:";
+  print_string (Bamboo.Dot.to_string (Bamboo.Cstg.to_dot an.cstg));
+
+  print_endline "=== 3. profile on one core ===";
+  let prof, r1 = Bamboo.Profile.collect ~args:[ "16" ] prog in
+  Printf.printf "1-core execution: %d cycles\n" r1.r_total_cycles;
+  Format.printf "%a@?" (fun fmt () -> Bamboo.Profile.pp fmt prog prof) ();
+
+  print_endline "\n=== 4. synthesize a quad-core layout (paper Figure 4) ===";
+  let outcome = Bamboo.synthesize ~seed:7 prog an prof Bamboo.Machine.quad in
+  Printf.printf "estimated %d cycles after evaluating %d candidate layouts\n"
+    outcome.best_cycles outcome.evaluated;
+  print_string (Bamboo.Layout.to_string prog outcome.best);
+
+  print_endline "\n=== 5. execute on the many-core runtime ===";
+  let r4 = Bamboo.execute ~args:[ "16" ] prog an outcome.best in
+  print_string r4.r_output;
+  Printf.printf "4-core execution: %d cycles  (speedup %.2fx, estimate error %+.1f%%)\n"
+    r4.r_total_cycles
+    (float_of_int r1.r_total_cycles /. float_of_int r4.r_total_cycles)
+    (Bamboo.Stats.error_pct
+       ~estimate:(float_of_int outcome.best_cycles)
+       ~real:(float_of_int r4.r_total_cycles))

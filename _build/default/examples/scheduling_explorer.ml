@@ -1,0 +1,50 @@
+(* Scheduling explorer: candidate layouts, simulated traces, the
+   critical path, and directed simulated annealing, on a small
+   machine where everything is easy to read.
+
+     dune exec examples/scheduling_explorer.exe
+
+   Reproduces, at toy scale, the machinery behind the paper's
+   Figures 6 and 10. *)
+
+let () =
+  let bench = Bamboo_benchmarks.Registry.keyword_counter in
+  let prog = Bamboo.compile bench.b_source in
+  let an = Bamboo.analyse prog in
+  let prof = Bamboo.profile ~args:[ "12" ] prog in
+  let machine = Bamboo.Machine.quad in
+
+  (* 1. Enumerate every non-isomorphic candidate implementation. *)
+  let dg = Bamboo.Candidates.task_graph an.cstg prof in
+  let grouping = Bamboo.Candidates.scc_grouping prog dg in
+  let mults = Bamboo.Candidates.task_mults prog prof dg ~machine in
+  let layouts = Bamboo.Candidates.enumerate ~cap:2000 prog machine grouping mults in
+  Printf.printf "enumerated %d non-isomorphic candidate layouts on 4 cores\n"
+    (List.length layouts);
+  let scored =
+    List.map (fun l -> (Bamboo.estimate prog prof l, l)) layouts
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let ests = List.map (fun (e, _) -> float_of_int e) scored in
+  print_endline "estimated-cycles distribution over all candidates (cf. Figure 10):";
+  print_endline
+    (Bamboo.Table.render_histogram (Bamboo.Stats.histogram_pct ~bins:10 ests));
+  let best_est, best_layout = List.hd scored in
+  let worst_est, _ = List.nth scored (List.length scored - 1) in
+  Printf.printf "best %d cycles, worst %d cycles (%.1fx apart)\n\n" best_est worst_est
+    (float_of_int worst_est /. float_of_int best_est);
+
+  (* 2. Trace the best layout and show its critical path (Figure 6). *)
+  print_endline "simulated trace of the best layout ('*' marks the critical path):";
+  let sim = Bamboo.Schedsim.simulate prog prof best_layout in
+  let cp = Bamboo.Critpath.analyse sim in
+  print_string (Bamboo.Critpath.to_string prog sim cp);
+
+  (* 3. DSA from a deliberately poor start reaches the same quality. *)
+  let poor =
+    match List.rev scored with (_, l) :: _ -> l | [] -> best_layout
+  in
+  let o = Bamboo.Dsa.optimize ~seed:3 prog prof [ poor ] in
+  Printf.printf
+    "\nDSA from the worst start: %d cycles after evaluating %d layouts (enumerated best: %d)\n"
+    o.best_cycles o.evaluated best_est

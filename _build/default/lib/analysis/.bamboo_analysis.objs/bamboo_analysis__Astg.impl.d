@@ -1,0 +1,1 @@
+lib/analysis/astg.ml: Array Bamboo_ir Hashtbl List Queue Set String

@@ -1,0 +1,1 @@
+lib/analysis/disjoint.ml: Array Bamboo_ir Bamboo_support Hashtbl List Map Printf Queue Set

@@ -1,0 +1,219 @@
+(** Dependence analysis: abstract state transition graphs (§4.1).
+
+    For every class the analysis computes the set of abstract states
+    its instances can reach and how tasks move objects between those
+    states.  An abstract state is the pair of the object's flag word
+    and a 1-limited count (0 / at-least-1, one bit per tag type) of
+    the tag instances bound to it.
+
+    The ASTG drives the combined state transition graph (CSTG), the
+    runtime's task-dispatch tables, and static sanity checks (e.g.
+    tasks that can never fire). *)
+
+module Ir = Bamboo_ir.Ir
+
+(** One abstract object state. *)
+type astate = { as_flags : int; as_tags : int }
+
+let compare_astate a b =
+  match compare a.as_flags b.as_flags with 0 -> compare a.as_tags b.as_tags | c -> c
+
+module StateSet = Set.Make (struct
+  type t = astate
+
+  let compare = compare_astate
+end)
+
+(** A transition: invoking [tr_task] on an object in [tr_src] and
+    taking exit [tr_exit] leaves the object in [tr_dst]. *)
+type transition = {
+  tr_src : astate;
+  tr_task : Ir.task_id;
+  tr_exit : int;
+  tr_dst : astate;
+}
+
+type t = {
+  a_class : Ir.class_id;
+  a_states : astate list;                    (* reachable abstract states *)
+  a_alloc : (astate * Ir.site_id list) list; (* allocatable states and their sites *)
+  a_transitions : transition list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Tag-type resolution for slots *)
+
+(** Map from local slot to tag type for a statement list: slots bound
+    by [new tag] statements. *)
+let rec slot_tags_of_stmts acc stmts = List.fold_left slot_tags_of_stmt acc stmts
+
+and slot_tags_of_stmt acc (s : Ir.stmt) =
+  match s with
+  | Snewtag (slot, ty) -> (slot, ty) :: acc
+  | Sif (_, a, b) -> slot_tags_of_stmts (slot_tags_of_stmts acc a) b
+  | Swhile (_, b) -> slot_tags_of_stmts acc b
+  | _ -> acc
+
+(** Tag types for a task's slots: [with]-bound parameters plus local
+    [new tag] bindings. *)
+let task_slot_tags (task : Ir.taskinfo) =
+  let from_params =
+    Array.to_list task.t_params
+    |> List.concat_map (fun (p : Ir.paraminfo) -> List.map (fun (ty, s) -> (s, ty)) p.p_tags)
+  in
+  from_params @ slot_tags_of_stmts [] task.t_body
+
+let owner_slot_tags (prog : Ir.program) (owner : Ir.owner) =
+  match owner with
+  | Otask tid -> task_slot_tags prog.tasks.(tid)
+  | Omethod (cid, mid) -> slot_tags_of_stmts [] (Ir.class_of prog cid).c_methods.(mid).m_body
+
+(** Tag bitmask for an allocation site's initial tag bindings. *)
+let site_tag_bits prog (site : Ir.siteinfo) =
+  let slot_tags = owner_slot_tags prog site.s_owner in
+  List.fold_left
+    (fun bits slot ->
+      match List.assoc_opt slot slot_tags with
+      | Some ty -> bits lor (1 lsl ty)
+      | None -> bits)
+    0 site.s_addtags
+
+(* ------------------------------------------------------------------ *)
+(* Guard satisfaction over abstract states *)
+
+let astate_satisfies (p : Ir.paraminfo) (s : astate) =
+  Ir.eval_flagexp p.p_guard s.as_flags
+  && List.for_all (fun (ty, _) -> s.as_tags land (1 lsl ty) <> 0) p.p_tags
+
+(** Apply one exit's actions for parameter [pidx] to a state.  The
+    1-limited tag abstraction drops a tag type on [clear]; this is the
+    standard over-approximation (a cleared object may still hold
+    another instance of the same type, which re-dispatch handles
+    dynamically). *)
+let apply_actions prog (task : Ir.taskinfo) exit_id pidx (s : astate) =
+  let exit = task.t_exits.(exit_id) in
+  match List.assoc_opt pidx exit.x_actions with
+  | None -> s
+  | Some (actions : Ir.actions) ->
+      let slot_tags = task_slot_tags task in
+      let flags = Ir.apply_flag_actions actions s.as_flags in
+      let tags =
+        List.fold_left
+          (fun bits slot ->
+            match List.assoc_opt slot slot_tags with
+            | Some ty -> bits lor (1 lsl ty)
+            | None -> bits)
+          s.as_tags actions.a_addtags
+      in
+      let tags =
+        List.fold_left
+          (fun bits slot ->
+            match List.assoc_opt slot slot_tags with
+            | Some ty -> bits land lnot (1 lsl ty)
+            | None -> bits)
+          tags actions.a_cleartags
+      in
+      ignore prog;
+      { as_flags = flags; as_tags = tags }
+
+(* ------------------------------------------------------------------ *)
+(* Fixpoint *)
+
+(** Compute the ASTG of class [cid]. *)
+let of_class (prog : Ir.program) (cid : Ir.class_id) : t =
+  (* Allocatable states. *)
+  let alloc = Hashtbl.create 8 in
+  Array.iter
+    (fun (site : Ir.siteinfo) ->
+      if site.s_class = cid then begin
+        let s = { as_flags = Ir.site_initial_word site; as_tags = site_tag_bits prog site } in
+        let sites = try Hashtbl.find alloc s with Not_found -> [] in
+        Hashtbl.replace alloc s (site.s_id :: sites)
+      end)
+    prog.sites;
+  (* The startup class has an implicit allocation in {initialstate}. *)
+  if cid = prog.startup then begin
+    match Ir.flag_index (Ir.class_of prog cid) "initialstate" with
+    | Some bit ->
+        let s = { as_flags = 1 lsl bit; as_tags = 0 } in
+        if not (Hashtbl.mem alloc s) then Hashtbl.replace alloc s []
+    | None -> ()
+  end;
+  let initial = Hashtbl.fold (fun s _ acc -> s :: acc) alloc [] in
+  (* Worklist over states. *)
+  let seen = ref (StateSet.of_list initial) in
+  let transitions = ref [] in
+  let work = Queue.create () in
+  List.iter (fun s -> Queue.add s work) initial;
+  while not (Queue.is_empty work) do
+    let s = Queue.pop work in
+    Array.iter
+      (fun (task : Ir.taskinfo) ->
+        Array.iteri
+          (fun pidx (p : Ir.paraminfo) ->
+            if p.p_class = cid && astate_satisfies p s then
+              Array.iteri
+                (fun exit_id _ ->
+                  let s' = apply_actions prog task exit_id pidx s in
+                  transitions :=
+                    { tr_src = s; tr_task = task.t_id; tr_exit = exit_id; tr_dst = s' }
+                    :: !transitions;
+                  if not (StateSet.mem s' !seen) then begin
+                    seen := StateSet.add s' !seen;
+                    Queue.add s' work
+                  end)
+                task.t_exits)
+          task.t_params)
+      prog.tasks
+  done;
+  {
+    a_class = cid;
+    a_states = StateSet.elements !seen;
+    a_alloc =
+      Hashtbl.fold (fun s sites acc -> (s, List.sort compare sites) :: acc) alloc []
+      |> List.sort (fun (a, _) (b, _) -> compare_astate a b);
+    a_transitions = List.rev !transitions;
+  }
+
+(** ASTGs for every class of the program (indexable by class id). *)
+let of_program prog = Array.init (Array.length prog.Ir.classes) (fun cid -> of_class prog cid)
+
+(* ------------------------------------------------------------------ *)
+(* Queries and printing *)
+
+let string_of_astate (prog : Ir.program) cid (s : astate) =
+  let flags = Ir.string_of_flagword prog cid s.as_flags in
+  if s.as_tags = 0 then flags
+  else begin
+    let tags = ref [] in
+    Array.iteri
+      (fun i name -> if s.as_tags land (1 lsl i) <> 0 then tags := name :: !tags)
+      prog.tag_types;
+    flags ^ "+" ^ String.concat "+" (List.rev !tags)
+  end
+
+(** Tasks that can fire on some reachable state of their parameters;
+    the complement is a static "dead task" warning. *)
+let dead_tasks (prog : Ir.program) (astgs : t array) =
+  Array.to_list prog.tasks
+  |> List.filter (fun (task : Ir.taskinfo) ->
+         not
+           (Array.for_all
+              (fun (p : Ir.paraminfo) ->
+                List.exists (fun s -> astate_satisfies p s) astgs.(p.p_class).a_states)
+              task.t_params))
+  |> List.map (fun (t : Ir.taskinfo) -> t.t_id)
+
+(** Successor tasks: given a class and an abstract state, which
+    (task, parameter) pairs can consume the object next?  The runtime
+    uses this table to forward objects directly (§4.7). *)
+let consumers_of_state (prog : Ir.program) cid (s : astate) =
+  let acc = ref [] in
+  Array.iter
+    (fun (task : Ir.taskinfo) ->
+      Array.iteri
+        (fun pidx (p : Ir.paraminfo) ->
+          if p.p_class = cid && astate_satisfies p s then acc := (task.t_id, pidx) :: !acc)
+        task.t_params)
+    prog.tasks;
+  List.rev !acc

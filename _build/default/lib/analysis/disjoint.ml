@@ -1,0 +1,342 @@
+(** Disjointness analysis (§4.2, after Jenista–Demsky).
+
+    Bamboo's transactional task semantics rely on task parameter
+    objects being the roots of disjoint heap regions.  This analysis
+    conservatively decides, per task, whether executing the task may
+    create sharing between the regions reachable from two distinct
+    parameters.  When it may, the two parameter classes are merged
+    into a shared-lock group, and the runtime locks the group instead
+    of the individual objects — preserving transactional semantics at
+    a coarser grain.
+
+    The underlying machinery is a per-task, flow-insensitive,
+    Andersen-style points-to analysis over allocation sites: abstract
+    nodes are task parameters and allocation sites; heap edges record
+    which nodes' fields may reference which other nodes; methods are
+    analysed context-insensitively within the calling task. *)
+
+module Ir = Bamboo_ir.Ir
+module Union_find = Bamboo_support.Union_find
+
+(* Abstract heap nodes.  [NArr] nodes give array allocations an
+   identity: one node per syntactic [new T[...]] occurrence, keyed by
+   the enclosing context and a deterministic traversal index.
+   [NReach] nodes materialize the *pre-existing* heap reachable from a
+   parameter: reading field [f] of a parameter-region node with no
+   known in-task target yields the summary node [NReach (base, f)],
+   which belongs to that parameter's region — without this, stores
+   through fields initialized before the task (e.g. [a.kids[0] = b])
+   would be dropped and sharing missed. *)
+type node =
+  | NParam of int
+  | NSite of Ir.site_id
+  | NArr of string * int
+  | NReach of node * string
+
+module NodeSet = Set.Make (struct
+  type t = node
+
+  let compare = compare
+end)
+
+module NodeMap = Map.Make (struct
+  type t = node
+
+  let compare = compare
+end)
+
+(* Variables of the constraint system: locals of the task and of every
+   (class, method) analysed within it, plus per-method return values. *)
+type var = Vtask of Ir.slot | Vmeth of Ir.class_id * Ir.method_id * Ir.slot | Vret of Ir.class_id * Ir.method_id
+
+type state = {
+  prog : Ir.program;
+  vars : (var, NodeSet.t ref) Hashtbl.t;
+  heap : (node * string, NodeSet.t ref) Hashtbl.t; (* (node, field key) -> targets *)
+  arr_counters : (string, int ref) Hashtbl.t;      (* per-context traversal index *)
+  node_types : (node, Ir.typ) Hashtbl.t;           (* declared type, for materialization *)
+  mutable changed : bool;
+  mutable analysed_methods : (Ir.class_id * Ir.method_id) list;
+}
+
+let is_ref_typ : Ir.typ -> bool = function Tclass _ | Tarray _ -> true | _ -> false
+
+let cx_key = function
+  | `Task -> "task"
+  | `Meth (c, m) -> Printf.sprintf "m%d.%d" c m
+
+let var_set st v =
+  match Hashtbl.find_opt st.vars v with
+  | Some s -> s
+  | None ->
+      let s = ref NodeSet.empty in
+      Hashtbl.replace st.vars v s;
+      s
+
+let heap_set st node field =
+  match Hashtbl.find_opt st.heap (node, field) with
+  | Some s -> s
+  | None ->
+      let s = ref NodeSet.empty in
+      Hashtbl.replace st.heap (node, field) s;
+      s
+
+let add_nodes st dst nodes =
+  let before = NodeSet.cardinal !dst in
+  dst := NodeSet.union !dst nodes;
+  if NodeSet.cardinal !dst <> before then st.changed <- true
+
+(* Field key: we distinguish fields by name and collapse all array
+   elements into the pseudo-field "[]". *)
+let field_key (prog : Ir.program) cid fid = Ir.((class_of prog cid).c_fields.(fid).f_name)
+
+(* ------------------------------------------------------------------ *)
+(* Constraint generation (one pass; iterated to fixpoint) *)
+
+(* A context tells how to resolve [Elocal] slots. *)
+type cx = Cxtask | Cxmeth of Ir.class_id * Ir.method_id
+
+let slot_var cx slot =
+  match cx with Cxtask -> Vtask slot | Cxmeth (c, m) -> Vmeth (c, m, slot)
+
+let key_of_cx = function Cxtask -> cx_key `Task | Cxmeth (c, m) -> cx_key (`Meth (c, m))
+
+(* Fresh deterministic array node: within one context the body is
+   traversed in the same order on every fixpoint pass, so the counter
+   identifies the same syntactic occurrence each time.  The counter is
+   reset before each pass over the context. *)
+let fresh_arr_node st cx =
+  let key = key_of_cx cx in
+  let c =
+    match Hashtbl.find_opt st.arr_counters key with
+    | Some r -> r
+    | None ->
+        let r = ref 0 in
+        Hashtbl.replace st.arr_counters key r;
+        r
+  in
+  let n = NArr (key, !c) in
+  incr c;
+  n
+
+let reset_arr_counter st cx =
+  match Hashtbl.find_opt st.arr_counters (key_of_cx cx) with
+  | Some r -> r := 0
+  | None -> ()
+
+(* Nodes whose pre-task contents are unknown: parameters and their
+   transitively materialized summaries. *)
+let summarizable = function NParam _ | NReach _ -> true | NSite _ | NArr _ -> false
+
+(* Load through [n.field].  When the target set is empty, [n] may
+   carry pre-existing state, and the declared type [typ] is a
+   reference type, a summary node typed [typ] is materialized —
+   primitive-typed loads never create nodes, so copying scalars
+   between regions is not mistaken for sharing. *)
+let load st n field ~typ =
+  let set = heap_set st n field in
+  (match typ with
+  | Some t when NodeSet.is_empty !set && summarizable n && is_ref_typ t ->
+      let nn = NReach (n, field) in
+      Hashtbl.replace st.node_types nn t;
+      add_nodes st set (NodeSet.singleton nn)
+  | _ -> ());
+  !set
+
+(* Element type of an array node, when known. *)
+let elem_typ st n =
+  match Hashtbl.find_opt st.node_types n with
+  | Some (Ir.Tarray t) -> Some t
+  | _ -> None
+
+let rec eval_expr st cx (e : Ir.expr) : NodeSet.t =
+  match e with
+  | Eint _ | Efloat _ | Ebool _ | Estr _ | Enull -> NodeSet.empty
+  | Elocal slot -> !(var_set st (slot_var cx slot))
+  | Efield (r, cid, fid) ->
+      let recv = eval_expr st cx r in
+      let key = field_key st.prog cid fid in
+      let ftyp = Ir.((class_of st.prog cid).c_fields.(fid).f_typ) in
+      NodeSet.fold (fun n acc -> NodeSet.union acc (load st n key ~typ:(Some ftyp))) recv
+        NodeSet.empty
+  | Eindex (a, i) ->
+      ignore (eval_expr st cx i);
+      let arr = eval_expr st cx a in
+      NodeSet.fold
+        (fun n acc -> NodeSet.union acc (load st n "[]" ~typ:(elem_typ st n)))
+        arr NodeSet.empty
+  | Ebin (_, a, b) | Eand (a, b) | Eor (a, b) ->
+      ignore (eval_expr st cx a);
+      ignore (eval_expr st cx b);
+      NodeSet.empty
+  | Eun (_, a) | Ecast (_, a) ->
+      ignore (eval_expr st cx a);
+      NodeSet.empty
+  | Ebuiltin (_, args) ->
+      List.iter (fun a -> ignore (eval_expr st cx a)) args;
+      NodeSet.empty
+  | Enewarr (elem, dims) ->
+      List.iter (fun d -> ignore (eval_expr st cx d)) dims;
+      (* One node per dimension level, chained by "[]" edges, so
+         multi-dimensional reference arrays stay sound. *)
+      let ndims = List.length dims in
+      let rec arr_typ k = if k = 0 then elem else Ir.Tarray (arr_typ (k - 1)) in
+      let nodes = List.init ndims (fun _ -> fresh_arr_node st cx) in
+      List.iteri
+        (fun i n ->
+          Hashtbl.replace st.node_types n (arr_typ (ndims - i));
+          if i > 0 then
+            add_nodes st (heap_set st (List.nth nodes (i - 1)) "[]") (NodeSet.singleton n))
+        nodes;
+      NodeSet.singleton (List.hd nodes)
+  | Enew (sid, args) ->
+      let site = st.prog.sites.(sid) in
+      (* Constructor call: bind formals. *)
+      (match Ir.(class_of st.prog site.s_class).c_ctor with
+      | Some mid -> bind_call st cx site.s_class mid (NodeSet.singleton (NSite sid)) args
+      | None -> List.iter (fun a -> ignore (eval_expr st cx a)) args);
+      NodeSet.singleton (NSite sid)
+  | Ecall (recv, cid, mid, args) ->
+      let recvs = eval_expr st cx recv in
+      bind_call st cx cid mid recvs args;
+      !(var_set st (Vret (cid, mid)))
+
+and bind_call st cx cid mid recvs args =
+  if not (List.mem (cid, mid) st.analysed_methods) then begin
+    st.analysed_methods <- (cid, mid) :: st.analysed_methods;
+    st.changed <- true
+  end;
+  add_nodes st (var_set st (Vmeth (cid, mid, 0))) recvs;
+  List.iteri
+    (fun i a ->
+      let v = eval_expr st cx a in
+      add_nodes st (var_set st (Vmeth (cid, mid, i + 1))) v)
+    args
+
+and exec_stmt st cx (s : Ir.stmt) =
+  match s with
+  | Sassign (Llocal slot, e) ->
+      let v = eval_expr st cx e in
+      add_nodes st (var_set st (slot_var cx slot)) v
+  | Sassign (Lfield (r, cid, fid), e) ->
+      let recvs = eval_expr st cx r in
+      let v = eval_expr st cx e in
+      let key = field_key st.prog cid fid in
+      NodeSet.iter (fun n -> add_nodes st (heap_set st n key) v) recvs
+  | Sassign (Lindex (a, i), e) ->
+      ignore (eval_expr st cx i);
+      let arrs = eval_expr st cx a in
+      let v = eval_expr st cx e in
+      NodeSet.iter (fun n -> add_nodes st (heap_set st n "[]") v) arrs
+  | Sif (c, a, b) ->
+      ignore (eval_expr st cx c);
+      List.iter (exec_stmt st cx) a;
+      List.iter (exec_stmt st cx) b
+  | Swhile (c, b) ->
+      ignore (eval_expr st cx c);
+      List.iter (exec_stmt st cx) b
+  | Sreturn (Some e) -> (
+      let v = eval_expr st cx e in
+      match cx with
+      | Cxmeth (c, m) -> add_nodes st (var_set st (Vret (c, m))) v
+      | Cxtask -> ())
+  | Sreturn None -> ()
+  | Sexpr e -> ignore (eval_expr st cx e)
+  | Sbreak | Scontinue | Staskexit _ | Snewtag _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Reachability and verdicts *)
+
+(** Transitive heap reachability from a node. *)
+let reach_from st root =
+  let seen = ref (NodeSet.singleton root) in
+  let work = Queue.create () in
+  Queue.add root work;
+  while not (Queue.is_empty work) do
+    let n = Queue.pop work in
+    Hashtbl.iter
+      (fun (src, _) targets ->
+        if src = n then
+          NodeSet.iter
+            (fun t ->
+              if not (NodeSet.mem t !seen) then begin
+                seen := NodeSet.add t !seen;
+                Queue.add t work
+              end)
+            !targets)
+      st.heap
+  done;
+  !seen
+
+(** Result for one task: pairs of parameter indices whose regions may
+    overlap after the task runs. *)
+type task_report = {
+  dr_task : Ir.task_id;
+  dr_shared_pairs : (int * int) list;
+}
+
+(** Analyse one task. *)
+let analyse_task (prog : Ir.program) (task : Ir.taskinfo) : task_report =
+  let st =
+    {
+      prog;
+      vars = Hashtbl.create 64;
+      heap = Hashtbl.create 64;
+      arr_counters = Hashtbl.create 8;
+      node_types = Hashtbl.create 32;
+      changed = true;
+      analysed_methods = [];
+    }
+  in
+  (* Seed parameters with their declared class types. *)
+  Array.iteri
+    (fun i (p : Ir.paraminfo) ->
+      let n = NParam i in
+      Hashtbl.replace st.node_types n (Ir.Tclass (Ir.class_of prog p.p_class).c_name);
+      add_nodes st (var_set st (Vtask i)) (NodeSet.singleton n))
+    task.t_params;
+  (* Fixpoint: re-run the whole body and all reached methods until no
+     points-to set grows. *)
+  let iterations = ref 0 in
+  while st.changed && !iterations < 100 do
+    st.changed <- false;
+    incr iterations;
+    reset_arr_counter st Cxtask;
+    List.iter (exec_stmt st Cxtask) task.t_body;
+    List.iter
+      (fun (cid, mid) ->
+        let m = Ir.(class_of prog cid).c_methods.(mid) in
+        reset_arr_counter st (Cxmeth (cid, mid));
+        List.iter (exec_stmt st (Cxmeth (cid, mid))) m.m_body)
+      st.analysed_methods
+  done;
+  let nparams = Array.length task.t_params in
+  let reaches = Array.init nparams (fun i -> reach_from st (NParam i)) in
+  let pairs = ref [] in
+  for i = 0 to nparams - 1 do
+    for j = i + 1 to nparams - 1 do
+      if not (NodeSet.is_empty (NodeSet.inter reaches.(i) reaches.(j))) then
+        pairs := (i, j) :: !pairs
+    done
+  done;
+  { dr_task = task.t_id; dr_shared_pairs = List.rev !pairs }
+
+(** Analyse a whole program. *)
+let analyse (prog : Ir.program) : task_report list =
+  Array.to_list prog.tasks |> List.map (analyse_task prog)
+
+(** Shared-lock groups: classes whose task parameters may share state
+    are merged; [result.(c)] is the representative class of [c]'s
+    group ([c] itself when the class keeps per-object locks). *)
+let lock_groups (prog : Ir.program) (reports : task_report list) : int array =
+  let n = Array.length prog.classes in
+  let uf = Union_find.create n in
+  List.iter
+    (fun r ->
+      let task = prog.tasks.(r.dr_task) in
+      List.iter
+        (fun (i, j) ->
+          ignore (Union_find.union uf task.t_params.(i).p_class task.t_params.(j).p_class))
+        r.dr_shared_pairs)
+    reports;
+  Array.init n (fun c -> Union_find.find uf c)

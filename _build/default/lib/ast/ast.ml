@@ -1,0 +1,167 @@
+(** Surface abstract syntax for the Bamboo language.
+
+    Bamboo is a Java-like, type-safe, object-oriented subset extended
+    with the task constructs of the paper's Figure 5: [flag] and tag
+    declarations in classes, [task] declarations with per-parameter
+    flag guards and tag bindings, [taskexit] statements that update
+    flags/tags on exit, flagged [new] allocations, and [new tag]
+    instances. *)
+
+(** Source position: line and column, 1-based. *)
+type pos = { line : int; col : int }
+
+let dummy_pos = { line = 0; col = 0 }
+let pp_pos fmt p = Format.fprintf fmt "%d:%d" p.line p.col
+
+(** Surface types. *)
+type typ =
+  | Tint
+  | Tdouble
+  | Tboolean
+  | Tstring
+  | Tvoid
+  | Tclass of string
+  | Tarray of typ
+
+let rec string_of_typ = function
+  | Tint -> "int"
+  | Tdouble -> "double"
+  | Tboolean -> "boolean"
+  | Tstring -> "String"
+  | Tvoid -> "void"
+  | Tclass c -> c
+  | Tarray t -> string_of_typ t ^ "[]"
+
+(** Binary operators (before type resolution). *)
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | And | Or                      (* short-circuit && || *)
+  | Band | Bor | Bxor | Shl | Shr
+
+let string_of_binop = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=" | Eq -> "==" | Ne -> "!="
+  | And -> "&&" | Or -> "||"
+  | Band -> "&" | Bor -> "|" | Bxor -> "^" | Shl -> "<<" | Shr -> ">>"
+
+type unop = Neg | Not
+
+(** Boolean guard over a class's flags (Figure 5, [flagexp]). *)
+type flagexp =
+  | Fflag of string
+  | Ftrue
+  | Ffalse
+  | Fand of flagexp * flagexp
+  | For of flagexp * flagexp
+  | Fnot of flagexp
+
+let rec string_of_flagexp = function
+  | Fflag f -> f
+  | Ftrue -> "true"
+  | Ffalse -> "false"
+  | Fand (a, b) -> Printf.sprintf "(%s and %s)" (string_of_flagexp a) (string_of_flagexp b)
+  | For (a, b) -> Printf.sprintf "(%s or %s)" (string_of_flagexp a) (string_of_flagexp b)
+  | Fnot a -> "!" ^ string_of_flagexp a
+
+(** One tag binding in a task parameter's [with] clause: tag type and
+    tag variable name (Figure 5, [tagexp]). *)
+type tagbind = { tag_type : string; tag_var : string }
+
+(** Flag or tag update applied when an object is allocated or when a
+    task exits (Figure 5, [flagortagaction]). *)
+type flagortagaction =
+  | SetFlag of string * bool      (* flagname := boolliteral *)
+  | AddTag of string              (* add tagvar *)
+  | ClearTag of string            (* clear tagvar *)
+
+type expr = { e : expr_desc; epos : pos }
+
+and expr_desc =
+  | Eint of int
+  | Efloat of float
+  | Ebool of bool
+  | Estring of string
+  | Enull
+  | Evar of string                            (* local, param, or This *)
+  | Ethis
+  | Efield of expr * string
+  | Eindex of expr * expr
+  | Ebinop of binop * expr * expr
+  | Eunop of unop * expr
+  | Ecall of expr * string * expr list        (* receiver.method(args) *)
+  | Estatic of string * string * expr list    (* Builtin.method(args), e.g. Math.sqrt *)
+  | Enew of string * expr list * flagortagaction list
+      (* new C(args){flag := true, add t}; empty action list allowed *)
+  | Enewarray of typ * expr list              (* new t[e1] or new t[e1][e2] *)
+  | Ecast of typ * expr
+
+type lvalue =
+  | Lvar of string
+  | Lfield of expr * string
+  | Lindex of expr * expr
+
+type stmt = { s : stmt_desc; spos : pos }
+
+and stmt_desc =
+  | Sdecl of typ * string * expr option
+  | Sassign of lvalue * expr
+  | Sif of expr * stmt list * stmt list
+  | Swhile of expr * stmt list
+  | Sfor of stmt option * expr option * stmt option * stmt list
+  | Sreturn of expr option
+  | Sexpr of expr
+  | Sbreak
+  | Scontinue
+  | Sblock of stmt list
+  | Staskexit of (string * flagortagaction list) list
+      (* taskexit(param: actions; param: actions) *)
+  | Snewtag of string * string                (* tag tv = new tag(tagtype) *)
+
+(** Class member field. *)
+type fielddecl = { ftyp : typ; fname : string; fpos : pos }
+
+(** Method declaration; a method named like its class is a constructor
+    (return type must be void and is written implicitly). *)
+type methoddecl = {
+  mret : typ;
+  mname : string;
+  mparams : (typ * string) list;
+  mbody : stmt list;
+  mpos : pos;
+}
+
+type classdecl = {
+  cname : string;
+  cflags : (string * pos) list;               (* flag declarations *)
+  cfields : fielddecl list;
+  cmethods : methoddecl list;
+  cpos : pos;
+}
+
+(** Task parameter: class type, name, flag guard, tag bindings. *)
+type taskparam = {
+  ptyp : string;                              (* must be a class type *)
+  pname : string;
+  pguard : flagexp;
+  ptags : tagbind list;
+  ppos : pos;
+}
+
+type taskdecl = {
+  tname : string;
+  tparams : taskparam list;
+  tbody : stmt list;
+  tpos : pos;
+}
+
+type decl = Dclass of classdecl | Dtask of taskdecl
+
+(** A complete Bamboo compilation unit. *)
+type program = { decls : decl list }
+
+let classes prog =
+  List.filter_map (function Dclass c -> Some c | _ -> None) prog.decls
+
+let tasks prog =
+  List.filter_map (function Dtask t -> Some t | _ -> None) prog.decls

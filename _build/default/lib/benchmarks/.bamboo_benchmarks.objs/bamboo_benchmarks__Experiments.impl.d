@@ -1,0 +1,1 @@
+lib/benchmarks/experiments.ml: Bamboo Bench_def Hashtbl List Unix

@@ -1,0 +1,1 @@
+lib/benchmarks/filterbank.ml: Bench_def

@@ -1,0 +1,1 @@
+lib/benchmarks/fractal.ml: Bench_def

@@ -1,0 +1,1 @@
+lib/benchmarks/montecarlo.ml: Bench_def

@@ -1,0 +1,1 @@
+lib/benchmarks/registry.ml: Bench_def Filterbank Fractal Kmeans List Montecarlo Printf Series String Tracking

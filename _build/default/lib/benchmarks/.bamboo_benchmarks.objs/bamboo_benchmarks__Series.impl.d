@@ -1,0 +1,1 @@
+lib/benchmarks/series.ml: Bench_def

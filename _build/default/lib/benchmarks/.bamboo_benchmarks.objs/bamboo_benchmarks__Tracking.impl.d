@@ -1,0 +1,1 @@
+lib/benchmarks/tracking.ml: Bench_def

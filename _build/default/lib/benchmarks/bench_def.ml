@@ -1,0 +1,40 @@
+(** Benchmark definitions.
+
+    Every benchmark of the paper's evaluation (§5) is a pair of
+    Bamboo programs over the same classes and methods:
+
+    - the *task version*, structured as Bamboo tasks with flag
+      guards — what the synthesis pipeline parallelizes; and
+    - the *sequential version*, a single startup task that performs
+      the whole computation through plain method calls — the
+      stand-in for the paper's single-core C version (it pays no task
+      dispatch, locking, or messaging overhead beyond one startup
+      dispatch).
+
+    Inputs are synthesized in-program from the deterministic [Random]
+    builtin, so runs are exactly reproducible.  [b_args] is the
+    paper's "original" input; [b_args_double] doubles the workload
+    (Figure 11). *)
+
+type t = {
+  b_name : string;
+  b_descr : string;
+  b_source : string;              (* task version *)
+  b_seq_source : string;          (* sequential version *)
+  b_args : string list;           (* original input *)
+  b_args_double : string list;    (* doubled workload *)
+  b_check : string -> bool;       (* sanity-check the program output *)
+}
+
+(** Output check helper: the program printed a line starting with
+    [prefix]. *)
+let output_has prefix out =
+  String.split_on_char '\n' out |> List.exists (fun l -> String.length l >= String.length prefix && String.sub l 0 (String.length prefix) = prefix)
+
+(** Extract the value after [prefix] on the first matching line. *)
+let output_value prefix out =
+  String.split_on_char '\n' out
+  |> List.find_map (fun l ->
+         if String.length l >= String.length prefix && String.sub l 0 (String.length prefix) = prefix
+         then Some (String.sub l (String.length prefix) (String.length l - String.length prefix))
+         else None)

@@ -1,0 +1,124 @@
+(** FilterBank: multi-channel, multi-rate filter bank, ported from
+    the StreamIt benchmark suite (§5.1).
+
+    Each channel down-samples its input signal, applies an FIR band
+    filter, up-samples, and reports its output energy; the combiner
+    sums channel energies.  Args: [channels signal_length taps]. *)
+
+let classes =
+  {|
+class Channel {
+  flag process;
+  flag submit;
+  int id;
+  int n;
+  int taps;
+  double energy;
+  Channel(int id, int n, int taps) {
+    this.id = id;
+    this.n = n;
+    this.taps = taps;
+  }
+  void compute() {
+    // Synthesize the input signal and per-channel filter taps.
+    Random rng = new Random(4099 + id * 31);
+    double[] x = new double[n];
+    for (int i = 0; i < n; i = i + 1) {
+      x[i] = 2.0 * rng.nextDouble() - 1.0;
+    }
+    double[] h = new double[taps];
+    for (int j = 0; j < taps; j = j + 1) {
+      h[j] = Math.cos((id + 1.0) * j * 0.1) / taps;
+    }
+    // Down-sample by 2.
+    int m = n / 2;
+    double[] d = new double[m];
+    for (int i = 0; i < m; i = i + 1) {
+      d[i] = x[2 * i];
+    }
+    // FIR filter.
+    double[] y = new double[m];
+    for (int i = 0; i < m; i = i + 1) {
+      double acc = 0.0;
+      for (int j = 0; j < taps; j = j + 1) {
+        if (i - j >= 0) {
+          acc = acc + h[j] * d[i - j];
+        }
+      }
+      y[i] = acc;
+    }
+    // Up-sample by 2 (zero-stuffing) and accumulate output energy.
+    double e = 0.0;
+    for (int i = 0; i < m; i = i + 1) {
+      e = e + y[i] * y[i];
+    }
+    energy = e;
+  }
+}
+class BankResults {
+  flag finished;
+  int expected;
+  int seen;
+  double total;
+  BankResults(int expected) { this.expected = expected; }
+  boolean combine(Channel c) {
+    total = total + c.energy;
+    seen = seen + 1;
+    return seen == expected;
+  }
+}
+|}
+
+let tasks =
+  {|
+task startup(StartupObject s in initialstate) {
+  int channels = Integer.parseInt(s.args[0]);
+  int n = Integer.parseInt(s.args[1]);
+  int taps = Integer.parseInt(s.args[2]);
+  for (int c = 0; c < channels; c = c + 1) {
+    Channel ch = new Channel(c, n, taps){process := true};
+  }
+  BankResults res = new BankResults(channels){finished := false};
+  taskexit(s: initialstate := false);
+}
+task processChannel(Channel ch in process) {
+  ch.compute();
+  taskexit(ch: process := false, submit := true);
+}
+task combineChannel(BankResults res in !finished, Channel ch in submit) {
+  boolean done = res.combine(ch);
+  if (done) {
+    System.printString("filterbank energy: " + (int)(res.total * 1000.0));
+    taskexit(res: finished := true; ch: submit := false);
+  }
+  taskexit(ch: submit := false);
+}
+|}
+
+let seq_tasks =
+  {|
+task startup(StartupObject s in initialstate) {
+  int channels = Integer.parseInt(s.args[0]);
+  int n = Integer.parseInt(s.args[1]);
+  int taps = Integer.parseInt(s.args[2]);
+  BankResults res = new BankResults(channels);
+  for (int c = 0; c < channels; c = c + 1) {
+    Channel ch = new Channel(c, n, taps);
+    ch.compute();
+    boolean done = res.combine(ch);
+  }
+  System.printString("filterbank energy: " + (int)(res.total * 1000.0));
+  taskexit(s: initialstate := false);
+}
+|}
+
+let benchmark : Bench_def.t =
+  {
+    b_name = "FilterBank";
+    b_descr = "multi-channel multirate filter bank (StreamIt)";
+    b_source = classes ^ tasks;
+    b_seq_source = classes ^ seq_tasks;
+    b_args = [ "124"; "1024"; "32" ];
+    b_args_double = [ "248"; "1024"; "32" ];
+    b_check = Bench_def.output_has "filterbank energy: ";
+  }

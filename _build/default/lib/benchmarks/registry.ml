@@ -1,0 +1,109 @@
+(** Registry of the paper's six benchmarks plus the §2 keyword
+    counting example. *)
+
+(** The keyword-counting walkthrough of §2, used by the quickstart
+    example and the Figure 3/4/6 reproductions. *)
+let keyword_counter : Bench_def.t =
+  let classes =
+    {|
+class Text {
+  flag process;
+  flag submit;
+  String data;
+  int count;
+  Text(String data) {
+    this.data = data;
+    this.count = 0;
+  }
+  void process() {
+    int i = 0;
+    int n = data.length();
+    while (i < n) {
+      if (data.charAt(i) == 32) { count = count + 1; }
+      i = i + 1;
+    }
+  }
+}
+class Results {
+  flag finished;
+  int total;
+  int expected;
+  int seen;
+  Results(int expected) { this.expected = expected; }
+  boolean mergeResult(Text t) {
+    total = total + t.count;
+    seen = seen + 1;
+    return seen == expected;
+  }
+}
+|}
+  in
+  let tasks =
+    {|
+task startup(StartupObject s in initialstate) {
+  int sections = Integer.parseInt(s.args[0]);
+  for (int i = 0; i < sections; i = i + 1) {
+    Text tp = new Text("the quick brown fox jumps over the lazy dog " + i){process := true};
+  }
+  Results rp = new Results(sections){finished := false};
+  taskexit(s: initialstate := false);
+}
+task processText(Text tp in process) {
+  tp.process();
+  taskexit(tp: process := false, submit := true);
+}
+task mergeIntermediateResult(Results rp in !finished, Text tp in submit) {
+  boolean allprocessed = rp.mergeResult(tp);
+  if (allprocessed) {
+    System.printString("keyword count: " + rp.total);
+    taskexit(rp: finished := true; tp: submit := false);
+  }
+  taskexit(tp: submit := false);
+}
+|}
+  in
+  let seq =
+    {|
+task startup(StartupObject s in initialstate) {
+  int sections = Integer.parseInt(s.args[0]);
+  Results rp = new Results(sections);
+  for (int i = 0; i < sections; i = i + 1) {
+    Text tp = new Text("the quick brown fox jumps over the lazy dog " + i);
+    tp.process();
+    boolean ignored = rp.mergeResult(tp);
+  }
+  System.printString("keyword count: " + rp.total);
+  taskexit(s: initialstate := false);
+}
+|}
+  in
+  {
+    Bench_def.b_name = "KeywordCount";
+    b_descr = "keyword counting walkthrough (paper §2)";
+    b_source = classes ^ tasks;
+    b_seq_source = classes ^ seq;
+    b_args = [ "16" ];
+    b_args_double = [ "32" ];
+    b_check = Bench_def.output_has "keyword count: ";
+  }
+
+(** The six benchmarks of the paper's evaluation, in Figure 7 order. *)
+let paper_benchmarks : Bench_def.t list =
+  [
+    Tracking.benchmark;
+    Kmeans.benchmark;
+    Montecarlo.benchmark;
+    Filterbank.benchmark;
+    Fractal.benchmark;
+    Series.benchmark;
+  ]
+
+let all : Bench_def.t list = paper_benchmarks @ [ keyword_counter ]
+
+let find name =
+  match List.find_opt (fun (b : Bench_def.t) -> String.lowercase_ascii b.b_name = String.lowercase_ascii name) all with
+  | Some b -> b
+  | None ->
+      invalid_arg
+        (Printf.sprintf "unknown benchmark %s (expected one of: %s)" name
+           (String.concat ", " (List.map (fun (b : Bench_def.t) -> b.b_name) all)))

@@ -1,0 +1,129 @@
+(** Series: Fourier coefficient computation, ported from the Java
+    Grande benchmark suite (§5.1).
+
+    Computes the first [n] Fourier coefficient pairs of
+    f(x) = (x+1)^x on [0,2] by trapezoidal integration with
+    [intervals] points per coefficient.  Args: [ncoeffs intervals]. *)
+
+let classes =
+  {|
+class SeriesRange {
+  flag process;
+  flag submit;
+  int first;
+  int last;
+  int intervals;
+  double[] a;
+  double[] b;
+  SeriesRange(int first, int last, int intervals) {
+    this.first = first;
+    this.last = last;
+    this.intervals = intervals;
+    this.a = new double[last - first];
+    this.b = new double[last - first];
+  }
+  double f(double x) {
+    return Math.pow(x + 1.0, x);
+  }
+  void compute() {
+    double period = 2.0;
+    double dx = period / intervals;
+    double omega = 2.0 * 3.141592653589793 / period;
+    for (int n = first; n < last; n = n + 1) {
+      double asum = 0.0;
+      double bsum = 0.0;
+      double x = 0.0;
+      for (int i = 0; i < intervals; i = i + 1) {
+        double fx = f(x + 0.5 * dx);
+        if (n == 0) {
+          asum = asum + fx * dx;
+        } else {
+          asum = asum + fx * Math.cos(omega * n * (x + 0.5 * dx)) * dx;
+          bsum = bsum + fx * Math.sin(omega * n * (x + 0.5 * dx)) * dx;
+        }
+        x = x + dx;
+      }
+      a[n - first] = 2.0 * asum / period;
+      b[n - first] = 2.0 * bsum / period;
+    }
+  }
+}
+class SeriesResults {
+  flag finished;
+  int expected;
+  int seen;
+  double checksum;
+  SeriesResults(int expected) { this.expected = expected; }
+  boolean merge(SeriesRange r) {
+    for (int i = 0; i < r.a.length; i = i + 1) {
+      double av = r.a[i];
+      double bv = r.b[i];
+      if (av < 0.0) { av = -av; }
+      if (bv < 0.0) { bv = -bv; }
+      checksum = checksum + av + bv;
+    }
+    seen = seen + 1;
+    return seen == expected;
+  }
+}
+|}
+
+let tasks =
+  {|
+task startup(StartupObject s in initialstate) {
+  int ncoeffs = Integer.parseInt(s.args[0]);
+  int intervals = Integer.parseInt(s.args[1]);
+  int ranges = Integer.parseInt(s.args[2]);
+  int per = ncoeffs / ranges;
+  for (int r = 0; r < ranges; r = r + 1) {
+    int last = (r + 1) * per;
+    if (r == ranges - 1) { last = ncoeffs; }
+    SeriesRange sr = new SeriesRange(r * per, last, intervals){process := true};
+  }
+  SeriesResults res = new SeriesResults(ranges){finished := false};
+  taskexit(s: initialstate := false);
+}
+task computeRange(SeriesRange r in process) {
+  r.compute();
+  taskexit(r: process := false, submit := true);
+}
+task mergeRange(SeriesResults res in !finished, SeriesRange r in submit) {
+  boolean done = res.merge(r);
+  if (done) {
+    System.printString("series checksum: " + (int)(res.checksum * 1000.0));
+    taskexit(res: finished := true; r: submit := false);
+  }
+  taskexit(r: submit := false);
+}
+|}
+
+let seq_tasks =
+  {|
+task startup(StartupObject s in initialstate) {
+  int ncoeffs = Integer.parseInt(s.args[0]);
+  int intervals = Integer.parseInt(s.args[1]);
+  int ranges = Integer.parseInt(s.args[2]);
+  int per = ncoeffs / ranges;
+  SeriesResults res = new SeriesResults(ranges);
+  for (int r = 0; r < ranges; r = r + 1) {
+    int last = (r + 1) * per;
+    if (r == ranges - 1) { last = ncoeffs; }
+    SeriesRange sr = new SeriesRange(r * per, last, intervals);
+    sr.compute();
+    boolean done = res.merge(sr);
+  }
+  System.printString("series checksum: " + (int)(res.checksum * 1000.0));
+  taskexit(s: initialstate := false);
+}
+|}
+
+let benchmark : Bench_def.t =
+  {
+    b_name = "Series";
+    b_descr = "Fourier series coefficients (Java Grande)";
+    b_source = classes ^ tasks;
+    b_seq_source = classes ^ seq_tasks;
+    b_args = [ "124"; "1200"; "124" ];
+    b_args_double = [ "248"; "1200"; "248" ];
+    b_check = Bench_def.output_has "series checksum: ";
+  }

@@ -1,0 +1,462 @@
+(** Tracking: feature tracking from the San Diego Vision Benchmark
+    Suite (§5.1, Figure 8).
+
+    Three phases, as in the paper's task-flow figure:
+
+    - {b image processing}: per-piece synthesis + Gaussian blur of the
+      base frame, merged into the master image;
+    - {b feature extraction}: per-piece image gradients and corner
+      responses, merged and reduced to the strongest [nfeatures]
+      features;
+    - {b feature tracking}: for every subsequent frame, per-piece
+      template search recovers each feature's motion; a per-frame
+      [FrameResult] collects the updated positions and the master
+      advances to the next frame.
+
+    The tracking loop uses {b tags}: each frame's [FramePiece] objects
+    and its [FrameResult] share a fresh [frametag] instance, so the
+    merge task always pairs pieces with the result of the same frame
+    — the paper's motivating use of tags — and, because both
+    parameters are tag-constrained, the merge task may be instantiated
+    on several cores with tag-hash routing.
+
+    Frames are synthetic: frame [f] is the analytic texture shifted by
+    [f] pixels horizontally, so correct tracking reports an average
+    displacement of 1 pixel/frame.  Args:
+    [width height pieces frames nfeatures]. *)
+
+let classes =
+  {|
+class ImagePiece {
+  flag toBlur;
+  flag blurred;
+  int id;
+  int y0;
+  int rows;
+  int width;
+  double[] data;
+  ImagePiece(int id, int y0, int rows, int width) {
+    this.id = id;
+    this.y0 = y0;
+    this.rows = rows;
+    this.width = width;
+    this.data = new double[rows * width];
+  }
+  double base(int x, int y) {
+    return Math.sin(0.31 * x + 1.3 * Math.sin(0.17 * y)) + 0.5 * Math.cos(0.23 * y + 0.7 * Math.sin(0.11 * x));
+  }
+  void synthesizeAndBlur() {
+    double[] raw = new double[rows * width];
+    for (int y = 0; y < rows; y = y + 1) {
+      for (int x = 0; x < width; x = x + 1) {
+        raw[y * width + x] = base(x, y0 + y);
+      }
+    }
+    // 3x3 box blur (borders copied).
+    for (int y = 0; y < rows; y = y + 1) {
+      for (int x = 0; x < width; x = x + 1) {
+        if (y == 0 || y == rows - 1 || x == 0 || x == width - 1) {
+          data[y * width + x] = raw[y * width + x];
+        } else {
+          double acc = 0.0;
+          for (int dy = -1; dy <= 1; dy = dy + 1) {
+            for (int dx = -1; dx <= 1; dx = dx + 1) {
+              acc = acc + raw[(y + dy) * width + (x + dx)];
+            }
+          }
+          data[y * width + x] = acc / 9.0;
+        }
+      }
+    }
+  }
+}
+class GradPiece {
+  flag toGrad;
+  flag gradDone;
+  int id;
+  int y0;
+  int rows;
+  int width;
+  double[] data;    // rows (+halo handled by caller) of the blurred image
+  int candN;
+  int[] candX;
+  int[] candY;
+  double[] candR;
+  GradPiece(int id, int y0, int rows, int width) {
+    this.id = id;
+    this.y0 = y0;
+    this.rows = rows;
+    this.width = width;
+    this.data = new double[rows * width];
+    this.candX = new int[4];
+    this.candY = new int[4];
+    this.candR = new double[4];
+  }
+  void compute() {
+    candN = 0;
+    for (int y = 1; y < rows - 1; y = y + 1) {
+      for (int x = 4; x < width - 4; x = x + 1) {
+        double ix = data[y * width + x + 1] - data[y * width + x - 1];
+        double iy = data[(y + 1) * width + x] - data[(y - 1) * width + x];
+        double r = ix * ix + iy * iy;
+        // Keep the four strongest, well-separated responses.
+        int slot = -1;
+        double weakest = r;
+        for (int c = 0; c < 4; c = c + 1) {
+          if (c < candN) {
+            if (candR[c] < weakest) { weakest = candR[c]; slot = c; }
+          } else {
+            slot = c;
+            weakest = -1.0;
+            c = 4;
+          }
+        }
+        if (slot >= 0) {
+          boolean tooClose = false;
+          for (int c = 0; c < candN; c = c + 1) {
+            if (c != slot && Math.iabs(candX[c] - x) < 8 && Math.iabs(candY[c] - (y0 + y)) < 2) {
+              tooClose = true;
+            }
+          }
+          if (!tooClose) {
+            candX[slot] = x;
+            candY[slot] = y0 + y;
+            candR[slot] = r;
+            if (slot >= candN) { candN = slot + 1; }
+          }
+        }
+      }
+    }
+  }
+}
+class FramePiece {
+  flag processL;
+  flag submitL;
+  int frame;
+  int first;
+  int last;
+  int width;
+  int height;
+  double[] featX;
+  double[] featY;
+  double[] outX;
+  double[] outY;
+  double sumDx;
+  double sumDy;
+  FramePiece(int frame, int first, int last, int width, int height) {
+    this.frame = frame;
+    this.first = first;
+    this.last = last;
+    this.width = width;
+    this.height = height;
+    this.featX = new double[last - first];
+    this.featY = new double[last - first];
+    this.outX = new double[last - first];
+    this.outY = new double[last - first];
+  }
+  double pix(int f, double x, double y) {
+    double xs = x - f;
+    return Math.sin(0.31 * xs + 1.3 * Math.sin(0.17 * y)) + 0.5 * Math.cos(0.23 * y + 0.7 * Math.sin(0.11 * xs));
+  }
+  void track() {
+    sumDx = 0.0;
+    sumDy = 0.0;
+    for (int i = 0; i < last - first; i = i + 1) {
+      double fx = featX[i];
+      double fy = featY[i];
+      int bestDx = 0;
+      int bestDy = 0;
+      double bestCost = 1.0e30;
+      for (int dy = -2; dy <= 2; dy = dy + 1) {
+        for (int dx = -2; dx <= 2; dx = dx + 1) {
+          double cost = 0.0;
+          for (int py = -1; py <= 1; py = py + 1) {
+            for (int px = -1; px <= 1; px = px + 1) {
+              double a = pix(frame - 1, fx + px, fy + py);
+              double b = pix(frame, fx + dx + px, fy + dy + py);
+              cost = cost + (a - b) * (a - b);
+            }
+          }
+          if (cost < bestCost) {
+            bestCost = cost;
+            bestDx = dx;
+            bestDy = dy;
+          }
+        }
+      }
+      double nx = fx + bestDx;
+      double ny = fy + bestDy;
+      if (nx < 8.0) { nx = 8.0; }
+      if (nx > width - 9.0) { nx = width - 9.0; }
+      if (ny < 8.0) { ny = 8.0; }
+      if (ny > height - 9.0) { ny = height - 9.0; }
+      outX[i] = nx;
+      outY[i] = ny;
+      sumDx = sumDx + bestDx;
+      sumDy = sumDy + bestDy;
+    }
+  }
+}
+class FrameResult {
+  flag collecting;
+  flag frameDone;
+  int frame;
+  int expected;
+  int seen;
+  double sumDx;
+  double sumDy;
+  double[] newX;
+  double[] newY;
+  FrameResult(int frame, int expected, int nfeatures) {
+    this.frame = frame;
+    this.expected = expected;
+    this.newX = new double[nfeatures];
+    this.newY = new double[nfeatures];
+  }
+  boolean absorb(FramePiece fp) {
+    for (int i = fp.first; i < fp.last; i = i + 1) {
+      newX[i] = fp.outX[i - fp.first];
+      newY[i] = fp.outY[i - fp.first];
+    }
+    sumDx = sumDx + fp.sumDx;
+    sumDy = sumDy + fp.sumDy;
+    seen = seen + 1;
+    return seen == expected;
+  }
+}
+class TrackMaster {
+  flag collectBlur;
+  flag collectGrad;
+  flag tracking;
+  flag finished;
+  int width;
+  int height;
+  int pieces;
+  int frames;
+  int nfeatures;
+  int blurSeen;
+  int gradSeen;
+  int frame;
+  double[] image;
+  double[] featX;
+  double[] featY;
+  double[] featR;
+  int nfound;
+  double totalDx;
+  double totalDy;
+  TrackMaster(int width, int height, int pieces, int frames, int nfeatures) {
+    this.width = width;
+    this.height = height;
+    this.pieces = pieces;
+    this.frames = frames;
+    this.nfeatures = nfeatures;
+    this.image = new double[width * height];
+    this.featX = new double[nfeatures];
+    this.featY = new double[nfeatures];
+    this.featR = new double[nfeatures];
+  }
+  boolean mergeBlur(ImagePiece p) {
+    for (int y = 0; y < p.rows; y = y + 1) {
+      for (int x = 0; x < width; x = x + 1) {
+        image[(p.y0 + y) * width + x] = p.data[y * width + x];
+      }
+    }
+    blurSeen = blurSeen + 1;
+    return blurSeen == pieces;
+  }
+  // Cut the blurred image into gradient pieces (with a one-row halo).
+  void fillGradPiece(GradPiece g) {
+    for (int y = 0; y < g.rows; y = y + 1) {
+      int sy = g.y0 + y - 1;
+      if (sy < 0) { sy = 0; }
+      if (sy > height - 1) { sy = height - 1; }
+      for (int x = 0; x < width; x = x + 1) {
+        g.data[y * width + x] = image[sy * width + x];
+      }
+    }
+  }
+  boolean mergeGrad(GradPiece g) {
+    for (int c = 0; c < g.candN; c = c + 1) {
+      // Insert candidate into the running top-N by response.
+      int weakest = 0;
+      for (int i = 1; i < nfeatures; i = i + 1) {
+        if (featR[i] < featR[weakest]) { weakest = i; }
+      }
+      if (g.candR[c] > featR[weakest]) {
+        double cx = g.candX[c];
+        double cy = g.candY[c];
+        if (cx < 8.0) { cx = 8.0; }
+        if (cx > width - 9.0) { cx = width - 9.0; }
+        if (cy < 8.0) { cy = 8.0; }
+        if (cy > height - 9.0) { cy = height - 9.0; }
+        featX[weakest] = cx;
+        featY[weakest] = cy;
+        featR[weakest] = g.candR[c];
+        if (nfound < nfeatures) { nfound = nfound + 1; }
+      }
+    }
+    gradSeen = gradSeen + 1;
+    return gradSeen == pieces;
+  }
+  void fillFramePiece(FramePiece fp) {
+    for (int i = fp.first; i < fp.last; i = i + 1) {
+      fp.featX[i - fp.first] = featX[i];
+      fp.featY[i - fp.first] = featY[i];
+    }
+  }
+  void update(FrameResult fr) {
+    for (int i = 0; i < nfeatures; i = i + 1) {
+      featX[i] = fr.newX[i];
+      featY[i] = fr.newY[i];
+    }
+    totalDx = totalDx + fr.sumDx;
+    totalDy = totalDy + fr.sumDy;
+    frame = fr.frame;
+  }
+}
+|}
+
+let tasks =
+  {|
+task startup(StartupObject s in initialstate) {
+  int width = Integer.parseInt(s.args[0]);
+  int height = Integer.parseInt(s.args[1]);
+  int pieces = Integer.parseInt(s.args[2]);
+  int frames = Integer.parseInt(s.args[3]);
+  int nfeatures = Integer.parseInt(s.args[4]);
+  TrackMaster m = new TrackMaster(width, height, pieces, frames, nfeatures){collectBlur := true};
+  int per = height / pieces;
+  for (int p = 0; p < pieces; p = p + 1) {
+    int rows = per;
+    if (p == pieces - 1) { rows = height - p * per; }
+    ImagePiece ip = new ImagePiece(p, p * per, rows, width){toBlur := true};
+  }
+  taskexit(s: initialstate := false);
+}
+task blurPiece(ImagePiece ip in toBlur) {
+  ip.synthesizeAndBlur();
+  taskexit(ip: toBlur := false, blurred := true);
+}
+task mergeBlurPiece(TrackMaster m in collectBlur, ImagePiece ip in blurred) {
+  boolean phaseDone = m.mergeBlur(ip);
+  if (phaseDone) {
+    int per = m.height / m.pieces;
+    for (int p = 0; p < m.pieces; p = p + 1) {
+      int rows = per + 2;
+      if (p == m.pieces - 1) { rows = m.height - p * per + 2; }
+      GradPiece g = new GradPiece(p, p * per, rows, m.width){toGrad := true};
+      m.fillGradPiece(g);
+    }
+    taskexit(m: collectBlur := false, collectGrad := true; ip: blurred := false);
+  }
+  taskexit(ip: blurred := false);
+}
+task gradPiece(GradPiece g in toGrad) {
+  g.compute();
+  taskexit(g: toGrad := false, gradDone := true);
+}
+task mergeGradPiece(TrackMaster m in collectGrad, GradPiece g in gradDone) {
+  boolean phaseDone = m.mergeGrad(g);
+  if (phaseDone) {
+    tag ft = new tag(frametag);
+    FrameResult fr = new FrameResult(1, m.pieces, m.nfeatures){collecting := true, add ft};
+    int perF = m.nfeatures / m.pieces;
+    for (int p = 0; p < m.pieces; p = p + 1) {
+      int last = (p + 1) * perF;
+      if (p == m.pieces - 1) { last = m.nfeatures; }
+      FramePiece fp = new FramePiece(1, p * perF, last, m.width, m.height){processL := true, add ft};
+      m.fillFramePiece(fp);
+    }
+    taskexit(m: collectGrad := false, tracking := true; g: gradDone := false);
+  }
+  taskexit(g: gradDone := false);
+}
+task trackPiece(FramePiece fp in processL) {
+  fp.track();
+  taskexit(fp: processL := false, submitL := true);
+}
+task mergeFrame(FrameResult fr in collecting with frametag ft,
+                FramePiece fp in submitL with frametag ft) {
+  boolean frameDone = fr.absorb(fp);
+  if (frameDone) {
+    taskexit(fr: collecting := false, frameDone := true; fp: submitL := false);
+  }
+  taskexit(fp: submitL := false);
+}
+task nextFrame(TrackMaster m in tracking, FrameResult fr in frameDone) {
+  m.update(fr);
+  if (m.frame < m.frames) {
+    tag ft = new tag(frametag);
+    FrameResult nfr = new FrameResult(m.frame + 1, m.pieces, m.nfeatures){collecting := true, add ft};
+    int perF = m.nfeatures / m.pieces;
+    for (int p = 0; p < m.pieces; p = p + 1) {
+      int last = (p + 1) * perF;
+      if (p == m.pieces - 1) { last = m.nfeatures; }
+      FramePiece fp = new FramePiece(m.frame + 1, p * perF, last, m.width, m.height){processL := true, add ft};
+      m.fillFramePiece(fp);
+    }
+    taskexit(fr: frameDone := false);
+  }
+  int avg = (int)(100.0 * m.totalDx / (m.nfeatures * (m.frames - 0.0)));
+  System.printString("tracking avg dx x100: " + avg);
+  taskexit(m: tracking := false, finished := true; fr: frameDone := false);
+}
+|}
+
+let seq_tasks =
+  {|
+task startup(StartupObject s in initialstate) {
+  int width = Integer.parseInt(s.args[0]);
+  int height = Integer.parseInt(s.args[1]);
+  int pieces = Integer.parseInt(s.args[2]);
+  int frames = Integer.parseInt(s.args[3]);
+  int nfeatures = Integer.parseInt(s.args[4]);
+  TrackMaster m = new TrackMaster(width, height, pieces, frames, nfeatures);
+  int per = height / pieces;
+  // Image processing phase.
+  for (int p = 0; p < pieces; p = p + 1) {
+    int rows = per;
+    if (p == pieces - 1) { rows = height - p * per; }
+    ImagePiece ip = new ImagePiece(p, p * per, rows, width);
+    ip.synthesizeAndBlur();
+    boolean ignored = m.mergeBlur(ip);
+  }
+  // Feature extraction phase.
+  for (int p = 0; p < pieces; p = p + 1) {
+    int rows = per + 2;
+    if (p == pieces - 1) { rows = height - p * per + 2; }
+    GradPiece g = new GradPiece(p, p * per, rows, width);
+    m.fillGradPiece(g);
+    g.compute();
+    boolean ignored2 = m.mergeGrad(g);
+  }
+  // Tracking phase.
+  int perF = nfeatures / pieces;
+  for (int f = 1; f <= frames; f = f + 1) {
+    FrameResult fr = new FrameResult(f, pieces, nfeatures);
+    for (int p = 0; p < pieces; p = p + 1) {
+      int last = (p + 1) * perF;
+      if (p == pieces - 1) { last = nfeatures; }
+      FramePiece fp = new FramePiece(f, p * perF, last, width, height);
+      m.fillFramePiece(fp);
+      fp.track();
+      boolean ignored3 = fr.absorb(fp);
+    }
+    m.update(fr);
+  }
+  int avg = (int)(100.0 * m.totalDx / (nfeatures * (frames - 0.0)));
+  System.printString("tracking avg dx x100: " + avg);
+  taskexit(s: initialstate := false);
+}
+|}
+
+let benchmark : Bench_def.t =
+  {
+    b_name = "Tracking";
+    b_descr = "feature tracking (SD-VBS)";
+    b_source = classes ^ tasks;
+    b_seq_source = classes ^ seq_tasks;
+    b_args = [ "192"; "124"; "62"; "5"; "124" ];
+    b_args_double = [ "192"; "124"; "62"; "10"; "124" ];
+    b_check = Bench_def.output_has "tracking avg dx x100: ";
+  }

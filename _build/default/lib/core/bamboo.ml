@@ -1,0 +1,93 @@
+(** Bamboo: a data-centric, object-oriented approach to many-core
+    software — public API.
+
+    This umbrella module re-exports every subsystem and provides the
+    end-to-end pipeline of the paper's compiler:
+
+    {ol
+    {- {!compile}: parse and type-check Bamboo source into IR;}
+    {- {!analyse}: dependence analysis (ASTGs), disjointness analysis
+       (shared-lock groups), CSTG construction;}
+    {- {!profile}: single-core bootstrap profiling run;}
+    {- {!synthesize}: candidate generation + directed simulated
+       annealing against a machine description;}
+    {- {!execute}: run the program under a layout on the cycle-level
+       many-core runtime.}}
+
+    See the [examples/] directory for runnable walkthroughs. *)
+
+module Support = Bamboo_support
+module Prng = Bamboo_support.Prng
+module Stats = Bamboo_support.Stats
+module Table = Bamboo_support.Table
+module Dot = Bamboo_support.Dot
+module Graph = Bamboo_graph.Digraph
+module Ast = Bamboo_ast.Ast
+module Lexer = Bamboo_frontend.Lexer
+module Parser = Bamboo_frontend.Parser
+module Typecheck = Bamboo_frontend.Typecheck
+module Ir = Bamboo_ir.Ir
+module Value = Bamboo_interp.Value
+module Interp = Bamboo_interp.Interp
+module Cost = Bamboo_interp.Cost
+module Astg = Bamboo_analysis.Astg
+module Disjoint = Bamboo_analysis.Disjoint
+module Cstg = Bamboo_cstg.Cstg
+module Machine = Bamboo_machine.Machine
+module Layout = Bamboo_machine.Layout
+module Profile = Bamboo_profile.Profile
+module Schedsim = Bamboo_sim.Schedsim
+module Critpath = Bamboo_sim.Critpath
+module Candidates = Bamboo_synth.Candidates
+module Dsa = Bamboo_synth.Dsa
+module Runtime = Bamboo_runtime.Runtime
+
+(** Static analysis results bundled together. *)
+type analysis = {
+  astgs : Astg.t array;
+  cstg : Cstg.t;
+  disjoint : Disjoint.task_report list;
+  lock_groups : int array;
+}
+
+(** Parse and type-check Bamboo source code. *)
+let compile (src : string) : Ir.program = Typecheck.compile_source src
+
+(** Run the static analyses: per-class ASTGs, the CSTG, and the
+    disjointness analysis with its shared-lock groups. *)
+let analyse (prog : Ir.program) : analysis =
+  let astgs = Astg.of_program prog in
+  let cstg = Cstg.build prog astgs in
+  let disjoint = Disjoint.analyse prog in
+  let lock_groups = Disjoint.lock_groups prog disjoint in
+  { astgs; cstg; disjoint; lock_groups }
+
+(** Single-core profiling run (the paper's bootstrap profile). *)
+let profile ?(args = []) ?max_invocations (prog : Ir.program) : Profile.t =
+  fst (Profile.collect ~args ?max_invocations prog)
+
+(** Synthesize an optimized layout for [machine] using candidate
+    generation and directed simulated annealing. *)
+let synthesize ?config ?ncandidates ?(seed = 42) (prog : Ir.program) (an : analysis)
+    (prof : Profile.t) (machine : Machine.t) : Dsa.outcome =
+  Dsa.synthesize ?config ?ncandidates ~seed prog an.cstg prof machine
+
+(** Execute the program under a layout on the cycle-level many-core
+    runtime, using the analysis' shared-lock groups. *)
+let execute ?(args = []) ?max_invocations ?(record_trace = false) (prog : Ir.program)
+    (an : analysis) (layout : Layout.t) : Runtime.result =
+  Runtime.run ~args ?max_invocations ~record_trace ~lock_groups:an.lock_groups prog layout
+
+(** Estimate the execution of a layout with the scheduling simulator. *)
+let estimate ?max_invocations (prog : Ir.program) (prof : Profile.t) (layout : Layout.t) : int
+    =
+  (Schedsim.simulate ?max_invocations prog prof layout).s_total_cycles
+
+(** The paper's §7 future-work extension: re-profile an execution and
+    re-synthesize the layout for the observed workload.  Returns the
+    new layout (and its estimate) computed from the records of a run
+    under the old layout. *)
+let reoptimize ?config ?ncandidates ?(seed = 43) (prog : Ir.program) (an : analysis)
+    (run : Runtime.result) (machine : Machine.t) : Dsa.outcome =
+  let prof = Profile.of_records prog ~total_cycles:run.r_total_cycles run.r_records in
+  Dsa.synthesize ?config ?ncandidates ~seed prog an.cstg prof machine

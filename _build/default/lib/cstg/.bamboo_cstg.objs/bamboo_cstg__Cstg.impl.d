@@ -1,0 +1,1 @@
+lib/cstg/cstg.ml: Array Bamboo_analysis Bamboo_ir Bamboo_support Hashtbl List Printf

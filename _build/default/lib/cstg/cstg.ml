@@ -1,0 +1,168 @@
+(** Combined state transition graph (§2.4, §4.3.1; the paper's
+    Figure 3).
+
+    The CSTG glues the per-class ASTGs together and adds dashed
+    new-object edges from tasks to the abstract states their
+    allocations produce.  Annotated with profile statistics it forms
+    the Markov model that both the scheduling simulator and the
+    candidate-generation rules consume. *)
+
+module Ir = Bamboo_ir.Ir
+module Astg = Bamboo_analysis.Astg
+module Dot = Bamboo_support.Dot
+
+type state_id = Ir.class_id * Astg.astate
+
+type transition = {
+  c_src : state_id;
+  c_task : Ir.task_id;
+  c_exit : int;
+  c_dst : state_id;
+}
+
+(** Dashed edge: [c_by] may allocate objects at [c_site], which enter
+    [c_into]. *)
+type new_edge = { c_by : Ir.task_id; c_site : Ir.site_id; c_into : state_id }
+
+type t = {
+  prog : Ir.program;
+  astgs : Astg.t array;
+  states : state_id list;
+  alloc_states : (state_id * Ir.site_id list) list;
+  transitions : transition list;
+  new_edges : new_edge list;
+}
+
+let build (prog : Ir.program) (astgs : Astg.t array) : t =
+  let states =
+    Array.to_list astgs
+    |> List.concat_map (fun (a : Astg.t) -> List.map (fun s -> (a.Astg.a_class, s)) a.a_states)
+  in
+  let alloc_states =
+    Array.to_list astgs
+    |> List.concat_map (fun (a : Astg.t) ->
+           List.map (fun (s, sites) -> ((a.Astg.a_class, s), sites)) a.a_alloc)
+  in
+  let transitions =
+    Array.to_list astgs
+    |> List.concat_map (fun (a : Astg.t) ->
+           List.map
+             (fun (tr : Astg.transition) ->
+               {
+                 c_src = (a.Astg.a_class, tr.tr_src);
+                 c_task = tr.tr_task;
+                 c_exit = tr.tr_exit;
+                 c_dst = (a.Astg.a_class, tr.tr_dst);
+               })
+             a.a_transitions)
+  in
+  (* New-object edges: every allocation site reachable from a task's
+     body contributes an edge to that site's initial abstract state. *)
+  let new_edges =
+    Array.to_list prog.tasks
+    |> List.concat_map (fun (task : Ir.taskinfo) ->
+           Ir.reachable_sites prog task.t_body
+           |> List.map (fun sid ->
+                  let site = prog.sites.(sid) in
+                  let s : Astg.astate =
+                    {
+                      as_flags = Ir.site_initial_word site;
+                      as_tags = Astg.site_tag_bits prog site;
+                    }
+                  in
+                  { c_by = task.t_id; c_site = sid; c_into = (site.s_class, s) }))
+  in
+  { prog; astgs; states; alloc_states; transitions; new_edges }
+
+(** Tasks that may produce objects consumed by a given task, either by
+    allocation or by state transition.  This is the task-level
+    dependence relation used by candidate generation. *)
+let producers_of (g : t) (tid : Ir.task_id) : Ir.task_id list =
+  let task = g.prog.tasks.(tid) in
+  let consumed (cid, s) =
+    Array.exists
+      (fun (p : Ir.paraminfo) -> p.p_class = cid && Astg.astate_satisfies p s)
+      task.t_params
+  in
+  let from_new =
+    List.filter_map (fun e -> if consumed e.c_into then Some e.c_by else None) g.new_edges
+  in
+  let from_trans =
+    List.filter_map
+      (fun tr -> if consumed tr.c_dst && tr.c_src <> tr.c_dst then Some tr.c_task else None)
+      g.transitions
+  in
+  List.sort_uniq compare (from_new @ from_trans)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering (Figure 3) *)
+
+let state_node_id prog ((cid, s) : state_id) =
+  Printf.sprintf "%s:%s" (Ir.class_of prog cid).c_name (Astg.string_of_astate prog cid s)
+
+(** Render the CSTG as Graphviz dot.  With [annot] (task, exit) ->
+    label text, edges carry profile annotations in the paper's
+    [task:<time, probability>] style. *)
+let to_dot ?(annot = fun ~task:_ ~exit_id:_ -> "") ?(state_annot = fun _ -> "") (g : t) : Dot.t
+    =
+  let d = Dot.create "cstg" in
+  let alloc_ids = List.map (fun (s, _) -> s) g.alloc_states in
+  (* States, clustered per class. *)
+  let classes = List.sort_uniq compare (List.map fst g.states) in
+  List.iter
+    (fun cid ->
+      let ids =
+        List.filter (fun (c, _) -> c = cid) g.states |> List.map (state_node_id g.prog)
+      in
+      Dot.cluster d ~label:("Class " ^ (Ir.class_of g.prog cid).c_name) ids)
+    classes;
+  List.iter
+    (fun ((cid, s) as st) ->
+      let peripheries = if List.mem st alloc_ids then 2 else 1 in
+      Dot.node d ~peripheries
+        (state_node_id g.prog st)
+        ~label:(Astg.string_of_astate g.prog cid s ^ state_annot st))
+    g.states;
+  (* Solid transition edges, merged per (src, task, dst). *)
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun tr ->
+      let key = (tr.c_src, tr.c_task, tr.c_dst) in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.replace seen key ();
+        let tname = g.prog.tasks.(tr.c_task).t_name in
+        Dot.edge d
+          (state_node_id g.prog tr.c_src)
+          (state_node_id g.prog tr.c_dst)
+          ~label:(tname ^ annot ~task:tr.c_task ~exit_id:tr.c_exit)
+      end)
+    g.transitions;
+  (* Dashed new-object edges originate at a synthetic task node. *)
+  let task_nodes = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      let tname = g.prog.tasks.(e.c_by).t_name in
+      let nid = "task:" ^ tname in
+      if not (Hashtbl.mem task_nodes nid) then begin
+        Hashtbl.replace task_nodes nid ();
+        Dot.node d nid ~label:tname ~shape:"box"
+      end;
+      Dot.edge d nid (state_node_id g.prog e.c_into) ~label:"" ~style:"dashed")
+    g.new_edges;
+  d
+
+(** Task-flow dot (the paper's Figure 8): tasks as nodes, data-flow
+    edges between producer and consumer tasks. *)
+let task_flow_dot (g : t) : Dot.t =
+  let d = Dot.create "taskflow" in
+  Array.iter
+    (fun (t : Ir.taskinfo) -> Dot.node d t.t_name ~label:t.t_name ~shape:"box")
+    g.prog.tasks;
+  Array.iter
+    (fun (t : Ir.taskinfo) ->
+      List.iter
+        (fun p ->
+          Dot.edge d g.prog.tasks.(p).Ir.t_name t.t_name ~label:"")
+        (producers_of g t.t_id))
+    g.prog.tasks;
+  d

@@ -1,0 +1,1 @@
+lib/frontend/lexer.ml: Array Ast Bamboo_ast Buffer Hashtbl List Printf String

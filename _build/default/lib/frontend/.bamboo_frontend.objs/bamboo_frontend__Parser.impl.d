@@ -1,0 +1,1 @@
+lib/frontend/parser.ml: Array Ast Bamboo_ast Lexer List Printf

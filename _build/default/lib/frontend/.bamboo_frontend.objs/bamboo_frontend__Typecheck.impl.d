@@ -1,0 +1,1 @@
+lib/frontend/typecheck.ml: Array Bamboo_ast Bamboo_ir Hashtbl List Parser Printf

@@ -1,0 +1,237 @@
+(** Hand-written lexer for the Bamboo language.
+
+    Produces an array of position-annotated tokens.  Comments ([//]
+    line and [/* ... */] block) and whitespace are skipped.  Errors
+    are reported through the [Error] exception with a position and a
+    human-readable message. *)
+
+open Bamboo_ast
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  (* keywords *)
+  | KCLASS | KFLAG | KTASK | KTAG | KIN | KWITH | KAND | KOR
+  | KTASKEXIT | KNEW | KADD | KCLEAR
+  | KIF | KELSE | KWHILE | KFOR | KRETURN | KBREAK | KCONTINUE
+  | KTRUE | KFALSE | KNULL | KTHIS
+  | KINT | KDOUBLE | KBOOLEAN | KSTRINGTY | KVOID
+  (* punctuation and operators *)
+  | LBRACE | RBRACE | LPAREN | RPAREN | LBRACKET | RBRACKET
+  | SEMI | COMMA | DOT | COLON | ASSIGNFLAG (* := *)
+  | ASSIGN (* = *) | EQ | NE | LE | GE | LT | GT
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMPAMP | BARBAR | BANG | AMP | BAR | CARET | SHL | SHR
+  | EOF
+
+exception Error of Ast.pos * string
+
+let keyword_table : (string, token) Hashtbl.t = Hashtbl.create 64
+
+let () =
+  List.iter
+    (fun (k, v) -> Hashtbl.replace keyword_table k v)
+    [
+      ("class", KCLASS); ("flag", KFLAG); ("task", KTASK); ("tag", KTAG);
+      ("in", KIN); ("with", KWITH); ("and", KAND); ("or", KOR);
+      ("taskexit", KTASKEXIT); ("new", KNEW); ("add", KADD); ("clear", KCLEAR);
+      ("if", KIF); ("else", KELSE); ("while", KWHILE); ("for", KFOR);
+      ("return", KRETURN); ("break", KBREAK); ("continue", KCONTINUE);
+      ("true", KTRUE); ("false", KFALSE); ("null", KNULL); ("this", KTHIS);
+      ("int", KINT); ("double", KDOUBLE); ("boolean", KBOOLEAN);
+      ("String", KSTRINGTY); ("void", KVOID);
+    ]
+
+let string_of_token = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT n -> Printf.sprintf "integer %d" n
+  | FLOAT f -> Printf.sprintf "float %g" f
+  | STRING s -> Printf.sprintf "string %S" s
+  | KCLASS -> "'class'" | KFLAG -> "'flag'" | KTASK -> "'task'" | KTAG -> "'tag'"
+  | KIN -> "'in'" | KWITH -> "'with'" | KAND -> "'and'" | KOR -> "'or'"
+  | KTASKEXIT -> "'taskexit'" | KNEW -> "'new'" | KADD -> "'add'" | KCLEAR -> "'clear'"
+  | KIF -> "'if'" | KELSE -> "'else'" | KWHILE -> "'while'" | KFOR -> "'for'"
+  | KRETURN -> "'return'" | KBREAK -> "'break'" | KCONTINUE -> "'continue'"
+  | KTRUE -> "'true'" | KFALSE -> "'false'" | KNULL -> "'null'" | KTHIS -> "'this'"
+  | KINT -> "'int'" | KDOUBLE -> "'double'" | KBOOLEAN -> "'boolean'"
+  | KSTRINGTY -> "'String'" | KVOID -> "'void'"
+  | LBRACE -> "'{'" | RBRACE -> "'}'" | LPAREN -> "'('" | RPAREN -> "')'"
+  | LBRACKET -> "'['" | RBRACKET -> "']'"
+  | SEMI -> "';'" | COMMA -> "','" | DOT -> "'.'" | COLON -> "':'"
+  | ASSIGNFLAG -> "':='" | ASSIGN -> "'='"
+  | EQ -> "'=='" | NE -> "'!='" | LE -> "'<='" | GE -> "'>='" | LT -> "'<'" | GT -> "'>'"
+  | PLUS -> "'+'" | MINUS -> "'-'" | STAR -> "'*'" | SLASH -> "'/'" | PERCENT -> "'%'"
+  | AMPAMP -> "'&&'" | BARBAR -> "'||'" | BANG -> "'!'"
+  | AMP -> "'&'" | BAR -> "'|'" | CARET -> "'^'" | SHL -> "'<<'" | SHR -> "'>>'"
+  | EOF -> "end of input"
+
+type state = {
+  src : string;
+  mutable off : int;
+  mutable line : int;
+  mutable bol : int; (* offset of the beginning of the current line *)
+}
+
+let pos_of st : Ast.pos = { line = st.line; col = st.off - st.bol + 1 }
+
+let peek_char st = if st.off < String.length st.src then Some st.src.[st.off] else None
+
+let advance st =
+  (match peek_char st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.bol <- st.off + 1
+  | _ -> ());
+  st.off <- st.off + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let rec skip_trivia st =
+  match peek_char st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      skip_trivia st
+  | Some '/' when st.off + 1 < String.length st.src && st.src.[st.off + 1] = '/' ->
+      while peek_char st <> None && peek_char st <> Some '\n' do advance st done;
+      skip_trivia st
+  | Some '/' when st.off + 1 < String.length st.src && st.src.[st.off + 1] = '*' ->
+      let start = pos_of st in
+      advance st; advance st;
+      let rec close () =
+        match peek_char st with
+        | None -> raise (Error (start, "unterminated block comment"))
+        | Some '*' when st.off + 1 < String.length st.src && st.src.[st.off + 1] = '/' ->
+            advance st; advance st
+        | Some _ ->
+            advance st;
+            close ()
+      in
+      close ();
+      skip_trivia st
+  | _ -> ()
+
+let lex_number st =
+  let start = st.off in
+  let spos = pos_of st in
+  while (match peek_char st with Some c -> is_digit c | None -> false) do advance st done;
+  let is_float = ref false in
+  (match peek_char st with
+  | Some '.' when st.off + 1 < String.length st.src && is_digit st.src.[st.off + 1] ->
+      is_float := true;
+      advance st;
+      while (match peek_char st with Some c -> is_digit c | None -> false) do advance st done
+  | _ -> ());
+  (match peek_char st with
+  | Some ('e' | 'E') ->
+      is_float := true;
+      advance st;
+      (match peek_char st with Some ('+' | '-') -> advance st | _ -> ());
+      while (match peek_char st with Some c -> is_digit c | None -> false) do advance st done
+  | _ -> ());
+  let text = String.sub st.src start (st.off - start) in
+  if !is_float then
+    match float_of_string_opt text with
+    | Some f -> (FLOAT f, spos)
+    | None -> raise (Error (spos, "malformed float literal " ^ text))
+  else
+    match int_of_string_opt text with
+    | Some n -> (INT n, spos)
+    | None -> raise (Error (spos, "malformed integer literal " ^ text))
+
+let lex_string st =
+  let spos = pos_of st in
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek_char st with
+    | None -> raise (Error (spos, "unterminated string literal"))
+    | Some '"' -> advance st
+    | Some '\\' ->
+        advance st;
+        (match peek_char st with
+        | Some 'n' -> Buffer.add_char buf '\n'
+        | Some 't' -> Buffer.add_char buf '\t'
+        | Some '\\' -> Buffer.add_char buf '\\'
+        | Some '"' -> Buffer.add_char buf '"'
+        | Some c -> raise (Error (pos_of st, Printf.sprintf "unknown escape '\\%c'" c))
+        | None -> raise (Error (spos, "unterminated string literal")));
+        advance st;
+        go ()
+    | Some c ->
+        Buffer.add_char buf c;
+        advance st;
+        go ()
+  in
+  go ();
+  (STRING (Buffer.contents buf), spos)
+
+let next_token st =
+  skip_trivia st;
+  let spos = pos_of st in
+  match peek_char st with
+  | None -> (EOF, spos)
+  | Some c when is_digit c -> lex_number st
+  | Some '"' -> lex_string st
+  | Some c when is_ident_start c ->
+      let start = st.off in
+      while (match peek_char st with Some c -> is_ident_char c | None -> false) do advance st done;
+      let text = String.sub st.src start (st.off - start) in
+      let tok =
+        match Hashtbl.find_opt keyword_table text with
+        | Some k -> k
+        | None -> IDENT text
+      in
+      (tok, spos)
+  | Some c ->
+      let two =
+        if st.off + 1 < String.length st.src then Some st.src.[st.off + 1] else None
+      in
+      let emit2 tok = advance st; advance st; (tok, spos) in
+      let emit1 tok = advance st; (tok, spos) in
+      (match (c, two) with
+      | ':', Some '=' -> emit2 ASSIGNFLAG
+      | '=', Some '=' -> emit2 EQ
+      | '!', Some '=' -> emit2 NE
+      | '<', Some '=' -> emit2 LE
+      | '>', Some '=' -> emit2 GE
+      | '<', Some '<' -> emit2 SHL
+      | '>', Some '>' -> emit2 SHR
+      | '&', Some '&' -> emit2 AMPAMP
+      | '|', Some '|' -> emit2 BARBAR
+      | '{', _ -> emit1 LBRACE
+      | '}', _ -> emit1 RBRACE
+      | '(', _ -> emit1 LPAREN
+      | ')', _ -> emit1 RPAREN
+      | '[', _ -> emit1 LBRACKET
+      | ']', _ -> emit1 RBRACKET
+      | ';', _ -> emit1 SEMI
+      | ',', _ -> emit1 COMMA
+      | '.', _ -> emit1 DOT
+      | ':', _ -> emit1 COLON
+      | '=', _ -> emit1 ASSIGN
+      | '<', _ -> emit1 LT
+      | '>', _ -> emit1 GT
+      | '+', _ -> emit1 PLUS
+      | '-', _ -> emit1 MINUS
+      | '*', _ -> emit1 STAR
+      | '/', _ -> emit1 SLASH
+      | '%', _ -> emit1 PERCENT
+      | '!', _ -> emit1 BANG
+      | '&', _ -> emit1 AMP
+      | '|', _ -> emit1 BAR
+      | '^', _ -> emit1 CARET
+      | _ -> raise (Error (spos, Printf.sprintf "unexpected character %C" c)))
+
+(** [tokenize src] lexes an entire source string into an array of
+    tokens terminated by [EOF]. *)
+let tokenize src =
+  let st = { src; off = 0; line = 1; bol = 0 } in
+  let rec go acc =
+    let tok, pos = next_token st in
+    if tok = EOF then List.rev ((tok, pos) :: acc) else go ((tok, pos) :: acc)
+  in
+  Array.of_list (go [])

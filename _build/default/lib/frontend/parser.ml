@@ -1,0 +1,556 @@
+(** Recursive-descent parser for Bamboo.
+
+    The grammar is the paper's Figure 5 layered on top of a Java-like
+    statement/expression language.  Binary expressions use standard
+    precedence climbing.  All parse errors carry a source position. *)
+
+open Bamboo_ast
+open Ast
+open Lexer
+
+exception Error = Lexer.Error
+
+type state = { toks : (token * Ast.pos) array; mutable cur : int }
+
+let peek st = fst st.toks.(st.cur)
+let peek2 st = if st.cur + 1 < Array.length st.toks then fst st.toks.(st.cur + 1) else EOF
+let peek3 st = if st.cur + 2 < Array.length st.toks then fst st.toks.(st.cur + 2) else EOF
+let pos st = snd st.toks.(st.cur)
+let advance st = if st.cur + 1 < Array.length st.toks then st.cur <- st.cur + 1
+
+let error st msg = raise (Error (pos st, msg))
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    error st
+      (Printf.sprintf "expected %s but found %s" (string_of_token tok)
+         (string_of_token (peek st)))
+
+let expect_ident st =
+  match peek st with
+  | IDENT s ->
+      advance st;
+      s
+  | t -> error st (Printf.sprintf "expected identifier but found %s" (string_of_token t))
+
+let accept st tok = if peek st = tok then (advance st; true) else false
+
+(* ------------------------------------------------------------------ *)
+(* Types *)
+
+let is_type_start = function
+  | KINT | KDOUBLE | KBOOLEAN | KSTRINGTY | KVOID | IDENT _ -> true
+  | _ -> false
+
+let parse_base_type st =
+  match peek st with
+  | KINT -> advance st; Tint
+  | KDOUBLE -> advance st; Tdouble
+  | KBOOLEAN -> advance st; Tboolean
+  | KSTRINGTY -> advance st; Tstring
+  | KVOID -> advance st; Tvoid
+  | IDENT c -> advance st; Tclass c
+  | t -> error st (Printf.sprintf "expected a type but found %s" (string_of_token t))
+
+let parse_type st =
+  let base = parse_base_type st in
+  let rec arrays t =
+    if peek st = LBRACKET && peek2 st = RBRACKET then begin
+      advance st;
+      advance st;
+      arrays (Tarray t)
+    end
+    else t
+  in
+  arrays base
+
+(* ------------------------------------------------------------------ *)
+(* Flag and tag expressions (task guards) *)
+
+let rec parse_flag_atom st =
+  match peek st with
+  | BANG ->
+      advance st;
+      Fnot (parse_flag_atom st)
+  | LPAREN ->
+      advance st;
+      let e = parse_flagexp st in
+      expect st RPAREN;
+      e
+  | KTRUE -> advance st; Ftrue
+  | KFALSE -> advance st; Ffalse
+  | IDENT f -> advance st; Fflag f
+  | t -> error st (Printf.sprintf "expected a flag expression but found %s" (string_of_token t))
+
+and parse_flag_and st =
+  let left = parse_flag_atom st in
+  if accept st KAND then Fand (left, parse_flag_and st) else left
+
+and parse_flagexp st =
+  let left = parse_flag_and st in
+  if accept st KOR then For (left, parse_flagexp st) else left
+
+let parse_tagexp st =
+  (* tagexp := tagtype tagvar (and tagtype tagvar)* *)
+  let rec go acc =
+    let tag_type = expect_ident st in
+    let tag_var = expect_ident st in
+    let acc = { tag_type; tag_var } :: acc in
+    if accept st KAND then go acc else List.rev acc
+  in
+  go []
+
+(* ------------------------------------------------------------------ *)
+(* Flag/tag actions (allocation sites and taskexit) *)
+
+let parse_action st =
+  match peek st with
+  | KADD ->
+      advance st;
+      AddTag (expect_ident st)
+  | KCLEAR ->
+      advance st;
+      ClearTag (expect_ident st)
+  | IDENT f ->
+      advance st;
+      expect st ASSIGNFLAG;
+      let v =
+        match peek st with
+        | KTRUE -> advance st; true
+        | KFALSE -> advance st; false
+        | t -> error st (Printf.sprintf "expected 'true' or 'false' but found %s" (string_of_token t))
+      in
+      SetFlag (f, v)
+  | t -> error st (Printf.sprintf "expected a flag or tag action but found %s" (string_of_token t))
+
+let parse_actions st =
+  let rec go acc =
+    let a = parse_action st in
+    if accept st COMMA then go (a :: acc) else List.rev (a :: acc)
+  in
+  go []
+
+(* ------------------------------------------------------------------ *)
+(* Expressions *)
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let l = parse_and st in
+  if accept st BARBAR then { e = Ebinop (Or, l, parse_or st); epos = l.epos } else l
+
+and parse_and st =
+  let l = parse_bitor st in
+  if accept st AMPAMP then { e = Ebinop (And, l, parse_and st); epos = l.epos } else l
+
+and parse_bitor st =
+  let rec go l =
+    if accept st BAR then go { e = Ebinop (Bor, l, parse_bitxor st); epos = l.epos } else l
+  in
+  go (parse_bitxor st)
+
+and parse_bitxor st =
+  let rec go l =
+    if accept st CARET then go { e = Ebinop (Bxor, l, parse_bitand st); epos = l.epos } else l
+  in
+  go (parse_bitand st)
+
+and parse_bitand st =
+  let rec go l =
+    if accept st AMP then go { e = Ebinop (Band, l, parse_equality st); epos = l.epos } else l
+  in
+  go (parse_equality st)
+
+and parse_equality st =
+  let rec go l =
+    match peek st with
+    | EQ -> advance st; go { e = Ebinop (Eq, l, parse_relational st); epos = l.epos }
+    | NE -> advance st; go { e = Ebinop (Ne, l, parse_relational st); epos = l.epos }
+    | _ -> l
+  in
+  go (parse_relational st)
+
+and parse_relational st =
+  let rec go l =
+    match peek st with
+    | LT -> advance st; go { e = Ebinop (Lt, l, parse_shift st); epos = l.epos }
+    | LE -> advance st; go { e = Ebinop (Le, l, parse_shift st); epos = l.epos }
+    | GT -> advance st; go { e = Ebinop (Gt, l, parse_shift st); epos = l.epos }
+    | GE -> advance st; go { e = Ebinop (Ge, l, parse_shift st); epos = l.epos }
+    | _ -> l
+  in
+  go (parse_shift st)
+
+and parse_shift st =
+  let rec go l =
+    match peek st with
+    | SHL -> advance st; go { e = Ebinop (Shl, l, parse_additive st); epos = l.epos }
+    | SHR -> advance st; go { e = Ebinop (Shr, l, parse_additive st); epos = l.epos }
+    | _ -> l
+  in
+  go (parse_additive st)
+
+and parse_additive st =
+  let rec go l =
+    match peek st with
+    | PLUS -> advance st; go { e = Ebinop (Add, l, parse_multiplicative st); epos = l.epos }
+    | MINUS -> advance st; go { e = Ebinop (Sub, l, parse_multiplicative st); epos = l.epos }
+    | _ -> l
+  in
+  go (parse_multiplicative st)
+
+and parse_multiplicative st =
+  let rec go l =
+    match peek st with
+    | STAR -> advance st; go { e = Ebinop (Mul, l, parse_unary st); epos = l.epos }
+    | SLASH -> advance st; go { e = Ebinop (Div, l, parse_unary st); epos = l.epos }
+    | PERCENT -> advance st; go { e = Ebinop (Mod, l, parse_unary st); epos = l.epos }
+    | _ -> l
+  in
+  go (parse_unary st)
+
+and parse_unary st =
+  let p = pos st in
+  match peek st with
+  | MINUS ->
+      advance st;
+      { e = Eunop (Neg, parse_unary st); epos = p }
+  | BANG ->
+      advance st;
+      { e = Eunop (Not, parse_unary st); epos = p }
+  | LPAREN when (peek2 st = KINT || peek2 st = KDOUBLE) && peek3 st = RPAREN ->
+      advance st;
+      let t = parse_base_type st in
+      expect st RPAREN;
+      { e = Ecast (t, parse_unary st); epos = p }
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let rec go e =
+    match peek st with
+    | DOT ->
+        advance st;
+        let name = expect_ident st in
+        if peek st = LPAREN then begin
+          advance st;
+          let args = parse_args st in
+          expect st RPAREN;
+          go { e = Ecall (e, name, args); epos = e.epos }
+        end
+        else go { e = Efield (e, name); epos = e.epos }
+    | LBRACKET ->
+        advance st;
+        let idx = parse_expr st in
+        expect st RBRACKET;
+        go { e = Eindex (e, idx); epos = e.epos }
+    | _ -> e
+  in
+  go (parse_primary st)
+
+and parse_args st =
+  if peek st = RPAREN then []
+  else
+    let rec go acc =
+      let a = parse_expr st in
+      if accept st COMMA then go (a :: acc) else List.rev (a :: acc)
+    in
+    go []
+
+and parse_new st =
+  let p = pos st in
+  expect st KNEW;
+  let base = parse_base_type st in
+  match peek st with
+  | LBRACKET ->
+      (* array allocation: new t[e] or new t[e][e] *)
+      let rec dims acc =
+        if peek st = LBRACKET && peek2 st <> RBRACKET then begin
+          advance st;
+          let d = parse_expr st in
+          expect st RBRACKET;
+          dims (d :: acc)
+        end
+        else List.rev acc
+      in
+      let ds = dims [] in
+      if ds = [] then error st "array allocation requires at least one dimension";
+      { e = Enewarray (base, ds); epos = p }
+  | LPAREN -> (
+      let cname =
+        match base with
+        | Tclass c -> c
+        | t ->
+            raise
+              (Error (p, Printf.sprintf "cannot instantiate non-class type %s" (string_of_typ t)))
+      in
+      advance st;
+      let args = parse_args st in
+      expect st RPAREN;
+      match peek st with
+      | LBRACE ->
+          advance st;
+          let actions = if peek st = RBRACE then [] else parse_actions st in
+          expect st RBRACE;
+          { e = Enew (cname, args, actions); epos = p }
+      | _ -> { e = Enew (cname, args, []); epos = p })
+  | t ->
+      error st
+        (Printf.sprintf "expected '(' or '[' after 'new %s' but found %s" (string_of_typ base)
+           (string_of_token t))
+
+and parse_primary st =
+  let p = pos st in
+  match peek st with
+  | INT n -> advance st; { e = Eint n; epos = p }
+  | FLOAT f -> advance st; { e = Efloat f; epos = p }
+  | STRING s -> advance st; { e = Estring s; epos = p }
+  | KTRUE -> advance st; { e = Ebool true; epos = p }
+  | KFALSE -> advance st; { e = Ebool false; epos = p }
+  | KNULL -> advance st; { e = Enull; epos = p }
+  | KTHIS -> advance st; { e = Ethis; epos = p }
+  | KNEW -> parse_new st
+  | IDENT v ->
+      advance st;
+      (* An unqualified call [m(args)] is sugar for [this.m(args)]. *)
+      if peek st = LPAREN then begin
+        advance st;
+        let args = parse_args st in
+        expect st RPAREN;
+        { e = Ecall ({ e = Ethis; epos = p }, v, args); epos = p }
+      end
+      else { e = Evar v; epos = p }
+  | LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      expect st RPAREN;
+      e
+  | t -> error st (Printf.sprintf "expected an expression but found %s" (string_of_token t))
+
+(* ------------------------------------------------------------------ *)
+(* Statements *)
+
+let lvalue_of_expr (e : expr) =
+  match e.e with
+  | Evar v -> Lvar v
+  | Efield (o, f) -> Lfield (o, f)
+  | Eindex (a, i) -> Lindex (a, i)
+  | _ -> raise (Error (e.epos, "left-hand side of assignment is not assignable"))
+
+(* A "simple" statement is one allowed in for-headers: declaration,
+   assignment, or expression. *)
+let rec parse_simple st =
+  let p = pos st in
+  let starts_decl =
+    (match peek st with KINT | KDOUBLE | KBOOLEAN | KSTRINGTY -> true | _ -> false)
+    || (match (peek st, peek2 st) with
+       | IDENT _, IDENT _ -> true
+       | IDENT _, LBRACKET when peek3 st = RBRACKET -> true
+       | _ -> false)
+  in
+  if starts_decl then begin
+    let t = parse_type st in
+    let name = expect_ident st in
+    let init = if accept st ASSIGN then Some (parse_expr st) else None in
+    { s = Sdecl (t, name, init); spos = p }
+  end
+  else begin
+    let e = parse_expr st in
+    if accept st ASSIGN then
+      let lv = lvalue_of_expr e in
+      { s = Sassign (lv, parse_expr st); spos = p }
+    else { s = Sexpr e; spos = p }
+  end
+
+and parse_stmt st =
+  let p = pos st in
+  match peek st with
+  | LBRACE ->
+      advance st;
+      let body = parse_stmts st in
+      expect st RBRACE;
+      { s = Sblock body; spos = p }
+  | KIF ->
+      advance st;
+      expect st LPAREN;
+      let cond = parse_expr st in
+      expect st RPAREN;
+      let then_ = parse_stmt_as_block st in
+      let else_ = if accept st KELSE then parse_stmt_as_block st else [] in
+      { s = Sif (cond, then_, else_); spos = p }
+  | KWHILE ->
+      advance st;
+      expect st LPAREN;
+      let cond = parse_expr st in
+      expect st RPAREN;
+      { s = Swhile (cond, parse_stmt_as_block st); spos = p }
+  | KFOR ->
+      advance st;
+      expect st LPAREN;
+      let init = if peek st = SEMI then None else Some (parse_simple st) in
+      expect st SEMI;
+      let cond = if peek st = SEMI then None else Some (parse_expr st) in
+      expect st SEMI;
+      let update = if peek st = RPAREN then None else Some (parse_simple st) in
+      expect st RPAREN;
+      { s = Sfor (init, cond, update, parse_stmt_as_block st); spos = p }
+  | KRETURN ->
+      advance st;
+      let e = if peek st = SEMI then None else Some (parse_expr st) in
+      expect st SEMI;
+      { s = Sreturn e; spos = p }
+  | KBREAK ->
+      advance st;
+      expect st SEMI;
+      { s = Sbreak; spos = p }
+  | KCONTINUE ->
+      advance st;
+      expect st SEMI;
+      { s = Scontinue; spos = p }
+  | KTASKEXIT ->
+      advance st;
+      expect st LPAREN;
+      let groups =
+        if peek st = RPAREN then []
+        else
+          let rec go acc =
+            let param = expect_ident st in
+            expect st COLON;
+            let actions = parse_actions st in
+            if accept st SEMI then go ((param, actions) :: acc)
+            else List.rev ((param, actions) :: acc)
+          in
+          go []
+      in
+      expect st RPAREN;
+      expect st SEMI;
+      { s = Staskexit groups; spos = p }
+  | KTAG ->
+      advance st;
+      let var = expect_ident st in
+      expect st ASSIGN;
+      expect st KNEW;
+      expect st KTAG;
+      expect st LPAREN;
+      let ty = expect_ident st in
+      expect st RPAREN;
+      expect st SEMI;
+      { s = Snewtag (var, ty); spos = p }
+  | _ ->
+      let s = parse_simple st in
+      expect st SEMI;
+      s
+
+and parse_stmt_as_block st =
+  match parse_stmt st with { s = Sblock body; _ } -> body | s -> [ s ]
+
+and parse_stmts st =
+  let rec go acc = if peek st = RBRACE || peek st = EOF then List.rev acc else go (parse_stmt st :: acc) in
+  go []
+
+(* ------------------------------------------------------------------ *)
+(* Declarations *)
+
+let parse_method_params st =
+  expect st LPAREN;
+  let params =
+    if peek st = RPAREN then []
+    else
+      let rec go acc =
+        let t = parse_type st in
+        let name = expect_ident st in
+        if accept st COMMA then go ((t, name) :: acc) else List.rev ((t, name) :: acc)
+      in
+      go []
+  in
+  expect st RPAREN;
+  params
+
+let parse_class st =
+  let cpos = pos st in
+  expect st KCLASS;
+  let cname = expect_ident st in
+  expect st LBRACE;
+  let flags = ref [] and fields = ref [] and methods = ref [] in
+  while peek st <> RBRACE do
+    let mpos = pos st in
+    match peek st with
+    | KFLAG ->
+        advance st;
+        let name = expect_ident st in
+        expect st SEMI;
+        flags := (name, mpos) :: !flags
+    | IDENT n when n = cname && peek2 st = LPAREN ->
+        (* constructor: ClassName(params) { ... } *)
+        advance st;
+        let mparams = parse_method_params st in
+        expect st LBRACE;
+        let mbody = parse_stmts st in
+        expect st RBRACE;
+        methods := { mret = Tvoid; mname = cname; mparams; mbody; mpos } :: !methods
+    | t when is_type_start t ->
+        let typ = parse_type st in
+        let name = expect_ident st in
+        if peek st = LPAREN then begin
+          let mparams = parse_method_params st in
+          expect st LBRACE;
+          let mbody = parse_stmts st in
+          expect st RBRACE;
+          methods := { mret = typ; mname = name; mparams; mbody; mpos } :: !methods
+        end
+        else begin
+          expect st SEMI;
+          fields := { ftyp = typ; fname = name; fpos = mpos } :: !fields
+        end
+    | t ->
+        error st (Printf.sprintf "expected a class member but found %s" (string_of_token t))
+  done;
+  expect st RBRACE;
+  {
+    cname;
+    cflags = List.rev !flags;
+    cfields = List.rev !fields;
+    cmethods = List.rev !methods;
+    cpos;
+  }
+
+let parse_task st =
+  let tpos = pos st in
+  expect st KTASK;
+  let tname = expect_ident st in
+  expect st LPAREN;
+  let params =
+    if peek st = RPAREN then []
+    else
+      let rec go acc =
+        let ppos = pos st in
+        let ptyp = expect_ident st in
+        let pname = expect_ident st in
+        expect st KIN;
+        let pguard = parse_flagexp st in
+        let ptags = if accept st KWITH then parse_tagexp st else [] in
+        let param = { ptyp; pname; pguard; ptags; ppos } in
+        if accept st COMMA then go (param :: acc) else List.rev (param :: acc)
+      in
+      go []
+  in
+  expect st RPAREN;
+  expect st LBRACE;
+  let tbody = parse_stmts st in
+  expect st RBRACE;
+  { tname; tparams = params; tbody; tpos }
+
+(** [parse_program src] parses a complete compilation unit. *)
+let parse_program src =
+  let st = { toks = Lexer.tokenize src; cur = 0 } in
+  let rec go acc =
+    match peek st with
+    | EOF -> List.rev acc
+    | KCLASS -> go (Dclass (parse_class st) :: acc)
+    | KTASK -> go (Dtask (parse_task st) :: acc)
+    | t ->
+        error st
+          (Printf.sprintf "expected 'class' or 'task' at top level but found %s"
+             (string_of_token t))
+  in
+  { decls = go [] }

@@ -1,0 +1,898 @@
+(** Type checking and lowering from the surface AST to the IR.
+
+    Two passes: the first collects class signatures (flags, fields,
+    method signatures) and interns tag types; the second checks and
+    lowers every method and task body, resolving names to slots and
+    indices, inserting numeric widening casts, mapping library calls
+    to builtins, and numbering task exits and allocation sites.
+
+    A [StartupObject] class ([flag initialstate; String[] args]) is
+    injected automatically when the program does not declare one, as
+    in the paper's runtime. *)
+
+module Ast = Bamboo_ast.Ast
+module Ir = Bamboo_ir.Ir
+
+exception Error of Ast.pos * string
+
+let err pos fmt = Printf.ksprintf (fun msg -> raise (Error (pos, msg))) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Collected signatures *)
+
+type msig = {
+  sig_ret : Ast.typ;
+  sig_params : (Ast.typ * string) list;
+  sig_body : Ast.stmt list;
+  sig_pos : Ast.pos;
+  sig_is_ctor : bool;
+}
+
+type csig = {
+  cs_id : int;
+  cs_name : string;
+  cs_flags : string array;
+  cs_fields : (string * Ast.typ) array;
+  cs_methods : (string * msig) array;   (* constructor stored under class name *)
+}
+
+type genv = {
+  class_sigs : csig array;
+  class_index : (string, int) Hashtbl.t;
+  tag_types : (string, int) Hashtbl.t;
+  mutable tag_names : string list;       (* reversed *)
+  mutable sites : Ir.siteinfo list;      (* reversed; ids assigned on the fly *)
+  mutable nsites : int;
+}
+
+let builtin_namespaces = [ "Math"; "System"; "Integer"; "Double" ]
+
+let startup_class_decl : Ast.classdecl =
+  {
+    cname = "StartupObject";
+    cflags = [ ("initialstate", Ast.dummy_pos) ];
+    cfields = [ { ftyp = Tarray Tstring; fname = "args"; fpos = Ast.dummy_pos } ];
+    cmethods = [];
+    cpos = Ast.dummy_pos;
+  }
+
+let intern_tag genv name =
+  match Hashtbl.find_opt genv.tag_types name with
+  | Some id -> id
+  | None ->
+      let id = Hashtbl.length genv.tag_types in
+      Hashtbl.replace genv.tag_types name id;
+      genv.tag_names <- name :: genv.tag_names;
+      id
+
+(* ------------------------------------------------------------------ *)
+(* Pass 1: signatures *)
+
+let collect_signatures (prog : Ast.program) =
+  let classes = Ast.classes prog in
+  let classes =
+    if List.exists (fun c -> c.Ast.cname = "StartupObject") classes then classes
+    else startup_class_decl :: classes
+  in
+  if List.exists (fun (c : Ast.classdecl) -> c.cname = "Random") classes then
+    err Ast.dummy_pos "class name 'Random' is reserved for the builtin generator";
+  let class_index = Hashtbl.create 16 in
+  List.iteri
+    (fun i (c : Ast.classdecl) ->
+      if Hashtbl.mem class_index c.cname then err c.cpos "duplicate class %s" c.cname;
+      if List.mem c.cname builtin_namespaces then
+        err c.cpos "class name %s collides with a builtin namespace" c.cname;
+      Hashtbl.replace class_index c.cname i)
+    classes;
+  (* Reserve an id for the builtin Random class so [Tclass "Random"]
+     resolves; it has no members of its own. *)
+  let random_id = List.length classes in
+  Hashtbl.replace class_index "Random" random_id;
+  let class_sigs =
+    Array.of_list
+      (List.mapi
+         (fun i (c : Ast.classdecl) ->
+           if List.length c.cflags > 30 then
+             err c.cpos "class %s declares more than 30 flags" c.cname;
+           let flag_names = List.map fst c.cflags in
+           let rec dup = function
+             | [] -> ()
+             | x :: rest -> if List.mem x rest then err c.cpos "duplicate flag %s" x else dup rest
+           in
+           dup flag_names;
+           let fields =
+             Array.of_list (List.map (fun (f : Ast.fielddecl) -> (f.fname, f.ftyp)) c.cfields)
+           in
+           let methods =
+             Array.of_list
+               (List.map
+                  (fun (m : Ast.methoddecl) ->
+                    ( m.mname,
+                      {
+                        sig_ret = m.mret;
+                        sig_params = m.mparams;
+                        sig_body = m.mbody;
+                        sig_pos = m.mpos;
+                        sig_is_ctor = m.mname = c.cname;
+                      } ))
+                  c.cmethods)
+           in
+           Array.iteri
+             (fun j (name, _) ->
+               Array.iteri
+                 (fun k (name', _) ->
+                   if j < k && name = name' then err c.cpos "duplicate method %s in %s" name c.cname)
+                 methods)
+             methods;
+           {
+             cs_id = i;
+             cs_name = c.cname;
+             cs_flags = Array.of_list flag_names;
+             cs_fields = fields;
+             cs_methods = methods;
+           })
+         classes
+       @ [
+           {
+             cs_id = random_id;
+             cs_name = "Random";
+             cs_flags = [||];
+             cs_fields = [||];
+             cs_methods = [||];
+           };
+         ])
+  in
+  {
+    class_sigs;
+    class_index;
+    tag_types = Hashtbl.create 8;
+    tag_names = [];
+    sites = [];
+    nsites = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Lowering environment *)
+
+type binding = BVar of int * Ast.typ | BTag of int * int (* slot, tag type id *)
+
+type lenv = {
+  genv : genv;
+  mutable scopes : (string, binding) Hashtbl.t list;
+  mutable nslots : int;
+  owner : Ir.owner;
+  this_class : int option;               (* Some cid inside methods *)
+  ret_type : Ast.typ;                    (* Tvoid for tasks *)
+  task_params : (string * int * int) list; (* name, param index, class id — tasks only *)
+  mutable exits : Ir.exitinfo list;      (* reversed *)
+  mutable nexits : int;
+}
+
+let push_scope env = env.scopes <- Hashtbl.create 8 :: env.scopes
+let pop_scope env = env.scopes <- List.tl env.scopes
+
+let lookup env name =
+  let rec go = function
+    | [] -> None
+    | scope :: rest -> (
+        match Hashtbl.find_opt scope name with Some b -> Some b | None -> go rest)
+  in
+  go env.scopes
+
+let bind env pos name binding =
+  match env.scopes with
+  | scope :: _ ->
+      if Hashtbl.mem scope name then err pos "duplicate variable %s" name;
+      Hashtbl.replace scope name binding
+  | [] -> assert false
+
+let fresh_slot env =
+  let s = env.nslots in
+  env.nslots <- s + 1;
+  s
+
+let class_id env pos name =
+  match Hashtbl.find_opt env.genv.class_index name with
+  | Some id -> id
+  | None -> err pos "unknown class %s" name
+
+let csig env cid = env.genv.class_sigs.(cid)
+
+let find_field env pos cid fname =
+  let cs = csig env cid in
+  let found = ref None in
+  Array.iteri (fun i (n, t) -> if n = fname then found := Some (i, t)) cs.cs_fields;
+  match !found with
+  | Some x -> x
+  | None -> err pos "class %s has no field %s" cs.cs_name fname
+
+let find_method_sig env cid mname =
+  let cs = csig env cid in
+  let found = ref None in
+  Array.iteri (fun i (n, ms) -> if n = mname then found := Some (i, ms)) cs.cs_methods;
+  !found
+
+let flag_bit env pos cid fname =
+  let cs = csig env cid in
+  let found = ref None in
+  Array.iteri (fun i n -> if n = fname then found := Some i) cs.cs_flags;
+  match !found with
+  | Some b -> b
+  | None -> err pos "class %s has no flag %s" cs.cs_name fname
+
+(* ------------------------------------------------------------------ *)
+(* Types *)
+
+let rec type_exists env pos (t : Ast.typ) =
+  match t with
+  | Tclass c -> ignore (class_id env pos c)
+  | Tarray t -> type_exists env pos t
+  | _ -> ()
+
+let is_reference = function
+  | Ast.Tclass _ | Ast.Tarray _ | Ast.Tstring -> true
+  | _ -> false
+
+let rec compatible ~(expected : Ast.typ) ~(actual : Ast.typ) =
+  match (expected, actual) with
+  | Tdouble, Tint -> true (* implicit widening *)
+  | Tarray a, Tarray b -> compatible ~expected:a ~actual:b && compatible ~expected:b ~actual:a
+  | a, b -> a = b
+
+(** Coerce [e : actual] to [expected], inserting an int-to-double
+    widening cast when necessary. *)
+let coerce pos ~(expected : Ast.typ) (e : Ir.expr) (actual : Ast.typ) =
+  match (expected, actual) with
+  | Tdouble, Tint -> Ir.Ecast (I2F, e)
+  | _ when compatible ~expected ~actual -> e
+  | _ when is_reference expected && actual = Tclass "" -> e
+  | _ ->
+      err pos "type mismatch: expected %s but found %s" (Ast.string_of_typ expected)
+        (Ast.string_of_typ actual)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions *)
+
+let cmp_of_binop : Ast.binop -> Ir.cmp = function
+  | Lt -> Clt | Le -> Cle | Gt -> Cgt | Ge -> Cge | Eq -> Ceq | Ne -> Cne
+  | _ -> assert false
+
+let rec lower_expr env (e : Ast.expr) : Ir.expr * Ast.typ =
+  let pos = e.epos in
+  match e.e with
+  | Eint n -> (Ir.Eint n, Tint)
+  | Efloat f -> (Ir.Efloat f, Tdouble)
+  | Ebool b -> (Ir.Ebool b, Tboolean)
+  | Estring s -> (Ir.Estr s, Tstring)
+  (* The null literal gets the marker type [Tclass ""], which no real
+     class can have; [coerce] accepts it for any reference type. *)
+  | Enull -> (Ir.Enull, Tclass "")
+  | Ethis -> (
+      match env.this_class with
+      | Some cid -> (Ir.Elocal 0, Tclass (csig env cid).cs_name)
+      | None -> err pos "'this' is only valid inside a method")
+  | Evar name -> (
+      match lookup env name with
+      | Some (BVar (slot, t)) -> (Ir.Elocal slot, t)
+      | Some (BTag _) -> err pos "tag variable %s used as a value" name
+      | None -> (
+          (* Unqualified field access inside a method body. *)
+          match env.this_class with
+          | Some cid -> (
+              let cs = csig env cid in
+              let found = ref None in
+              Array.iteri (fun i (n, t) -> if n = name then found := Some (i, t)) cs.cs_fields;
+              match !found with
+              | Some (fid, t) -> (Ir.Efield (Ir.Elocal 0, cid, fid), t)
+              | None -> err pos "unknown variable %s" name)
+          | None -> err pos "unknown variable %s" name))
+  | Efield (recv, fname) -> (
+      let r, rt = lower_expr env recv in
+      match rt with
+      | Tarray _ when fname = "length" -> (Ir.Ebuiltin (ArrayLength, [ r ]), Tint)
+      | Tclass cname ->
+          let cid = class_id env pos cname in
+          let fid, ft = find_field env pos cid fname in
+          (Ir.Efield (r, cid, fid), ft)
+      | t -> err pos "field access on non-object type %s" (Ast.string_of_typ t))
+  | Eindex (arr, idx) -> (
+      let a, at = lower_expr env arr in
+      let i, it = lower_expr env idx in
+      if it <> Tint then err pos "array index must be int, found %s" (Ast.string_of_typ it);
+      match at with
+      | Tarray elem -> (Ir.Eindex (a, i), elem)
+      | t -> err pos "indexing non-array type %s" (Ast.string_of_typ t))
+  | Eunop (Neg, e1) -> (
+      let v, t = lower_expr env e1 in
+      match t with
+      | Tint -> (Ir.Eun (INeg, v), Tint)
+      | Tdouble -> (Ir.Eun (FNeg, v), Tdouble)
+      | t -> err pos "cannot negate %s" (Ast.string_of_typ t))
+  | Eunop (Not, e1) ->
+      let v, t = lower_expr env e1 in
+      if t <> Tboolean then err pos "'!' requires boolean, found %s" (Ast.string_of_typ t);
+      (Ir.Eun (BNot, v), Tboolean)
+  | Ebinop (op, a, b) -> lower_binop env pos op a b
+  | Ecast (t, e1) -> (
+      let v, vt = lower_expr env e1 in
+      match (t, vt) with
+      | Tint, Tdouble -> (Ir.Ecast (F2I, v), Tint)
+      | Tdouble, Tint -> (Ir.Ecast (I2F, v), Tdouble)
+      | Tint, Tint -> (v, Tint)
+      | Tdouble, Tdouble -> (v, Tdouble)
+      | _ ->
+          err pos "unsupported cast from %s to %s" (Ast.string_of_typ vt) (Ast.string_of_typ t))
+  | Ecall ({ e = Evar ns; _ }, mname, args)
+    when lookup env ns = None && List.mem ns builtin_namespaces ->
+      lower_static_call env pos ns mname args
+  | Ecall (recv, mname, args) -> lower_method_call env pos recv mname args
+  | Estatic (ns, mname, args) -> lower_static_call env pos ns mname args
+  | Enew ("Random", args, actions) ->
+      if actions <> [] then err pos "Random takes no flag actions";
+      let args = List.map (fun a -> lower_expr env a) args in
+      (match args with
+      | [ (seed, Tint) ] -> (Ir.Ebuiltin (RandomNew, [ seed ]), Tclass "Random")
+      | _ -> err pos "Random constructor takes a single int seed")
+  | Enew (cname, args, actions) -> lower_new env pos cname args actions
+  | Enewarray (base, dims) ->
+      type_exists env pos base;
+      let dims' =
+        List.map
+          (fun d ->
+            let v, t = lower_expr env d in
+            if t <> Tint then err pos "array dimension must be int";
+            v)
+          dims
+      in
+      let rec wrap t = function 0 -> t | n -> wrap (Ast.Tarray t) (n - 1) in
+      (Ir.Enewarr (base, dims'), wrap base (List.length dims))
+
+and lower_binop env pos op a b =
+  let va, ta = lower_expr env a in
+  let vb, tb = lower_expr env b in
+  let num_kind () =
+    (* unify int/double with widening *)
+    match (ta, tb) with
+    | Ast.Tint, Ast.Tint -> `Int (va, vb)
+    | Tdouble, Tdouble -> `Float (va, vb)
+    | Tdouble, Tint -> `Float (va, Ir.Ecast (I2F, vb))
+    | Tint, Tdouble -> `Float (Ir.Ecast (I2F, va), vb)
+    | _ ->
+        err pos "operator %s requires numeric operands, found %s and %s"
+          (Ast.string_of_binop op) (Ast.string_of_typ ta) (Ast.string_of_typ tb)
+  in
+  match op with
+  | Add when ta = Tstring || tb = Tstring ->
+      let to_str v (t : Ast.typ) =
+        match t with
+        | Tstring -> v
+        | Tint -> Ir.Ebuiltin (IntToString, [ v ])
+        | Tdouble -> Ir.Ebuiltin (DoubleToString, [ v ])
+        | t -> err pos "cannot concatenate %s to a String" (Ast.string_of_typ t)
+      in
+      (Ir.Ebin (SConcat, to_str va ta, to_str vb tb), Tstring)
+  | Add | Sub | Mul | Div -> (
+      match num_kind () with
+      | `Int (x, y) ->
+          let iop : Ir.binop =
+            match op with Add -> IAdd | Sub -> ISub | Mul -> IMul | Div -> IDiv | _ -> assert false
+          in
+          (Ir.Ebin (iop, x, y), Tint)
+      | `Float (x, y) ->
+          let fop : Ir.binop =
+            match op with Add -> FAdd | Sub -> FSub | Mul -> FMul | Div -> FDiv | _ -> assert false
+          in
+          (Ir.Ebin (fop, x, y), Tdouble))
+  | Mod | Band | Bor | Bxor | Shl | Shr ->
+      if ta <> Tint || tb <> Tint then
+        err pos "operator %s requires int operands" (Ast.string_of_binop op);
+      let iop : Ir.binop =
+        match op with
+        | Mod -> IMod | Band -> IBand | Bor -> IBor | Bxor -> IBxor
+        | Shl -> IShl | Shr -> IShr | _ -> assert false
+      in
+      (Ir.Ebin (iop, va, vb), Tint)
+  | Lt | Le | Gt | Ge -> (
+      match num_kind () with
+      | `Int (x, y) -> (Ir.Ebin (ICmp (cmp_of_binop op), x, y), Tboolean)
+      | `Float (x, y) -> (Ir.Ebin (FCmp (cmp_of_binop op), x, y), Tboolean))
+  | Eq | Ne -> (
+      let c = cmp_of_binop op in
+      match (ta, tb) with
+      | Tint, Tint | Tint, Tdouble | Tdouble, Tint | Tdouble, Tdouble -> (
+          match num_kind () with
+          | `Int (x, y) -> (Ir.Ebin (ICmp c, x, y), Tboolean)
+          | `Float (x, y) -> (Ir.Ebin (FCmp c, x, y), Tboolean))
+      | Tboolean, Tboolean -> (Ir.Ebin (BCmp c, va, vb), Tboolean)
+      | Tstring, Tstring -> (Ir.Ebin (SCmp c, va, vb), Tboolean)
+      | (Tclass _ | Tarray _ | Tstring), (Tclass _ | Tarray _)
+      | (Tclass _ | Tarray _), Tstring ->
+          (Ir.Ebin (RCmp c, va, vb), Tboolean)
+      | _ ->
+          err pos "cannot compare %s with %s" (Ast.string_of_typ ta) (Ast.string_of_typ tb))
+  | And ->
+      if ta <> Tboolean || tb <> Tboolean then err pos "'&&' requires boolean operands";
+      (Ir.Eand (va, vb), Tboolean)
+  | Or ->
+      if ta <> Tboolean || tb <> Tboolean then err pos "'||' requires boolean operands";
+      (Ir.Eor (va, vb), Tboolean)
+
+and lower_args env pos (params : Ast.typ list) args =
+  if List.length params <> List.length args then
+    err pos "expected %d arguments but found %d" (List.length params) (List.length args);
+  List.map2
+    (fun pt a ->
+      let v, t = lower_expr env a in
+      coerce a.Ast.epos ~expected:pt v t)
+    params args
+
+and lower_static_call env pos ns mname args =
+  let b1 name builtin (argt : Ast.typ) (ret : Ast.typ) =
+    if mname = name then
+      Some (Ir.Ebuiltin (builtin, lower_args env pos [ argt ] args), ret)
+    else None
+  in
+  let b2 name builtin (t1 : Ast.typ) (t2 : Ast.typ) (ret : Ast.typ) =
+    if mname = name then
+      Some (Ir.Ebuiltin (builtin, lower_args env pos [ t1; t2 ] args), ret)
+    else None
+  in
+  let candidates =
+    match ns with
+    | "Math" ->
+        [
+          b1 "sin" MathSin Tdouble Tdouble;
+          b1 "cos" MathCos Tdouble Tdouble;
+          b1 "tan" MathTan Tdouble Tdouble;
+          b1 "atan" MathAtan Tdouble Tdouble;
+          b1 "sqrt" MathSqrt Tdouble Tdouble;
+          b1 "log" MathLog Tdouble Tdouble;
+          b1 "exp" MathExp Tdouble Tdouble;
+          b1 "floor" MathFloor Tdouble Tdouble;
+          b1 "ceil" MathCeil Tdouble Tdouble;
+          b1 "abs" MathAbs Tdouble Tdouble;
+          b1 "iabs" MathIAbs Tint Tint;
+          b2 "pow" MathPow Tdouble Tdouble Tdouble;
+          b2 "min" MathMin Tdouble Tdouble Tdouble;
+          b2 "max" MathMax Tdouble Tdouble Tdouble;
+          b2 "imin" MathIMin Tint Tint Tint;
+          b2 "imax" MathIMax Tint Tint Tint;
+        ]
+    | "System" ->
+        [
+          b1 "printString" PrintStr Tstring Tvoid;
+          b1 "printInt" PrintInt Tint Tvoid;
+          b1 "printDouble" PrintDouble Tdouble Tvoid;
+        ]
+    | "Integer" ->
+        [ b1 "parseInt" ParseInt Tstring Tint; b1 "toString" IntToString Tint Tstring ]
+    | "Double" ->
+        [
+          b1 "parseDouble" ParseDouble Tstring Tdouble;
+          b1 "toString" DoubleToString Tdouble Tstring;
+        ]
+    | _ -> err pos "unknown builtin namespace %s" ns
+  in
+  match List.find_map (fun f -> f) candidates with
+  | Some r -> r
+  | None -> err pos "unknown builtin %s.%s" ns mname
+
+and lower_method_call env pos recv mname args =
+  let r, rt = lower_expr env recv in
+  match rt with
+  | Tstring -> (
+      let b name builtin params (ret : Ast.typ) =
+        if mname = name then Some (Ir.Ebuiltin (builtin, r :: lower_args env pos params args), ret)
+        else None
+      in
+      match
+        List.find_map
+          (fun f -> f)
+          [
+            b "length" StrLen [] Tint;
+            b "charAt" StrCharAt [ Tint ] Tint;
+            b "substring" StrSubstring [ Tint; Tint ] Tstring;
+            b "equals" StrEquals [ Tstring ] Tboolean;
+            b "indexOf" StrIndexOf [ Tstring; Tint ] Tint;
+            b "hashCode" StrHash [] Tint;
+          ]
+      with
+      | Some x -> x
+      | None -> err pos "String has no method %s" mname)
+  | Tclass "Random" -> (
+      let b name builtin params (ret : Ast.typ) =
+        if mname = name then Some (Ir.Ebuiltin (builtin, r :: lower_args env pos params args), ret)
+        else None
+      in
+      match
+        List.find_map
+          (fun f -> f)
+          [
+            b "nextInt" RandomNextInt [ Tint ] Tint;
+            b "nextDouble" RandomNextDouble [] Tdouble;
+            b "nextGaussian" RandomNextGaussian [] Tdouble;
+          ]
+      with
+      | Some x -> x
+      | None -> err pos "Random has no method %s" mname)
+  | Tclass cname -> (
+      let cid = class_id env pos cname in
+      match find_method_sig env cid mname with
+      | None -> err pos "class %s has no method %s" cname mname
+      | Some (mid, ms) ->
+          if ms.sig_is_ctor then err pos "constructor %s cannot be called directly" mname;
+          let args' = lower_args env pos (List.map fst ms.sig_params) args in
+          (Ir.Ecall (r, cid, mid, args'), ms.sig_ret))
+  | t -> err pos "method call on non-object type %s" (Ast.string_of_typ t)
+
+and lower_new env pos cname args actions =
+  let cid = class_id env pos cname in
+  let cs = csig env cid in
+  (* Constructor arguments *)
+  let args' =
+    match find_method_sig env cid cname with
+    | Some (_, ms) -> lower_args env pos (List.map fst ms.sig_params) args
+    | None ->
+        if args <> [] then err pos "class %s has no constructor but got arguments" cname;
+        []
+  in
+  (* Flag/tag actions *)
+  let flags = ref [] and addtags = ref [] in
+  List.iter
+    (fun (a : Ast.flagortagaction) ->
+      match a with
+      | SetFlag (f, v) -> flags := (flag_bit env pos cid f, v) :: !flags
+      | AddTag tv -> (
+          match lookup env tv with
+          | Some (BTag (slot, _)) -> addtags := slot :: !addtags
+          | _ -> err pos "unknown tag variable %s" tv)
+      | ClearTag _ -> err pos "'clear' is not allowed at allocation sites")
+    actions;
+  ignore cs;
+  let sid = env.genv.nsites in
+  env.genv.nsites <- sid + 1;
+  env.genv.sites <-
+    {
+      Ir.s_id = sid;
+      s_class = cid;
+      s_flags = List.rev !flags;
+      s_addtags = List.rev !addtags;
+      s_owner = env.owner;
+    }
+    :: env.genv.sites;
+  (Ir.Enew (sid, args'), Ast.Tclass cname)
+
+(* ------------------------------------------------------------------ *)
+(* Statements *)
+
+let lower_actions env pos cid (actions : Ast.flagortagaction list) : Ir.actions =
+  let set = ref [] and addt = ref [] and cleart = ref [] in
+  List.iter
+    (fun (a : Ast.flagortagaction) ->
+      match a with
+      | SetFlag (f, v) -> set := (flag_bit env pos cid f, v) :: !set
+      | AddTag tv -> (
+          match lookup env tv with
+          | Some (BTag (slot, _)) -> addt := slot :: !addt
+          | _ -> err pos "unknown tag variable %s" tv)
+      | ClearTag tv -> (
+          match lookup env tv with
+          | Some (BTag (slot, _)) -> cleart := slot :: !cleart
+          | _ -> err pos "unknown tag variable %s" tv))
+    actions;
+  { a_set = List.rev !set; a_addtags = List.rev !addt; a_cleartags = List.rev !cleart }
+
+let rec lower_stmts env stmts = List.concat_map (lower_stmt env) stmts
+
+and lower_block env stmts =
+  push_scope env;
+  let r = lower_stmts env stmts in
+  pop_scope env;
+  r
+
+and lower_stmt env (s : Ast.stmt) : Ir.stmt list =
+  let pos = s.spos in
+  match s.s with
+  | Sdecl (t, name, init) ->
+      type_exists env pos t;
+      if t = Tvoid then err pos "variable %s cannot have type void" name;
+      let slot = fresh_slot env in
+      bind env pos name (BVar (slot, t));
+      (match init with
+      | Some e ->
+          let v, vt = lower_expr env e in
+          [ Ir.Sassign (Llocal slot, coerce pos ~expected:t v vt) ]
+      | None -> [])
+  | Sassign (lv, e) -> (
+      let v, vt = lower_expr env e in
+      match lv with
+      | Lvar name -> (
+          match lookup env name with
+          | Some (BVar (slot, t)) ->
+              [ Ir.Sassign (Llocal slot, coerce pos ~expected:t v vt) ]
+          | Some (BTag _) -> err pos "cannot assign to tag variable %s" name
+          | None -> (
+              match env.this_class with
+              | Some cid ->
+                  let fid, ft = find_field env pos cid name in
+                  [ Ir.Sassign (Lfield (Ir.Elocal 0, cid, fid), coerce pos ~expected:ft v vt) ]
+              | None -> err pos "unknown variable %s" name))
+      | Lfield (recv, fname) -> (
+          let r, rt = lower_expr env recv in
+          match rt with
+          | Tclass cname ->
+              let cid = class_id env pos cname in
+              let fid, ft = find_field env pos cid fname in
+              [ Ir.Sassign (Lfield (r, cid, fid), coerce pos ~expected:ft v vt) ]
+          | t -> err pos "field assignment on non-object type %s" (Ast.string_of_typ t))
+      | Lindex (arr, idx) -> (
+          let a, at = lower_expr env arr in
+          let i, it = lower_expr env idx in
+          if it <> Tint then err pos "array index must be int";
+          match at with
+          | Tarray elem -> [ Ir.Sassign (Lindex (a, i), coerce pos ~expected:elem v vt) ]
+          | t -> err pos "indexing non-array type %s" (Ast.string_of_typ t)))
+  | Sif (c, a, b) ->
+      let cv, ct = lower_expr env c in
+      if ct <> Tboolean then err pos "if condition must be boolean";
+      [ Ir.Sif (cv, lower_block env a, lower_block env b) ]
+  | Swhile (c, body) ->
+      let cv, ct = lower_expr env c in
+      if ct <> Tboolean then err pos "while condition must be boolean";
+      [ Ir.Swhile (cv, lower_block env body) ]
+  | Sfor (init, cond, update, body) ->
+      (* Desugar to a while loop in a fresh scope. *)
+      push_scope env;
+      let init' = match init with Some s -> lower_stmt env s | None -> [] in
+      let cond' =
+        match cond with
+        | Some c ->
+            let cv, ct = lower_expr env c in
+            if ct <> Tboolean then err pos "for condition must be boolean";
+            cv
+        | None -> Ir.Ebool true
+      in
+      let body' = lower_block env body in
+      let update' = match update with Some s -> lower_stmt env s | None -> [] in
+      pop_scope env;
+      (* Note: [continue] inside a for body skips the update in this
+         desugaring, so we disallow it there. *)
+      if stmts_contain_continue body then
+        err pos "'continue' inside 'for' is not supported; use a while loop";
+      init' @ [ Ir.Swhile (cond', body' @ update') ]
+  | Sreturn e -> (
+      match (e, env.ret_type) with
+      | None, Tvoid -> [ Ir.Sreturn None ]
+      | None, t -> err pos "missing return value of type %s" (Ast.string_of_typ t)
+      | Some _, Tvoid -> err pos "cannot return a value from a void context"
+      | Some e, t ->
+          let v, vt = lower_expr env e in
+          [ Ir.Sreturn (Some (coerce pos ~expected:t v vt)) ])
+  | Sexpr e ->
+      let v, _ = lower_expr env e in
+      [ Ir.Sexpr v ]
+  | Sbreak -> [ Ir.Sbreak ]
+  | Scontinue -> [ Ir.Scontinue ]
+  | Sblock body -> lower_block env body
+  | Staskexit groups ->
+      (match env.owner with
+      | Otask _ -> ()
+      | Omethod _ -> err pos "taskexit is only allowed inside a task");
+      let actions =
+        List.map
+          (fun (pname, acts) ->
+            match List.find_opt (fun (n, _, _) -> n = pname) env.task_params with
+            | Some (_, idx, cid) -> (idx, lower_actions env pos cid acts)
+            | None -> err pos "taskexit refers to unknown parameter %s" pname)
+          groups
+      in
+      let rec dup = function
+        | [] -> ()
+        | (i, _) :: rest ->
+            if List.mem_assoc i rest then
+              err pos "taskexit lists the same parameter twice"
+            else dup rest
+      in
+      dup actions;
+      let exit_id = env.nexits in
+      env.nexits <- exit_id + 1;
+      env.exits <- { Ir.x_actions = actions } :: env.exits;
+      [ Ir.Staskexit exit_id ]
+  | Snewtag (var, tagty) ->
+      let tid = intern_tag env.genv tagty in
+      let slot = fresh_slot env in
+      bind env pos var (BTag (slot, tid));
+      [ Ir.Snewtag (slot, tid) ]
+
+and stmts_contain_continue stmts =
+  List.exists
+    (fun (s : Ast.stmt) ->
+      match s.s with
+      | Scontinue -> true
+      | Sif (_, a, b) -> stmts_contain_continue a || stmts_contain_continue b
+      | Sblock b -> stmts_contain_continue b
+      | _ -> false)
+    stmts
+
+(* ------------------------------------------------------------------ *)
+(* Declarations *)
+
+let lower_method genv cid mid (ms : msig) : Ir.methodinfo =
+  let env =
+    {
+      genv;
+      scopes = [];
+      nslots = 0;
+      owner = Omethod (cid, mid);
+      this_class = Some cid;
+      ret_type = ms.sig_ret;
+      task_params = [];
+      exits = [];
+      nexits = 0;
+    }
+  in
+  push_scope env;
+  let this_slot = fresh_slot env in
+  assert (this_slot = 0);
+  let cname = genv.class_sigs.(cid).cs_name in
+  bind env ms.sig_pos "this" (BVar (0, Tclass cname));
+  let param_types =
+    Ast.Tclass cname
+    :: List.map
+         (fun (t, name) ->
+           type_exists env ms.sig_pos t;
+           let slot = fresh_slot env in
+           bind env ms.sig_pos name (BVar (slot, t));
+           t)
+         ms.sig_params
+  in
+  let body = lower_stmts env ms.sig_body in
+  pop_scope env;
+  {
+    m_id = mid;
+    m_name = (genv.class_sigs.(cid).cs_methods.(mid) |> fst);
+    m_class = cid;
+    m_params = Array.of_list param_types;
+    m_ret = ms.sig_ret;
+    m_nslots = env.nslots;
+    m_body = body;
+  }
+
+let lower_task genv tid (t : Ast.taskdecl) : Ir.taskinfo =
+  let env =
+    {
+      genv;
+      scopes = [];
+      nslots = 0;
+      owner = Otask tid;
+      this_class = None;
+      ret_type = Tvoid;
+      task_params = [];
+      exits = [];
+      nexits = 0;
+    }
+  in
+  push_scope env;
+  (* Parameters occupy slots 0..n-1; shared tag variables get one slot
+     each (bound across parameters for dispatch-time unification). *)
+  let params =
+    List.mapi
+      (fun idx (p : Ast.taskparam) ->
+        let cid =
+          match Hashtbl.find_opt genv.class_index p.ptyp with
+          | Some id -> id
+          | None -> err p.ppos "unknown class %s in task parameter" p.ptyp
+        in
+        let slot = fresh_slot env in
+        assert (slot = idx);
+        bind env p.ppos p.pname (BVar (slot, Tclass p.ptyp));
+        (p, idx, cid))
+      t.tparams
+  in
+  let env =
+    {
+      env with
+      task_params = List.map (fun ((p : Ast.taskparam), idx, cid) -> (p.pname, idx, cid)) params;
+    }
+  in
+  (* Resolve guards and tag bindings. *)
+  let param_infos =
+    List.map
+      (fun ((p : Ast.taskparam), _idx, cid) ->
+        let rec resolve (f : Ast.flagexp) : Ir.flagexp =
+          match f with
+          | Ftrue -> FTrue
+          | Ffalse -> FFalse
+          | Fflag name -> FFlag (flag_bit env p.ppos cid name)
+          | Fand (a, b) -> FAnd (resolve a, resolve b)
+          | For (a, b) -> FOr (resolve a, resolve b)
+          | Fnot a -> FNot (resolve a)
+        in
+        let guard = resolve p.pguard in
+        let tags =
+          List.map
+            (fun (tb : Ast.tagbind) ->
+              let tty = intern_tag genv tb.tag_type in
+              let slot =
+                match lookup env tb.tag_var with
+                | Some (BTag (slot, tty')) ->
+                    if tty <> tty' then
+                      err p.ppos "tag variable %s bound at two different tag types" tb.tag_var;
+                    slot
+                | Some (BVar _) -> err p.ppos "%s is not a tag variable" tb.tag_var
+                | None ->
+                    let slot = fresh_slot env in
+                    bind env p.ppos tb.tag_var (BTag (slot, tty));
+                    slot
+              in
+              (tty, slot))
+            p.ptags
+        in
+        { Ir.p_class = cid; p_name = p.pname; p_guard = guard; p_tags = tags })
+      params
+  in
+  let body = lower_stmts env t.tbody in
+  pop_scope env;
+  (* Implicit exit: falling off the end changes nothing. *)
+  let implicit = { Ir.x_actions = [] } in
+  {
+    t_id = tid;
+    t_name = t.tname;
+    t_params = Array.of_list param_infos;
+    t_nslots = env.nslots;
+    t_body = body;
+    t_exits = Array.of_list (List.rev (implicit :: env.exits));
+  }
+
+(* The implicit exit is appended *after* the explicit ones, so its
+   index equals the number of explicit exits. *)
+
+(** Check and lower a parsed program into IR. *)
+let check (prog : Ast.program) : Ir.program =
+  let genv = collect_signatures prog in
+  let nclasses = Array.length genv.class_sigs in
+  (* Lower all methods. *)
+  let classes =
+    Array.init nclasses (fun cid ->
+        let cs = genv.class_sigs.(cid) in
+        let methods =
+          Array.mapi (fun mid (_, ms) -> lower_method genv cid mid ms) cs.cs_methods
+        in
+        let ctor = ref None in
+        Array.iteri (fun mid (name, _) -> if name = cs.cs_name then ctor := Some mid) cs.cs_methods;
+        {
+          Ir.c_id = cid;
+          c_name = cs.cs_name;
+          c_flags = cs.cs_flags;
+          c_fields =
+            Array.map (fun (n, t) -> { Ir.f_name = n; f_typ = t }) cs.cs_fields;
+          c_methods = methods;
+          c_ctor = !ctor;
+        })
+  in
+  let ast_tasks = Ast.tasks prog in
+  (let rec dup = function
+     | [] -> ()
+     | (t : Ast.taskdecl) :: rest ->
+         if List.exists (fun (t' : Ast.taskdecl) -> t'.tname = t.tname) rest then
+           err t.tpos "duplicate task %s" t.tname
+         else dup rest
+   in
+   dup ast_tasks);
+  let tasks = Array.of_list (List.mapi (fun tid t -> lower_task genv tid t) ast_tasks) in
+  let startup =
+    match Hashtbl.find_opt genv.class_index "StartupObject" with
+    | Some id -> id
+    | None -> assert false
+  in
+  {
+    Ir.classes;
+    tasks;
+    tag_types = Array.of_list (List.rev genv.tag_names);
+    sites = Array.of_list (List.rev genv.sites);
+    class_index = genv.class_index;
+    startup;
+  }
+
+(** Convenience: parse and check in one step. *)
+let compile_source src = check (Parser.parse_program src)

@@ -1,0 +1,187 @@
+(** Generic mutable directed graph over dense integer vertices with
+    labelled edges.  The CSTG, the SCC condensation tree and the
+    critical-path DAG are all instances of this structure. *)
+
+type 'e edge = { src : int; dst : int; label : 'e }
+
+type 'e t = {
+  mutable nvertices : int;
+  mutable succs : 'e edge list array; (* indexed by src *)
+  mutable preds : 'e edge list array; (* indexed by dst *)
+}
+
+let create ?(hint = 16) () =
+  { nvertices = 0; succs = Array.make hint []; preds = Array.make hint [] }
+
+let ensure t n =
+  if n > Array.length t.succs then begin
+    let cap = max n (2 * Array.length t.succs) in
+    let succs = Array.make cap [] and preds = Array.make cap [] in
+    Array.blit t.succs 0 succs 0 t.nvertices;
+    Array.blit t.preds 0 preds 0 t.nvertices;
+    t.succs <- succs;
+    t.preds <- preds
+  end;
+  if n > t.nvertices then t.nvertices <- n
+
+(** [add_vertex t] allocates a fresh vertex and returns its id. *)
+let add_vertex t =
+  let v = t.nvertices in
+  ensure t (v + 1);
+  v
+
+let nb_vertices t = t.nvertices
+
+let add_edge t ~src ~dst ~label =
+  ensure t (1 + max src dst);
+  let e = { src; dst; label } in
+  t.succs.(src) <- e :: t.succs.(src);
+  t.preds.(dst) <- e :: t.preds.(dst)
+
+let succs t v = List.rev t.succs.(v)
+let preds t v = List.rev t.preds.(v)
+
+let edges t =
+  let acc = ref [] in
+  for v = t.nvertices - 1 downto 0 do
+    acc := List.rev_append t.succs.(v) !acc
+  done;
+  !acc
+
+let iter_vertices t f =
+  for v = 0 to t.nvertices - 1 do
+    f v
+  done
+
+(** Tarjan's strongly-connected-components algorithm (iterative).
+    Returns [(comp, ncomps)] where [comp.(v)] is the component index
+    of vertex [v]; components are numbered in reverse topological
+    order of the condensation (i.e. a component only points to
+    lower-numbered... see [condense] which re-normalizes). *)
+let scc t =
+  let n = t.nvertices in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let comp = Array.make n (-1) in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let ncomps = ref 0 in
+  for root = 0 to n - 1 do
+    if index.(root) = -1 then begin
+      (* Iterative DFS: work items are (vertex, remaining successors). *)
+      let work = ref [ (root, ref (succs t root)) ] in
+      index.(root) <- !counter;
+      lowlink.(root) <- !counter;
+      incr counter;
+      stack := root :: !stack;
+      on_stack.(root) <- true;
+      while !work <> [] do
+        match !work with
+        | [] -> ()
+        | (v, remaining) :: rest -> (
+            match !remaining with
+            | e :: tl ->
+                remaining := tl;
+                let w = e.dst in
+                if index.(w) = -1 then begin
+                  index.(w) <- !counter;
+                  lowlink.(w) <- !counter;
+                  incr counter;
+                  stack := w :: !stack;
+                  on_stack.(w) <- true;
+                  work := (w, ref (succs t w)) :: !work
+                end
+                else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w)
+            | [] ->
+                work := rest;
+                (match rest with
+                | (parent, _) :: _ -> lowlink.(parent) <- min lowlink.(parent) lowlink.(v)
+                | [] -> ());
+                if lowlink.(v) = index.(v) then begin
+                  let rec popto () =
+                    match !stack with
+                    | [] -> ()
+                    | w :: tl ->
+                        stack := tl;
+                        on_stack.(w) <- false;
+                        comp.(w) <- !ncomps;
+                        if w <> v then popto ()
+                  in
+                  popto ();
+                  incr ncomps
+                end)
+      done
+    end
+  done;
+  (comp, !ncomps)
+
+(** [condense t] builds the condensation DAG: one vertex per SCC,
+    with one labelled edge per inter-component edge of [t]. *)
+let condense t =
+  let comp, ncomps = scc t in
+  let dag = create ~hint:(max 1 ncomps) () in
+  ensure dag ncomps;
+  List.iter
+    (fun e ->
+      if comp.(e.src) <> comp.(e.dst) then
+        add_edge dag ~src:comp.(e.src) ~dst:comp.(e.dst) ~label:e.label)
+    (edges t);
+  (dag, comp, ncomps)
+
+(** Topological order of a DAG (raises [Invalid_argument] on cycles). *)
+let topo_order t =
+  let n = t.nvertices in
+  let indeg = Array.make n 0 in
+  List.iter (fun e -> indeg.(e.dst) <- indeg.(e.dst) + 1) (edges t);
+  let queue = Queue.create () in
+  for v = 0 to n - 1 do
+    if indeg.(v) = 0 then Queue.add v queue
+  done;
+  let order = ref [] in
+  let seen = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    order := v :: !order;
+    incr seen;
+    List.iter
+      (fun e ->
+        indeg.(e.dst) <- indeg.(e.dst) - 1;
+        if indeg.(e.dst) = 0 then Queue.add e.dst queue)
+      (succs t v)
+  done;
+  if !seen <> n then invalid_arg "Digraph.topo_order: graph has a cycle";
+  List.rev !order
+
+(** [longest_path t ~weight] computes, for a DAG, the maximum-weight
+    path ending at each vertex, and returns [(dist, pred_edge)] for
+    critical-path extraction. *)
+let longest_path t ~weight =
+  let n = t.nvertices in
+  let dist = Array.make n 0 in
+  let pred = Array.make n None in
+  List.iter
+    (fun v ->
+      List.iter
+        (fun e ->
+          let cand = dist.(e.src) + weight e.label in
+          if cand > dist.(e.dst) then begin
+            dist.(e.dst) <- cand;
+            pred.(e.dst) <- Some e
+          end)
+        (succs t v))
+    (topo_order t);
+  (dist, pred)
+
+(** Vertices reachable from [v] (including [v]). *)
+let reachable_from t v =
+  let n = t.nvertices in
+  let seen = Array.make n false in
+  let rec go v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      List.iter (fun e -> go e.dst) (succs t v)
+    end
+  in
+  if v < n then go v;
+  seen

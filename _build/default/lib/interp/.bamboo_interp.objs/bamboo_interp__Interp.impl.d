@@ -1,0 +1,1 @@
+lib/interp/interp.ml: Array Bamboo_ir Buffer Char Cost Float Int64 List Printf String Value

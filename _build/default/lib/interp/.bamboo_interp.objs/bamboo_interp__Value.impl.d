@@ -1,0 +1,1 @@
+lib/interp/value.ml: Array Bamboo_ir List Printf

@@ -1,0 +1,50 @@
+(** Cycle cost model.
+
+    The TILEPro64 substitute charges a fixed cycle cost per IR
+    operation.  Integer operations are cheap; floating point is
+    costly (the TILEPro64 has no FPU — floating point runs in
+    software); memory operations model L1-hit latencies; [Math.*]
+    routines model the software libm.  The absolute values are a
+    calibration, not a claim — experiments compare implementations
+    under the *same* model, which is what preserves the paper's
+    relative results. *)
+
+let const = 1
+let local = 1
+let iarith = 1
+let imul = 2
+let idiv = 25
+let farith = 4
+let fmul = 5
+let fdiv = 40
+let cmp = 1
+let branch = 1
+let field_access = 3
+let array_access = 3
+let call_overhead = 15
+let alloc_base = 30
+let alloc_word = 1
+let math_fn = 90
+let str_base = 10
+let str_per_char = 1
+let print = 50
+let rng_step = 20
+let cast = 2
+
+(* Runtime costs (charged by the runtime system, not the interpreter): *)
+
+(** Dequeue a task invocation and run its guard checks. *)
+let dispatch = 120
+
+(** Acquire or release one parameter-object lock. *)
+let lock_op = 40
+
+(** Apply a taskexit's flag/tag actions and compute successor tasks. *)
+let flag_update = 60
+
+(** Enqueue an object into a (local) parameter set. *)
+let enqueue = 30
+
+(** Fixed overhead of sending an object reference to another core, on
+    top of the mesh hop latency from the machine model. *)
+let message_send = 80

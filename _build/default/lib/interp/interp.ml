@@ -1,0 +1,521 @@
+(** IR interpreter with cycle accounting.
+
+    Executes Bamboo task and method bodies on real data while
+    charging the {!Cost} model for every operation.  The runtime
+    layers (profiling, single-core and many-core execution) drive it
+    through {!invoke_task}, {!alloc_object} and {!apply_exit}. *)
+
+module Ir = Bamboo_ir.Ir
+open Value
+
+exception Return_exc of value
+exception Break_exc
+exception Continue_exc
+exception Taskexit_exc of int
+
+type ctx = {
+  prog : Ir.program;
+  mutable cycles : int;              (* monotone cycle counter *)
+  mutable created : obj list;        (* allocations since last drain, reversed *)
+  mutable next_oid : int;
+  mutable next_tagid : int;
+  out : Buffer.t;                    (* program output from System print builtins *)
+  bounds_cost : int;                 (* extra cycles when bounds checks are on *)
+  mutable steps : int;               (* interpreter fuel guard *)
+  max_steps : int;
+}
+
+let create ?(bounds_check = false) ?(max_steps = max_int) prog =
+  {
+    prog;
+    cycles = 0;
+    created = [];
+    next_oid = 0;
+    next_tagid = 0;
+    out = Buffer.create 256;
+    bounds_cost = (if bounds_check then 2 else 0);
+    steps = 0;
+    max_steps;
+  }
+
+let charge ctx n = ctx.cycles <- ctx.cycles + n
+
+let fresh_oid ctx =
+  let id = ctx.next_oid in
+  ctx.next_oid <- id + 1;
+  id
+
+let fresh_tag ctx ty =
+  let id = ctx.next_tagid in
+  ctx.next_tagid <- id + 1;
+  { tg_id = id; tg_ty = ty; tg_bound = [] }
+
+(* ------------------------------------------------------------------ *)
+(* Random: Java-compatible 48-bit LCG, fully deterministic. *)
+
+let lcg_mult = 0x5DEECE66DL
+let lcg_add = 0xBL
+let lcg_mask = Int64.sub (Int64.shift_left 1L 48) 1L
+
+let rng_create seed =
+  {
+    r_state = Int64.logand (Int64.logxor (Int64.of_int seed) lcg_mult) lcg_mask;
+    r_gauss = nan;
+  }
+
+let rng_next r bits =
+  r.r_state <- Int64.logand (Int64.add (Int64.mul r.r_state lcg_mult) lcg_add) lcg_mask;
+  Int64.to_int (Int64.shift_right_logical r.r_state (48 - bits))
+
+let rng_next_int r bound =
+  if bound <= 0 then raise (Runtime_error "Random.nextInt: bound must be positive");
+  let v = rng_next r 31 in
+  v mod bound
+
+let rng_next_double r =
+  let hi = rng_next r 26 and lo = rng_next r 27 in
+  (float_of_int ((hi * 134217728) + lo)) /. 9007199254740992.0
+
+let rng_next_gaussian r =
+  if Float.is_nan r.r_gauss then begin
+    let rec loop () =
+      let v1 = (2.0 *. rng_next_double r) -. 1.0 in
+      let v2 = (2.0 *. rng_next_double r) -. 1.0 in
+      let s = (v1 *. v1) +. (v2 *. v2) in
+      if s >= 1.0 || s = 0.0 then loop ()
+      else begin
+        let multiplier = sqrt (-2.0 *. log s /. s) in
+        r.r_gauss <- v2 *. multiplier;
+        v1 *. multiplier
+      end
+    in
+    loop ()
+  end
+  else begin
+    let g = r.r_gauss in
+    r.r_gauss <- nan;
+    g
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Allocation *)
+
+let default_of_typ (t : Ir.typ) =
+  match t with
+  | Tint -> Vint 0
+  | Tdouble -> Vfloat 0.0
+  | Tboolean -> Vbool false
+  | _ -> Vnull
+
+let rec alloc_array ctx (elem : Ir.typ) dims =
+  match dims with
+  | [] -> invalid_arg "alloc_array: no dimensions"
+  | [ n ] ->
+      if n < 0 then raise (Runtime_error "negative array size");
+      charge ctx (Cost.alloc_base + (Cost.alloc_word * n));
+      (match elem with
+      | Tint -> Varr (Iarr (Array.make n 0))
+      | Tdouble -> Varr (Farr (Array.make n 0.0))
+      | Tboolean -> Varr (Oarr (Array.make n (Vbool false)))
+      | _ -> Varr (Oarr (Array.make n Vnull)))
+  | n :: rest ->
+      if n < 0 then raise (Runtime_error "negative array size");
+      charge ctx (Cost.alloc_base + (Cost.alloc_word * n));
+      Varr (Oarr (Array.init n (fun _ -> alloc_array ctx elem rest)))
+
+(* ------------------------------------------------------------------ *)
+(* Evaluator *)
+
+let rec eval ctx (frame : value array) (e : Ir.expr) : value =
+  ctx.steps <- ctx.steps + 1;
+  if ctx.steps > ctx.max_steps then raise (Runtime_error "interpreter fuel exhausted");
+  match e with
+  | Eint n -> charge ctx Cost.const; Vint n
+  | Efloat f -> charge ctx Cost.const; Vfloat f
+  | Ebool b -> charge ctx Cost.const; Vbool b
+  | Estr s -> charge ctx Cost.const; Vstr s
+  | Enull -> charge ctx Cost.const; Vnull
+  | Elocal slot -> charge ctx Cost.local; frame.(slot)
+  | Efield (r, _, fid) ->
+      let o = as_obj (eval ctx frame r) in
+      charge ctx Cost.field_access;
+      o.o_fields.(fid)
+  | Eindex (a, i) -> (
+      let arr = as_arr (eval ctx frame a) in
+      let idx = as_int (eval ctx frame i) in
+      charge ctx (Cost.array_access + ctx.bounds_cost);
+      let n = arr_length arr in
+      if idx < 0 || idx >= n then
+        raise (Runtime_error (Printf.sprintf "array index %d out of bounds [0,%d)" idx n));
+      match arr with
+      | Iarr a -> Vint a.(idx)
+      | Farr a -> Vfloat a.(idx)
+      | Oarr a -> a.(idx))
+  | Ebin (op, a, b) -> eval_bin ctx frame op a b
+  | Eun (op, a) -> (
+      let v = eval ctx frame a in
+      charge ctx Cost.iarith;
+      match op with
+      | INeg -> Vint (-as_int v)
+      | FNeg -> Vfloat (-.as_float v)
+      | BNot -> Vbool (not (as_bool v)))
+  | Eand (a, b) ->
+      charge ctx Cost.branch;
+      if as_bool (eval ctx frame a) then eval ctx frame b else Vbool false
+  | Eor (a, b) ->
+      charge ctx Cost.branch;
+      if as_bool (eval ctx frame a) then Vbool true else eval ctx frame b
+  | Ecast (I2F, a) ->
+      charge ctx Cost.cast;
+      Vfloat (float_of_int (as_int (eval ctx frame a)))
+  | Ecast (F2I, a) ->
+      charge ctx Cost.cast;
+      let f = as_float (eval ctx frame a) in
+      if Float.is_nan f then Vint 0 else Vint (int_of_float f)
+  | Ecall (recv, cid, mid, args) ->
+      let o = as_obj (eval ctx frame recv) in
+      let argv = List.map (eval ctx frame) args in
+      call_method ctx o cid mid argv
+  | Ebuiltin (b, args) -> eval_builtin ctx frame b args
+  | Enew (sid, args) ->
+      let argv = List.map (eval ctx frame) args in
+      Vobj (alloc_object ctx frame sid argv)
+  | Enewarr (elem, dims) ->
+      let ds = List.map (fun d -> as_int (eval ctx frame d)) dims in
+      alloc_array ctx elem ds
+
+and eval_bin ctx frame (op : Ir.binop) a b =
+  let va = eval ctx frame a in
+  let vb = eval ctx frame b in
+  let icmp (c : Ir.cmp) x y =
+    match c with
+    | Clt -> x < y | Cle -> x <= y | Cgt -> x > y | Cge -> x >= y
+    | Ceq -> x = y | Cne -> x <> y
+  in
+  match op with
+  | IAdd -> charge ctx Cost.iarith; Vint (as_int va + as_int vb)
+  | ISub -> charge ctx Cost.iarith; Vint (as_int va - as_int vb)
+  | IMul -> charge ctx Cost.imul; Vint (as_int va * as_int vb)
+  | IDiv ->
+      charge ctx Cost.idiv;
+      let d = as_int vb in
+      if d = 0 then raise (Runtime_error "division by zero");
+      Vint (as_int va / d)
+  | IMod ->
+      charge ctx Cost.idiv;
+      let d = as_int vb in
+      if d = 0 then raise (Runtime_error "modulo by zero");
+      Vint (as_int va mod d)
+  | IBand -> charge ctx Cost.iarith; Vint (as_int va land as_int vb)
+  | IBor -> charge ctx Cost.iarith; Vint (as_int va lor as_int vb)
+  | IBxor -> charge ctx Cost.iarith; Vint (as_int va lxor as_int vb)
+  | IShl -> charge ctx Cost.iarith; Vint (as_int va lsl as_int vb)
+  | IShr -> charge ctx Cost.iarith; Vint (as_int va asr as_int vb)
+  | FAdd -> charge ctx Cost.farith; Vfloat (as_float va +. as_float vb)
+  | FSub -> charge ctx Cost.farith; Vfloat (as_float va -. as_float vb)
+  | FMul -> charge ctx Cost.fmul; Vfloat (as_float va *. as_float vb)
+  | FDiv -> charge ctx Cost.fdiv; Vfloat (as_float va /. as_float vb)
+  | ICmp c -> charge ctx Cost.cmp; Vbool (icmp c (as_int va) (as_int vb))
+  | FCmp c -> charge ctx Cost.cmp; Vbool (icmp c (compare (as_float va) (as_float vb)) 0)
+  | SCmp c ->
+      let x = as_str va and y = as_str vb in
+      charge ctx (Cost.str_base + (Cost.str_per_char * min (String.length x) (String.length y)));
+      Vbool (icmp c (compare x y) 0)
+  | BCmp c -> charge ctx Cost.cmp; Vbool (icmp c (compare (as_bool va) (as_bool vb)) 0)
+  | RCmp c -> (
+      charge ctx Cost.cmp;
+      match c with
+      | Ceq -> Vbool (equal_value va vb)
+      | Cne -> Vbool (not (equal_value va vb))
+      | _ -> raise (Runtime_error "reference comparison must be == or !="))
+  | SConcat ->
+      let x = as_str va and y = as_str vb in
+      charge ctx (Cost.str_base + (Cost.str_per_char * (String.length x + String.length y)));
+      Vstr (x ^ y)
+
+and eval_builtin ctx frame (b : Ir.builtin) args =
+  let argv = List.map (eval ctx frame) args in
+  let f1 g = charge ctx Cost.math_fn; Vfloat (g (as_float (List.nth argv 0))) in
+  let f2 g =
+    charge ctx Cost.math_fn;
+    Vfloat (g (as_float (List.nth argv 0)) (as_float (List.nth argv 1)))
+  in
+  match (b, argv) with
+  | MathSin, _ -> f1 sin
+  | MathCos, _ -> f1 cos
+  | MathTan, _ -> f1 tan
+  | MathAtan, _ -> f1 atan
+  | MathSqrt, _ -> f1 sqrt
+  | MathLog, _ -> f1 log
+  | MathExp, _ -> f1 exp
+  | MathFloor, _ -> f1 floor
+  | MathCeil, _ -> f1 ceil
+  | MathAbs, _ -> f1 abs_float
+  | MathPow, _ -> f2 ( ** )
+  | MathMin, _ -> f2 min
+  | MathMax, _ -> f2 max
+  | MathIAbs, [ Vint n ] -> charge ctx Cost.iarith; Vint (abs n)
+  | MathIMin, [ Vint a; Vint b ] -> charge ctx Cost.iarith; Vint (min a b)
+  | MathIMax, [ Vint a; Vint b ] -> charge ctx Cost.iarith; Vint (max a b)
+  | StrLen, [ s ] -> charge ctx Cost.str_base; Vint (String.length (as_str s))
+  | StrCharAt, [ s; Vint i ] ->
+      let s = as_str s in
+      charge ctx Cost.str_base;
+      if i < 0 || i >= String.length s then raise (Runtime_error "charAt out of bounds");
+      Vint (Char.code s.[i])
+  | StrSubstring, [ s; Vint i; Vint j ] ->
+      let s = as_str s in
+      charge ctx (Cost.str_base + (Cost.str_per_char * max 0 (j - i)));
+      if i < 0 || j > String.length s || i > j then
+        raise (Runtime_error "substring out of bounds");
+      Vstr (String.sub s i (j - i))
+  | StrEquals, [ a; b ] ->
+      let x = as_str a and y = as_str b in
+      charge ctx (Cost.str_base + (Cost.str_per_char * min (String.length x) (String.length y)));
+      Vbool (String.equal x y)
+  | StrIndexOf, [ s; pat; Vint from ] -> (
+      let s = as_str s and pat = as_str pat in
+      charge ctx (Cost.str_base + (Cost.str_per_char * String.length s));
+      let n = String.length s and m = String.length pat in
+      let rec search i =
+        if i + m > n then Vint (-1)
+        else if String.sub s i m = pat then Vint i
+        else search (i + 1)
+      in
+      if m = 0 then Vint (max 0 from) else search (max 0 from))
+  | StrHash, [ s ] ->
+      let s = as_str s in
+      charge ctx (Cost.str_base + (Cost.str_per_char * String.length s));
+      let h = ref 0 in
+      String.iter (fun c -> h := ((!h * 31) + Char.code c) land 0x3FFFFFFF) s;
+      Vint !h
+  | IntToString, [ Vint n ] -> charge ctx Cost.str_base; Vstr (string_of_int n)
+  | DoubleToString, [ Vfloat f ] -> charge ctx Cost.str_base; Vstr (Printf.sprintf "%g" f)
+  | ParseInt, [ s ] -> (
+      charge ctx Cost.str_base;
+      match int_of_string_opt (String.trim (as_str s)) with
+      | Some n -> Vint n
+      | None -> raise (Runtime_error ("Integer.parseInt: bad input " ^ as_str s)))
+  | ParseDouble, [ s ] -> (
+      charge ctx Cost.str_base;
+      match float_of_string_opt (String.trim (as_str s)) with
+      | Some f -> Vfloat f
+      | None -> raise (Runtime_error ("Double.parseDouble: bad input " ^ as_str s)))
+  | PrintStr, [ s ] ->
+      charge ctx Cost.print;
+      Buffer.add_string ctx.out (as_str s);
+      Buffer.add_char ctx.out '\n';
+      Vnull
+  | PrintInt, [ Vint n ] ->
+      charge ctx Cost.print;
+      Buffer.add_string ctx.out (string_of_int n);
+      Buffer.add_char ctx.out '\n';
+      Vnull
+  | PrintDouble, [ Vfloat f ] ->
+      charge ctx Cost.print;
+      Buffer.add_string ctx.out (Printf.sprintf "%.6f" f);
+      Buffer.add_char ctx.out '\n';
+      Vnull
+  | RandomNew, [ Vint seed ] -> charge ctx Cost.alloc_base; Vrng (rng_create seed)
+  | RandomNextInt, [ r; Vint bound ] -> charge ctx Cost.rng_step; Vint (rng_next_int (as_rng r) bound)
+  | RandomNextDouble, [ r ] -> charge ctx Cost.rng_step; Vfloat (rng_next_double (as_rng r))
+  | RandomNextGaussian, [ r ] ->
+      charge ctx (2 * Cost.rng_step);
+      Vfloat (rng_next_gaussian (as_rng r))
+  | ArrayLength, [ a ] -> charge ctx Cost.local; Vint (arr_length (as_arr a))
+  | _ -> raise (Runtime_error "builtin arity/type mismatch")
+
+and alloc_object ctx frame sid argv =
+  let site = ctx.prog.sites.(sid) in
+  let cls = ctx.prog.classes.(site.s_class) in
+  let nfields = Array.length cls.c_fields in
+  charge ctx (Cost.alloc_base + (Cost.alloc_word * object_words nfields));
+  let o =
+    {
+      o_id = fresh_oid ctx;
+      o_class = site.s_class;
+      o_site = sid;
+      o_fields = Array.init nfields (fun i -> default_of_typ cls.c_fields.(i).f_typ);
+      o_flags = Ir.site_initial_word site;
+      o_tags = [];
+      o_lock = -1;
+      o_lock_until = 0;
+      o_gen = 0;
+    }
+  in
+  (* Bind tags whose variables are in the *current* frame. *)
+  List.iter
+    (fun slot ->
+      match frame.(slot) with
+      | Vtag t -> bind_tag o t
+      | _ -> raise (Runtime_error "allocation tag slot does not hold a tag"))
+    site.s_addtags;
+  (* Run the constructor, if any. *)
+  (match cls.c_ctor with
+  | Some mid -> ignore (call_method ctx o site.s_class mid argv)
+  | None -> ());
+  ctx.created <- o :: ctx.created;
+  o
+
+and call_method ctx (recv : obj) cid mid argv =
+  let m = ctx.prog.classes.(cid).c_methods.(mid) in
+  charge ctx Cost.call_overhead;
+  let frame = Array.make m.m_nslots Vnull in
+  frame.(0) <- Vobj recv;
+  List.iteri (fun i v -> frame.(i + 1) <- v) argv;
+  try
+    exec_stmts ctx frame m.m_body;
+    Vnull
+  with Return_exc v -> v
+
+and exec_stmts ctx frame stmts = List.iter (exec_stmt ctx frame) stmts
+
+and exec_stmt ctx frame (s : Ir.stmt) =
+  ctx.steps <- ctx.steps + 1;
+  if ctx.steps > ctx.max_steps then raise (Runtime_error "interpreter fuel exhausted");
+  match s with
+  | Sassign (Llocal slot, e) ->
+      let v = eval ctx frame e in
+      charge ctx Cost.local;
+      frame.(slot) <- v
+  | Sassign (Lfield (r, _, fid), e) ->
+      let o = as_obj (eval ctx frame r) in
+      let v = eval ctx frame e in
+      charge ctx Cost.field_access;
+      o.o_fields.(fid) <- v
+  | Sassign (Lindex (a, i), e) -> (
+      let arr = as_arr (eval ctx frame a) in
+      let idx = as_int (eval ctx frame i) in
+      let v = eval ctx frame e in
+      charge ctx (Cost.array_access + ctx.bounds_cost);
+      let n = arr_length arr in
+      if idx < 0 || idx >= n then
+        raise (Runtime_error (Printf.sprintf "array index %d out of bounds [0,%d)" idx n));
+      match arr with
+      | Iarr a -> a.(idx) <- as_int v
+      | Farr a -> a.(idx) <- as_float v
+      | Oarr a -> a.(idx) <- v)
+  | Sif (c, a, b) ->
+      charge ctx Cost.branch;
+      if as_bool (eval ctx frame c) then exec_stmts ctx frame a else exec_stmts ctx frame b
+  | Swhile (c, body) ->
+      let rec loop () =
+        charge ctx Cost.branch;
+        if as_bool (eval ctx frame c) then begin
+          (try exec_stmts ctx frame body with Continue_exc -> ());
+          loop ()
+        end
+      in
+      (try loop () with Break_exc -> ())
+  | Sreturn (Some e) -> raise (Return_exc (eval ctx frame e))
+  | Sreturn None -> raise (Return_exc Vnull)
+  | Sexpr e -> ignore (eval ctx frame e)
+  | Sbreak -> raise Break_exc
+  | Scontinue -> raise Continue_exc
+  | Staskexit exit_id -> raise (Taskexit_exc exit_id)
+  | Snewtag (slot, ty) ->
+      charge ctx Cost.alloc_base;
+      frame.(slot) <- Vtag (fresh_tag ctx ty)
+
+(* ------------------------------------------------------------------ *)
+(* Task invocation API used by the runtimes *)
+
+type invocation_result = {
+  tr_exit : int;                    (* exit index taken *)
+  tr_cycles : int;                  (* cycles charged by the body *)
+  tr_created : obj list;            (* objects allocated, in order *)
+  tr_frame : value array;           (* final frame (for tag slots) *)
+  tr_output : string;               (* program output emitted *)
+}
+
+(** Run one task invocation on the given parameter objects.
+    [tag_binds] supplies the tag instances matched by dispatch for the
+    task's [with]-bound tag variables. *)
+let invoke_task ctx (task : Ir.taskinfo) (params : obj array)
+    ~(tag_binds : (Ir.slot * tag_inst) list) : invocation_result =
+  if Array.length params <> Array.length task.t_params then
+    invalid_arg "invoke_task: parameter count mismatch";
+  let frame = Array.make task.t_nslots Vnull in
+  Array.iteri (fun i o -> frame.(i) <- Vobj o) params;
+  List.iter (fun (slot, t) -> frame.(slot) <- Vtag t) tag_binds;
+  let saved_created = ctx.created in
+  ctx.created <- [];
+  let out_start = Buffer.length ctx.out in
+  let start = ctx.cycles in
+  let exit_id =
+    try
+      exec_stmts ctx frame task.t_body;
+      Array.length task.t_exits - 1 (* implicit exit *)
+    with Taskexit_exc id -> id
+  in
+  let created = List.rev ctx.created in
+  ctx.created <- saved_created;
+  let output = Buffer.sub ctx.out out_start (Buffer.length ctx.out - out_start) in
+  {
+    tr_exit = exit_id;
+    tr_cycles = ctx.cycles - start;
+    tr_created = created;
+    tr_frame = frame;
+    tr_output = output;
+  }
+
+(** Apply a task exit's flag and tag actions to the parameter objects.
+    Returns the parameters whose flag word changed (their indices),
+    which is what drives re-dispatch in the runtimes. *)
+let apply_exit (task : Ir.taskinfo) exit_id (params : obj array) (frame : value array) =
+  let exit = task.t_exits.(exit_id) in
+  let changed = ref [] in
+  List.iter
+    (fun (pidx, (actions : Ir.actions)) ->
+      let o = params.(pidx) in
+      let before = o.o_flags in
+      o.o_flags <- Ir.apply_flag_actions actions o.o_flags;
+      List.iter
+        (fun slot ->
+          match frame.(slot) with
+          | Vtag t -> bind_tag o t
+          | _ -> raise (Runtime_error "taskexit tag slot does not hold a tag"))
+        actions.a_addtags;
+      List.iter
+        (fun slot ->
+          match frame.(slot) with
+          | Vtag t -> unbind_tag o t
+          | _ -> raise (Runtime_error "taskexit tag slot does not hold a tag"))
+        actions.a_cleartags;
+      if before <> o.o_flags || actions.a_addtags <> [] || actions.a_cleartags <> [] then
+        changed := pidx :: !changed)
+    exit.x_actions;
+  List.rev !changed
+
+(** Create the startup object that boots a Bamboo program: a
+    [StartupObject] in the [initialstate] abstract state whose [args]
+    field holds the command-line strings. *)
+let make_startup ctx (args : string list) =
+  let cid = ctx.prog.startup in
+  let cls = ctx.prog.classes.(cid) in
+  let nfields = Array.length cls.c_fields in
+  let o =
+    {
+      o_id = fresh_oid ctx;
+      o_class = cid;
+      o_site = -1;
+      o_fields = Array.init nfields (fun i -> default_of_typ cls.c_fields.(i).f_typ);
+      o_flags = 0;
+      o_tags = [];
+      o_lock = -1;
+      o_lock_until = 0;
+      o_gen = 0;
+    }
+  in
+  (match Ir.flag_index cls "initialstate" with
+  | Some bit -> o.o_flags <- 1 lsl bit
+  | None -> ());
+  Array.iteri
+    (fun i (f : Ir.fieldinfo) ->
+      if f.f_name = "args" then
+        o.o_fields.(i) <- Varr (Oarr (Array.of_list (List.map (fun s -> Vstr s) args))))
+    cls.c_fields;
+  o
+
+(** Program output accumulated so far. *)
+let output ctx = Buffer.contents ctx.out

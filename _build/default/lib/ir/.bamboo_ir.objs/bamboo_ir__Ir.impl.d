@@ -1,0 +1,1 @@
+lib/ir/ir.ml: Array Bamboo_ast Hashtbl List Printf String

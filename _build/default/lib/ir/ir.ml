@@ -1,0 +1,332 @@
+(** Typed intermediate representation of Bamboo programs.
+
+    The frontend resolves every name to an index: classes, fields,
+    methods, tasks, flags (bit positions in a per-object flag word),
+    tag types, and local-variable slots.  All later stages — the
+    interpreter, the dependence and disjointness analyses, the CSTG
+    builder and the runtime — operate on this IR. *)
+
+type typ = Bamboo_ast.Ast.typ =
+  | Tint
+  | Tdouble
+  | Tboolean
+  | Tstring
+  | Tvoid
+  | Tclass of string
+  | Tarray of typ
+
+type class_id = int
+type method_id = int
+type task_id = int
+type field_id = int
+type flag_id = int
+type tag_ty_id = int
+type slot = int
+type site_id = int
+
+(** Comparison kind shared by integer, float and string comparisons. *)
+type cmp = Clt | Cle | Cgt | Cge | Ceq | Cne
+
+(** Fully type-resolved binary operators. *)
+type binop =
+  | IAdd | ISub | IMul | IDiv | IMod
+  | IBand | IBor | IBxor | IShl | IShr
+  | FAdd | FSub | FMul | FDiv
+  | ICmp of cmp
+  | FCmp of cmp
+  | SCmp of cmp                   (* string equality/ordering *)
+  | BCmp of cmp                   (* boolean == / != *)
+  | RCmp of cmp                   (* reference == / != (objects, arrays, null) *)
+  | SConcat
+
+type unop = INeg | FNeg | BNot
+
+type cast = I2F | F2I
+
+(** Built-in library operations.  [Math.*] mirror the TILEPro64's
+    software floating-point routines (they carry a larger cycle cost
+    in the interpreter's cost model); [Random] is a deterministic
+    per-object LCG so benchmark inputs are reproducible. *)
+type builtin =
+  | MathSin | MathCos | MathTan | MathAtan | MathSqrt | MathPow
+  | MathAbs | MathLog | MathExp | MathFloor | MathCeil
+  | MathMin | MathMax                       (* double min/max *)
+  | MathIMin | MathIMax | MathIAbs          (* int min/max/abs *)
+  | StrLen | StrCharAt | StrSubstring | StrEquals | StrIndexOf | StrHash
+  | IntToString | DoubleToString | ParseInt | ParseDouble
+  | PrintStr | PrintInt | PrintDouble
+  | RandomNew | RandomNextInt | RandomNextDouble | RandomNextGaussian
+  | ArrayLength
+
+(** Resolved flag guard: leaves are bit indices into the parameter
+    class's flag word. *)
+type flagexp =
+  | FTrue
+  | FFalse
+  | FFlag of flag_id
+  | FAnd of flagexp * flagexp
+  | FOr of flagexp * flagexp
+  | FNot of flagexp
+
+(** Evaluate a guard against a flag-word valuation. *)
+let rec eval_flagexp exp word =
+  match exp with
+  | FTrue -> true
+  | FFalse -> false
+  | FFlag i -> word land (1 lsl i) <> 0
+  | FAnd (a, b) -> eval_flagexp a word && eval_flagexp b word
+  | FOr (a, b) -> eval_flagexp a word || eval_flagexp b word
+  | FNot a -> not (eval_flagexp a word)
+
+(** Flags mentioned by a guard, as a bitmask (used to build ASTGs). *)
+let rec flagexp_support = function
+  | FTrue | FFalse -> 0
+  | FFlag i -> 1 lsl i
+  | FAnd (a, b) | FOr (a, b) -> flagexp_support a lor flagexp_support b
+  | FNot a -> flagexp_support a
+
+(** Flag/tag updates applied at an allocation site or a task exit. *)
+type actions = {
+  a_set : (flag_id * bool) list;
+  a_addtags : slot list;          (* local slots holding tag instances *)
+  a_cleartags : slot list;
+}
+
+let no_actions = { a_set = []; a_addtags = []; a_cleartags = [] }
+
+(** Apply the flag part of [actions] to a flag word. *)
+let apply_flag_actions actions word =
+  List.fold_left
+    (fun w (f, v) -> if v then w lor (1 lsl f) else w land lnot (1 lsl f))
+    word actions.a_set
+
+type expr =
+  | Eint of int
+  | Efloat of float
+  | Ebool of bool
+  | Estr of string
+  | Enull
+  | Elocal of slot
+  | Efield of expr * class_id * field_id
+  | Eindex of expr * expr
+  | Ebin of binop * expr * expr
+  | Eun of unop * expr
+  | Eand of expr * expr           (* short-circuit && *)
+  | Eor of expr * expr            (* short-circuit || *)
+  | Ecall of expr * class_id * method_id * expr list
+  | Ebuiltin of builtin * expr list
+  | Enew of site_id * expr list   (* allocation; class etc. in site table *)
+  | Enewarr of typ * expr list    (* element type and dimension exprs *)
+  | Ecast of cast * expr
+
+type lvalue =
+  | Llocal of slot
+  | Lfield of expr * class_id * field_id
+  | Lindex of expr * expr
+
+type stmt =
+  | Sassign of lvalue * expr
+  | Sif of expr * stmt list * stmt list
+  | Swhile of expr * stmt list
+  | Sreturn of expr option
+  | Sexpr of expr
+  | Sbreak
+  | Scontinue
+  | Staskexit of int              (* exit index into the task's exits *)
+  | Snewtag of slot * tag_ty_id
+
+type fieldinfo = { f_name : string; f_typ : typ }
+
+type methodinfo = {
+  m_id : method_id;
+  m_name : string;
+  m_class : class_id;
+  m_params : typ array;           (* slot 0 is [this] *)
+  m_ret : typ;
+  m_nslots : int;                 (* total local slots including params *)
+  mutable m_body : stmt list;
+}
+
+type classinfo = {
+  c_id : class_id;
+  c_name : string;
+  c_flags : string array;         (* flag bit index -> name *)
+  c_fields : fieldinfo array;
+  mutable c_methods : methodinfo array;
+  c_ctor : method_id option;      (* constructor, if declared *)
+}
+
+(** One task parameter: its class, its resolved guard, and its tag
+    bindings [(tag type, slot holding the bound tag instance)]. *)
+type paraminfo = {
+  p_class : class_id;
+  p_name : string;
+  p_guard : flagexp;
+  p_tags : (tag_ty_id * slot) list;
+}
+
+(** One task exit point: actions per parameter index. *)
+type exitinfo = { x_actions : (int * actions) list }
+
+type taskinfo = {
+  t_id : task_id;
+  t_name : string;
+  t_params : paraminfo array;     (* parameters occupy slots 0..n-1 *)
+  t_nslots : int;
+  mutable t_body : stmt list;
+  t_exits : exitinfo array;       (* last entry is the implicit exit *)
+}
+
+(** Static description of an object allocation site. *)
+type siteinfo = {
+  s_id : site_id;
+  s_class : class_id;
+  s_flags : (flag_id * bool) list;  (* initial flag assignment *)
+  s_addtags : slot list;            (* tag slots bound at allocation *)
+  s_owner : owner;                  (* task or method containing the site *)
+}
+
+and owner = Otask of task_id | Omethod of class_id * method_id
+
+type program = {
+  classes : classinfo array;
+  tasks : taskinfo array;
+  tag_types : string array;
+  sites : siteinfo array;
+  class_index : (string, class_id) Hashtbl.t;
+  startup : class_id;              (* the StartupObject class *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Lookup helpers *)
+
+let class_of p id = p.classes.(id)
+let task_of p id = p.tasks.(id)
+let site_of p id = p.sites.(id)
+
+let find_class p name = Hashtbl.find_opt p.class_index name
+
+let find_class_exn p name =
+  match find_class p name with
+  | Some id -> id
+  | None -> invalid_arg (Printf.sprintf "Ir.find_class_exn: unknown class %s" name)
+
+let find_task p name =
+  let found = ref None in
+  Array.iter (fun t -> if t.t_name = name then found := Some t) p.tasks;
+  !found
+
+let find_method p cid name =
+  let c = p.classes.(cid) in
+  let found = ref None in
+  Array.iter (fun m -> if m.m_name = name then found := Some m) c.c_methods;
+  !found
+
+let flag_index c name =
+  let found = ref (-1) in
+  Array.iteri (fun i f -> if f = name then found := i) c.c_flags;
+  if !found = -1 then None else Some !found
+
+let flag_name p cid fid = p.classes.(cid).c_flags.(fid)
+
+(** Initial flag word of an allocation site. *)
+let site_initial_word site =
+  List.fold_left (fun w (f, v) -> if v then w lor (1 lsl f) else w) 0 site.s_flags
+
+(** Render a flag word for a class as [{flag1, flag2}] (set bits only). *)
+let string_of_flagword p cid word =
+  let c = p.classes.(cid) in
+  let names = ref [] in
+  Array.iteri (fun i name -> if word land (1 lsl i) <> 0 then names := name :: !names) c.c_flags;
+  "{" ^ String.concat "," (List.rev !names) ^ "}"
+
+let rec string_of_flagexp p cid = function
+  | FTrue -> "true"
+  | FFalse -> "false"
+  | FFlag i -> flag_name p cid i
+  | FAnd (a, b) ->
+      Printf.sprintf "(%s and %s)" (string_of_flagexp p cid a) (string_of_flagexp p cid b)
+  | FOr (a, b) ->
+      Printf.sprintf "(%s or %s)" (string_of_flagexp p cid a) (string_of_flagexp p cid b)
+  | FNot a -> "!" ^ string_of_flagexp p cid a
+
+(* ------------------------------------------------------------------ *)
+(* Call graph and allocation-site reachability *)
+
+(** Method ids reachable from a statement list (direct calls only). *)
+let rec calls_in_stmts acc stmts = List.fold_left calls_in_stmt acc stmts
+
+and calls_in_stmt acc = function
+  | Sassign (lv, e) ->
+      let acc = calls_in_lvalue acc lv in
+      calls_in_expr acc e
+  | Sif (c, a, b) -> calls_in_stmts (calls_in_stmts (calls_in_expr acc c) a) b
+  | Swhile (c, b) -> calls_in_stmts (calls_in_expr acc c) b
+  | Sreturn (Some e) | Sexpr e -> calls_in_expr acc e
+  | Sreturn None | Sbreak | Scontinue | Staskexit _ | Snewtag _ -> acc
+
+and calls_in_lvalue acc = function
+  | Llocal _ -> acc
+  | Lfield (e, _, _) -> calls_in_expr acc e
+  | Lindex (a, i) -> calls_in_expr (calls_in_expr acc a) i
+
+and calls_in_expr acc = function
+  | Eint _ | Efloat _ | Ebool _ | Estr _ | Enull | Elocal _ -> acc
+  | Efield (e, _, _) | Eun (_, e) | Ecast (_, e) -> calls_in_expr acc e
+  | Eindex (a, b) | Ebin (_, a, b) | Eand (a, b) | Eor (a, b) ->
+      calls_in_expr (calls_in_expr acc a) b
+  | Ecall (recv, cid, mid, args) ->
+      let acc = (cid, mid) :: acc in
+      List.fold_left calls_in_expr (calls_in_expr acc recv) args
+  | Ebuiltin (_, args) | Enewarr (_, args) -> List.fold_left calls_in_expr acc args
+  | Enew (_, args) -> List.fold_left calls_in_expr acc args
+
+(** Allocation sites appearing syntactically in a statement list. *)
+let rec sites_in_stmts acc stmts = List.fold_left sites_in_stmt acc stmts
+
+and sites_in_stmt acc = function
+  | Sassign (lv, e) -> sites_in_expr (sites_in_lvalue acc lv) e
+  | Sif (c, a, b) -> sites_in_stmts (sites_in_stmts (sites_in_expr acc c) a) b
+  | Swhile (c, b) -> sites_in_stmts (sites_in_expr acc c) b
+  | Sreturn (Some e) | Sexpr e -> sites_in_expr acc e
+  | Sreturn None | Sbreak | Scontinue | Staskexit _ | Snewtag _ -> acc
+
+and sites_in_lvalue acc = function
+  | Llocal _ -> acc
+  | Lfield (e, _, _) -> sites_in_expr acc e
+  | Lindex (a, i) -> sites_in_expr (sites_in_expr acc a) i
+
+and sites_in_expr acc = function
+  | Eint _ | Efloat _ | Ebool _ | Estr _ | Enull | Elocal _ -> acc
+  | Efield (e, _, _) | Eun (_, e) | Ecast (_, e) -> sites_in_expr acc e
+  | Eindex (a, b) | Ebin (_, a, b) | Eand (a, b) | Eor (a, b) ->
+      sites_in_expr (sites_in_expr acc a) b
+  | Ecall (recv, _, _, args) -> List.fold_left sites_in_expr (sites_in_expr acc recv) args
+  | Ebuiltin (_, args) | Enewarr (_, args) -> List.fold_left sites_in_expr acc args
+  | Enew (sid, args) -> List.fold_left sites_in_expr (sid :: acc) args
+
+(** [reachable_sites p body] is every allocation site in [body] or in
+    any method transitively callable from it — including constructor
+    bodies of allocated classes.  Used to place new-object edges in
+    the CSTG. *)
+let reachable_sites p body =
+  let seen_methods = Hashtbl.create 16 in
+  let sites = Hashtbl.create 16 in
+  let rec visit_body stmts =
+    List.iter (fun sid -> Hashtbl.replace sites sid ()) (sites_in_stmts [] stmts);
+    List.iter
+      (fun sid ->
+        let site = p.sites.(sid) in
+        match (class_of p site.s_class).c_ctor with
+        | Some mid -> visit_method site.s_class mid
+        | None -> ())
+      (sites_in_stmts [] stmts);
+    List.iter (fun (cid, mid) -> visit_method cid mid) (calls_in_stmts [] stmts)
+  and visit_method cid mid =
+    if not (Hashtbl.mem seen_methods (cid, mid)) then begin
+      Hashtbl.replace seen_methods (cid, mid) ();
+      visit_body (class_of p cid).c_methods.(mid).m_body
+    end
+  in
+  visit_body body;
+  Hashtbl.fold (fun sid () acc -> sid :: acc) sites [] |> List.sort compare

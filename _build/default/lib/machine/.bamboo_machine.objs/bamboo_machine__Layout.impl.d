@@ -1,0 +1,1 @@
+lib/machine/layout.ml: Array Bamboo_ir Buffer Format Hashtbl List Machine Printf String

@@ -1,0 +1,107 @@
+(** Candidate implementation layouts (the paper's Figure 4).
+
+    A layout assigns, for every task, the ordered list of cores that
+    host an instantiation of that task.  Objects entering an abstract
+    state that a task consumes are routed to one of the hosting cores
+    — round-robin for single-parameter tasks, tag-hash for
+    multi-instance tasks whose parameters share a tag constraint
+    (§4.3.4). *)
+
+module Ir = Bamboo_ir.Ir
+
+type t = {
+  machine : Machine.t;
+  assignment : int array array;  (* task id -> cores hosting an instance *)
+}
+
+let create machine ~ntasks = { machine; assignment = Array.make ntasks [||] }
+
+let copy l = { l with assignment = Array.map Array.copy l.assignment }
+
+let cores_of l tid = l.assignment.(tid)
+
+let set_cores l tid cores =
+  Array.iter
+    (fun c ->
+      if c < 0 || c >= l.machine.Machine.cores then
+        invalid_arg (Printf.sprintf "Layout.set_cores: core %d out of range" c))
+    cores;
+  l.assignment.(tid) <- cores
+
+(** All cores that host at least one task. *)
+let used_cores l =
+  let seen = Hashtbl.create 16 in
+  Array.iter (Array.iter (fun c -> Hashtbl.replace seen c ())) l.assignment;
+  Hashtbl.fold (fun c () acc -> c :: acc) seen [] |> List.sort compare
+
+(** Tasks hosted on a given core. *)
+let tasks_on_core l core =
+  let acc = ref [] in
+  Array.iteri
+    (fun tid cores -> if Array.exists (fun c -> c = core) cores then acc := tid :: !acc)
+    l.assignment;
+  List.rev !acc
+
+(** A multi-parameter task may have several instantiations only when
+    every parameter carries a tag constraint — otherwise objects for
+    different parameters could be enqueued at different instantiations
+    and the task would never fire (§4.3.4). *)
+let multi_instance_ok (task : Ir.taskinfo) =
+  Array.length task.t_params <= 1
+  || Array.for_all (fun (p : Ir.paraminfo) -> p.p_tags <> []) task.t_params
+
+(** Validate a layout against the program: every task hosted
+    somewhere, and the multi-instantiation restriction honoured. *)
+let validate (prog : Ir.program) l =
+  let problems = ref [] in
+  Array.iter
+    (fun (t : Ir.taskinfo) ->
+      let cores = l.assignment.(t.t_id) in
+      if Array.length cores = 0 then
+        problems := Printf.sprintf "task %s is not mapped to any core" t.t_name :: !problems;
+      if Array.length cores > 1 && not (multi_instance_ok t) then
+        problems :=
+          Printf.sprintf "multi-parameter task %s has %d untagged instantiations" t.t_name
+            (Array.length cores)
+          :: !problems)
+    prog.tasks;
+  List.rev !problems
+
+(** Canonical key for isomorphism pruning: layouts that differ only by
+    a permutation of core ids produce the same key. *)
+let canonical_key l =
+  (* Rename cores in order of first appearance across the task list. *)
+  let rename = Hashtbl.create 16 in
+  let next = ref 0 in
+  let buf = Buffer.create 64 in
+  Array.iter
+    (fun cores ->
+      Buffer.add_char buf '[';
+      let renamed =
+        Array.map
+          (fun c ->
+            match Hashtbl.find_opt rename c with
+            | Some r -> r
+            | None ->
+                let r = !next in
+                incr next;
+                Hashtbl.replace rename c r;
+                r)
+          cores
+      in
+      let renamed = Array.copy renamed in
+      Array.sort compare renamed;
+      Array.iter (fun r -> Buffer.add_string buf (string_of_int r); Buffer.add_char buf ',') renamed;
+      Buffer.add_char buf ']')
+    l.assignment;
+  Buffer.contents buf
+
+let pp (prog : Ir.program) fmt l =
+  List.iter
+    (fun core ->
+      let tasks = tasks_on_core l core in
+      Format.fprintf fmt "core %2d: %s@." core
+        (String.concat ", " (List.map (fun tid -> prog.tasks.(tid).Ir.t_name) tasks)))
+    (used_cores l)
+
+let to_string prog l = Format.asprintf "%a" (pp prog) l

@@ -1,0 +1,41 @@
+(** Target processor descriptions.
+
+    A machine is a grid of identical cores connected by an on-chip
+    mesh network, in the style of the TILEPro64.  The synthesis
+    pipeline (scheduling simulator and runtime) only consumes the
+    abstract quantities here: core count and message latency between
+    core pairs. *)
+
+type t = {
+  name : string;
+  cores : int;                 (* usable cores *)
+  mesh_w : int;                (* mesh width for hop-distance computation *)
+  hop_latency : int;           (* cycles per mesh hop *)
+  per_word : int;              (* additional cycles per payload word *)
+}
+
+(** The paper's evaluation platform: a 700 MHz TILEPro64 with an 8x8
+    mesh, of which 62 cores are usable (2 serve the PCI bus). *)
+let tilepro64 = { name = "TILEPro64"; cores = 62; mesh_w = 8; hop_latency = 2; per_word = 1 }
+
+(** Quad-core machine used by the paper's Figure 4 walkthrough. *)
+let quad = { name = "quad"; cores = 4; mesh_w = 2; hop_latency = 2; per_word = 1 }
+
+(** 16-core machine used by the paper's Figure 10 DSA experiment. *)
+let m16 = { name = "mesh16"; cores = 16; mesh_w = 4; hop_latency = 2; per_word = 1 }
+
+(** Single-core configuration (profiling and overhead runs). *)
+let single = { name = "single"; cores = 1; mesh_w = 1; hop_latency = 0; per_word = 0 }
+
+let with_cores m n = { m with name = Printf.sprintf "%s/%d" m.name n; cores = n }
+
+(** Manhattan distance between two cores on the mesh. *)
+let distance m a b =
+  let ax = a mod m.mesh_w and ay = a / m.mesh_w in
+  let bx = b mod m.mesh_w and by = b / m.mesh_w in
+  abs (ax - bx) + abs (ay - by)
+
+(** Latency in cycles to move a [words]-word message from core [src]
+    to core [dst]; zero for local delivery. *)
+let transfer_latency m ~src ~dst ~words =
+  if src = dst then 0 else (distance m src dst * m.hop_latency) + (m.per_word * words)

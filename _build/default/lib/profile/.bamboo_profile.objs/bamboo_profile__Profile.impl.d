@@ -1,0 +1,1 @@
+lib/profile/profile.ml: Array Bamboo_ir Bamboo_runtime Format Hashtbl List Printf String

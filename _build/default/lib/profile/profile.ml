@@ -1,0 +1,142 @@
+(** Profiling (§4.3.1).
+
+    A profile aggregates per-invocation records from an execution —
+    by default a single-core bootstrap run, as in the paper — into
+    per-task, per-exit statistics: how often each exit is taken, the
+    average body cycles for that exit, and the average number of
+    objects allocated at each site when it is taken.  These statistics
+    are the Markov model of the program's behaviour used by the
+    scheduling simulator and the candidate-generation rules. *)
+
+module Ir = Bamboo_ir.Ir
+module Runtime = Bamboo_runtime.Runtime
+
+type exit_stats = {
+  xs_count : int;                     (* invocations taking this exit *)
+  xs_cycles : int;                    (* total body cycles over those *)
+  xs_alloc : (Ir.site_id * int) list; (* total objects allocated per site *)
+}
+
+type task_stats = {
+  ts_task : Ir.task_id;
+  ts_exits : exit_stats array;        (* indexed by exit id *)
+}
+
+type t = {
+  p_tasks : task_stats array;         (* indexed by task id *)
+  p_total_cycles : int;               (* end-to-end cycles of the profiled run *)
+}
+
+let empty_exit = { xs_count = 0; xs_cycles = 0; xs_alloc = [] }
+
+(** Build a profile from invocation records. *)
+let of_records (prog : Ir.program) ~total_cycles (records : Runtime.invocation_record list) : t
+    =
+  let tasks =
+    Array.map
+      (fun (t : Ir.taskinfo) ->
+        { ts_task = t.t_id; ts_exits = Array.make (Array.length t.t_exits) empty_exit })
+      prog.tasks
+  in
+  List.iter
+    (fun (r : Runtime.invocation_record) ->
+      let ts = tasks.(r.ir_task) in
+      let xs = ts.ts_exits.(r.ir_exit) in
+      let alloc =
+        List.fold_left
+          (fun acc sid ->
+            let prev = try List.assoc sid acc with Not_found -> 0 in
+            (sid, prev + 1) :: List.remove_assoc sid acc)
+          xs.xs_alloc r.ir_created
+      in
+      ts.ts_exits.(r.ir_exit) <-
+        { xs_count = xs.xs_count + 1; xs_cycles = xs.xs_cycles + r.ir_cycles; xs_alloc = alloc })
+    records;
+  { p_tasks = tasks; p_total_cycles = total_cycles }
+
+(** Single-core profiling run (the paper's bootstrap configuration). *)
+let collect ?(args = []) ?max_invocations (prog : Ir.program) : t * Runtime.result =
+  let r = Runtime.run_single ~args ?max_invocations ~record_trace:true prog in
+  (of_records prog ~total_cycles:r.r_total_cycles r.r_records, r)
+
+(* ------------------------------------------------------------------ *)
+(* Derived statistics (the Markov model) *)
+
+let invocations t tid =
+  Array.fold_left (fun acc xs -> acc + xs.xs_count) 0 t.p_tasks.(tid).ts_exits
+
+(** Probability that task [tid] takes exit [e]. *)
+let exit_prob t tid e =
+  let n = invocations t tid in
+  if n = 0 then 0.0 else float_of_int t.p_tasks.(tid).ts_exits.(e).xs_count /. float_of_int n
+
+(** Average body cycles when task [tid] takes exit [e]. *)
+let exit_avg_cycles t tid e =
+  let xs = t.p_tasks.(tid).ts_exits.(e) in
+  if xs.xs_count = 0 then 0.0 else float_of_int xs.xs_cycles /. float_of_int xs.xs_count
+
+(** Average body cycles of task [tid] over all exits. *)
+let task_avg_cycles t tid =
+  let n = invocations t tid in
+  if n = 0 then 0.0
+  else
+    float_of_int (Array.fold_left (fun acc xs -> acc + xs.xs_cycles) 0 t.p_tasks.(tid).ts_exits)
+    /. float_of_int n
+
+(** Average objects allocated at [site] when task [tid] takes exit [e]. *)
+let exit_avg_alloc t tid e sid =
+  let xs = t.p_tasks.(tid).ts_exits.(e) in
+  if xs.xs_count = 0 then 0.0
+  else
+    float_of_int (try List.assoc sid xs.xs_alloc with Not_found -> 0)
+    /. float_of_int xs.xs_count
+
+(** All sites task [tid] allocated at (across exits), with the average
+    count per invocation. *)
+let avg_alloc_per_invocation t tid =
+  let n = invocations t tid in
+  if n = 0 then []
+  else begin
+    let totals = Hashtbl.create 8 in
+    Array.iter
+      (fun xs ->
+        List.iter
+          (fun (sid, c) ->
+            Hashtbl.replace totals sid (c + (try Hashtbl.find totals sid with Not_found -> 0)))
+          xs.xs_alloc)
+      t.p_tasks.(tid).ts_exits;
+    Hashtbl.fold (fun sid c acc -> (sid, float_of_int c /. float_of_int n) :: acc) totals []
+    |> List.sort compare
+  end
+
+(** Exits of [tid] observed at least once, most frequent first. *)
+let observed_exits t tid =
+  Array.to_list (Array.mapi (fun i xs -> (i, xs.xs_count)) t.p_tasks.(tid).ts_exits)
+  |> List.filter (fun (_, c) -> c > 0)
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  |> List.map fst
+
+let pp fmt (prog : Ir.program) t =
+  Array.iter
+    (fun ts ->
+      let task = prog.tasks.(ts.ts_task) in
+      let n = invocations t ts.ts_task in
+      if n > 0 then begin
+        Format.fprintf fmt "task %-28s %6d invocations, avg %10.0f cyc@." task.t_name n
+          (task_avg_cycles t ts.ts_task);
+        Array.iteri
+          (fun e xs ->
+            if xs.xs_count > 0 then
+              Format.fprintf fmt "    exit %d: p=%4.2f avg=%10.0f cyc, allocs=[%s]@." e
+                (exit_prob t ts.ts_task e)
+                (exit_avg_cycles t ts.ts_task e)
+                (String.concat "; "
+                   (List.map
+                      (fun (sid, tot) ->
+                        Printf.sprintf "site%d(%s): %.1f" sid
+                          (Ir.class_of prog prog.sites.(sid).s_class).c_name
+                          (float_of_int tot /. float_of_int xs.xs_count))
+                      xs.xs_alloc)))
+          ts.ts_exits
+      end)
+    t.p_tasks

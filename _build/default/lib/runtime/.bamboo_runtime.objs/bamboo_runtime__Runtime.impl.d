@@ -1,0 +1,1 @@
+lib/runtime/runtime.ml: Array Bamboo_interp Bamboo_ir Bamboo_machine Bamboo_support Hashtbl List Queue String

@@ -1,0 +1,1 @@
+lib/sim/critpath.ml: Array Bamboo_ir Buffer Hashtbl List Printf Schedsim Seq

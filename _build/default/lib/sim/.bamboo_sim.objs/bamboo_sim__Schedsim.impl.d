@@ -1,0 +1,1 @@
+lib/sim/schedsim.ml: Array Bamboo_analysis Bamboo_interp Bamboo_ir Bamboo_machine Bamboo_profile Bamboo_support Float Hashtbl List Queue

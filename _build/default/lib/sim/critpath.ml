@@ -1,0 +1,167 @@
+(** Critical path analysis over simulated execution traces (§4.5.1,
+    Figure 6).
+
+    The critical path is reconstructed by walking back from the event
+    that finishes last: each event's start time is pinned either by
+    the arrival of its latest input (a data dependence, possibly via
+    an inter-core transfer) or by the preceding event on the same core
+    (a resource dependence).  The path therefore accounts for both
+    scheduling and resource limitations, as in the paper.
+
+    The analysis also surfaces the two optimization opportunities the
+    DSA search exploits: *delayed* instances (data was ready before
+    the core was) and *non-key* instances that delay key instances. *)
+
+module Ir = Bamboo_ir.Ir
+
+type step = {
+  cp_event : Schedsim.event;
+  cp_via : [ `Data of int | `Resource of int | `Start ];
+      (* what pinned this event's start: producer event id, or the
+         previous event id on the same core, or nothing *)
+}
+
+type t = {
+  path : step list;        (* from first to last event on the path *)
+  length : int;            (* finish time of the last event *)
+}
+
+let find_event events id = Array.to_seq events |> Seq.find (fun e -> e.Schedsim.ev_id = id)
+
+(** Compute the critical path of a simulated trace. *)
+let analyse (r : Schedsim.result) : t =
+  let events = r.s_events in
+  if Array.length events = 0 then { path = []; length = 0 }
+  else begin
+    (* Index events and per-core order. *)
+    let by_id = Hashtbl.create (Array.length events) in
+    Array.iter (fun e -> Hashtbl.replace by_id e.Schedsim.ev_id e) events;
+    (* Previous event on the same core (by start time). *)
+    let prev_on_core = Hashtbl.create (Array.length events) in
+    let per_core = Hashtbl.create 8 in
+    Array.iter
+      (fun (e : Schedsim.event) ->
+        let l = try Hashtbl.find per_core e.ev_core with Not_found -> [] in
+        Hashtbl.replace per_core e.ev_core (e :: l))
+      events;
+    Hashtbl.iter
+      (fun _ l ->
+        let sorted = List.sort (fun a b -> compare a.Schedsim.ev_start b.Schedsim.ev_start) l in
+        let rec link = function
+          | a :: (b :: _ as rest) ->
+              Hashtbl.replace prev_on_core b.Schedsim.ev_id a.Schedsim.ev_id;
+              link rest
+          | _ -> ()
+        in
+        link sorted)
+      per_core;
+    (* Last-finishing event. *)
+    let last = Array.fold_left (fun acc e -> if e.Schedsim.ev_finish > acc.Schedsim.ev_finish then e else acc) events.(0) events in
+    let rec walk (e : Schedsim.event) acc =
+      (* What pinned e's start? *)
+      let data_pin =
+        Array.fold_left
+          (fun best (prod, arrival) ->
+            match best with
+            | Some (_, a) when a >= arrival -> best
+            | _ when prod >= 0 -> Some (prod, arrival)
+            | _ -> best)
+          None e.ev_inputs
+      in
+      let resource_pin = Hashtbl.find_opt prev_on_core e.ev_id in
+      let via =
+        match (data_pin, resource_pin) with
+        | Some (prod, arrival), Some prev ->
+            let prev_ev = Hashtbl.find by_id prev in
+            (* The later constraint wins: if the core was still busy at
+               e.ready, the resource dependence pinned the start. *)
+            if prev_ev.Schedsim.ev_finish >= arrival then `Resource prev else `Data prod
+        | Some (prod, _), None -> `Data prod
+        | None, Some prev -> `Resource prev
+        | None, None -> `Start
+      in
+      let acc = { cp_event = e; cp_via = via } :: acc in
+      match via with
+      | `Data prod | `Resource prod -> (
+          match Hashtbl.find_opt by_id prod with
+          | Some p -> walk p acc
+          | None -> acc)
+      | `Start -> acc
+    in
+    { path = walk last []; length = last.ev_finish }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Optimization opportunities (§4.5.2) *)
+
+type opportunity =
+  | Migrate_delayed of Ir.task_id * int
+      (* task instance on core c whose data was ready before the core was *)
+  | Move_non_key of Ir.task_id * int
+      (* non-key task on core c that delayed a key task *)
+
+(** Key events on the path: those whose output is consumed by the next
+    path event (data edge). *)
+let key_event_ids (cp : t) =
+  let rec go = function
+    | a :: ({ cp_via = `Data p; _ } :: _ as rest) when a.cp_event.Schedsim.ev_id = p ->
+        a.cp_event.Schedsim.ev_id :: go rest
+    | _ :: rest -> go rest
+    | [] -> []
+  in
+  go cp.path
+
+(** Extract optimization opportunities from a critical path, grouped
+    by data-dependence resolution time as in the paper. *)
+let opportunities (cp : t) : opportunity list =
+  let keys = key_event_ids cp in
+  let ops = ref [] in
+  let steps = Array.of_list cp.path in
+  Array.iteri
+    (fun i step ->
+      let e = step.cp_event in
+      (* Delayed instance: data ready strictly before the body start
+         (beyond fixed dispatch overhead). *)
+      (match step.cp_via with
+      | `Resource _ when e.ev_start > e.ev_ready ->
+          if List.mem e.ev_id keys then begin
+            (* A key task delayed by a resource: if the blocking event
+               is non-key, propose moving the blocker. *)
+            match step.cp_via with
+            | `Resource prev_id when not (List.mem prev_id keys) -> (
+                (* find blocker in path *)
+                let blocker =
+                  Array.to_list steps
+                  |> List.find_opt (fun s -> s.cp_event.Schedsim.ev_id = prev_id)
+                in
+                match blocker with
+                | Some b ->
+                    ops := Move_non_key (b.cp_event.ev_task, b.cp_event.ev_core) :: !ops
+                | None -> ())
+            | _ -> ()
+          end
+          else ops := Migrate_delayed (e.ev_task, e.ev_core) :: !ops
+      | _ -> ());
+      ignore i)
+    steps;
+  List.sort_uniq compare !ops
+
+(** Render the trace + critical path in the style of Figure 6. *)
+let to_string (prog : Ir.program) (r : Schedsim.result) (cp : t) =
+  let buf = Buffer.create 256 in
+  let on_path id = List.exists (fun s -> s.cp_event.Schedsim.ev_id = id) cp.path in
+  Buffer.add_string buf (Printf.sprintf "critical path length: %d cycles\n" cp.length);
+  Array.iter
+    (fun (e : Schedsim.event) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s core %-2d [%8d, %8d] %-28s ready=%d%s\n"
+           (if on_path e.ev_id then "*" else " ")
+           e.ev_core e.ev_start e.ev_finish
+           prog.tasks.(e.ev_task).t_name e.ev_ready
+           (if e.ev_start > e.ev_ready then
+              Printf.sprintf " (delayed %d)" (e.ev_start - e.ev_ready)
+            else "")))
+    r.s_events;
+  Buffer.contents buf
+
+let _ = find_event

@@ -1,0 +1,1 @@
+lib/support/dot.ml: Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/support/table.ml: Array Float List Printf String

@@ -1,0 +1,66 @@
+(** Tiny Graphviz dot emitter used to render ASTGs, CSTGs (Fig. 3),
+    task-flow graphs (Fig. 8) and execution traces (Fig. 6). *)
+
+type node = { id : string; label : string; shape : string; peripheries : int }
+type edge = { src : string; dst : string; elabel : string; style : string }
+
+type t = {
+  name : string;
+  mutable nodes : node list;
+  mutable edges : edge list;
+  mutable clusters : (string * string list) list; (* cluster label, node ids *)
+}
+
+let create name = { name; nodes = []; edges = []; clusters = [] }
+
+let escape s =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with '"' -> "\\\"" | '\n' -> "\\n" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+(** [node t id ~label] adds a node; [~peripheries:2] draws the double
+    ellipse the paper uses for allocatable abstract states. *)
+let node ?(shape = "ellipse") ?(peripheries = 1) t id ~label =
+  t.nodes <- { id; label; shape; peripheries } :: t.nodes
+
+(** [edge t src dst ~label] adds an edge; dashed style marks
+    new-object edges as in the paper's CSTG figures. *)
+let edge ?(style = "solid") t src dst ~label =
+  t.edges <- { src; dst; elabel = label; style } :: t.edges
+
+(** [cluster t ~label ids] groups nodes into a labelled subgraph (one
+    per class in CSTG renderings). *)
+let cluster t ~label ids = t.clusters <- (label, ids) :: t.clusters
+
+let to_string t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n" (escape t.name));
+  Buffer.add_string buf "  rankdir=LR;\n  node [fontsize=10];\n  edge [fontsize=9];\n";
+  List.iteri
+    (fun i (label, ids) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  subgraph cluster_%d {\n    label=\"%s\";\n" i (escape label));
+      List.iter (fun id -> Buffer.add_string buf (Printf.sprintf "    \"%s\";\n" (escape id))) ids;
+      Buffer.add_string buf "  }\n")
+    (List.rev t.clusters);
+  List.iter
+    (fun n ->
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s\" [label=\"%s\", shape=%s, peripheries=%d];\n"
+           (escape n.id) (escape n.label) n.shape n.peripheries))
+    (List.rev t.nodes);
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s\" -> \"%s\" [label=\"%s\", style=%s];\n" (escape e.src)
+           (escape e.dst) (escape e.elabel) e.style))
+    (List.rev t.edges);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write t path =
+  let oc = open_out path in
+  output_string oc (to_string t);
+  close_out oc

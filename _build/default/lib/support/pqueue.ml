@@ -1,0 +1,71 @@
+(** Binary min-heap priority queue.
+
+    Used by the discrete-event scheduling simulator and the many-core
+    runtime to order pending events by cycle time.  Ties are broken by
+    insertion order so simulations are deterministic. *)
+
+type 'a t = {
+  mutable heap : (int * int * 'a) array; (* priority, sequence, payload *)
+  mutable size : int;
+  mutable seq : int;
+  dummy : 'a;
+}
+
+let create ~dummy = { heap = Array.make 16 (0, 0, dummy); size = 0; seq = 0; dummy }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+let lt (p1, s1, _) (p2, s2, _) = p1 < p2 || (p1 = p2 && s1 < s2)
+
+let grow t =
+  let heap = Array.make (2 * Array.length t.heap) (0, 0, t.dummy) in
+  Array.blit t.heap 0 heap 0 t.size;
+  t.heap <- heap
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if lt t.heap.(i) t.heap.(parent) then begin
+      let tmp = t.heap.(i) in
+      t.heap.(i) <- t.heap.(parent);
+      t.heap.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && lt t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && lt t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = t.heap.(i) in
+    t.heap.(i) <- t.heap.(!smallest);
+    t.heap.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+(** [push t ~prio v] inserts [v] with priority [prio] (smaller pops first). *)
+let push t ~prio v =
+  if t.size = Array.length t.heap then grow t;
+  t.heap.(t.size) <- (prio, t.seq, v);
+  t.seq <- t.seq + 1;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+(** [pop t] removes and returns the minimum-priority element with its
+    priority, or [None] when the queue is empty. *)
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let (prio, _, v) = t.heap.(0) in
+    t.size <- t.size - 1;
+    t.heap.(0) <- t.heap.(t.size);
+    t.heap.(t.size) <- (0, 0, t.dummy);
+    if t.size > 0 then sift_down t 0;
+    Some (prio, v)
+  end
+
+(** [peek t] returns the minimum element without removing it. *)
+let peek t = if t.size = 0 then None else (let (p, _, v) = t.heap.(0) in Some (p, v))

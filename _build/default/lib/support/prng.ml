@@ -1,0 +1,60 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in the Bamboo pipeline (candidate-layout sampling,
+    simulated-annealing acceptance, benchmark input generation) flows
+    through this module so that every experiment is exactly
+    reproducible.  The generator is splitmix64, which is small, fast,
+    and has a well-understood output distribution. *)
+
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* One splitmix64 step: golden-gamma increment followed by two
+   xor-shift-multiply mixing rounds. *)
+let next_int64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+(* 62 nonnegative bits *)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  bits t mod bound
+
+let int_range t ~lo ~hi =
+  if hi < lo then invalid_arg "Prng.int_range: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  if bound < 0.0 then invalid_arg "Prng.float: negative bound";
+  let u = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  bound *. u /. 9007199254740992.0 (* 2^53 *)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(** [choice t arr] picks a uniformly random element of [arr]. *)
+let choice t arr =
+  if Array.length arr = 0 then invalid_arg "Prng.choice: empty array";
+  arr.(int t (Array.length arr))
+
+(** In-place Fisher-Yates shuffle. *)
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+(** [split t] derives an independent generator; used to give each
+    experiment phase its own stream without consuming the parent's. *)
+let split t =
+  let s = next_int64 t in
+  { state = s }

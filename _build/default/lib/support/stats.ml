@@ -1,0 +1,68 @@
+(** Small statistics toolkit used by the profiler (per-exit task
+    statistics), the experiment harness (speedups, error percentages)
+    and the Figure-10 histograms. *)
+
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let meani xs = mean (List.map float_of_int xs)
+
+let variance xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+      let m = mean xs in
+      let n = float_of_int (List.length xs) in
+      List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs /. (n -. 1.0)
+
+let stddev xs = sqrt (variance xs)
+
+let minf = function [] -> nan | x :: xs -> List.fold_left min x xs
+let maxf = function [] -> nan | x :: xs -> List.fold_left max x xs
+
+(** [percentile p xs] is the [p]-th percentile (0..100) by
+    nearest-rank on the sorted data. *)
+let percentile p xs =
+  match List.sort compare xs with
+  | [] -> nan
+  | sorted ->
+      let n = List.length sorted in
+      let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+      let rank = max 1 (min n rank) in
+      List.nth sorted (rank - 1)
+
+(** Histogram with [bins] equal-width buckets spanning the data range.
+    Returns [(lo, hi, count)] per bucket, matching the presentation of
+    Figure 10 in the paper. *)
+let histogram ~bins xs =
+  if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";
+  match xs with
+  | [] -> []
+  | _ ->
+      let lo = minf xs and hi = maxf xs in
+      let width = if hi = lo then 1.0 else (hi -. lo) /. float_of_int bins in
+      let counts = Array.make bins 0 in
+      List.iter
+        (fun x ->
+          let b = int_of_float ((x -. lo) /. width) in
+          let b = max 0 (min (bins - 1) b) in
+          counts.(b) <- counts.(b) + 1)
+        xs;
+      List.init bins (fun b ->
+          (lo +. (float_of_int b *. width), lo +. (float_of_int (b + 1) *. width), counts.(b)))
+
+(** Relative percentage of each histogram bucket, as in Figure 10. *)
+let histogram_pct ~bins xs =
+  let total = float_of_int (List.length xs) in
+  histogram ~bins xs
+  |> List.map (fun (lo, hi, c) ->
+         (lo, hi, if total = 0.0 then 0.0 else 100.0 *. float_of_int c /. total))
+
+(** Signed relative error of an estimate vs. a reference, in percent:
+    [(estimate - real) / real * 100], the quantity of Figure 9. *)
+let error_pct ~estimate ~real =
+  if real = 0.0 then 0.0 else (estimate -. real) /. real *. 100.0
+
+(** Speedup of [base] cycles over [par] cycles, the quantity of Figure 7. *)
+let speedup ~base ~par = if par = 0.0 then infinity else base /. par

@@ -1,0 +1,52 @@
+(** Plain-text table rendering for experiment output.  Every
+    reproduction table (Figures 7, 9, 10, 11) is printed through this
+    module so `bench_output.txt` is uniform and diffable. *)
+
+type align = Left | Right
+
+(** [render ~headers rows] lays out a column-aligned table.  Numeric
+    columns should be pre-formatted by the caller; alignment defaults
+    to left for the first column and right elsewhere. *)
+let render ?aligns ~headers rows =
+  let ncols = List.length headers in
+  let aligns =
+    match aligns with
+    | Some a -> a
+    | None -> List.init ncols (fun i -> if i = 0 then Left else Right)
+  in
+  let widths = Array.make ncols 0 in
+  let measure row =
+    List.iteri (fun i cell -> if i < ncols then widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  measure headers;
+  List.iter measure rows;
+  let pad align width s =
+    let n = width - String.length s in
+    if n <= 0 then s
+    else match align with Left -> s ^ String.make n ' ' | Right -> String.make n ' ' ^ s
+  in
+  let line row =
+    String.concat "  "
+      (List.mapi (fun i cell -> pad (List.nth aligns i) widths.(i) cell) row)
+  in
+  let sep =
+    String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  String.concat "\n" (line headers :: sep :: List.map line rows)
+
+let print ?aligns ~headers rows = print_endline (render ?aligns ~headers rows)
+
+let fmt_float ?(prec = 1) f =
+  if Float.is_integer f && Float.abs f < 1e15 && prec = 0 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.*f" prec f
+
+(** Renders a histogram as rows of percentage bars, the textual
+    analogue of Figure 10's charts. *)
+let render_histogram ?(width = 50) buckets =
+  let bar pct = String.make (int_of_float (pct /. 100.0 *. float_of_int width)) '#' in
+  String.concat "\n"
+    (List.map
+       (fun (lo, hi, pct) ->
+         Printf.sprintf "  [%12.3e, %12.3e)  %5.1f%% %s" lo hi pct (bar pct))
+       buckets)

@@ -1,0 +1,41 @@
+(** Union-find over dense integer keys, with path compression and
+    union by rank.  The disjointness analysis uses it to merge task
+    parameters into shared-lock groups. *)
+
+type t = { parent : int array; rank : int array }
+
+let create n = { parent = Array.init n (fun i -> i); rank = Array.make n 0 }
+
+let rec find t i =
+  let p = t.parent.(i) in
+  if p = i then i
+  else begin
+    let root = find t p in
+    t.parent.(i) <- root;
+    root
+  end
+
+(** [union t i j] merges the classes of [i] and [j]; returns the new root. *)
+let union t i j =
+  let ri = find t i and rj = find t j in
+  if ri = rj then ri
+  else if t.rank.(ri) < t.rank.(rj) then (t.parent.(ri) <- rj; rj)
+  else if t.rank.(ri) > t.rank.(rj) then (t.parent.(rj) <- ri; ri)
+  else begin
+    t.parent.(rj) <- ri;
+    t.rank.(ri) <- t.rank.(ri) + 1;
+    ri
+  end
+
+let same t i j = find t i = find t j
+
+(** [groups t] lists the equivalence classes as sorted member lists. *)
+let groups t =
+  let tbl = Hashtbl.create 16 in
+  Array.iteri
+    (fun i _ ->
+      let r = find t i in
+      Hashtbl.replace tbl r (i :: (try Hashtbl.find tbl r with Not_found -> [])))
+    t.parent;
+  Hashtbl.fold (fun _ members acc -> List.rev members :: acc) tbl []
+  |> List.sort compare

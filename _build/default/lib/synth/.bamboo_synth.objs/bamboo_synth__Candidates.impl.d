@@ -1,0 +1,1 @@
+lib/synth/candidates.ml: Array Bamboo_analysis Bamboo_cstg Bamboo_graph Bamboo_ir Bamboo_machine Bamboo_profile Bamboo_support Hashtbl List

@@ -1,0 +1,1 @@
+lib/synth/dsa.ml: Array Bamboo_cstg Bamboo_ir Bamboo_machine Bamboo_profile Bamboo_sim Bamboo_support Candidates Hashtbl List

@@ -1,0 +1,348 @@
+(** Candidate implementation generation (§4.3).
+
+    The generator characterizes the application as a task-level
+    dependence graph derived from the CSTG and the profile, groups
+    tasks into strongly connected components (core groups — tasks in
+    a group are co-located by default, the data-locality rule),
+    decides a replication count for every replicable task with the
+    data-parallelization and rate-matching rules, and finally
+    searches for non-isomorphic mappings of task instances onto
+    physical cores, randomly skipping subsets of the search space as
+    in §4.3.4.
+
+    A task is {e replicable} when it has a single parameter, or when
+    every parameter carries a tag constraint (tag-hash routing then
+    keeps co-tagged objects together); a multi-parameter task without
+    tags is pinned to a single instantiation, and tasks that consume
+    the startup object are never replicated. *)
+
+module Ir = Bamboo_ir.Ir
+module Cstg = Bamboo_cstg.Cstg
+module Profile = Bamboo_profile.Profile
+module Machine = Bamboo_machine.Machine
+module Layout = Bamboo_machine.Layout
+module Astg = Bamboo_analysis.Astg
+module Digraph = Bamboo_graph.Digraph
+module Prng = Bamboo_support.Prng
+
+(* ------------------------------------------------------------------ *)
+(* Task-level dependence graph *)
+
+(** Edge weight: expected number of objects an invocation of the
+    source task feeds to the destination task. *)
+let task_graph (g : Cstg.t) (profile : Profile.t) =
+  let prog = g.Cstg.prog in
+  let ntasks = Array.length prog.tasks in
+  let weights = Hashtbl.create 32 in
+  let add src dst w =
+    if w > 0.0 then
+      Hashtbl.replace weights (src, dst)
+        (w +. (try Hashtbl.find weights (src, dst) with Not_found -> 0.0))
+  in
+  let consumed_by (task : Ir.taskinfo) (cid, s) =
+    Array.exists (fun (p : Ir.paraminfo) -> p.p_class = cid && Astg.astate_satisfies p s) task.t_params
+  in
+  (* Allocation edges: producer allocates objects whose initial state
+     the consumer processes. *)
+  Array.iter
+    (fun (t1 : Ir.taskinfo) ->
+      List.iter
+        (fun (sid, avg) ->
+          let site = prog.sites.(sid) in
+          let s : Astg.astate =
+            { as_flags = Ir.site_initial_word site; as_tags = Astg.site_tag_bits prog site }
+          in
+          Array.iter
+            (fun (t2 : Ir.taskinfo) ->
+              if consumed_by t2 (site.s_class, s) then add t1.t_id t2.t_id avg)
+            prog.tasks)
+        (Profile.avg_alloc_per_invocation profile t1.t_id))
+    prog.tasks;
+  (* Transition edges: producer moves a parameter into a state the
+     consumer processes. *)
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun (tr : Cstg.transition) ->
+      if tr.c_src <> tr.c_dst then begin
+        let p = Profile.exit_prob profile tr.c_task tr.c_exit in
+        Array.iter
+          (fun (t2 : Ir.taskinfo) ->
+            if consumed_by t2 tr.c_dst then begin
+              let key = (tr.c_task, tr.c_exit, tr.c_dst, t2.t_id) in
+              if not (Hashtbl.mem seen key) then begin
+                Hashtbl.replace seen key ();
+                add tr.c_task t2.t_id p
+              end
+            end)
+          prog.tasks
+      end)
+    g.Cstg.transitions;
+  let dg = Digraph.create ~hint:(max 1 ntasks) () in
+  Digraph.ensure dg ntasks;
+  Hashtbl.iter (fun (src, dst) w -> Digraph.add_edge dg ~src ~dst ~label:w) weights;
+  dg
+
+(* ------------------------------------------------------------------ *)
+(* Replicability and rule-derived multiplicities *)
+
+let task_replicable (prog : Ir.program) (t : Ir.taskinfo) =
+  Layout.multi_instance_ok t
+  && Array.length t.t_params > 0
+  && Array.for_all (fun (p : Ir.paraminfo) -> p.p_class <> prog.startup) t.t_params
+
+(** Per-task replication counts from the data-parallelization and
+    rate-matching rules (§4.3.3). *)
+let task_mults (prog : Ir.program) (profile : Profile.t) dg ~(machine : Machine.t) : int array
+    =
+  Array.map
+    (fun (t : Ir.taskinfo) ->
+      if not (task_replicable prog t) then 1
+      else begin
+        let incoming =
+          Digraph.edges dg |> List.filter (fun (e : float Digraph.edge) -> e.dst = t.t_id && e.src <> t.t_id)
+        in
+        let mult =
+          List.fold_left
+            (fun acc (e : float Digraph.edge) ->
+              let m = e.label in
+              (* Data-parallelization rule: one copy per expected
+                 object a single producer invocation creates. *)
+              let dp = int_of_float (ceil m) in
+              (* Rate-matching rule: match the consumption rate to the
+                 producer's cycling rate. *)
+              let tcycle = Profile.task_avg_cycles profile e.src in
+              let tprocess = Profile.task_avg_cycles profile t.t_id in
+              let rm =
+                if tcycle > 0.0 && tprocess > 0.0 then
+                  int_of_float (ceil (m *. tprocess /. tcycle))
+                else dp
+              in
+              max acc (max dp rm))
+            1 incoming
+        in
+        max 1 (min machine.Machine.cores mult)
+      end)
+    prog.tasks
+
+(** Core groups (SCCs of the task graph); tasks in a group share their
+    primary instance's core — the data-locality rule. *)
+type grouping = {
+  group_of : int array;     (* task id -> group id *)
+  ngroups : int;
+}
+
+let scc_grouping (prog : Ir.program) dg : grouping =
+  let comp, ncomps = Digraph.scc dg in
+  ignore prog;
+  { group_of = comp; ngroups = ncomps }
+
+(* ------------------------------------------------------------------ *)
+(* Layout construction *)
+
+(** Build a layout from (a) a home core per group and (b) extra cores
+    per task instance beyond the first. *)
+let build_layout (prog : Ir.program) machine (grouping : grouping) ~(homes : int array)
+    ~(extras : int array array) : Layout.t =
+  let l = Layout.create machine ~ntasks:(Array.length prog.tasks) in
+  Array.iteri
+    (fun tid (t : Ir.taskinfo) ->
+      ignore t;
+      let home = homes.(grouping.group_of.(tid)) in
+      let cores = Array.append [| home |] extras.(tid) in
+      (* Deduplicate while keeping order. *)
+      let seen = Hashtbl.create 4 in
+      let cores =
+        Array.to_list cores
+        |> List.filter (fun c ->
+               if Hashtbl.mem seen c then false
+               else begin
+                 Hashtbl.replace seen c ();
+                 true
+               end)
+        |> Array.of_list
+      in
+      Layout.set_cores l tid cores)
+    prog.tasks;
+  l
+
+(** One random candidate for the given per-task multiplicities.  The
+    extra instances of a task land on *distinct* random cores —
+    replicating a task [m] times only helps if the copies actually
+    occupy [m] cores. *)
+let random_layout rng (prog : Ir.program) machine (grouping : grouping) (mults : int array) =
+  let ncores = machine.Machine.cores in
+  let homes = Array.init grouping.ngroups (fun _ -> Prng.int rng ncores) in
+  let extras =
+    Array.mapi
+      (fun tid _ ->
+        let m = max 0 (mults.(tid) - 1) in
+        if m = 0 then [||]
+        else begin
+          let home = homes.(grouping.group_of.(tid)) in
+          let pool = Array.init ncores (fun c -> c) in
+          Prng.shuffle rng pool;
+          let picked = Array.to_list pool |> List.filter (fun c -> c <> home) in
+          Array.of_list
+            (List.filteri (fun i _ -> i < m) picked)
+        end)
+      prog.tasks
+  in
+  build_layout prog machine grouping ~homes ~extras
+
+(** Generate up to [n] distinct random candidates (deduplicated by
+    layout isomorphism key). *)
+let random_candidates ?(attempts_factor = 20) rng (prog : Ir.program) machine grouping mults n
+    =
+  let seen = Hashtbl.create 64 in
+  let out = ref [] in
+  let count = ref 0 in
+  let attempts = ref 0 in
+  while !count < n && !attempts < n * attempts_factor do
+    incr attempts;
+    let l = random_layout rng prog machine grouping mults in
+    let key = Layout.canonical_key l in
+    if (not (Hashtbl.mem seen key)) && Layout.validate prog l = [] then begin
+      Hashtbl.replace seen key ();
+      out := l :: !out;
+      incr count
+    end
+  done;
+  List.rev !out
+
+(** Randomly perturb per-task multiplicities — used to diversify the
+    seed pool and DSA restarts. *)
+let perturb_mults rng machine (prog : Ir.program) (mults : int array) =
+  Array.mapi
+    (fun tid m ->
+      if not (task_replicable prog prog.tasks.(tid)) then 1
+      else if m = 1 && Prng.int rng 4 > 0 then 1
+      else begin
+        let choices =
+          [ 1; 2; m / 2; m; m * 2; machine.Machine.cores ]
+          |> List.filter (fun x -> x >= 1 && x <= machine.Machine.cores)
+          |> List.sort_uniq compare
+        in
+        List.nth choices (Prng.int rng (List.length choices))
+      end)
+    mults
+
+(* ------------------------------------------------------------------ *)
+(* Enumeration (§4.3.4, used by the Figure 10 experiment) *)
+
+(** Enumerate non-isomorphic candidate layouts by backtracking over
+    per-task multiplicity choices and canonical core assignments
+    (every new instance may reuse an already-used core or claim the
+    single next fresh one).  [skip] in (0,1) randomly skips subtrees,
+    implementing the paper's randomized search-space sampling; [cap]
+    bounds the number of layouts returned. *)
+let enumerate ?(cap = 100_000) ?(skip = 0.0) ?seed ?mult_choices (prog : Ir.program) machine
+    (grouping : grouping) (rule_mults : int array) =
+  let rng = Prng.create ~seed:(match seed with Some s -> s | None -> 1) in
+  let out = ref [] in
+  let count = ref 0 in
+  let seen = Hashtbl.create 1024 in
+  let ntasks = Array.length prog.tasks in
+  let mult_options tid =
+    if not (task_replicable prog prog.tasks.(tid)) then [ 1 ]
+    else
+      match mult_choices with
+      | Some f -> f tid
+      | None ->
+          [ 1; 2; 4; 8; rule_mults.(tid); machine.Machine.cores ]
+          |> List.filter (fun m -> m >= 1 && m <= machine.Machine.cores)
+          |> List.sort_uniq compare
+  in
+  (* The layout key collapses many assignment sequences, so a cap on
+     distinct results alone would not bound the search: the number of
+     explored leaves is bounded as well. *)
+  let leaves = ref 0 in
+  let max_leaves = cap * 200 in
+  let exception Done in
+  (try
+     let rec choose_mults tid mults =
+       if !count >= cap || !leaves >= max_leaves then raise Done;
+       if tid = ntasks then begin
+         (* Assignment decisions: one home per group, then the extra
+            instances of each task. *)
+         let homes = Array.make grouping.ngroups 0 in
+         let extras = Array.map (fun m -> Array.make (max 0 (m - 1)) 0) mults in
+         let rec assign_homes g used =
+           if !count >= cap || !leaves >= max_leaves then raise Done;
+           if g = grouping.ngroups then assign_extras 0 0 used 0
+           else
+             let limit = min (machine.Machine.cores - 1) used in
+             for c = 0 to limit do
+               if not (skip > 0.0 && Prng.float rng 1.0 < skip) then begin
+                 homes.(g) <- c;
+                 assign_homes (g + 1) (max used (c + 1))
+               end
+             done
+         and assign_extras tid inst used minc =
+           if !count >= cap || !leaves >= max_leaves then raise Done;
+           if tid = ntasks then emit ()
+           else if inst >= Array.length extras.(tid) then assign_extras (tid + 1) 0 used 0
+           else
+             (* Instances of one task are interchangeable: extras are
+                enumerated in non-decreasing order so that each multiset
+                of cores appears exactly once. *)
+             let limit = min (machine.Machine.cores - 1) used in
+             for c = minc to limit do
+               if not (skip > 0.0 && Prng.float rng 1.0 < skip) then begin
+                 extras.(tid).(inst) <- c;
+                 assign_extras tid (inst + 1) (max used (c + 1)) c
+               end
+             done
+         and emit () =
+           incr leaves;
+           let l = build_layout prog machine grouping ~homes ~extras in
+           let key = Layout.canonical_key l in
+           if (not (Hashtbl.mem seen key)) && Layout.validate prog l = [] then begin
+             Hashtbl.replace seen key ();
+             out := l :: !out;
+             incr count
+           end
+         in
+         assign_homes 0 0
+       end
+       else
+         List.iter
+           (fun m ->
+             let mults' = Array.copy mults in
+             mults'.(tid) <- m;
+             choose_mults (tid + 1) mults')
+           (mult_options tid)
+     in
+     choose_mults 0 (Array.make ntasks 1)
+   with Done -> ());
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end generation *)
+
+(** Candidate generation with rule-derived multiplicities: half the
+    pool at the rule values, half at perturbed values for diversity.
+    Returns the grouping and multiplicities alongside the layouts. *)
+let generate ?(n = 32) ~seed (prog : Ir.program) (g : Cstg.t) (profile : Profile.t)
+    (machine : Machine.t) =
+  let rng = Prng.create ~seed in
+  let dg = task_graph g profile in
+  let grouping = scc_grouping prog dg in
+  let mults = task_mults prog profile dg ~machine in
+  let base = random_candidates rng prog machine grouping mults (max 1 (n / 2)) in
+  let seen = Hashtbl.create 32 in
+  List.iter (fun l -> Hashtbl.replace seen (Layout.canonical_key l) ()) base;
+  let extra = ref [] in
+  let attempts = ref 0 in
+  while List.length base + List.length !extra < n && !attempts < 10 * n do
+    incr attempts;
+    let mults' = perturb_mults rng machine prog mults in
+    List.iter
+      (fun l ->
+        let key = Layout.canonical_key l in
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.replace seen key ();
+          extra := l :: !extra
+        end)
+      (random_candidates rng prog machine grouping mults' 1)
+  done;
+  (grouping, mults, base @ List.rev !extra)

@@ -1,0 +1,251 @@
+(** Directed simulated annealing (§4.5).
+
+    Standard simulated annealing explores neighbours blindly; the
+    paper's variant *directs* neighbour generation with the critical
+    path of the simulated execution: delayed task instances are
+    migrated or replicated onto spare cores, and non-key tasks that
+    block key tasks are moved away.  Candidate pruning is
+    probabilistic (good layouts survive with high probability, poor
+    ones with low probability) and the search continues past a local
+    maximum with a fixed probability. *)
+
+module Ir = Bamboo_ir.Ir
+module Machine = Bamboo_machine.Machine
+module Layout = Bamboo_machine.Layout
+module Profile = Bamboo_profile.Profile
+module Cstg = Bamboo_cstg.Cstg
+module Schedsim = Bamboo_sim.Schedsim
+module Critpath = Bamboo_sim.Critpath
+module Prng = Bamboo_support.Prng
+
+type config = {
+  initial_candidates : int;   (* random starting points per run *)
+  keep_good_prob : float;     (* survival probability for top half *)
+  keep_bad_prob : float;      (* survival probability for bottom half *)
+  continue_prob : float;      (* probability of continuing past a plateau *)
+  max_iterations : int;
+  neighbours_per_op : int;    (* layouts generated per critical-path opportunity *)
+  max_ops_per_layout : int;   (* critical-path opportunities considered per layout *)
+  max_neighbours : int;       (* neighbour layouts evaluated per layout per round *)
+  max_pool : int;             (* surviving layouts carried between rounds *)
+  sim_max_invocations : int;
+}
+
+let default_config =
+  {
+    initial_candidates = 8;
+    keep_good_prob = 0.9;
+    keep_bad_prob = 0.1;
+    (* the paper continues past a plateau "with a high probability" *)
+    continue_prob = 0.75;
+    max_iterations = 40;
+    neighbours_per_op = 3;
+    max_ops_per_layout = 6;
+    max_neighbours = 18;
+    max_pool = 24;
+    sim_max_invocations = 500_000;
+  }
+
+type outcome = {
+  best : Layout.t;
+  best_cycles : int;
+  iterations : int;
+  evaluated : int;            (* total layouts simulated *)
+}
+
+let evaluate cfg prog profile layout =
+  try (Schedsim.simulate ~max_invocations:cfg.sim_max_invocations prog profile layout).s_total_cycles
+  with Schedsim.Sim_overrun _ -> max_int
+
+(* ------------------------------------------------------------------ *)
+(* Neighbour generation *)
+
+(** Least-busy cores under a simulated execution — candidates for
+    receiving migrated work ("spare cores"). *)
+let spare_cores (r : Schedsim.result) machine k =
+  let busy = Array.mapi (fun i b -> (b, i)) r.s_per_core_busy in
+  Array.sort compare busy;
+  Array.to_list (Array.sub busy 0 (min k machine.Machine.cores)) |> List.map snd
+
+let with_task_moved prog layout tid ~from_core ~to_core =
+  let l = Layout.copy layout in
+  let cores = Layout.cores_of l tid in
+  let cores' = Array.map (fun c -> if c = from_core then to_core else c) cores in
+  Layout.set_cores l tid cores';
+  if Layout.validate prog l = [] then Some l else None
+
+let with_task_replicated prog layout tid ~on_core =
+  let l = Layout.copy layout in
+  let cores = Layout.cores_of l tid in
+  if Array.exists (fun c -> c = on_core) cores then None
+  else begin
+    Layout.set_cores l tid (Array.append cores [| on_core |]);
+    if Layout.validate prog l = [] then Some l else None
+  end
+
+(** Layouts attempting to remove the bottlenecks reported by the
+    critical path analysis. *)
+let rec take n = function [] -> [] | x :: rest -> if n <= 0 then [] else x :: take (n - 1) rest
+
+(** Random mutation used to escape plateaus: move or replicate a few
+    random task instances. *)
+let shake rng prog layout =
+  let machine = layout.Layout.machine in
+  let l = ref (Layout.copy layout) in
+  let nmut = 1 + Prng.int rng 3 in
+  for _ = 1 to nmut do
+    let tid = Prng.int rng (Array.length prog.Ir.tasks) in
+    let cores = Layout.cores_of !l tid in
+    if Array.length cores > 0 then begin
+      let target = Prng.int rng machine.Machine.cores in
+      let cand =
+        if Prng.bool rng then with_task_replicated prog !l tid ~on_core:target
+        else
+          with_task_moved prog !l tid
+            ~from_core:cores.(Prng.int rng (Array.length cores))
+            ~to_core:target
+      in
+      match cand with Some l' -> l := l' | None -> ()
+    end
+  done;
+  !l
+
+let neighbours cfg rng prog (r : Schedsim.result) layout (ops : Critpath.opportunity list) =
+  let ops = take cfg.max_ops_per_layout ops in
+  let machine = layout.Layout.machine in
+  let spares = spare_cores r machine (max 2 cfg.neighbours_per_op) in
+  let per_op op =
+    match op with
+    | Critpath.Migrate_delayed (tid, core) ->
+        (* Single-instance moves/replications onto spare cores, plus a
+           bulk variant that claims every spare at once — without it,
+           growing a task from one instance to a full machine would
+           need one iteration per core. *)
+        let bulk =
+          List.fold_left
+            (fun acc spare ->
+              match acc with
+              | Some l -> (
+                  match with_task_replicated prog l tid ~on_core:spare with
+                  | Some l' -> Some l'
+                  | None -> Some l)
+              | None -> with_task_replicated prog layout tid ~on_core:spare)
+            None spares
+        in
+        (match bulk with Some l -> [ l ] | None -> [])
+        @ List.filter_map
+            (fun spare ->
+              if spare = core then None
+              else if Prng.bool rng then with_task_replicated prog layout tid ~on_core:spare
+              else with_task_moved prog layout tid ~from_core:core ~to_core:spare)
+            spares
+    | Critpath.Move_non_key (tid, core) ->
+        List.filter_map
+          (fun spare ->
+            if spare = core then None
+            else with_task_moved prog layout tid ~from_core:core ~to_core:spare)
+          spares
+  in
+  let directed = take cfg.max_neighbours (List.concat_map per_op ops) in
+  (* Fallback random perturbation keeps the search alive when the
+     critical path offers nothing. *)
+  let random_moves =
+    if directed = [] then
+      List.filter_map
+        (fun _ ->
+          let tid = Prng.int rng (Array.length prog.Ir.tasks) in
+          let cores = Layout.cores_of layout tid in
+          if Array.length cores = 0 then None
+          else
+            let from_core = cores.(Prng.int rng (Array.length cores)) in
+            let to_core = Prng.int rng machine.Machine.cores in
+            with_task_moved prog layout tid ~from_core ~to_core)
+        (List.init cfg.neighbours_per_op (fun i -> i))
+    else []
+  in
+  directed @ random_moves
+
+(* ------------------------------------------------------------------ *)
+(* Main loop *)
+
+(** Optimize starting from [seeds] (already-generated candidate
+    layouts).  Returns the best layout found and its estimated
+    cycles. *)
+let optimize ?(config = default_config) ~seed (prog : Ir.program) (profile : Profile.t)
+    (seeds : Layout.t list) : outcome =
+  if seeds = [] then invalid_arg "Dsa.optimize: no seed layouts";
+  let rng = Prng.create ~seed in
+  let evaluated = ref 0 in
+  let eval l =
+    incr evaluated;
+    evaluate config prog profile l
+  in
+  let scored = List.map (fun l -> (eval l, l)) seeds in
+  let best = ref (List.fold_left min (List.hd scored) (List.tl scored)) in
+  let pool = ref scored in
+  let iter = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !iter < config.max_iterations do
+    incr iter;
+    (* Probabilistic pruning. *)
+    let sorted = List.sort (fun (a, _) (b, _) -> compare a b) !pool in
+    let n = List.length sorted in
+    let kept =
+      List.filteri
+        (fun i (_, _) ->
+          let p = if i < (n + 1) / 2 then config.keep_good_prob else config.keep_bad_prob in
+          i = 0 || Prng.float rng 1.0 < p)
+        sorted
+    in
+    let kept = take config.max_pool kept in
+    (* Directed neighbour generation. *)
+    let news =
+      List.concat_map
+        (fun (_, l) ->
+          try
+            let r = Schedsim.simulate ~max_invocations:config.sim_max_invocations prog profile l in
+            let cp = Critpath.analyse r in
+            let ops = Critpath.opportunities cp in
+            neighbours config rng prog r l ops
+          with Schedsim.Sim_overrun _ -> [])
+        kept
+    in
+    (* Deduplicate against the pool. *)
+    let seen = Hashtbl.create 64 in
+    List.iter (fun (_, l) -> Hashtbl.replace seen (Layout.canonical_key l) ()) kept;
+    let news =
+      List.filter
+        (fun l ->
+          let key = Layout.canonical_key l in
+          if Hashtbl.mem seen key then false
+          else begin
+            Hashtbl.replace seen key ();
+            true
+          end)
+        news
+    in
+    let scored_news = List.map (fun l -> (eval l, l)) news in
+    pool := kept @ scored_news;
+    let round_best = List.fold_left min (List.hd !pool) (List.tl !pool) in
+    if fst round_best < fst !best then best := round_best
+    else if Prng.float rng 1.0 >= config.continue_prob then continue_ := false
+    else begin
+      (* Plateau: diversify around the best layout so continued
+         search explores new directions rather than re-deriving the
+         same neighbours. *)
+      let shakes =
+        List.init 4 (fun _ -> shake rng prog (snd !best)) |> List.map (fun l -> (eval l, l))
+      in
+      pool := !pool @ shakes
+    end
+  done;
+  { best = snd !best; best_cycles = fst !best; iterations = !iter; evaluated = !evaluated }
+
+(** Full synthesis pipeline: candidate generation followed by DSA, as
+    the compiler's backend would run it. *)
+let synthesize ?(config = default_config) ?(ncandidates = 16) ~seed (prog : Ir.program)
+    (g : Cstg.t) (profile : Profile.t) (machine : Machine.t) : outcome =
+  let _grouping, _mults, seeds = Candidates.generate ~n:ncandidates ~seed prog g profile machine in
+  if seeds = [] then
+    invalid_arg "Dsa.synthesize: candidate generation produced no valid layout";
+  optimize ~config ~seed:(seed + 1) prog profile seeds

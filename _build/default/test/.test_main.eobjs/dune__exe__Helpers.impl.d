@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Bamboo Bamboo_frontend List QCheck_alcotest

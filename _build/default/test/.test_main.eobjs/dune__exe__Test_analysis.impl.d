@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array Bamboo Helpers List Str_find

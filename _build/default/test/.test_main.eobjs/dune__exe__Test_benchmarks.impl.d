@@ -1,0 +1,1 @@
+test/test_benchmarks.ml: Alcotest Array Bamboo Bamboo_benchmarks Helpers List Printf Str_find String

@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Array Bamboo Gen Helpers List Printf QCheck String

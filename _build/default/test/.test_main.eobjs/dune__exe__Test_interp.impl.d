@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Bamboo Helpers Printf QCheck Str_find String

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Bamboo Hashtbl Helpers List Printf QCheck String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Bamboo Helpers List Printf Str_find

@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Array Bamboo Dot Gen Helpers List Pqueue QCheck Str_find String Table Union_find

@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Array Bamboo Helpers List QCheck

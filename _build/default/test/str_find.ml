@@ -1,0 +1,12 @@
+(** Substring search used by tests (no external regex dependency). *)
+
+let contains haystack needle =
+  let n = String.length haystack and m = String.length needle in
+  if m = 0 then true
+  else begin
+    let found = ref false in
+    for i = 0 to n - m do
+      if (not !found) && String.sub haystack i m = needle then found := true
+    done;
+    !found
+  end

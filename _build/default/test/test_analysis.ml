@@ -1,0 +1,281 @@
+(** Tests for the dependence (ASTG), disjointness and CSTG analyses. *)
+
+module Ir = Bamboo.Ir
+module Astg = Bamboo.Astg
+module Disjoint = Bamboo.Disjoint
+module Cstg = Bamboo.Cstg
+
+let counter_prog () = Helpers.compile Helpers.counter_src
+let counter_analysis () = Bamboo.analyse (counter_prog ())
+
+let astg_of prog name =
+  let cid = Ir.find_class_exn prog name in
+  Astg.of_class prog cid
+
+let test_astg_item_states () =
+  let prog = counter_prog () in
+  let a = astg_of prog "Item" in
+  (* {todo}, {done}, {} *)
+  Helpers.check_int "three states" 3 (List.length a.a_states);
+  Helpers.check_int "one allocation state" 1 (List.length a.a_alloc);
+  let alloc_state = fst (List.hd a.a_alloc) in
+  Helpers.check_string "allocated in todo" "{todo}"
+    (Ir.string_of_flagword prog a.a_class alloc_state.as_flags)
+
+let test_astg_transitions () =
+  let prog = counter_prog () in
+  let a = astg_of prog "Item" in
+  let work = match Ir.find_task prog "work" with Some t -> t.t_id | None -> -1 in
+  let work_trans = List.filter (fun (t : Astg.transition) -> t.tr_task = work) a.a_transitions in
+  Helpers.check_bool "work: todo -> done" true
+    (List.exists
+       (fun (t : Astg.transition) -> t.tr_src.as_flags <> t.tr_dst.as_flags)
+       work_trans)
+
+let test_astg_startup () =
+  let prog = counter_prog () in
+  let a = astg_of prog "StartupObject" in
+  (* {initialstate} and {} *)
+  Helpers.check_int "two states" 2 (List.length a.a_states)
+
+let test_astg_dead_task () =
+  let prog =
+    Helpers.compile
+      {|
+      class C { flag a; flag b; }
+      task startup(StartupObject s in initialstate) {
+        C c = new C(){a := true};
+        taskexit(s: initialstate := false);
+      }
+      task alive(C c in a) { taskexit(c: a := false); }
+      task dead(C c in b) { taskexit(c: b := false); }
+      |}
+  in
+  let astgs = Astg.of_program prog in
+  let dead = Astg.dead_tasks prog astgs in
+  let names = List.map (fun tid -> prog.tasks.(tid).Ir.t_name) dead in
+  Alcotest.(check (list string)) "only 'dead' unreachable" [ "dead" ] names
+
+let test_astg_tags () =
+  let prog =
+    Helpers.compile
+      {|
+      class C { flag f; flag g; }
+      task startup(StartupObject s in initialstate) {
+        tag tv = new tag(group);
+        C c = new C(){f := true, add tv};
+        taskexit(s: initialstate := false);
+      }
+      task consume(C c in f with group tv) {
+        taskexit(c: f := false, g := true, clear tv);
+      }
+      |}
+  in
+  let a = astg_of prog "C" in
+  let alloc_state = fst (List.hd a.a_alloc) in
+  Helpers.check_int "allocated with tag bit" 1 alloc_state.as_tags;
+  (* consume clears the tag: some successor state has tag bit 0 *)
+  Helpers.check_bool "tag cleared in a successor" true
+    (List.exists
+       (fun (t : Astg.transition) -> t.tr_src.as_tags = 1 && t.tr_dst.as_tags = 0)
+       a.a_transitions)
+
+let test_consumers_of_state () =
+  let prog = counter_prog () in
+  let cid = Ir.find_class_exn prog "Item" in
+  let todo_bit = match Ir.flag_index (Ir.class_of prog cid) "todo" with Some b -> b | None -> -1 in
+  let consumers =
+    Astg.consumers_of_state prog cid { as_flags = 1 lsl todo_bit; as_tags = 0 }
+  in
+  let names = List.map (fun (tid, _) -> prog.tasks.(tid).Ir.t_name) consumers in
+  Alcotest.(check (list string)) "work consumes todo items" [ "work" ] names
+
+(* ------------------------------------------------------------------ *)
+(* Disjointness *)
+
+let disjoint_pairs src taskname =
+  let prog = Helpers.compile src in
+  let reports = Disjoint.analyse prog in
+  let t = match Ir.find_task prog taskname with Some t -> t.t_id | None -> -1 in
+  (List.find (fun (r : Disjoint.task_report) -> r.dr_task = t) reports).dr_shared_pairs
+
+let test_disjoint_clean () =
+  (* collect reads ints from the item; no references flow *)
+  Alcotest.(check (list (pair int int))) "no sharing in counter collect" []
+    (disjoint_pairs Helpers.counter_src "collect")
+
+let test_disjoint_direct_store () =
+  let src =
+    {|
+    class A { flag fa; B child; }
+    class B { flag fb; }
+    task link(A a in fa, B b in fb) {
+      a.child = b;
+      taskexit(a: fa := false; b: fb := false);
+    }
+    |}
+  in
+  Alcotest.(check (list (pair int int))) "storing b into a shares" [ (0, 1) ]
+    (disjoint_pairs src "link")
+
+let test_disjoint_via_method () =
+  let src =
+    {|
+    class A { flag fa; B child; void adopt(B b) { this.child = b; } }
+    class B { flag fb; }
+    task link(A a in fa, B b in fb) {
+      a.adopt(b);
+      taskexit(a: fa := false; b: fb := false);
+    }
+    |}
+  in
+  Alcotest.(check (list (pair int int))) "sharing through a method call" [ (0, 1) ]
+    (disjoint_pairs src "link")
+
+let test_disjoint_via_array () =
+  let src =
+    {|
+    class A { flag fa; B[] kids; A() { this.kids = new B[4]; } }
+    class B { flag fb; }
+    task link(A a in fa, B b in fb) {
+      a.kids[0] = b;
+      taskexit(a: fa := false; b: fb := false);
+    }
+    |}
+  in
+  Alcotest.(check (list (pair int int))) "sharing through an array field" [ (0, 1) ]
+    (disjoint_pairs src "link")
+
+let test_disjoint_local_array_only () =
+  let src =
+    {|
+    class A { flag fa; int x; }
+    class B { flag fb; int y; }
+    task nolink(A a in fa, B b in fb) {
+      A[] tmp = new A[2];
+      tmp[0] = a;
+      b.y = a.x;
+      taskexit(a: fa := false; b: fb := false);
+    }
+    |}
+  in
+  Alcotest.(check (list (pair int int))) "local array does not share" []
+    (disjoint_pairs src "nolink")
+
+let test_disjoint_shared_fresh_object () =
+  (* A fresh object pointing to both params does NOT make the params'
+     regions overlap (nothing in either region reaches it). *)
+  let src =
+    {|
+    class A { flag fa; }
+    class B { flag fb; }
+    class Pair { A left; B right; }
+    task pairup(A a in fa, B b in fb) {
+      Pair p = new Pair();
+      p.left = a;
+      p.right = b;
+      taskexit(a: fa := false; b: fb := false);
+    }
+    |}
+  in
+  Alcotest.(check (list (pair int int))) "fresh container does not share" []
+    (disjoint_pairs src "pairup")
+
+let test_lock_groups () =
+  let src =
+    {|
+    class A { flag fa; B child; }
+    class B { flag fb; }
+    class C { flag fc; int x; }
+    task link(A a in fa, B b in fb) {
+      a.child = b;
+      taskexit(a: fa := false; b: fb := false);
+    }
+    task solo(C c in fc) { taskexit(c: fc := false); }
+    |}
+  in
+  let prog = Helpers.compile src in
+  let groups = Disjoint.lock_groups prog (Disjoint.analyse prog) in
+  let cid n = Ir.find_class_exn prog n in
+  Helpers.check_int "A and B share a group" groups.(cid "A") groups.(cid "B");
+  Helpers.check_bool "C is alone" true (groups.(cid "C") = cid "C")
+
+(* ------------------------------------------------------------------ *)
+(* CSTG *)
+
+let test_cstg_structure () =
+  let an = counter_analysis () in
+  let g = an.cstg in
+  Helpers.check_bool "has states" true (List.length g.states >= 5);
+  Helpers.check_bool "has new edges" true (List.length g.new_edges >= 2);
+  (* startup allocates Items and the Acc *)
+  let prog = g.prog in
+  let startup = match Ir.find_task prog "startup" with Some t -> t.t_id | None -> -1 in
+  let startup_edges = List.filter (fun (e : Cstg.new_edge) -> e.c_by = startup) g.new_edges in
+  Helpers.check_int "startup allocates at two sites" 2 (List.length startup_edges)
+
+let test_cstg_producers () =
+  let an = counter_analysis () in
+  let prog = an.cstg.prog in
+  let tid name = match Ir.find_task prog name with Some t -> t.t_id | None -> -1 in
+  let producers = Cstg.producers_of an.cstg (tid "collect") in
+  Helpers.check_bool "work feeds collect" true (List.mem (tid "work") producers);
+  Helpers.check_bool "startup feeds work" true
+    (List.mem (tid "startup") (Cstg.producers_of an.cstg (tid "work")))
+
+let test_cstg_dot () =
+  let an = counter_analysis () in
+  let s = Bamboo.Dot.to_string (Cstg.to_dot an.cstg) in
+  List.iter
+    (fun needle -> Helpers.check_bool ("dot contains " ^ needle) true (Str_find.contains s needle))
+    [ "digraph"; "Class Item"; "work"; "style=dashed"; "{todo}" ];
+  let tf = Bamboo.Dot.to_string (Cstg.task_flow_dot an.cstg) in
+  Helpers.check_bool "task flow has collect" true (Str_find.contains tf "collect")
+
+let test_cstg_reachable_sites_through_methods () =
+  let prog =
+    Helpers.compile
+      {|
+      class Factory { flag f; C make() { return new C(){g := true}; } }
+      class C { flag g; }
+      task produce(Factory fa in f) {
+        C c = fa.make();
+        taskexit(fa: f := false);
+      }
+      |}
+  in
+  let astgs = Astg.of_program prog in
+  let g = Cstg.build prog astgs in
+  let produce = match Ir.find_task prog "produce" with Some t -> t.t_id | None -> -1 in
+  Helpers.check_bool "allocation inside called method is attributed" true
+    (List.exists (fun (e : Cstg.new_edge) -> e.c_by = produce) g.new_edges)
+
+let tests =
+  [
+    ( "analysis.astg",
+      [
+        Alcotest.test_case "item states" `Quick test_astg_item_states;
+        Alcotest.test_case "transitions" `Quick test_astg_transitions;
+        Alcotest.test_case "startup states" `Quick test_astg_startup;
+        Alcotest.test_case "dead task" `Quick test_astg_dead_task;
+        Alcotest.test_case "tags in states" `Quick test_astg_tags;
+        Alcotest.test_case "consumers of state" `Quick test_consumers_of_state;
+      ] );
+    ( "analysis.disjoint",
+      [
+        Alcotest.test_case "clean task" `Quick test_disjoint_clean;
+        Alcotest.test_case "direct store shares" `Quick test_disjoint_direct_store;
+        Alcotest.test_case "sharing via method" `Quick test_disjoint_via_method;
+        Alcotest.test_case "sharing via array" `Quick test_disjoint_via_array;
+        Alcotest.test_case "local array ok" `Quick test_disjoint_local_array_only;
+        Alcotest.test_case "fresh container ok" `Quick test_disjoint_shared_fresh_object;
+        Alcotest.test_case "lock groups" `Quick test_lock_groups;
+      ] );
+    ( "analysis.cstg",
+      [
+        Alcotest.test_case "structure" `Quick test_cstg_structure;
+        Alcotest.test_case "producers" `Quick test_cstg_producers;
+        Alcotest.test_case "dot output" `Quick test_cstg_dot;
+        Alcotest.test_case "sites through methods" `Quick test_cstg_reachable_sites_through_methods;
+      ] );
+  ]

@@ -1,0 +1,99 @@
+(** Tests over the six paper benchmarks (small inputs): both program
+    versions compile, produce identical results sequentially and in
+    parallel, and satisfy their output checks. *)
+
+module Registry = Bamboo_benchmarks.Registry
+module Bench_def = Bamboo_benchmarks.Bench_def
+module Ir = Bamboo.Ir
+
+let bench_case (b : Bench_def.t) =
+  let args = Helpers.small_args b.b_name in
+  Alcotest.test_case b.b_name `Quick (fun () ->
+      let prog = Helpers.compile b.b_source in
+      let seqprog = Helpers.compile b.b_seq_source in
+      let rs = Bamboo.Runtime.run_single ~args seqprog in
+      let r1 = Bamboo.Runtime.run_single ~args prog in
+      Helpers.check_bool "seq output check" true (b.b_check rs.r_output);
+      Helpers.check_bool "task output check" true (b.b_check r1.r_output);
+      Helpers.check_string "seq and task versions agree" rs.r_output r1.r_output;
+      let out4, c4 = Helpers.run_on_cores ~args b.b_source 4 in
+      Helpers.check_string "4-core output agrees" r1.r_output out4;
+      Helpers.check_bool "4-core no slower than 3x 1-core" true
+        (c4 < 3 * r1.r_total_cycles);
+      (* overhead of the task machinery exists but is bounded *)
+      Helpers.check_bool "task version costs at least the seq version" true
+        (r1.r_total_cycles >= rs.r_total_cycles))
+
+let analysis_case (b : Bench_def.t) =
+  Alcotest.test_case (b.b_name ^ " analyses") `Quick (fun () ->
+      let prog = Helpers.compile b.b_source in
+      let an = Bamboo.analyse prog in
+      (* no dead tasks in any shipped benchmark *)
+      Alcotest.(check (list int)) "no dead tasks" [] (Bamboo.Astg.dead_tasks prog an.astgs);
+      (* every task reachable from startup in the task flow *)
+      Helpers.check_bool "cstg has new-object edges" true (an.cstg.new_edges <> []);
+      (* merging tasks never introduce parameter sharing in these
+         benchmarks: partial results are copied by value *)
+      List.iter
+        (fun (r : Bamboo.Disjoint.task_report) ->
+          Alcotest.(check (list (pair int int)))
+            (Printf.sprintf "%s task %s disjoint" b.b_name prog.tasks.(r.dr_task).Ir.t_name)
+            [] r.dr_shared_pairs)
+        an.disjoint)
+
+let pipeline_case (b : Bench_def.t) =
+  Alcotest.test_case (b.b_name ^ " synthesis") `Quick (fun () ->
+      let args = Helpers.small_args b.b_name in
+      let prog = Helpers.compile b.b_source in
+      let an = Bamboo.analyse prog in
+      let prof = Bamboo.profile ~args prog in
+      let cfg = { Bamboo.Dsa.default_config with max_iterations = 5 } in
+      let o = Bamboo.synthesize ~config:cfg ~ncandidates:6 ~seed:2 prog an prof Bamboo.Machine.quad in
+      let r = Bamboo.execute ~args prog an o.best in
+      Helpers.check_bool "synthesized layout output ok" true (b.b_check r.r_output))
+
+let keyword_example () =
+  let b = Registry.keyword_counter in
+  let out = Helpers.run_output ~args:b.b_args b.b_source in
+  (* 9 spaces per section (8 words + trailing number token) x 16 sections *)
+  Helpers.check_string "keyword count" "keyword count: 144\n" out
+
+let deterministic_outputs () =
+  (* The Random builtin must make benchmark results reproducible. *)
+  List.iter
+    (fun name ->
+      let b = Registry.find name in
+      let args = Helpers.small_args name in
+      let a = Helpers.run_output ~args b.b_source in
+      let c = Helpers.run_output ~args b.b_source in
+      Helpers.check_string (name ^ " deterministic") a c)
+    [ "MonteCarlo"; "FilterBank"; "KMeans" ]
+
+let tracking_recovers_motion () =
+  (* frame shift is 1 px/frame; the tracker must report avg dx = 1.00 *)
+  let b = Registry.find "Tracking" in
+  let out = Helpers.run_output ~args:b.b_args b.b_source in
+  Helpers.check_bool "avg dx 100 (x100)" true (Str_find.contains out "tracking avg dx x100: 100")
+
+let kmeans_converges () =
+  let b = Registry.find "KMeans" in
+  let out = Helpers.run_output ~args:(Helpers.small_args "KMeans") b.b_source in
+  match Bench_def.output_value "kmeans iterations: " out with
+  | Some v ->
+      let iters = int_of_string (String.trim v) in
+      Helpers.check_bool "converged within budget" true (iters >= 1 && iters <= 4)
+  | None -> Alcotest.fail "no iteration count"
+
+let tests =
+  [
+    ("benchmarks.correctness", List.map bench_case Registry.paper_benchmarks);
+    ("benchmarks.analyses", List.map analysis_case Registry.paper_benchmarks);
+    ("benchmarks.synthesis", List.map pipeline_case Registry.paper_benchmarks);
+    ( "benchmarks.domain",
+      [
+        Alcotest.test_case "keyword example (paper §2)" `Quick keyword_example;
+        Alcotest.test_case "deterministic outputs" `Quick deterministic_outputs;
+        Alcotest.test_case "tracking recovers motion" `Quick tracking_recovers_motion;
+        Alcotest.test_case "kmeans converges" `Quick kmeans_converges;
+      ] );
+  ]

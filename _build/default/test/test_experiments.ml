@@ -1,0 +1,87 @@
+(** Integration tests for the experiment harness itself, at tiny
+    scale (quad-core machine, small inputs) so they stay fast. *)
+
+module Exp = Bamboo_benchmarks.Experiments
+module Bench_def = Bamboo_benchmarks.Bench_def
+module Registry = Bamboo_benchmarks.Registry
+
+let small (b : Bench_def.t) =
+  {
+    b with
+    b_args = Helpers.small_args b.b_name;
+    b_args_double = Helpers.small_args b.b_name;
+  }
+
+let fast_dsa = { Bamboo.Dsa.default_config with max_iterations = 4 }
+
+let test_evaluate_fields () =
+  let b = small (Registry.find "Fractal") in
+  let r = Exp.evaluate ~machine:Bamboo.Machine.quad ~dsa_config:fast_dsa b in
+  Helpers.check_bool "outputs validated" true r.br_ok;
+  Helpers.check_bool "parallel at least as fast" true (r.br_bn <= r.br_b1);
+  Helpers.check_bool "overhead nonnegative" true (Exp.overhead_pct r >= 0.0);
+  Helpers.check_bool "speedups consistent" true
+    (abs_float (Exp.speedup_b r -. Exp.speedup_c r *. (Exp.overhead_pct r /. 100.0 +. 1.0))
+     < 0.2);
+  Helpers.check_bool "1-core estimate within 10%" true (abs_float (Exp.err1_pct r) < 10.0)
+
+let test_fig10_shapes () =
+  let b = small (Registry.find "Series") in
+  let r =
+    Exp.fig10 ~machine:Bamboo.Machine.quad ~enumerate_cap:60 ~dsa_starts:4 ~seed:3 b
+  in
+  Helpers.check_bool "enumerated some layouts" true (List.length r.f10_all >= 10);
+  Helpers.check_int "dsa outcomes" 4 (List.length r.f10_dsa);
+  Helpers.check_bool "probabilities in range" true
+    (r.f10_best_prob >= 0.0 && r.f10_best_prob <= 1.0
+    && r.f10_random_best_prob >= 0.0 && r.f10_random_best_prob <= 1.0);
+  (* DSA should hit the best bucket at least as often as random *)
+  Helpers.check_bool "dsa at least as good as random" true
+    (r.f10_best_prob >= r.f10_random_best_prob)
+
+let test_fig10_skip_exhaustive () =
+  let b = small (Registry.find "Fractal") in
+  let r =
+    Exp.fig10 ~machine:Bamboo.Machine.quad ~enumerate_cap:10 ~dsa_starts:2 ~exhaustive:false
+      ~seed:1 b
+  in
+  Alcotest.(check (list (float 0.0))) "no enumeration when skipped" [] r.f10_all
+
+let test_fig11_runs () =
+  let b = small (Registry.find "MonteCarlo") in
+  let r = Exp.fig11 ~machine:Bamboo.Machine.quad ~dsa_config:fast_dsa b in
+  Helpers.check_bool "speedups positive" true
+    (r.f11_orig_profile_speedup > 0.5 && r.f11_double_profile_speedup > 0.5);
+  Helpers.check_bool "cycles positive" true
+    (r.f11_orig_profile_cycles > 0 && r.f11_double_profile_cycles > 0)
+
+let test_bench_def_helpers () =
+  Helpers.check_bool "output_has finds prefix" true
+    (Bench_def.output_has "x: " "noise\nx: 42\n");
+  Helpers.check_bool "output_has rejects" false (Bench_def.output_has "y: " "x: 42\n");
+  Helpers.check_bool "output_value extracts" true
+    (Bench_def.output_value "x: " "x: 42\n" = Some "42");
+  match Registry.find "fractal" with
+  | b -> Helpers.check_string "find is case-insensitive" "Fractal" b.b_name
+
+let test_registry_complete () =
+  Alcotest.(check (list string))
+    "six paper benchmarks in Figure 7 order"
+    [ "Tracking"; "KMeans"; "MonteCarlo"; "FilterBank"; "Fractal"; "Series" ]
+    (List.map (fun (b : Bench_def.t) -> b.b_name) Registry.paper_benchmarks);
+  match Registry.find "nope" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected unknown-benchmark error"
+
+let tests =
+  [
+    ( "experiments.unit",
+      [
+        Alcotest.test_case "evaluate" `Quick test_evaluate_fields;
+        Alcotest.test_case "fig10 shapes" `Quick test_fig10_shapes;
+        Alcotest.test_case "fig10 skip" `Quick test_fig10_skip_exhaustive;
+        Alcotest.test_case "fig11" `Quick test_fig11_runs;
+        Alcotest.test_case "bench_def helpers" `Quick test_bench_def_helpers;
+        Alcotest.test_case "registry" `Quick test_registry_complete;
+      ] );
+  ]

@@ -1,0 +1,300 @@
+(** Tests for the lexer, parser and type checker. *)
+
+module Lexer = Bamboo.Lexer
+module Parser = Bamboo.Parser
+module Ast = Bamboo.Ast
+module Ir = Bamboo.Ir
+
+(* ------------------------------------------------------------------ *)
+(* Lexer *)
+
+let lex src = Array.to_list (Lexer.tokenize src) |> List.map fst
+
+let test_lex_basic () =
+  Helpers.check_bool "keywords and idents" true
+    (lex "class Foo { flag f; }"
+    = Lexer.[ KCLASS; IDENT "Foo"; LBRACE; KFLAG; IDENT "f"; SEMI; RBRACE; EOF ])
+
+let test_lex_numbers () =
+  Helpers.check_bool "ints and floats" true
+    (lex "1 42 3.5 1e3 2.5e-2"
+    = Lexer.[ INT 1; INT 42; FLOAT 3.5; FLOAT 1000.0; FLOAT 0.025; EOF ])
+
+let test_lex_operators () =
+  Helpers.check_bool "multi-char ops" true
+    (lex ":= == != <= >= << >> && ||"
+    = Lexer.[ ASSIGNFLAG; EQ; NE; LE; GE; SHL; SHR; AMPAMP; BARBAR; EOF ])
+
+let test_lex_strings () =
+  Helpers.check_bool "escapes" true (lex {|"a\nb\"c"|} = Lexer.[ STRING "a\nb\"c"; EOF ])
+
+let test_lex_comments () =
+  Helpers.check_bool "line and block comments" true
+    (lex "1 // x\n 2 /* y \n z */ 3" = Lexer.[ INT 1; INT 2; INT 3; EOF ])
+
+let test_lex_positions () =
+  let toks = Lexer.tokenize "a\n  b" in
+  let _, p = toks.(1) in
+  Helpers.check_int "line" 2 p.Ast.line;
+  Helpers.check_int "col" 3 p.Ast.col
+
+let expect_lex_error src =
+  match Lexer.tokenize src with
+  | exception Lexer.Error _ -> ()
+  | _ -> Alcotest.fail "expected lexer error"
+
+let test_lex_errors () =
+  expect_lex_error "\"unterminated";
+  expect_lex_error "/* unterminated";
+  expect_lex_error "#"
+
+(* ------------------------------------------------------------------ *)
+(* Parser *)
+
+let parse_expr_str s =
+  let prog = Parser.parse_program (Printf.sprintf "class C { int m() { return %s; } }" s) in
+  match prog.decls with
+  | [ Dclass c ] -> (
+      match (List.hd c.cmethods).mbody with
+      | [ { s = Sreturn (Some e); _ } ] -> e
+      | _ -> Alcotest.fail "unexpected body")
+  | _ -> Alcotest.fail "unexpected decls"
+
+let rec expr_to_string (e : Ast.expr) =
+  match e.e with
+  | Eint n -> string_of_int n
+  | Evar v -> v
+  | Ebinop (op, a, b) ->
+      Printf.sprintf "(%s%s%s)" (expr_to_string a) (Ast.string_of_binop op) (expr_to_string b)
+  | Eunop (Neg, a) -> Printf.sprintf "(-%s)" (expr_to_string a)
+  | Eunop (Not, a) -> Printf.sprintf "(!%s)" (expr_to_string a)
+  | Ecast (t, a) -> Printf.sprintf "((%s)%s)" (Ast.string_of_typ t) (expr_to_string a)
+  | Ecall (r, m, args) ->
+      Printf.sprintf "%s.%s(%s)" (expr_to_string r) m
+        (String.concat "," (List.map expr_to_string args))
+  | Ethis -> "this"
+  | Eindex (a, i) -> Printf.sprintf "%s[%s]" (expr_to_string a) (expr_to_string i)
+  | Efield (r, f) -> Printf.sprintf "%s.%s" (expr_to_string r) f
+  | _ -> "?"
+
+let test_parse_precedence () =
+  Helpers.check_string "mul before add" "(1+(2*3))" (expr_to_string (parse_expr_str "1 + 2 * 3"));
+  Helpers.check_string "cmp before and" "((a<b)&&(c>d))"
+    (expr_to_string (parse_expr_str "a < b && c > d"));
+  Helpers.check_string "shift before cmp" "((a<<2)<b)"
+    (expr_to_string (parse_expr_str "a << 2 < b"));
+  Helpers.check_string "parens" "((1+2)*3)" (expr_to_string (parse_expr_str "(1 + 2) * 3"));
+  Helpers.check_string "assoc sub" "((a-b)-c)" (expr_to_string (parse_expr_str "a - b - c"))
+
+let test_parse_cast_vs_paren () =
+  Helpers.check_string "numeric cast" "((int)x)" (expr_to_string (parse_expr_str "(int) x"));
+  Helpers.check_string "paren expr" "x" (expr_to_string (parse_expr_str "(x)"))
+
+let test_parse_unqualified_call () =
+  Helpers.check_string "sugar for this" "this.f(x)" (expr_to_string (parse_expr_str "f(x)"))
+
+let test_parse_task_grammar () =
+  let prog =
+    Parser.parse_program
+      {|
+      class C { flag a; flag b; }
+      task t(C x in a and !b or true with ty tv, C y in b with ty tv) {
+        taskexit(x: a := false, add tv; y: b := true);
+      }
+      |}
+  in
+  match Ast.tasks prog with
+  | [ t ] -> (
+      Helpers.check_int "two params" 2 (List.length t.tparams);
+      let p0 = List.hd t.tparams in
+      Helpers.check_string "guard"
+        "((a and !b) or true)"
+        (Ast.string_of_flagexp p0.pguard);
+      Helpers.check_int "tag binds" 1 (List.length p0.ptags);
+      match t.tbody with
+      | [ { s = Staskexit [ (px, ax); (py, ay) ]; _ } ] ->
+          Helpers.check_string "param x" "x" px;
+          Helpers.check_string "param y" "y" py;
+          Helpers.check_int "x actions" 2 (List.length ax);
+          Helpers.check_int "y actions" 1 (List.length ay)
+      | _ -> Alcotest.fail "bad taskexit parse")
+  | _ -> Alcotest.fail "expected one task"
+
+let test_parse_new_with_actions () =
+  let prog =
+    Parser.parse_program
+      {| class C { flag f; } task t(C x in f) { C y = new C(){f := true}; } |}
+  in
+  match Ast.tasks prog with
+  | [ { tbody = [ { s = Sdecl (_, _, Some { e = Enew ("C", [], [ SetFlag ("f", true) ]); _ }); _ } ]; _ } ]
+    -> ()
+  | _ -> Alcotest.fail "bad flagged-new parse"
+
+let test_parse_for_and_arrays () =
+  let prog =
+    Parser.parse_program
+      {| class C { int[] a; void m() { for (int i = 0; i < 4; i = i + 1) { a[i] = i; } int[] b = new int[4]; } } |}
+  in
+  Helpers.check_int "one class" 1 (List.length (Ast.classes prog))
+
+let expect_parse_error src =
+  match Parser.parse_program src with
+  | exception Lexer.Error _ -> ()
+  | _ -> Alcotest.fail "expected parse error"
+
+let test_parse_errors () =
+  expect_parse_error "class C {";
+  expect_parse_error "task t() { return 1 }";
+  expect_parse_error "class C { int m() { 1 + ; } }";
+  expect_parse_error "banana";
+  expect_parse_error "class C { flag f; } task t(C x in f) { taskexit(x a := true); }"
+
+(* ------------------------------------------------------------------ *)
+(* Type checker *)
+
+let test_typecheck_counter () =
+  let prog = Helpers.compile Helpers.counter_src in
+  Helpers.check_int "three tasks" 3 (Array.length prog.tasks);
+  Helpers.check_bool "startup injected" true (Ir.find_class prog "StartupObject" <> None);
+  let collect =
+    match Ir.find_task prog "collect" with Some t -> t | None -> Alcotest.fail "no collect"
+  in
+  Helpers.check_int "exits: 2 explicit + implicit" 3 (Array.length collect.t_exits)
+
+let test_typecheck_widening () =
+  let out =
+    Helpers.run_output
+      {|
+      class C { double x; }
+      task startup(StartupObject s in initialstate) {
+        double d = 1;
+        d = d + 2;
+        System.printDouble(d);
+        taskexit(s: initialstate := false);
+      }
+      |}
+  in
+  Helpers.check_string "int widened to double" "3.000000\n" out
+
+let test_typecheck_null () =
+  let out =
+    Helpers.run_output
+      {|
+      class C { flag f; }
+      task startup(StartupObject s in initialstate) {
+        C c = null;
+        if (c == null) { System.printString("isnull"); }
+        taskexit(s: initialstate := false);
+      }
+      |}
+  in
+  Helpers.check_string "null compare" "isnull\n" out
+
+let test_typecheck_errors () =
+  List.iter Helpers.expect_typecheck_error
+    [
+      (* unknown class in parameter *)
+      "task t(Nope x in f) { }";
+      (* unknown flag *)
+      "class C { flag f; } task t(C x in g) { }";
+      (* type mismatch *)
+      "class C { int m() { return true; } }";
+      (* condition not boolean *)
+      "class C { void m() { if (1) { } } }";
+      (* duplicate variable *)
+      "class C { void m() { int x = 1; int x = 2; } }";
+      (* taskexit inside a method *)
+      "class C { void m() { taskexit(); } }";
+      (* taskexit on unknown parameter *)
+      "class C { flag f; } task t(C x in f) { taskexit(y: f := false); }";
+      (* wrong arity *)
+      "class C { int m(int a) { return a; } void n() { int x = m(); } }";
+      (* assigning void *)
+      "class C { void m() { } void n() { int x = m(); } }";
+      (* duplicate class *)
+      "class C { } class C { }";
+      (* duplicate flag *)
+      "class C { flag f; flag f; }";
+      (* duplicate task *)
+      "class C { flag f; } task t(C x in f) { } task t(C x in f) { }";
+      (* 'this' outside a method *)
+      "class C { flag f; } task t(C x in f) { C y = this; }";
+      (* calling a constructor directly *)
+      "class C { flag f; C() { } void m() { C x = new C(); x.C(); } }";
+      (* Random is reserved *)
+      "class Random { }";
+      (* clear at allocation site *)
+      "class C { flag f; } task t(C x in f) { tag tv = new tag(ty); C y = new C(){clear tv}; }";
+      (* continue inside for *)
+      "class C { void m() { for (int i = 0; i < 3; i = i + 1) { continue; } } }";
+      (* string minus *)
+      "class C { void m() { String s = \"a\" - \"b\"; } }";
+    ]
+
+let test_typecheck_tags () =
+  let prog =
+    Helpers.compile
+      {|
+      class C { flag f; flag g; }
+      task t(C x in f with ty tv, C y in f with ty tv) {
+        taskexit(x: f := false, add tv);
+      }
+      |}
+  in
+  let t = match Ir.find_task prog "t" with Some t -> t | None -> Alcotest.fail "no task" in
+  Helpers.check_int "one tag type" 1 (Array.length prog.tag_types);
+  let slot0 = snd (List.hd t.t_params.(0).p_tags) in
+  let slot1 = snd (List.hd t.t_params.(1).p_tags) in
+  Helpers.check_int "shared tag slot unifies" slot0 slot1
+
+let test_typecheck_tag_type_mismatch () =
+  Helpers.expect_typecheck_error
+    {|
+    class C { flag f; }
+    task t(C x in f with ta tv, C y in f with tb tv) { }
+    |}
+
+(* qcheck: the lexer totalizes — every printable string either
+   tokenizes to an EOF-terminated stream or raises a positioned
+   error; it never loops or crashes otherwise. *)
+let lexer_total =
+  QCheck.Test.make ~name:"lexer is total on printable strings" ~count:300
+    QCheck.(string_gen_of_size (Gen.int_range 0 60) Gen.printable)
+    (fun s ->
+      match Lexer.tokenize s with
+      | toks -> Array.length toks > 0 && fst toks.(Array.length toks - 1) = Lexer.EOF
+      | exception Lexer.Error (pos, _) -> pos.Ast.line >= 1)
+
+let tests =
+  [
+    Helpers.qsuite "frontend.qcheck" [ lexer_total ];
+    ( "frontend.lexer",
+      [
+        Alcotest.test_case "basic" `Quick test_lex_basic;
+        Alcotest.test_case "numbers" `Quick test_lex_numbers;
+        Alcotest.test_case "operators" `Quick test_lex_operators;
+        Alcotest.test_case "strings" `Quick test_lex_strings;
+        Alcotest.test_case "comments" `Quick test_lex_comments;
+        Alcotest.test_case "positions" `Quick test_lex_positions;
+        Alcotest.test_case "errors" `Quick test_lex_errors;
+      ] );
+    ( "frontend.parser",
+      [
+        Alcotest.test_case "precedence" `Quick test_parse_precedence;
+        Alcotest.test_case "cast vs paren" `Quick test_parse_cast_vs_paren;
+        Alcotest.test_case "unqualified call" `Quick test_parse_unqualified_call;
+        Alcotest.test_case "task grammar" `Quick test_parse_task_grammar;
+        Alcotest.test_case "flagged new" `Quick test_parse_new_with_actions;
+        Alcotest.test_case "for and arrays" `Quick test_parse_for_and_arrays;
+        Alcotest.test_case "errors" `Quick test_parse_errors;
+      ] );
+    ( "frontend.typecheck",
+      [
+        Alcotest.test_case "counter program" `Quick test_typecheck_counter;
+        Alcotest.test_case "int widening" `Quick test_typecheck_widening;
+        Alcotest.test_case "null comparisons" `Quick test_typecheck_null;
+        Alcotest.test_case "rejections" `Quick test_typecheck_errors;
+        Alcotest.test_case "tag unification" `Quick test_typecheck_tags;
+        Alcotest.test_case "tag type mismatch" `Quick test_typecheck_tag_type_mismatch;
+      ] );
+  ]

@@ -1,0 +1,119 @@
+(** Tests for the generic digraph: SCC, condensation, topological
+    order, longest paths. *)
+
+module G = Bamboo.Graph
+
+let build edges n =
+  let g = G.create () in
+  G.ensure g n;
+  List.iter (fun (s, d) -> G.add_edge g ~src:s ~dst:d ~label:()) edges;
+  g
+
+let test_scc_cycle () =
+  let g = build [ (0, 1); (1, 2); (2, 0); (2, 3) ] 4 in
+  let comp, n = G.scc g in
+  Helpers.check_int "two components" 2 n;
+  Helpers.check_bool "cycle together" true (comp.(0) = comp.(1) && comp.(1) = comp.(2));
+  Helpers.check_bool "3 separate" true (comp.(3) <> comp.(0))
+
+let test_scc_dag () =
+  let g = build [ (0, 1); (0, 2); (1, 3); (2, 3) ] 4 in
+  let _, n = G.scc g in
+  Helpers.check_int "all singletons" 4 n
+
+let test_scc_self_loop () =
+  let g = build [ (0, 0) ] 1 in
+  let _, n = G.scc g in
+  Helpers.check_int "one component" 1 n
+
+let test_condense_dag () =
+  let g = build [ (0, 1); (1, 2); (2, 0); (2, 3); (3, 4); (4, 3) ] 5 in
+  let dag, comp, n = G.condense g in
+  Helpers.check_int "two sccs" 2 n;
+  ignore comp;
+  (* condensation must be acyclic *)
+  Helpers.check_int "topo covers" n (List.length (G.topo_order dag))
+
+let test_topo_order () =
+  let g = build [ (0, 1); (0, 2); (1, 3); (2, 3) ] 4 in
+  let order = G.topo_order g in
+  let pos = Array.make 4 0 in
+  List.iteri (fun i v -> pos.(v) <- i) order;
+  List.iter
+    (fun (s, d) -> Helpers.check_bool "edge respects order" true (pos.(s) < pos.(d)))
+    [ (0, 1); (0, 2); (1, 3); (2, 3) ]
+
+let test_topo_cycle_raises () =
+  let g = build [ (0, 1); (1, 0) ] 2 in
+  Alcotest.check_raises "cycle detected"
+    (Invalid_argument "Digraph.topo_order: graph has a cycle") (fun () ->
+      ignore (G.topo_order g))
+
+let test_longest_path () =
+  let g = G.create () in
+  G.ensure g 4;
+  List.iter
+    (fun (s, d, w) -> G.add_edge g ~src:s ~dst:d ~label:w)
+    [ (0, 1, 5); (0, 2, 1); (1, 3, 1); (2, 3, 10) ];
+  let dist, pred = G.longest_path g ~weight:(fun w -> w) in
+  Helpers.check_int "longest to 3" 11 dist.(3);
+  (match pred.(3) with
+  | Some e -> Helpers.check_int "via 2" 2 e.G.src
+  | None -> Alcotest.fail "no predecessor");
+  Helpers.check_int "longest to 1" 5 dist.(1)
+
+let test_reachable () =
+  let g = build [ (0, 1); (1, 2); (3, 4) ] 5 in
+  let seen = G.reachable_from g 0 in
+  Alcotest.(check (list bool)) "reach set"
+    [ true; true; true; false; false ]
+    (Array.to_list seen)
+
+(* Random-graph properties *)
+
+let random_graph_gen =
+  QCheck.Gen.(
+    sized (fun size ->
+        let n = max 1 (min 15 size) in
+        list_size (int_range 0 (3 * n)) (pair (int_range 0 (n - 1)) (int_range 0 (n - 1)))
+        >>= fun edges -> return (n, edges)))
+
+let arb_graph = QCheck.make random_graph_gen
+
+let condensation_is_acyclic =
+  QCheck.Test.make ~name:"condensation is a DAG" ~count:300 arb_graph (fun (n, edges) ->
+      let g = build edges n in
+      let dag, _, _ = G.condense g in
+      match G.topo_order dag with _ -> true | exception Invalid_argument _ -> false)
+
+let scc_is_equivalence_on_cycles =
+  QCheck.Test.make ~name:"same SCC iff mutually reachable" ~count:200 arb_graph
+    (fun (n, edges) ->
+      let g = build edges n in
+      let comp, _ = G.scc g in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        let ru = G.reachable_from g u in
+        for v = 0 to n - 1 do
+          let rv = G.reachable_from g v in
+          let mutual = ru.(v) && rv.(u) in
+          if (comp.(u) = comp.(v)) <> mutual then ok := false
+        done
+      done;
+      !ok)
+
+let tests =
+  [
+    ( "graph.unit",
+      [
+        Alcotest.test_case "scc cycle" `Quick test_scc_cycle;
+        Alcotest.test_case "scc dag" `Quick test_scc_dag;
+        Alcotest.test_case "scc self loop" `Quick test_scc_self_loop;
+        Alcotest.test_case "condense dag" `Quick test_condense_dag;
+        Alcotest.test_case "topo order" `Quick test_topo_order;
+        Alcotest.test_case "topo cycle raises" `Quick test_topo_cycle_raises;
+        Alcotest.test_case "longest path" `Quick test_longest_path;
+        Alcotest.test_case "reachable" `Quick test_reachable;
+      ] );
+    Helpers.qsuite "graph.qcheck" [ condensation_is_acyclic; scc_is_equivalence_on_cycles ];
+  ]

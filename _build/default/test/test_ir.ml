@@ -1,0 +1,205 @@
+(** Tests for IR helpers (flag expressions, call graphs, allocation
+    sites), the object model, and the profile module. *)
+
+module Ir = Bamboo.Ir
+module Value = Bamboo.Value
+module Interp = Bamboo.Interp
+module Profile = Bamboo.Profile
+
+(* ------------------------------------------------------------------ *)
+(* Flag expressions *)
+
+let test_flagexp_eval () =
+  let open Ir in
+  let e = FAnd (FFlag 0, FNot (FFlag 1)) in
+  Helpers.check_bool "0 set, 1 clear" true (eval_flagexp e 0b01);
+  Helpers.check_bool "both set" false (eval_flagexp e 0b11);
+  Helpers.check_bool "neither" false (eval_flagexp e 0b00);
+  Helpers.check_bool "true" true (eval_flagexp FTrue 0);
+  Helpers.check_bool "false" false (eval_flagexp FFalse max_int);
+  Helpers.check_bool "or" true (eval_flagexp (FOr (FFlag 2, FFlag 3)) 0b100)
+
+let test_flagexp_support () =
+  let open Ir in
+  Helpers.check_int "support bits" 0b1011
+    (flagexp_support (FOr (FAnd (FFlag 0, FFlag 1), FNot (FFlag 3))))
+
+(* qcheck: eval distributes over And/Or/Not like booleans *)
+
+let flagexp_gen =
+  QCheck.Gen.(
+    sized
+    @@ fix (fun self n ->
+           if n <= 1 then map (fun b -> Ir.FFlag b) (int_range 0 4)
+           else
+             frequency
+               [
+                 (2, map (fun b -> Ir.FFlag b) (int_range 0 4));
+                 (1, return Ir.FTrue);
+                 (1, return Ir.FFalse);
+                 (2, map2 (fun a b -> Ir.FAnd (a, b)) (self (n / 2)) (self (n / 2)));
+                 (2, map2 (fun a b -> Ir.FOr (a, b)) (self (n / 2)) (self (n / 2)));
+                 (1, map (fun a -> Ir.FNot a) (self (n - 1)));
+               ]))
+
+let rec oracle exp word =
+  match (exp : Ir.flagexp) with
+  | FTrue -> true
+  | FFalse -> false
+  | FFlag i -> (word lsr i) land 1 = 1
+  | FAnd (a, b) -> oracle a word && oracle b word
+  | FOr (a, b) -> oracle a word || oracle b word
+  | FNot a -> not (oracle a word)
+
+let flagexp_matches_oracle =
+  QCheck.Test.make ~name:"flag expression evaluation oracle" ~count:300
+    QCheck.(pair (make flagexp_gen) (int_range 0 31))
+    (fun (e, word) -> Ir.eval_flagexp e word = oracle e word)
+
+let apply_actions_idempotent =
+  QCheck.Test.make ~name:"applying the same flag actions twice is idempotent" ~count:200
+    QCheck.(pair (list (pair (int_range 0 7) bool)) (int_range 0 255))
+    (fun (sets, word) ->
+      let actions = { Ir.no_actions with a_set = sets } in
+      let once = Ir.apply_flag_actions actions word in
+      Ir.apply_flag_actions actions once = once)
+
+(* ------------------------------------------------------------------ *)
+(* Call graph / allocation-site reachability *)
+
+let test_reachable_sites () =
+  let prog =
+    Helpers.compile
+      {|
+      class Maker {
+        flag go;
+        Widget direct() { return new Widget(){w := true}; }
+        Widget indirect() { return direct(); }
+      }
+      class Widget { flag w; }
+      task produce(Maker m in go) {
+        Widget a = m.indirect();
+        taskexit(m: go := false);
+      }
+      |}
+  in
+  let t = match Ir.find_task prog "produce" with Some t -> t | None -> Alcotest.fail "task" in
+  let sites = Ir.reachable_sites prog t.t_body in
+  Helpers.check_int "allocation found through two calls" 1 (List.length sites)
+
+let test_site_initial_word () =
+  let prog = Helpers.compile Helpers.counter_src in
+  let item = Ir.find_class_exn prog "Item" in
+  let site =
+    Array.to_list prog.sites |> List.find (fun (s : Ir.siteinfo) -> s.s_class = item)
+  in
+  let c = Ir.class_of prog item in
+  let todo = match Ir.flag_index c "todo" with Some b -> b | None -> -1 in
+  Helpers.check_int "initial word sets todo" (1 lsl todo) (Ir.site_initial_word site)
+
+let test_string_of_flagword () =
+  let prog = Helpers.compile Helpers.counter_src in
+  let item = Ir.find_class_exn prog "Item" in
+  Helpers.check_string "render both flags" "{todo,done}"
+    (Ir.string_of_flagword prog item 0b11);
+  Helpers.check_string "render empty" "{}" (Ir.string_of_flagword prog item 0)
+
+(* ------------------------------------------------------------------ *)
+(* Object model: tags *)
+
+let mk_obj id =
+  {
+    Value.o_id = id;
+    o_class = 0;
+    o_site = -1;
+    o_fields = [||];
+    o_flags = 0;
+    o_tags = [];
+    o_lock = -1;
+    o_lock_until = 0;
+    o_gen = 0;
+  }
+
+let test_tag_binding () =
+  let o = mk_obj 1 in
+  let t : Value.tag_inst = { tg_id = 0; tg_ty = 0; tg_bound = [] } in
+  Value.bind_tag o t;
+  Helpers.check_int "1-limited count" 1 (Value.tag_count_1limited o 0);
+  Helpers.check_int "other type absent" 0 (Value.tag_count_1limited o 1);
+  Helpers.check_bool "backward reference" true (List.memq o t.tg_bound);
+  Value.bind_tag o t;
+  Helpers.check_int "bind idempotent" 1 (List.length o.o_tags);
+  Value.unbind_tag o t;
+  Helpers.check_int "unbound" 0 (Value.tag_count_1limited o 0);
+  Helpers.check_bool "backref removed" false (List.memq o t.tg_bound)
+
+(* ------------------------------------------------------------------ *)
+(* Profile *)
+
+let test_profile_statistics () =
+  let prog = Helpers.compile Helpers.counter_src in
+  let prof = Bamboo.profile ~args:[ "10" ] prog in
+  let tid name = match Ir.find_task prog name with Some t -> t.Ir.t_id | None -> -1 in
+  Helpers.check_int "work invocations" 10 (Profile.invocations prof (tid "work"));
+  Alcotest.(check (float 1e-9)) "work always exit 0" 1.0 (Profile.exit_prob prof (tid "work") 0);
+  (* collect: 9 intermediate exits + 1 final *)
+  Alcotest.(check (float 1e-6)) "collect final exit prob" 0.1
+    (Profile.exit_prob prof (tid "collect") 0);
+  Helpers.check_bool "positive avg cycles" true (Profile.task_avg_cycles prof (tid "collect") > 0.0);
+  (* startup allocates 10 items + 1 acc *)
+  let allocs = Profile.avg_alloc_per_invocation prof (tid "startup") in
+  let total = List.fold_left (fun a (_, avg) -> a +. avg) 0.0 allocs in
+  Alcotest.(check (float 1e-9)) "11 objects per startup" 11.0 total;
+  Alcotest.(check (list int)) "observed exits of work" [ 0 ]
+    (Profile.observed_exits prof (tid "work"))
+
+let test_profile_of_records_roundtrip () =
+  let prog = Helpers.compile Helpers.counter_src in
+  let r = Bamboo.Runtime.run_single ~args:[ "5" ] ~record_trace:true prog in
+  let prof = Profile.of_records prog ~total_cycles:r.r_total_cycles r.r_records in
+  Helpers.check_int "total cycles recorded" r.r_total_cycles prof.p_total_cycles;
+  let total_inv =
+    Array.fold_left (fun acc (_ : Ir.taskinfo) -> acc) 0 prog.tasks |> fun _ ->
+    Array.to_list prog.tasks
+    |> List.fold_left (fun acc (t : Ir.taskinfo) -> acc + Profile.invocations prof t.t_id) 0
+  in
+  Helpers.check_int "all invocations aggregated" r.r_invocations total_inv
+
+(* ------------------------------------------------------------------ *)
+(* Interp context details *)
+
+let test_output_capture_isolated () =
+  let prog = Helpers.compile Helpers.counter_src in
+  let ctx = Interp.create prog in
+  Helpers.check_string "fresh context has no output" "" (Interp.output ctx)
+
+let test_make_startup () =
+  let prog = Helpers.compile Helpers.counter_src in
+  let ctx = Interp.create prog in
+  let o = Interp.make_startup ctx [ "a"; "b" ] in
+  Helpers.check_int "startup class" prog.startup o.o_class;
+  Helpers.check_bool "initialstate set" true (o.o_flags <> 0);
+  match o.o_fields.(0) with
+  | Value.Varr (Value.Oarr args) -> Helpers.check_int "args stored" 2 (Array.length args)
+  | _ -> Alcotest.fail "args field missing"
+
+let tests =
+  [
+    ( "ir.unit",
+      [
+        Alcotest.test_case "flagexp eval" `Quick test_flagexp_eval;
+        Alcotest.test_case "flagexp support" `Quick test_flagexp_support;
+        Alcotest.test_case "reachable sites" `Quick test_reachable_sites;
+        Alcotest.test_case "site initial word" `Quick test_site_initial_word;
+        Alcotest.test_case "flagword rendering" `Quick test_string_of_flagword;
+        Alcotest.test_case "tag binding" `Quick test_tag_binding;
+      ] );
+    ( "profile.unit",
+      [
+        Alcotest.test_case "statistics" `Quick test_profile_statistics;
+        Alcotest.test_case "records roundtrip" `Quick test_profile_of_records_roundtrip;
+        Alcotest.test_case "output capture" `Quick test_output_capture_isolated;
+        Alcotest.test_case "make startup" `Quick test_make_startup;
+      ] );
+    Helpers.qsuite "ir.qcheck" [ flagexp_matches_oracle; apply_actions_idempotent ];
+  ]

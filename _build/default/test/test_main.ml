@@ -1,0 +1,7 @@
+(** Test entry point: aggregates every suite. *)
+
+let () =
+  Alcotest.run "bamboo"
+    (Test_support.tests @ Test_graph.tests @ Test_frontend.tests @ Test_interp.tests
+   @ Test_ir.tests @ Test_analysis.tests @ Test_runtime.tests @ Test_sim.tests @ Test_synth.tests
+   @ Test_benchmarks.tests @ Test_experiments.tests)

@@ -1,0 +1,189 @@
+(** Tests for the scheduling simulator and critical path analysis. *)
+
+module Ir = Bamboo.Ir
+module Runtime = Bamboo.Runtime
+module Schedsim = Bamboo.Schedsim
+module Critpath = Bamboo.Critpath
+module Layout = Bamboo.Layout
+module Machine = Bamboo.Machine
+
+let setup ?(args = [ "8" ]) src =
+  let prog = Helpers.compile src in
+  let prof = Bamboo.profile ~args prog in
+  (prog, prof)
+
+let test_sim_matches_real_single_core () =
+  let prog, prof = setup Helpers.counter_src in
+  let layout = Runtime.single_core_layout prog in
+  let est = (Schedsim.simulate prog prof layout).s_total_cycles in
+  let real = (Runtime.run_single ~args:[ "8" ] prog).r_total_cycles in
+  let err = abs_float (Bamboo.Stats.error_pct ~estimate:(float_of_int est) ~real:(float_of_int real)) in
+  Helpers.check_bool (Printf.sprintf "error %.1f%% <= 5%%" err) true (err <= 5.0)
+
+let test_sim_invocation_counts () =
+  let prog, prof = setup Helpers.counter_src in
+  let layout = Runtime.single_core_layout prog in
+  let r = Schedsim.simulate prog prof layout in
+  (* 1 startup + 8 work + 8 collect *)
+  Helpers.check_int "simulated invocations" 17 r.s_invocations
+
+let test_sim_deterministic () =
+  let prog, prof = setup Helpers.counter_src in
+  let layout = Runtime.single_core_layout prog in
+  let a = (Schedsim.simulate prog prof layout).s_total_cycles in
+  let b = (Schedsim.simulate prog prof layout).s_total_cycles in
+  Helpers.check_int "same estimate" a b
+
+let test_sim_parallel_faster () =
+  let prog, prof = setup Helpers.counter_src in
+  let l1 = Runtime.single_core_layout prog in
+  let machine = Machine.quad in
+  let l4 = Layout.create machine ~ntasks:(Array.length prog.tasks) in
+  Array.iter
+    (fun (t : Ir.taskinfo) ->
+      Layout.set_cores l4 t.t_id (if t.t_name = "work" then [| 0; 1; 2; 3 |] else [| 0 |]))
+    prog.tasks;
+  let e1 = (Schedsim.simulate prog prof l1).s_total_cycles in
+  let e4 = (Schedsim.simulate prog prof l4).s_total_cycles in
+  Helpers.check_bool "parallel layout estimated faster" true (e4 < e1)
+
+(* Round-structured program: the count-matching exit rule must fire
+   the boundary exit with the right period, or the simulation stalls
+   (§4.4 discussion in Schedsim). *)
+let rounds_src =
+  {|
+  class W { flag run; flag sent; flag parked; int n; }
+  class M { flag collect; flag redist; flag fin; int seen; int rounds; }
+  task startup(StartupObject s in initialstate) {
+    for (int i = 0; i < 4; i = i + 1) { W w = new W(){run := true}; }
+    M m = new M(){collect := true};
+    taskexit(s: initialstate := false);
+  }
+  task work(W w in run) {
+    int acc = 0;
+    for (int i = 0; i < 500; i = i + 1) { acc = acc + i; }
+    w.n = acc;
+    taskexit(w: run := false, sent := true);
+  }
+  task merge(M m in collect, W w in sent) {
+    m.seen = m.seen + 1;
+    if (m.seen == 4) {
+      m.seen = 0;
+      m.rounds = m.rounds + 1;
+      if (m.rounds == 5) {
+        System.printString("rounds: " + m.rounds);
+        taskexit(m: collect := false, fin := true; w: sent := false, parked := true);
+      }
+      taskexit(m: collect := false, redist := true; w: sent := false, parked := true);
+    }
+    taskexit(w: sent := false, parked := true);
+  }
+  task restart(M m in redist, W w in parked) {
+    m.seen = m.seen + 1;
+    if (m.seen == 4) {
+      m.seen = 0;
+      taskexit(m: redist := false, collect := true; w: parked := false, run := true);
+    }
+    taskexit(w: parked := false, run := true);
+  }
+  |}
+
+let test_sim_round_structure () =
+  let prog, prof = setup ~args:[] rounds_src in
+  let layout = Runtime.single_core_layout prog in
+  let r = Schedsim.simulate prog prof layout in
+  let real = Runtime.run_single prog in
+  (* real: 1 + 5 rounds x (4 work + 4 merge) + 4 rounds x 4 restart *)
+  let real_inv = real.r_invocations in
+  Helpers.check_int "simulated all rounds" real_inv r.s_invocations;
+  let err =
+    abs_float
+      (Bamboo.Stats.error_pct
+         ~estimate:(float_of_int r.s_total_cycles)
+         ~real:(float_of_int real.r_total_cycles))
+  in
+  Helpers.check_bool (Printf.sprintf "round program error %.1f%% <= 5%%" err) true (err <= 5.0)
+
+let test_critpath_basics () =
+  let prog, prof = setup Helpers.counter_src in
+  let layout = Runtime.single_core_layout prog in
+  let r = Schedsim.simulate prog prof layout in
+  let cp = Critpath.analyse r in
+  let last_finish =
+    Array.fold_left (fun acc (e : Schedsim.event) -> max acc e.ev_finish) 0 r.s_events
+  in
+  Helpers.check_int "path ends at the last event" last_finish cp.length;
+  Helpers.check_bool "path within the makespan" true (cp.length <= r.s_total_cycles);
+  Helpers.check_bool "path nonempty" true (cp.path <> []);
+  (* the path must be chronologically ordered *)
+  let rec ordered = function
+    | a :: (b :: _ as rest) ->
+        a.Critpath.cp_event.Schedsim.ev_finish <= b.Critpath.cp_event.Schedsim.ev_start + 1
+        && ordered rest
+    | _ -> true
+  in
+  Helpers.check_bool "chronological" true (ordered cp.path);
+  (* single core: everything is resource- or data-dependent in one chain *)
+  Helpers.check_bool "starts at the beginning" true
+    ((List.hd cp.path).cp_event.Schedsim.ev_start >= 0)
+
+let test_critpath_opportunities () =
+  (* one core hosting everything while others idle: the path should
+     surface migration opportunities *)
+  let prog, prof = setup Helpers.counter_src in
+  let machine = Machine.quad in
+  let l = Layout.create machine ~ntasks:(Array.length prog.tasks) in
+  Array.iter (fun (t : Ir.taskinfo) -> Layout.set_cores l t.t_id [| 0 |]) prog.tasks;
+  let r = Schedsim.simulate prog prof l in
+  let cp = Critpath.analyse r in
+  let ops = Critpath.opportunities cp in
+  Helpers.check_bool "some opportunity on a congested core" true (ops <> [])
+
+let test_critpath_to_string () =
+  let prog, prof = setup Helpers.counter_src in
+  let layout = Runtime.single_core_layout prog in
+  let r = Schedsim.simulate prog prof layout in
+  let cp = Critpath.analyse r in
+  let s = Critpath.to_string prog r cp in
+  Helpers.check_bool "mentions tasks" true (Str_find.contains s "work");
+  Helpers.check_bool "marks path" true (Str_find.contains s "*")
+
+let test_sim_unprofiled_task_is_noop () =
+  (* profile with an input that never triggers one task; simulation
+     must not crash on it *)
+  let src =
+    {|
+    class C { flag a; flag b; }
+    task startup(StartupObject s in initialstate) {
+      int n = Integer.parseInt(s.args[0]);
+      for (int i = 0; i < n; i = i + 1) { C c = new C(){a := true}; }
+      taskexit(s: initialstate := false);
+    }
+    task hot(C c in a) { taskexit(c: a := false); }
+    task cold(C c in b) { taskexit(c: b := false); }
+    |}
+  in
+  let prog = Helpers.compile src in
+  let prof = Bamboo.profile ~args:[ "3" ] prog in
+  let layout = Bamboo.Runtime.single_core_layout prog in
+  let r = Schedsim.simulate prog prof layout in
+  Helpers.check_int "only profiled tasks simulated" 4 r.s_invocations
+
+let tests =
+  [
+    ( "sim.unit",
+      [
+        Alcotest.test_case "matches real 1-core" `Quick test_sim_matches_real_single_core;
+        Alcotest.test_case "invocation counts" `Quick test_sim_invocation_counts;
+        Alcotest.test_case "deterministic" `Quick test_sim_deterministic;
+        Alcotest.test_case "parallel faster" `Quick test_sim_parallel_faster;
+        Alcotest.test_case "round structure" `Quick test_sim_round_structure;
+        Alcotest.test_case "unprofiled task" `Quick test_sim_unprofiled_task_is_noop;
+      ] );
+    ( "sim.critpath",
+      [
+        Alcotest.test_case "basics" `Quick test_critpath_basics;
+        Alcotest.test_case "opportunities" `Quick test_critpath_opportunities;
+        Alcotest.test_case "rendering" `Quick test_critpath_to_string;
+      ] );
+  ]

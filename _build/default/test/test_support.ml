@@ -1,0 +1,198 @@
+(** Tests for the support library: PRNG, priority queue, union-find,
+    statistics, dot output, and table rendering. *)
+
+open Bamboo.Support
+module Prng = Bamboo.Prng
+module Stats = Bamboo.Stats
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:7 and b = Prng.create ~seed:7 in
+  for _ = 1 to 100 do
+    Helpers.check_int "same stream" (Prng.int a 1000) (Prng.int b 1000)
+  done
+
+let test_prng_seeds_differ () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  let xs = List.init 20 (fun _ -> Prng.int a 1_000_000) in
+  let ys = List.init 20 (fun _ -> Prng.int b 1_000_000) in
+  Helpers.check_bool "different streams" true (xs <> ys)
+
+let test_prng_copy () =
+  let a = Prng.create ~seed:3 in
+  ignore (Prng.int a 10);
+  let b = Prng.copy a in
+  Helpers.check_int "copy continues identically" (Prng.int a 99999) (Prng.int b 99999)
+
+let test_prng_bounds_exn () =
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int (Prng.create ~seed:1) 0))
+
+let prng_int_in_bounds =
+  QCheck.Test.make ~name:"prng int stays in bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Prng.create ~seed in
+      let v = Prng.int rng bound in
+      v >= 0 && v < bound)
+
+let prng_float_in_bounds =
+  QCheck.Test.make ~name:"prng float stays in bounds" ~count:500
+    QCheck.(pair small_int (float_bound_exclusive 1000.0))
+    (fun (seed, bound) ->
+      let rng = Prng.create ~seed in
+      let v = Prng.float rng bound in
+      v >= 0.0 && v <= bound)
+
+let prng_shuffle_permutes =
+  QCheck.Test.make ~name:"shuffle is a permutation" ~count:200
+    QCheck.(pair small_int (list_of_size (Gen.int_range 0 50) int))
+    (fun (seed, xs) ->
+      let arr = Array.of_list xs in
+      Prng.shuffle (Prng.create ~seed) arr;
+      List.sort compare (Array.to_list arr) = List.sort compare xs)
+
+let test_pqueue_orders () =
+  let q = Pqueue.create ~dummy:"" in
+  List.iter (fun (p, v) -> Pqueue.push q ~prio:p v)
+    [ (5, "e"); (1, "a"); (3, "c"); (2, "b"); (4, "d") ];
+  let out = ref [] in
+  let rec drain () =
+    match Pqueue.pop q with
+    | Some (_, v) ->
+        out := v :: !out;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Helpers.check_string "sorted" "abcde" (String.concat "" (List.rev !out))
+
+let test_pqueue_fifo_ties () =
+  let q = Pqueue.create ~dummy:0 in
+  List.iter (fun v -> Pqueue.push q ~prio:7 v) [ 1; 2; 3 ];
+  let xs = List.init 3 (fun _ -> match Pqueue.pop q with Some (_, v) -> v | None -> -1) in
+  Alcotest.(check (list int)) "insertion order on equal priorities" [ 1; 2; 3 ] xs
+
+let test_pqueue_peek () =
+  let q = Pqueue.create ~dummy:0 in
+  Helpers.check_bool "empty peek" true (Pqueue.peek q = None);
+  Pqueue.push q ~prio:9 42;
+  Helpers.check_bool "peek non-destructive" true (Pqueue.peek q = Some (9, 42));
+  Helpers.check_int "length" 1 (Pqueue.length q)
+
+let pqueue_sorts =
+  QCheck.Test.make ~name:"pqueue pops in priority order" ~count:200
+    QCheck.(list (int_range 0 1000))
+    (fun prios ->
+      let q = Pqueue.create ~dummy:0 in
+      List.iter (fun p -> Pqueue.push q ~prio:p p) prios;
+      let rec drain acc =
+        match Pqueue.pop q with Some (_, v) -> drain (v :: acc) | None -> List.rev acc
+      in
+      drain [] = List.sort compare prios)
+
+let test_union_find () =
+  let uf = Union_find.create 6 in
+  ignore (Union_find.union uf 0 1);
+  ignore (Union_find.union uf 2 3);
+  ignore (Union_find.union uf 1 2);
+  Helpers.check_bool "0~3" true (Union_find.same uf 0 3);
+  Helpers.check_bool "0!~4" false (Union_find.same uf 0 4);
+  Helpers.check_int "groups" 3 (List.length (Union_find.groups uf))
+
+let union_find_transitive =
+  QCheck.Test.make ~name:"union-find respects transitive closure" ~count:200
+    QCheck.(list (pair (int_range 0 19) (int_range 0 19)))
+    (fun pairs ->
+      let uf = Union_find.create 20 in
+      List.iter (fun (a, b) -> ignore (Union_find.union uf a b)) pairs;
+      (* oracle: naive closure *)
+      let adj = Array.make_matrix 20 20 false in
+      for i = 0 to 19 do adj.(i).(i) <- true done;
+      List.iter (fun (a, b) -> adj.(a).(b) <- true; adj.(b).(a) <- true) pairs;
+      for _ = 0 to 19 do
+        for i = 0 to 19 do
+          for j = 0 to 19 do
+            if adj.(i).(j) then
+              for k = 0 to 19 do
+                if adj.(j).(k) then adj.(i).(k) <- true
+              done
+          done
+        done
+      done;
+      let ok = ref true in
+      for i = 0 to 19 do
+        for j = 0 to 19 do
+          if Union_find.same uf i j <> adj.(i).(j) then ok := false
+        done
+      done;
+      !ok)
+
+let test_stats_basics () =
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "stddev" 1.0 (Stats.stddev [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "p50" 2.0 (Stats.percentile 50.0 [ 3.0; 1.0; 2.0 ]);
+  Alcotest.(check (float 1e-9)) "speedup" 4.0 (Stats.speedup ~base:8.0 ~par:2.0);
+  Alcotest.(check (float 1e-9)) "error_pct" (-50.0) (Stats.error_pct ~estimate:1.0 ~real:2.0)
+
+let test_stats_histogram () =
+  let h = Stats.histogram ~bins:2 [ 0.0; 1.0; 9.0; 10.0 ] in
+  Helpers.check_int "bins" 2 (List.length h);
+  let counts = List.map (fun (_, _, c) -> c) h in
+  Alcotest.(check (list int)) "counts" [ 2; 2 ] counts;
+  let hp = Stats.histogram_pct ~bins:2 [ 0.0; 1.0; 9.0; 10.0 ] in
+  Alcotest.(check (float 1e-9)) "pct sums to 100" 100.0
+    (List.fold_left (fun a (_, _, p) -> a +. p) 0.0 hp)
+
+let histogram_conserves_count =
+  QCheck.Test.make ~name:"histogram conserves total count" ~count:200
+    QCheck.(pair (int_range 1 20) (list_of_size (Gen.int_range 1 100) (float_bound_inclusive 100.0)))
+    (fun (bins, xs) ->
+      let total = List.fold_left (fun a (_, _, c) -> a + c) 0 (Stats.histogram ~bins xs) in
+      total = List.length xs)
+
+let test_dot_output () =
+  let d = Dot.create "g" in
+  Dot.node d "a" ~label:"A" ~peripheries:2;
+  Dot.node d "b" ~label:"B";
+  Dot.edge d "a" "b" ~label:"t" ~style:"dashed";
+  Dot.cluster d ~label:"C" [ "a"; "b" ];
+  let s = Dot.to_string d in
+  List.iter
+    (fun needle ->
+      Helpers.check_bool ("contains " ^ needle) true
+        (let re = Str_find.contains s needle in
+         re))
+    [ "digraph"; "peripheries=2"; "style=dashed"; "subgraph cluster_0"; "label=\"C\"" ]
+
+let test_table_render () =
+  let s = Table.render ~headers:[ "a"; "bb" ] [ [ "x"; "1" ]; [ "yy"; "22" ] ] in
+  Helpers.check_bool "aligned" true (Str_find.contains s "a   bb");
+  Helpers.check_string "float fmt" "3.1" (Table.fmt_float 3.14159)
+
+let tests =
+  [
+    ( "support.unit",
+      [
+        Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
+        Alcotest.test_case "prng seeds differ" `Quick test_prng_seeds_differ;
+        Alcotest.test_case "prng copy" `Quick test_prng_copy;
+        Alcotest.test_case "prng bounds exn" `Quick test_prng_bounds_exn;
+        Alcotest.test_case "pqueue orders" `Quick test_pqueue_orders;
+        Alcotest.test_case "pqueue fifo ties" `Quick test_pqueue_fifo_ties;
+        Alcotest.test_case "pqueue peek" `Quick test_pqueue_peek;
+        Alcotest.test_case "union find" `Quick test_union_find;
+        Alcotest.test_case "stats basics" `Quick test_stats_basics;
+        Alcotest.test_case "stats histogram" `Quick test_stats_histogram;
+        Alcotest.test_case "dot output" `Quick test_dot_output;
+        Alcotest.test_case "table render" `Quick test_table_render;
+      ] );
+    Helpers.qsuite "support.qcheck"
+      [
+        prng_int_in_bounds;
+        prng_float_in_bounds;
+        prng_shuffle_permutes;
+        pqueue_sorts;
+        union_find_transitive;
+        histogram_conserves_count;
+      ];
+  ]

@@ -1,0 +1,179 @@
+(** Tests for candidate generation, layout handling, and DSA. *)
+
+module Ir = Bamboo.Ir
+module Layout = Bamboo.Layout
+module Machine = Bamboo.Machine
+module Candidates = Bamboo.Candidates
+module Dsa = Bamboo.Dsa
+
+let setup () =
+  let prog = Helpers.compile Helpers.counter_src in
+  let an = Bamboo.analyse prog in
+  let prof = Bamboo.profile ~args:[ "12" ] prog in
+  (prog, an, prof)
+
+let test_task_graph_edges () =
+  let prog, an, prof = setup () in
+  let dg = Candidates.task_graph an.cstg prof in
+  let tid name = match Ir.find_task prog name with Some t -> t.Ir.t_id | None -> -1 in
+  let edge src dst =
+    Bamboo.Graph.succs dg (tid src)
+    |> List.exists (fun (e : float Bamboo.Graph.edge) -> e.dst = tid dst)
+  in
+  Helpers.check_bool "startup -> work" true (edge "startup" "work");
+  Helpers.check_bool "work -> collect" true (edge "work" "collect");
+  Helpers.check_bool "no collect -> startup" false (edge "collect" "startup")
+
+let test_rule_multiplicities () =
+  let prog, an, prof = setup () in
+  let machine = Machine.m16 in
+  let dg = Candidates.task_graph an.cstg prof in
+  let mults = Candidates.task_mults prog prof dg ~machine in
+  let tid name = match Ir.find_task prog name with Some t -> t.Ir.t_id | None -> -1 in
+  Helpers.check_int "startup pinned" 1 mults.(tid "startup");
+  Helpers.check_int "multi-param collect pinned" 1 mults.(tid "collect");
+  (* startup allocates 12 items per invocation: the data
+     parallelization rule wants 12, capped by the 16-core machine *)
+  Helpers.check_bool "work replicated" true (mults.(tid "work") >= 2);
+  Helpers.check_bool "capped by cores" true (mults.(tid "work") <= machine.Machine.cores)
+
+let test_random_candidates_valid_and_distinct () =
+  let prog, an, prof = setup () in
+  let machine = Machine.m16 in
+  let _, _, layouts = Candidates.generate ~n:12 ~seed:3 prog an.cstg prof machine in
+  Helpers.check_bool "some candidates" true (List.length layouts >= 6);
+  List.iter
+    (fun l -> Alcotest.(check (list string)) "valid" [] (Layout.validate prog l))
+    layouts;
+  let keys = List.map Layout.canonical_key layouts in
+  Helpers.check_int "all distinct" (List.length keys) (List.length (List.sort_uniq compare keys))
+
+let test_canonical_key_isomorphism () =
+  let prog, _, _ = setup () in
+  let machine = Machine.quad in
+  let mk perm =
+    let l = Layout.create machine ~ntasks:(Array.length prog.tasks) in
+    Array.iter
+      (fun (t : Ir.taskinfo) ->
+        Layout.set_cores l t.t_id
+          (if t.t_name = "work" then [| perm.(0); perm.(1) |] else [| perm.(2) |]))
+      prog.tasks;
+    l
+  in
+  let a = mk [| 0; 1; 2 |] in
+  let b = mk [| 2; 3; 1 |] in
+  Helpers.check_string "isomorphic layouts share a key" (Layout.canonical_key a)
+    (Layout.canonical_key b);
+  let c = mk [| 0; 1; 0 |] in
+  Helpers.check_bool "different shape differs" true
+    (Layout.canonical_key a <> Layout.canonical_key c)
+
+let test_enumerate_capped_distinct () =
+  let prog, an, prof = setup () in
+  let machine = Machine.quad in
+  let dg = Candidates.task_graph an.cstg prof in
+  let grouping = Candidates.scc_grouping prog dg in
+  let mults = Candidates.task_mults prog prof dg ~machine in
+  let layouts = Candidates.enumerate ~cap:50 prog machine grouping mults in
+  Helpers.check_bool "bounded" true (List.length layouts <= 50);
+  Helpers.check_bool "found several" true (List.length layouts >= 10);
+  let keys = List.map Layout.canonical_key layouts in
+  Helpers.check_int "non-isomorphic" (List.length keys)
+    (List.length (List.sort_uniq compare keys));
+  List.iter
+    (fun l -> Alcotest.(check (list string)) "valid" [] (Layout.validate prog l))
+    layouts
+
+let test_enumerate_skip_subsamples () =
+  let prog, an, prof = setup () in
+  let machine = Machine.quad in
+  let dg = Candidates.task_graph an.cstg prof in
+  let grouping = Candidates.scc_grouping prog dg in
+  let mults = Candidates.task_mults prog prof dg ~machine in
+  let full = List.length (Candidates.enumerate ~cap:5000 prog machine grouping mults) in
+  let sampled =
+    List.length (Candidates.enumerate ~cap:5000 ~skip:0.5 ~seed:2 prog machine grouping mults)
+  in
+  Helpers.check_bool "random skipping reduces the set" true (sampled < full)
+
+let test_dsa_improves () =
+  let prog, an, prof = setup () in
+  ignore an;
+  let machine = Machine.m16 in
+  (* seed DSA with a deliberately bad layout: everything on core 0 *)
+  let bad = Bamboo.Runtime.single_core_layout prog in
+  let bad = { bad with Layout.machine } in
+  let bad_est = Bamboo.estimate prog prof bad in
+  let cfg = { Dsa.default_config with max_iterations = 10 } in
+  let o = Dsa.optimize ~config:cfg ~seed:5 prog prof [ bad ] in
+  Helpers.check_bool "dsa strictly improves a bad start" true (o.best_cycles < bad_est);
+  Alcotest.(check (list string)) "result valid" [] (Layout.validate prog o.best)
+
+let test_dsa_never_worse_than_seeds () =
+  let prog, an, prof = setup () in
+  let machine = Machine.m16 in
+  let _, _, seeds = Candidates.generate ~n:6 ~seed:9 prog an.cstg prof machine in
+  let best_seed =
+    List.fold_left (fun acc l -> min acc (Bamboo.estimate prog prof l)) max_int seeds
+  in
+  let cfg = { Dsa.default_config with max_iterations = 6 } in
+  let o = Dsa.optimize ~config:cfg ~seed:1 prog prof seeds in
+  Helpers.check_bool "dsa <= best seed" true (o.best_cycles <= best_seed)
+
+let test_synthesized_layout_runs () =
+  let prog, an, prof = setup () in
+  let o = Bamboo.synthesize ~seed:4 prog an prof Machine.quad in
+  let r = Bamboo.execute ~args:[ "12" ] prog an o.best in
+  Helpers.check_string "correct output under synthesized layout" "total: 156\n" r.r_output
+
+let test_reoptimize () =
+  let prog, an, prof = setup () in
+  ignore prof;
+  let r = Bamboo.Runtime.run_single ~args:[ "12" ] ~record_trace:true prog in
+  let o = Bamboo.reoptimize ~seed:8 prog an r Machine.quad in
+  Alcotest.(check (list string)) "reoptimized layout valid" [] (Layout.validate prog o.best);
+  let r2 = Bamboo.execute ~args:[ "12" ] prog an o.best in
+  Helpers.check_string "reoptimized layout correct" "total: 156\n" r2.r_output
+
+let test_machine_model () =
+  let m = Machine.tilepro64 in
+  Helpers.check_int "62 usable cores" 62 m.Machine.cores;
+  Helpers.check_int "self distance" 0 (Machine.distance m 5 5);
+  Helpers.check_int "manhattan" 3 (Machine.distance m 0 10) (* (0,0) -> (2,1) *);
+  Helpers.check_int "local transfer free" 0 (Machine.transfer_latency m ~src:3 ~dst:3 ~words:10);
+  Helpers.check_bool "remote transfer costs" true
+    (Machine.transfer_latency m ~src:0 ~dst:10 ~words:10 > 0)
+
+let dsa_monotone_prop =
+  QCheck.Test.make ~name:"dsa result never exceeds its seed estimate" ~count:6
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let prog, an, prof = setup () in
+      let machine = Machine.quad in
+      let _, _, seeds = Candidates.generate ~n:2 ~seed prog an.cstg prof machine in
+      match seeds with
+      | [] -> true
+      | l :: _ ->
+          let e = Bamboo.estimate prog prof l in
+          let cfg = { Dsa.default_config with max_iterations = 4 } in
+          let o = Dsa.optimize ~config:cfg ~seed prog prof [ l ] in
+          o.best_cycles <= e)
+
+let tests =
+  [
+    ( "synth.unit",
+      [
+        Alcotest.test_case "task graph" `Quick test_task_graph_edges;
+        Alcotest.test_case "rule multiplicities" `Quick test_rule_multiplicities;
+        Alcotest.test_case "random candidates" `Quick test_random_candidates_valid_and_distinct;
+        Alcotest.test_case "canonical key" `Quick test_canonical_key_isomorphism;
+        Alcotest.test_case "enumerate" `Quick test_enumerate_capped_distinct;
+        Alcotest.test_case "enumerate skip" `Quick test_enumerate_skip_subsamples;
+        Alcotest.test_case "dsa improves" `Quick test_dsa_improves;
+        Alcotest.test_case "dsa vs seeds" `Quick test_dsa_never_worse_than_seeds;
+        Alcotest.test_case "synthesized runs" `Quick test_synthesized_layout_runs;
+        Alcotest.test_case "reoptimize" `Quick test_reoptimize;
+        Alcotest.test_case "machine model" `Quick test_machine_model;
+      ] );
+    Helpers.qsuite "synth.qcheck" [ dsa_monotone_prop ];
+  ]
