@@ -2,7 +2,8 @@
 
    Subcommands mirror the pipeline of the paper:
 
-     bamboo check      <file.bam>              -- parse + type check + analyses
+     bamboo check      <file.bam>              -- static verifier (BAM rules, text/JSON)
+     bamboo analyze    <file.bam>              -- analysis summary + diagnostics
      bamboo astg       <file.bam> <Class>      -- print a class's ASTG
      bamboo cstg       <file.bam>              -- CSTG as Graphviz dot (Fig. 3)
      bamboo taskflow   <file.bam>              -- task flow as dot (Fig. 8)
@@ -11,6 +12,9 @@
      bamboo run        <file.bam> [-- args]    -- synthesize and execute
      bamboo trace      <file.bam> [-- args]    -- simulated trace + critical path (Fig. 6)
      bamboo dump-bench <name>                  -- print a built-in benchmark's source
+
+   [check] and [analyze] exit non-zero when any error-severity
+   diagnostic is emitted, so both work as pre-commit gates.
 
    A file argument of the form bench:<Name> (e.g. bench:KMeans) loads a
    built-in benchmark instead of reading a file; bench:<Name>:seq loads
@@ -58,30 +62,64 @@ let machine_of cores = Bamboo.Machine.with_cores Bamboo.Machine.tilepro64 cores
 
 (* ------------------------------------------------------------------ *)
 
+let format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("text", Bamboo.Diagnostic.Text); ("json", Bamboo.Diagnostic.Json) ])
+        Bamboo.Diagnostic.Text
+    & info [ "format" ] ~docv:"FMT" ~doc:"diagnostic output format: $(b,text) or $(b,json)")
+
+(** Compile for the verifier: frontend failures become BAM000 error
+    diagnostics rendered in the requested format. *)
+let compile_diagnosed file format =
+  let frontend_error pos what msg =
+    let d =
+      Bamboo.Diagnostic.make ~rule:"BAM000" ~severity:Bamboo.Diagnostic.Error ~pos
+        ~context:[ ("kind", what) ] "%s: %s" what msg
+    in
+    print_string (Bamboo.Diagnostic.render ~format ~file [ d ]);
+    exit 1
+  in
+  match Bamboo.compile (read_source file) with
+  | prog -> prog
+  | exception Bamboo_frontend.Lexer.Error (pos, msg) -> frontend_error pos "syntax error" msg
+  | exception Bamboo_frontend.Typecheck.Error (pos, msg) -> frontend_error pos "type error" msg
+
 let cmd_check =
+  let run file format =
+    let prog = compile_diagnosed file format in
+    let ds = Bamboo.Check.run_program prog in
+    print_string (Bamboo.Diagnostic.render ~format ~file ds);
+    if Bamboo.Diagnostic.has_errors ds then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "run the static verifier (dead tasks, stuck states, flag/tag hygiene, exit \
+          reachability, lock-group audit) and print diagnostics")
+    Term.(const run $ file_arg $ format_arg)
+
+let cmd_analyze =
   let run file =
     let prog = load file in
     let an = Bamboo.analyse prog in
     Printf.printf "%d classes, %d tasks, %d allocation sites, %d tag types\n"
       (Array.length prog.classes) (Array.length prog.tasks) (Array.length prog.sites)
       (Array.length prog.tag_types);
-    (match Bamboo.Astg.dead_tasks prog an.astgs with
-    | [] -> print_endline "all tasks reachable"
-    | dead ->
-        List.iter
-          (fun tid -> Printf.printf "warning: task %s can never fire\n" prog.tasks.(tid).t_name)
-          dead);
-    List.iter
-      (fun (r : Bamboo.Disjoint.task_report) ->
-        List.iter
-          (fun (i, j) ->
-            let t = prog.tasks.(r.dr_task) in
-            Printf.printf "shared lock: task %s parameters %s and %s\n" t.t_name
-              t.t_params.(i).p_name t.t_params.(j).p_name)
-          r.dr_shared_pairs)
-      an.disjoint
+    let shared = ref 0 in
+    Array.iteri
+      (fun c _ -> if Bamboo.Ir.uses_group_lock an.lock_groups c then incr shared)
+      prog.classes;
+    Printf.printf "%d class(es) in shared lock groups\n" !shared;
+    let ds = Bamboo.check prog an in
+    print_string (Bamboo.Diagnostic.render_text ~file ds);
+    if Bamboo.Diagnostic.has_errors ds then exit 1
   in
-  Cmd.v (Cmd.info "check" ~doc:"parse, type check, and run the static analyses")
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "parse, type check, run the static analyses, and report diagnostics through the \
+          verifier engine")
     Term.(const run $ file_arg)
 
 let cmd_astg =
@@ -201,4 +239,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ cmd_check; cmd_astg; cmd_cstg; cmd_taskflow; cmd_profile; cmd_synth; cmd_run; cmd_trace; cmd_dump ]))
+          [ cmd_check; cmd_analyze; cmd_astg; cmd_cstg; cmd_taskflow; cmd_profile; cmd_synth;
+            cmd_run; cmd_trace; cmd_dump ]))

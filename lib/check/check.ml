@@ -1,0 +1,509 @@
+(** The Bamboo static verifier: analysis passes over the IR, the
+    per-class abstract state transition graphs (ASTGs) and the
+    disjointness analysis, producing structured {!Diagnostic}s.
+
+    The paper leans on static sanity checks over the abstract state
+    space ("tasks that can never fire", §4.1); this module grows that
+    idea into a proper rule set:
+
+    {ul
+    {- [BAM001] dead task — a task parameter's guard is satisfied by no
+       reachable abstract state, so the task can never fire (sound
+       under the ASTG over-approximation);}
+    {- [BAM002] stuck state — a reachable, non-quiescent abstract state
+       with no outgoing transitions: objects entering it are parked
+       forever while still flagged as work;}
+    {- [BAM003] flag hygiene — flags never used, written but never read
+       by any guard, or read but never written;}
+    {- [BAM004] tag hygiene — tag types never consumed by a [with]
+       clause, or consumed but never produced;}
+    {- [BAM005] unreachable task exit — a [taskexit] statement in dead
+       code, i.e. an exit index no execution can take;}
+    {- [BAM006] missing task exit — a task body path that falls off
+       the end: parameter states are unchanged, so the dispatcher
+       immediately re-fires the task (livelock);}
+    {- [BAM007] lock-group audit — the shared-lock groups produced by
+       the disjointness analysis must form a consistent (idempotent)
+       table whose per-task acquisition sequences admit a global
+       order, and every class of a multi-member group must use the
+       group lock.}}
+
+    [BAM000] is reserved for frontend (syntax/type) errors reported
+    through the same rendering pipeline by the CLI. *)
+
+module Ir = Bamboo_ir.Ir
+module Astg = Bamboo_analysis.Astg
+module Disjoint = Bamboo_analysis.Disjoint
+module D = Diagnostic
+
+let rule_frontend = "BAM000"
+let rule_dead_task = "BAM001"
+let rule_stuck_state = "BAM002"
+let rule_flag_hygiene = "BAM003"
+let rule_tag_hygiene = "BAM004"
+let rule_unreachable_exit = "BAM005"
+let rule_missing_exit = "BAM006"
+let rule_lock_order = "BAM007"
+
+(** Everything the passes need, computed once. *)
+type input = {
+  prog : Ir.program;
+  astgs : Astg.t array;
+  disjoint : Disjoint.task_report list;
+  lock_groups : int array;
+}
+
+let prepare (prog : Ir.program) : input =
+  let astgs = Astg.of_program prog in
+  let disjoint = Disjoint.analyse prog in
+  let lock_groups = Disjoint.lock_groups prog disjoint in
+  { prog; astgs; disjoint; lock_groups }
+
+(* ------------------------------------------------------------------ *)
+(* BAM001: dead tasks *)
+
+(** Span-carrying successor of {!Astg.dead_tasks}: reports one
+    diagnostic per unsatisfiable parameter, anchored at the parameter
+    declaration. *)
+let dead_tasks (i : input) : D.t list =
+  Array.to_list i.prog.tasks
+  |> List.concat_map (fun (task : Ir.taskinfo) ->
+         Array.to_list task.t_params
+         |> List.filter_map (fun (p : Ir.paraminfo) ->
+                let satisfiable =
+                  List.exists (fun s -> Astg.astate_satisfies p s) i.astgs.(p.p_class).a_states
+                in
+                if satisfiable then None
+                else
+                  let cls = (Ir.class_of i.prog p.p_class).c_name in
+                  let guard = Ir.string_of_flagexp i.prog p.p_class p.p_guard in
+                  let tags =
+                    match p.p_tags with
+                    | [] -> ""
+                    | ts ->
+                        " with tag(s) "
+                        ^ String.concat ", "
+                            (List.map (fun (ty, _) -> i.prog.tag_types.(ty)) ts)
+                  in
+                  Some
+                    (D.make ~rule:rule_dead_task ~severity:D.Error ~pos:p.p_pos
+                       ~context:
+                         [ ("task", task.t_name); ("param", p.p_name); ("class", cls) ]
+                       "task %s can never fire: no reachable state of class %s satisfies \
+                        guard %s%s on parameter %s"
+                       task.t_name cls guard tags p.p_name)))
+
+(* ------------------------------------------------------------------ *)
+(* BAM002: stuck states *)
+
+(** A state is quiescent when every flag is lowered and no tag is
+    bound: the object has left the task system on purpose.  Any other
+    reachable state with no outgoing transition parks the object while
+    it still advertises work. *)
+let stuck_states (i : input) : D.t list =
+  Array.to_list i.astgs
+  |> List.concat_map (fun (a : Astg.t) ->
+         let cls = Ir.class_of i.prog a.a_class in
+         List.filter_map
+           (fun (s : Astg.astate) ->
+             let quiescent = s.as_flags = 0 && s.as_tags = 0 in
+             let has_out =
+               List.exists (fun (tr : Astg.transition) -> Astg.compare_astate tr.tr_src s = 0)
+                 a.a_transitions
+             in
+             if quiescent || has_out then None
+             else
+               let state = Astg.string_of_astate i.prog a.a_class s in
+               let alloc_sites =
+                 List.find_map
+                   (fun (s', sites) -> if Astg.compare_astate s' s = 0 then Some sites else None)
+                   a.a_alloc
+               in
+               let context = [ ("class", cls.c_name); ("state", state) ] in
+               match alloc_sites with
+               | Some (sid :: _) ->
+                   (* Allocated straight into a dead-end state: almost
+                      surely a forgotten task or a mistyped flag. *)
+                   Some
+                     (D.make ~rule:rule_stuck_state ~severity:D.Warning
+                        ~pos:i.prog.sites.(sid).s_pos ~context
+                        "objects of class %s are allocated directly into state %s, which no \
+                         task consumes"
+                        cls.c_name state)
+               | _ ->
+                   Some
+                     (D.make ~rule:rule_stuck_state ~severity:D.Info ~pos:cls.c_pos ~context
+                        "class %s can reach state %s, from which no task ever fires again \
+                         (objects park here)"
+                        cls.c_name state))
+           a.a_states)
+
+(* ------------------------------------------------------------------ *)
+(* BAM003: flag hygiene *)
+
+let flag_hygiene (i : input) : D.t list =
+  let prog = i.prog in
+  Array.to_list prog.classes
+  |> List.concat_map (fun (c : Ir.classinfo) ->
+         let nflags = Array.length c.c_flags in
+         if nflags = 0 then []
+         else begin
+           let read = Array.make nflags false in
+           let written = Array.make nflags false in
+           (* Reads: task-parameter guards over this class. *)
+           Array.iter
+             (fun (t : Ir.taskinfo) ->
+               Array.iter
+                 (fun (p : Ir.paraminfo) ->
+                   if p.p_class = c.c_id then
+                     let support = Ir.flagexp_support p.p_guard in
+                     for b = 0 to nflags - 1 do
+                       if support land (1 lsl b) <> 0 then read.(b) <- true
+                     done)
+                 t.t_params)
+             prog.tasks;
+           (* Writes: allocation-site initializers and taskexit actions. *)
+           Array.iter
+             (fun (site : Ir.siteinfo) ->
+               if site.s_class = c.c_id then
+                 List.iter (fun (b, _) -> written.(b) <- true) site.s_flags)
+             prog.sites;
+           Array.iter
+             (fun (t : Ir.taskinfo) ->
+               Array.iter
+                 (fun (x : Ir.exitinfo) ->
+                   List.iter
+                     (fun (pidx, (actions : Ir.actions)) ->
+                       if t.t_params.(pidx).p_class = c.c_id then
+                         List.iter (fun (b, _) -> written.(b) <- true) actions.a_set)
+                     x.x_actions)
+                 t.t_exits)
+             prog.tasks;
+           (* The runtime raises [initialstate] on the implicit startup
+              allocation. *)
+           if c.c_id = prog.startup then begin
+             match Ir.flag_index c "initialstate" with
+             | Some b -> written.(b) <- true
+             | None -> ()
+           end;
+           List.concat
+             (List.init nflags (fun b ->
+                  let name = c.c_flags.(b) in
+                  let pos = c.c_flag_pos.(b) in
+                  let context = [ ("class", c.c_name); ("flag", name) ] in
+                  match (read.(b), written.(b)) with
+                  | false, false ->
+                      [
+                        D.make ~rule:rule_flag_hygiene ~severity:D.Warning ~pos ~context
+                          "flag %s of class %s is never used" name c.c_name;
+                      ]
+                  | false, true ->
+                      [
+                        D.make ~rule:rule_flag_hygiene ~severity:D.Warning ~pos ~context
+                          "flag %s of class %s is written but never read by any task guard \
+                           (write-only)"
+                          name c.c_name;
+                      ]
+                  | true, false ->
+                      [
+                        D.make ~rule:rule_flag_hygiene ~severity:D.Info ~pos ~context
+                          "flag %s of class %s is read by task guards but never set; guards \
+                           always see its allocation default"
+                          name c.c_name;
+                      ]
+                  | true, true -> []))
+         end)
+
+(* ------------------------------------------------------------------ *)
+(* BAM004: tag hygiene *)
+
+let tag_hygiene (i : input) : D.t list =
+  let prog = i.prog in
+  let ntags = Array.length prog.tag_types in
+  if ntags = 0 then []
+  else begin
+    let consumed = Array.make ntags false in
+    let consumer_pos = Array.make ntags None in
+    let produced = Array.make ntags false in
+    let producer_pos = Array.make ntags None in
+    let consumer_task = Array.make ntags "" in
+    Array.iter
+      (fun (t : Ir.taskinfo) ->
+        (* Consumption: [with] bindings on parameters. *)
+        Array.iter
+          (fun (p : Ir.paraminfo) ->
+            List.iter
+              (fun (ty, _) ->
+                consumed.(ty) <- true;
+                if consumer_pos.(ty) = None then begin
+                  consumer_pos.(ty) <- Some p.p_pos;
+                  consumer_task.(ty) <- t.t_name
+                end)
+              p.p_tags)
+          t.t_params;
+        (* Production: [add] actions on task exits, resolved through the
+           task's slot->tag-type table. *)
+        let slot_tags = Astg.task_slot_tags t in
+        Array.iter
+          (fun (x : Ir.exitinfo) ->
+            List.iter
+              (fun (_, (actions : Ir.actions)) ->
+                List.iter
+                  (fun slot ->
+                    match List.assoc_opt slot slot_tags with
+                    | Some ty ->
+                        produced.(ty) <- true;
+                        if producer_pos.(ty) = None then producer_pos.(ty) <- Some x.x_pos
+                    | None -> ())
+                  actions.a_addtags)
+              x.x_actions)
+          t.t_exits)
+      prog.tasks;
+    (* Production: tag bindings at allocation sites. *)
+    Array.iter
+      (fun (site : Ir.siteinfo) ->
+        let bits = Astg.site_tag_bits prog site in
+        for ty = 0 to ntags - 1 do
+          if bits land (1 lsl ty) <> 0 then begin
+            produced.(ty) <- true;
+            if producer_pos.(ty) = None then producer_pos.(ty) <- Some site.s_pos
+          end
+        done)
+      prog.sites;
+    List.concat
+      (List.init ntags (fun ty ->
+           let name = prog.tag_types.(ty) in
+           let context = [ ("tag", name) ] in
+           match (consumed.(ty), produced.(ty)) with
+           | false, _ ->
+               [
+                 D.make ~rule:rule_tag_hygiene ~severity:D.Warning ?pos:producer_pos.(ty)
+                   ~context "tag type %s is never consumed: no task binds it with 'with'" name;
+               ]
+           | true, false ->
+               [
+                 D.make ~rule:rule_tag_hygiene ~severity:D.Warning ?pos:consumer_pos.(ty)
+                   ~context
+                   "tag type %s is consumed by task %s but never produced by any allocation \
+                    or taskexit"
+                   name consumer_task.(ty);
+               ]
+           | true, true -> []))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* BAM005 / BAM006: exit reachability *)
+
+(** Conservative reachability over a task body.  [walk] returns whether
+    control can fall through the statement list; along the way it marks
+    every [taskexit] reachable from live code and records whether a
+    live [return] occurs (a task-level [return] takes the implicit
+    exit). *)
+let exit_reachability_of_task (task : Ir.taskinfo) : bool array * bool =
+  let nexits = Array.length task.t_exits in
+  let reachable = Array.make nexits false in
+  let returns = ref false in
+  let rec walk_stmts live breaks stmts =
+    List.fold_left (fun live s -> walk_stmt live breaks s) live stmts
+  and walk_stmt live breaks (s : Ir.stmt) =
+    match s with
+    | Staskexit i ->
+        if live then reachable.(i) <- true;
+        false
+    | Sreturn _ ->
+        if live then returns := true;
+        false
+    | Sbreak ->
+        if live then (match breaks with Some b -> b := true | None -> ());
+        false
+    | Scontinue -> false
+    | Sif (_, a, b) ->
+        let fa = walk_stmts live breaks a in
+        let fb = walk_stmts live breaks b in
+        live && (fa || fb)
+    | Swhile (cond, body) -> (
+        let my_breaks = ref false in
+        ignore (walk_stmts live (Some my_breaks) body);
+        (* [while (true)] only falls through via a reachable break. *)
+        match cond with Ebool true -> live && !my_breaks | _ -> live)
+    | Sassign _ | Sexpr _ | Snewtag _ -> live
+  in
+  let falls_through = walk_stmts true None task.t_body in
+  (reachable, falls_through || !returns)
+
+let exit_reachability (i : input) : D.t list =
+  Array.to_list i.prog.tasks
+  |> List.concat_map (fun (task : Ir.taskinfo) ->
+         let reachable, implicit_reachable = exit_reachability_of_task task in
+         let nexits = Array.length task.t_exits in
+         let unreachable =
+           List.init (nexits - 1) (fun x -> x)
+           |> List.filter_map (fun x ->
+                  if reachable.(x) then None
+                  else
+                    Some
+                      (D.make ~rule:rule_unreachable_exit ~severity:D.Warning
+                         ~pos:task.t_exits.(x).x_pos
+                         ~context:[ ("task", task.t_name); ("exit", string_of_int x) ]
+                         "unreachable taskexit in task %s: exit #%d can never execute"
+                         task.t_name x))
+         in
+         let missing =
+           if implicit_reachable && Array.length task.t_params > 0 then
+             [
+               D.make ~rule:rule_missing_exit ~severity:D.Warning ~pos:task.t_pos
+                 ~context:[ ("task", task.t_name) ]
+                 "task %s can complete without a taskexit: parameter states are unchanged, \
+                  so the dispatcher immediately re-fires it (livelock)"
+                 task.t_name;
+             ]
+           else []
+         in
+         unreachable @ missing)
+
+(* ------------------------------------------------------------------ *)
+(* BAM007: lock-group audit *)
+
+(** Number of classes sharing class [g]'s lock group. *)
+let group_size lock_groups g =
+  Array.fold_left (fun n g' -> if g' = g then n + 1 else n) 0 lock_groups
+
+(** Audit an explicit lock-group table against the runtime's ordered
+    try-locking model.  Exposed separately from {!lock_order} so a
+    hand-built (possibly inconsistent) table can be audited in tests. *)
+let audit_lock_order (prog : Ir.program) (disjoint : Disjoint.task_report list)
+    (lock_groups : int array) : D.t list =
+  let ds = ref [] in
+  let emit d = ds := d :: !ds in
+  let nclasses = Array.length lock_groups in
+  (* 1. The table must be idempotent: a representative represents
+     itself.  A non-idempotent table splits one group across two locks
+     and breaks mutual exclusion. *)
+  let consistent = ref true in
+  for c = 0 to nclasses - 1 do
+    let g = lock_groups.(c) in
+    if g < 0 || g >= nclasses then begin
+      consistent := false;
+      emit
+        (D.make ~rule:rule_lock_order ~severity:D.Error
+           ~pos:(Ir.class_of prog c).c_pos
+           ~context:[ ("class", (Ir.class_of prog c).c_name) ]
+           "lock-group table is corrupt: class %s maps to out-of-range group %d"
+           (Ir.class_of prog c).c_name g)
+    end
+    else if lock_groups.(g) <> g then begin
+      consistent := false;
+      emit
+        (D.make ~rule:rule_lock_order ~severity:D.Error
+           ~pos:(Ir.class_of prog c).c_pos
+           ~context:
+             [
+               ("class", (Ir.class_of prog c).c_name);
+               ("representative", (Ir.class_of prog g).c_name);
+             ]
+           "inconsistent lock-group table: class %s maps to representative %s, which is \
+            itself grouped under %s"
+           (Ir.class_of prog c).c_name (Ir.class_of prog g).c_name
+           (Ir.class_of prog lock_groups.(g)).c_name)
+    end
+  done;
+  if !consistent then begin
+    (* 2. Coverage: every class of a multi-member group must take the
+       shared group lock; mixing per-object and group locking within
+       one group lets two tasks touch overlapping regions
+       concurrently. *)
+    for c = 0 to nclasses - 1 do
+      let g = lock_groups.(c) in
+      if group_size lock_groups g >= 2 && not (Ir.uses_group_lock lock_groups c) then
+        emit
+          (D.make ~rule:rule_lock_order ~severity:D.Error
+             ~pos:(Ir.class_of prog c).c_pos
+             ~context:[ ("class", (Ir.class_of prog c).c_name) ]
+             "class %s belongs to a multi-class lock group but would use per-object locks; \
+              group members would not exclude each other"
+             (Ir.class_of prog c).c_name)
+    done;
+    (* 3. Global acquisition order: each task acquires its group locks
+       in a sorted sequence; the union of those sequences must be
+       acyclic for an order to exist. *)
+    let edges = Hashtbl.create 16 in
+    Array.iter
+      (fun (t : Ir.taskinfo) ->
+        let groups =
+          Array.to_list t.t_params
+          |> List.filter_map (fun (p : Ir.paraminfo) ->
+                 if Ir.uses_group_lock lock_groups p.p_class then
+                   Some lock_groups.(p.p_class)
+                 else None)
+          |> List.sort_uniq compare
+        in
+        let rec pairs = function
+          | a :: (b :: _ as rest) ->
+              Hashtbl.replace edges (a, b) ();
+              pairs rest
+          | _ -> ()
+        in
+        pairs groups)
+      prog.tasks;
+    let succs g =
+      Hashtbl.fold (fun (a, b) () acc -> if a = g then b :: acc else acc) edges []
+    in
+    let rec has_cycle path visited g =
+      if List.mem g path then true
+      else if List.mem g visited then false
+      else List.exists (has_cycle (g :: path) visited) (succs g)
+    in
+    let roots =
+      Hashtbl.fold (fun (a, _) () acc -> a :: acc) edges [] |> List.sort_uniq compare
+    in
+    if List.exists (has_cycle [] []) roots then
+      emit
+        (D.make ~rule:rule_lock_order ~severity:D.Error
+           "lock-group acquisition order is cyclic: no global order exists for the \
+            runtime's ordered try-locking");
+    (* 4. Informational: surface the disjointness verdicts that created
+       each shared group, anchored at the offending parameters. *)
+    List.iter
+      (fun (r : Disjoint.task_report) ->
+        let task = prog.tasks.(r.dr_task) in
+        List.iter
+          (fun (pi, pj) ->
+            let a = task.t_params.(pi) and b = task.t_params.(pj) in
+            emit
+              (D.make ~rule:rule_lock_order ~severity:D.Info ~pos:a.p_pos
+                 ~context:
+                   [
+                     ("task", task.t_name);
+                     ("params", a.p_name ^ "," ^ b.p_name);
+                     ("group", (Ir.class_of prog lock_groups.(a.p_class)).c_name);
+                   ]
+                 "parameters %s and %s of task %s may reach overlapping heap regions; \
+                  classes %s and %s share one lock group (serialized)"
+                 a.p_name b.p_name task.t_name
+                 (Ir.class_of prog a.p_class).c_name
+                 (Ir.class_of prog b.p_class).c_name))
+          r.dr_shared_pairs)
+      disjoint
+  end;
+  List.rev !ds
+
+let lock_order (i : input) : D.t list = audit_lock_order i.prog i.disjoint i.lock_groups
+
+(* ------------------------------------------------------------------ *)
+(* Driver *)
+
+let passes =
+  [
+    ("dead-tasks", dead_tasks);
+    ("stuck-states", stuck_states);
+    ("flag-hygiene", flag_hygiene);
+    ("tag-hygiene", tag_hygiene);
+    ("exit-reachability", exit_reachability);
+    ("lock-order", lock_order);
+  ]
+
+(** Run every pass over prepared analysis results. *)
+let run (i : input) : D.t list = List.concat_map (fun (_, pass) -> pass i) passes
+
+(** Compile-free entry point: run the analyses, then every pass. *)
+let run_program (prog : Ir.program) : D.t list = run (prepare prog)

@@ -1,0 +1,131 @@
+(** Structured diagnostics for the Bamboo static verifier.
+
+    Every finding of a verifier pass is a {!t}: a stable rule code
+    (e.g. [BAM001]), a severity, an optional source position, a
+    human-readable message, and a structured context payload (key/value
+    pairs such as [("task", "work")]) that the JSON renderer exposes to
+    tooling.  Diagnostics render either as classic compiler text
+    ([file:line:col: severity: message [CODE]]) or as a JSON document
+    with a stable schema (see the README's rule-code table). *)
+
+module Ast = Bamboo_ast.Ast
+
+type severity = Error | Warning | Info
+
+let string_of_severity = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+type t = {
+  rule : string;                     (* stable code, e.g. "BAM001" *)
+  severity : severity;
+  pos : Ast.pos option;              (* start of the offending span *)
+  message : string;
+  context : (string * string) list;  (* structured payload for tooling *)
+}
+
+(** [make ~rule ~severity ?pos ?context fmt ...] builds a diagnostic
+    with a printf-formatted message. *)
+let make ~rule ~severity ?pos ?(context = []) fmt =
+  Printf.ksprintf (fun message -> { rule; severity; pos; message; context }) fmt
+
+(* Deterministic report order: position first (so output follows the
+   source), then severity, rule, and message as tie-breakers. *)
+let compare_diag a b =
+  let pos_key = function
+    | Some (p : Ast.pos) -> (0, p.line, p.col)
+    | None -> (1, 0, 0)
+  in
+  match compare (pos_key a.pos) (pos_key b.pos) with
+  | 0 -> (
+      match compare (severity_rank a.severity) (severity_rank b.severity) with
+      | 0 -> ( match compare a.rule b.rule with 0 -> compare a.message b.message | c -> c)
+      | c -> c)
+  | c -> c
+
+let sort ds = List.stable_sort compare_diag ds
+
+let count sev ds = List.length (List.filter (fun d -> d.severity = sev) ds)
+let has_errors ds = List.exists (fun d -> d.severity = Error) ds
+
+(* ------------------------------------------------------------------ *)
+(* Text rendering *)
+
+(** One diagnostic as a classic compiler line. *)
+let to_text ?(file = "<input>") d =
+  let loc =
+    match d.pos with
+    | Some p -> Printf.sprintf "%s:%d:%d" file p.line p.col
+    | None -> file
+  in
+  Printf.sprintf "%s: %s: %s [%s]" loc (string_of_severity d.severity) d.message d.rule
+
+let summary_line ds =
+  Printf.sprintf "%d error(s), %d warning(s), %d info(s)" (count Error ds) (count Warning ds)
+    (count Info ds)
+
+(** Full text report: sorted diagnostics, one per line, then a summary
+    line.  A clean run renders as just ["no diagnostics"]. *)
+let render_text ?(file = "<input>") ds =
+  match sort ds with
+  | [] -> "no diagnostics\n"
+  | sorted ->
+      String.concat "" (List.map (fun d -> to_text ~file d ^ "\n") sorted) ^ summary_line sorted
+      ^ "\n"
+
+(* ------------------------------------------------------------------ *)
+(* JSON rendering *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json d =
+  let pos_fields =
+    match d.pos with
+    | Some p -> Printf.sprintf "\"line\":%d,\"col\":%d," p.line p.col
+    | None -> ""
+  in
+  let context_fields =
+    match d.context with
+    | [] -> ""
+    | kvs ->
+        Printf.sprintf ",\"context\":{%s}"
+          (String.concat ","
+             (List.map
+                (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v))
+                kvs))
+  in
+  Printf.sprintf "{\"rule\":\"%s\",\"severity\":\"%s\",%s\"message\":\"%s\"%s}"
+    (json_escape d.rule)
+    (string_of_severity d.severity)
+    pos_fields (json_escape d.message) context_fields
+
+(** Full JSON report:
+    [{"file":...,"summary":{"errors":N,"warnings":N,"infos":N},
+      "diagnostics":[...]}]. *)
+let render_json ?(file = "<input>") ds =
+  let sorted = sort ds in
+  Printf.sprintf
+    "{\"file\":\"%s\",\"summary\":{\"errors\":%d,\"warnings\":%d,\"infos\":%d},\"diagnostics\":[%s]}\n"
+    (json_escape file) (count Error sorted) (count Warning sorted) (count Info sorted)
+    (String.concat "," (List.map to_json sorted))
+
+type format = Text | Json
+
+let render ?(format = Text) ?file ds =
+  match format with Text -> render_text ?file ds | Json -> render_json ?file ds

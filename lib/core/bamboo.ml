@@ -32,6 +32,8 @@ module Interp = Bamboo_interp.Interp
 module Cost = Bamboo_interp.Cost
 module Astg = Bamboo_analysis.Astg
 module Disjoint = Bamboo_analysis.Disjoint
+module Diagnostic = Bamboo_check.Diagnostic
+module Check = Bamboo_check.Check
 module Cstg = Bamboo_cstg.Cstg
 module Machine = Bamboo_machine.Machine
 module Layout = Bamboo_machine.Layout
@@ -61,6 +63,12 @@ let analyse (prog : Ir.program) : analysis =
   let disjoint = Disjoint.analyse prog in
   let lock_groups = Disjoint.lock_groups prog disjoint in
   { astgs; cstg; disjoint; lock_groups }
+
+(** Run the static verifier's full rule set (BAM001..BAM007) over
+    already-computed analysis results; see {!Bamboo_check.Check}. *)
+let check (prog : Ir.program) (an : analysis) : Diagnostic.t list =
+  Check.run
+    { Check.prog; astgs = an.astgs; disjoint = an.disjoint; lock_groups = an.lock_groups }
 
 (** Single-core profiling run (the paper's bootstrap profile). *)
 let profile ?(args = []) ?max_invocations (prog : Ir.program) : Profile.t =

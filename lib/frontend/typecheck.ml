@@ -32,8 +32,10 @@ type csig = {
   cs_id : int;
   cs_name : string;
   cs_flags : string array;
+  cs_flag_pos : Ast.pos array;
   cs_fields : (string * Ast.typ) array;
   cs_methods : (string * msig) array;   (* constructor stored under class name *)
+  cs_pos : Ast.pos;
 }
 
 type genv = {
@@ -128,8 +130,10 @@ let collect_signatures (prog : Ast.program) =
              cs_id = i;
              cs_name = c.cname;
              cs_flags = Array.of_list flag_names;
+             cs_flag_pos = Array.of_list (List.map snd c.cflags);
              cs_fields = fields;
              cs_methods = methods;
+             cs_pos = c.cpos;
            })
          classes
        @ [
@@ -137,8 +141,10 @@ let collect_signatures (prog : Ast.program) =
              cs_id = random_id;
              cs_name = "Random";
              cs_flags = [||];
+             cs_flag_pos = [||];
              cs_fields = [||];
              cs_methods = [||];
+             cs_pos = Ast.dummy_pos;
            };
          ])
   in
@@ -558,6 +564,7 @@ and lower_new env pos cname args actions =
       s_flags = List.rev !flags;
       s_addtags = List.rev !addtags;
       s_owner = env.owner;
+      s_pos = pos;
     }
     :: env.genv.sites;
   (Ir.Enew (sid, args'), Ast.Tclass cname)
@@ -696,7 +703,7 @@ and lower_stmt env (s : Ast.stmt) : Ir.stmt list =
       dup actions;
       let exit_id = env.nexits in
       env.nexits <- exit_id + 1;
-      env.exits <- { Ir.x_actions = actions } :: env.exits;
+      env.exits <- { Ir.x_actions = actions; x_pos = pos } :: env.exits;
       [ Ir.Staskexit exit_id ]
   | Snewtag (var, tagty) ->
       let tid = intern_tag env.genv tagty in
@@ -756,6 +763,7 @@ let lower_method genv cid mid (ms : msig) : Ir.methodinfo =
     m_ret = ms.sig_ret;
     m_nslots = env.nslots;
     m_body = body;
+    m_pos = ms.sig_pos;
   }
 
 let lower_task genv tid (t : Ast.taskdecl) : Ir.taskinfo =
@@ -828,13 +836,13 @@ let lower_task genv tid (t : Ast.taskdecl) : Ir.taskinfo =
               (tty, slot))
             p.ptags
         in
-        { Ir.p_class = cid; p_name = p.pname; p_guard = guard; p_tags = tags })
+        { Ir.p_class = cid; p_name = p.pname; p_guard = guard; p_tags = tags; p_pos = p.ppos })
       params
   in
   let body = lower_stmts env t.tbody in
   pop_scope env;
   (* Implicit exit: falling off the end changes nothing. *)
-  let implicit = { Ir.x_actions = [] } in
+  let implicit = { Ir.x_actions = []; x_pos = t.tpos } in
   {
     t_id = tid;
     t_name = t.tname;
@@ -842,6 +850,7 @@ let lower_task genv tid (t : Ast.taskdecl) : Ir.taskinfo =
     t_nslots = env.nslots;
     t_body = body;
     t_exits = Array.of_list (List.rev (implicit :: env.exits));
+    t_pos = t.tpos;
   }
 
 (* The implicit exit is appended *after* the explicit ones, so its
@@ -864,10 +873,12 @@ let check (prog : Ast.program) : Ir.program =
           Ir.c_id = cid;
           c_name = cs.cs_name;
           c_flags = cs.cs_flags;
+          c_flag_pos = cs.cs_flag_pos;
           c_fields =
             Array.map (fun (n, t) -> { Ir.f_name = n; f_typ = t }) cs.cs_fields;
           c_methods = methods;
           c_ctor = !ctor;
+          c_pos = cs.cs_pos;
         })
   in
   let ast_tasks = Ast.tasks prog in

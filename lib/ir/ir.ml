@@ -15,6 +15,12 @@ type typ = Bamboo_ast.Ast.typ =
   | Tclass of string
   | Tarray of typ
 
+(** Source position carried over from the surface syntax.  Declarations
+    (classes, flags, methods, tasks, parameters, exits, allocation
+    sites) keep their positions so the static verifier can report
+    spans; synthetic declarations use {!Bamboo_ast.Ast.dummy_pos}. *)
+type pos = Bamboo_ast.Ast.pos = { line : int; col : int }
+
 type class_id = int
 type method_id = int
 type task_id = int
@@ -145,15 +151,18 @@ type methodinfo = {
   m_ret : typ;
   m_nslots : int;                 (* total local slots including params *)
   mutable m_body : stmt list;
+  m_pos : pos;
 }
 
 type classinfo = {
   c_id : class_id;
   c_name : string;
   c_flags : string array;         (* flag bit index -> name *)
+  c_flag_pos : pos array;         (* flag bit index -> declaration position *)
   c_fields : fieldinfo array;
   mutable c_methods : methodinfo array;
   c_ctor : method_id option;      (* constructor, if declared *)
+  c_pos : pos;
 }
 
 (** One task parameter: its class, its resolved guard, and its tag
@@ -163,10 +172,13 @@ type paraminfo = {
   p_name : string;
   p_guard : flagexp;
   p_tags : (tag_ty_id * slot) list;
+  p_pos : pos;
 }
 
-(** One task exit point: actions per parameter index. *)
-type exitinfo = { x_actions : (int * actions) list }
+(** One task exit point: actions per parameter index.  [x_pos] is the
+    position of the [taskexit] statement; the implicit exit reuses the
+    task's own position. *)
+type exitinfo = { x_actions : (int * actions) list; x_pos : pos }
 
 type taskinfo = {
   t_id : task_id;
@@ -175,6 +187,7 @@ type taskinfo = {
   t_nslots : int;
   mutable t_body : stmt list;
   t_exits : exitinfo array;       (* last entry is the implicit exit *)
+  t_pos : pos;
 }
 
 (** Static description of an object allocation site. *)
@@ -184,6 +197,7 @@ type siteinfo = {
   s_flags : (flag_id * bool) list;  (* initial flag assignment *)
   s_addtags : slot list;            (* tag slots bound at allocation *)
   s_owner : owner;                  (* task or method containing the site *)
+  s_pos : pos;                      (* position of the [new] expression *)
 }
 
 and owner = Otask of task_id | Omethod of class_id * method_id
@@ -228,6 +242,17 @@ let flag_index c name =
   if !found = -1 then None else Some !found
 
 let flag_name p cid fid = p.classes.(cid).c_flags.(fid)
+
+(** Lock keying shared by the runtime and the static verifier
+    ([BAM007]): a class takes its group's shared lock iff the
+    disjointness analysis merged it with at least one other class;
+    singleton groups keep per-object locks.  [lock_groups] maps each
+    class to its group representative. *)
+let uses_group_lock (lock_groups : int array) (c : class_id) =
+  let g = lock_groups.(c) in
+  let members = ref 0 in
+  Array.iter (fun g' -> if g' = g then incr members) lock_groups;
+  !members >= 2
 
 (** Initial flag word of an allocation site. *)
 let site_initial_word site =

@@ -81,6 +81,7 @@ type state = {
   events : event Pqueue.t;
   consumer_table : consumers array;      (* class id -> consumers *)
   lock_groups : int array;               (* class id -> group root class (or itself) *)
+  use_group : bool array;                (* class id -> class locks via its group *)
   group_locks : (int, int * int) Hashtbl.t; (* group -> core, release *)
   rr : (int * int, int) Hashtbl.t;       (* (task,param) -> round-robin counter *)
   mutable invocations : int;
@@ -306,11 +307,13 @@ let dispatch st ~from_core (o : obj) now =
 (* ------------------------------------------------------------------ *)
 (* Locking *)
 
+(* Classes that the disjointness analysis placed in a multi-class
+   group use one group lock — including the group's representative
+   class, which must exclude against the other members; singleton
+   classes use per-object locks.  The keying predicate is shared with
+   the static verifier's BAM007 audit ({!Ir.uses_group_lock}). *)
 let lock_key st (o : obj) =
-  let g = st.lock_groups.(o.o_class) in
-  if g = o.o_class then `Obj o else `Group g
-(* Classes that the disjointness analysis placed in a shared group use
-   one group lock; all others use per-object locks. *)
+  if st.use_group.(o.o_class) then `Group st.lock_groups.(o.o_class) else `Obj o
 
 (** Attempt to lock all parameters at [now] until [until].  Returns
     [Ok ()] or [Error release] with the earliest cycle at which a
@@ -500,6 +503,8 @@ let run ?(args = []) ?(max_invocations = 2_000_000) ?(record_trace = false) ?loc
       events = Pqueue.create ~dummy:(Ready 0);
       consumer_table = build_consumer_table prog;
       lock_groups;
+      use_group =
+        Array.init (Array.length prog.Ir.classes) (Ir.uses_group_lock lock_groups);
       group_locks = Hashtbl.create 8;
       rr = Hashtbl.create 16;
       invocations = 0;

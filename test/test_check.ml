@@ -1,0 +1,378 @@
+(** Tests for the static verifier: one triggering and one silent
+    program per rule code, plus golden renderer output. *)
+
+module D = Bamboo.Diagnostic
+module Check = Bamboo.Check
+module Ir = Bamboo.Ir
+
+let diags src = Check.run_program (Helpers.compile src)
+let by_rule rule ds = List.filter (fun (d : D.t) -> d.rule = rule) ds
+let rule_count rule src = List.length (by_rule rule (diags src))
+
+let severities rule src =
+  by_rule rule (diags src) |> List.map (fun (d : D.t) -> d.severity)
+
+(* A task chain that raises, moves and lowers every flag, produces and
+   consumes its tag, and exits everywhere: silent under every rule. *)
+let clean_src = Helpers.counter_src
+
+(* ------------------------------------------------------------------ *)
+(* BAM001: dead tasks *)
+
+let dead_task_src =
+  {|
+  class C { flag a; flag b; }
+  task startup(StartupObject s in initialstate) {
+    C c = new C(){a := true};
+    taskexit(s: initialstate := false);
+  }
+  task alive(C c in a) { taskexit(c: a := false); }
+  task dead(C c in b) { taskexit(c: b := false); }
+  |}
+
+let test_dead_task () =
+  match by_rule Check.rule_dead_task (diags dead_task_src) with
+  | [ d ] ->
+      Helpers.check_bool "error severity" true (d.severity = D.Error);
+      Helpers.check_bool "names the task" true (List.assoc "task" d.context = "dead");
+      Helpers.check_bool "has a position" true (d.pos <> None)
+  | ds -> Alcotest.fail (Printf.sprintf "expected exactly one BAM001, got %d" (List.length ds))
+
+let test_dead_task_silent () = Helpers.check_int "clean" 0 (rule_count Check.rule_dead_task clean_src)
+
+(* ------------------------------------------------------------------ *)
+(* BAM002: stuck states *)
+
+(* Allocated straight into a state nothing consumes: Warning at the site. *)
+let stuck_alloc_src =
+  {|
+  class C { flag f; }
+  task startup(StartupObject s in initialstate) {
+    C c = new C(){f := true};
+    taskexit(s: initialstate := false);
+  }
+  |}
+
+(* A transition parks objects in {done} forever: Info at the class. *)
+let stuck_parked_src =
+  {|
+  class C { flag busy; flag done; }
+  task startup(StartupObject s in initialstate) {
+    C c = new C(){busy := true};
+    taskexit(s: initialstate := false);
+  }
+  task finish(C c in busy) { taskexit(c: busy := false, done := true); }
+  |}
+
+let test_stuck_alloc () =
+  match severities Check.rule_stuck_state stuck_alloc_src with
+  | [ D.Warning ] -> ()
+  | _ -> Alcotest.fail "expected one BAM002 warning"
+
+let test_stuck_parked () =
+  match severities Check.rule_stuck_state stuck_parked_src with
+  | [ D.Info ] -> ()
+  | _ -> Alcotest.fail "expected one BAM002 info"
+
+let test_stuck_silent () =
+  Helpers.check_int "clean" 0 (rule_count Check.rule_stuck_state clean_src)
+
+(* ------------------------------------------------------------------ *)
+(* BAM003: flag hygiene *)
+
+let flag_hygiene_src =
+  {|
+  class C { flag live; flag unused; flag writeonly; flag readonly; }
+  task startup(StartupObject s in initialstate) {
+    C c = new C(){live := true, writeonly := true};
+    taskexit(s: initialstate := false);
+  }
+  task consume(C c in live) { taskexit(c: live := false); }
+  task ghost(C c in readonly) { taskexit(); }
+  |}
+
+let test_flag_hygiene () =
+  let ds = by_rule Check.rule_flag_hygiene (diags flag_hygiene_src) in
+  let find name =
+    List.find_opt (fun (d : D.t) -> List.assoc_opt "flag" d.context = Some name) ds
+  in
+  Helpers.check_int "three findings" 3 (List.length ds);
+  (match find "unused" with
+  | Some d -> Helpers.check_bool "unused is warning" true (d.severity = D.Warning)
+  | None -> Alcotest.fail "no diagnostic for 'unused'");
+  (match find "writeonly" with
+  | Some d -> Helpers.check_bool "writeonly is warning" true (d.severity = D.Warning)
+  | None -> Alcotest.fail "no diagnostic for 'writeonly'");
+  (match find "readonly" with
+  | Some d -> Helpers.check_bool "readonly is info" true (d.severity = D.Info)
+  | None -> Alcotest.fail "no diagnostic for 'readonly'");
+  Helpers.check_bool "live is silent" true (find "live" = None)
+
+let test_flag_hygiene_silent () =
+  Helpers.check_int "clean" 0 (rule_count Check.rule_flag_hygiene clean_src)
+
+(* ------------------------------------------------------------------ *)
+(* BAM004: tag hygiene *)
+
+let tag_unconsumed_src =
+  {|
+  class C { flag f; }
+  task startup(StartupObject s in initialstate) {
+    tag tv = new tag(ty);
+    C c = new C(){f := true, add tv};
+    taskexit(s: initialstate := false);
+  }
+  task consume(C c in f) { taskexit(c: f := false); }
+  |}
+
+let tag_unproduced_src =
+  {|
+  class C { flag f; }
+  task startup(StartupObject s in initialstate) {
+    C c = new C(){f := true};
+    taskexit(s: initialstate := false);
+  }
+  task consume(C c in f with ty tv) { taskexit(c: f := false); }
+  |}
+
+let tag_roundtrip_src =
+  {|
+  class C { flag f; }
+  task startup(StartupObject s in initialstate) {
+    tag tv = new tag(ty);
+    C c = new C(){f := true, add tv};
+    taskexit(s: initialstate := false);
+  }
+  task consume(C c in f with ty tv) { taskexit(c: f := false, clear tv); }
+  |}
+
+let test_tag_unconsumed () =
+  match severities Check.rule_tag_hygiene tag_unconsumed_src with
+  | [ D.Warning ] -> ()
+  | _ -> Alcotest.fail "expected one BAM004 warning (unconsumed)"
+
+let test_tag_unproduced () =
+  match severities Check.rule_tag_hygiene tag_unproduced_src with
+  | [ D.Warning ] -> ()
+  | _ -> Alcotest.fail "expected one BAM004 warning (unproduced)"
+
+let test_tag_silent () =
+  Helpers.check_int "round trip is clean" 0 (rule_count Check.rule_tag_hygiene tag_roundtrip_src)
+
+(* ------------------------------------------------------------------ *)
+(* BAM005 / BAM006: exit reachability *)
+
+let double_exit_src =
+  {|
+  class C { flag f; }
+  task startup(StartupObject s in initialstate) {
+    C c = new C(){f := true};
+    taskexit(s: initialstate := false);
+  }
+  task t(C c in f) {
+    taskexit(c: f := false);
+    taskexit(c: f := false);
+  }
+  |}
+
+let fall_through_src =
+  {|
+  class C { flag f; }
+  task startup(StartupObject s in initialstate) {
+    C c = new C(){f := true};
+    taskexit(s: initialstate := false);
+  }
+  task t(C c in f) {
+    int x = 1;
+  }
+  |}
+
+(* The only way out of [while (true)] is the taskexit: no fall-through. *)
+let loop_exit_src =
+  {|
+  class C { flag f; }
+  task startup(StartupObject s in initialstate) {
+    C c = new C(){f := true};
+    taskexit(s: initialstate := false);
+  }
+  task t(C c in f) {
+    while (true) {
+      taskexit(c: f := false);
+    }
+  }
+  |}
+
+let test_unreachable_exit () =
+  match by_rule Check.rule_unreachable_exit (diags double_exit_src) with
+  | [ d ] ->
+      Helpers.check_bool "warning severity" true (d.severity = D.Warning);
+      Helpers.check_bool "second exit" true (List.assoc "exit" d.context = "1")
+  | _ -> Alcotest.fail "expected one BAM005"
+
+let test_unreachable_exit_silent () =
+  Helpers.check_int "clean" 0 (rule_count Check.rule_unreachable_exit clean_src)
+
+let test_missing_exit () =
+  match by_rule Check.rule_missing_exit (diags fall_through_src) with
+  | [ d ] ->
+      Helpers.check_bool "warning severity" true (d.severity = D.Warning);
+      Helpers.check_bool "names the task" true (List.assoc "task" d.context = "t")
+  | _ -> Alcotest.fail "expected one BAM006"
+
+let test_missing_exit_silent () =
+  Helpers.check_int "clean" 0 (rule_count Check.rule_missing_exit clean_src);
+  Helpers.check_int "while(true) exit counts" 0 (rule_count Check.rule_missing_exit loop_exit_src)
+
+(* ------------------------------------------------------------------ *)
+(* BAM007: lock-group audit *)
+
+let linked_src =
+  {|
+  class A { flag fa; B child; }
+  class B { flag fb; }
+  task startup(StartupObject s in initialstate) {
+    A a = new A(){fa := true};
+    B b = new B(){fb := true};
+    taskexit(s: initialstate := false);
+  }
+  task link(A a in fa, B b in fb) {
+    a.child = b;
+    taskexit(a: fa := false; b: fb := false);
+  }
+  |}
+
+let test_lock_order_shared_pair () =
+  (* Storing b into a makes the parameters non-disjoint: the audit
+     surfaces the shared pair as Info and raises no errors. *)
+  let ds = by_rule Check.rule_lock_order (diags linked_src) in
+  Helpers.check_bool "no errors" false (D.has_errors ds);
+  Helpers.check_bool "shared pair surfaced" true
+    (List.exists
+       (fun (d : D.t) ->
+         d.severity = D.Info && List.assoc_opt "task" d.context = Some "link")
+       ds)
+
+let test_lock_order_computed_table_clean () =
+  let prog = Helpers.compile clean_src in
+  let an = Bamboo.analyse prog in
+  let ds = Check.audit_lock_order prog an.disjoint an.lock_groups in
+  Helpers.check_bool "computed table audits clean" false (D.has_errors ds)
+
+let test_lock_order_broken_table () =
+  let prog = Helpers.compile clean_src in
+  let an = Bamboo.analyse prog in
+  let n = Array.length prog.classes in
+  (* Rotate the table: every class maps to a non-representative, so
+     idempotence fails for each entry. *)
+  let broken = Array.init n (fun c -> (c + 1) mod n) in
+  let ds = Check.audit_lock_order prog an.disjoint broken in
+  Helpers.check_bool "broken table is an error" true (D.has_errors ds);
+  Helpers.check_bool "all findings are BAM007" true
+    (List.for_all (fun (d : D.t) -> d.rule = Check.rule_lock_order) ds);
+  let corrupt = Array.make n (-1) in
+  Helpers.check_bool "out-of-range table is an error" true
+    (D.has_errors (Check.audit_lock_order prog an.disjoint corrupt))
+
+(* ------------------------------------------------------------------ *)
+(* A fully clean program stays silent under every rule *)
+
+let test_clean_program () =
+  Helpers.check_int "counter program has no diagnostics" 0 (List.length (diags clean_src))
+
+(* ------------------------------------------------------------------ *)
+(* Renderers *)
+
+let sample_diags =
+  [
+    D.make ~rule:"BAM003" ~severity:D.Warning ~pos:{ Bamboo.Ast.line = 7; col = 3 }
+      ~context:[ ("class", "C"); ("flag", "f") ]
+      "flag f of class C is never used";
+    D.make ~rule:"BAM001" ~severity:D.Error ~pos:{ Bamboo.Ast.line = 2; col = 12 }
+      ~context:[ ("task", "dead") ] "task dead can never fire";
+    D.make ~rule:"BAM007" ~severity:D.Info "say \"hi\"\n";
+  ]
+
+let test_render_text_golden () =
+  Helpers.check_string "text report"
+    "x.bam:2:12: error: task dead can never fire [BAM001]\n\
+     x.bam:7:3: warning: flag f of class C is never used [BAM003]\n\
+     x.bam: info: say \"hi\"\n\
+     \ [BAM007]\n\
+     1 error(s), 1 warning(s), 1 info(s)\n"
+    (D.render_text ~file:"x.bam" sample_diags)
+
+let test_render_text_empty () =
+  Helpers.check_string "clean report" "no diagnostics\n" (D.render_text ~file:"x.bam" [])
+
+let test_render_json_golden () =
+  Helpers.check_string "json report"
+    ("{\"file\":\"x.bam\",\"summary\":{\"errors\":1,\"warnings\":1,\"infos\":1},\"diagnostics\":["
+   ^ "{\"rule\":\"BAM001\",\"severity\":\"error\",\"line\":2,\"col\":12,\"message\":\"task dead \
+      can never fire\",\"context\":{\"task\":\"dead\"}},"
+   ^ "{\"rule\":\"BAM003\",\"severity\":\"warning\",\"line\":7,\"col\":3,\"message\":\"flag f of \
+      class C is never used\",\"context\":{\"class\":\"C\",\"flag\":\"f\"}},"
+   ^ "{\"rule\":\"BAM007\",\"severity\":\"info\",\"message\":\"say \\\"hi\\\"\\n\"}]}\n")
+    (D.render_json ~file:"x.bam" sample_diags)
+
+let test_render_json_empty () =
+  Helpers.check_string "clean json"
+    "{\"file\":\"x.bam\",\"summary\":{\"errors\":0,\"warnings\":0,\"infos\":0},\"diagnostics\":[]}\n"
+    (D.render_json ~file:"x.bam" [])
+
+let test_render_dispatch () =
+  Helpers.check_string "format dispatch" (D.render_json [ List.hd sample_diags ])
+    (D.render ~format:D.Json [ List.hd sample_diags ])
+
+let test_sort_order () =
+  (* Positioned before positionless; then line/col; Error before Info. *)
+  match D.sort sample_diags with
+  | [ a; b; c ] ->
+      Helpers.check_string "first" "BAM001" a.rule;
+      Helpers.check_string "second" "BAM003" b.rule;
+      Helpers.check_string "last (no pos)" "BAM007" c.rule
+  | _ -> Alcotest.fail "sort changed length"
+
+(* Diagnostics over the paper benchmarks: every one passes the
+   verifier with no errors (Infos and documented warnings only). *)
+let test_benchmarks_check_clean () =
+  List.iter
+    (fun name ->
+      let b = Bamboo_benchmarks.Registry.find name in
+      let ds = Check.run_program (Helpers.compile b.b_source) in
+      Helpers.check_bool (name ^ " has no errors") false (D.has_errors ds))
+    [ "Tracking"; "KMeans"; "MonteCarlo"; "FilterBank"; "Fractal"; "Series"; "KeywordCount" ]
+
+let tests =
+  [
+    ( "check.rules",
+      [
+        Alcotest.test_case "BAM001 dead task" `Quick test_dead_task;
+        Alcotest.test_case "BAM001 silent" `Quick test_dead_task_silent;
+        Alcotest.test_case "BAM002 alloc into dead end" `Quick test_stuck_alloc;
+        Alcotest.test_case "BAM002 parked state" `Quick test_stuck_parked;
+        Alcotest.test_case "BAM002 silent" `Quick test_stuck_silent;
+        Alcotest.test_case "BAM003 flag hygiene" `Quick test_flag_hygiene;
+        Alcotest.test_case "BAM003 silent" `Quick test_flag_hygiene_silent;
+        Alcotest.test_case "BAM004 unconsumed tag" `Quick test_tag_unconsumed;
+        Alcotest.test_case "BAM004 unproduced tag" `Quick test_tag_unproduced;
+        Alcotest.test_case "BAM004 silent" `Quick test_tag_silent;
+        Alcotest.test_case "BAM005 unreachable exit" `Quick test_unreachable_exit;
+        Alcotest.test_case "BAM005 silent" `Quick test_unreachable_exit_silent;
+        Alcotest.test_case "BAM006 missing exit" `Quick test_missing_exit;
+        Alcotest.test_case "BAM006 silent" `Quick test_missing_exit_silent;
+        Alcotest.test_case "BAM007 shared pair info" `Quick test_lock_order_shared_pair;
+        Alcotest.test_case "BAM007 computed table clean" `Quick test_lock_order_computed_table_clean;
+        Alcotest.test_case "BAM007 broken table" `Quick test_lock_order_broken_table;
+        Alcotest.test_case "clean program" `Quick test_clean_program;
+        Alcotest.test_case "benchmarks error-free" `Quick test_benchmarks_check_clean;
+      ] );
+    ( "check.render",
+      [
+        Alcotest.test_case "text golden" `Quick test_render_text_golden;
+        Alcotest.test_case "text empty" `Quick test_render_text_empty;
+        Alcotest.test_case "json golden" `Quick test_render_json_golden;
+        Alcotest.test_case "json empty" `Quick test_render_json_empty;
+        Alcotest.test_case "format dispatch" `Quick test_render_dispatch;
+        Alcotest.test_case "sort order" `Quick test_sort_order;
+      ] );
+  ]

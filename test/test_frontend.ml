@@ -48,6 +48,23 @@ let test_lex_errors () =
   expect_lex_error "/* unterminated";
   expect_lex_error "#"
 
+(** The (line, col) a frontend error is reported at, from either the
+    lexer/parser or the type checker. *)
+let error_pos src =
+  match Bamboo.compile src with
+  | exception Lexer.Error (p, _) -> (p.Ast.line, p.Ast.col)
+  | exception Bamboo_frontend.Typecheck.Error (p, _) -> (p.Ast.line, p.Ast.col)
+  | _ -> Alcotest.fail "expected a frontend error"
+
+let check_pos what expected src =
+  Alcotest.(check (pair int int)) what expected (error_pos src)
+
+let test_lex_error_positions () =
+  (* Bad character: reported exactly where it sits. *)
+  check_pos "stray char" (3, 3) "class C {\n  flag f;\n  $\n}";
+  (* Unterminated string: reported at the opening quote. *)
+  check_pos "open string" (3, 12) "class C {\n  int m() {\n    return \"abc\n  }\n}"
+
 (* ------------------------------------------------------------------ *)
 (* Parser *)
 
@@ -142,6 +159,12 @@ let expect_parse_error src =
   | exception Lexer.Error _ -> ()
   | _ -> Alcotest.fail "expected parse error"
 
+let test_parse_error_positions () =
+  (* Truncated input: reported at the token after the last brace. *)
+  check_pos "eof in class" (2, 1) "class C {\n";
+  (* A parse error mid-statement points at the offending token. *)
+  check_pos "missing operand" (1, 25) "class C { int m() { 1 + ; } }"
+
 let test_parse_errors () =
   expect_parse_error "class C {";
   expect_parse_error "task t() { return 1 }";
@@ -231,6 +254,12 @@ let test_typecheck_errors () =
       "class C { void m() { String s = \"a\" - \"b\"; } }";
     ]
 
+let test_typecheck_error_positions () =
+  (* Unknown flag in a guard: reported at the parameter. *)
+  check_pos "unknown flag" (2, 8) "class C { flag f; }\ntask t(C x in g) { }";
+  (* Type mismatch: reported at the offending statement. *)
+  check_pos "bad return" (2, 13) "class C {\n  int m() { return true; }\n}"
+
 let test_typecheck_tags () =
   let prog =
     Helpers.compile
@@ -277,6 +306,7 @@ let tests =
         Alcotest.test_case "comments" `Quick test_lex_comments;
         Alcotest.test_case "positions" `Quick test_lex_positions;
         Alcotest.test_case "errors" `Quick test_lex_errors;
+        Alcotest.test_case "error positions" `Quick test_lex_error_positions;
       ] );
     ( "frontend.parser",
       [
@@ -287,6 +317,7 @@ let tests =
         Alcotest.test_case "flagged new" `Quick test_parse_new_with_actions;
         Alcotest.test_case "for and arrays" `Quick test_parse_for_and_arrays;
         Alcotest.test_case "errors" `Quick test_parse_errors;
+        Alcotest.test_case "error positions" `Quick test_parse_error_positions;
       ] );
     ( "frontend.typecheck",
       [
@@ -294,6 +325,7 @@ let tests =
         Alcotest.test_case "int widening" `Quick test_typecheck_widening;
         Alcotest.test_case "null comparisons" `Quick test_typecheck_null;
         Alcotest.test_case "rejections" `Quick test_typecheck_errors;
+        Alcotest.test_case "error positions" `Quick test_typecheck_error_positions;
         Alcotest.test_case "tag unification" `Quick test_typecheck_tags;
         Alcotest.test_case "tag type mismatch" `Quick test_typecheck_tag_type_mismatch;
       ] );

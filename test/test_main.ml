@@ -3,5 +3,6 @@
 let () =
   Alcotest.run "bamboo"
     (Test_support.tests @ Test_graph.tests @ Test_frontend.tests @ Test_interp.tests
-   @ Test_ir.tests @ Test_analysis.tests @ Test_runtime.tests @ Test_sim.tests @ Test_synth.tests
+   @ Test_ir.tests @ Test_analysis.tests @ Test_check.tests @ Test_runtime.tests
+   @ Test_sim.tests @ Test_synth.tests
    @ Test_benchmarks.tests @ Test_experiments.tests)
