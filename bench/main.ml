@@ -5,8 +5,14 @@
    Usage:
      dune exec bench/main.exe                 -- all figures
      dune exec bench/main.exe fig7            -- one figure (fig7|fig9|fig10|fig11)
-     dune exec bench/main.exe all --quick     -- smaller Figure-10 sampling
+     dune exec bench/main.exe all --quick     -- smaller inputs and sampling
+     dune exec bench/main.exe fig7 --jobs 4   -- parallel layout evaluation
+     dune exec bench/main.exe fig7 --json out.json  -- machine-readable results
      dune exec bench/main.exe bechamel        -- Bechamel micro-benchmarks
+
+   --jobs N fans candidate-layout simulation across N domains
+   (default: Domain.recommended_domain_count, capped at 8).  Results
+   are bit-identical for every N; only wall-clock changes.
 
    Absolute cycle counts are not comparable with the paper (the
    TILEPro64 is replaced by a cost-model simulator, inputs are
@@ -52,14 +58,43 @@ let paper : paper_row list =
 
 let paper_of name = List.find (fun p -> p.p_name = name) paper
 
+(* Runtime knobs, set once from the command line before dispatch. *)
+let jobs = ref 1
+let quick = ref false
+
+(* Small inputs and a short DSA schedule for --quick runs (CI smoke):
+   the paper columns stop being comparable, but every pipeline stage
+   still runs end to end. *)
+let quick_args = function
+  | "Tracking" -> Some [ "64"; "16"; "4"; "2"; "8" ]
+  | "KMeans" -> Some [ "400"; "2"; "3"; "4"; "4" ]
+  | "MonteCarlo" -> Some [ "8"; "60" ]
+  | "FilterBank" -> Some [ "6"; "64"; "8" ]
+  | "Fractal" -> Some [ "32"; "16"; "8"; "24" ]
+  | "Series" -> Some [ "8"; "40"; "4" ]
+  | _ -> None
+
+let quick_dsa_config =
+  { Bamboo.Dsa.default_config with max_iterations = 6; initial_candidates = 4 }
+
 (* Shared Figure 7/9 measurements, computed once. *)
 let results : Exp.bench_result list Lazy.t =
   lazy
     (List.map
        (fun (b : Bench_def.t) ->
          Printf.eprintf "[bench] evaluating %s...\n%!" b.b_name;
-         Exp.evaluate b)
+         if !quick then
+           Exp.evaluate ~machine:Bamboo.Machine.m16 ~dsa_config:quick_dsa_config ~jobs:!jobs
+             ?args:(quick_args b.b_name) b
+         else Exp.evaluate ~jobs:!jobs b)
        Registry.paper_benchmarks)
+
+let evals_per_sec (r : Exp.bench_result) =
+  if r.br_dsa_seconds > 0.0 then float_of_int r.br_dsa_evaluated /. r.br_dsa_seconds else 0.0
+
+let cache_hit_rate (r : Exp.bench_result) =
+  let total = r.br_dsa_evaluated + r.br_dsa_cache_hits in
+  if total > 0 then float_of_int r.br_dsa_cache_hits /. float_of_int total else 0.0
 
 let fig7 () =
   print_endline "== Figure 7: speedup of the benchmarks on 62 cores ==";
@@ -92,13 +127,22 @@ let fig7 () =
       ]
     rows;
   print_endline "";
-  print_endline
-    "-- DSA optimization time (paper: 78 s Tracking, 10 s KMeans, <0.2 s others) --";
+  Printf.printf
+    "-- DSA optimization time (jobs=%d; paper: 78 s Tracking, 10 s KMeans, <0.2 s others) --\n"
+    !jobs;
   Table.print
-    ~headers:[ "Benchmark"; "DSA seconds"; "layouts evaluated" ]
+    ~headers:
+      [ "Benchmark"; "DSA seconds"; "evaluated"; "cache hits"; "hit rate"; "evals/sec" ]
     (List.map
        (fun (r : Exp.bench_result) ->
-         [ r.br_name; fmt_f r.br_dsa_seconds; string_of_int r.br_dsa_evaluated ])
+         [
+           r.br_name;
+           fmt_f r.br_dsa_seconds;
+           string_of_int r.br_dsa_evaluated;
+           string_of_int r.br_dsa_cache_hits;
+           Printf.sprintf "%.0f%%" (100.0 *. cache_hit_rate r);
+           Printf.sprintf "%.0f" (evals_per_sec r);
+         ])
        (Lazy.force results));
   print_endline ""
 
@@ -149,7 +193,9 @@ let fig10 ~quick () =
     (fun (b : Bench_def.t) ->
       Printf.eprintf "[bench] fig10 %s...\n%!" b.b_name;
       let exhaustive = b.b_name <> "Tracking" in
-      let r = Exp.fig10 ~enumerate_cap ~dsa_starts ~exhaustive ?args:(fig10_args b) b in
+      let r =
+        Exp.fig10 ~enumerate_cap ~dsa_starts ~exhaustive ~jobs:!jobs ?args:(fig10_args b) b
+      in
       Printf.printf "-- %s --\n" b.b_name;
       (match r.f10_all with
       | [] -> print_endline "  (exhaustive enumeration skipped, as in the paper)"
@@ -175,7 +221,7 @@ let fig11 () =
     List.map
       (fun (b : Bench_def.t) ->
         Printf.eprintf "[bench] fig11 %s...\n%!" b.b_name;
-        let r = Exp.fig11 b in
+        let r = Exp.fig11 ~jobs:!jobs b in
         let p = paper_of b.b_name in
         [
           r.f11_name;
@@ -250,24 +296,107 @@ let bechamel () =
     results
 
 (* ------------------------------------------------------------------ *)
+(* BENCH_pr2.json emitter: a machine-readable record of the Figure 7/9
+   measurements so future PRs can track the perf trajectory. *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float f = if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
+
+let emit_json path =
+  let rs = Lazy.force results in
+  let bench_obj (r : Exp.bench_result) =
+    String.concat ""
+      [
+        "    {\n";
+        Printf.sprintf "      \"name\": \"%s\",\n" (json_escape r.br_name);
+        Printf.sprintf "      \"cores\": %d,\n" r.br_cores;
+        Printf.sprintf "      \"cycles_c_1core\": %d,\n" r.br_c;
+        Printf.sprintf "      \"cycles_bamboo_1core\": %d,\n" r.br_b1;
+        Printf.sprintf "      \"cycles_bamboo_ncore\": %d,\n" r.br_bn;
+        Printf.sprintf "      \"cycles_estimated_1core\": %d,\n" r.br_est1;
+        Printf.sprintf "      \"cycles_estimated_ncore\": %d,\n" r.br_estn;
+        Printf.sprintf "      \"speedup_vs_bamboo\": %s,\n" (json_float (Exp.speedup_b r));
+        Printf.sprintf "      \"speedup_vs_c\": %s,\n" (json_float (Exp.speedup_c r));
+        Printf.sprintf "      \"overhead_pct\": %s,\n" (json_float (Exp.overhead_pct r));
+        Printf.sprintf "      \"dsa_seconds\": %s,\n" (json_float r.br_dsa_seconds);
+        Printf.sprintf "      \"dsa_layouts_evaluated\": %d,\n" r.br_dsa_evaluated;
+        Printf.sprintf "      \"dsa_cache_hits\": %d,\n" r.br_dsa_cache_hits;
+        Printf.sprintf "      \"dsa_cache_hit_rate\": %s,\n" (json_float (cache_hit_rate r));
+        Printf.sprintf "      \"dsa_evals_per_sec\": %s,\n" (json_float (evals_per_sec r));
+        Printf.sprintf "      \"output_ok\": %b\n" r.br_ok;
+        "    }";
+      ]
+  in
+  let doc =
+    String.concat ""
+      [
+        "{\n";
+        "  \"schema\": \"BENCH_pr2\",\n";
+        Printf.sprintf "  \"jobs\": %d,\n" !jobs;
+        Printf.sprintf "  \"quick\": %b,\n" !quick;
+        "  \"benchmarks\": [\n";
+        String.concat ",\n" (List.map bench_obj rs);
+        "\n  ]\n}\n";
+      ]
+  in
+  let oc = open_out path in
+  output_string oc doc;
+  close_out oc;
+  Printf.eprintf "[bench] wrote %s\n%!" path
 
 let () =
-  let args = Array.to_list Sys.argv |> List.tl in
-  let quick = List.mem "--quick" args in
-  let args = List.filter (fun a -> a <> "--quick") args in
-  let what = match args with [] -> "all" | w :: _ -> w in
+  let argv = Array.to_list Sys.argv |> List.tl in
+  let json_path = ref None in
+  let rec parse = function
+    | [] -> []
+    | "--quick" :: rest ->
+        quick := true;
+        parse rest
+    | "--jobs" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some n when n >= 1 -> jobs := n
+        | _ ->
+            Printf.eprintf "--jobs expects a positive integer, got %s\n" n;
+            exit 2);
+        parse rest
+    | "--json" :: path :: rest ->
+        json_path := Some path;
+        parse rest
+    | ("--jobs" | "--json") :: [] ->
+        Printf.eprintf "--jobs/--json need an argument\n";
+        exit 2
+    | x :: rest -> x :: parse rest
+  in
+  (* Default: as wide as the host allows, capped so a many-core CI
+     runner does not oversubscribe the simulator. *)
+  jobs := max 1 (min 8 (Domain.recommended_domain_count ()));
+  let positional = parse argv in
+  let what = match positional with [] -> "all" | w :: _ -> w in
   (match what with
   | "fig7" -> fig7 ()
   | "fig9" -> fig9 ()
-  | "fig10" -> fig10 ~quick ()
+  | "fig10" -> fig10 ~quick:!quick ()
   | "fig11" -> fig11 ()
   | "bechamel" -> bechamel ()
   | "all" ->
       fig7 ();
       fig9 ();
-      fig10 ~quick ();
+      fig10 ~quick:!quick ();
       fig11 ()
   | other ->
       Printf.eprintf "unknown target %s (fig7|fig9|fig10|fig11|bechamel|all)\n" other;
       exit 2);
+  (match !json_path with Some path -> emit_json path | None -> ());
   print_endline "done."

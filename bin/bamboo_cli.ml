@@ -58,6 +58,25 @@ let cores_arg =
 
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"search seed")
 
+let jobs_arg =
+  let default = max 1 (min 8 (Domain.recommended_domain_count ())) in
+  let pos_int =
+    let parse s =
+      match Arg.conv_parser Arg.int s with
+      | Ok n when n >= 1 -> Ok n
+      | Ok n -> Error (`Msg (Printf.sprintf "expected a positive integer, got %d" n))
+      | Error _ as e -> e
+    in
+    Arg.conv (parse, Arg.conv_printer Arg.int)
+  in
+  Arg.(
+    value
+    & opt pos_int default
+    & info [ "jobs" ]
+        ~doc:
+          "domains used by the parallel layout-evaluation engine (results are identical for \
+           any value; default: recommended domain count, capped at 8)")
+
 let machine_of cores = Bamboo.Machine.with_cores Bamboo.Machine.tilepro64 cores
 
 (* ------------------------------------------------------------------ *)
@@ -182,38 +201,41 @@ let cmd_profile =
   Cmd.v (Cmd.info "profile" ~doc:"run on one core and print the profile statistics")
     Term.(const run $ file_arg $ args_arg)
 
-let synthesize file args cores seed =
+let synthesize file args cores seed jobs =
   let prog = load file in
   let an = Bamboo.analyse prog in
   let prof = Bamboo.profile ~args prog in
-  let t0 = Unix.gettimeofday () in
-  let o = Bamboo.synthesize ~seed prog an prof (machine_of cores) in
-  (prog, an, o, Unix.gettimeofday () -. t0)
+  let o = Bamboo.synthesize ~seed ~jobs prog an prof (machine_of cores) in
+  (prog, an, o)
 
 let cmd_synth =
-  let run file args cores seed =
-    let prog, _, o, dt = synthesize file args cores seed in
-    Printf.printf "estimated %d cycles; %d layouts evaluated in %.1f s\n" o.best_cycles
-      o.evaluated dt;
+  let run file args cores seed jobs =
+    let prog, _, (o : Bamboo.Dsa.outcome) = synthesize file args cores seed jobs in
+    Printf.printf
+      "estimated %d cycles; %d layouts evaluated (+%d cache hits) in %.1f s (%.0f evals/s, \
+       jobs=%d)\n"
+      o.best_cycles o.evaluated o.cache_hits o.seconds
+      (if o.seconds > 0.0 then float_of_int o.evaluated /. o.seconds else 0.0)
+      jobs;
     print_string (Bamboo.Layout.to_string prog o.best)
   in
   Cmd.v (Cmd.info "synth" ~doc:"synthesize an optimized layout (candidates + DSA)")
-    Term.(const run $ file_arg $ args_arg $ cores_arg $ seed_arg)
+    Term.(const run $ file_arg $ args_arg $ cores_arg $ seed_arg $ jobs_arg)
 
 let cmd_run =
-  let run file args cores seed =
-    let prog, an, o, _ = synthesize file args cores seed in
+  let run file args cores seed jobs =
+    let prog, an, o = synthesize file args cores seed jobs in
     let r = Bamboo.execute ~args prog an o.best in
     print_string r.r_output;
     Printf.printf "%d cycles on %d cores (%d invocations, %d messages, %d failed locks)\n"
       r.r_total_cycles cores r.r_invocations r.r_messages r.r_failed_locks
   in
   Cmd.v (Cmd.info "run" ~doc:"synthesize a layout and execute the program on it")
-    Term.(const run $ file_arg $ args_arg $ cores_arg $ seed_arg)
+    Term.(const run $ file_arg $ args_arg $ cores_arg $ seed_arg $ jobs_arg)
 
 let cmd_trace =
-  let run file args cores seed =
-    let prog, _, o, _ = synthesize file args cores seed in
+  let run file args cores seed jobs =
+    let prog, _, o = synthesize file args cores seed jobs in
     let prof = Bamboo.profile ~args prog in
     let sim = Bamboo.Schedsim.simulate prog prof o.best in
     let cp = Bamboo.Critpath.analyse sim in
@@ -221,7 +243,7 @@ let cmd_trace =
   in
   Cmd.v
     (Cmd.info "trace" ~doc:"print the simulated execution trace and critical path (paper Fig. 6)")
-    Term.(const run $ file_arg $ args_arg $ cores_arg $ seed_arg)
+    Term.(const run $ file_arg $ args_arg $ cores_arg $ seed_arg $ jobs_arg)
 
 let cmd_dump =
   let run name seq =

@@ -25,6 +25,7 @@ type bench_result = {
   br_estn : int;            (* estimated many-core Bamboo cycles *)
   br_dsa_seconds : float;
   br_dsa_evaluated : int;
+  br_dsa_cache_hits : int;
   br_cores : int;
   br_layout : Layout.t;
   br_ok : bool;             (* output sanity checks passed *)
@@ -43,16 +44,14 @@ let errn_pct r = Stats.error_pct ~estimate:(float_of_int r.br_estn) ~real:(float
     profile, synthesize for [machine], execute all three versions,
     and estimate the 1-core and many-core layouts with the scheduling
     simulator. *)
-let evaluate ?(machine = Machine.tilepro64) ?(seed = 11) ?dsa_config ?args (b : Bench_def.t) :
-    bench_result =
+let evaluate ?(machine = Machine.tilepro64) ?(seed = 11) ?dsa_config ?jobs ?args
+    (b : Bench_def.t) : bench_result =
   let args = match args with Some a -> a | None -> b.b_args in
   let prog = Bamboo.compile b.b_source in
   let seqprog = Bamboo.compile b.b_seq_source in
   let an = Bamboo.analyse prog in
   let prof = Bamboo.profile ~args prog in
-  let t0 = Unix.gettimeofday () in
-  let outcome = Bamboo.synthesize ?config:dsa_config ~seed prog an prof machine in
-  let dsa_seconds = Unix.gettimeofday () -. t0 in
+  let outcome = Bamboo.synthesize ?config:dsa_config ?jobs ~seed prog an prof machine in
   let rn = Bamboo.execute ~args prog an outcome.best in
   let r1 = Bamboo.Runtime.run_single ~args prog in
   let rc = Bamboo.Runtime.run_single ~args seqprog in
@@ -64,8 +63,9 @@ let evaluate ?(machine = Machine.tilepro64) ?(seed = 11) ?dsa_config ?args (b : 
     br_bn = rn.r_total_cycles;
     br_est1 = est1;
     br_estn = outcome.best_cycles;
-    br_dsa_seconds = dsa_seconds;
+    br_dsa_seconds = outcome.seconds;
     br_dsa_evaluated = outcome.evaluated;
+    br_dsa_cache_hits = outcome.cache_hits;
     br_cores = machine.Machine.cores;
     br_layout = outcome.best;
     br_ok = b.b_check rn.r_output && b.b_check r1.r_output && b.b_check rc.r_output;
@@ -93,7 +93,7 @@ type fig10_result = {
     points.  [exhaustive = false] skips enumeration (the paper skips
     it for Tracking). *)
 let fig10 ?(machine = Machine.m16) ?(enumerate_cap = 1500) ?(dsa_starts = 50) ?(seed = 5)
-    ?(exhaustive = true) ?args (b : Bench_def.t) : fig10_result =
+    ?(exhaustive = true) ?(jobs = 1) ?args (b : Bench_def.t) : fig10_result =
   let args = match args with Some a -> a | None -> b.b_args in
   let prog = Bamboo.compile b.b_source in
   let an = Bamboo.analyse prog in
@@ -101,10 +101,15 @@ let fig10 ?(machine = Machine.m16) ?(enumerate_cap = 1500) ?(dsa_starts = 50) ?(
   let dg = Bamboo.Candidates.task_graph an.cstg prof in
   let grouping = Bamboo.Candidates.scc_grouping prog dg in
   let mults = Bamboo.Candidates.task_mults prog prof dg ~machine in
-  let estimate l =
-    try
-      float_of_int (Bamboo.Schedsim.simulate ~max_invocations:200_000 prog prof l).s_total_cycles
-    with Bamboo.Schedsim.Sim_overrun _ -> infinity
+  (* One evaluation engine for the whole panel: the enumeration sweep
+     fans across [jobs] domains, and the DSA starts share its memo
+     cache (pure memoization of a deterministic simulator, so results
+     are unchanged — repeated layouts just stop costing). *)
+  let ev = Bamboo.Evaluator.create ~jobs ~max_invocations:200_000 prog prof in
+  Fun.protect ~finally:(fun () -> Bamboo.Evaluator.shutdown ev) @@ fun () ->
+  let estimate_all ls =
+    Bamboo.Evaluator.batch_cycles ev ls
+    |> List.filter_map (fun c -> if c = max_int then None else Some (float_of_int c))
   in
   let all =
     if exhaustive then begin
@@ -134,7 +139,7 @@ let fig10 ?(machine = Machine.m16) ?(enumerate_cap = 1500) ?(dsa_starts = 50) ?(
              (Bamboo.Candidates.perturb_mults rng0 machine prog mults)
              1)
       done;
-      enumerated @ !sample |> List.map estimate |> List.filter (fun c -> c < infinity)
+      estimate_all (enumerated @ !sample)
     end
     else []
   in
@@ -161,7 +166,10 @@ let fig10 ?(machine = Machine.m16) ?(enumerate_cap = 1500) ?(dsa_starts = 50) ?(
         match start with
         | [] -> None
         | l :: _ ->
-            let o = Bamboo.Dsa.optimize ~config:cfg ~seed:(seed + (100 * i)) prog prof [ l ] in
+            let o =
+              Bamboo.Dsa.optimize ~config:cfg ~evaluator:ev ~seed:(seed + (100 * i)) prog prof
+                [ l ]
+            in
             Some (float_of_int o.best_cycles))
     |> List.filter_map (fun x -> x)
   in
@@ -203,15 +211,17 @@ type fig11_result = {
 (** Reproduce one row of Figure 11: run the doubled workload under
     (a) the layout synthesized from the original profile and (b) the
     layout synthesized from the doubled profile. *)
-let fig11 ?(machine = Machine.tilepro64) ?(seed = 11) ?dsa_config (b : Bench_def.t) :
+let fig11 ?(machine = Machine.tilepro64) ?(seed = 11) ?dsa_config ?jobs (b : Bench_def.t) :
     fig11_result =
   let prog = Bamboo.compile b.b_source in
   let an = Bamboo.analyse prog in
   let prof_orig = Bamboo.profile ~args:b.b_args prog in
   let prof_double = Bamboo.profile ~args:b.b_args_double prog in
-  let layout_orig = (Bamboo.synthesize ?config:dsa_config ~seed prog an prof_orig machine).best in
+  let layout_orig =
+    (Bamboo.synthesize ?config:dsa_config ?jobs ~seed prog an prof_orig machine).best
+  in
   let layout_double =
-    (Bamboo.synthesize ?config:dsa_config ~seed prog an prof_double machine).best
+    (Bamboo.synthesize ?config:dsa_config ?jobs ~seed prog an prof_double machine).best
   in
   let r1 = Bamboo.Runtime.run_single ~args:b.b_args_double prog in
   let r_orig = Bamboo.execute ~args:b.b_args_double prog an layout_orig in

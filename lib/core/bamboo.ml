@@ -18,6 +18,7 @@
 
 module Support = Bamboo_support
 module Prng = Bamboo_support.Prng
+module Pool = Bamboo_support.Pool
 module Stats = Bamboo_support.Stats
 module Table = Bamboo_support.Table
 module Dot = Bamboo_support.Dot
@@ -41,6 +42,7 @@ module Profile = Bamboo_profile.Profile
 module Schedsim = Bamboo_sim.Schedsim
 module Critpath = Bamboo_sim.Critpath
 module Candidates = Bamboo_synth.Candidates
+module Evaluator = Bamboo_synth.Evaluator
 module Dsa = Bamboo_synth.Dsa
 module Runtime = Bamboo_runtime.Runtime
 
@@ -75,10 +77,12 @@ let profile ?(args = []) ?max_invocations (prog : Ir.program) : Profile.t =
   fst (Profile.collect ~args ?max_invocations prog)
 
 (** Synthesize an optimized layout for [machine] using candidate
-    generation and directed simulated annealing. *)
-let synthesize ?config ?ncandidates ?(seed = 42) (prog : Ir.program) (an : analysis)
+    generation and directed simulated annealing.  [jobs] sets the
+    width of the parallel evaluation engine; results are bit-identical
+    for any value. *)
+let synthesize ?config ?ncandidates ?jobs ?(seed = 42) (prog : Ir.program) (an : analysis)
     (prof : Profile.t) (machine : Machine.t) : Dsa.outcome =
-  Dsa.synthesize ?config ?ncandidates ~seed prog an.cstg prof machine
+  Dsa.synthesize ?config ?ncandidates ?jobs ~seed prog an.cstg prof machine
 
 (** Execute the program under a layout on the cycle-level many-core
     runtime, using the analysis' shared-lock groups. *)
@@ -95,7 +99,7 @@ let estimate ?max_invocations (prog : Ir.program) (prof : Profile.t) (layout : L
     re-synthesize the layout for the observed workload.  Returns the
     new layout (and its estimate) computed from the records of a run
     under the old layout. *)
-let reoptimize ?config ?ncandidates ?(seed = 43) (prog : Ir.program) (an : analysis)
+let reoptimize ?config ?ncandidates ?jobs ?(seed = 43) (prog : Ir.program) (an : analysis)
     (run : Runtime.result) (machine : Machine.t) : Dsa.outcome =
   let prof = Profile.of_records prog ~total_cycles:run.r_total_cycles run.r_records in
-  Dsa.synthesize ?config ?ncandidates ~seed prog an.cstg prof machine
+  Dsa.synthesize ?config ?ncandidates ?jobs ~seed prog an.cstg prof machine

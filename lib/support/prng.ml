@@ -24,9 +24,21 @@ let next_int64 t =
 let bits t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
 (* 62 nonnegative bits *)
 
-let int t bound =
+(* Rejection sampling (the classic [Random.int] idiom): draw 62-bit
+   words until one falls inside the largest bound-divisible prefix, so
+   every residue is exactly equally likely.  A plain [bits t mod
+   bound] over-weights small residues when [bound] does not divide
+   2^62; rejection keeps the generator deterministic — the stream of
+   draws is a pure function of the seed — at an expected cost of
+   under two draws even for adversarial bounds. *)
+let rec int t bound =
   if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
-  bits t mod bound
+  let r = bits t in
+  let v = r mod bound in
+  (* Accept unless [r] lies in the truncated final block [2^62 -
+     (2^62 mod bound) .. 2^62 - 1]; the subtraction cannot overflow
+     because [r], [v] and [bound] all fit in 62 bits. *)
+  if r - v > 0x3FFFFFFFFFFFFFFF - (bound - 1) then int t bound else v
 
 let int_range t ~lo ~hi =
   if hi < lo then invalid_arg "Prng.int_range: empty range";

@@ -50,12 +50,10 @@ type outcome = {
   best : Layout.t;
   best_cycles : int;
   iterations : int;
-  evaluated : int;            (* total layouts simulated *)
+  evaluated : int;            (* distinct layouts simulated (cache misses) *)
+  cache_hits : int;           (* evaluation requests served by the memo cache *)
+  seconds : float;            (* wall-clock time of the search *)
 }
-
-let evaluate cfg prog profile layout =
-  try (Schedsim.simulate ~max_invocations:cfg.sim_max_invocations prog profile layout).s_total_cycles
-  with Schedsim.Sim_overrun _ -> max_int
 
 (* ------------------------------------------------------------------ *)
 (* Neighbour generation *)
@@ -170,82 +168,114 @@ let neighbours cfg rng prog (r : Schedsim.result) layout (ops : Critpath.opportu
 
 (** Optimize starting from [seeds] (already-generated candidate
     layouts).  Returns the best layout found and its estimated
-    cycles. *)
-let optimize ?(config = default_config) ~seed (prog : Ir.program) (profile : Profile.t)
-    (seeds : Layout.t list) : outcome =
+    cycles.
+
+    Evaluation runs through a {!Evaluator}: each round's batch of
+    unevaluated layouts is fanned across [jobs] domains and every
+    simulation is memoized on [Layout.canonical_key], so the
+    critical-path pass over kept layouts reuses the score-time
+    simulation instead of running it twice.  All randomness (pruning,
+    neighbour choice, plateau continuation) stays on the calling
+    domain in a fixed order, so outcomes are bit-identical for any
+    [jobs] value.  Pass [evaluator] to share a memo cache across
+    searches (e.g. repeated DSA starts over one profile). *)
+let optimize ?(config = default_config) ?(jobs = 1) ?evaluator ~seed (prog : Ir.program)
+    (profile : Profile.t) (seeds : Layout.t list) : outcome =
   if seeds = [] then invalid_arg "Dsa.optimize: no seed layouts";
-  let rng = Prng.create ~seed in
-  let evaluated = ref 0 in
-  let eval l =
-    incr evaluated;
-    evaluate config prog profile l
+  let t0 = Unix.gettimeofday () in
+  let ev, owns_ev =
+    match evaluator with
+    | Some e -> (e, false)
+    | None ->
+        (Evaluator.create ~jobs ~max_invocations:config.sim_max_invocations prog profile, true)
   in
-  let scored = List.map (fun l -> (eval l, l)) seeds in
-  let best = ref (List.fold_left min (List.hd scored) (List.tl scored)) in
-  let pool = ref scored in
-  let iter = ref 0 in
-  let continue_ = ref true in
-  while !continue_ && !iter < config.max_iterations do
-    incr iter;
-    (* Probabilistic pruning. *)
-    let sorted = List.sort (fun (a, _) (b, _) -> compare a b) !pool in
-    let n = List.length sorted in
-    let kept =
-      List.filteri
-        (fun i (_, _) ->
-          let p = if i < (n + 1) / 2 then config.keep_good_prob else config.keep_bad_prob in
-          i = 0 || Prng.float rng 1.0 < p)
-        sorted
-    in
-    let kept = take config.max_pool kept in
-    (* Directed neighbour generation. *)
-    let news =
-      List.concat_map
-        (fun (_, l) ->
-          try
-            let r = Schedsim.simulate ~max_invocations:config.sim_max_invocations prog profile l in
-            let cp = Critpath.analyse r in
-            let ops = Critpath.opportunities cp in
-            neighbours config rng prog r l ops
-          with Schedsim.Sim_overrun _ -> [])
-        kept
-    in
-    (* Deduplicate against the pool. *)
-    let seen = Hashtbl.create 64 in
-    List.iter (fun (_, l) -> Hashtbl.replace seen (Layout.canonical_key l) ()) kept;
-    let news =
-      List.filter
-        (fun l ->
-          let key = Layout.canonical_key l in
-          if Hashtbl.mem seen key then false
-          else begin
-            Hashtbl.replace seen key ();
-            true
-          end)
-        news
-    in
-    let scored_news = List.map (fun l -> (eval l, l)) news in
-    pool := kept @ scored_news;
-    let round_best = List.fold_left min (List.hd !pool) (List.tl !pool) in
-    if fst round_best < fst !best then best := round_best
-    else if Prng.float rng 1.0 >= config.continue_prob then continue_ := false
-    else begin
-      (* Plateau: diversify around the best layout so continued
-         search explores new directions rather than re-deriving the
-         same neighbours. *)
-      let shakes =
-        List.init 4 (fun _ -> shake rng prog (snd !best)) |> List.map (fun l -> (eval l, l))
+  let evaluated0 = Evaluator.evaluated ev and hits0 = Evaluator.cache_hits ev in
+  let rng = Prng.create ~seed in
+  let eval_batch ls = List.combine (Evaluator.batch_cycles ev ls) ls in
+  let finish (best_cycles, best) iterations =
+    if owns_ev then Evaluator.shutdown ev;
+    {
+      best;
+      best_cycles;
+      iterations;
+      evaluated = Evaluator.evaluated ev - evaluated0;
+      cache_hits = Evaluator.cache_hits ev - hits0;
+      seconds = Unix.gettimeofday () -. t0;
+    }
+  in
+  match
+    let scored = eval_batch seeds in
+    let best = ref (List.fold_left min (List.hd scored) (List.tl scored)) in
+    let pool = ref scored in
+    let iter = ref 0 in
+    let continue_ = ref true in
+    while !continue_ && !iter < config.max_iterations do
+      incr iter;
+      (* Probabilistic pruning. *)
+      let sorted = List.sort (fun (a, _) (b, _) -> compare a b) !pool in
+      let n = List.length sorted in
+      let kept =
+        List.filteri
+          (fun i (_, _) ->
+            let p = if i < (n + 1) / 2 then config.keep_good_prob else config.keep_bad_prob in
+            i = 0 || Prng.float rng 1.0 < p)
+          sorted
       in
-      pool := !pool @ shakes
-    end
-  done;
-  { best = snd !best; best_cycles = fst !best; iterations = !iter; evaluated = !evaluated }
+      let kept = take config.max_pool kept in
+      (* Directed neighbour generation.  The simulation of every kept
+         layout is a memo-cache hit — it was simulated when scored —
+         so the per-round critical-path pass costs no extra
+         simulations. *)
+      let news =
+        List.concat_map
+          (fun (_, l) ->
+            match Evaluator.result ev l with
+            | None -> []   (* simulator overrun: no trace to direct from *)
+            | Some r ->
+                let cp = Critpath.analyse r in
+                let ops = Critpath.opportunities cp in
+                neighbours config rng prog r l ops)
+          kept
+      in
+      (* Deduplicate against the pool. *)
+      let seen = Hashtbl.create 64 in
+      List.iter (fun (_, l) -> Hashtbl.replace seen (Layout.canonical_key l) ()) kept;
+      let news =
+        List.filter
+          (fun l ->
+            let key = Layout.canonical_key l in
+            if Hashtbl.mem seen key then false
+            else begin
+              Hashtbl.replace seen key ();
+              true
+            end)
+          news
+      in
+      let scored_news = eval_batch news in
+      pool := kept @ scored_news;
+      let round_best = List.fold_left min (List.hd !pool) (List.tl !pool) in
+      if fst round_best < fst !best then best := round_best
+      else if Prng.float rng 1.0 >= config.continue_prob then continue_ := false
+      else begin
+        (* Plateau: diversify around the best layout so continued
+           search explores new directions rather than re-deriving the
+           same neighbours. *)
+        let shakes = eval_batch (List.init 4 (fun _ -> shake rng prog (snd !best))) in
+        pool := !pool @ shakes
+      end
+    done;
+    (!best, !iter)
+  with
+  | (best, iter) -> finish best iter
+  | exception e ->
+      if owns_ev then Evaluator.shutdown ev;
+      raise e
 
 (** Full synthesis pipeline: candidate generation followed by DSA, as
     the compiler's backend would run it. *)
-let synthesize ?(config = default_config) ?(ncandidates = 16) ~seed (prog : Ir.program)
-    (g : Cstg.t) (profile : Profile.t) (machine : Machine.t) : outcome =
+let synthesize ?(config = default_config) ?(ncandidates = 16) ?(jobs = 1) ?evaluator ~seed
+    (prog : Ir.program) (g : Cstg.t) (profile : Profile.t) (machine : Machine.t) : outcome =
   let _grouping, _mults, seeds = Candidates.generate ~n:ncandidates ~seed prog g profile machine in
   if seeds = [] then
     invalid_arg "Dsa.synthesize: candidate generation produced no valid layout";
-  optimize ~config ~seed:(seed + 1) prog profile seeds
+  optimize ~config ~jobs ?evaluator ~seed:(seed + 1) prog profile seeds

@@ -1,0 +1,124 @@
+(** Parallel, memoized layout evaluation — the engine behind DSA and
+    candidate search.
+
+    The synthesis loop is embarrassingly parallel: every candidate
+    layout is scored by an independent [Schedsim.simulate] run (§4.4),
+    and DSA re-reads the simulation of each surviving layout every
+    round for its critical-path pass (§4.5).  An [Evaluator.t] makes
+    both cheap:
+
+    - {b Memoization}: results are cached keyed on
+      [Layout.canonical_key], and the cache stores the {e full}
+      [Schedsim.result] — not just the cycle count — so the
+      critical-path analysis of a kept layout reuses the simulation
+      that scored it instead of running it again.
+    - {b Parallelism}: [batch] fans the uncached layouts of a request
+      across a fixed {!Bamboo_support.Pool} of domains.  The
+      simulator touches no global mutable state and consumes no
+      randomness, so per-layout results are independent of the domain
+      that computed them: outputs are bit-identical for any [jobs].
+
+    Callers must keep every RNG decision on their own domain;
+    the evaluator never draws random numbers. *)
+
+module Ir = Bamboo_ir.Ir
+module Profile = Bamboo_profile.Profile
+module Layout = Bamboo_machine.Layout
+module Schedsim = Bamboo_sim.Schedsim
+module Pool = Bamboo_support.Pool
+
+type t = {
+  prog : Ir.program;
+  profile : Profile.t;
+  max_invocations : int;
+  pool : Pool.t;
+  owns_pool : bool;
+  (* [None] caches a simulator overrun (the layout's score is +inf);
+     overruns are deterministic, so they memoize like any result. *)
+  cache : (string, Schedsim.result option) Hashtbl.t;
+  mutable evaluated : int;     (* simulations actually run *)
+  mutable cache_hits : int;    (* requests served from the cache *)
+}
+
+let create ?(jobs = 1) ?pool ?(max_invocations = 500_000) (prog : Ir.program)
+    (profile : Profile.t) : t =
+  let pool, owns_pool =
+    match pool with Some p -> (p, false) | None -> (Pool.create ~jobs, true)
+  in
+  {
+    prog;
+    profile;
+    max_invocations;
+    pool;
+    owns_pool;
+    cache = Hashtbl.create 256;
+    evaluated = 0;
+    cache_hits = 0;
+  }
+
+let jobs t = Pool.jobs t.pool
+let evaluated t = t.evaluated
+let cache_hits t = t.cache_hits
+let cache_size t = Hashtbl.length t.cache
+
+let shutdown t = if t.owns_pool then Pool.shutdown t.pool
+
+let with_evaluator ?jobs ?pool ?max_invocations prog profile f =
+  let t = create ?jobs ?pool ?max_invocations prog profile in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let simulate_uncached t layout =
+  try Some (Schedsim.simulate ~max_invocations:t.max_invocations t.prog t.profile layout)
+  with Schedsim.Sim_overrun _ -> None
+
+(** Score of a simulation: total cycles, or [max_int] for an overrun. *)
+let cycles_of = function
+  | Some (r : Schedsim.result) -> r.Schedsim.s_total_cycles
+  | None -> max_int
+
+(** [batch t layouts] returns the simulation of every layout, in
+    order.  Layouts not in the cache are deduplicated by canonical
+    key and simulated in parallel on the pool; everything else is a
+    cache hit. *)
+let batch t (layouts : Layout.t list) : Schedsim.result option list =
+  let keyed = List.map (fun l -> (Layout.canonical_key l, l)) layouts in
+  (* Uncached keys, first occurrence wins. *)
+  let fresh_seen = Hashtbl.create 16 in
+  let fresh =
+    List.filter
+      (fun (key, _) ->
+        (not (Hashtbl.mem t.cache key))
+        &&
+        if Hashtbl.mem fresh_seen key then false
+        else begin
+          Hashtbl.replace fresh_seen key ();
+          true
+        end)
+      keyed
+  in
+  let fresh = Array.of_list fresh in
+  let results = Pool.map t.pool (fun (_, l) -> simulate_uncached t l) fresh in
+  Array.iteri (fun i (key, _) -> Hashtbl.replace t.cache key results.(i)) fresh;
+  t.evaluated <- t.evaluated + Array.length fresh;
+  t.cache_hits <- t.cache_hits + (List.length keyed - Array.length fresh);
+  List.map (fun (key, _) -> Hashtbl.find t.cache key) keyed
+
+(** [result t layout] — single-layout [batch], run on the calling
+    domain. *)
+let result t layout : Schedsim.result option =
+  let key = Layout.canonical_key layout in
+  match Hashtbl.find_opt t.cache key with
+  | Some r ->
+      t.cache_hits <- t.cache_hits + 1;
+      r
+  | None ->
+      let r = simulate_uncached t layout in
+      Hashtbl.replace t.cache key r;
+      t.evaluated <- t.evaluated + 1;
+      r
+
+(** [cycles t layout] — memoized score. *)
+let cycles t layout = cycles_of (result t layout)
+
+(** [batch_cycles t layouts] — parallel memoized scores, in order. *)
+let batch_cycles t layouts = List.map cycles_of (batch t layouts)

@@ -23,6 +23,37 @@ let test_prng_copy () =
   let b = Prng.copy a in
   Helpers.check_int "copy continues identically" (Prng.int a 99999) (Prng.int b 99999)
 
+let test_prng_unbiased () =
+  (* Rejection sampling makes every residue equally likely; with the
+     old [bits mod bound] a bound this close to a power of two skews
+     noticeably.  Chi-squared-ish sanity check over a coarse bound. *)
+  let rng = Prng.create ~seed:99 in
+  let bound = 7 in
+  let counts = Array.make bound 0 in
+  let n = 70_000 in
+  for _ = 1 to n do
+    let v = Prng.int rng bound in
+    counts.(v) <- counts.(v) + 1
+  done;
+  let expected = float_of_int n /. float_of_int bound in
+  Array.iteri
+    (fun v c ->
+      Helpers.check_bool
+        (Printf.sprintf "residue %d within 5%% of uniform" v)
+        true
+        (abs_float (float_of_int c -. expected) < 0.05 *. expected))
+    counts
+
+let test_prng_large_bound () =
+  (* Bounds close to the generator's 62-bit range exercise the
+     rejection path; results must stay inside the bound. *)
+  let rng = Prng.create ~seed:4 in
+  let bound = (0x3FFFFFFFFFFFFFFF / 2) + 3 in
+  for _ = 1 to 1000 do
+    let v = Prng.int rng bound in
+    Helpers.check_bool "in range" true (v >= 0 && v < bound)
+  done
+
 let test_prng_bounds_exn () =
   Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: bound must be positive")
     (fun () -> ignore (Prng.int (Prng.create ~seed:1) 0))
@@ -89,6 +120,91 @@ let pqueue_sorts =
         match Pqueue.pop q with Some (_, v) -> drain (v :: acc) | None -> List.rev acc
       in
       drain [] = List.sort compare prios)
+
+let pqueue_interleaved_oracle =
+  (* Random interleaving of pushes and pops against a sorted-list
+     oracle: every pop must return exactly what a sorted association
+     list (stable on ties) would. *)
+  QCheck.Test.make ~name:"pqueue matches sorted-list oracle under interleaved ops" ~count:200
+    QCheck.(list (option (int_range 0 50)))
+    (fun ops ->
+      let q = Pqueue.create ~dummy:(-1) in
+      let oracle = ref [] in
+      let seq = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | Some prio ->
+              Pqueue.push q ~prio !seq;
+              (* stable insert: after all existing entries of <= priority *)
+              let rec ins = function
+                | [] -> [ (prio, !seq) ]
+                | (p, v) :: rest when p <= prio -> (p, v) :: ins rest
+                | rest -> (prio, !seq) :: rest
+              in
+              oracle := ins !oracle;
+              incr seq
+          | None -> (
+              match (Pqueue.pop q, !oracle) with
+              | None, [] -> ()
+              | Some (p, v), (p', v') :: rest ->
+                  if p <> p' || v <> v' then ok := false;
+                  oracle := rest
+              | _ -> ok := false))
+        ops;
+      !ok && Pqueue.length q = List.length !oracle)
+
+let test_pool_map_ordering () =
+  Pool.with_pool ~jobs:4 (fun p ->
+      let out = Pool.map p (fun x -> x * x) (Array.init 100 (fun i -> i)) in
+      Alcotest.(check (array int)) "positional results" (Array.init 100 (fun i -> i * i)) out;
+      (* a second batch on the same pool works *)
+      let out2 = Pool.map_list p string_of_int [ 3; 1; 2 ] in
+      Alcotest.(check (list string)) "list order kept" [ "3"; "1"; "2" ] out2)
+
+let test_pool_sequential_degenerate () =
+  Pool.with_pool ~jobs:1 (fun p ->
+      Helpers.check_int "jobs clamped" 1 (Pool.jobs p);
+      let out = Pool.map p succ [| 1; 2; 3 |] in
+      Alcotest.(check (array int)) "inline map" [| 2; 3; 4 |] out)
+
+let test_pool_exception_propagation () =
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun p ->
+          (match Pool.map p (fun x -> if x >= 7 then failwith ("boom " ^ string_of_int x) else x)
+                   [| 1; 9; 7; 2 |]
+           with
+          | _ -> Alcotest.fail "expected exception"
+          | exception Failure msg ->
+              (* lowest-index failure wins, independent of scheduling *)
+              Helpers.check_string "first failing element" "boom 9" msg);
+          (* the pool survives a failed batch *)
+          let out = Pool.map p succ [| 10 |] in
+          Alcotest.(check (array int)) "usable after failure" [| 11 |] out))
+    [ 1; 4 ]
+
+let test_pool_nested_rejected () =
+  Pool.with_pool ~jobs:2 (fun p ->
+      match Pool.map p (fun x -> Array.length (Pool.map p (fun y -> y) [| x |])) [| 1; 2; 3 |] with
+      | _ -> Alcotest.fail "expected Pool.Busy"
+      | exception Pool.Busy _ -> ())
+
+let test_pool_shutdown_rejects_map () =
+  let p = Pool.create ~jobs:2 in
+  Pool.shutdown p;
+  match Pool.map p succ [| 1 |] with
+  | _ -> Alcotest.fail "expected invalid_arg"
+  | exception Invalid_argument _ -> ()
+
+let pool_matches_array_map =
+  QCheck.Test.make ~name:"pool map agrees with Array.map for any jobs" ~count:50
+    QCheck.(pair (int_range 1 6) (list small_int))
+    (fun (jobs, xs) ->
+      let arr = Array.of_list xs in
+      let expected = Array.map (fun x -> (2 * x) + 1) arr in
+      Pool.with_pool ~jobs (fun p -> Pool.map p (fun x -> (2 * x) + 1) arr = expected))
 
 let test_union_find () =
   let uf = Union_find.create 6 in
@@ -176,10 +292,17 @@ let tests =
         Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
         Alcotest.test_case "prng seeds differ" `Quick test_prng_seeds_differ;
         Alcotest.test_case "prng copy" `Quick test_prng_copy;
+        Alcotest.test_case "prng unbiased" `Quick test_prng_unbiased;
+        Alcotest.test_case "prng large bound" `Quick test_prng_large_bound;
         Alcotest.test_case "prng bounds exn" `Quick test_prng_bounds_exn;
         Alcotest.test_case "pqueue orders" `Quick test_pqueue_orders;
         Alcotest.test_case "pqueue fifo ties" `Quick test_pqueue_fifo_ties;
         Alcotest.test_case "pqueue peek" `Quick test_pqueue_peek;
+        Alcotest.test_case "pool map ordering" `Quick test_pool_map_ordering;
+        Alcotest.test_case "pool sequential" `Quick test_pool_sequential_degenerate;
+        Alcotest.test_case "pool exceptions" `Quick test_pool_exception_propagation;
+        Alcotest.test_case "pool nested rejected" `Quick test_pool_nested_rejected;
+        Alcotest.test_case "pool shutdown" `Quick test_pool_shutdown_rejects_map;
         Alcotest.test_case "union find" `Quick test_union_find;
         Alcotest.test_case "stats basics" `Quick test_stats_basics;
         Alcotest.test_case "stats histogram" `Quick test_stats_histogram;
@@ -192,6 +315,8 @@ let tests =
         prng_float_in_bounds;
         prng_shuffle_permutes;
         pqueue_sorts;
+        pqueue_interleaved_oracle;
+        pool_matches_array_map;
         union_find_transitive;
         histogram_conserves_count;
       ];

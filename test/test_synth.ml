@@ -135,6 +135,80 @@ let test_reoptimize () =
   let r2 = Bamboo.execute ~args:[ "12" ] prog an o.best in
   Helpers.check_string "reoptimized layout correct" "total: 156\n" r2.r_output
 
+(* ------------------------------------------------------------------ *)
+(* Evaluation engine: memoization and jobs-independence *)
+
+let test_evaluator_memoizes () =
+  let prog, an, prof = setup () in
+  let machine = Machine.m16 in
+  let _, _, seeds = Candidates.generate ~n:4 ~seed:2 prog an.cstg prof machine in
+  Bamboo.Evaluator.with_evaluator prog prof (fun ev ->
+      let c1 = Bamboo.Evaluator.batch_cycles ev seeds in
+      let fresh = Bamboo.Evaluator.evaluated ev in
+      Helpers.check_int "every distinct seed simulated once" (List.length seeds) fresh;
+      let c2 = Bamboo.Evaluator.batch_cycles ev seeds in
+      Alcotest.(check (list int)) "cached scores identical" c1 c2;
+      Helpers.check_int "no new simulations" fresh (Bamboo.Evaluator.evaluated ev);
+      Helpers.check_int "hits counted" (List.length seeds) (Bamboo.Evaluator.cache_hits ev);
+      (* the memoized full result matches a direct simulation *)
+      let l = List.hd seeds in
+      (match Bamboo.Evaluator.result ev l with
+      | None -> Alcotest.fail "unexpected overrun"
+      | Some r ->
+          let direct = Bamboo.Schedsim.simulate prog prof l in
+          Helpers.check_int "full result cached" direct.s_total_cycles r.s_total_cycles;
+          Helpers.check_int "trace cached too" (Array.length direct.s_events)
+            (Array.length r.s_events)))
+
+let test_evaluator_parallel_matches_sequential () =
+  let prog, an, prof = setup () in
+  let machine = Machine.m16 in
+  let _, _, seeds = Candidates.generate ~n:10 ~seed:6 prog an.cstg prof machine in
+  let score jobs =
+    Bamboo.Evaluator.with_evaluator ~jobs prog prof (fun ev ->
+        Bamboo.Evaluator.batch_cycles ev seeds)
+  in
+  Alcotest.(check (list int)) "jobs=1 and jobs=4 scores identical" (score 1) (score 4)
+
+let test_dsa_cache_hits_counted () =
+  (* The per-round critical-path pass must reuse the score-time
+     simulation: every kept layout is a cache hit, so any multi-round
+     run reports hits > 0. *)
+  let prog, _, prof = setup () in
+  let machine = Machine.m16 in
+  let bad = Bamboo.Runtime.single_core_layout prog in
+  let bad = { bad with Layout.machine } in
+  let cfg = { Dsa.default_config with max_iterations = 5 } in
+  let o = Dsa.optimize ~config:cfg ~seed:5 prog prof [ bad ] in
+  Helpers.check_bool "cache hits observed" true (o.cache_hits > 0);
+  Helpers.check_bool "wall clock recorded" true (o.seconds >= 0.0)
+
+(* Same seed, different jobs: Dsa outcomes must be bit-identical
+   (best layout key, cycles, iterations, evaluation counters). *)
+let check_dsa_jobs_identical (b : Bamboo_benchmarks.Bench_def.t) args =
+  let prog = Bamboo.compile b.b_source in
+  let an = Bamboo.analyse prog in
+  let prof = Bamboo.profile ~args prog in
+  let machine = Machine.m16 in
+  let cfg = { Dsa.default_config with max_iterations = 8 } in
+  let run jobs = Bamboo.synthesize ~config:cfg ~jobs ~seed:7 prog an prof machine in
+  let o1 = run 1 and o4 = run 4 in
+  Helpers.check_string
+    (b.b_name ^ ": best layout key identical")
+    (Layout.canonical_key o1.best) (Layout.canonical_key o4.best);
+  Helpers.check_int (b.b_name ^ ": cycles identical") o1.best_cycles o4.best_cycles;
+  Helpers.check_int (b.b_name ^ ": iterations identical") o1.iterations o4.iterations;
+  Helpers.check_int (b.b_name ^ ": evaluated identical") o1.evaluated o4.evaluated;
+  Helpers.check_int (b.b_name ^ ": cache hits identical") o1.cache_hits o4.cache_hits
+
+let test_dsa_jobs_deterministic_fractal () =
+  let b = Bamboo_benchmarks.Registry.find "Fractal" in
+  check_dsa_jobs_identical b (Helpers.small_args "Fractal")
+
+let test_dsa_jobs_deterministic_series () =
+  let b = Bamboo_benchmarks.Registry.find "Series" in
+  check_dsa_jobs_identical b (Helpers.small_args "Series")
+
 let test_machine_model () =
   let m = Machine.tilepro64 in
   Helpers.check_int "62 usable cores" 62 m.Machine.cores;
@@ -174,6 +248,14 @@ let tests =
         Alcotest.test_case "synthesized runs" `Quick test_synthesized_layout_runs;
         Alcotest.test_case "reoptimize" `Quick test_reoptimize;
         Alcotest.test_case "machine model" `Quick test_machine_model;
+        Alcotest.test_case "evaluator memoizes" `Quick test_evaluator_memoizes;
+        Alcotest.test_case "evaluator jobs-invariant" `Quick
+          test_evaluator_parallel_matches_sequential;
+        Alcotest.test_case "dsa cache hits" `Quick test_dsa_cache_hits_counted;
+        Alcotest.test_case "dsa jobs=1 = jobs=4 (Fractal)" `Quick
+          test_dsa_jobs_deterministic_fractal;
+        Alcotest.test_case "dsa jobs=1 = jobs=4 (Series)" `Quick
+          test_dsa_jobs_deterministic_series;
       ] );
     Helpers.qsuite "synth.qcheck" [ dsa_monotone_prop ];
   ]
