@@ -8,11 +8,16 @@
      dune exec bench/main.exe all --quick     -- smaller inputs and sampling
      dune exec bench/main.exe fig7 --jobs 4   -- parallel layout evaluation
      dune exec bench/main.exe fig7 --json out.json  -- machine-readable results
+     dune exec bench/main.exe simbench        -- simulator fast-path microbenchmark
      dune exec bench/main.exe bechamel        -- Bechamel micro-benchmarks
 
    --jobs N fans candidate-layout simulation across N domains
    (default: Domain.recommended_domain_count, capped at 8).  Results
    are bit-identical for every N; only wall-clock changes.
+
+   --sim-reference routes every simulation through the pre-dense
+   reference implementation (same results, slower) — the oracle the
+   equivalence tests check the fast path against.
 
    Absolute cycle counts are not comparable with the paper (the
    TILEPro64 is replaced by a cost-model simulator, inputs are
@@ -92,6 +97,9 @@ let results : Exp.bench_result list Lazy.t =
 let evals_per_sec (r : Exp.bench_result) =
   if r.br_dsa_seconds > 0.0 then float_of_int r.br_dsa_evaluated /. r.br_dsa_seconds else 0.0
 
+let dsa_events_per_sec (r : Exp.bench_result) =
+  if r.br_dsa_seconds > 0.0 then float_of_int r.br_dsa_sim_events /. r.br_dsa_seconds else 0.0
+
 let cache_hit_rate (r : Exp.bench_result) =
   let total = r.br_dsa_evaluated + r.br_dsa_cache_hits in
   if total > 0 then float_of_int r.br_dsa_cache_hits /. float_of_int total else 0.0
@@ -132,7 +140,10 @@ let fig7 () =
     !jobs;
   Table.print
     ~headers:
-      [ "Benchmark"; "DSA seconds"; "evaluated"; "cache hits"; "hit rate"; "evals/sec" ]
+      [
+        "Benchmark"; "DSA seconds"; "evaluated"; "cache hits"; "hit rate"; "pruned";
+        "evals/sec"; "events/sec";
+      ]
     (List.map
        (fun (r : Exp.bench_result) ->
          [
@@ -141,7 +152,9 @@ let fig7 () =
            string_of_int r.br_dsa_evaluated;
            string_of_int r.br_dsa_cache_hits;
            Printf.sprintf "%.0f%%" (100.0 *. cache_hit_rate r);
+           string_of_int r.br_dsa_pruned;
            Printf.sprintf "%.0f" (evals_per_sec r);
+           Printf.sprintf "%.3g" (dsa_events_per_sec r);
          ])
        (Lazy.force results));
   print_endline ""
@@ -296,8 +309,105 @@ let bechamel () =
     results
 
 (* ------------------------------------------------------------------ *)
-(* BENCH_pr2.json emitter: a machine-readable record of the Figure 7/9
-   measurements so future PRs can track the perf trajectory. *)
+(* Simulator fast-path microbenchmark: the same layouts simulated by
+   the pre-dense reference implementation and by the prepared dense
+   engine, events/sec compared.  Both paths must agree event-for-event
+   (asserted here via the aggregate event count; the test suite checks
+   full traces), so the speedup column is the whole story. *)
+
+type simbench = {
+  sb_bench : string;
+  sb_layouts : int;
+  sb_reps : int;
+  sb_ref_seconds : float;
+  sb_ref_events : int;
+  sb_dense_seconds : float;
+  sb_dense_events : int;
+}
+
+let sb_ref_eps r =
+  if r.sb_ref_seconds > 0.0 then float_of_int r.sb_ref_events /. r.sb_ref_seconds else 0.0
+
+let sb_dense_eps r =
+  if r.sb_dense_seconds > 0.0 then float_of_int r.sb_dense_events /. r.sb_dense_seconds
+  else 0.0
+
+let sb_speedup r =
+  let ref_eps = sb_ref_eps r in
+  if ref_eps > 0.0 then sb_dense_eps r /. ref_eps else 0.0
+
+let simbench_result : simbench Lazy.t =
+  lazy
+    (let b =
+       List.find (fun (b : Bench_def.t) -> b.b_name = "KMeans") Registry.paper_benchmarks
+     in
+     Printf.eprintf "[bench] simulator microbenchmark (%s)...\n%!" b.b_name;
+     (* KMeans at 4x the Figure 7 input: parameter sets grow long
+        enough that the reference's per-event list sweeps dominate,
+        which is exactly the regime the dense engine exists for. *)
+     let args = [ "99200"; "4"; "5"; "496"; "10" ] in
+     let prog = Bamboo.compile b.b_source in
+     let an = Bamboo.analyse prog in
+     let prof = Bamboo.profile ~args prog in
+     let _, _, seeds =
+       Bamboo.Candidates.generate ~n:6 ~seed:7 prog an.cstg prof Bamboo.Machine.m16
+     in
+     let layouts = Bamboo.Runtime.single_core_layout prog :: seeds in
+     let prepared = Bamboo.Schedsim.prepare prog prof in
+     let run_ref () =
+       List.fold_left
+         (fun acc l ->
+           acc + (Bamboo.Schedsim.simulate_reference prog prof l).Bamboo.Schedsim.s_sim_events)
+         0 layouts
+     in
+     let run_dense () =
+       List.fold_left
+         (fun acc l ->
+           acc + (Bamboo.Schedsim.simulate_prepared prepared l).Bamboo.Schedsim.s_sim_events)
+         0 layouts
+     in
+     (* Warm-up, and a cheap equivalence check while we're at it. *)
+     let w_ref = run_ref () and w_dense = run_dense () in
+     if w_ref <> w_dense then
+       failwith
+         (Printf.sprintf "simbench: reference simulated %d events but dense %d" w_ref w_dense);
+     let reps = if !quick then 1 else 3 in
+     let time f =
+       let t0 = Unix.gettimeofday () in
+       let events = ref 0 in
+       for _ = 1 to reps do
+         events := !events + f ()
+       done;
+       (Unix.gettimeofday () -. t0, !events)
+     in
+     let ref_seconds, ref_events = time run_ref in
+     let dense_seconds, dense_events = time run_dense in
+     {
+       sb_bench = b.b_name;
+       sb_layouts = List.length layouts;
+       sb_reps = reps;
+       sb_ref_seconds = ref_seconds;
+       sb_ref_events = ref_events;
+       sb_dense_seconds = dense_seconds;
+       sb_dense_events = dense_events;
+     })
+
+let simbench () =
+  let r = Lazy.force simbench_result in
+  print_endline "== Simulator fast-path microbenchmark ==";
+  Printf.printf "  workload: %s, %d layouts x %d reps (single-core + 16-core candidates)\n"
+    r.sb_bench r.sb_layouts r.sb_reps;
+  Printf.printf "  reference: %9d events in %6.3f s  (%.3g events/sec)\n" r.sb_ref_events
+    r.sb_ref_seconds (sb_ref_eps r);
+  Printf.printf "  dense:     %9d events in %6.3f s  (%.3g events/sec)\n" r.sb_dense_events
+    r.sb_dense_seconds (sb_dense_eps r);
+  Printf.printf "  speedup: %.2fx (events/sec, dense over reference)\n" (sb_speedup r);
+  print_endline ""
+
+(* ------------------------------------------------------------------ *)
+(* BENCH_pr3.json emitter: a machine-readable record of the Figure 7/9
+   measurements plus the simulator microbenchmark so future PRs can
+   track the perf trajectory. *)
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
@@ -335,17 +445,33 @@ let emit_json path =
         Printf.sprintf "      \"dsa_cache_hits\": %d,\n" r.br_dsa_cache_hits;
         Printf.sprintf "      \"dsa_cache_hit_rate\": %s,\n" (json_float (cache_hit_rate r));
         Printf.sprintf "      \"dsa_evals_per_sec\": %s,\n" (json_float (evals_per_sec r));
+        Printf.sprintf "      \"dsa_pruned\": %d,\n" r.br_dsa_pruned;
+        Printf.sprintf "      \"dsa_sim_events\": %d,\n" r.br_dsa_sim_events;
+        Printf.sprintf "      \"dsa_events_per_sec\": %s,\n" (json_float (dsa_events_per_sec r));
         Printf.sprintf "      \"output_ok\": %b\n" r.br_ok;
         "    }";
       ]
   in
+  let sb = Lazy.force simbench_result in
   let doc =
     String.concat ""
       [
         "{\n";
-        "  \"schema\": \"BENCH_pr2\",\n";
+        "  \"schema\": \"BENCH_pr3\",\n";
         Printf.sprintf "  \"jobs\": %d,\n" !jobs;
         Printf.sprintf "  \"quick\": %b,\n" !quick;
+        "  \"simulator\": {\n";
+        Printf.sprintf "    \"microbench\": \"%s\",\n" (json_escape sb.sb_bench);
+        Printf.sprintf "    \"layouts\": %d,\n" sb.sb_layouts;
+        Printf.sprintf "    \"reps\": %d,\n" sb.sb_reps;
+        Printf.sprintf "    \"reference_seconds\": %s,\n" (json_float sb.sb_ref_seconds);
+        Printf.sprintf "    \"reference_events\": %d,\n" sb.sb_ref_events;
+        Printf.sprintf "    \"reference_events_per_sec\": %s,\n" (json_float (sb_ref_eps sb));
+        Printf.sprintf "    \"dense_seconds\": %s,\n" (json_float sb.sb_dense_seconds);
+        Printf.sprintf "    \"dense_events\": %d,\n" sb.sb_dense_events;
+        Printf.sprintf "    \"dense_events_per_sec\": %s,\n" (json_float (sb_dense_eps sb));
+        Printf.sprintf "    \"events_per_sec_speedup\": %s\n" (json_float (sb_speedup sb));
+        "  },\n";
         "  \"benchmarks\": [\n";
         String.concat ",\n" (List.map bench_obj rs);
         "\n  ]\n}\n";
@@ -363,6 +489,9 @@ let () =
     | [] -> []
     | "--quick" :: rest ->
         quick := true;
+        parse rest
+    | "--sim-reference" :: rest ->
+        Bamboo.Schedsim.use_reference := true;
         parse rest
     | "--jobs" :: n :: rest ->
         (match int_of_string_opt n with
@@ -389,14 +518,16 @@ let () =
   | "fig9" -> fig9 ()
   | "fig10" -> fig10 ~quick:!quick ()
   | "fig11" -> fig11 ()
+  | "simbench" -> simbench ()
   | "bechamel" -> bechamel ()
   | "all" ->
       fig7 ();
       fig9 ();
       fig10 ~quick:!quick ();
-      fig11 ()
+      fig11 ();
+      simbench ()
   | other ->
-      Printf.eprintf "unknown target %s (fig7|fig9|fig10|fig11|bechamel|all)\n" other;
+      Printf.eprintf "unknown target %s (fig7|fig9|fig10|fig11|simbench|bechamel|all)\n" other;
       exit 2);
   (match !json_path with Some path -> emit_json path | None -> ());
   print_endline "done."

@@ -77,6 +77,15 @@ let jobs_arg =
           "domains used by the parallel layout-evaluation engine (results are identical for \
            any value; default: recommended domain count, capped at 8)")
 
+let sim_reference_arg =
+  Arg.(
+    value & flag
+    & info [ "sim-reference" ]
+        ~doc:
+          "route scheduling simulations through the pre-dense reference implementation \
+           (bit-identical results, slower; also enabled by the BAMBOO_SIM_REFERENCE \
+           environment variable)")
+
 let machine_of cores = Bamboo.Machine.with_cores Bamboo.Machine.tilepro64 cores
 
 (* ------------------------------------------------------------------ *)
@@ -201,7 +210,8 @@ let cmd_profile =
   Cmd.v (Cmd.info "profile" ~doc:"run on one core and print the profile statistics")
     Term.(const run $ file_arg $ args_arg)
 
-let synthesize file args cores seed jobs =
+let synthesize file args cores seed jobs sim_reference =
+  if sim_reference then Bamboo.Schedsim.use_reference := true;
   let prog = load file in
   let an = Bamboo.analyse prog in
   let prof = Bamboo.profile ~args prog in
@@ -209,33 +219,34 @@ let synthesize file args cores seed jobs =
   (prog, an, o)
 
 let cmd_synth =
-  let run file args cores seed jobs =
-    let prog, _, (o : Bamboo.Dsa.outcome) = synthesize file args cores seed jobs in
+  let run file args cores seed jobs sim_reference =
+    let prog, _, (o : Bamboo.Dsa.outcome) = synthesize file args cores seed jobs sim_reference in
     Printf.printf
-      "estimated %d cycles; %d layouts evaluated (+%d cache hits) in %.1f s (%.0f evals/s, \
-       jobs=%d)\n"
-      o.best_cycles o.evaluated o.cache_hits o.seconds
+      "estimated %d cycles; %d layouts evaluated (+%d cache hits, %d pruned) in %.1f s (%.0f \
+       evals/s, %.3g events/s, jobs=%d)\n"
+      o.best_cycles o.evaluated o.cache_hits o.pruned o.seconds
       (if o.seconds > 0.0 then float_of_int o.evaluated /. o.seconds else 0.0)
+      (if o.seconds > 0.0 then float_of_int o.sim_events /. o.seconds else 0.0)
       jobs;
     print_string (Bamboo.Layout.to_string prog o.best)
   in
   Cmd.v (Cmd.info "synth" ~doc:"synthesize an optimized layout (candidates + DSA)")
-    Term.(const run $ file_arg $ args_arg $ cores_arg $ seed_arg $ jobs_arg)
+    Term.(const run $ file_arg $ args_arg $ cores_arg $ seed_arg $ jobs_arg $ sim_reference_arg)
 
 let cmd_run =
-  let run file args cores seed jobs =
-    let prog, an, o = synthesize file args cores seed jobs in
+  let run file args cores seed jobs sim_reference =
+    let prog, an, o = synthesize file args cores seed jobs sim_reference in
     let r = Bamboo.execute ~args prog an o.best in
     print_string r.r_output;
     Printf.printf "%d cycles on %d cores (%d invocations, %d messages, %d failed locks)\n"
       r.r_total_cycles cores r.r_invocations r.r_messages r.r_failed_locks
   in
   Cmd.v (Cmd.info "run" ~doc:"synthesize a layout and execute the program on it")
-    Term.(const run $ file_arg $ args_arg $ cores_arg $ seed_arg $ jobs_arg)
+    Term.(const run $ file_arg $ args_arg $ cores_arg $ seed_arg $ jobs_arg $ sim_reference_arg)
 
 let cmd_trace =
-  let run file args cores seed jobs =
-    let prog, _, o = synthesize file args cores seed jobs in
+  let run file args cores seed jobs sim_reference =
+    let prog, _, o = synthesize file args cores seed jobs sim_reference in
     let prof = Bamboo.profile ~args prog in
     let sim = Bamboo.Schedsim.simulate prog prof o.best in
     let cp = Bamboo.Critpath.analyse sim in
@@ -243,7 +254,7 @@ let cmd_trace =
   in
   Cmd.v
     (Cmd.info "trace" ~doc:"print the simulated execution trace and critical path (paper Fig. 6)")
-    Term.(const run $ file_arg $ args_arg $ cores_arg $ seed_arg $ jobs_arg)
+    Term.(const run $ file_arg $ args_arg $ cores_arg $ seed_arg $ jobs_arg $ sim_reference_arg)
 
 let cmd_dump =
   let run name seq =

@@ -26,6 +26,8 @@ type bench_result = {
   br_dsa_seconds : float;
   br_dsa_evaluated : int;
   br_dsa_cache_hits : int;
+  br_dsa_pruned : int;       (* simulations abandoned against the incumbent *)
+  br_dsa_sim_events : int;   (* discrete events simulated across the search *)
   br_cores : int;
   br_layout : Layout.t;
   br_ok : bool;             (* output sanity checks passed *)
@@ -66,6 +68,8 @@ let evaluate ?(machine = Machine.tilepro64) ?(seed = 11) ?dsa_config ?jobs ?args
     br_dsa_seconds = outcome.seconds;
     br_dsa_evaluated = outcome.evaluated;
     br_dsa_cache_hits = outcome.cache_hits;
+    br_dsa_pruned = outcome.pruned;
+    br_dsa_sim_events = outcome.sim_events;
     br_cores = machine.Machine.cores;
     br_layout = outcome.best;
     br_ok = b.b_check rn.r_output && b.b_check r1.r_output && b.b_check rc.r_output;

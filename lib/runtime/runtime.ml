@@ -21,6 +21,7 @@ module Value = Bamboo_interp.Value
 module Machine = Bamboo_machine.Machine
 module Layout = Bamboo_machine.Layout
 module Pqueue = Bamboo_support.Pqueue
+module Deque = Bamboo_support.Deque
 open Value
 
 exception Runtime_stuck of string
@@ -28,7 +29,30 @@ exception Runtime_stuck of string
 (* ------------------------------------------------------------------ *)
 (* Invocations and parameter sets *)
 
+(** A parameter-set entry.  Validity (generation match + guard) is
+    monotone: an object's guard-relevant state ([o_flags], [o_tags])
+    is only mutated by [Interp.apply_exit], which the event loop
+    always follows with an [o_gen] bump — so an entry, once invalid,
+    stays invalid, and the deque-based sets below may tombstone it
+    lazily instead of sweeping eagerly. *)
 type entry = { en_obj : obj; en_gen : int }
+
+let dummy_obj : obj =
+  {
+    o_id = -1;
+    o_class = -1;
+    o_site = -1;
+    o_fields = [||];
+    o_flags = 0;
+    o_tags = [];
+    o_lock = -1;
+    o_lock_until = 0;
+    o_gen = min_int;
+  }
+
+(* The deque tombstone; real entries are freshly allocated records,
+   never physically equal to it. *)
+let dummy_entry = { en_obj = dummy_obj; en_gen = max_int }
 
 type invocation = {
   iv_task : Ir.taskinfo;
@@ -43,8 +67,9 @@ type core = {
   mutable pending : Interp.invocation_result option;
   mutable ready_scheduled : bool;
   ready : invocation Queue.t;
-  (* parameter sets: task id -> per-parameter entry queues *)
-  psets : (Ir.task_id, entry list ref array) Hashtbl.t;
+  (* parameter sets: task id -> per-parameter entry deques (O(1)
+     amortized arrival, lazy tombstone deletion) *)
+  psets : entry Deque.t array array;
 }
 
 type event = Arrive of int * entry | Ready of int | Finish of int
@@ -83,7 +108,7 @@ type state = {
   lock_groups : int array;               (* class id -> group root class (or itself) *)
   use_group : bool array;                (* class id -> class locks via its group *)
   group_locks : (int, int * int) Hashtbl.t; (* group -> core, release *)
-  rr : (int * int, int) Hashtbl.t;       (* (task,param) -> round-robin counter *)
+  rr : int array array;                  (* task -> param -> round-robin counter *)
   mutable invocations : int;
   mutable failed_locks : int;
   mutable messages : int;
@@ -92,7 +117,7 @@ type state = {
   record_trace : bool;
 }
 
-let make_core cid =
+let make_core (prog : Ir.program) cid =
   {
     cid;
     busy_until = 0;
@@ -100,7 +125,11 @@ let make_core cid =
     pending = None;
     ready_scheduled = false;
     ready = Queue.create ();
-    psets = Hashtbl.create 8;
+    psets =
+      Array.map
+        (fun (t : Ir.taskinfo) ->
+          Array.init (Array.length t.t_params) (fun _ -> Deque.create ~dummy:dummy_entry))
+        prog.tasks;
   }
 
 let build_consumer_table (prog : Ir.program) : consumers array =
@@ -142,98 +171,100 @@ let route st (task : Ir.taskinfo) pidx (o : obj) =
   end
   else begin
     (* Round-robin distribution, as in the paper's layout tables. *)
-    let key = (task.t_id, pidx) in
-    let c = try Hashtbl.find st.rr key with Not_found -> 0 in
-    Hashtbl.replace st.rr key (c + 1);
+    let c = st.rr.(task.t_id).(pidx) in
+    st.rr.(task.t_id).(pidx) <- c + 1;
     Some cores.(c mod n)
   end
 
 (* ------------------------------------------------------------------ *)
 (* Parameter sets and invocation assembly *)
 
-let psets_for core (task : Ir.taskinfo) =
-  match Hashtbl.find_opt core.psets task.t_id with
-  | Some sets -> sets
-  | None ->
-      let sets = Array.init (Array.length task.t_params) (fun _ -> ref []) in
-      Hashtbl.replace core.psets task.t_id sets;
-      sets
-
 let entry_valid (p : Ir.paraminfo) (e : entry) =
   e.en_gen = e.en_obj.o_gen && satisfies p e.en_obj
 
 (** Try to assemble one invocation of [task] on [core].  Performs a
-    backtracking search over the parameter sets subject to tag
-    unification and object-distinctness; on success removes the chosen
-    entries from the sets. *)
+    backtracking search over the parameter-set deques subject to tag
+    unification and object-distinctness.  Entries are visited in
+    arrival order; stale entries are tombstoned on sight (validity is
+    monotone, so they can never become assemblable again).  On success
+    exactly the chosen slots are deleted. *)
 let try_assemble core (task : Ir.taskinfo) =
-  let sets = psets_for core task in
+  let sets = core.psets.(task.t_id) in
   let nparams = Array.length task.t_params in
-  (* Prune stale entries first. *)
-  Array.iteri
-    (fun i set -> set := List.filter (entry_valid task.t_params.(i)) !set)
-    sets;
-  let chosen = Array.make nparams None in
-  let bindings : (Ir.slot, tag_inst) Hashtbl.t = Hashtbl.create 4 in
-  let rec search pidx =
-    if pidx = nparams then true
-    else
-      let p = task.t_params.(pidx) in
-      let rec try_entries = function
-        | [] -> false
-        | e :: rest ->
-            let distinct =
-              Array.for_all
-                (function Some e' -> e'.en_obj != e.en_obj | None -> true)
-                chosen
-            in
-            if not distinct then try_entries rest
+  if nparams = 0 then None
+  else begin
+    Array.iter Deque.maybe_compact sets;
+    let chosen = Array.make nparams (-1) in
+    let chosen_e = Array.make nparams dummy_entry in
+    let bindings : (Ir.slot, tag_inst) Hashtbl.t = Hashtbl.create 4 in
+    let rec search pidx =
+      if pidx = nparams then true
+      else begin
+        let p = task.t_params.(pidx) in
+        let set = sets.(pidx) in
+        let len = Deque.length set in
+        let rec scan i =
+          if i >= len then false
+          else if not (Deque.is_live set i) then scan (i + 1)
+          else begin
+            let e = Deque.get set i in
+            if not (entry_valid p e) then begin
+              Deque.delete set i;
+              scan (i + 1)
+            end
             else begin
-              (* unify tag constraints *)
-              let saved = Hashtbl.copy bindings in
-              let ok =
-                List.for_all
-                  (fun (tty, slot) ->
-                    match Hashtbl.find_opt bindings slot with
-                    | Some tag -> List.memq tag e.en_obj.o_tags
-                    | None -> (
-                        match List.find_opt (fun t -> t.tg_ty = tty) e.en_obj.o_tags with
-                        | Some tag ->
-                            Hashtbl.replace bindings slot tag;
-                            true
-                        | None -> false))
-                  p.p_tags
-              in
-              if ok then begin
-                chosen.(pidx) <- Some e;
-                if search (pidx + 1) then true
+              let distinct = ref true in
+              for j = 0 to pidx - 1 do
+                if chosen_e.(j).en_obj == e.en_obj then distinct := false
+              done;
+              if not !distinct then scan (i + 1)
+              else begin
+                (* unify tag constraints *)
+                let saved = Hashtbl.copy bindings in
+                let ok =
+                  List.for_all
+                    (fun (tty, slot) ->
+                      match Hashtbl.find_opt bindings slot with
+                      | Some tag -> List.memq tag e.en_obj.o_tags
+                      | None -> (
+                          match List.find_opt (fun t -> t.tg_ty = tty) e.en_obj.o_tags with
+                          | Some tag ->
+                              Hashtbl.replace bindings slot tag;
+                              true
+                          | None -> false))
+                    p.p_tags
+                in
+                if ok then begin
+                  chosen.(pidx) <- i;
+                  chosen_e.(pidx) <- e;
+                  if search (pidx + 1) then true
+                  else begin
+                    chosen.(pidx) <- -1;
+                    chosen_e.(pidx) <- dummy_entry;
+                    Hashtbl.reset bindings;
+                    Hashtbl.iter (Hashtbl.replace bindings) saved;
+                    scan (i + 1)
+                  end
+                end
                 else begin
-                  chosen.(pidx) <- None;
                   Hashtbl.reset bindings;
                   Hashtbl.iter (Hashtbl.replace bindings) saved;
-                  try_entries rest
+                  scan (i + 1)
                 end
               end
-              else begin
-                Hashtbl.reset bindings;
-                Hashtbl.iter (Hashtbl.replace bindings) saved;
-                try_entries rest
-              end
             end
-      in
-      try_entries !(sets.(pidx))
-  in
-  if nparams = 0 then None
-  else if search 0 then begin
-    let params = Array.map (function Some e -> e | None -> assert false) chosen in
-    (* Remove chosen entries from their sets. *)
-    Array.iteri
-      (fun i set -> set := List.filter (fun e -> e != params.(i)) !set)
-      sets;
-    let tags = Hashtbl.fold (fun slot tag acc -> (slot, tag) :: acc) bindings [] in
-    Some { iv_task = task; iv_params = params; iv_tags = List.sort compare tags }
+          end
+        in
+        scan 0
+      end
+    in
+    if search 0 then begin
+      Array.iteri (fun pidx slot -> Deque.delete sets.(pidx) slot) chosen;
+      let tags = Hashtbl.fold (fun slot tag acc -> (slot, tag) :: acc) bindings [] in
+      Some { iv_task = task; iv_params = chosen_e; iv_tags = List.sort compare tags }
+    end
+    else None
   end
-  else None
 
 let schedule_ready st core at =
   if not core.ready_scheduled then begin
@@ -252,13 +283,14 @@ let deliver st core (e : entry) now =
       if Array.exists (fun c -> c = core.cid) (Layout.cores_of st.layout task.t_id) then
         if entry_valid task.t_params.(pidx) e then begin
           (* The same object may already sit in this set under the
-             same generation (duplicate sends are dropped). *)
-          let sets = psets_for core task in
-          let dup =
-            List.exists (fun e' -> e'.en_obj == e.en_obj && e'.en_gen = e.en_gen) !(sets.(pidx))
-          in
+             same generation (duplicate sends are dropped).  Only a
+             currently valid entry can match the incoming one, and
+             valid entries are never tombstoned, so the live-slot scan
+             sees every possible duplicate. *)
+          let set = core.psets.(task.t_id).(pidx) in
+          let dup = Deque.exists (fun e' -> e'.en_obj == e.en_obj && e'.en_gen = e.en_gen) set in
           if not dup then begin
-            sets.(pidx) := !(sets.(pidx)) @ [ e ];
+            Deque.push set e;
             inserted := true;
             let rec drain () =
               match try_assemble core task with
@@ -499,14 +531,15 @@ let run ?(args = []) ?(max_invocations = 2_000_000) ?(record_trace = false) ?loc
       layout;
       ictx = Interp.create prog;
       machine = layout.Layout.machine;
-      cores = Array.init layout.Layout.machine.Machine.cores make_core;
+      cores = Array.init layout.Layout.machine.Machine.cores (make_core prog);
       events = Pqueue.create ~dummy:(Ready 0);
       consumer_table = build_consumer_table prog;
       lock_groups;
       use_group =
         Array.init (Array.length prog.Ir.classes) (Ir.uses_group_lock lock_groups);
       group_locks = Hashtbl.create 8;
-      rr = Hashtbl.create 16;
+      rr =
+        Array.map (fun (t : Ir.taskinfo) -> Array.make (Array.length t.t_params) 0) prog.tasks;
       invocations = 0;
       failed_locks = 0;
       messages = 0;

@@ -26,30 +26,36 @@ type t = {
   length : int;            (* finish time of the last event *)
 }
 
-let find_event events id = Array.to_seq events |> Seq.find (fun e -> e.Schedsim.ev_id = id)
-
-(** Compute the critical path of a simulated trace. *)
+(** Compute the critical path of a simulated trace.  The trace must be
+    complete: a [Bounded] (pruned) simulation stops mid-flight, so its
+    trace has dangling producers and a meaningless "last" event — the
+    evaluation engine never hands those to this pass. *)
 let analyse (r : Schedsim.result) : t =
+  (match r.s_status with
+  | Schedsim.Complete -> ()
+  | Schedsim.Bounded _ ->
+      invalid_arg "Critpath.analyse: bounded simulation produced a truncated trace");
   let events = r.s_events in
   if Array.length events = 0 then { path = []; length = 0 }
   else begin
-    (* Index events and per-core order. *)
-    let by_id = Hashtbl.create (Array.length events) in
-    Array.iter (fun e -> Hashtbl.replace by_id e.Schedsim.ev_id e) events;
-    (* Previous event on the same core (by start time). *)
-    let prev_on_core = Hashtbl.create (Array.length events) in
-    let per_core = Hashtbl.create 8 in
+    (* Index events and per-core order.  Event ids are dense (every
+       started event finishes in a complete trace), so arrays replace
+       the previous hash tables. *)
+    let max_id = Array.fold_left (fun m e -> max m e.Schedsim.ev_id) 0 events in
+    let by_id = Array.make (max_id + 1) None in
+    Array.iter (fun e -> by_id.(e.Schedsim.ev_id) <- Some e) events;
+    (* Previous event on the same core (by start time); -1 = none. *)
+    let prev_on_core = Array.make (max_id + 1) (-1) in
+    let per_core = Array.make (Array.length r.s_per_core_busy) [] in
     Array.iter
-      (fun (e : Schedsim.event) ->
-        let l = try Hashtbl.find per_core e.ev_core with Not_found -> [] in
-        Hashtbl.replace per_core e.ev_core (e :: l))
+      (fun (e : Schedsim.event) -> per_core.(e.ev_core) <- e :: per_core.(e.ev_core))
       events;
-    Hashtbl.iter
-      (fun _ l ->
+    Array.iter
+      (fun l ->
         let sorted = List.sort (fun a b -> compare a.Schedsim.ev_start b.Schedsim.ev_start) l in
         let rec link = function
           | a :: (b :: _ as rest) ->
-              Hashtbl.replace prev_on_core b.Schedsim.ev_id a.Schedsim.ev_id;
+              prev_on_core.(b.Schedsim.ev_id) <- a.Schedsim.ev_id;
               link rest
           | _ -> ()
         in
@@ -68,14 +74,19 @@ let analyse (r : Schedsim.result) : t =
             | _ -> best)
           None e.ev_inputs
       in
-      let resource_pin = Hashtbl.find_opt prev_on_core e.ev_id in
+      let resource_pin =
+        let p = prev_on_core.(e.ev_id) in
+        if p >= 0 then Some p else None
+      in
       let via =
         match (data_pin, resource_pin) with
-        | Some (prod, arrival), Some prev ->
-            let prev_ev = Hashtbl.find by_id prev in
+        | Some (prod, arrival), Some prev -> (
             (* The later constraint wins: if the core was still busy at
                e.ready, the resource dependence pinned the start. *)
-            if prev_ev.Schedsim.ev_finish >= arrival then `Resource prev else `Data prod
+            match by_id.(prev) with
+            | Some prev_ev ->
+                if prev_ev.Schedsim.ev_finish >= arrival then `Resource prev else `Data prod
+            | None -> `Data prod)
         | Some (prod, _), None -> `Data prod
         | None, Some prev -> `Resource prev
         | None, None -> `Start
@@ -83,7 +94,7 @@ let analyse (r : Schedsim.result) : t =
       let acc = { cp_event = e; cp_via = via } :: acc in
       match via with
       | `Data prod | `Resource prod -> (
-          match Hashtbl.find_opt by_id prod with
+          match (if prod >= 0 && prod <= max_id then by_id.(prod) else None) with
           | Some p -> walk p acc
           | None -> acc)
       | `Start -> acc
@@ -163,5 +174,3 @@ let to_string (prog : Ir.program) (r : Schedsim.result) (cp : t) =
             else "")))
     r.s_events;
   Buffer.contents buf
-
-let _ = find_event

@@ -1,4 +1,4 @@
-(** High-level scheduling simulator (§4.4).
+(** High-level scheduling simulator (§4.4) — dense fast path.
 
     Estimates how long a candidate layout will take to execute
     *without running any application code*: task durations, exit
@@ -11,197 +11,193 @@
 
     The simulator mirrors the runtime's cost structure (dispatch,
     locking, flag updates, message latency) so its estimates are
-    comparable with real executions (Figure 9). *)
+    comparable with real executions (Figure 9).
 
-module Ir = Bamboo_ir.Ir
+    This module is the throughput-oriented implementation:
+
+    - a one-time {!prepare} step ({!Densify}) interns the program and
+      profile into dense integer-indexed tables (compiled guards, tag
+      masks, exit-action masks, consumer arrays, per-exit
+      probabilities/durations/allocation averages), so the per-event
+      path performs no [Hashtbl] lookups and no IR walks;
+    - parameter sets are array-backed deques ({!Bamboo_support.Deque})
+      with generation-stamped lazy deletion, replacing the reference
+      path's [entry list ref] with its O(n) [@ [e]] appends and
+      [List.filter] invalidation sweeps.  Entry validity is monotone
+      (a token's guard state only changes together with a generation
+      bump), so tombstoning an invalid entry on first sight is
+      observably identical to the reference's eager sweeps;
+    - [~cycle_bound] aborts a simulation with status [Bounded] as
+      soon as the monotone high-water mark of simulated time exceeds
+      the bound, which lets DSA prune layouts that provably cannot
+      beat the incumbent.
+
+    Results are bit-identical to {!Schedsim_reference} (the original
+    implementation, kept as the oracle); the equivalence suite diffs
+    the two event by event on every benchmark.  Set {!use_reference}
+    (CLI [--sim-reference], or the [BAMBOO_SIM_REFERENCE] environment
+    variable) to run the reference path instead. *)
+
 module Cost = Bamboo_interp.Cost
 module Machine = Bamboo_machine.Machine
 module Layout = Bamboo_machine.Layout
 module Profile = Bamboo_profile.Profile
-module Astg = Bamboo_analysis.Astg
 module Pqueue = Bamboo_support.Pqueue
+module Deque = Bamboo_support.Deque
 
-exception Sim_overrun of string
+(* Also re-exports [module Ir]. *)
+include Sim_types
 
-(** Abstract object token: class plus abstract state.  [tk_group]
-    approximates tag identity: tokens allocated by the same simulated
-    invocation share a group, mirroring the benchmarks' idiom of
-    tagging an allocation batch with one fresh tag instance.  Tag-hash
-    routing and tag-constrained assembly use the group so co-tagged
-    tokens meet at the same task instance, as they do in the real
-    runtime. *)
-type token = {
-  tk_id : int;
-  tk_class : Ir.class_id;
-  tk_group : int;              (* creating event id, -1 for the boot token *)
-  mutable tk_flags : int;
-  mutable tk_tags : int;
-  mutable tk_gen : int;
-}
+(** Dense tables compiled from a program + profile, shareable across
+    any number of simulations (and across domains). *)
+type prepared = Densify.t
 
-type entry = {
-  e_tok : token;
-  e_gen : int;
-  e_producer : int;   (* event id that produced/transitioned the token, -1 for boot *)
-  e_arrival : int;    (* cycle the entry reached the core *)
-}
+let prepare = Densify.prepare
 
-type invocation = { iv_task : Ir.taskinfo; iv_entries : entry array }
+(* ------------------------------------------------------------------ *)
+(* Dense state *)
 
-(** One simulated task execution, for trace analysis (Figure 6). *)
-type event = {
-  ev_id : int;
-  ev_core : int;
-  ev_task : Ir.task_id;
-  ev_exit : int;
-  ev_ready : int;     (* when all data dependences were resolved *)
-  ev_start : int;     (* when the body started (after dispatch+locks) *)
-  ev_finish : int;
-  ev_inputs : (int * int) array; (* (producer event id, arrival) per parameter *)
-}
+let dummy_token =
+  { tk_id = -1; tk_class = -1; tk_group = -1; tk_flags = 0; tk_tags = 0; tk_gen = min_int }
 
-type core = {
+(* The deque tombstone.  [e_gen <> tk_gen] keeps it invalid even if it
+   ever escaped; real entries are freshly allocated records, so they
+   are never physically equal to it. *)
+let dummy_entry = { e_tok = dummy_token; e_gen = max_int; e_producer = -1; e_arrival = -1 }
+
+type dcore = {
   cid : int;
   mutable busy_until : int;
   mutable executing : bool;
   mutable ready_scheduled : bool;
   ready : invocation Queue.t;
-  psets : (Ir.task_id, entry list ref array) Hashtbl.t;
+  psets : entry Deque.t array array;
+      (* task -> param -> deque; [||] for tasks not hosted on this core *)
   mutable finish_payload : (invocation * int * int * int) option;
       (* invocation, exit, event id, body start *)
 }
 
-type sim_event = Arrive of int * entry | Ready of int | Finish of int
-
-type result = {
-  s_total_cycles : int;
-  s_invocations : int;
-  s_events : event array;        (* completion order *)
-  s_per_core_busy : int array;
-}
-
-type state = {
-  prog : Ir.program;
-  layout : Layout.t;
-  profile : Profile.t;
+type dstate = {
+  d : Densify.t;
   machine : Machine.t;
-  cores : core array;
+  ncores : int;
+  nsites : int;
+  cores : dcore array;
+  task_cores : int array array; (* task -> hosting cores (layout order) *)
+  hosted : Bytes.t;             (* task * ncores + core -> '\001' if hosted *)
   events : sim_event Pqueue.t;
-  consumer_table : (Ir.taskinfo * int) list array; (* class -> (task, pidx) *)
-  exit_counts : int array array;                   (* task -> exit -> count *)
-  alloc_acc : (int * Ir.site_id, float) Hashtbl.t; (* fractional allocation accumulators *)
-  rr : (int * int, int) Hashtbl.t;
+  exit_counts : int array array; (* task -> exit -> count *)
+  inv_total : int array;         (* task -> total exits chosen (= sum of counts) *)
+  rare_taken : int array;        (* task -> rare exits chosen *)
+  alloc_acc : float array;       (* task * nsites + site: fractional accumulators *)
+  rr : int array array;          (* task -> param -> round-robin counter *)
   mutable next_token : int;
   mutable next_event : int;
   mutable trace : event list;
   mutable invocations : int;
   max_invocations : int;
+  mutable sim_events : int;
+  mutable max_busy : int; (* monotone high-water mark of simulated time *)
 }
 
-let astate_of_token (tk : token) : Astg.astate = { as_flags = tk.tk_flags; as_tags = tk.tk_tags }
+(** All [busy_until] writes go through here so the state's high-water
+    mark of simulated time stays exact — the pruning check in the main
+    loop compares it against the caller's cycle bound. *)
+let set_busy st core v =
+  core.busy_until <- v;
+  if v > st.max_busy then st.max_busy <- v
 
-let satisfies (p : Ir.paraminfo) tk = Astg.astate_satisfies p (astate_of_token tk)
-
-let make_core cid =
-  {
-    cid;
-    busy_until = 0;
-    executing = false;
-    ready_scheduled = false;
-    ready = Queue.create ();
-    psets = Hashtbl.create 8;
-    finish_payload = None;
-  }
-
-let build_consumer_table (prog : Ir.program) =
-  let table = Array.make (Array.length prog.classes) [] in
-  Array.iter
-    (fun (t : Ir.taskinfo) ->
-      Array.iteri (fun pidx (p : Ir.paraminfo) -> table.(p.p_class) <- (t, pidx) :: table.(p.p_class)) t.t_params)
-    prog.tasks;
-  Array.map List.rev table
+let entry_valid_d (dp : Densify.dparam) (e : entry) =
+  e.e_gen = e.e_tok.tk_gen
+  && Densify.param_satisfies dp ~flags:e.e_tok.tk_flags ~tags:e.e_tok.tk_tags
 
 (* ------------------------------------------------------------------ *)
 (* Routing (mirrors the runtime) *)
 
-let route st (task : Ir.taskinfo) pidx (tk : token) =
-  let cores = Layout.cores_of st.layout task.t_id in
+(** Destination core for routing [tk] to parameter [pidx] of task
+    [tid], or -1 when the task is hosted nowhere. *)
+let route st tid pidx (tk : token) =
+  let cores = st.task_cores.(tid) in
   let n = Array.length cores in
-  if n = 0 then None
-  else if n = 1 then Some cores.(0)
-  else if Array.length task.t_params > 1 then
+  if n = 0 then -1
+  else if n = 1 then cores.(0)
+  else if Array.length st.d.Densify.d_tasks.(tid).dt_params > 1 then
     (* Tag-hash routing: co-created (co-tagged) tokens share a hash. *)
-    Some cores.((if tk.tk_group >= 0 then tk.tk_group else tk.tk_id) mod n)
+    cores.((if tk.tk_group >= 0 then tk.tk_group else tk.tk_id) mod n)
   else begin
-    ignore pidx;
-    let key = (task.t_id, pidx) in
-    let c = try Hashtbl.find st.rr key with Not_found -> 0 in
-    Hashtbl.replace st.rr key (c + 1);
-    Some cores.(c mod n)
+    let c = st.rr.(tid).(pidx) in
+    st.rr.(tid).(pidx) <- c + 1;
+    cores.(c mod n)
   end
 
 (* ------------------------------------------------------------------ *)
-(* Parameter sets *)
+(* Parameter sets and invocation assembly *)
 
-let psets_for core (task : Ir.taskinfo) =
-  match Hashtbl.find_opt core.psets task.t_id with
-  | Some s -> s
-  | None ->
-      let s = Array.init (Array.length task.t_params) (fun _ -> ref []) in
-      Hashtbl.replace core.psets task.t_id s;
-      s
-
-let entry_valid (p : Ir.paraminfo) e = e.e_gen = e.e_tok.tk_gen && satisfies p e.e_tok
-
-let try_assemble core (task : Ir.taskinfo) =
-  let sets = psets_for core task in
-  let nparams = Array.length task.t_params in
-  (* When every parameter is tag-constrained the runtime unifies tag
-     instances across parameters; the abstraction requires matching
-     token groups instead. *)
-  let tag_unified =
-    nparams > 1 && Array.for_all (fun (p : Ir.paraminfo) -> p.p_tags <> []) task.t_params
-  in
-  Array.iteri (fun i set -> set := List.filter (entry_valid task.t_params.(i)) !set) sets;
-  let chosen = Array.make nparams None in
-  let rec search pidx =
-    if pidx = nparams then true
-    else
-      let rec try_entries = function
-        | [] -> false
-        | e :: rest ->
-            let distinct =
-              Array.for_all (function Some e' -> e'.e_tok != e.e_tok | None -> true) chosen
-            in
-            let groups_ok =
-              (not tag_unified)
-              || Array.for_all
-                   (function
-                     | Some e' ->
-                         e'.e_tok.tk_group < 0 || e.e_tok.tk_group < 0
-                         || e'.e_tok.tk_group = e.e_tok.tk_group
-                     | None -> true)
-                   chosen
-            in
-            if not (distinct && groups_ok) then try_entries rest
+(** Backtracking assembly over the deques, equivalent to the reference
+    path's search over eagerly filtered lists: slots are scanned in
+    insertion order, invalid entries are tombstoned on sight (validity
+    is monotone, so they can never become relevant again), and on
+    success exactly the chosen slots are deleted. *)
+let try_assemble st core tid =
+  let dt = st.d.Densify.d_tasks.(tid) in
+  let params = dt.Densify.dt_params in
+  let nparams = Array.length params in
+  if nparams = 0 then None
+  else begin
+    let sets = core.psets.(tid) in
+    Array.iter Deque.maybe_compact sets;
+    let tag_unified = dt.Densify.dt_tag_unified in
+    let chosen = Array.make nparams (-1) in
+    let chosen_e = Array.make nparams dummy_entry in
+    let rec search pidx =
+      if pidx = nparams then true
+      else begin
+        let set = sets.(pidx) in
+        let dp = params.(pidx) in
+        let len = Deque.length set in
+        let rec scan i =
+          if i >= len then false
+          else if not (Deque.is_live set i) then scan (i + 1)
+          else begin
+            let e = Deque.get set i in
+            if not (entry_valid_d dp e) then begin
+              Deque.delete set i;
+              scan (i + 1)
+            end
             else begin
-              chosen.(pidx) <- Some e;
-              if search (pidx + 1) then true
+              let ok = ref true in
+              for j = 0 to pidx - 1 do
+                let e' = chosen_e.(j) in
+                if
+                  e'.e_tok == e.e_tok
+                  || (tag_unified
+                     && e'.e_tok.tk_group >= 0 && e.e_tok.tk_group >= 0
+                     && e'.e_tok.tk_group <> e.e_tok.tk_group)
+                then ok := false
+              done;
+              if not !ok then scan (i + 1)
               else begin
-                chosen.(pidx) <- None;
-                try_entries rest
+                chosen.(pidx) <- i;
+                chosen_e.(pidx) <- e;
+                if search (pidx + 1) then true
+                else begin
+                  chosen.(pidx) <- -1;
+                  chosen_e.(pidx) <- dummy_entry;
+                  scan (i + 1)
+                end
               end
             end
-      in
-      try_entries !(sets.(pidx))
-  in
-  if nparams = 0 then None
-  else if search 0 then begin
-    let entries = Array.map (function Some e -> e | None -> assert false) chosen in
-    Array.iteri (fun i set -> set := List.filter (fun e -> e != entries.(i)) !set) sets;
-    Some { iv_task = task; iv_entries = entries }
+          end
+        in
+        scan 0
+      end
+    in
+    if search 0 then begin
+      Array.iteri (fun pidx slot -> Deque.delete sets.(pidx) slot) chosen;
+      Some { iv_task = dt.Densify.dt_info; iv_entries = chosen_e }
+    end
+    else None
   end
-  else None
 
 let schedule_ready st core at =
   if not core.ready_scheduled then begin
@@ -211,28 +207,42 @@ let schedule_ready st core at =
 
 let deliver st core (e : entry) now =
   let inserted = ref false in
-  List.iter
-    (fun ((task : Ir.taskinfo), pidx) ->
-      if Array.exists (fun c -> c = core.cid) (Layout.cores_of st.layout task.t_id) then
-        if entry_valid task.t_params.(pidx) e then begin
-          let sets = psets_for core task in
-          let dup =
-            List.exists (fun e' -> e'.e_tok == e.e_tok && e'.e_gen = e.e_gen) !(sets.(pidx))
+  let consumers = st.d.Densify.d_consumers.(e.e_tok.tk_class) in
+  for ci = 0 to Array.length consumers - 1 do
+    let { Densify.dc_task = tid; dc_pidx = pidx } = consumers.(ci) in
+    if Bytes.unsafe_get st.hosted ((tid * st.ncores) + core.cid) <> '\000' then begin
+      let dp = st.d.Densify.d_tasks.(tid).dt_params.(pidx) in
+      if entry_valid_d dp e then begin
+        let set = core.psets.(tid).(pidx) in
+        (* Duplicate suppression: only a currently valid entry can
+           match ([e] is valid, so its generation is the token's
+           current one), and valid entries are never tombstoned, so
+           scanning live slots sees everything the reference sees. *)
+        let dup = ref false in
+        let len = Deque.length set in
+        let i = ref 0 in
+        while (not !dup) && !i < len do
+          (if Deque.is_live set !i then begin
+             let e' = Deque.get set !i in
+             if e'.e_tok == e.e_tok && e'.e_gen = e.e_gen then dup := true
+           end);
+          incr i
+        done;
+        if not !dup then begin
+          Deque.push set e;
+          inserted := true;
+          let rec drain () =
+            match try_assemble st core tid with
+            | Some inv ->
+                Queue.add inv core.ready;
+                drain ()
+            | None -> ()
           in
-          if not dup then begin
-            sets.(pidx) := !(sets.(pidx)) @ [ e ];
-            inserted := true;
-            let rec drain () =
-              match try_assemble core task with
-              | Some inv ->
-                  Queue.add inv core.ready;
-                  drain ()
-              | None -> ()
-            in
-            drain ()
-          end
-        end)
-    st.consumer_table.(e.e_tok.tk_class);
+          drain ()
+        end
+      end
+    end
+  done;
   if !inserted || not (Queue.is_empty core.ready) then schedule_ready st core now
 
 (* ------------------------------------------------------------------ *)
@@ -240,167 +250,128 @@ let deliver st core (e : entry) now =
 
 let dispatch st ~from_core ~producer (tk : token) now =
   let send_cost = ref 0 in
-  List.iter
-    (fun ((task : Ir.taskinfo), pidx) ->
-      if satisfies task.t_params.(pidx) tk then
-        match route st task pidx tk with
-        | None -> ()
-        | Some dst ->
-            if dst = from_core then begin
-              send_cost := !send_cost + Cost.enqueue;
-              let e =
-                { e_tok = tk; e_gen = tk.tk_gen; e_producer = producer; e_arrival = now + !send_cost }
-              in
-              deliver st st.cores.(dst) e (now + !send_cost)
-            end
-            else begin
-              send_cost := !send_cost + Cost.message_send;
-              let words = Array.length (Ir.class_of st.prog tk.tk_class).c_fields + 2 in
-              let lat = Machine.transfer_latency st.machine ~src:from_core ~dst ~words in
-              let e =
-                {
-                  e_tok = tk;
-                  e_gen = tk.tk_gen;
-                  e_producer = producer;
-                  e_arrival = now + !send_cost + lat;
-                }
-              in
-              Pqueue.push st.events ~prio:e.e_arrival (Arrive (dst, e))
-            end)
-    st.consumer_table.(tk.tk_class);
+  let consumers = st.d.Densify.d_consumers.(tk.tk_class) in
+  for ci = 0 to Array.length consumers - 1 do
+    let { Densify.dc_task = tid; dc_pidx = pidx } = consumers.(ci) in
+    let dp = st.d.Densify.d_tasks.(tid).dt_params.(pidx) in
+    if Densify.param_satisfies dp ~flags:tk.tk_flags ~tags:tk.tk_tags then begin
+      let dst = route st tid pidx tk in
+      if dst >= 0 then
+        if dst = from_core then begin
+          send_cost := !send_cost + Cost.enqueue;
+          let e =
+            { e_tok = tk; e_gen = tk.tk_gen; e_producer = producer; e_arrival = now + !send_cost }
+          in
+          deliver st st.cores.(dst) e (now + !send_cost)
+        end
+        else begin
+          send_cost := !send_cost + Cost.message_send;
+          let words = st.d.Densify.d_words.(tk.tk_class) in
+          let lat = Machine.transfer_latency st.machine ~src:from_core ~dst ~words in
+          let e =
+            {
+              e_tok = tk;
+              e_gen = tk.tk_gen;
+              e_producer = producer;
+              e_arrival = now + !send_cost + lat;
+            }
+          in
+          Pqueue.push st.events ~prio:e.e_arrival (Arrive (dst, e))
+        end
+    end
+  done;
   !send_cost
 
 (* ------------------------------------------------------------------ *)
 (* Markov model: exit choice, duration, allocations *)
 
-(** Count-matching exit choice (§4.4): deterministically pick the
-    exit whose observed frequency lags the profile's prediction.
-
-    Exit phase matters more than long-run frequency for
-    round-structured programs: merge-style tasks take a rare
-    "round-boundary" exit exactly every k-th invocation (k = number
-    of producers in the round), and a simulator that fires that exit
-    early or late stalls — the round's remaining tokens are either
-    stranded or never produced.  We therefore treat all *rare* exits
-    (p <= 1/2) as one group with combined probability P: the group
-    fires exactly when [floor (P * (n+1))] exceeds the number of rare
-    exits taken so far — i.e. with period 1/P and the right phase —
-    and the member with the largest individual count deficit is
-    chosen.  Otherwise the most probable non-rare exit is taken.  For
-    a task whose rare exits partition a round (e.g. 9 "next round" +
-    1 "finished" over 10 rounds of 124 merges) this reproduces the
-    program's exact exit schedule. *)
-let choose_exit st (task : Ir.taskinfo) =
-  let counts = st.exit_counts.(task.t_id) in
-  let nexits = Array.length task.t_exits in
-  let probs = Array.init nexits (fun e -> Profile.exit_prob st.profile task.t_id e) in
-  let n = Array.fold_left ( + ) 0 counts in
-  let p_rare = ref 0.0 in
-  let rare_taken = ref 0 in
-  Array.iteri
-    (fun e p ->
-      if p > 0.0 && p <= 0.5 then begin
-        p_rare := !p_rare +. p;
-        rare_taken := !rare_taken + counts.(e)
-      end)
-    probs;
+(** Count-matching exit choice (§4.4); see {!Schedsim_reference.choose_exit}
+    for the full rationale.  The group probability, member shares, and
+    per-task fallbacks are precomputed by {!Densify}; the per-task
+    invocation and rare-group counters are maintained incrementally,
+    so each call is O(1) when no rare exit is due and O(exits) when
+    one is — against the reference's O(exits) probability recompute
+    per call. *)
+let choose_exit st tid =
+  let dt = st.d.Densify.d_tasks.(tid) in
+  let exits = dt.Densify.dt_exits in
+  let counts = st.exit_counts.(tid) in
+  let n = st.inv_total.(tid) in
+  let p_rare = dt.Densify.dt_p_rare in
+  let rare_taken = st.rare_taken.(tid) in
   let rare_due =
-    !p_rare > 0.0
-    && int_of_float (floor ((!p_rare *. float_of_int (n + 1)) +. 1e-9)) > !rare_taken
+    p_rare > 0.0
+    && int_of_float (floor ((p_rare *. float_of_int (n + 1)) +. 1e-9)) > rare_taken
   in
   let chosen =
     if rare_due then begin
-      (* Member choice uses the same integer-deficit rule over the
-         member's share of group firings, so a member with share 1/r
-         fires exactly every r-th boundary; with no integer deficit
-         the most probable member is taken. *)
-      let k = !rare_taken + 1 in
+      let k = rare_taken + 1 in
       let best = ref (-1) and best_deficit = ref 0 and best_p = ref 0.0 in
-      let fb = ref (-1) and fb_p = ref 0.0 in
-      Array.iteri
-        (fun e p ->
-          if p > 0.0 && p <= 0.5 then begin
-            let share = p /. !p_rare in
-            let expected = int_of_float (floor ((share *. float_of_int k) +. 1e-9)) in
-            let deficit = expected - counts.(e) in
-            if deficit > !best_deficit || (deficit = !best_deficit && deficit > 0 && p > !best_p)
-            then begin
-              best_deficit := deficit;
-              best := e;
-              best_p := p
-            end;
-            if p > !fb_p then begin
-              fb_p := p;
-              fb := e
-            end
-          end)
-        probs;
-      if !best_deficit > 0 then !best else !fb
+      for e = 0 to Array.length exits - 1 do
+        let dx = exits.(e) in
+        if dx.Densify.dx_rare then begin
+          let expected =
+            int_of_float (floor ((dx.Densify.dx_share *. float_of_int k) +. 1e-9))
+          in
+          let deficit = expected - counts.(e) in
+          if
+            deficit > !best_deficit
+            || (deficit = !best_deficit && deficit > 0 && dx.Densify.dx_prob > !best_p)
+          then begin
+            best_deficit := deficit;
+            best := e;
+            best_p := dx.Densify.dx_prob
+          end
+        end
+      done;
+      if !best_deficit > 0 then !best else dt.Densify.dt_rare_fb
     end
-    else begin
-      (* Most probable non-rare exit; if every exit is rare (and the
-         group is not due), fall back to the most probable exit. *)
-      let best = ref (-1) and best_p = ref 0.0 in
-      Array.iteri
-        (fun e p ->
-          if p > 0.5 && p > !best_p then begin
-            best_p := p;
-            best := e
-          end)
-        probs;
-      if !best >= 0 then !best
-      else begin
-        let any = ref (-1) and any_p = ref 0.0 in
-        Array.iteri
-          (fun e p ->
-            if p > !any_p then begin
-              any_p := p;
-              any := e
-            end)
-          probs;
-        !any
-      end
-    end
+    else if dt.Densify.dt_best_nonrare >= 0 then dt.Densify.dt_best_nonrare
+    else dt.Densify.dt_best_any
   in
   if chosen = -1 then None (* task never profiled *)
   else begin
     counts.(chosen) <- counts.(chosen) + 1;
+    st.inv_total.(tid) <- n + 1;
+    if exits.(chosen).Densify.dx_rare then st.rare_taken.(tid) <- rare_taken + 1;
     Some chosen
   end
 
 (** Expected allocations for (task, exit): deterministic integer counts
     whose long-run average equals the profiled mean. *)
-let allocations st (task : Ir.taskinfo) exit_id =
-  let xs = st.profile.p_tasks.(task.t_id).ts_exits.(exit_id) in
-  List.filter_map
-    (fun (sid, _total) ->
-      let avg = Profile.exit_avg_alloc st.profile task.t_id exit_id sid in
-      let key = (task.t_id, sid) in
-      let acc = (try Hashtbl.find st.alloc_acc key with Not_found -> 0.0) +. avg in
+let allocations st tid exit_id =
+  let dx = st.d.Densify.d_tasks.(tid).Densify.dt_exits.(exit_id) in
+  let out = ref [] in
+  Array.iter
+    (fun (sid, avg) ->
+      let idx = (tid * st.nsites) + sid in
+      let acc = st.alloc_acc.(idx) +. avg in
       let k = int_of_float (floor acc) in
-      Hashtbl.replace st.alloc_acc key (acc -. float_of_int k);
-      if k > 0 then Some (sid, k) else None)
-    xs.xs_alloc
+      st.alloc_acc.(idx) <- acc -. float_of_int k;
+      if k > 0 then out := (sid, k) :: !out)
+    dx.Densify.dx_alloc;
+  List.rev !out
 
-let new_token st (site : Ir.siteinfo) ~group =
+let new_token st sid ~group =
   let id = st.next_token in
   st.next_token <- id + 1;
   {
     tk_id = id;
-    tk_class = site.s_class;
+    tk_class = st.d.Densify.d_site_class.(sid);
     tk_group = group;
-    tk_flags = Ir.site_initial_word site;
-    tk_tags = Astg.site_tag_bits st.prog site;
+    tk_flags = st.d.Densify.d_site_flags.(sid);
+    tk_tags = st.d.Densify.d_site_tags.(sid);
     tk_gen = 0;
   }
 
 (* ------------------------------------------------------------------ *)
 (* Core loop *)
 
-let invocation_fresh (inv : invocation) =
+let invocation_fresh st (inv : invocation) =
+  let params = st.d.Densify.d_tasks.(inv.iv_task.t_id).Densify.dt_params in
   let ok = ref true in
   Array.iteri
-    (fun pidx e -> if not (entry_valid inv.iv_task.t_params.(pidx) e) then ok := false)
+    (fun pidx e -> if not (entry_valid_d params.(pidx) e) then ok := false)
     inv.iv_entries;
   !ok
 
@@ -416,14 +387,15 @@ let core_ready st core now =
       match Queue.take_opt core.ready with
       | None -> i := n
       | Some inv ->
-          if not (invocation_fresh inv) then
+          let tid = inv.iv_task.t_id in
+          let params = st.d.Densify.d_tasks.(tid).Densify.dt_params in
+          if not (invocation_fresh st inv) then
             Array.iteri
-              (fun pidx e ->
-                if entry_valid inv.iv_task.t_params.(pidx) e then deliver st core e !t)
+              (fun pidx e -> if entry_valid_d params.(pidx) e then deliver st core e !t)
               inv.iv_entries
           else begin
             t := !t + Cost.dispatch + (Cost.lock_op * Array.length inv.iv_entries);
-            match choose_exit st inv.iv_task with
+            match choose_exit st tid with
             | None ->
                 (* Unprofiled task: consume entries with no effect. *)
                 ()
@@ -431,20 +403,18 @@ let core_ready st core now =
                 st.invocations <- st.invocations + 1;
                 if st.invocations > st.max_invocations then
                   raise (Sim_overrun "simulation invocation budget exceeded");
-                let dur =
-                  int_of_float (Float.round (Profile.exit_avg_cycles st.profile inv.iv_task.t_id exit_id))
-                in
+                let dur = st.d.Densify.d_tasks.(tid).Densify.dt_exits.(exit_id).Densify.dx_dur in
                 let finish = !t + dur in
                 let ev_id = st.next_event in
                 st.next_event <- ev_id + 1;
                 core.executing <- true;
                 core.finish_payload <- Some (inv, exit_id, ev_id, !t);
-                core.busy_until <- finish;
+                set_busy st core finish;
                 started := true;
                 Pqueue.push st.events ~prio:finish (Finish core.cid)
           end
     done;
-    if not !started then core.busy_until <- max core.busy_until !t
+    if not !started then set_busy st core (max core.busy_until !t)
   end
 
 let core_finish st core now =
@@ -453,16 +423,15 @@ let core_finish st core now =
   | Some (inv, exit_id, ev_id, body_start) ->
       core.finish_payload <- None;
       core.executing <- false;
-      let task = inv.iv_task in
+      let tid = inv.iv_task.t_id in
+      let dx = st.d.Densify.d_tasks.(tid).Densify.dt_exits.(exit_id) in
       (* Record the trace event. *)
-      let ready =
-        Array.fold_left (fun acc e -> max acc e.e_arrival) 0 inv.iv_entries
-      in
+      let ready = Array.fold_left (fun acc e -> max acc e.e_arrival) 0 inv.iv_entries in
       st.trace <-
         {
           ev_id;
           ev_core = core.cid;
-          ev_task = task.t_id;
+          ev_task = tid;
           ev_exit = exit_id;
           ev_ready = ready;
           ev_start = body_start;
@@ -474,9 +443,11 @@ let core_finish st core now =
       Array.iteri
         (fun pidx e ->
           let tk = e.e_tok in
-          let s' = Astg.apply_actions st.prog task exit_id pidx (astate_of_token tk) in
-          tk.tk_flags <- s'.as_flags;
-          tk.tk_tags <- s'.as_tags;
+          let flags, tags =
+            Densify.apply_act dx.Densify.dx_actions.(pidx) ~flags:tk.tk_flags ~tags:tk.tk_tags
+          in
+          tk.tk_flags <- flags;
+          tk.tk_tags <- tags;
           tk.tk_gen <- tk.tk_gen + 1)
         inv.iv_entries;
       let t = ref (now + Cost.flag_update) in
@@ -487,65 +458,102 @@ let core_finish st core now =
       List.iter
         (fun (sid, k) ->
           for _ = 1 to k do
-            let tk = new_token st st.prog.sites.(sid) ~group:ev_id in
+            let tk = new_token st sid ~group:ev_id in
             t := !t + dispatch st ~from_core:core.cid ~producer:ev_id tk !t
           done)
-        (allocations st task exit_id);
-      core.busy_until <- !t;
+        (allocations st tid exit_id);
+      set_busy st core !t;
       schedule_ready st core !t
 
 (* ------------------------------------------------------------------ *)
-(* Entry point *)
+(* Entry points *)
 
-(** Estimate the execution of [prog] under [layout] using [profile]'s
-    Markov model. *)
-let simulate ?(max_invocations = 500_000) (prog : Ir.program) (profile : Profile.t)
+(** Simulate [layout] against pre-compiled tables.  With
+    [~cycle_bound:b], the simulation is abandoned with status
+    [Bounded b] as soon as simulated time provably exceeds [b]
+    (simulated time is monotone, so the true total is > [b]). *)
+let simulate_prepared ?cycle_bound ?(max_invocations = 500_000) (d : prepared)
     (layout : Layout.t) : result =
+  let ntasks = Densify.ntasks d in
+  let machine = layout.Layout.machine in
+  let ncores = machine.Machine.cores in
+  let task_cores = Array.init ntasks (fun tid -> Layout.cores_of layout tid) in
+  let hosted = Bytes.make (ntasks * ncores) '\000' in
+  Array.iteri
+    (fun tid cores -> Array.iter (fun c -> Bytes.set hosted ((tid * ncores) + c) '\001') cores)
+    task_cores;
+  let make_core cid =
+    {
+      cid;
+      busy_until = 0;
+      executing = false;
+      ready_scheduled = false;
+      ready = Queue.create ();
+      psets =
+        Array.init ntasks (fun tid ->
+            if Bytes.get hosted ((tid * ncores) + cid) <> '\000' then
+              Array.init
+                (Array.length d.Densify.d_tasks.(tid).Densify.dt_params)
+                (fun _ -> Deque.create ~dummy:dummy_entry)
+            else [||]);
+      finish_payload = None;
+    }
+  in
   let st =
     {
-      prog;
-      layout;
-      profile;
-      machine = layout.Layout.machine;
-      cores = Array.init layout.Layout.machine.Machine.cores make_core;
+      d;
+      machine;
+      ncores;
+      nsites = Densify.nsites d;
+      cores = Array.init ncores make_core;
+      task_cores;
+      hosted;
       events = Pqueue.create ~dummy:(Ready 0);
-      consumer_table = build_consumer_table prog;
       exit_counts =
-        Array.map (fun (t : Ir.taskinfo) -> Array.make (Array.length t.t_exits) 0) prog.tasks;
-      alloc_acc = Hashtbl.create 32;
-      rr = Hashtbl.create 16;
+        Array.map
+          (fun (dt : Densify.dtask) -> Array.make (Array.length dt.Densify.dt_exits) 0)
+          d.Densify.d_tasks;
+      inv_total = Array.make ntasks 0;
+      rare_taken = Array.make ntasks 0;
+      alloc_acc = Array.make (ntasks * Densify.nsites d) 0.0;
+      rr =
+        Array.map
+          (fun (dt : Densify.dtask) -> Array.make (Array.length dt.Densify.dt_params) 0)
+          d.Densify.d_tasks;
       next_token = 0;
       next_event = 0;
       trace = [];
       invocations = 0;
       max_invocations;
+      sim_events = 0;
+      max_busy = 0;
     }
   in
   (* Boot token: the startup object in {initialstate}. *)
   let boot =
     {
       tk_id = st.next_token;
-      tk_class = prog.startup;
+      tk_class = d.Densify.d_prog.startup;
       tk_group = -1;
-      tk_flags =
-        (match Ir.flag_index (Ir.class_of prog prog.startup) "initialstate" with
-        | Some bit -> 1 lsl bit
-        | None -> 0);
+      tk_flags = d.Densify.d_boot_flags;
       tk_tags = 0;
       tk_gen = 0;
     }
   in
   st.next_token <- st.next_token + 1;
   ignore (dispatch st ~from_core:0 ~producer:(-1) boot 0);
+  let bound = match cycle_bound with Some b -> b | None -> max_int in
+  let pruned = ref false in
   let rec loop () =
     match Pqueue.pop st.events with
     | None -> ()
     | Some (now, ev) ->
+        st.sim_events <- st.sim_events + 1;
         (match ev with
         | Arrive (c, e) -> deliver st st.cores.(c) e now
         | Ready c -> core_ready st st.cores.(c) now
         | Finish c -> core_finish st st.cores.(c) now);
-        loop ()
+        if st.max_busy > bound then pruned := true else loop ()
   in
   loop ();
   let total = Array.fold_left (fun acc c -> max acc c.busy_until) 0 st.cores in
@@ -554,4 +562,27 @@ let simulate ?(max_invocations = 500_000) (prog : Ir.program) (profile : Profile
     s_invocations = st.invocations;
     s_events = Array.of_list (List.rev st.trace);
     s_per_core_busy = Array.map (fun c -> c.busy_until) st.cores;
+    s_status = (if !pruned then Bounded bound else Complete);
+    s_sim_events = st.sim_events;
   }
+
+let simulate_reference = Schedsim_reference.simulate
+
+(** When set, {!simulate} runs the reference (list/Hashtbl) simulator
+    instead of the dense fast path — the [--sim-reference] escape
+    hatch.  Initialized from the [BAMBOO_SIM_REFERENCE] environment
+    variable ("" and "0" mean off). *)
+let use_reference =
+  ref
+    (match Sys.getenv_opt "BAMBOO_SIM_REFERENCE" with
+    | None | Some "" | Some "0" -> false
+    | Some _ -> true)
+
+(** Estimate the execution of [prog] under [layout] using [profile]'s
+    Markov model.  One-shot convenience around {!prepare} +
+    {!simulate_prepared}; callers scoring many layouts (the
+    evaluation engine) should prepare once and reuse the tables. *)
+let simulate ?cycle_bound ?max_invocations (prog : Ir.program) (profile : Profile.t)
+    (layout : Layout.t) : result =
+  if !use_reference then simulate_reference ?cycle_bound ?max_invocations prog profile layout
+  else simulate_prepared ?cycle_bound ?max_invocations (prepare prog profile) layout

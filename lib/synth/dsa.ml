@@ -52,6 +52,8 @@ type outcome = {
   iterations : int;
   evaluated : int;            (* distinct layouts simulated (cache misses) *)
   cache_hits : int;           (* evaluation requests served by the memo cache *)
+  pruned : int;               (* simulations abandoned against the incumbent's bound *)
+  sim_events : int;           (* discrete events simulated across the search *)
   seconds : float;            (* wall-clock time of the search *)
 }
 
@@ -190,8 +192,14 @@ let optimize ?(config = default_config) ?(jobs = 1) ?evaluator ~seed (prog : Ir.
         (Evaluator.create ~jobs ~max_invocations:config.sim_max_invocations prog profile, true)
   in
   let evaluated0 = Evaluator.evaluated ev and hits0 = Evaluator.cache_hits ev in
+  let pruned0 = Evaluator.pruned ev and events0 = Evaluator.sim_events ev in
   let rng = Prng.create ~seed in
-  let eval_batch ls = List.combine (Evaluator.batch_cycles ev ls) ls in
+  (* [?bound] is the incumbent's cycle count: any simulation provably
+     worse is abandoned ([Evaluator] scores it [max_int] and never
+     caches the truncated trace as complete).  Bounds derive only from
+     scores, which are jobs-independent, so pruning does not perturb
+     the bit-identical-for-any-[jobs] guarantee. *)
+  let eval_batch ?bound ls = List.combine (Evaluator.batch_cycles ?cycle_bound:bound ev ls) ls in
   let finish (best_cycles, best) iterations =
     if owns_ev then Evaluator.shutdown ev;
     {
@@ -200,12 +208,17 @@ let optimize ?(config = default_config) ?(jobs = 1) ?evaluator ~seed (prog : Ir.
       iterations;
       evaluated = Evaluator.evaluated ev - evaluated0;
       cache_hits = Evaluator.cache_hits ev - hits0;
+      pruned = Evaluator.pruned ev - pruned0;
+      sim_events = Evaluator.sim_events ev - events0;
       seconds = Unix.gettimeofday () -. t0;
     }
   in
   match
+    (* The seed batch runs unbounded: there is no incumbent yet, and
+       the pool needs real scores to rank survivors. *)
     let scored = eval_batch seeds in
     let best = ref (List.fold_left min (List.hd scored) (List.tl scored)) in
+    let bound () = if fst !best = max_int then None else Some (fst !best) in
     let pool = ref scored in
     let iter = ref 0 in
     let continue_ = ref true in
@@ -230,7 +243,7 @@ let optimize ?(config = default_config) ?(jobs = 1) ?evaluator ~seed (prog : Ir.
         List.concat_map
           (fun (_, l) ->
             match Evaluator.result ev l with
-            | None -> []   (* simulator overrun: no trace to direct from *)
+            | None -> []   (* overrun or pruned: no complete trace to direct from *)
             | Some r ->
                 let cp = Critpath.analyse r in
                 let ops = Critpath.opportunities cp in
@@ -251,7 +264,7 @@ let optimize ?(config = default_config) ?(jobs = 1) ?evaluator ~seed (prog : Ir.
             end)
           news
       in
-      let scored_news = eval_batch news in
+      let scored_news = eval_batch ?bound:(bound ()) news in
       pool := kept @ scored_news;
       let round_best = List.fold_left min (List.hd !pool) (List.tl !pool) in
       if fst round_best < fst !best then best := round_best
@@ -260,7 +273,9 @@ let optimize ?(config = default_config) ?(jobs = 1) ?evaluator ~seed (prog : Ir.
         (* Plateau: diversify around the best layout so continued
            search explores new directions rather than re-deriving the
            same neighbours. *)
-        let shakes = eval_batch (List.init 4 (fun _ -> shake rng prog (snd !best))) in
+        let shakes =
+          eval_batch ?bound:(bound ()) (List.init 4 (fun _ -> shake rng prog (snd !best)))
+        in
         pool := !pool @ shakes
       end
     done;

@@ -2,11 +2,13 @@
     candidate search.
 
     The synthesis loop is embarrassingly parallel: every candidate
-    layout is scored by an independent [Schedsim.simulate] run (§4.4),
-    and DSA re-reads the simulation of each surviving layout every
-    round for its critical-path pass (§4.5).  An [Evaluator.t] makes
-    both cheap:
+    layout is scored by an independent simulation run (§4.4), and DSA
+    re-reads the simulation of each surviving layout every round for
+    its critical-path pass (§4.5).  An [Evaluator.t] makes both cheap:
 
+    - {b Preparation}: the program and profile are compiled once into
+      the simulator's dense tables ({!Schedsim.prepare}); every
+      simulation the evaluator runs reuses them.
     - {b Memoization}: results are cached keyed on
       [Layout.canonical_key], and the cache stores the {e full}
       [Schedsim.result] — not just the cycle count — so the
@@ -17,9 +19,21 @@
       simulator touches no global mutable state and consumes no
       randomness, so per-layout results are independent of the domain
       that computed them: outputs are bit-identical for any [jobs].
+    - {b Pruning}: [batch ~cycle_bound:b] abandons any simulation
+      whose simulated time provably exceeds [b] (see
+      {!Schedsim.simulate_prepared}).  A pruned result is cached as
+      [Pruned b] — never as a complete simulation — and counts as
+      [max_int] cycles.  It satisfies a later request with bound
+      [b' <= b] (the true total exceeds [b >= b']), but an unbounded
+      or looser request re-simulates and overwrites the entry, so
+      whether a layout was pruned earlier never changes what a caller
+      observes — only what it pays.
 
     Callers must keep every RNG decision on their own domain;
-    the evaluator never draws random numbers. *)
+    the evaluator never draws random numbers.  Bounds passed by
+    callers must themselves be jobs-independent (DSA's come from
+    incumbent scores, which are), so evaluated/pruned/hit counters are
+    identical for any [jobs] too. *)
 
 module Ir = Bamboo_ir.Ir
 module Profile = Bamboo_profile.Profile
@@ -27,17 +41,27 @@ module Layout = Bamboo_machine.Layout
 module Schedsim = Bamboo_sim.Schedsim
 module Pool = Bamboo_support.Pool
 
+(** What the cache knows about a layout.  [Overrun] (the simulator
+    exceeded its invocation budget) and [Pruned] (the simulation was
+    abandoned past a cycle bound) both score [max_int]; only [Full]
+    carries a trace the critical-path pass may consume. *)
+type cached =
+  | Full of Schedsim.result
+  | Overrun
+  | Pruned of int (* bounded at b: the true total strictly exceeds b *)
+
 type t = {
   prog : Ir.program;
   profile : Profile.t;
+  prepared : Schedsim.prepared;
   max_invocations : int;
   pool : Pool.t;
   owns_pool : bool;
-  (* [None] caches a simulator overrun (the layout's score is +inf);
-     overruns are deterministic, so they memoize like any result. *)
-  cache : (string, Schedsim.result option) Hashtbl.t;
+  cache : (string, cached) Hashtbl.t;
   mutable evaluated : int;     (* simulations actually run *)
   mutable cache_hits : int;    (* requests served from the cache *)
+  mutable pruned : int;        (* simulations abandoned at a cycle bound *)
+  mutable sim_events : int;    (* discrete events simulated, total *)
 }
 
 let create ?(jobs = 1) ?pool ?(max_invocations = 500_000) (prog : Ir.program)
@@ -48,17 +72,22 @@ let create ?(jobs = 1) ?pool ?(max_invocations = 500_000) (prog : Ir.program)
   {
     prog;
     profile;
+    prepared = Schedsim.prepare prog profile;
     max_invocations;
     pool;
     owns_pool;
     cache = Hashtbl.create 256;
     evaluated = 0;
     cache_hits = 0;
+    pruned = 0;
+    sim_events = 0;
   }
 
 let jobs t = Pool.jobs t.pool
 let evaluated t = t.evaluated
 let cache_hits t = t.cache_hits
+let pruned t = t.pruned
+let sim_events t = t.sim_events
 let cache_size t = Hashtbl.length t.cache
 
 let shutdown t = if t.owns_pool then Pool.shutdown t.pool
@@ -67,27 +96,50 @@ let with_evaluator ?jobs ?pool ?max_invocations prog profile f =
   let t = create ?jobs ?pool ?max_invocations prog profile in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
-let simulate_uncached t layout =
-  try Some (Schedsim.simulate ~max_invocations:t.max_invocations t.prog t.profile layout)
-  with Schedsim.Sim_overrun _ -> None
+(* An overrun raises before the simulator can report how many events
+   it processed, so it contributes 0 to the event counter; overruns
+   are deterministic, so they memoize like any result. *)
+let simulate_uncached t cycle_bound layout : cached * int =
+  match
+    (if !Schedsim.use_reference then
+       Schedsim.simulate_reference ?cycle_bound ~max_invocations:t.max_invocations t.prog
+         t.profile layout
+     else
+       Schedsim.simulate_prepared ?cycle_bound ~max_invocations:t.max_invocations t.prepared
+         layout)
+  with
+  | r -> (
+      match r.Schedsim.s_status with
+      | Schedsim.Complete -> (Full r, r.Schedsim.s_sim_events)
+      | Schedsim.Bounded b -> (Pruned b, r.Schedsim.s_sim_events))
+  | exception Schedsim.Sim_overrun _ -> (Overrun, 0)
 
-(** Score of a simulation: total cycles, or [max_int] for an overrun. *)
+(** Can a cached entry answer a request made with [bound]? *)
+let usable bound = function
+  | Full _ | Overrun -> true
+  | Pruned b -> ( match bound with Some b' -> b' <= b | None -> false)
+
+(** Score of a cached entry: total cycles, or [max_int] when the
+    layout overran or was pruned (it cannot beat any bound it was
+    pruned against). *)
 let cycles_of = function
-  | Some (r : Schedsim.result) -> r.Schedsim.s_total_cycles
-  | None -> max_int
+  | Full (r : Schedsim.result) -> r.Schedsim.s_total_cycles
+  | Overrun | Pruned _ -> max_int
 
-(** [batch t layouts] returns the simulation of every layout, in
-    order.  Layouts not in the cache are deduplicated by canonical
-    key and simulated in parallel on the pool; everything else is a
-    cache hit. *)
-let batch t (layouts : Layout.t list) : Schedsim.result option list =
+(** [batch t layouts] returns what is known about every layout, in
+    order.  Layouts without a usable cache entry are deduplicated by
+    canonical key and simulated in parallel on the pool (bounded by
+    [cycle_bound] if given); everything else is a cache hit. *)
+let batch ?cycle_bound t (layouts : Layout.t list) : cached list =
   let keyed = List.map (fun l -> (Layout.canonical_key l, l)) layouts in
-  (* Uncached keys, first occurrence wins. *)
+  (* Keys without a usable entry, first occurrence wins. *)
   let fresh_seen = Hashtbl.create 16 in
   let fresh =
     List.filter
       (fun (key, _) ->
-        (not (Hashtbl.mem t.cache key))
+        (match Hashtbl.find_opt t.cache key with
+        | Some c -> not (usable cycle_bound c)
+        | None -> true)
         &&
         if Hashtbl.mem fresh_seen key then false
         else begin
@@ -97,28 +149,43 @@ let batch t (layouts : Layout.t list) : Schedsim.result option list =
       keyed
   in
   let fresh = Array.of_list fresh in
-  let results = Pool.map t.pool (fun (_, l) -> simulate_uncached t l) fresh in
-  Array.iteri (fun i (key, _) -> Hashtbl.replace t.cache key results.(i)) fresh;
+  let results = Pool.map t.pool (fun (_, l) -> simulate_uncached t cycle_bound l) fresh in
+  Array.iteri
+    (fun i (key, _) ->
+      let c, events = results.(i) in
+      Hashtbl.replace t.cache key c;
+      t.sim_events <- t.sim_events + events;
+      match c with Pruned _ -> t.pruned <- t.pruned + 1 | Full _ | Overrun -> ())
+    fresh;
   t.evaluated <- t.evaluated + Array.length fresh;
   t.cache_hits <- t.cache_hits + (List.length keyed - Array.length fresh);
   List.map (fun (key, _) -> Hashtbl.find t.cache key) keyed
 
-(** [result t layout] — single-layout [batch], run on the calling
-    domain. *)
+(** [result t layout] — the full simulation of [layout] if one is
+    available: [None] when the layout overran, or when the cache only
+    holds a pruned (truncated) simulation.  Never re-simulates a
+    pruned layout: the callers that want traces (the critical-path
+    pass) only consume complete ones, and a layout pruned against an
+    incumbent is already known not to be worth the full price. *)
 let result t layout : Schedsim.result option =
   let key = Layout.canonical_key layout in
   match Hashtbl.find_opt t.cache key with
-  | Some r ->
+  | Some c ->
       t.cache_hits <- t.cache_hits + 1;
-      r
+      (match c with Full r -> Some r | Overrun | Pruned _ -> None)
   | None ->
-      let r = simulate_uncached t layout in
-      Hashtbl.replace t.cache key r;
+      let c, events = simulate_uncached t None layout in
+      Hashtbl.replace t.cache key c;
       t.evaluated <- t.evaluated + 1;
-      r
-
-(** [cycles t layout] — memoized score. *)
-let cycles t layout = cycles_of (result t layout)
+      t.sim_events <- t.sim_events + events;
+      (match c with
+      | Full r -> Some r
+      | Overrun -> None
+      | Pruned _ -> assert false (* unbounded simulations never prune *))
 
 (** [batch_cycles t layouts] — parallel memoized scores, in order. *)
-let batch_cycles t layouts = List.map cycles_of (batch t layouts)
+let batch_cycles ?cycle_bound t layouts = List.map cycles_of (batch ?cycle_bound t layouts)
+
+(** [cycles t layout] — memoized unbounded score. *)
+let cycles t layout =
+  match batch t [ layout ] with [ c ] -> cycles_of c | _ -> assert false

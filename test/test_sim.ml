@@ -169,6 +169,91 @@ let test_sim_unprofiled_task_is_noop () =
   let r = Schedsim.simulate prog prof layout in
   Helpers.check_int "only profiled tasks simulated" 4 r.s_invocations
 
+(* ------------------------------------------------------------------ *)
+(* Cycle-bound (pruning) semantics *)
+
+let test_cycle_bound_semantics () =
+  let prog, prof = setup Helpers.counter_src in
+  let layout = Runtime.single_core_layout prog in
+  let full = Schedsim.simulate prog prof layout in
+  Helpers.check_bool "unbounded run completes" true (full.s_status = Schedsim.Complete);
+  Helpers.check_bool "events counted" true (full.s_sim_events > 0);
+  let total = full.s_total_cycles in
+  (* A bound equal to the true total never triggers: pruning requires
+     simulated time to strictly exceed the bound. *)
+  let exact = Schedsim.simulate ~cycle_bound:total prog prof layout in
+  Helpers.check_bool "bound = total completes" true (exact.s_status = Schedsim.Complete);
+  Helpers.check_int "and is unchanged" total exact.s_total_cycles;
+  (* Any tighter bound aborts, reports the bound it was pruned at, and
+     does strictly less work. *)
+  let b = total / 2 in
+  let pruned = Schedsim.simulate ~cycle_bound:b prog prof layout in
+  Helpers.check_bool "tight bound prunes" true (pruned.s_status = Schedsim.Bounded b);
+  Helpers.check_bool "pruned run did some work" true (pruned.s_sim_events > 0);
+  Helpers.check_bool "pruned run did less work" true (pruned.s_sim_events < full.s_sim_events);
+  (* [Bounded b] must be a proof that the true total exceeds b. *)
+  Helpers.check_bool "bound is a true lower bound" true (total > b)
+
+(* ------------------------------------------------------------------ *)
+(* Dense engine = reference oracle, event for event, on every paper
+   benchmark across layouts. *)
+
+let check_event name i (a : Schedsim.event) (b : Schedsim.event) =
+  let fail what av bv =
+    Alcotest.failf "%s: event %d: %s differ (%d vs %d)" name i what av bv
+  in
+  if a.ev_id <> b.ev_id then fail "ids" a.ev_id b.ev_id;
+  if a.ev_core <> b.ev_core then fail "cores" a.ev_core b.ev_core;
+  if a.ev_task <> b.ev_task then fail "tasks" a.ev_task b.ev_task;
+  if a.ev_exit <> b.ev_exit then fail "exits" a.ev_exit b.ev_exit;
+  if a.ev_ready <> b.ev_ready then fail "ready times" a.ev_ready b.ev_ready;
+  if a.ev_start <> b.ev_start then fail "start times" a.ev_start b.ev_start;
+  if a.ev_finish <> b.ev_finish then fail "finish times" a.ev_finish b.ev_finish;
+  if a.ev_inputs <> b.ev_inputs then
+    Alcotest.failf "%s: event %d: input edges differ" name i
+
+let check_results_equal name (a : Schedsim.result) (b : Schedsim.result) =
+  Helpers.check_int (name ^ ": total cycles") a.s_total_cycles b.s_total_cycles;
+  Helpers.check_int (name ^ ": invocations") a.s_invocations b.s_invocations;
+  Helpers.check_int (name ^ ": sim events") a.s_sim_events b.s_sim_events;
+  Helpers.check_bool (name ^ ": status") true (a.s_status = b.s_status);
+  Alcotest.(check (array int)) (name ^ ": per-core busy") a.s_per_core_busy b.s_per_core_busy;
+  Helpers.check_int (name ^ ": trace length") (Array.length a.s_events)
+    (Array.length b.s_events);
+  Array.iteri (fun i ea -> check_event name i ea b.s_events.(i)) a.s_events
+
+(** Simulate every layout with both engines — unbounded and bounded —
+    and require identical results. *)
+let check_equivalence (b : Bamboo_benchmarks.Bench_def.t) =
+  let args = Helpers.small_args b.b_name in
+  let prog = Bamboo.compile b.b_source in
+  let an = Bamboo.analyse prog in
+  let prof = Bamboo.profile ~args prog in
+  let _, _, seeds =
+    Bamboo.Candidates.generate ~n:5 ~seed:17 prog an.cstg prof Machine.m16
+  in
+  let layouts = Runtime.single_core_layout prog :: seeds in
+  let prepared = Schedsim.prepare prog prof in
+  List.iteri
+    (fun i l ->
+      let name = Printf.sprintf "%s layout %d" b.b_name i in
+      let r_ref = Schedsim.simulate_reference prog prof l in
+      let r_dense = Schedsim.simulate_prepared prepared l in
+      check_results_equal name r_ref r_dense;
+      (* Bounded runs must agree too: same abort point, same partial
+         event counts. *)
+      let bound = max 1 (r_ref.s_total_cycles * 3 / 4) in
+      let p_ref = Schedsim.simulate_reference ~cycle_bound:bound prog prof l in
+      let p_dense = Schedsim.simulate_prepared ~cycle_bound:bound prepared l in
+      check_results_equal (name ^ " (bounded)") p_ref p_dense)
+    layouts
+
+let equivalence_cases =
+  List.map
+    (fun (b : Bamboo_benchmarks.Bench_def.t) ->
+      Alcotest.test_case b.b_name `Quick (fun () -> check_equivalence b))
+    Bamboo_benchmarks.Registry.paper_benchmarks
+
 let tests =
   [
     ( "sim.unit",
@@ -179,7 +264,9 @@ let tests =
         Alcotest.test_case "parallel faster" `Quick test_sim_parallel_faster;
         Alcotest.test_case "round structure" `Quick test_sim_round_structure;
         Alcotest.test_case "unprofiled task" `Quick test_sim_unprofiled_task_is_noop;
+        Alcotest.test_case "cycle bound semantics" `Quick test_cycle_bound_semantics;
       ] );
+    ("sim.equivalence", equivalence_cases);
     ( "sim.critpath",
       [
         Alcotest.test_case "basics" `Quick test_critpath_basics;

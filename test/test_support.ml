@@ -285,6 +285,136 @@ let test_table_render () =
   Helpers.check_bool "aligned" true (Str_find.contains s "a   bb");
   Helpers.check_string "float fmt" "3.1" (Table.fmt_float 3.14159)
 
+(* ------------------------------------------------------------------ *)
+(* Deque: the tombstone-lazy parameter-set representation *)
+
+let int_deque () = Deque.create ~dummy:min_int
+
+let test_deque_push_order () =
+  let d = int_deque () in
+  Helpers.check_bool "fresh deque empty" true (Deque.is_empty d);
+  List.iter (Deque.push d) [ 3; 1; 4; 1; 5 ];
+  Alcotest.(check (list int)) "insertion order" [ 3; 1; 4; 1; 5 ] (Deque.to_list d);
+  Helpers.check_int "length counts slots" 5 (Deque.length d);
+  Helpers.check_int "all live" 5 (Deque.live d);
+  Helpers.check_int "get by slot" 4 (Deque.get d 2)
+
+let test_deque_grows () =
+  let d = int_deque () in
+  for i = 0 to 99 do
+    Deque.push d i
+  done;
+  Alcotest.(check (list int)) "order across growth" (List.init 100 Fun.id) (Deque.to_list d)
+
+let test_deque_delete () =
+  let d = int_deque () in
+  List.iter (Deque.push d) [ 0; 1; 2; 3; 4 ];
+  Deque.delete d 1;
+  Deque.delete d 3;
+  Alcotest.(check (list int)) "tombstones skipped" [ 0; 2; 4 ] (Deque.to_list d);
+  Helpers.check_int "length keeps tombstones" 5 (Deque.length d);
+  Helpers.check_int "live drops" 3 (Deque.live d);
+  Helpers.check_bool "slot 1 dead" false (Deque.is_live d 1);
+  Helpers.check_bool "slot 2 live" true (Deque.is_live d 2);
+  (* idempotent: a second delete must not double-count *)
+  Deque.delete d 1;
+  Helpers.check_int "idempotent delete" 3 (Deque.live d);
+  Helpers.check_bool "exists skips tombstones" false (Deque.exists (fun x -> x = 1) d);
+  Helpers.check_bool "exists finds live" true (Deque.exists (fun x -> x = 2) d);
+  Helpers.check_int "fold over live only" 6 (Deque.fold ( + ) 0 d)
+
+let test_deque_compact () =
+  let d = int_deque () in
+  for i = 0 to 9 do
+    Deque.push d i
+  done;
+  List.iter (fun i -> Deque.delete d i) [ 0; 2; 4; 6; 8 ];
+  Deque.compact d;
+  Helpers.check_int "compact drops tombstones" 5 (Deque.length d);
+  Helpers.check_int "nothing dead after compact" 5 (Deque.live d);
+  Alcotest.(check (list int)) "order preserved" [ 1; 3; 5; 7; 9 ] (Deque.to_list d);
+  (* slots are re-numbered after compaction *)
+  Helpers.check_int "slot 0 now holds 1" 1 (Deque.get d 0)
+
+let test_deque_maybe_compact () =
+  (* Below the size threshold: never compacts, slot indices stay valid. *)
+  let small = int_deque () in
+  for i = 0 to 9 do
+    Deque.push small i
+  done;
+  for i = 0 to 7 do
+    Deque.delete small i
+  done;
+  Deque.maybe_compact small;
+  Helpers.check_int "small deque untouched" 10 (Deque.length small);
+  (* Tombstone-dominated and big enough: compacts. *)
+  let big = int_deque () in
+  for i = 0 to 19 do
+    Deque.push big i
+  done;
+  for i = 0 to 10 do
+    Deque.delete big i
+  done;
+  Deque.maybe_compact big;
+  Helpers.check_int "big deque compacted" 9 (Deque.length big);
+  Alcotest.(check (list int)) "survivors in order" [ 11; 12; 13; 14; 15; 16; 17; 18; 19 ]
+    (Deque.to_list big)
+
+let test_deque_rejects_dummy () =
+  let d = int_deque () in
+  Alcotest.check_raises "dummy push rejected"
+    (Invalid_argument "Deque.push: cannot push the dummy sentinel") (fun () ->
+      Deque.push d min_int)
+
+let test_deque_clear () =
+  let d = int_deque () in
+  List.iter (Deque.push d) [ 1; 2; 3 ];
+  Deque.delete d 0;
+  Deque.clear d;
+  Helpers.check_bool "cleared" true (Deque.is_empty d);
+  Helpers.check_int "no slots" 0 (Deque.length d);
+  Deque.push d 9;
+  Alcotest.(check (list int)) "reusable after clear" [ 9 ] (Deque.to_list d)
+
+(* Model-based property: any interleaving of push/delete/compact
+   agrees with a simple list model on live contents and order. *)
+let deque_matches_model =
+  QCheck.Test.make ~name:"deque matches list model" ~count:300
+    QCheck.(list (int_range (-30) 1000))
+    (fun cmds ->
+      let d = int_deque () in
+      (* model: (value, alive) in insertion order, tombstones kept so
+         model indices track deque slots between compactions *)
+      let model = ref [] in
+      let sync = ref true in
+      List.iter
+        (fun c ->
+          if c >= 0 then begin
+            Deque.push d c;
+            model := !model @ [ (c, ref true) ]
+          end
+          else if c >= -20 then begin
+            let n = List.length !model in
+            if n > 0 then begin
+              let i = -c mod n in
+              Deque.delete d i;
+              snd (List.nth !model i) := false
+            end
+          end
+          else begin
+            (if c = -21 then Deque.compact d else Deque.maybe_compact d);
+            (* after a (possible) compaction, drop dead model slots *)
+            if Deque.length d = Deque.live d then
+              model := List.filter (fun (_, alive) -> !alive) !model
+          end;
+          let live_model =
+            List.filter_map (fun (v, alive) -> if !alive then Some v else None) !model
+          in
+          if Deque.to_list d <> live_model || Deque.live d <> List.length live_model then
+            sync := false)
+        cmds;
+      !sync)
+
 let tests =
   [
     ( "support.unit",
@@ -308,6 +438,13 @@ let tests =
         Alcotest.test_case "stats histogram" `Quick test_stats_histogram;
         Alcotest.test_case "dot output" `Quick test_dot_output;
         Alcotest.test_case "table render" `Quick test_table_render;
+        Alcotest.test_case "deque push order" `Quick test_deque_push_order;
+        Alcotest.test_case "deque grows" `Quick test_deque_grows;
+        Alcotest.test_case "deque delete" `Quick test_deque_delete;
+        Alcotest.test_case "deque compact" `Quick test_deque_compact;
+        Alcotest.test_case "deque maybe_compact" `Quick test_deque_maybe_compact;
+        Alcotest.test_case "deque rejects dummy" `Quick test_deque_rejects_dummy;
+        Alcotest.test_case "deque clear" `Quick test_deque_clear;
       ] );
     Helpers.qsuite "support.qcheck"
       [
@@ -319,5 +456,6 @@ let tests =
         pool_matches_array_map;
         union_find_transitive;
         histogram_conserves_count;
+        deque_matches_model;
       ];
   ]

@@ -199,7 +199,9 @@ let check_dsa_jobs_identical (b : Bamboo_benchmarks.Bench_def.t) args =
   Helpers.check_int (b.b_name ^ ": cycles identical") o1.best_cycles o4.best_cycles;
   Helpers.check_int (b.b_name ^ ": iterations identical") o1.iterations o4.iterations;
   Helpers.check_int (b.b_name ^ ": evaluated identical") o1.evaluated o4.evaluated;
-  Helpers.check_int (b.b_name ^ ": cache hits identical") o1.cache_hits o4.cache_hits
+  Helpers.check_int (b.b_name ^ ": cache hits identical") o1.cache_hits o4.cache_hits;
+  Helpers.check_int (b.b_name ^ ": pruned identical") o1.pruned o4.pruned;
+  Helpers.check_int (b.b_name ^ ": sim events identical") o1.sim_events o4.sim_events
 
 let test_dsa_jobs_deterministic_fractal () =
   let b = Bamboo_benchmarks.Registry.find "Fractal" in
@@ -208,6 +210,69 @@ let test_dsa_jobs_deterministic_fractal () =
 let test_dsa_jobs_deterministic_series () =
   let b = Bamboo_benchmarks.Registry.find "Series" in
   check_dsa_jobs_identical b (Helpers.small_args "Series")
+
+(* ------------------------------------------------------------------ *)
+(* Bound-pruned evaluation *)
+
+let test_evaluator_pruning_contract () =
+  let prog, _, prof = setup () in
+  let machine = Machine.m16 in
+  (* A deliberately slow layout (everything on one core) and a bound
+     taken from a faster one. *)
+  let slow = { (Bamboo.Runtime.single_core_layout prog) with Layout.machine } in
+  let slow_cycles = Bamboo.estimate prog prof slow in
+  let bound = slow_cycles / 2 in
+  Bamboo.Evaluator.with_evaluator prog prof (fun ev ->
+      (* Bounded request: the slow layout cannot beat the bound, so it
+         is pruned and scored max_int. *)
+      let scores = Bamboo.Evaluator.batch_cycles ~cycle_bound:bound ev [ slow ] in
+      Alcotest.(check (list int)) "pruned layout scores max_int" [ max_int ] scores;
+      Helpers.check_int "prune counted" 1 (Bamboo.Evaluator.pruned ev);
+      Helpers.check_int "one simulation" 1 (Bamboo.Evaluator.evaluated ev);
+      Helpers.check_bool "events counted" true (Bamboo.Evaluator.sim_events ev > 0);
+      (* The truncated simulation must never surface as a trace. *)
+      Helpers.check_bool "no trace from a pruned sim" true
+        (Bamboo.Evaluator.result ev slow = None);
+      Helpers.check_int "result did not re-simulate" 1 (Bamboo.Evaluator.evaluated ev);
+      (* A tighter bound is answered by the cached prune... *)
+      let scores' = Bamboo.Evaluator.batch_cycles ~cycle_bound:(bound / 2) ev [ slow ] in
+      Alcotest.(check (list int)) "tighter bound reuses the prune" [ max_int ] scores';
+      Helpers.check_int "no new simulation for tighter bound" 1 (Bamboo.Evaluator.evaluated ev);
+      (* ...but an unbounded request must re-simulate to completion and
+         overwrite the entry with the full result. *)
+      let full = Bamboo.Evaluator.batch_cycles ev [ slow ] in
+      Alcotest.(check (list int)) "unbounded request gets the true score" [ slow_cycles ] full;
+      Helpers.check_int "re-simulated once" 2 (Bamboo.Evaluator.evaluated ev);
+      match Bamboo.Evaluator.result ev slow with
+      | None -> Alcotest.fail "full trace expected after unbounded re-simulation"
+      | Some r -> Helpers.check_int "full trace cached" slow_cycles r.s_total_cycles)
+
+let test_evaluator_bound_not_reached_is_complete () =
+  let prog, _, prof = setup () in
+  let machine = Machine.m16 in
+  let slow = { (Bamboo.Runtime.single_core_layout prog) with Layout.machine } in
+  let slow_cycles = Bamboo.estimate prog prof slow in
+  Bamboo.Evaluator.with_evaluator prog prof (fun ev ->
+      (* A loose bound never triggers: the result is complete, cached
+         as such, and scored with its true cycles. *)
+      let scores = Bamboo.Evaluator.batch_cycles ~cycle_bound:(slow_cycles * 2) ev [ slow ] in
+      Alcotest.(check (list int)) "loose bound completes" [ slow_cycles ] scores;
+      Helpers.check_int "nothing pruned" 0 (Bamboo.Evaluator.pruned ev);
+      Helpers.check_bool "trace available" true (Bamboo.Evaluator.result ev slow <> None))
+
+let test_dsa_prunes_against_incumbent () =
+  let prog, _, prof = setup () in
+  let machine = Machine.m16 in
+  let bad = { (Bamboo.Runtime.single_core_layout prog) with Layout.machine } in
+  let cfg = { Dsa.default_config with max_iterations = 8 } in
+  let o = Dsa.optimize ~config:cfg ~seed:5 prog prof [ bad ] in
+  Helpers.check_bool "search prunes against the incumbent" true (o.pruned > 0);
+  Helpers.check_bool "events accounted" true (o.sim_events > 0);
+  (* Pruning must not change what the search returns: the best layout
+     always simulates to completion (a prune needs the simulation to
+     provably exceed the incumbent, which the winner never does). *)
+  let o_ref = Dsa.optimize ~config:cfg ~seed:5 prog prof [ bad ] in
+  Helpers.check_int "deterministic under pruning" o.best_cycles o_ref.best_cycles
 
 let test_machine_model () =
   let m = Machine.tilepro64 in
@@ -252,6 +317,10 @@ let tests =
         Alcotest.test_case "evaluator jobs-invariant" `Quick
           test_evaluator_parallel_matches_sequential;
         Alcotest.test_case "dsa cache hits" `Quick test_dsa_cache_hits_counted;
+        Alcotest.test_case "evaluator pruning contract" `Quick test_evaluator_pruning_contract;
+        Alcotest.test_case "evaluator loose bound" `Quick
+          test_evaluator_bound_not_reached_is_complete;
+        Alcotest.test_case "dsa prunes" `Quick test_dsa_prunes_against_incumbent;
         Alcotest.test_case "dsa jobs=1 = jobs=4 (Fractal)" `Quick
           test_dsa_jobs_deterministic_fractal;
         Alcotest.test_case "dsa jobs=1 = jobs=4 (Series)" `Quick
