@@ -9,6 +9,8 @@
      dune exec bench/main.exe fig7 --jobs 4   -- parallel layout evaluation
      dune exec bench/main.exe fig7 --json out.json  -- machine-readable results
      dune exec bench/main.exe simbench        -- simulator fast-path microbenchmark
+     dune exec bench/main.exe execbench       -- domains-backend scaling curve
+     dune exec bench/main.exe execbench --json BENCH_pr4.json  -- machine-readable curve
      dune exec bench/main.exe bechamel        -- Bechamel micro-benchmarks
 
    --jobs N fans candidate-layout simulation across N domains
@@ -405,6 +407,134 @@ let simbench () =
   print_endline ""
 
 (* ------------------------------------------------------------------ *)
+(* execbench: scaling curve of the parallel OCaml-domains execution
+   backend (lib/exec) over 1/2/4/8 domains.  Every point is checked
+   against the sequential runtime's canonical digest before its time
+   is reported — a fast-but-wrong backend scores zero here.  Wall
+   times only mean speedup on a machine with that many cores; the
+   digest column is meaningful everywhere. *)
+
+type execpoint = {
+  xp_domains : int;
+  xp_wall : float;
+  xp_invocations : int;
+  xp_messages : int;
+  xp_retries : int;
+  xp_cycles : int;
+}
+
+type execrow = {
+  xr_name : string;
+  xr_cores : int;
+  xr_digest : string;
+  xr_digest_ok : bool; (* all domain counts matched the reference *)
+  xr_seq_wall : float;
+  xr_points : execpoint list;
+}
+
+let exec_domain_counts = [ 1; 2; 4; 8 ]
+
+let xp_speedup (r : execrow) (p : execpoint) =
+  let base = List.find (fun q -> q.xp_domains = 1) r.xr_points in
+  if p.xp_wall > 0.0 then base.xp_wall /. p.xp_wall else 0.0
+
+let execbench_results : execrow list Lazy.t =
+  lazy
+    (let machine = Bamboo.Machine.with_cores Bamboo.Machine.tilepro64 8 in
+     let reps = if !quick then 1 else 3 in
+     List.map
+       (fun (b : Bench_def.t) ->
+         Printf.eprintf "[bench] execbench %s...\n%!" b.b_name;
+         let args =
+           if !quick then Option.value ~default:b.b_args (quick_args b.b_name) else b.b_args
+         in
+         let prog = Bamboo.compile b.b_source in
+         let an = Bamboo.analyse prog in
+         let layout = Bamboo.Exec.spread_layout prog machine in
+         let t0 = Unix.gettimeofday () in
+         let seq = Bamboo.Runtime.run ~args ~lock_groups:an.lock_groups prog layout in
+         let seq_wall = Unix.gettimeofday () -. t0 in
+         let expected =
+           Bamboo.Canon.digest prog ~output:seq.r_output ~objects:seq.r_objects
+         in
+         let ok = ref true in
+         let points =
+           List.map
+             (fun domains ->
+               (* Best of [reps]: quiescence detection makes wall time
+                  noisy at small inputs, and min is the standard
+                  estimator for the noise-free floor. *)
+               let best = ref None in
+               for rep = 1 to reps do
+                 let r =
+                   Bamboo.Exec.run ~args ~domains ~seed:(domains + rep)
+                     ~max_invocations:50_000_000 ~lock_groups:an.lock_groups prog layout
+                 in
+                 if r.x_digest <> expected then ok := false;
+                 match !best with
+                 | Some (b : Bamboo.Exec.result) when b.x_wall_seconds <= r.x_wall_seconds ->
+                     ()
+                 | _ -> best := Some r
+               done;
+               let r = Option.get !best in
+               {
+                 xp_domains = domains;
+                 xp_wall = r.x_wall_seconds;
+                 xp_invocations = r.x_invocations;
+                 xp_messages = r.x_messages;
+                 xp_retries = r.x_lock_retries;
+                 xp_cycles = r.x_cycles;
+               })
+             exec_domain_counts
+         in
+         {
+           xr_name = b.b_name;
+           xr_cores = machine.cores;
+           xr_digest = expected;
+           xr_digest_ok = !ok;
+           xr_seq_wall = seq_wall;
+           xr_points = points;
+         })
+       Registry.paper_benchmarks)
+
+let execbench () =
+  let rows = Lazy.force execbench_results in
+  print_endline "== execbench: parallel domains backend, 8-core spread layout ==";
+  Printf.printf
+    "   (wall seconds, best of %s; speedup vs 1 domain; digest vs sequential runtime;\n\
+    \    host reports %d recommended domains — speedups need real cores)\n"
+    (if !quick then "1 rep" else "3 reps")
+    (Domain.recommended_domain_count ());
+  Table.print
+    ~headers:
+      [
+        "Benchmark"; "seq s"; "1d s"; "2d s"; "4d s"; "8d s";
+        "spd@2"; "spd@4"; "spd@8"; "msgs@8"; "retries@8"; "digest";
+      ]
+    (List.map
+       (fun r ->
+         let p n = List.find (fun q -> q.xp_domains = n) r.xr_points in
+         [
+           r.xr_name;
+           Printf.sprintf "%.3f" r.xr_seq_wall;
+           Printf.sprintf "%.3f" (p 1).xp_wall;
+           Printf.sprintf "%.3f" (p 2).xp_wall;
+           Printf.sprintf "%.3f" (p 4).xp_wall;
+           Printf.sprintf "%.3f" (p 8).xp_wall;
+           Printf.sprintf "%.2fx" (xp_speedup r (p 2));
+           Printf.sprintf "%.2fx" (xp_speedup r (p 4));
+           Printf.sprintf "%.2fx" (xp_speedup r (p 8));
+           string_of_int (p 8).xp_messages;
+           string_of_int (p 8).xp_retries;
+           (if r.xr_digest_ok then "ok" else "MISMATCH");
+         ])
+       rows);
+  print_endline "";
+  if List.exists (fun r -> not r.xr_digest_ok) rows then (
+    prerr_endline "[bench] execbench: digest mismatch against the sequential runtime";
+    exit 1)
+
+(* ------------------------------------------------------------------ *)
 (* BENCH_pr3.json emitter: a machine-readable record of the Figure 7/9
    measurements plus the simulator microbenchmark so future PRs can
    track the perf trajectory. *)
@@ -482,6 +612,57 @@ let emit_json path =
   close_out oc;
   Printf.eprintf "[bench] wrote %s\n%!" path
 
+(* BENCH_pr4.json emitter: the domains-backend scaling curve, one row
+   per benchmark per domain count, digest-checked.  Written when
+   --json is given with the execbench target. *)
+let emit_exec_json path =
+  let rows = Lazy.force execbench_results in
+  let point_obj r p =
+    String.concat ""
+      [
+        "        {\n";
+        Printf.sprintf "          \"domains\": %d,\n" p.xp_domains;
+        Printf.sprintf "          \"wall_seconds\": %s,\n" (json_float p.xp_wall);
+        Printf.sprintf "          \"speedup_vs_1domain\": %s,\n" (json_float (xp_speedup r p));
+        Printf.sprintf "          \"invocations\": %d,\n" p.xp_invocations;
+        Printf.sprintf "          \"messages\": %d,\n" p.xp_messages;
+        Printf.sprintf "          \"lock_retries\": %d,\n" p.xp_retries;
+        Printf.sprintf "          \"cycles\": %d\n" p.xp_cycles;
+        "        }";
+      ]
+  in
+  let row_obj r =
+    String.concat ""
+      [
+        "    {\n";
+        Printf.sprintf "      \"name\": \"%s\",\n" (json_escape r.xr_name);
+        Printf.sprintf "      \"cores\": %d,\n" r.xr_cores;
+        Printf.sprintf "      \"sequential_wall_seconds\": %s,\n" (json_float r.xr_seq_wall);
+        Printf.sprintf "      \"digest\": \"%s\",\n" (json_escape r.xr_digest);
+        Printf.sprintf "      \"digest_ok\": %b,\n" r.xr_digest_ok;
+        "      \"points\": [\n";
+        String.concat ",\n" (List.map (point_obj r) r.xr_points);
+        "\n      ]\n    }";
+      ]
+  in
+  let doc =
+    String.concat ""
+      [
+        "{\n";
+        "  \"schema\": \"BENCH_pr4\",\n";
+        Printf.sprintf "  \"quick\": %b,\n" !quick;
+        Printf.sprintf "  \"host_recommended_domains\": %d,\n"
+          (Domain.recommended_domain_count ());
+        "  \"benchmarks\": [\n";
+        String.concat ",\n" (List.map row_obj rows);
+        "\n  ]\n}\n";
+      ]
+  in
+  let oc = open_out path in
+  output_string oc doc;
+  close_out oc;
+  Printf.eprintf "[bench] wrote %s\n%!" path
+
 let () =
   let argv = Array.to_list Sys.argv |> List.tl in
   let json_path = ref None in
@@ -494,10 +675,12 @@ let () =
         Bamboo.Schedsim.use_reference := true;
         parse rest
     | "--jobs" :: n :: rest ->
+        (* Same 1..64 cap as the CLI: more domains than that only adds
+           scheduler churn on any machine we target. *)
         (match int_of_string_opt n with
-        | Some n when n >= 1 -> jobs := n
+        | Some n when n >= 1 && n <= 64 -> jobs := n
         | _ ->
-            Printf.eprintf "--jobs expects a positive integer, got %s\n" n;
+            Printf.eprintf "--jobs expects an integer in 1..64, got %s\n" n;
             exit 2);
         parse rest
     | "--json" :: path :: rest ->
@@ -519,15 +702,20 @@ let () =
   | "fig10" -> fig10 ~quick:!quick ()
   | "fig11" -> fig11 ()
   | "simbench" -> simbench ()
+  | "execbench" -> execbench ()
   | "bechamel" -> bechamel ()
   | "all" ->
       fig7 ();
       fig9 ();
       fig10 ~quick:!quick ();
       fig11 ();
-      simbench ()
+      simbench ();
+      execbench ()
   | other ->
-      Printf.eprintf "unknown target %s (fig7|fig9|fig10|fig11|simbench|bechamel|all)\n" other;
+      Printf.eprintf
+        "unknown target %s (fig7|fig9|fig10|fig11|simbench|execbench|bechamel|all)\n" other;
       exit 2);
-  (match !json_path with Some path -> emit_json path | None -> ());
+  (match !json_path with
+  | Some path -> if what = "execbench" then emit_exec_json path else emit_json path
+  | None -> ());
   print_endline "done."

@@ -9,7 +9,8 @@
      bamboo taskflow   <file.bam>              -- task flow as dot (Fig. 8)
      bamboo profile    <file.bam> [-- args]    -- single-core profile
      bamboo synth      <file.bam> [-- args]    -- synthesize a 62-core layout
-     bamboo run        <file.bam> [-- args]    -- synthesize and execute
+     bamboo run        <file.bam> [-- args]    -- synthesize and execute (deterministic)
+     bamboo exec       <file.bam> [-- args]    -- execute for real on OCaml 5 domains
      bamboo trace      <file.bam> [-- args]    -- simulated trace + critical path (Fig. 6)
      bamboo dump-bench <name>                  -- print a built-in benchmark's source
 
@@ -58,24 +59,41 @@ let cores_arg =
 
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"search seed")
 
-let jobs_arg =
-  let default = max 1 (min 8 (Domain.recommended_domain_count ())) in
-  let pos_int =
-    let parse s =
-      match Arg.conv_parser Arg.int s with
-      | Ok n when n >= 1 -> Ok n
-      | Ok n -> Error (`Msg (Printf.sprintf "expected a positive integer, got %d" n))
-      | Error _ as e -> e
-    in
-    Arg.conv (parse, Arg.conv_printer Arg.int)
+(* Domain-count options share one validating converter: 0, negative
+   and over-cap values are rejected at parse time with a structured
+   message naming the option and the accepted range. *)
+let bounded_pos_int ~option ~cap =
+  let parse s =
+    match Arg.conv_parser Arg.int s with
+    | Ok n when n >= 1 && n <= cap -> Ok n
+    | Ok n ->
+        Error
+          (`Msg
+            (Printf.sprintf "%s must be an integer in 1..%d, got %d" option cap n))
+    | Error _ as e -> e
   in
+  Arg.conv (parse, Arg.conv_printer Arg.int)
+
+let default_domains = max 1 (min 8 (Domain.recommended_domain_count ()))
+
+let jobs_arg =
   Arg.(
     value
-    & opt pos_int default
+    & opt (bounded_pos_int ~option:"--jobs" ~cap:64) default_domains
     & info [ "jobs" ]
         ~doc:
-          "domains used by the parallel layout-evaluation engine (results are identical for \
-           any value; default: recommended domain count, capped at 8)")
+          "domains used by the parallel layout-evaluation engine, between 1 and 64 (results \
+           are identical for any value; default: recommended domain count, capped at 8)")
+
+let domains_arg =
+  Arg.(
+    value
+    & opt (bounded_pos_int ~option:"--domains" ~cap:64) default_domains
+    & info [ "domains" ]
+        ~doc:
+          "OCaml domains the parallel runtime executes on, between 1 and 64 (per-core \
+           schedulers are multiplexed over them; default: recommended domain count, capped \
+           at 8)")
 
 let sim_reference_arg =
   Arg.(
@@ -234,15 +252,96 @@ let cmd_synth =
     Term.(const run $ file_arg $ args_arg $ cores_arg $ seed_arg $ jobs_arg $ sim_reference_arg)
 
 let cmd_run =
-  let run file args cores seed jobs sim_reference =
+  let run file args cores seed jobs sim_reference digest =
     let prog, an, o = synthesize file args cores seed jobs sim_reference in
     let r = Bamboo.execute ~args prog an o.best in
     print_string r.r_output;
     Printf.printf "%d cycles on %d cores (%d invocations, %d messages, %d failed locks)\n"
-      r.r_total_cycles cores r.r_invocations r.r_messages r.r_failed_locks
+      r.r_total_cycles cores r.r_invocations r.r_messages r.r_failed_locks;
+    if digest then
+      Printf.printf "digest: %s\n"
+        (Bamboo.Canon.digest prog ~output:r.r_output ~objects:r.r_objects)
+  in
+  let digest_arg =
+    Arg.(
+      value & flag
+      & info [ "digest" ]
+          ~doc:
+            "also print the canonical output digest (comparable with $(b,bamboo exec \
+             --digest-only))")
   in
   Cmd.v (Cmd.info "run" ~doc:"synthesize a layout and execute the program on it")
-    Term.(const run $ file_arg $ args_arg $ cores_arg $ seed_arg $ jobs_arg $ sim_reference_arg)
+    Term.(
+      const run $ file_arg $ args_arg $ cores_arg $ seed_arg $ jobs_arg $ sim_reference_arg
+      $ digest_arg)
+
+let cmd_exec =
+  let run file args cores domains seed jobs layout_kind sim_reference exec_reference
+      digest_only canon =
+    if exec_reference then Bamboo.Exec.use_reference := true;
+    let prog = load file in
+    let an = Bamboo.analyse prog in
+    let layout =
+      match layout_kind with
+      | `Spread -> Bamboo.Exec.spread_layout prog (machine_of cores)
+      | `Synth ->
+          if sim_reference then Bamboo.Schedsim.use_reference := true;
+          let prof = Bamboo.profile ~args prog in
+          (Bamboo.synthesize ~seed ~jobs prog an prof (machine_of cores)).best
+    in
+    let r = Bamboo.execute_parallel ~args ~domains ~seed prog an layout in
+    if digest_only then print_endline r.x_digest
+    else if canon then
+      print_endline (Bamboo.Canon.canonical prog ~output:r.x_output ~objects:r.x_objects)
+    else begin
+      print_string r.x_output;
+      Printf.printf
+        "%.3f s wall on %d domains (%d cores; %d invocations, %d cycles charged, %d \
+         messages, %d lock retries)\ndigest: %s\n"
+        r.x_wall_seconds r.x_domains cores r.x_invocations r.x_cycles r.x_messages
+        r.x_lock_retries r.x_digest
+    end
+  in
+  let layout_arg =
+    Arg.(
+      value
+      & opt (enum [ ("spread", `Spread); ("synth", `Synth) ]) `Spread
+      & info [ "layout" ]
+          ~docv:"KIND"
+          ~doc:
+            "task layout: $(b,spread) replicates every task over all cores \
+             (restriction-permitting), $(b,synth) runs full layout synthesis first")
+  in
+  let exec_reference_arg =
+    Arg.(
+      value & flag
+      & info [ "exec-reference" ]
+          ~doc:
+            "route execution through the sequential deterministic runtime instead of the \
+             parallel backend (the equivalence oracle; also enabled by the \
+             BAMBOO_EXEC_REFERENCE environment variable)")
+  in
+  let digest_only_arg =
+    Arg.(
+      value & flag
+      & info [ "digest-only" ] ~doc:"print only the canonical output digest")
+  in
+  let canon_arg =
+    Arg.(
+      value & flag
+      & info [ "canon" ]
+          ~doc:
+            "print the field-level canonical form instead of the output (for diffing \
+             digest mismatches)")
+  in
+  Cmd.v
+    (Cmd.info "exec"
+       ~doc:
+         "execute the program for real on OCaml 5 domains (true many-core execution; \
+          compare against $(b,bamboo run) with $(b,--exec-reference) or $(b,--digest-only))")
+    Term.(
+      const run $ file_arg $ args_arg $ cores_arg $ domains_arg $ seed_arg $ jobs_arg
+      $ layout_arg $ sim_reference_arg $ exec_reference_arg $ digest_only_arg $ canon_arg)
 
 let cmd_trace =
   let run file args cores seed jobs sim_reference =
@@ -273,4 +372,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ cmd_check; cmd_analyze; cmd_astg; cmd_cstg; cmd_taskflow; cmd_profile; cmd_synth;
-            cmd_run; cmd_trace; cmd_dump ]))
+            cmd_run; cmd_exec; cmd_trace; cmd_dump ]))

@@ -127,7 +127,7 @@ let of_class (prog : Ir.program) (cid : Ir.class_id) : t =
     (fun (site : Ir.siteinfo) ->
       if site.s_class = cid then begin
         let s = { as_flags = Ir.site_initial_word site; as_tags = site_tag_bits prog site } in
-        let sites = try Hashtbl.find alloc s with Not_found -> [] in
+        let sites = Option.value ~default:[] (Hashtbl.find_opt alloc s) in
         Hashtbl.replace alloc s (site.s_id :: sites)
       end)
     prog.sites;

@@ -45,6 +45,9 @@ module Candidates = Bamboo_synth.Candidates
 module Evaluator = Bamboo_synth.Evaluator
 module Dsa = Bamboo_synth.Dsa
 module Runtime = Bamboo_runtime.Runtime
+module Mailbox = Bamboo_support.Mailbox
+module Exec = Bamboo_exec.Exec
+module Canon = Bamboo_exec.Canon
 
 (** Static analysis results bundled together. *)
 type analysis = {
@@ -89,6 +92,13 @@ let synthesize ?config ?ncandidates ?jobs ?(seed = 42) (prog : Ir.program) (an :
 let execute ?(args = []) ?max_invocations ?(record_trace = false) (prog : Ir.program)
     (an : analysis) (layout : Layout.t) : Runtime.result =
   Runtime.run ~args ?max_invocations ~record_trace ~lock_groups:an.lock_groups prog layout
+
+(** Execute the program for real on OCaml 5 domains — the parallel
+    many-core backend (see {!Exec}); the sequential {!execute} is its
+    equivalence oracle. *)
+let execute_parallel ?(args = []) ?max_invocations ?domains ?seed (prog : Ir.program)
+    (an : analysis) (layout : Layout.t) : Exec.result =
+  Exec.run ~args ?max_invocations ?domains ?seed ~lock_groups:an.lock_groups prog layout
 
 (** Estimate the execution of a layout with the scheduling simulator. *)
 let estimate ?max_invocations (prog : Ir.program) (prof : Profile.t) (layout : Layout.t) : int

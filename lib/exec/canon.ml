@@ -1,0 +1,103 @@
+(** Canonical output digest: the equivalence oracle between the
+    parallel execution backend ({!Exec}) and the deterministic
+    sequential runtime ({!Bamboo_runtime.Runtime}).
+
+    Two runs of the same program are considered equivalent when they
+    produce the same digest.  The digest must be insensitive to what a
+    legal parallel schedule may permute and sensitive to everything
+    else, so it covers exactly two things:
+
+    - {b The printed output}, as a sorted multiset of lines.  Cores
+      emit lines concurrently, so the transcript order is
+      schedule-dependent but the line multiset is not.
+    - {b Every object's final abstract state}: class, allocation site,
+      flag word and per-type tag counts, as a sorted multiset of
+      rendered lines.  Task invocations fire until quiescence, and for
+      well-formed Bamboo programs the abstract state each object
+      quiesces in does not depend on the schedule.
+
+    What the digest deliberately excludes:
+
+    - {b Object and tag identity.}  The parallel backend partitions
+      the id space per core ([id_base]/[id_stride]), so [o_id] /
+      [tg_id] values are schedule- and shape-dependent.
+    - {b Field values.}  A parallel run may legally permute the
+      contents of accumulation structures: Tracking's result arrays
+      collect per-feature answers in arrival order (same multiset,
+      different order), and KMeans' convergence shift is a float sum
+      whose sequential grouping yields exactly [0.0] while a parallel
+      merge order leaves [~5e-15] — an ulp-level difference no
+      relative rounding can canonicalize near zero.
+
+    The full field-level rendering is still available as {!canonical}
+    (floats at [%.6g], ids elided) — it is the debugging view [bamboo
+    exec --canon] prints so digest mismatches can be diffed
+    structurally. *)
+
+module Ir = Bamboo_ir.Ir
+open Bamboo_interp.Value
+
+(* Normalize -0.0 (a parallel sum of cancelling terms may produce
+   either zero) before the %.6g rendering. *)
+let render_float f = Printf.sprintf "%.6g" (if f = 0.0 then 0.0 else f)
+
+let shallow_obj (prog : Ir.program) (o : obj) =
+  Printf.sprintf "@%s#%d" (Ir.class_of prog o.o_class).c_name o.o_site
+
+let rec render_value prog (v : value) =
+  match v with
+  | Vnull -> "_"
+  | Vint n -> string_of_int n
+  | Vbool b -> if b then "t" else "f"
+  | Vfloat f -> render_float f
+  | Vstr s -> Printf.sprintf "%S" s
+  | Vobj o -> shallow_obj prog o
+  | Varr (Iarr a) ->
+      "[" ^ String.concat ";" (Array.to_list (Array.map string_of_int a)) ^ "]"
+  | Varr (Farr a) ->
+      "[" ^ String.concat ";" (Array.to_list (Array.map render_float a)) ^ "]"
+  | Varr (Oarr a) ->
+      "[" ^ String.concat ";" (Array.to_list (Array.map (render_value prog) a)) ^ "]"
+  | Vtag t -> "tag:" ^ string_of_int t.tg_ty
+  | Vrng r -> Printf.sprintf "rng:%Lx" r.r_state
+
+(* Tag bindings as "ty:count" pairs sorted by tag type — instance ids
+   are schedule-dependent, counts per type are not. *)
+let render_tags (o : obj) =
+  let counts = Hashtbl.create 4 in
+  List.iter
+    (fun t ->
+      Hashtbl.replace counts t.tg_ty (1 + Option.value ~default:0 (Hashtbl.find_opt counts t.tg_ty)))
+    o.o_tags;
+  Hashtbl.fold (fun ty n acc -> Printf.sprintf "%d:%d" ty n :: acc) counts []
+  |> List.sort compare |> String.concat ","
+
+(** The abstract-state line that enters the digest. *)
+let render_obj_abstract (prog : Ir.program) (o : obj) =
+  Printf.sprintf "%s f=%d t=[%s]" (shallow_obj prog o) o.o_flags (render_tags o)
+
+(** The full field-level line used by the debugging view only. *)
+let render_obj (prog : Ir.program) (o : obj) =
+  Printf.sprintf "%s v=[%s]" (render_obj_abstract prog o)
+    (String.concat ";" (Array.to_list (Array.map (render_value prog) o.o_fields)))
+
+let sorted_output_lines output =
+  String.split_on_char '\n' output |> List.filter (fun l -> l <> "") |> List.sort compare
+
+let assemble lines objs = String.concat "\n" (("OUTPUT" :: lines) @ ("HEAP" :: objs))
+
+(** The digest's exact preimage: sorted output lines plus sorted
+    abstract-state lines. *)
+let canonical_abstract (prog : Ir.program) ~(output : string) ~(objects : obj list) =
+  assemble (sorted_output_lines output)
+    (List.sort compare (List.map (render_obj_abstract prog) objects))
+
+(** Field-level canonical form — for diffing digest mismatches, not
+    part of the digest (see the module header for why). *)
+let canonical (prog : Ir.program) ~(output : string) ~(objects : obj list) =
+  assemble (sorted_output_lines output)
+    (List.sort compare (List.map (render_obj prog) objects))
+
+(** MD5 hex digest of {!canonical_abstract}. *)
+let digest prog ~output ~objects =
+  Digest.to_hex (Digest.string (canonical_abstract prog ~output ~objects))

@@ -1,0 +1,633 @@
+(** True many-core execution: the Bamboo runtime on OCaml 5 domains.
+
+    This backend executes a program under a layout the way the paper's
+    TILEPro64 runtime does (§4.7) — but for real, in parallel, instead
+    of under the deterministic cycle-level simulation of
+    {!Bamboo_runtime.Runtime}:
+
+    - every mapped core runs a per-core scheduler with its own
+      parameter-set deques, ready queue and interpreter context;
+      schedulers are multiplexed over [N] OCaml domains (core [i] is
+      owned by domain [i mod N]), so all per-core state is accessed by
+      exactly one domain and needs no locks;
+    - objects are forwarded core-to-core over lock-free MPSC mailboxes
+      ({!Bamboo_support.Mailbox}) as immutable {e snapshot entries}
+      (object, generation, flag word, tag bindings) taken while the
+      sender still held the object's lock;
+    - before executing an invocation a core try-locks every parameter
+      with a real [Atomic] compare-and-set, acquiring keys in a global
+      order (group keys before object keys, each sorted by id) and
+      releasing everything on the first failure — the paper's
+      transactional task semantics, no aborts, no hold-and-wait;
+    - termination is detected by a global outstanding-work counter:
+      every mailbox message and every assembled invocation is counted
+      {e before} the work that triggers it is released, and domains
+      quiesce exactly when the counter reaches zero;
+    - each domain carries its own PRNG stream split from the root
+      seed, used to jitter the idle backoff (breaking retry symmetry
+      between domains contending for the same locks).
+
+    Object ids and tag ids are partitioned per core
+    ([id_base = cid], [id_stride = ncores]) so allocation never
+    contends.  Cost accounting is per-core ([Interp.ctx.cycles] plus
+    the executed/retry/message counters) and merged at quiescence.
+
+    The sequential runtime stays the equivalence oracle: for every
+    program, [run] and [Runtime.run] must agree on the canonical
+    output digest ({!Canon.digest}).  [use_reference] (CLI
+    [--exec-reference], environment [BAMBOO_EXEC_REFERENCE]) routes
+    [run] through the sequential runtime as an escape hatch. *)
+
+module Ir = Bamboo_ir.Ir
+module Interp = Bamboo_interp.Interp
+module Value = Bamboo_interp.Value
+module Machine = Bamboo_machine.Machine
+module Layout = Bamboo_machine.Layout
+module Runtime = Bamboo_runtime.Runtime
+module Mailbox = Bamboo_support.Mailbox
+module Deque = Bamboo_support.Deque
+module Prng = Bamboo_support.Prng
+open Value
+
+exception Exec_stuck of string
+
+(** Domains are capped here; the CLI documents and enforces the same
+    bound on [--domains]. *)
+let max_domains = 64
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot entries *)
+
+(** A parameter-set entry carrying the snapshot of the object's
+    dispatch-relevant state, taken while the dispatching core held the
+    object's lock.  Receivers evaluate guards against the snapshot
+    only; the single source of truth for staleness is the generation
+    counter.  The runtime's invariant makes this sound: [o_flags] and
+    [o_tags] change only under the object's lock and every such change
+    bumps [o_gen] before the lock is released, so
+    [gen unchanged ⟺ snapshot still exact]. *)
+type entry = {
+  x_obj : obj;
+  x_gen : int;
+  x_flags : int;
+  x_tags : tag_inst list;
+}
+
+let dummy_obj : obj =
+  {
+    o_id = -1;
+    o_class = -1;
+    o_site = -1;
+    o_fields = [||];
+    o_flags = 0;
+    o_tags = [];
+    o_lock = Atomic.make (-1);
+    o_lock_until = 0;
+    o_gen = Atomic.make min_int;
+  }
+
+let dummy_entry = { x_obj = dummy_obj; x_gen = max_int; x_flags = 0; x_tags = [] }
+
+let entry_fresh (e : entry) = Atomic.get e.x_obj.o_gen = e.x_gen
+
+(** Snapshot [o]'s dispatch-relevant state.  Only sound while the
+    caller holds [o]'s lock (or before any domain has been spawned). *)
+let snapshot (o : obj) =
+  { x_obj = o; x_gen = Atomic.get o.o_gen; x_flags = o.o_flags; x_tags = o.o_tags }
+
+(** Guard evaluation against the snapshot. *)
+let satisfies (p : Ir.paraminfo) (e : entry) =
+  Ir.eval_flagexp p.p_guard e.x_flags
+  && List.for_all (fun (tty, _) -> List.exists (fun t -> t.tg_ty = tty) e.x_tags) p.p_tags
+
+type invocation = {
+  iv_task : Ir.taskinfo;
+  iv_params : entry array;
+  iv_tags : (Ir.slot * tag_inst) list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Per-core scheduler state *)
+
+type consumers = (Ir.taskinfo * int * Ir.paraminfo) list
+
+type xcore = {
+  cid : int;
+  mailbox : entry Mailbox.t;            (* written by any domain *)
+  ready : invocation Queue.t;           (* owner domain only *)
+  psets : entry Deque.t array array;    (* owner domain only *)
+  ictx : Interp.ctx;                    (* owner domain only *)
+  rr : int array array;                 (* round-robin routing counters *)
+  mutable executed : int;
+  mutable retries : int;                (* failed lock-acquisition rounds *)
+  mutable sent : int;                   (* cross-core messages pushed *)
+}
+
+type state = {
+  prog : Ir.program;
+  layout : Layout.t;
+  cores : xcore array;
+  consumer_table : consumers array;     (* class id -> all consumers *)
+  hosted : consumers array array;       (* cid -> class id -> consumers on cid *)
+  lock_groups : int array;
+  use_group : bool array;
+  group_locks : int Atomic.t array;     (* group root class -> owner core or -1 *)
+  outstanding : int Atomic.t;           (* in-flight messages + queued invocations *)
+  total_invocations : int Atomic.t;     (* budget check only; results use per-core sums *)
+  max_invocations : int;
+  crashed : exn option Atomic.t;        (* first failure; all domains drain out *)
+}
+
+let make_xcore (prog : Ir.program) ncores cid =
+  {
+    cid;
+    mailbox = Mailbox.create ();
+    ready = Queue.create ();
+    psets =
+      Array.map
+        (fun (t : Ir.taskinfo) ->
+          Array.init (Array.length t.t_params) (fun _ -> Deque.create ~dummy:dummy_entry))
+        prog.tasks;
+    ictx = Interp.create ~id_base:cid ~id_stride:ncores prog;
+    rr = Array.map (fun (t : Ir.taskinfo) -> Array.make (Array.length t.t_params) 0) prog.tasks;
+    executed = 0;
+    retries = 0;
+    sent = 0;
+  }
+
+let build_consumer_table (prog : Ir.program) : consumers array =
+  let table = Array.make (Array.length prog.classes) [] in
+  Array.iter
+    (fun (t : Ir.taskinfo) ->
+      Array.iteri
+        (fun pidx (p : Ir.paraminfo) -> table.(p.p_class) <- (t, pidx, p) :: table.(p.p_class))
+        t.t_params)
+    prog.tasks;
+  Array.map List.rev table
+
+(* ------------------------------------------------------------------ *)
+(* Routing: identical placement policy to the sequential runtime,
+   except the round-robin counters live on the dispatching core so
+   routing never shares state across domains. *)
+
+let route st (core : xcore) (task : Ir.taskinfo) pidx (e : entry) =
+  let cores = Layout.cores_of st.layout task.t_id in
+  let n = Array.length cores in
+  if n = 0 then None
+  else if n = 1 then Some cores.(0)
+  else if Array.length task.t_params > 1 then begin
+    (* Multi-instance multi-parameter task: hash the bound tag
+       instance so all co-tagged objects meet at the same core. *)
+    match task.t_params.(pidx).p_tags with
+    | (tty, _) :: _ -> (
+        match List.find_opt (fun t -> t.tg_ty = tty) e.x_tags with
+        | Some tag -> Some cores.(tag.tg_id mod n)
+        | None -> None)
+    | [] -> Some cores.(0)
+  end
+  else begin
+    let c = core.rr.(task.t_id).(pidx) in
+    core.rr.(task.t_id).(pidx) <- c + 1;
+    Some cores.(c mod n)
+  end
+
+(** Send [e] to every core hosting a consumer it satisfies — one
+    mailbox message per destination core (the receiver fans it out to
+    all of its matching parameter sets).  The outstanding-work counter
+    is incremented {e before} each push so the counter can never read
+    zero while a message is in flight. *)
+let dispatch st (core : xcore) (e : entry) =
+  let dsts = ref [] in
+  List.iter
+    (fun ((task : Ir.taskinfo), pidx, p) ->
+      if satisfies p e then
+        match route st core task pidx e with
+        | Some dst when not (List.mem dst !dsts) -> dsts := dst :: !dsts
+        | _ -> ())
+    st.consumer_table.(e.x_obj.o_class);
+  List.iter
+    (fun dst ->
+      Atomic.incr st.outstanding;
+      if dst <> core.cid then core.sent <- core.sent + 1;
+      Mailbox.push st.cores.(dst).mailbox e)
+    !dsts
+
+(* ------------------------------------------------------------------ *)
+(* Invocation assembly: the same backtracking search over the
+   parameter-set deques as the sequential runtime, with one
+   difference — staleness is the generation check alone (the snapshot
+   invariant above makes the guard re-check redundant). *)
+
+let try_assemble (core : xcore) (task : Ir.taskinfo) =
+  let sets = core.psets.(task.t_id) in
+  let nparams = Array.length task.t_params in
+  if nparams = 0 then None
+  else begin
+    Array.iter Deque.maybe_compact sets;
+    let chosen = Array.make nparams (-1) in
+    let chosen_e = Array.make nparams dummy_entry in
+    let bindings : (Ir.slot, tag_inst) Hashtbl.t = Hashtbl.create 4 in
+    let rec search pidx =
+      if pidx = nparams then true
+      else begin
+        let p = task.t_params.(pidx) in
+        let set = sets.(pidx) in
+        let len = Deque.length set in
+        let rec scan i =
+          if i >= len then false
+          else if not (Deque.is_live set i) then scan (i + 1)
+          else begin
+            let e = Deque.get set i in
+            if not (entry_fresh e) then begin
+              Deque.delete set i;
+              scan (i + 1)
+            end
+            else begin
+              let distinct = ref true in
+              for j = 0 to pidx - 1 do
+                if chosen_e.(j).x_obj == e.x_obj then distinct := false
+              done;
+              if not !distinct then scan (i + 1)
+              else begin
+                (* unify tag constraints against the snapshot *)
+                let saved = Hashtbl.copy bindings in
+                let ok =
+                  List.for_all
+                    (fun (tty, slot) ->
+                      match Hashtbl.find_opt bindings slot with
+                      | Some tag -> List.memq tag e.x_tags
+                      | None -> (
+                          match List.find_opt (fun t -> t.tg_ty = tty) e.x_tags with
+                          | Some tag ->
+                              Hashtbl.replace bindings slot tag;
+                              true
+                          | None -> false))
+                    p.p_tags
+                in
+                if ok then begin
+                  chosen.(pidx) <- i;
+                  chosen_e.(pidx) <- e;
+                  if search (pidx + 1) then true
+                  else begin
+                    chosen.(pidx) <- -1;
+                    chosen_e.(pidx) <- dummy_entry;
+                    Hashtbl.reset bindings;
+                    Hashtbl.iter (Hashtbl.replace bindings) saved;
+                    scan (i + 1)
+                  end
+                end
+                else begin
+                  Hashtbl.reset bindings;
+                  Hashtbl.iter (Hashtbl.replace bindings) saved;
+                  scan (i + 1)
+                end
+              end
+            end
+          end
+        in
+        scan 0
+      end
+    in
+    if search 0 then begin
+      Array.iteri (fun pidx slot -> Deque.delete sets.(pidx) slot) chosen;
+      let tags = Hashtbl.fold (fun slot tag acc -> (slot, tag) :: acc) bindings [] in
+      Some { iv_task = task; iv_params = chosen_e; iv_tags = List.sort compare tags }
+    end
+    else None
+  end
+
+(** Insert an arriving entry into this core's parameter sets (one copy
+    per matching hosted consumer) and enqueue every invocation it
+    completes.  Runs on the core's owner domain only. *)
+let deliver st (core : xcore) (e : entry) =
+  List.iter
+    (fun ((task : Ir.taskinfo), pidx, p) ->
+      if entry_fresh e && satisfies p e then begin
+        let set = core.psets.(task.t_id).(pidx) in
+        let dup = Deque.exists (fun e' -> e'.x_obj == e.x_obj && e'.x_gen = e.x_gen) set in
+        if not dup then begin
+          Deque.push set e;
+          let rec assemble () =
+            match try_assemble core task with
+            | Some inv ->
+                Atomic.incr st.outstanding;
+                Queue.add inv core.ready;
+                assemble ()
+            | None -> ()
+          in
+          assemble ()
+        end
+      end)
+    st.hosted.(core.cid).(e.x_obj.o_class)
+
+(* ------------------------------------------------------------------ *)
+(* Locking: ordered Atomic-CAS try-lock over group and object keys.
+   Try-lock with release-all-on-failure has no hold-and-wait, so the
+   protocol is deadlock-free by construction; the global acquisition
+   order (groups before objects, each by id) additionally makes two
+   cores contending for the same key set collide on the *first*
+   common key, keeping failed rounds cheap. *)
+
+type lock_key = KGroup of int | KObj of obj
+
+let key_cmp a b =
+  match (a, b) with
+  | KGroup x, KGroup y -> compare x y
+  | KObj x, KObj y -> compare x.o_id y.o_id
+  | KGroup _, KObj _ -> -1
+  | KObj _, KGroup _ -> 1
+
+let cell_of st = function KGroup g -> st.group_locks.(g) | KObj o -> o.o_lock
+
+let lock_keys st (inv : invocation) =
+  Array.to_list inv.iv_params
+  |> List.map (fun e ->
+         if st.use_group.(e.x_obj.o_class) then KGroup st.lock_groups.(e.x_obj.o_class)
+         else KObj e.x_obj)
+  |> List.sort_uniq key_cmp
+
+(** Acquire every cell or none: on the first CAS failure, release all
+    cells acquired so far and report failure.  Takes the already
+    key-ordered cell list so the lock-protocol model tests can drive
+    it directly. *)
+let try_lock_all cid cells =
+  let rec go acquired = function
+    | [] -> Some acquired
+    | cell :: rest ->
+        if Atomic.compare_and_set cell (-1) cid then go (cell :: acquired) rest
+        else begin
+          List.iter (fun c -> Atomic.set c (-1)) acquired;
+          None
+        end
+  in
+  go [] cells
+
+let release_all cells = List.iter (fun c -> Atomic.set c (-1)) cells
+
+(* ------------------------------------------------------------------ *)
+(* Invocation execution *)
+
+(** Outcome of one attempt at a ready invocation.  [`Ran] and
+    [`Dropped] consume the invocation (the caller decrements the
+    outstanding counter); [`Retry] leaves it queued and counted. *)
+let run_invocation st (core : xcore) (inv : invocation) =
+  match try_lock_all core.cid (List.map (cell_of st) (lock_keys st inv)) with
+  | None ->
+      core.retries <- core.retries + 1;
+      Queue.add inv core.ready;
+      `Retry
+  | Some cells ->
+      if not (Array.for_all entry_fresh inv.iv_params) then begin
+        (* A parameter was consumed by another invocation after this
+           one was assembled: drop it, re-delivering the entries that
+           are still fresh (their snapshots are still exact). *)
+        release_all cells;
+        Array.iter (fun e -> if entry_fresh e then deliver st core e) inv.iv_params;
+        `Dropped
+      end
+      else begin
+        let n = Atomic.fetch_and_add st.total_invocations 1 in
+        if n >= st.max_invocations then begin
+          release_all cells;
+          raise (Exec_stuck "invocation budget exceeded (livelock?)")
+        end;
+        (* Execute the body and apply the exit actions while every
+           parameter is locked; generation bumps and snapshots happen
+           before release so receivers only ever see exact snapshots. *)
+        let params = Array.map (fun e -> e.x_obj) inv.iv_params in
+        let r = Interp.invoke_task core.ictx inv.iv_task params ~tag_binds:inv.iv_tags in
+        ignore (Interp.apply_exit inv.iv_task r.tr_exit params r.tr_frame);
+        Array.iter (fun o -> Atomic.incr o.o_gen) params;
+        let snaps = Array.map snapshot params in
+        let created = List.map snapshot r.tr_created in
+        release_all cells;
+        core.executed <- core.executed + 1;
+        (* Publication after release is safe: mailbox pushes are
+           sequentially consistent, and any receiver must win the
+           object's lock CAS before touching non-snapshot state, which
+           orders it after our release. *)
+        Array.iter (dispatch st core) snaps;
+        List.iter (dispatch st core) created;
+        `Ran
+      end
+
+(** One scheduler step for [core]: drain the mailbox, then sweep the
+    ready queue once, executing everything whose locks can be taken.
+    Returns [true] if any message was consumed or invocation
+    resolved.  The counter discipline — increment successors before
+    decrementing the work that produced them — is what makes the
+    quiescence check sound. *)
+let step st (core : xcore) =
+  let progressed = ref false in
+  List.iter
+    (fun e ->
+      deliver st core e;
+      Atomic.decr st.outstanding;
+      progressed := true)
+    (Mailbox.drain core.mailbox);
+  let n = Queue.length core.ready in
+  (try
+     for _ = 1 to n do
+       match Queue.take_opt core.ready with
+       | None -> raise Exit
+       | Some inv -> (
+           match run_invocation st core inv with
+           | `Ran | `Dropped ->
+               Atomic.decr st.outstanding;
+               progressed := true
+           | `Retry -> ())
+     done
+   with Exit -> ());
+  !progressed
+
+(* ------------------------------------------------------------------ *)
+(* Domain loop, backoff, quiescence *)
+
+let record_crash st e =
+  ignore (Atomic.compare_and_set st.crashed None (Some e))
+
+(** Main loop of one domain, driving the cores it owns.  When no core
+    makes progress the domain backs off exponentially with jitter from
+    its own PRNG stream: short [cpu_relax] bursts first, then brief
+    sleeps so an idle domain does not starve the ones still working.
+    [chaos > 0] injects random per-step delays (with that probability)
+    to shake out schedule-dependent bugs in the stress tests. *)
+let domain_loop st (mycores : xcore array) (rng : Prng.t) ~chaos =
+  let backoff = ref 0 in
+  while Atomic.get st.outstanding > 0 && Atomic.get st.crashed = None do
+    let progressed = ref false in
+    Array.iter
+      (fun core ->
+        if chaos > 0.0 && Prng.float rng 1.0 < chaos then
+          for _ = 1 to 1 + Prng.int rng 64 do
+            Domain.cpu_relax ()
+          done;
+        try if step st core then progressed := true
+        with e -> record_crash st e)
+      mycores;
+    if !progressed then backoff := 0
+    else begin
+      if !backoff < 8 then
+        for _ = 1 to 1 + Prng.int rng (1 lsl !backoff) do
+          Domain.cpu_relax ()
+        done
+      else Unix.sleepf (0.0001 *. float_of_int (1 + Prng.int rng 8));
+      incr backoff
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Results *)
+
+type result = {
+  x_wall_seconds : float;
+  x_cycles : int;                   (* cost-model cycles, summed over cores *)
+  x_invocations : int;
+  x_lock_retries : int;             (* failed lock-acquisition rounds *)
+  x_messages : int;                 (* cross-core mailbox messages *)
+  x_domains : int;                  (* 0 = sequential reference path *)
+  x_output : string;                (* per-core outputs, core order *)
+  x_objects : obj list;
+  x_digest : string;                (* {!Canon.digest}: output + abstract heap state *)
+  x_per_core_invocations : int array;
+}
+
+(** When set, {!run} executes on the sequential deterministic runtime
+    instead of the parallel backend — the [--exec-reference] escape
+    hatch.  Initialized from the [BAMBOO_EXEC_REFERENCE] environment
+    variable ("" and "0" mean off). *)
+let use_reference =
+  ref
+    (match Sys.getenv_opt "BAMBOO_EXEC_REFERENCE" with
+    | None | Some "" | Some "0" -> false
+    | Some _ -> true)
+
+let reference_run ?args ?max_invocations ?lock_groups (prog : Ir.program) (layout : Layout.t) :
+    result =
+  let t0 = Unix.gettimeofday () in
+  let r = Runtime.run ?args ?max_invocations ?lock_groups prog layout in
+  {
+    x_wall_seconds = Unix.gettimeofday () -. t0;
+    x_cycles = r.r_total_cycles;
+    x_invocations = r.r_invocations;
+    x_lock_retries = r.r_failed_locks;
+    x_messages = r.r_messages;
+    x_domains = 0;
+    x_output = r.r_output;
+    x_objects = r.r_objects;
+    x_digest = Canon.digest prog ~output:r.r_output ~objects:r.r_objects;
+    x_per_core_invocations = [||];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Top-level run *)
+
+(** Execute [prog] under [layout] on [domains] OCaml domains.  The
+    domain count is clamped to [1 .. min max_domains (active cores)];
+    the CLI validates user input before it gets here.  [seed] feeds
+    the per-domain jitter streams only — it cannot affect the digest,
+    just the schedule.  [chaos] (default 0) is the probability of an
+    injected random delay before each core step, used by the
+    randomized-schedule stress tests. *)
+let run ?(args = []) ?(max_invocations = 2_000_000) ?lock_groups ?(domains = 4) ?(seed = 0)
+    ?(chaos = 0.0) (prog : Ir.program) (layout : Layout.t) : result =
+  if !use_reference then reference_run ~args ~max_invocations ?lock_groups prog layout
+  else begin
+    (match Layout.validate prog layout with
+    | [] -> ()
+    | problems -> invalid_arg ("Exec.run: invalid layout: " ^ String.concat "; " problems));
+    let lock_groups =
+      match lock_groups with Some g -> g | None -> Runtime.default_lock_groups prog
+    in
+    let ncores = layout.Layout.machine.Machine.cores in
+    let cores = Array.init ncores (make_xcore prog ncores) in
+    let consumer_table = build_consumer_table prog in
+    let st =
+      {
+        prog;
+        layout;
+        cores;
+        consumer_table;
+        hosted =
+          Array.init ncores (fun cid ->
+              Array.map
+                (List.filter (fun ((t : Ir.taskinfo), _, _) ->
+                     Array.exists (fun c -> c = cid) (Layout.cores_of layout t.t_id)))
+                consumer_table);
+        lock_groups;
+        use_group = Array.init (Array.length prog.Ir.classes) (Ir.uses_group_lock lock_groups);
+        group_locks = Array.init (Array.length prog.Ir.classes) (fun _ -> Atomic.make (-1));
+        outstanding = Atomic.make 0;
+        total_invocations = Atomic.make 0;
+        max_invocations;
+        crashed = Atomic.make None;
+      }
+    in
+    (* Only cores hosting at least one consumer can ever receive work. *)
+    let active =
+      Array.of_list
+        (List.filter
+           (fun cid -> Array.exists (fun cls -> cls <> []) st.hosted.(cid))
+           (List.init ncores Fun.id))
+    in
+    let ndomains = max 1 (min (min domains max_domains) (max 1 (Array.length active))) in
+    let t0 = Unix.gettimeofday () in
+    (* Boot: create the startup object on core 0's context and
+       dispatch it before any domain exists (no lock needed). *)
+    let startup = Interp.make_startup cores.(0).ictx args in
+    dispatch st cores.(0) (snapshot startup);
+    let root = Prng.create ~seed in
+    let streams = Array.init ndomains (fun _ -> Prng.split root) in
+    let cores_of_domain d =
+      Array.of_list
+        (List.filter_map
+           (fun i -> if i mod ndomains = d then Some st.cores.(active.(i)) else None)
+           (List.init (Array.length active) Fun.id))
+    in
+    let workers =
+      Array.init (ndomains - 1) (fun i ->
+          let d = i + 1 in
+          Domain.spawn (fun () ->
+              try domain_loop st (cores_of_domain d) streams.(d) ~chaos
+              with e -> record_crash st e))
+    in
+    (try domain_loop st (cores_of_domain 0) streams.(0) ~chaos with e -> record_crash st e);
+    Array.iter Domain.join workers;
+    (match Atomic.get st.crashed with Some e -> raise e | None -> ());
+    let wall = Unix.gettimeofday () -. t0 in
+    let output =
+      String.concat "" (Array.to_list (Array.map (fun c -> Interp.output c.ictx) cores))
+    in
+    let objects = List.concat_map (fun c -> Interp.final_objects c.ictx) (Array.to_list cores) in
+    {
+      x_wall_seconds = wall;
+      x_cycles = Array.fold_left (fun a c -> a + c.ictx.Interp.cycles) 0 cores;
+      x_invocations = Array.fold_left (fun a c -> a + c.executed) 0 cores;
+      x_lock_retries = Array.fold_left (fun a c -> a + c.retries) 0 cores;
+      x_messages = Array.fold_left (fun a c -> a + c.sent) 0 cores;
+      x_domains = ndomains;
+      x_output = output;
+      x_objects = objects;
+      x_digest = Canon.digest prog ~output ~objects;
+      x_per_core_invocations = Array.map (fun c -> c.executed) cores;
+    }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Layout helpers *)
+
+(** A layout that spreads every task over all cores of [machine]
+    (restriction-permitting): single-parameter and all-tagged tasks go
+    everywhere, untagged multi-parameter tasks are pinned to a
+    deterministic core.  Used by the equivalence tests and [bamboo
+    exec --layout spread] to exercise parallelism without paying for
+    layout synthesis. *)
+let spread_layout (prog : Ir.program) (machine : Machine.t) =
+  let l = Layout.create machine ~ntasks:(Array.length prog.Ir.tasks) in
+  Array.iteri
+    (fun tid (t : Ir.taskinfo) ->
+      if machine.Machine.cores > 1 && Layout.multi_instance_ok t then
+        Layout.set_cores l tid (Array.init machine.Machine.cores Fun.id)
+      else Layout.set_cores l tid [| tid mod machine.Machine.cores |])
+    prog.Ir.tasks;
+  l

@@ -17,21 +17,34 @@ type ctx = {
   prog : Ir.program;
   mutable cycles : int;              (* monotone cycle counter *)
   mutable created : obj list;        (* allocations since last drain, reversed *)
+  mutable objects : obj list;        (* every allocation ever, reversed — the
+                                        final heap for output digesting *)
   mutable next_oid : int;
   mutable next_tagid : int;
+  id_stride : int;                   (* id increment: 1 sequentially; the
+                                        parallel backend gives core [c] the
+                                        ids congruent to [c] mod ncores *)
   out : Buffer.t;                    (* program output from System print builtins *)
   bounds_cost : int;                 (* extra cycles when bounds checks are on *)
   mutable steps : int;               (* interpreter fuel guard *)
   max_steps : int;
 }
 
-let create ?(bounds_check = false) ?(max_steps = max_int) prog =
+(** [create prog] builds an interpreter context.  [id_base]/[id_stride]
+    partition the object- and tag-id spaces so that contexts executing
+    concurrently on different cores never allocate colliding ids
+    (core [c] of [n] passes [~id_base:c ~id_stride:n]). *)
+let create ?(bounds_check = false) ?(max_steps = max_int) ?(id_base = 0) ?(id_stride = 1) prog
+    =
+  if id_stride < 1 then invalid_arg "Interp.create: id_stride must be >= 1";
   {
     prog;
     cycles = 0;
     created = [];
-    next_oid = 0;
-    next_tagid = 0;
+    objects = [];
+    next_oid = id_base;
+    next_tagid = id_base;
+    id_stride;
     out = Buffer.create 256;
     bounds_cost = (if bounds_check then 2 else 0);
     steps = 0;
@@ -42,12 +55,12 @@ let charge ctx n = ctx.cycles <- ctx.cycles + n
 
 let fresh_oid ctx =
   let id = ctx.next_oid in
-  ctx.next_oid <- id + 1;
+  ctx.next_oid <- id + ctx.id_stride;
   id
 
 let fresh_tag ctx ty =
   let id = ctx.next_tagid in
-  ctx.next_tagid <- id + 1;
+  ctx.next_tagid <- id + ctx.id_stride;
   { tg_id = id; tg_ty = ty; tg_bound = [] }
 
 (* ------------------------------------------------------------------ *)
@@ -235,10 +248,15 @@ and eval_bin ctx frame (op : Ir.binop) a b =
 
 and eval_builtin ctx frame (b : Ir.builtin) args =
   let argv = List.map (eval ctx frame) args in
-  let f1 g = charge ctx Cost.math_fn; Vfloat (g (as_float (List.nth argv 0))) in
+  let f1 g =
+    match argv with
+    | [ a ] -> charge ctx Cost.math_fn; Vfloat (g (as_float a))
+    | _ -> raise (Runtime_error "builtin arity/type mismatch")
+  in
   let f2 g =
-    charge ctx Cost.math_fn;
-    Vfloat (g (as_float (List.nth argv 0)) (as_float (List.nth argv 1)))
+    match argv with
+    | [ a; b ] -> charge ctx Cost.math_fn; Vfloat (g (as_float a) (as_float b))
+    | _ -> raise (Runtime_error "builtin arity/type mismatch")
   in
   match (b, argv) with
   | MathSin, _ -> f1 sin
@@ -338,9 +356,9 @@ and alloc_object ctx frame sid argv =
       o_fields = Array.init nfields (fun i -> default_of_typ cls.c_fields.(i).f_typ);
       o_flags = Ir.site_initial_word site;
       o_tags = [];
-      o_lock = -1;
+      o_lock = Atomic.make (-1);
       o_lock_until = 0;
-      o_gen = 0;
+      o_gen = Atomic.make 0;
     }
   in
   (* Bind tags whose variables are in the *current* frame. *)
@@ -355,6 +373,7 @@ and alloc_object ctx frame sid argv =
   | Some mid -> ignore (call_method ctx o site.s_class mid argv)
   | None -> ());
   ctx.created <- o :: ctx.created;
+  ctx.objects <- o :: ctx.objects;
   o
 
 and call_method ctx (recv : obj) cid mid argv =
@@ -502,9 +521,9 @@ let make_startup ctx (args : string list) =
       o_fields = Array.init nfields (fun i -> default_of_typ cls.c_fields.(i).f_typ);
       o_flags = 0;
       o_tags = [];
-      o_lock = -1;
+      o_lock = Atomic.make (-1);
       o_lock_until = 0;
-      o_gen = 0;
+      o_gen = Atomic.make 0;
     }
   in
   (match Ir.flag_index cls "initialstate" with
@@ -515,7 +534,13 @@ let make_startup ctx (args : string list) =
       if f.f_name = "args" then
         o.o_fields.(i) <- Varr (Oarr (Array.of_list (List.map (fun s -> Vstr s) args))))
     cls.c_fields;
+  ctx.objects <- o :: ctx.objects;
   o
 
 (** Program output accumulated so far. *)
 let output ctx = Buffer.contents ctx.out
+
+(** Every object this context ever allocated (startup object
+    included), in allocation order — the final heap handed to the
+    canonical output digest. *)
+let final_objects ctx = List.rev ctx.objects

@@ -21,9 +21,10 @@ and obj = {
   o_fields : value array;
   mutable o_flags : int;
   mutable o_tags : tag_inst list;
-  mutable o_lock : int;           (* -1 = unlocked, else locking core id *)
-  mutable o_lock_until : int;     (* cycle at which the lock is released *)
-  mutable o_gen : int;            (* bumped on every dispatch-relevant change *)
+  o_lock : int Atomic.t;          (* -1 = unlocked, else locking core id *)
+  mutable o_lock_until : int;     (* cycle at which the lock is released
+                                     (deterministic runtime's virtual time) *)
+  o_gen : int Atomic.t;           (* bumped on every dispatch-relevant change *)
 }
 
 and varray =
@@ -89,16 +90,23 @@ let _ = default_value
 (** Words occupied by an object's fields — used by the allocation cost. *)
 let object_words nfields = nfields + 2 (* header + flag word *)
 
+(* A tag instance may be bound to objects owned (locked) by different
+   cores, so the [tg_bound] back-reference list is the one piece of
+   object state an object's own lock cannot protect.  All mutations of
+   it funnel through this mutex; [o_tags] itself is still guarded by
+   the object's lock (callers bind/unbind only on objects they hold). *)
+let tag_mutex = Mutex.create ()
+
 (** Tag binding maintenance: keep the backward references in sync. *)
 let bind_tag obj tag =
   if not (List.memq tag obj.o_tags) then begin
     obj.o_tags <- tag :: obj.o_tags;
-    tag.tg_bound <- obj :: tag.tg_bound
+    Mutex.protect tag_mutex (fun () -> tag.tg_bound <- obj :: tag.tg_bound)
   end
 
 let unbind_tag obj tag =
   obj.o_tags <- List.filter (fun t -> t != tag) obj.o_tags;
-  tag.tg_bound <- List.filter (fun o -> o != obj) tag.tg_bound
+  Mutex.protect tag_mutex (fun () -> tag.tg_bound <- List.filter (fun o -> o != obj) tag.tg_bound)
 
 (** 1-limited count of tags of type [ty] bound to [obj]: 0, or 1
     meaning "at least one" (the ASTG abstraction of §4.1). *)

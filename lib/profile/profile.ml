@@ -45,7 +45,7 @@ let of_records (prog : Ir.program) ~total_cycles (records : Runtime.invocation_r
       let alloc =
         List.fold_left
           (fun acc sid ->
-            let prev = try List.assoc sid acc with Not_found -> 0 in
+            let prev = Option.value ~default:0 (List.assoc_opt sid acc) in
             (sid, prev + 1) :: List.remove_assoc sid acc)
           xs.xs_alloc r.ir_created
       in
@@ -88,7 +88,7 @@ let exit_avg_alloc t tid e sid =
   let xs = t.p_tasks.(tid).ts_exits.(e) in
   if xs.xs_count = 0 then 0.0
   else
-    float_of_int (try List.assoc sid xs.xs_alloc with Not_found -> 0)
+    float_of_int (Option.value ~default:0 (List.assoc_opt sid xs.xs_alloc))
     /. float_of_int xs.xs_count
 
 (** All sites task [tid] allocated at (across exits), with the average
@@ -102,7 +102,7 @@ let avg_alloc_per_invocation t tid =
       (fun xs ->
         List.iter
           (fun (sid, c) ->
-            Hashtbl.replace totals sid (c + (try Hashtbl.find totals sid with Not_found -> 0)))
+            Hashtbl.replace totals sid (c + Option.value ~default:0 (Hashtbl.find_opt totals sid)))
           xs.xs_alloc)
       t.p_tasks.(tid).ts_exits;
     Hashtbl.fold (fun sid c acc -> (sid, float_of_int c /. float_of_int n) :: acc) totals []

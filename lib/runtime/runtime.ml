@@ -45,9 +45,9 @@ let dummy_obj : obj =
     o_fields = [||];
     o_flags = 0;
     o_tags = [];
-    o_lock = -1;
+    o_lock = Atomic.make (-1);
     o_lock_until = 0;
-    o_gen = min_int;
+    o_gen = Atomic.make min_int;
   }
 
 (* The deque tombstone; real entries are freshly allocated records,
@@ -92,6 +92,7 @@ type result = {
   r_output : string;
   r_per_core_busy : int array;
   r_records : invocation_record list; (* reversed order of completion *)
+  r_objects : obj list;               (* final heap, in allocation order *)
 }
 
 type consumers = (Ir.taskinfo * int * Ir.flagexp) list
@@ -180,7 +181,7 @@ let route st (task : Ir.taskinfo) pidx (o : obj) =
 (* Parameter sets and invocation assembly *)
 
 let entry_valid (p : Ir.paraminfo) (e : entry) =
-  e.en_gen = e.en_obj.o_gen && satisfies p e.en_obj
+  e.en_gen = Atomic.get e.en_obj.o_gen && satisfies p e.en_obj
 
 (** Try to assemble one invocation of [task] on [core].  Performs a
     backtracking search over the parameter-set deques subject to tag
@@ -317,7 +318,7 @@ let dispatch st ~from_core (o : obj) now =
         match route st task pidx o with
         | None -> ()
         | Some dst ->
-            let e = { en_obj = o; en_gen = o.o_gen } in
+            let e = { en_obj = o; en_gen = Atomic.get o.o_gen } in
             if dst = from_core then begin
               send_cost := !send_cost + Cost.enqueue;
               deliver st st.cores.(dst) e (now + !send_cost)
@@ -365,7 +366,10 @@ let try_lock st core (inv : invocation) ~now ~until =
     List.filter_map
       (fun k ->
         match k with
-        | `Obj o -> if o.o_lock >= 0 && o.o_lock <> core.cid && o.o_lock_until > now then Some o.o_lock_until else None
+        | `Obj o ->
+            let owner = Atomic.get o.o_lock in
+            if owner >= 0 && owner <> core.cid && o.o_lock_until > now then Some o.o_lock_until
+            else None
         | `Group g -> (
             match Hashtbl.find_opt st.group_locks g with
             | Some (c, rel) when c <> core.cid && rel > now -> Some rel
@@ -378,7 +382,7 @@ let try_lock st core (inv : invocation) ~now ~until =
         (fun k ->
           match k with
           | `Obj o ->
-              o.o_lock <- core.cid;
+              Atomic.set o.o_lock core.cid;
               o.o_lock_until <- until
           | `Group g -> Hashtbl.replace st.group_locks g (core.cid, until))
         keys;
@@ -389,7 +393,7 @@ let unlock st core (inv : invocation) =
   Array.iter
     (fun e ->
       match lock_key st e.en_obj with
-      | `Obj o -> if o.o_lock = core.cid then o.o_lock <- -1
+      | `Obj o -> if Atomic.get o.o_lock = core.cid then Atomic.set o.o_lock (-1)
       | `Group g -> (
           match Hashtbl.find_opt st.group_locks g with
           | Some (c, _) when c = core.cid -> Hashtbl.remove st.group_locks g
@@ -415,7 +419,7 @@ let refresh_lock_until st core (inv : invocation) finish =
     (fun (e : entry) ->
       match lock_key st e.en_obj with
       | `Obj o ->
-          if o.o_lock = core.cid then o.o_lock_until <- finish
+          if Atomic.get o.o_lock = core.cid then o.o_lock_until <- finish
       | `Group g -> (
           match Hashtbl.find_opt st.group_locks g with
           | Some (c, _) when c = core.cid -> Hashtbl.replace st.group_locks g (c, finish)
@@ -498,7 +502,7 @@ let core_finish st core now =
       unlock st core inv;
       let params = Array.map (fun (e : entry) -> e.en_obj) inv.iv_params in
       ignore (Interp.apply_exit inv.iv_task r.tr_exit params r.tr_frame);
-      Array.iter (fun o -> o.o_gen <- o.o_gen + 1) params;
+      Array.iter (fun o -> Atomic.incr o.o_gen) params;
       let t = ref (now + Cost.flag_update) in
       Array.iter (fun o -> t := !t + dispatch st ~from_core:core.cid o !t) params;
       List.iter (fun o -> t := !t + dispatch st ~from_core:core.cid o !t) r.tr_created;
@@ -572,6 +576,7 @@ let run ?(args = []) ?(max_invocations = 2_000_000) ?(record_trace = false) ?loc
     r_output = Interp.output st.ictx;
     r_per_core_busy = Array.map (fun c -> c.busy_until) st.cores;
     r_records = List.rev st.records;
+    r_objects = Interp.final_objects st.ictx;
   }
 
 (** Convenience: run on a single core with every task on core 0 —

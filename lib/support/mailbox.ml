@@ -1,0 +1,50 @@
+(** Lock-free MPSC mailbox for core-to-core object forwarding.
+
+    The parallel execution backend ({!Bamboo_exec.Exec}) gives every
+    scheduler core one mailbox: any domain may [push] into it
+    (multi-producer), but only the domain that owns the core [drain]s
+    it (single consumer).  The implementation is a Treiber stack —
+    producers CAS a cons cell onto the head — and the consumer takes
+    the whole chain with one [Atomic.exchange] and reverses it, so a
+    drained batch comes back in exact push (CAS success) order.  That
+    gives global FIFO-per-drain and, in particular, per-producer FIFO:
+    two messages pushed by the same domain are always delivered in
+    push order.
+
+    Both operations are obstruction-free for producers (a CAS retry
+    only happens when another producer won the race) and wait-free for
+    the consumer.  Memory ordering: OCaml [Atomic] operations are
+    sequentially consistent, so everything a producer wrote before
+    [push] is visible to the consumer after [drain] returns the
+    message — the mailbox doubles as the publication fence for the
+    objects it carries. *)
+
+type 'a node = Nil | Cons of 'a * 'a node
+
+type 'a t = { head : 'a node Atomic.t }
+
+let create () = { head = Atomic.make Nil }
+
+(** True when no message is waiting.  Racy by nature (a producer may
+    push immediately after); only meaningful to the consumer as a
+    cheap "nothing to do right now" probe. *)
+let is_empty t = Atomic.get t.head == Nil
+
+let rec push t x =
+  let old = Atomic.get t.head in
+  if not (Atomic.compare_and_set t.head old (Cons (x, old))) then push t x
+
+(** Take every pending message, oldest first.  Single-consumer only:
+    two concurrent drains would each get a disjoint batch, but the
+    FIFO guarantee then no longer spans them. *)
+let drain t =
+  match Atomic.exchange t.head Nil with
+  | Nil -> []
+  | chain ->
+      let rec rev acc = function Nil -> acc | Cons (x, rest) -> rev (x :: acc) rest in
+      rev [] chain
+
+(** Number of pending messages (O(n), diagnostic use only). *)
+let length t =
+  let rec go n = function Nil -> n | Cons (_, rest) -> go (n + 1) rest in
+  go 0 (Atomic.get t.head)

@@ -35,7 +35,7 @@ let groups t =
   Array.iteri
     (fun i _ ->
       let r = find t i in
-      Hashtbl.replace tbl r (i :: (try Hashtbl.find tbl r with Not_found -> [])))
+      Hashtbl.replace tbl r (i :: Option.value ~default:[] (Hashtbl.find_opt tbl r)))
     t.parent;
   Hashtbl.fold (fun _ members acc -> List.rev members :: acc) tbl []
   |> List.sort compare

@@ -37,7 +37,7 @@ let task_graph (g : Cstg.t) (profile : Profile.t) =
   let add src dst w =
     if w > 0.0 then
       Hashtbl.replace weights (src, dst)
-        (w +. (try Hashtbl.find weights (src, dst) with Not_found -> 0.0))
+        (w +. Option.value ~default:0.0 (Hashtbl.find_opt weights (src, dst)))
   in
   let consumed_by (task : Ir.taskinfo) (cid, s) =
     Array.exists (fun (p : Ir.paraminfo) -> p.p_class = cid && Astg.astate_satisfies p s) task.t_params

@@ -115,9 +115,9 @@ let mk_obj id =
     o_fields = [||];
     o_flags = 0;
     o_tags = [];
-    o_lock = -1;
+    o_lock = Atomic.make (-1);
     o_lock_until = 0;
-    o_gen = 0;
+    o_gen = Atomic.make 0;
   }
 
 let test_tag_binding () =
