@@ -11,6 +11,8 @@
      dune exec bench/main.exe simbench        -- simulator fast-path microbenchmark
      dune exec bench/main.exe execbench       -- domains-backend scaling curve
      dune exec bench/main.exe execbench --json BENCH_pr4.json  -- machine-readable curve
+     dune exec bench/main.exe interpbench     -- bytecode executor vs tree-walking oracle
+     dune exec bench/main.exe interpbench --json BENCH_pr5.json  -- machine-readable comparison
      dune exec bench/main.exe bechamel        -- Bechamel micro-benchmarks
 
    --jobs N fans candidate-layout simulation across N domains
@@ -535,133 +537,224 @@ let execbench () =
     exit 1)
 
 (* ------------------------------------------------------------------ *)
-(* BENCH_pr3.json emitter: a machine-readable record of the Figure 7/9
-   measurements plus the simulator microbenchmark so future PRs can
-   track the perf trajectory. *)
+(* interpbench: the two interpreter engines — tree-walking oracle vs
+   the flat bytecode executor — timed on the same sequential runtime
+   workload.  Every row cross-checks the canonical digest AND the
+   exact charged cycle total between the engines before reporting a
+   time; the speedup column counts bytecode compilation time against
+   the bytecode engine (it is part of end-to-end `bamboo run`). *)
 
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+type interprow = {
+  ir_name : string;
+  ir_compile_seconds : float;  (* IR -> bytecode, once per program *)
+  ir_ref_wall : float;
+  ir_byte_wall : float;
+  ir_reps : int;
+  ir_cycles : int;
+  ir_cycles_ok : bool;
+  ir_digest_ok : bool;
+}
 
-let json_float f = if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
+(* Wall-time speedup of the bytecode engine, with its one-off
+   compilation counted against it. *)
+let ir_speedup r =
+  let byte = r.ir_byte_wall +. r.ir_compile_seconds in
+  if byte > 0.0 then r.ir_ref_wall /. byte else 0.0
+
+let ir_cycles_per_sec r =
+  if r.ir_byte_wall > 0.0 then float_of_int r.ir_cycles /. r.ir_byte_wall else 0.0
+
+let interpbench_results : interprow list Lazy.t =
+  lazy
+    (let reps = if !quick then 1 else 3 in
+     let with_engine ~reference f =
+       Bamboo.Interp.use_reference := reference;
+       Fun.protect ~finally:(fun () -> Bamboo.Interp.use_reference := false) f
+     in
+     List.map
+       (fun (b : Bench_def.t) ->
+         Printf.eprintf "[bench] interpbench %s...\n%!" b.b_name;
+         let args =
+           if !quick then Option.value ~default:b.b_args (quick_args b.b_name) else b.b_args
+         in
+         let prog = Bamboo.compile b.b_source in
+         let t0 = Unix.gettimeofday () in
+         ignore (Bamboo.Icompile.get prog);
+         let compile_seconds = Unix.gettimeofday () -. t0 in
+         let time_engine ~reference =
+           with_engine ~reference (fun () ->
+               let best = ref infinity and last = ref None in
+               for _ = 1 to reps do
+                 let t0 = Unix.gettimeofday () in
+                 let r = Bamboo.Runtime.run_single ~args prog in
+                 let w = Unix.gettimeofday () -. t0 in
+                 if w < !best then best := w;
+                 last := Some r
+               done;
+               let r = Option.get !last in
+               ( !best,
+                 r.r_total_cycles,
+                 Bamboo.Canon.digest prog ~output:r.r_output ~objects:r.r_objects ))
+         in
+         let byte_wall, byte_cycles, byte_digest = time_engine ~reference:false in
+         let ref_wall, ref_cycles, ref_digest = time_engine ~reference:true in
+         {
+           ir_name = b.b_name;
+           ir_compile_seconds = compile_seconds;
+           ir_ref_wall = ref_wall;
+           ir_byte_wall = byte_wall;
+           ir_reps = reps;
+           ir_cycles = byte_cycles;
+           ir_cycles_ok = byte_cycles = ref_cycles;
+           ir_digest_ok = byte_digest = ref_digest;
+         })
+       Registry.all)
+
+let interpbench () =
+  let rows = Lazy.force interpbench_results in
+  print_endline "== interpbench: bytecode executor vs tree-walking oracle ==";
+  Printf.printf
+    "   (sequential runtime, best of %s; speedup counts bytecode compile time;\n\
+    \    cycles and digest are asserted bit-identical between the engines)\n"
+    (if !quick then "1 rep" else "3 reps");
+  Table.print
+    ~headers:
+      [
+        "Benchmark"; "compile s"; "tree s"; "bytecode s"; "speedup";
+        "Mcycles/s"; "cycles"; "digest";
+      ]
+    (List.map
+       (fun r ->
+         [
+           r.ir_name;
+           Printf.sprintf "%.4f" r.ir_compile_seconds;
+           Printf.sprintf "%.3f" r.ir_ref_wall;
+           Printf.sprintf "%.3f" r.ir_byte_wall;
+           Printf.sprintf "%.2fx" (ir_speedup r);
+           Printf.sprintf "%.1f" (ir_cycles_per_sec r /. 1e6);
+           (if r.ir_cycles_ok then "ok" else "MISMATCH");
+           (if r.ir_digest_ok then "ok" else "MISMATCH");
+         ])
+       rows);
+  print_endline "";
+  if List.exists (fun r -> not (r.ir_cycles_ok && r.ir_digest_ok)) rows then (
+    prerr_endline "[bench] interpbench: engines disagree on cycles or digest";
+    exit 1)
+
+(* ------------------------------------------------------------------ *)
+(* JSON emitters (machine-readable records so future PRs can track the
+   perf trajectory): BENCH_pr3 = figures + simulator microbenchmark,
+   BENCH_pr4 = domains-backend scaling curve, BENCH_pr5 = interpreter
+   engine comparison.  All built on the shared Json_out tree. *)
 
 let emit_json path =
-  let rs = Lazy.force results in
+  let open Json_out in
   let bench_obj (r : Exp.bench_result) =
-    String.concat ""
+    Obj
       [
-        "    {\n";
-        Printf.sprintf "      \"name\": \"%s\",\n" (json_escape r.br_name);
-        Printf.sprintf "      \"cores\": %d,\n" r.br_cores;
-        Printf.sprintf "      \"cycles_c_1core\": %d,\n" r.br_c;
-        Printf.sprintf "      \"cycles_bamboo_1core\": %d,\n" r.br_b1;
-        Printf.sprintf "      \"cycles_bamboo_ncore\": %d,\n" r.br_bn;
-        Printf.sprintf "      \"cycles_estimated_1core\": %d,\n" r.br_est1;
-        Printf.sprintf "      \"cycles_estimated_ncore\": %d,\n" r.br_estn;
-        Printf.sprintf "      \"speedup_vs_bamboo\": %s,\n" (json_float (Exp.speedup_b r));
-        Printf.sprintf "      \"speedup_vs_c\": %s,\n" (json_float (Exp.speedup_c r));
-        Printf.sprintf "      \"overhead_pct\": %s,\n" (json_float (Exp.overhead_pct r));
-        Printf.sprintf "      \"dsa_seconds\": %s,\n" (json_float r.br_dsa_seconds);
-        Printf.sprintf "      \"dsa_layouts_evaluated\": %d,\n" r.br_dsa_evaluated;
-        Printf.sprintf "      \"dsa_cache_hits\": %d,\n" r.br_dsa_cache_hits;
-        Printf.sprintf "      \"dsa_cache_hit_rate\": %s,\n" (json_float (cache_hit_rate r));
-        Printf.sprintf "      \"dsa_evals_per_sec\": %s,\n" (json_float (evals_per_sec r));
-        Printf.sprintf "      \"dsa_pruned\": %d,\n" r.br_dsa_pruned;
-        Printf.sprintf "      \"dsa_sim_events\": %d,\n" r.br_dsa_sim_events;
-        Printf.sprintf "      \"dsa_events_per_sec\": %s,\n" (json_float (dsa_events_per_sec r));
-        Printf.sprintf "      \"output_ok\": %b\n" r.br_ok;
-        "    }";
+        ("name", Str r.br_name);
+        ("cores", Int r.br_cores);
+        ("cycles_c_1core", Int r.br_c);
+        ("cycles_bamboo_1core", Int r.br_b1);
+        ("cycles_bamboo_ncore", Int r.br_bn);
+        ("cycles_estimated_1core", Int r.br_est1);
+        ("cycles_estimated_ncore", Int r.br_estn);
+        ("speedup_vs_bamboo", Float (Exp.speedup_b r));
+        ("speedup_vs_c", Float (Exp.speedup_c r));
+        ("overhead_pct", Float (Exp.overhead_pct r));
+        ("dsa_seconds", Float r.br_dsa_seconds);
+        ("dsa_layouts_evaluated", Int r.br_dsa_evaluated);
+        ("dsa_cache_hits", Int r.br_dsa_cache_hits);
+        ("dsa_cache_hit_rate", Float (cache_hit_rate r));
+        ("dsa_evals_per_sec", Float (evals_per_sec r));
+        ("dsa_pruned", Int r.br_dsa_pruned);
+        ("dsa_sim_events", Int r.br_dsa_sim_events);
+        ("dsa_events_per_sec", Float (dsa_events_per_sec r));
+        ("output_ok", Bool r.br_ok);
       ]
   in
   let sb = Lazy.force simbench_result in
-  let doc =
-    String.concat ""
-      [
-        "{\n";
-        "  \"schema\": \"BENCH_pr3\",\n";
-        Printf.sprintf "  \"jobs\": %d,\n" !jobs;
-        Printf.sprintf "  \"quick\": %b,\n" !quick;
-        "  \"simulator\": {\n";
-        Printf.sprintf "    \"microbench\": \"%s\",\n" (json_escape sb.sb_bench);
-        Printf.sprintf "    \"layouts\": %d,\n" sb.sb_layouts;
-        Printf.sprintf "    \"reps\": %d,\n" sb.sb_reps;
-        Printf.sprintf "    \"reference_seconds\": %s,\n" (json_float sb.sb_ref_seconds);
-        Printf.sprintf "    \"reference_events\": %d,\n" sb.sb_ref_events;
-        Printf.sprintf "    \"reference_events_per_sec\": %s,\n" (json_float (sb_ref_eps sb));
-        Printf.sprintf "    \"dense_seconds\": %s,\n" (json_float sb.sb_dense_seconds);
-        Printf.sprintf "    \"dense_events\": %d,\n" sb.sb_dense_events;
-        Printf.sprintf "    \"dense_events_per_sec\": %s,\n" (json_float (sb_dense_eps sb));
-        Printf.sprintf "    \"events_per_sec_speedup\": %s\n" (json_float (sb_speedup sb));
-        "  },\n";
-        "  \"benchmarks\": [\n";
-        String.concat ",\n" (List.map bench_obj rs);
-        "\n  ]\n}\n";
-      ]
-  in
-  let oc = open_out path in
-  output_string oc doc;
-  close_out oc;
-  Printf.eprintf "[bench] wrote %s\n%!" path
+  write path
+    (Obj
+       [
+         ("schema", Str "BENCH_pr3");
+         ("jobs", Int !jobs);
+         ("quick", Bool !quick);
+         ( "simulator",
+           Obj
+             [
+               ("microbench", Str sb.sb_bench);
+               ("layouts", Int sb.sb_layouts);
+               ("reps", Int sb.sb_reps);
+               ("reference_seconds", Float sb.sb_ref_seconds);
+               ("reference_events", Int sb.sb_ref_events);
+               ("reference_events_per_sec", Float (sb_ref_eps sb));
+               ("dense_seconds", Float sb.sb_dense_seconds);
+               ("dense_events", Int sb.sb_dense_events);
+               ("dense_events_per_sec", Float (sb_dense_eps sb));
+               ("events_per_sec_speedup", Float (sb_speedup sb));
+             ] );
+         ("benchmarks", Arr (List.map bench_obj (Lazy.force results)));
+       ])
 
-(* BENCH_pr4.json emitter: the domains-backend scaling curve, one row
-   per benchmark per domain count, digest-checked.  Written when
-   --json is given with the execbench target. *)
 let emit_exec_json path =
-  let rows = Lazy.force execbench_results in
+  let open Json_out in
   let point_obj r p =
-    String.concat ""
+    Obj
       [
-        "        {\n";
-        Printf.sprintf "          \"domains\": %d,\n" p.xp_domains;
-        Printf.sprintf "          \"wall_seconds\": %s,\n" (json_float p.xp_wall);
-        Printf.sprintf "          \"speedup_vs_1domain\": %s,\n" (json_float (xp_speedup r p));
-        Printf.sprintf "          \"invocations\": %d,\n" p.xp_invocations;
-        Printf.sprintf "          \"messages\": %d,\n" p.xp_messages;
-        Printf.sprintf "          \"lock_retries\": %d,\n" p.xp_retries;
-        Printf.sprintf "          \"cycles\": %d\n" p.xp_cycles;
-        "        }";
+        ("domains", Int p.xp_domains);
+        ("wall_seconds", Float p.xp_wall);
+        ("speedup_vs_1domain", Float (xp_speedup r p));
+        ("invocations", Int p.xp_invocations);
+        ("messages", Int p.xp_messages);
+        ("lock_retries", Int p.xp_retries);
+        ("cycles", Int p.xp_cycles);
       ]
   in
   let row_obj r =
-    String.concat ""
+    Obj
       [
-        "    {\n";
-        Printf.sprintf "      \"name\": \"%s\",\n" (json_escape r.xr_name);
-        Printf.sprintf "      \"cores\": %d,\n" r.xr_cores;
-        Printf.sprintf "      \"sequential_wall_seconds\": %s,\n" (json_float r.xr_seq_wall);
-        Printf.sprintf "      \"digest\": \"%s\",\n" (json_escape r.xr_digest);
-        Printf.sprintf "      \"digest_ok\": %b,\n" r.xr_digest_ok;
-        "      \"points\": [\n";
-        String.concat ",\n" (List.map (point_obj r) r.xr_points);
-        "\n      ]\n    }";
+        ("name", Str r.xr_name);
+        ("cores", Int r.xr_cores);
+        ("sequential_wall_seconds", Float r.xr_seq_wall);
+        ("digest", Str r.xr_digest);
+        ("digest_ok", Bool r.xr_digest_ok);
+        ("points", Arr (List.map (point_obj r) r.xr_points));
       ]
   in
-  let doc =
-    String.concat ""
+  write path
+    (Obj
+       [
+         ("schema", Str "BENCH_pr4");
+         ("quick", Bool !quick);
+         ("host_recommended_domains", Int (Domain.recommended_domain_count ()));
+         ("benchmarks", Arr (List.map row_obj (Lazy.force execbench_results)));
+       ])
+
+let emit_interp_json path =
+  let open Json_out in
+  let row_obj r =
+    Obj
       [
-        "{\n";
-        "  \"schema\": \"BENCH_pr4\",\n";
-        Printf.sprintf "  \"quick\": %b,\n" !quick;
-        Printf.sprintf "  \"host_recommended_domains\": %d,\n"
-          (Domain.recommended_domain_count ());
-        "  \"benchmarks\": [\n";
-        String.concat ",\n" (List.map row_obj rows);
-        "\n  ]\n}\n";
+        ("name", Str r.ir_name);
+        ("compile_seconds", Float r.ir_compile_seconds);
+        ("reference_wall_seconds", Float r.ir_ref_wall);
+        ("bytecode_wall_seconds", Float r.ir_byte_wall);
+        ("reps", Int r.ir_reps);
+        ("speedup", Float (ir_speedup r));
+        ("cycles", Int r.ir_cycles);
+        ("bytecode_cycles_per_sec", Float (ir_cycles_per_sec r));
+        ("cycles_ok", Bool r.ir_cycles_ok);
+        ("digest_ok", Bool r.ir_digest_ok);
       ]
   in
-  let oc = open_out path in
-  output_string oc doc;
-  close_out oc;
-  Printf.eprintf "[bench] wrote %s\n%!" path
+  write path
+    (Obj
+       [
+         ("schema", Str "BENCH_pr5");
+         ("quick", Bool !quick);
+         ("benchmarks", Arr (List.map row_obj (Lazy.force interpbench_results)));
+       ])
 
 let () =
   let argv = Array.to_list Sys.argv |> List.tl in
@@ -703,6 +796,7 @@ let () =
   | "fig11" -> fig11 ()
   | "simbench" -> simbench ()
   | "execbench" -> execbench ()
+  | "interpbench" -> interpbench ()
   | "bechamel" -> bechamel ()
   | "all" ->
       fig7 ();
@@ -710,12 +804,17 @@ let () =
       fig10 ~quick:!quick ();
       fig11 ();
       simbench ();
-      execbench ()
+      execbench ();
+      interpbench ()
   | other ->
       Printf.eprintf
-        "unknown target %s (fig7|fig9|fig10|fig11|simbench|execbench|bechamel|all)\n" other;
+        "unknown target %s (fig7|fig9|fig10|fig11|simbench|execbench|interpbench|bechamel|all)\n"
+        other;
       exit 2);
   (match !json_path with
-  | Some path -> if what = "execbench" then emit_exec_json path else emit_json path
+  | Some path ->
+      if what = "execbench" then emit_exec_json path
+      else if what = "interpbench" then emit_interp_json path
+      else emit_json path
   | None -> ());
   print_endline "done."

@@ -104,6 +104,15 @@ let sim_reference_arg =
            (bit-identical results, slower; also enabled by the BAMBOO_SIM_REFERENCE \
            environment variable)")
 
+let interp_reference_arg =
+  Arg.(
+    value & flag
+    & info [ "interp-reference" ]
+        ~doc:
+          "execute task bodies with the tree-walking reference interpreter instead of the \
+           compiled bytecode executor (bit-identical digests and cycle counts, slower; \
+           also enabled by the BAMBOO_INTERP_REFERENCE environment variable)")
+
 let machine_of cores = Bamboo.Machine.with_cores Bamboo.Machine.tilepro64 cores
 
 (* ------------------------------------------------------------------ *)
@@ -217,7 +226,8 @@ let cmd_taskflow =
     Term.(const run $ file_arg)
 
 let cmd_profile =
-  let run file args =
+  let run file args interp_reference =
+    if interp_reference then Bamboo.Interp.use_reference := true;
     let prog = load file in
     let prof, r = Bamboo.Profile.collect ~args prog in
     Printf.printf "single-core execution: %d cycles, %d invocations\n%s" r.r_total_cycles
@@ -226,7 +236,7 @@ let cmd_profile =
     Format.printf "%a@?" (fun fmt () -> Bamboo.Profile.pp fmt prog prof) ()
   in
   Cmd.v (Cmd.info "profile" ~doc:"run on one core and print the profile statistics")
-    Term.(const run $ file_arg $ args_arg)
+    Term.(const run $ file_arg $ args_arg $ interp_reference_arg)
 
 let synthesize file args cores seed jobs sim_reference =
   if sim_reference then Bamboo.Schedsim.use_reference := true;
@@ -252,7 +262,8 @@ let cmd_synth =
     Term.(const run $ file_arg $ args_arg $ cores_arg $ seed_arg $ jobs_arg $ sim_reference_arg)
 
 let cmd_run =
-  let run file args cores seed jobs sim_reference digest =
+  let run file args cores seed jobs sim_reference interp_reference digest =
+    if interp_reference then Bamboo.Interp.use_reference := true;
     let prog, an, o = synthesize file args cores seed jobs sim_reference in
     let r = Bamboo.execute ~args prog an o.best in
     print_string r.r_output;
@@ -273,12 +284,13 @@ let cmd_run =
   Cmd.v (Cmd.info "run" ~doc:"synthesize a layout and execute the program on it")
     Term.(
       const run $ file_arg $ args_arg $ cores_arg $ seed_arg $ jobs_arg $ sim_reference_arg
-      $ digest_arg)
+      $ interp_reference_arg $ digest_arg)
 
 let cmd_exec =
   let run file args cores domains seed jobs layout_kind sim_reference exec_reference
-      digest_only canon =
+      interp_reference digest_only canon =
     if exec_reference then Bamboo.Exec.use_reference := true;
+    if interp_reference then Bamboo.Interp.use_reference := true;
     let prog = load file in
     let an = Bamboo.analyse prog in
     let layout =
@@ -341,7 +353,8 @@ let cmd_exec =
           compare against $(b,bamboo run) with $(b,--exec-reference) or $(b,--digest-only))")
     Term.(
       const run $ file_arg $ args_arg $ cores_arg $ domains_arg $ seed_arg $ jobs_arg
-      $ layout_arg $ sim_reference_arg $ exec_reference_arg $ digest_only_arg $ canon_arg)
+      $ layout_arg $ sim_reference_arg $ exec_reference_arg $ interp_reference_arg
+      $ digest_only_arg $ canon_arg)
 
 let cmd_trace =
   let run file args cores seed jobs sim_reference =

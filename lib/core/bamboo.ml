@@ -30,6 +30,8 @@ module Typecheck = Bamboo_frontend.Typecheck
 module Ir = Bamboo_ir.Ir
 module Value = Bamboo_interp.Value
 module Interp = Bamboo_interp.Interp
+module Bytecode = Bamboo_interp.Bytecode
+module Icompile = Bamboo_interp.Compile
 module Cost = Bamboo_interp.Cost
 module Astg = Bamboo_analysis.Astg
 module Disjoint = Bamboo_analysis.Disjoint

@@ -117,6 +117,13 @@ type xcore = {
   ready : invocation Queue.t;           (* owner domain only *)
   psets : entry Deque.t array array;    (* owner domain only *)
   ictx : Interp.ctx;                    (* owner domain only *)
+  invoke :
+    Ir.taskinfo ->
+    obj array ->
+    tag_binds:(Ir.slot * tag_inst) list ->
+    Interp.invocation_result;
+  (* [ictx]'s engine (bytecode executor or tree-walking oracle),
+     resolved once per core at construction *)
   rr : int array array;                 (* round-robin routing counters *)
   mutable executed : int;
   mutable retries : int;                (* failed lock-acquisition rounds *)
@@ -139,6 +146,7 @@ type state = {
 }
 
 let make_xcore (prog : Ir.program) ncores cid =
+  let ictx = Interp.create ~id_base:cid ~id_stride:ncores prog in
   {
     cid;
     mailbox = Mailbox.create ();
@@ -148,8 +156,9 @@ let make_xcore (prog : Ir.program) ncores cid =
         (fun (t : Ir.taskinfo) ->
           Array.init (Array.length t.t_params) (fun _ -> Deque.create ~dummy:dummy_entry))
         prog.tasks;
-    ictx = Interp.create ~id_base:cid ~id_stride:ncores prog;
-    rr = Array.map (fun (t : Ir.taskinfo) -> Array.make (Array.length t.t_params) 0) prog.tasks;
+    ictx;
+    invoke = Interp.executor ictx;
+    rr =Array.map (fun (t : Ir.taskinfo) -> Array.make (Array.length t.t_params) 0) prog.tasks;
     executed = 0;
     retries = 0;
     sent = 0;
@@ -395,7 +404,7 @@ let run_invocation st (core : xcore) (inv : invocation) =
            parameter is locked; generation bumps and snapshots happen
            before release so receivers only ever see exact snapshots. *)
         let params = Array.map (fun e -> e.x_obj) inv.iv_params in
-        let r = Interp.invoke_task core.ictx inv.iv_task params ~tag_binds:inv.iv_tags in
+        let r = core.invoke inv.iv_task params ~tag_binds:inv.iv_tags in
         ignore (Interp.apply_exit inv.iv_task r.tr_exit params r.tr_frame);
         Array.iter (fun o -> Atomic.incr o.o_gen) params;
         let snaps = Array.map snapshot params in

@@ -1,0 +1,1660 @@
+(** One-pass compiler from IR bodies to {!Bytecode}, and its executor.
+
+    Compilation happens once per [Ir.program] (see {!get}); execution
+    replaces the tree-walking oracle in {!Interp} for every task and
+    method body.  The contract with the oracle is exact: same results,
+    same output, same error messages, and bit-identical cycle/step
+    accounting (the [interp.equivalence] suite enforces all of it).
+
+    How the cost model survives compilation: every IR node's constant
+    cost and its one fuel step are accumulated into a pending
+    (cycles, steps) pair while its instructions are emitted, and the
+    pair is flushed as a single [Kcost] whenever a basic block ends
+    (before any branch, jump, return, or jump target).  Instructions
+    of one block are control-equivalent — they execute exactly when
+    their IR nodes would — so per-block aggregation preserves the
+    totals exactly.  Costs that depend on runtime data (string
+    lengths, array allocation extents, bounds-checked accesses) are
+    charged by the executing instruction itself, through the same
+    {!Cost} helpers the oracle uses.
+
+    Register allocation is a compile-time mapping of the frontend's
+    frame slots onto three banks (unboxed ints+booleans, unboxed
+    floats, boxed values), plus a stack discipline for expression
+    temporaries.  Slot types come from a small fixpoint over the typed
+    IR ([infer_slot_types]); a slot the inference cannot type lands in
+    the boxed bank, where its behavior is the oracle's. *)
+
+module Ir = Bamboo_ir.Ir
+open Value
+open Bytecode
+open Ctx
+
+(* ------------------------------------------------------------------ *)
+(* Static expression typing *)
+
+type kind = KInt | KBool | KFlt | KVal
+
+let kind_of_typ : Ir.typ -> kind = function
+  | Tint -> KInt
+  | Tboolean -> KBool
+  | Tdouble -> KFlt
+  | Tvoid | Tstring | Tclass _ | Tarray _ -> KVal
+
+let ty_of_binop : Ir.binop -> Ir.typ = function
+  | IAdd | ISub | IMul | IDiv | IMod | IBand | IBor | IBxor | IShl | IShr -> Tint
+  | FAdd | FSub | FMul | FDiv -> Tdouble
+  | ICmp _ | FCmp _ | SCmp _ | BCmp _ | RCmp _ -> Tboolean
+  | SConcat -> Tstring
+
+let ty_of_builtin : Ir.builtin -> Ir.typ = function
+  | MathSin | MathCos | MathTan | MathAtan | MathSqrt | MathPow
+  | MathAbs | MathLog | MathExp | MathFloor | MathCeil
+  | MathMin | MathMax -> Tdouble
+  | MathIMin | MathIMax | MathIAbs -> Tint
+  | StrLen | StrCharAt | StrIndexOf | StrHash | ParseInt -> Tint
+  | StrSubstring | IntToString | DoubleToString -> Tstring
+  | StrEquals -> Tboolean
+  | ParseDouble | RandomNextDouble | RandomNextGaussian -> Tdouble
+  | PrintStr | PrintInt | PrintDouble -> Tvoid
+  | RandomNew -> Tclass "Random"
+  | RandomNextInt -> Tint
+  | ArrayLength -> Tint
+
+(** Static type of an expression, [Tvoid] when unknown.  [st] maps
+    frame slots to their inferred types. *)
+let rec ty_of (prog : Ir.program) (st : Ir.typ array) (e : Ir.expr) : Ir.typ =
+  match e with
+  | Eint _ -> Tint
+  | Efloat _ -> Tdouble
+  | Ebool _ -> Tboolean
+  | Estr _ -> Tstring
+  | Enull -> Tvoid
+  | Elocal s -> st.(s)
+  | Efield (_, cid, fid) -> prog.classes.(cid).c_fields.(fid).f_typ
+  | Eindex (a, _) -> (match ty_of prog st a with Tarray t -> t | _ -> Tvoid)
+  | Ebin (op, _, _) -> ty_of_binop op
+  | Eun (INeg, _) -> Tint
+  | Eun (FNeg, _) -> Tdouble
+  | Eun (BNot, _) -> Tboolean
+  | Eand _ | Eor _ -> Tboolean
+  | Ecast (I2F, _) -> Tdouble
+  | Ecast (F2I, _) -> Tint
+  | Ecall (_, cid, mid, _) -> prog.classes.(cid).c_methods.(mid).m_ret
+  | Ebuiltin (b, _) -> ty_of_builtin b
+  | Enew (sid, _) -> Tclass prog.classes.(prog.sites.(sid).s_class).c_name
+  | Enewarr (elem, dims) -> List.fold_left (fun t _ -> Ir.Tarray t) elem dims
+
+(** Marker type for tag-instance slots; only its bank (boxed) matters. *)
+let tag_typ = Ir.Tclass "$tag"
+
+(** Slot-type inference: a fixpoint over assignments.  The frontend
+    never reuses a slot across distinct variables, so each slot has
+    one static type; presets seed parameters (and [this]), and
+    [Sassign (Llocal ...)]/[Snewtag] propagate the rest.  A slot with
+    conflicting uses (impossible for type-checked programs) is forced
+    into the boxed bank, where the oracle's dynamic behavior applies. *)
+let infer_slot_types prog ~nslots ~(presets : (int * Ir.typ) list) (body : Ir.stmt list) =
+  let st = Array.make nslots Ir.Tvoid in
+  let forced = Array.make nslots false in
+  List.iter (fun (s, t) -> st.(s) <- t) presets;
+  let changed = ref true in
+  let note s t =
+    if (not forced.(s)) && t <> Ir.Tvoid then
+      if st.(s) = Ir.Tvoid then begin
+        st.(s) <- t;
+        changed := true
+      end
+      else if kind_of_typ st.(s) <> kind_of_typ t then begin
+        forced.(s) <- true;
+        st.(s) <- Ir.Tvoid;
+        changed := true
+      end
+  in
+  let rec walk (s : Ir.stmt) =
+    match s with
+    | Sassign (Llocal slot, e) -> note slot (ty_of prog st e)
+    | Sassign (_, _) -> ()
+    | Snewtag (slot, _) -> note slot tag_typ
+    | Sif (_, a, b) ->
+        List.iter walk a;
+        List.iter walk b
+    | Swhile (_, b) -> List.iter walk b
+    | Sreturn _ | Sexpr _ | Sbreak | Scontinue | Staskexit _ -> ()
+  in
+  while !changed do
+    changed := false;
+    List.iter walk body
+  done;
+  st
+
+let layout_slots (st : Ir.typ array) =
+  let n = Array.length st in
+  let slots = Array.make n (LVal 0) in
+  let ni = ref 0 and nf = ref 0 and nv = ref 0 in
+  for s = 0 to n - 1 do
+    match kind_of_typ st.(s) with
+    | KInt ->
+        slots.(s) <- LInt !ni;
+        incr ni
+    | KBool ->
+        slots.(s) <- LBool !ni;
+        incr ni
+    | KFlt ->
+        slots.(s) <- LFlt !nf;
+        incr nf
+    | KVal ->
+        slots.(s) <- LVal !nv;
+        incr nv
+  done;
+  (slots, !ni, !nf, !nv)
+
+(* ------------------------------------------------------------------ *)
+(* The emitter *)
+
+type loopctx = { l_head : int; mutable l_breaks : int list }
+
+type emitter = {
+  prog : Ir.program;
+  st : Ir.typ array;                 (* slot -> inferred type *)
+  slots : slotloc array;             (* slot -> register *)
+  in_task : bool;
+  mutable code : instr array;
+  mutable len : int;
+  mutable pcy : int;                 (* pending constant cycles *)
+  mutable pst : int;                 (* pending fuel steps *)
+  lo_i : int;                        (* temps start here per bank *)
+  lo_f : int;
+  lo_v : int;
+  mutable ti : int;                  (* next free temp per bank *)
+  mutable tf : int;
+  mutable tv : int;
+  mutable mi : int;                  (* bank high-water marks *)
+  mutable mf : int;
+  mutable mv : int;
+  mutable loops : loopctx list;
+}
+
+let emit em i =
+  if em.len = Array.length em.code then begin
+    let bigger = Array.make (max 32 (2 * em.len)) Kret_void in
+    Array.blit em.code 0 bigger 0 em.len;
+    em.code <- bigger
+  end;
+  em.code.(em.len) <- i;
+  em.len <- em.len + 1
+
+let here em = em.len
+let patch em at i = em.code.(at) <- i
+
+(** Account one IR node: [cy] constant cycles plus its fuel step. *)
+let pend em cy =
+  em.pcy <- em.pcy + cy;
+  em.pst <- em.pst + 1
+
+(** Extra constant cycles with no step (per-iteration loop branches). *)
+let pend_cy em cy = em.pcy <- em.pcy + cy
+
+(** End the current basic block's accounting.  Must run before every
+    emitted branch/jump/return and before binding any jump target;
+    flushing *more* often is always sound (execution is linear between
+    consecutive instructions), omitting a flush before a label is not. *)
+let flush em =
+  if em.pcy <> 0 || em.pst <> 0 then begin
+    emit em (Kcost (em.pcy, em.pst));
+    em.pcy <- 0;
+    em.pst <- 0
+  end
+
+let mark em = (em.ti, em.tf, em.tv)
+
+let release em (i, f, v) =
+  em.ti <- i;
+  em.tf <- f;
+  em.tv <- v
+
+let tmp_i em =
+  let r = em.ti in
+  em.ti <- r + 1;
+  if em.ti > em.mi then em.mi <- em.ti;
+  r
+
+let tmp_f em =
+  let r = em.tf in
+  em.tf <- r + 1;
+  if em.tf > em.mf then em.mf <- em.tf;
+  r
+
+let tmp_v em =
+  let r = em.tv in
+  em.tv <- r + 1;
+  if em.tv > em.mv then em.mv <- em.tv;
+  r
+
+let ety em e = ty_of em.prog em.st e
+let ekind em e = kind_of_typ (ety em e)
+
+(** Can compiling/executing [e] raise?  Constants and unboxed-slot
+    reads cannot; used to decide whether a hoisted null check is
+    needed to preserve the oracle's error order. *)
+let trivial em (e : Ir.expr) =
+  match e with
+  | Eint _ | Efloat _ | Ebool _ | Estr _ | Enull -> true
+  | Elocal s -> (match em.slots.(s) with LVal _ -> false | _ -> true)
+  | _ -> false
+
+let math1_of : Ir.builtin -> math1 = function
+  | MathSin -> MSin
+  | MathCos -> MCos
+  | MathTan -> MTan
+  | MathAtan -> MAtan
+  | MathSqrt -> MSqrt
+  | MathLog -> MLog
+  | MathExp -> MExp
+  | MathFloor -> MFloor
+  | MathCeil -> MCeil
+  | MathAbs -> MAbs
+  | _ -> assert false
+
+let math2_of : Ir.builtin -> math2 = function
+  | MathPow -> MPow
+  | MathMin -> MMin
+  | MathMax -> MMax
+  | _ -> assert false
+
+(* Expression compilation.  [cx_i]/[cx_f]/[cx_v] compile an expression
+   whose natural bank is known to be the one named, into [dst] or a
+   fresh temp; [c_i]/[c_b]/[c_f]/[c_v] are the coercing entry points
+   that bridge banks with box/unbox instructions (whose runtime
+   conversions raise exactly the oracle's type errors). *)
+
+let rec c_i em (e : Ir.expr) : int =
+  match ekind em e with
+  | KInt | KBool -> cx_i em e None
+  | KFlt | KVal ->
+      let m = mark em in
+      let v = c_v em e in
+      release em m;
+      let d = tmp_i em in
+      emit em (Kunbox_i (d, v));
+      d
+
+and c_b em (e : Ir.expr) : int =
+  match ekind em e with
+  | KBool -> cx_i em e None
+  | KInt | KFlt | KVal ->
+      let m = mark em in
+      let v = c_v em e in
+      release em m;
+      let d = tmp_i em in
+      emit em (Kunbox_b (d, v));
+      d
+
+and c_f em (e : Ir.expr) : int =
+  match ekind em e with
+  | KFlt -> cx_f em e None
+  | KInt | KBool | KVal ->
+      let m = mark em in
+      let v = c_v em e in
+      release em m;
+      let d = tmp_f em in
+      emit em (Kunbox_f (d, v));
+      d
+
+and c_v em (e : Ir.expr) : int =
+  match ekind em e with
+  | KVal -> cx_v em e None
+  | KInt ->
+      let m = mark em in
+      let r = cx_i em e None in
+      release em m;
+      let d = tmp_v em in
+      emit em (Kbox_i (d, r));
+      d
+  | KBool ->
+      let m = mark em in
+      let r = cx_i em e None in
+      release em m;
+      let d = tmp_v em in
+      emit em (Kbox_b (d, r));
+      d
+  | KFlt ->
+      let m = mark em in
+      let r = cx_f em e None in
+      release em m;
+      let d = tmp_v em in
+      emit em (Kbox_f (d, r));
+      d
+
+(** Compile a boolean condition into a specific int register. *)
+and c_b_into em (e : Ir.expr) (d : int) =
+  match ekind em e with
+  | KBool -> ignore (cx_i em e (Some d))
+  | _ ->
+      let m = mark em in
+      let v = c_v em e in
+      release em m;
+      emit em (Kunbox_b (d, v))
+
+(** A call/constructor argument, compiled in its natural bank. *)
+and c_any em (e : Ir.expr) : src =
+  match ekind em e with
+  | KInt -> Sint (c_i em e)
+  | KBool -> Sbool (c_i em e)
+  | KFlt -> Sflt (c_f em e)
+  | KVal -> Sval (c_v em e)
+
+and cx_i em (e : Ir.expr) (dst : int option) : int =
+  let dget () = match dst with Some d -> d | None -> tmp_i em in
+  match e with
+  | Eint n ->
+      pend em Cost.const;
+      let d = dget () in
+      emit em (Kconst_i (d, n));
+      d
+  | Ebool b ->
+      pend em Cost.const;
+      let d = dget () in
+      emit em (Kconst_i (d, if b then 1 else 0));
+      d
+  | Elocal s -> (
+      pend em Cost.local;
+      match em.slots.(s) with
+      | LInt r | LBool r -> (
+          match dst with
+          | None -> r
+          | Some d ->
+              if d <> r then emit em (Kmov_i (d, r));
+              d)
+      | LFlt _ | LVal _ -> assert false)
+  | Efield (r, cid, fid) ->
+      pend em Cost.field_access;
+      let m = mark em in
+      let ov = c_v em r in
+      release em m;
+      let d = dget () in
+      let fty = em.prog.classes.(cid).c_fields.(fid).f_typ in
+      emit em
+        (match kind_of_typ fty with
+        | KInt -> Kgetf_i (d, ov, fid)
+        | KBool -> Kgetf_b (d, ov, fid)
+        | KFlt | KVal -> assert false);
+      d
+  | Eindex (a, i) ->
+      pend em 0;
+      let m = mark em in
+      let av = c_v em a in
+      if not (trivial em i) then emit em (Kcheck_arr av);
+      let iv = c_i em i in
+      release em m;
+      let d = dget () in
+      let elem =
+        match ety em a with Tarray t -> kind_of_typ t | _ -> assert false
+      in
+      emit em
+        (match elem with
+        | KInt -> Kload_i (d, av, iv)
+        | KBool -> Kload_b (d, av, iv)
+        | KFlt | KVal -> assert false);
+      d
+  | Ebin (op, a, b) -> (
+      pend em (Cost.of_binop op);
+      let m = mark em in
+      match op with
+      | IAdd | ISub | IMul | IDiv | IMod | IBand | IBor | IBxor | IShl | IShr ->
+          let ra = c_i em a in
+          let rb = c_i em b in
+          release em m;
+          let d = dget () in
+          emit em
+            (match op with
+            | IAdd -> Kiadd (d, ra, rb)
+            | ISub -> Kisub (d, ra, rb)
+            | IMul -> Kimul (d, ra, rb)
+            | IDiv -> Kidiv (d, ra, rb)
+            | IMod -> Kimod (d, ra, rb)
+            | IBand -> Kiband (d, ra, rb)
+            | IBor -> Kibor (d, ra, rb)
+            | IBxor -> Kibxor (d, ra, rb)
+            | IShl -> Kishl (d, ra, rb)
+            | IShr -> Kishr (d, ra, rb)
+            | _ -> assert false);
+          d
+      | ICmp c ->
+          let ra = c_i em a in
+          let rb = c_i em b in
+          release em m;
+          let d = dget () in
+          emit em (Kicmp (c, d, ra, rb));
+          d
+      | BCmp c ->
+          (* booleans are 0/1 in the int bank; [compare false true < 0]
+             agrees with integer comparison of 0 and 1 *)
+          let ra = c_b em a in
+          let rb = c_b em b in
+          release em m;
+          let d = dget () in
+          emit em (Kicmp (c, d, ra, rb));
+          d
+      | FCmp c ->
+          let ra = c_f em a in
+          let rb = c_f em b in
+          release em m;
+          let d = dget () in
+          emit em (Kfcmp (c, d, ra, rb));
+          d
+      | SCmp c ->
+          let ra = c_v em a in
+          let rb = c_v em b in
+          release em m;
+          let d = dget () in
+          emit em (Kscmp (c, d, ra, rb));
+          d
+      | RCmp c -> (
+          let ra = c_v em a in
+          let rb = c_v em b in
+          release em m;
+          let d = dget () in
+          match c with
+          | Ceq ->
+              emit em (Krcmp (true, d, ra, rb));
+              d
+          | Cne ->
+              emit em (Krcmp (false, d, ra, rb));
+              d
+          | _ ->
+              flush em;
+              emit em (Kerror "reference comparison must be == or !=");
+              d)
+      | FAdd | FSub | FMul | FDiv | SConcat -> assert false)
+  | Eun (INeg, a) ->
+      pend em Cost.iarith;
+      let m = mark em in
+      let r = c_i em a in
+      release em m;
+      let d = dget () in
+      emit em (Kineg (d, r));
+      d
+  | Eun (BNot, a) ->
+      pend em Cost.iarith;
+      let m = mark em in
+      let r = c_b em a in
+      release em m;
+      let d = dget () in
+      emit em (Kbnot (d, r));
+      d
+  | Eand (a, b) | Eor (a, b) ->
+      pend em Cost.branch;
+      (* [&&]/[||] write the destination before evaluating the second
+         operand; a caller-visible (local) destination must not be
+         clobbered early, so route those through a temp. *)
+      let d =
+        match dst with Some d when d >= em.lo_i -> d | _ -> tmp_i em
+      in
+      c_b_into em a d;
+      flush em;
+      let j = here em in
+      emit em (match e with Eand _ -> Kbrf (d, -1) | _ -> Kbrt (d, -1));
+      c_b_into em b d;
+      flush em;
+      patch em j (match e with Eand _ -> Kbrf (d, here em) | _ -> Kbrt (d, here em));
+      (match dst with
+      | Some r when r <> d ->
+          emit em (Kmov_i (r, d));
+          r
+      | _ -> d)
+  | Ecast (F2I, a) ->
+      pend em Cost.cast;
+      let m = mark em in
+      let r = c_f em a in
+      release em m;
+      let d = dget () in
+      emit em (Kf2i (d, r));
+      d
+  | Ecall (recv, cid, mid, args) ->
+      let d = dget () in
+      let k = ekind em e in
+      compile_call em recv cid mid args (if k = KBool then Dbool d else Dint d);
+      d
+  | Ebuiltin (b, args) -> (
+      let m = mark em in
+      let r = c_builtin em b args in
+      release em m;
+      let d = dget () in
+      match r with
+      | Sint r' | Sbool r' ->
+          if r' <> d then emit em (Kmov_i (d, r'));
+          d
+      | Sflt _ | Sval _ -> assert false)
+  | Eun (FNeg, _) | Ecast (I2F, _) | Efloat _ | Estr _ | Enull | Enew _ | Enewarr _ ->
+      assert false
+
+and cx_f em (e : Ir.expr) (dst : int option) : int =
+  let dget () = match dst with Some d -> d | None -> tmp_f em in
+  match e with
+  | Efloat f ->
+      pend em Cost.const;
+      let d = dget () in
+      emit em (Kconst_f (d, f));
+      d
+  | Elocal s -> (
+      pend em Cost.local;
+      match em.slots.(s) with
+      | LFlt r -> (
+          match dst with
+          | None -> r
+          | Some d ->
+              if d <> r then emit em (Kmov_f (d, r));
+              d)
+      | _ -> assert false)
+  | Efield (r, _, fid) ->
+      pend em Cost.field_access;
+      let m = mark em in
+      let ov = c_v em r in
+      release em m;
+      let d = dget () in
+      emit em (Kgetf_f (d, ov, fid));
+      d
+  | Eindex (a, i) ->
+      pend em 0;
+      let m = mark em in
+      let av = c_v em a in
+      if not (trivial em i) then emit em (Kcheck_arr av);
+      let iv = c_i em i in
+      release em m;
+      let d = dget () in
+      emit em (Kload_f (d, av, iv));
+      d
+  | Ebin (op, a, b) -> (
+      pend em (Cost.of_binop op);
+      let m = mark em in
+      let ra = c_f em a in
+      let rb = c_f em b in
+      release em m;
+      let d = dget () in
+      match op with
+      | FAdd ->
+          emit em (Kfadd (d, ra, rb));
+          d
+      | FSub ->
+          emit em (Kfsub (d, ra, rb));
+          d
+      | FMul ->
+          emit em (Kfmul (d, ra, rb));
+          d
+      | FDiv ->
+          emit em (Kfdiv (d, ra, rb));
+          d
+      | _ -> assert false)
+  | Eun (FNeg, a) ->
+      pend em Cost.iarith;
+      let m = mark em in
+      let r = c_f em a in
+      release em m;
+      let d = dget () in
+      emit em (Kfneg (d, r));
+      d
+  | Ecast (I2F, a) ->
+      pend em Cost.cast;
+      let m = mark em in
+      let r = c_i em a in
+      release em m;
+      let d = dget () in
+      emit em (Ki2f (d, r));
+      d
+  | Ecall (recv, cid, mid, args) ->
+      let d = dget () in
+      compile_call em recv cid mid args (Dflt d);
+      d
+  | Ebuiltin (b, args) -> (
+      let m = mark em in
+      let r = c_builtin em b args in
+      release em m;
+      let d = dget () in
+      match r with
+      | Sflt r' ->
+          if r' <> d then emit em (Kmov_f (d, r'));
+          d
+      | _ -> assert false)
+  | _ -> assert false
+
+and cx_v em (e : Ir.expr) (dst : int option) : int =
+  let dget () = match dst with Some d -> d | None -> tmp_v em in
+  match e with
+  | Estr s ->
+      pend em Cost.const;
+      let d = dget () in
+      emit em (Kconst_s (d, s));
+      d
+  | Enull ->
+      pend em Cost.const;
+      let d = dget () in
+      emit em (Kconst_null d);
+      d
+  | Elocal s -> (
+      pend em Cost.local;
+      match em.slots.(s) with
+      | LVal r -> (
+          match dst with
+          | None -> r
+          | Some d ->
+              if d <> r then emit em (Kmov_v (d, r));
+              d)
+      | _ -> assert false)
+  | Efield (r, _, fid) ->
+      pend em Cost.field_access;
+      let m = mark em in
+      let ov = c_v em r in
+      release em m;
+      let d = dget () in
+      emit em (Kgetf_v (d, ov, fid));
+      d
+  | Eindex (a, i) ->
+      pend em 0;
+      let m = mark em in
+      let av = c_v em a in
+      if not (trivial em i) then emit em (Kcheck_arr av);
+      let iv = c_i em i in
+      release em m;
+      let d = dget () in
+      emit em (Kload_v (d, av, iv));
+      d
+  | Ebin (SConcat, a, b) ->
+      pend em 0;
+      let m = mark em in
+      let ra = c_v em a in
+      let rb = c_v em b in
+      release em m;
+      let d = dget () in
+      emit em (Ksconcat (d, ra, rb));
+      d
+  | Ecall (recv, cid, mid, args) ->
+      let d = dget () in
+      compile_call em recv cid mid args (Dval d);
+      d
+  | Ebuiltin (b, args) -> (
+      let m = mark em in
+      let r = c_builtin em b args in
+      release em m;
+      let d = dget () in
+      match r with
+      | Sval r' ->
+          if r' <> d then emit em (Kmov_v (d, r'));
+          d
+      | _ -> assert false)
+  | Enew (sid, args) ->
+      let site = em.prog.sites.(sid) in
+      let cls = em.prog.classes.(site.s_class) in
+      let ctor_cy =
+        match cls.c_ctor with Some _ -> Cost.call_overhead | None -> 0
+      in
+      pend em (Cost.alloc_object (Array.length cls.c_fields) + ctor_cy);
+      let d = dget () in
+      let m = mark em in
+      let srcs = List.map (c_any em) args in
+      let tags =
+        List.map
+          (fun slot ->
+            match em.slots.(slot) with LVal r -> r | _ -> assert false)
+          site.s_addtags
+      in
+      emit em
+        (Knew
+           {
+             k_nd = d;
+             k_site = sid;
+             k_nargs = Array.of_list srcs;
+             k_tags = Array.of_list tags;
+           });
+      release em m;
+      d
+  | Enewarr (elem, dims) ->
+      pend em 0;
+      let d = dget () in
+      let m = mark em in
+      let ds = List.map (c_i em) dims in
+      emit em (Knewarr (d, elem, Array.of_list ds));
+      release em m;
+      d
+  | _ -> assert false
+
+(** A method call: receiver, then arguments left to right, exactly the
+    oracle's evaluation order.  [call_overhead] (and one step) are
+    accounted at the call node; the callee's own costs accrue as its
+    blocks execute. *)
+and compile_call em recv cid mid args (d : dst) =
+  pend em Cost.call_overhead;
+  let m = mark em in
+  let rv = c_v em recv in
+  (* the oracle null-checks the receiver before evaluating arguments *)
+  if List.exists (fun a -> not (trivial em a)) args then emit em (Kcheck_obj rv);
+  let srcs = List.map (c_any em) args in
+  emit em
+    (Kcall { k_dst = d; k_cid = cid; k_mid = mid; k_recv = rv; k_args = Array.of_list srcs });
+  release em m
+
+(** Compile a builtin application; returns where the result lives.
+    Arity is checked at compile time; a mismatch (impossible for
+    type-checked programs) compiles to the oracle's runtime error. *)
+and c_builtin em (b : Ir.builtin) (args : Ir.expr list) : src =
+  pend em (Cost.of_builtin b);
+  match (b, args) with
+  | ( ( MathSin | MathCos | MathTan | MathAtan | MathSqrt | MathLog | MathExp
+      | MathFloor | MathCeil | MathAbs ),
+      [ a ] ) ->
+      let s = c_f em a in
+      let d = tmp_f em in
+      emit em (Kmath1 (math1_of b, d, s));
+      Sflt d
+  | (MathPow | MathMin | MathMax), [ a; b' ] ->
+      let ra = c_f em a in
+      let rb = c_f em b' in
+      let d = tmp_f em in
+      emit em (Kmath2 (math2_of b, d, ra, rb));
+      Sflt d
+  | MathIAbs, [ a ] ->
+      let r = c_i em a in
+      let d = tmp_i em in
+      emit em (Kiabs (d, r));
+      Sint d
+  | MathIMin, [ a; b' ] ->
+      let ra = c_i em a in
+      let rb = c_i em b' in
+      let d = tmp_i em in
+      emit em (Kimin (d, ra, rb));
+      Sint d
+  | MathIMax, [ a; b' ] ->
+      let ra = c_i em a in
+      let rb = c_i em b' in
+      let d = tmp_i em in
+      emit em (Kimax (d, ra, rb));
+      Sint d
+  | StrLen, [ s ] ->
+      let r = c_v em s in
+      let d = tmp_i em in
+      emit em (Kstrlen (d, r));
+      Sint d
+  | StrCharAt, [ s; i ] ->
+      let rs = c_v em s in
+      let ri = c_i em i in
+      let d = tmp_i em in
+      emit em (Kcharat (d, rs, ri));
+      Sint d
+  | StrSubstring, [ s; i; j ] ->
+      let rs = c_v em s in
+      let ri = c_i em i in
+      let rj = c_i em j in
+      let d = tmp_v em in
+      emit em (Ksubstring (d, rs, ri, rj));
+      Sval d
+  | StrEquals, [ a; b' ] ->
+      let ra = c_v em a in
+      let rb = c_v em b' in
+      let d = tmp_i em in
+      emit em (Kstreq (d, ra, rb));
+      Sbool d
+  | StrIndexOf, [ s; pat; from ] ->
+      let rs = c_v em s in
+      let rp = c_v em pat in
+      let rf = c_i em from in
+      let d = tmp_i em in
+      emit em (Kindexof (d, rs, rp, rf));
+      Sint d
+  | StrHash, [ s ] ->
+      let r = c_v em s in
+      let d = tmp_i em in
+      emit em (Kstrhash (d, r));
+      Sint d
+  | IntToString, [ a ] ->
+      let r = c_i em a in
+      let d = tmp_v em in
+      emit em (Kitos (d, r));
+      Sval d
+  | DoubleToString, [ a ] ->
+      let r = c_f em a in
+      let d = tmp_v em in
+      emit em (Kdtos (d, r));
+      Sval d
+  | ParseInt, [ s ] ->
+      let r = c_v em s in
+      let d = tmp_i em in
+      emit em (Kparsei (d, r));
+      Sint d
+  | ParseDouble, [ s ] ->
+      let r = c_v em s in
+      let d = tmp_f em in
+      emit em (Kparsed (d, r));
+      Sflt d
+  | PrintStr, [ s ] ->
+      let r = c_v em s in
+      emit em (Kprints r);
+      let d = tmp_v em in
+      emit em (Kconst_null d);
+      Sval d
+  | PrintInt, [ n ] ->
+      let r = c_i em n in
+      emit em (Kprinti r);
+      let d = tmp_v em in
+      emit em (Kconst_null d);
+      Sval d
+  | PrintDouble, [ f ] ->
+      let r = c_f em f in
+      emit em (Kprintd r);
+      let d = tmp_v em in
+      emit em (Kconst_null d);
+      Sval d
+  | RandomNew, [ seed ] ->
+      let r = c_i em seed in
+      let d = tmp_v em in
+      emit em (Krngnew (d, r));
+      Sval d
+  | RandomNextInt, [ r; bound ] ->
+      let rr = c_v em r in
+      let rb = c_i em bound in
+      let d = tmp_i em in
+      emit em (Krngint (d, rr, rb));
+      Sint d
+  | RandomNextDouble, [ r ] ->
+      let rr = c_v em r in
+      let d = tmp_f em in
+      emit em (Krngdouble (d, rr));
+      Sflt d
+  | RandomNextGaussian, [ r ] ->
+      let rr = c_v em r in
+      let d = tmp_f em in
+      emit em (Krnggauss (d, rr));
+      Sflt d
+  | ArrayLength, [ a ] ->
+      let r = c_v em a in
+      let d = tmp_i em in
+      emit em (Klen (d, r));
+      Sint d
+  | _ ->
+      flush em;
+      emit em (Kerror "builtin arity/type mismatch");
+      (* unreachable at runtime; give the caller a register in the
+         builtin's natural bank *)
+      (match kind_of_typ (ty_of_builtin b) with
+      | KInt -> Sint (tmp_i em)
+      | KBool -> Sbool (tmp_i em)
+      | KFlt -> Sflt (tmp_f em)
+      | KVal -> Sval (tmp_v em))
+
+(** Compile an expression evaluated for effect ([Sexpr]). *)
+and c_discard em (e : Ir.expr) =
+  let m = mark em in
+  (match e with
+  | Ecall (recv, cid, mid, args) -> compile_call em recv cid mid args Dnone
+  | Ebuiltin (b, args) -> ignore (c_builtin em b args)
+  | _ -> (
+      match ekind em e with
+      | KInt | KBool -> ignore (cx_i em e None)
+      | KFlt -> ignore (cx_f em e None)
+      | KVal -> ignore (cx_v em e None)));
+  release em m
+
+(** Compile [e] into a frame slot's home register. *)
+and c_into em (e : Ir.expr) (loc : slotloc) =
+  match loc with
+  | LInt d -> (
+      match ekind em e with
+      | KInt | KBool -> ignore (cx_i em e (Some d))
+      | KFlt | KVal ->
+          let m = mark em in
+          let v = c_v em e in
+          release em m;
+          emit em (Kunbox_i (d, v)))
+  | LBool d -> (
+      match ekind em e with
+      | KBool | KInt -> ignore (cx_i em e (Some d))
+      | KFlt | KVal ->
+          let m = mark em in
+          let v = c_v em e in
+          release em m;
+          emit em (Kunbox_b (d, v)))
+  | LFlt d -> (
+      match ekind em e with
+      | KFlt -> ignore (cx_f em e (Some d))
+      | KInt | KBool | KVal ->
+          let m = mark em in
+          let v = c_v em e in
+          release em m;
+          emit em (Kunbox_f (d, v)))
+  | LVal d -> (
+      match ekind em e with
+      | KVal -> ignore (cx_v em e (Some d))
+      | KInt ->
+          let m = mark em in
+          let r = cx_i em e None in
+          release em m;
+          emit em (Kbox_i (d, r))
+      | KBool ->
+          let m = mark em in
+          let r = cx_i em e None in
+          release em m;
+          emit em (Kbox_b (d, r))
+      | KFlt ->
+          let m = mark em in
+          let r = cx_f em e None in
+          release em m;
+          emit em (Kbox_f (d, r)))
+
+(* ------------------------------------------------------------------ *)
+(* Statement compilation *)
+
+let rec c_stmt em (s : Ir.stmt) =
+  match s with
+  | Sassign (Llocal slot, e) ->
+      pend em Cost.local;
+      c_into em e em.slots.(slot)
+  | Sassign (Lfield (r, _, fid), e) ->
+      pend em Cost.field_access;
+      let m = mark em in
+      let ov = c_v em r in
+      (* the oracle null-checks the object before evaluating [e] *)
+      if not (trivial em e) then emit em (Kcheck_obj ov);
+      emit em
+        (match ekind em e with
+        | KInt -> Ksetf_i (ov, fid, c_i em e)
+        | KBool -> Ksetf_b (ov, fid, c_i em e)
+        | KFlt -> Ksetf_f (ov, fid, c_f em e)
+        | KVal -> Ksetf_v (ov, fid, c_v em e));
+      release em m
+  | Sassign (Lindex (a, i), e) ->
+      pend em 0;
+      let m = mark em in
+      let av = c_v em a in
+      if not (trivial em i && trivial em e) then emit em (Kcheck_arr av);
+      let iv = c_i em i in
+      emit em
+        (match ekind em e with
+        | KInt -> Kstore_i (av, iv, c_i em e)
+        | KBool -> Kstore_b (av, iv, c_i em e)
+        | KFlt -> Kstore_f (av, iv, c_f em e)
+        | KVal -> Kstore_v (av, iv, c_v em e));
+      release em m
+  | Sif (c, a, b) -> (
+      pend em Cost.branch;
+      let m = mark em in
+      let rc = c_b em c in
+      release em m;
+      flush em;
+      let jf = here em in
+      emit em (Kbrf (rc, -1));
+      List.iter (c_stmt em) a;
+      flush em;
+      match b with
+      | [] -> patch em jf (Kbrf (rc, here em))
+      | _ ->
+          let jend = here em in
+          emit em (Kjmp (-1));
+          patch em jf (Kbrf (rc, here em));
+          List.iter (c_stmt em) b;
+          flush em;
+          patch em jend (Kjmp (here em)))
+  | Swhile (c, body) ->
+      pend em 0;
+      flush em;
+      let head = here em in
+      pend_cy em Cost.branch;
+      let m = mark em in
+      let rc = c_b em c in
+      release em m;
+      flush em;
+      let jexit = here em in
+      emit em (Kbrf (rc, -1));
+      let lc = { l_head = head; l_breaks = [] } in
+      em.loops <- lc :: em.loops;
+      List.iter (c_stmt em) body;
+      em.loops <- List.tl em.loops;
+      flush em;
+      emit em (Kjmp head);
+      let lend = here em in
+      patch em jexit (Kbrf (rc, lend));
+      List.iter (fun at -> patch em at (Kjmp lend)) lc.l_breaks
+  | Sreturn None ->
+      pend em 0;
+      flush em;
+      emit em (if em.in_task then Kesc_return else Kret_void)
+  | Sreturn (Some e) ->
+      pend em 0;
+      if em.in_task then begin
+        (* tasks are void: only reachable for ill-typed bodies, where
+           the oracle's Return_exc escapes the invocation *)
+        c_discard em e;
+        flush em;
+        emit em Kesc_return
+      end
+      else begin
+        let m = mark em in
+        let ret =
+          match ekind em e with
+          | KInt -> Kret_i (c_i em e)
+          | KBool -> Kret_b (c_i em e)
+          | KFlt -> Kret_f (c_f em e)
+          | KVal -> Kret_v (c_v em e)
+        in
+        flush em;
+        emit em ret;
+        release em m
+      end
+  | Sexpr e ->
+      pend em 0;
+      c_discard em e
+  | Sbreak -> (
+      pend em 0;
+      flush em;
+      match em.loops with
+      | lc :: _ ->
+          let at = here em in
+          emit em (Kjmp (-1));
+          lc.l_breaks <- at :: lc.l_breaks
+      | [] -> emit em Kesc_break)
+  | Scontinue -> (
+      pend em 0;
+      flush em;
+      match em.loops with
+      | lc :: _ -> emit em (Kjmp lc.l_head)
+      | [] -> emit em Kesc_continue)
+  | Staskexit exit_id ->
+      pend em 0;
+      flush em;
+      emit em (Ktaskexit exit_id)
+  | Snewtag (slot, ty) -> (
+      pend em Cost.alloc_base;
+      match em.slots.(slot) with
+      | LVal r -> emit em (Knewtag (r, ty))
+      | _ -> assert false)
+
+(* ------------------------------------------------------------------ *)
+(* Whole-body and whole-program compilation *)
+
+let compile_body prog ~in_task ~nslots ~presets (body : Ir.stmt list) : Bytecode.body =
+  let st = infer_slot_types prog ~nslots ~presets body in
+  let slots, ni, nf, nv = layout_slots st in
+  let em =
+    {
+      prog;
+      st;
+      slots;
+      in_task;
+      code = Array.make 32 Kret_void;
+      len = 0;
+      pcy = 0;
+      pst = 0;
+      lo_i = ni;
+      lo_f = nf;
+      lo_v = nv;
+      ti = ni;
+      tf = nf;
+      tv = nv;
+      mi = ni;
+      mf = nf;
+      mv = nv;
+      loops = [];
+    }
+  in
+  List.iter (c_stmt em) body;
+  flush em;
+  (* falling off the end: methods return null, tasks take the implicit
+     exit (the executor maps a plain return to it) *)
+  emit em Kret_void;
+  {
+    b_code = Array.sub em.code 0 em.len;
+    b_nints = em.mi;
+    b_nflts = em.mf;
+    b_nvals = em.mv;
+    b_slots = slots;
+  }
+
+let task_presets prog (t : Ir.taskinfo) =
+  let params =
+    Array.to_list
+      (Array.mapi
+         (fun i (p : Ir.paraminfo) ->
+           (i, Ir.Tclass prog.Ir.classes.(p.p_class).c_name))
+         t.t_params)
+  in
+  let tags =
+    Array.to_list t.t_params
+    |> List.concat_map (fun (p : Ir.paraminfo) ->
+           List.map (fun (_, slot) -> (slot, tag_typ)) p.p_tags)
+  in
+  params @ tags
+
+let method_presets (m : Ir.methodinfo) =
+  Array.to_list (Array.mapi (fun i t -> (i, t)) m.m_params)
+
+let compile_program (prog : Ir.program) : program_code =
+  {
+    p_tasks =
+      Array.map
+        (fun (t : Ir.taskinfo) ->
+          compile_body prog ~in_task:true ~nslots:t.t_nslots
+            ~presets:(task_presets prog t) t.t_body)
+        prog.tasks;
+    p_methods =
+      Array.map
+        (fun (c : Ir.classinfo) ->
+          Array.map
+            (fun (m : Ir.methodinfo) ->
+              compile_body prog ~in_task:false ~nslots:m.m_nslots
+                ~presets:(method_presets m) m.m_body)
+            c.c_methods)
+        prog.classes;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Per-program cache: compile once, execute on every context (the
+   parallel backend creates one context per core for the same
+   program).  Keyed on physical equality; bounded so long test runs
+   over many programs do not accumulate code. *)
+
+let cache_lock = Mutex.create ()
+let cache : (Ir.program * program_code) list ref = ref []
+let cache_limit = 16
+
+let get (prog : Ir.program) : program_code =
+  Mutex.protect cache_lock (fun () ->
+      match List.find_opt (fun (p, _) -> p == prog) !cache with
+      | Some (_, code) -> code
+      | None ->
+          let code = compile_program prog in
+          let keep = List.filteri (fun i _ -> i < cache_limit - 1) !cache in
+          cache := (prog, code) :: keep;
+          code)
+
+(* ------------------------------------------------------------------ *)
+(* The executor *)
+
+let icmp (c : Ir.cmp) (x : int) (y : int) =
+  match c with
+  | Clt -> x < y
+  | Cle -> x <= y
+  | Cgt -> x > y
+  | Cge -> x >= y
+  | Ceq -> x = y
+  | Cne -> x <> y
+
+(** Copy one argument into a callee frame slot, converting between
+    banks with the oracle's [as_*] coercions where needed. *)
+let set_arg (callee : body) ci cf cv slot (a : src) ints flts (vals : value array) =
+  match (a, callee.b_slots.(slot)) with
+  | Sint r, LInt d -> ci.(d) <- ints.(r)
+  | Sbool r, LBool d -> ci.(d) <- ints.(r)
+  | Sflt r, LFlt d -> cf.(d) <- flts.(r)
+  | Sval r, LVal d -> cv.(d) <- vals.(r)
+  | Sint r, LVal d -> cv.(d) <- Vint ints.(r)
+  | Sbool r, LVal d -> cv.(d) <- Vbool (ints.(r) <> 0)
+  | Sflt r, LVal d -> cv.(d) <- Vfloat flts.(r)
+  | Sval r, LInt d -> ci.(d) <- as_int vals.(r)
+  | Sval r, LBool d -> ci.(d) <- (if as_bool vals.(r) then 1 else 0)
+  | Sval r, LFlt d -> cf.(d) <- as_float vals.(r)
+  | Sint _, (LBool _ | LFlt _) | Sbool _, (LInt _ | LFlt _) | Sflt _, (LInt _ | LBool _)
+    ->
+      (* cross-kind argument passing cannot come out of the type
+         checker; mirror the oracle's eventual coercion error *)
+      ignore (as_int Vnull)
+
+let rec exec (ctx : ctx) (pcode : program_code) (b : body) (ints : int array)
+    (flts : float array) (vals : value array) : value =
+  let code = b.b_code in
+  let prog = ctx.prog in
+  let rec go pc : value =
+    match code.(pc) with
+    | Kcost (cy, st) ->
+        ctx.cycles <- ctx.cycles + cy;
+        let s = ctx.steps + st in
+        ctx.steps <- s;
+        if s > ctx.max_steps then raise (Runtime_error fuel_msg);
+        go (pc + 1)
+    | Kjmp t -> go t
+    | Kbrf (r, t) -> if ints.(r) = 0 then go t else go (pc + 1)
+    | Kbrt (r, t) -> if ints.(r) <> 0 then go t else go (pc + 1)
+    | Kret_i r -> Vint ints.(r)
+    | Kret_b r -> Vbool (ints.(r) <> 0)
+    | Kret_f r -> Vfloat flts.(r)
+    | Kret_v r -> vals.(r)
+    | Kret_void -> Vnull
+    | Ktaskexit n -> raise (Taskexit_exc n)
+    | Kesc_return -> raise (Return_exc Vnull)
+    | Kesc_break -> raise Break_exc
+    | Kesc_continue -> raise Continue_exc
+    | Kerror m -> raise (Runtime_error m)
+    | Kmov_i (d, a) ->
+        ints.(d) <- ints.(a);
+        go (pc + 1)
+    | Kmov_f (d, a) ->
+        flts.(d) <- flts.(a);
+        go (pc + 1)
+    | Kmov_v (d, a) ->
+        vals.(d) <- vals.(a);
+        go (pc + 1)
+    | Kconst_i (d, n) ->
+        ints.(d) <- n;
+        go (pc + 1)
+    | Kconst_f (d, f) ->
+        flts.(d) <- f;
+        go (pc + 1)
+    | Kconst_s (d, s) ->
+        vals.(d) <- Vstr s;
+        go (pc + 1)
+    | Kconst_null d ->
+        vals.(d) <- Vnull;
+        go (pc + 1)
+    | Kbox_i (d, a) ->
+        vals.(d) <- Vint ints.(a);
+        go (pc + 1)
+    | Kbox_b (d, a) ->
+        vals.(d) <- Vbool (ints.(a) <> 0);
+        go (pc + 1)
+    | Kbox_f (d, a) ->
+        vals.(d) <- Vfloat flts.(a);
+        go (pc + 1)
+    | Kunbox_i (d, a) ->
+        ints.(d) <- as_int vals.(a);
+        go (pc + 1)
+    | Kunbox_b (d, a) ->
+        ints.(d) <- (if as_bool vals.(a) then 1 else 0);
+        go (pc + 1)
+    | Kunbox_f (d, a) ->
+        flts.(d) <- as_float vals.(a);
+        go (pc + 1)
+    | Kiadd (d, a, b') ->
+        ints.(d) <- ints.(a) + ints.(b');
+        go (pc + 1)
+    | Kisub (d, a, b') ->
+        ints.(d) <- ints.(a) - ints.(b');
+        go (pc + 1)
+    | Kimul (d, a, b') ->
+        ints.(d) <- ints.(a) * ints.(b');
+        go (pc + 1)
+    | Kidiv (d, a, b') ->
+        let dv = ints.(b') in
+        if dv = 0 then raise (Runtime_error "division by zero");
+        ints.(d) <- ints.(a) / dv;
+        go (pc + 1)
+    | Kimod (d, a, b') ->
+        let dv = ints.(b') in
+        if dv = 0 then raise (Runtime_error "modulo by zero");
+        ints.(d) <- ints.(a) mod dv;
+        go (pc + 1)
+    | Kiband (d, a, b') ->
+        ints.(d) <- ints.(a) land ints.(b');
+        go (pc + 1)
+    | Kibor (d, a, b') ->
+        ints.(d) <- ints.(a) lor ints.(b');
+        go (pc + 1)
+    | Kibxor (d, a, b') ->
+        ints.(d) <- ints.(a) lxor ints.(b');
+        go (pc + 1)
+    | Kishl (d, a, b') ->
+        ints.(d) <- ints.(a) lsl ints.(b');
+        go (pc + 1)
+    | Kishr (d, a, b') ->
+        ints.(d) <- ints.(a) asr ints.(b');
+        go (pc + 1)
+    | Kineg (d, a) ->
+        ints.(d) <- -ints.(a);
+        go (pc + 1)
+    | Kbnot (d, a) ->
+        ints.(d) <- (if ints.(a) = 0 then 1 else 0);
+        go (pc + 1)
+    | Kicmp (c, d, a, b') ->
+        ints.(d) <- (if icmp c ints.(a) ints.(b') then 1 else 0);
+        go (pc + 1)
+    | Kfadd (d, a, b') ->
+        flts.(d) <- flts.(a) +. flts.(b');
+        go (pc + 1)
+    | Kfsub (d, a, b') ->
+        flts.(d) <- flts.(a) -. flts.(b');
+        go (pc + 1)
+    | Kfmul (d, a, b') ->
+        flts.(d) <- flts.(a) *. flts.(b');
+        go (pc + 1)
+    | Kfdiv (d, a, b') ->
+        flts.(d) <- flts.(a) /. flts.(b');
+        go (pc + 1)
+    | Kfneg (d, a) ->
+        flts.(d) <- -.flts.(a);
+        go (pc + 1)
+    | Kfcmp (c, d, a, b') ->
+        ints.(d) <- (if icmp c (fcompare flts.(a) flts.(b')) 0 then 1 else 0);
+        go (pc + 1)
+    | Kscmp (c, d, a, b') ->
+        let x = as_str vals.(a) and y = as_str vals.(b') in
+        ctx.cycles <- ctx.cycles + Cost.dyn_str_cmp x y;
+        ints.(d) <- (if icmp c (compare x y) 0 then 1 else 0);
+        go (pc + 1)
+    | Ksconcat (d, a, b') ->
+        let x = as_str vals.(a) and y = as_str vals.(b') in
+        ctx.cycles <- ctx.cycles + Cost.dyn_str_concat x y;
+        vals.(d) <- Vstr (x ^ y);
+        go (pc + 1)
+    | Krcmp (eq, d, a, b') ->
+        ints.(d) <- (if equal_value vals.(a) vals.(b') = eq then 1 else 0);
+        go (pc + 1)
+    | Ki2f (d, a) ->
+        flts.(d) <- float_of_int ints.(a);
+        go (pc + 1)
+    | Kf2i (d, a) ->
+        ints.(d) <- f2i flts.(a);
+        go (pc + 1)
+    | Kcheck_obj r ->
+        ignore (as_obj vals.(r));
+        go (pc + 1)
+    | Kcheck_arr r ->
+        ignore (as_arr vals.(r));
+        go (pc + 1)
+    | Kgetf_i (d, o, f) ->
+        ints.(d) <- as_int (as_obj vals.(o)).o_fields.(f);
+        go (pc + 1)
+    | Kgetf_b (d, o, f) ->
+        ints.(d) <- (if as_bool (as_obj vals.(o)).o_fields.(f) then 1 else 0);
+        go (pc + 1)
+    | Kgetf_f (d, o, f) ->
+        flts.(d) <- as_float (as_obj vals.(o)).o_fields.(f);
+        go (pc + 1)
+    | Kgetf_v (d, o, f) ->
+        vals.(d) <- (as_obj vals.(o)).o_fields.(f);
+        go (pc + 1)
+    | Ksetf_i (o, f, s) ->
+        (as_obj vals.(o)).o_fields.(f) <- Vint ints.(s);
+        go (pc + 1)
+    | Ksetf_b (o, f, s) ->
+        (as_obj vals.(o)).o_fields.(f) <- Vbool (ints.(s) <> 0);
+        go (pc + 1)
+    | Ksetf_f (o, f, s) ->
+        (as_obj vals.(o)).o_fields.(f) <- Vfloat flts.(s);
+        go (pc + 1)
+    | Ksetf_v (o, f, s) ->
+        (as_obj vals.(o)).o_fields.(f) <- vals.(s);
+        go (pc + 1)
+    | Kload_i (d, a, i) ->
+        let arr = as_arr vals.(a) in
+        let idx = ints.(i) in
+        ctx.cycles <- ctx.cycles + Cost.array_access + ctx.bounds_cost;
+        let n = arr_length arr in
+        if idx < 0 || idx >= n then bounds_error idx n;
+        ints.(d) <-
+          (match arr with
+          | Iarr a -> a.(idx)
+          | Farr a -> as_int (Vfloat a.(idx))
+          | Oarr a -> as_int a.(idx));
+        go (pc + 1)
+    | Kload_b (d, a, i) ->
+        let arr = as_arr vals.(a) in
+        let idx = ints.(i) in
+        ctx.cycles <- ctx.cycles + Cost.array_access + ctx.bounds_cost;
+        let n = arr_length arr in
+        if idx < 0 || idx >= n then bounds_error idx n;
+        ints.(d) <-
+          (match arr with
+          | Iarr a -> if as_bool (Vint a.(idx)) then 1 else 0
+          | Farr a -> if as_bool (Vfloat a.(idx)) then 1 else 0
+          | Oarr a -> if as_bool a.(idx) then 1 else 0);
+        go (pc + 1)
+    | Kload_f (d, a, i) ->
+        let arr = as_arr vals.(a) in
+        let idx = ints.(i) in
+        ctx.cycles <- ctx.cycles + Cost.array_access + ctx.bounds_cost;
+        let n = arr_length arr in
+        if idx < 0 || idx >= n then bounds_error idx n;
+        flts.(d) <-
+          (match arr with
+          | Farr a -> a.(idx)
+          | Iarr a -> as_float (Vint a.(idx))
+          | Oarr a -> as_float a.(idx));
+        go (pc + 1)
+    | Kload_v (d, a, i) ->
+        let arr = as_arr vals.(a) in
+        let idx = ints.(i) in
+        ctx.cycles <- ctx.cycles + Cost.array_access + ctx.bounds_cost;
+        let n = arr_length arr in
+        if idx < 0 || idx >= n then bounds_error idx n;
+        vals.(d) <-
+          (match arr with
+          | Iarr a -> Vint a.(idx)
+          | Farr a -> Vfloat a.(idx)
+          | Oarr a -> a.(idx));
+        go (pc + 1)
+    | Kstore_i (a, i, s) ->
+        let arr = as_arr vals.(a) in
+        let idx = ints.(i) in
+        ctx.cycles <- ctx.cycles + Cost.array_access + ctx.bounds_cost;
+        let n = arr_length arr in
+        if idx < 0 || idx >= n then bounds_error idx n;
+        (match arr with
+        | Iarr a -> a.(idx) <- ints.(s)
+        | Farr a -> a.(idx) <- as_float (Vint ints.(s))
+        | Oarr a -> a.(idx) <- Vint ints.(s));
+        go (pc + 1)
+    | Kstore_b (a, i, s) ->
+        let arr = as_arr vals.(a) in
+        let idx = ints.(i) in
+        ctx.cycles <- ctx.cycles + Cost.array_access + ctx.bounds_cost;
+        let n = arr_length arr in
+        if idx < 0 || idx >= n then bounds_error idx n;
+        (match arr with
+        | Iarr a -> a.(idx) <- as_int (Vbool (ints.(s) <> 0))
+        | Farr a -> a.(idx) <- as_float (Vbool (ints.(s) <> 0))
+        | Oarr a -> a.(idx) <- Vbool (ints.(s) <> 0));
+        go (pc + 1)
+    | Kstore_f (a, i, s) ->
+        let arr = as_arr vals.(a) in
+        let idx = ints.(i) in
+        ctx.cycles <- ctx.cycles + Cost.array_access + ctx.bounds_cost;
+        let n = arr_length arr in
+        if idx < 0 || idx >= n then bounds_error idx n;
+        (match arr with
+        | Farr a -> a.(idx) <- flts.(s)
+        | Iarr a -> a.(idx) <- as_int (Vfloat flts.(s))
+        | Oarr a -> a.(idx) <- Vfloat flts.(s));
+        go (pc + 1)
+    | Kstore_v (a, i, s) ->
+        let arr = as_arr vals.(a) in
+        let idx = ints.(i) in
+        ctx.cycles <- ctx.cycles + Cost.array_access + ctx.bounds_cost;
+        let n = arr_length arr in
+        if idx < 0 || idx >= n then bounds_error idx n;
+        let v = vals.(s) in
+        (match arr with
+        | Iarr a -> a.(idx) <- as_int v
+        | Farr a -> a.(idx) <- as_float v
+        | Oarr a -> a.(idx) <- v);
+        go (pc + 1)
+    | Klen (d, a) ->
+        ints.(d) <- arr_length (as_arr vals.(a));
+        go (pc + 1)
+    | Kcall c ->
+        let recv = as_obj vals.(c.k_recv) in
+        let callee = pcode.p_methods.(c.k_cid).(c.k_mid) in
+        let ret = invoke_method ctx pcode callee recv c.k_args ints flts vals in
+        (match c.k_dst with
+        | Dnone -> ()
+        | Dint d -> ints.(d) <- as_int ret
+        | Dbool d -> ints.(d) <- (if as_bool ret then 1 else 0)
+        | Dflt d -> flts.(d) <- as_float ret
+        | Dval d -> vals.(d) <- ret);
+        go (pc + 1)
+    | Knew n ->
+        let site = prog.sites.(n.k_site) in
+        let cls = prog.classes.(site.s_class) in
+        let o = make_object ctx n.k_site in
+        Array.iter
+          (fun r ->
+            match vals.(r) with
+            | Vtag t -> bind_tag o t
+            | _ -> raise (Runtime_error "allocation tag slot does not hold a tag"))
+          n.k_tags;
+        (match cls.c_ctor with
+        | Some mid ->
+            ignore
+              (invoke_method ctx pcode
+                 pcode.p_methods.(site.s_class).(mid)
+                 o n.k_nargs ints flts vals)
+        | None -> ());
+        ctx.created <- o :: ctx.created;
+        ctx.objects <- o :: ctx.objects;
+        vals.(n.k_nd) <- Vobj o;
+        go (pc + 1)
+    | Knewarr (d, elem, dims) ->
+        let ds = Array.to_list (Array.map (fun r -> ints.(r)) dims) in
+        vals.(d) <- alloc_array ctx elem ds;
+        go (pc + 1)
+    | Knewtag (d, ty) ->
+        vals.(d) <- Vtag (fresh_tag ctx ty);
+        go (pc + 1)
+    | Kmath1 (m, d, a) ->
+        flts.(d) <-
+          (match m with
+          | MSin -> sin flts.(a)
+          | MCos -> cos flts.(a)
+          | MTan -> tan flts.(a)
+          | MAtan -> atan flts.(a)
+          | MSqrt -> sqrt flts.(a)
+          | MLog -> log flts.(a)
+          | MExp -> exp flts.(a)
+          | MFloor -> floor flts.(a)
+          | MCeil -> ceil flts.(a)
+          | MAbs -> abs_float flts.(a));
+        go (pc + 1)
+    | Kmath2 (m, d, a, b') ->
+        flts.(d) <-
+          (match m with
+          | MPow -> flts.(a) ** flts.(b')
+          | MMin -> fmin flts.(a) flts.(b')
+          | MMax -> fmax flts.(a) flts.(b'));
+        go (pc + 1)
+    | Kiabs (d, a) ->
+        ints.(d) <- abs ints.(a);
+        go (pc + 1)
+    | Kimin (d, a, b') ->
+        ints.(d) <- min ints.(a) ints.(b');
+        go (pc + 1)
+    | Kimax (d, a, b') ->
+        ints.(d) <- max ints.(a) ints.(b');
+        go (pc + 1)
+    | Kstrlen (d, s) ->
+        ints.(d) <- String.length (as_str vals.(s));
+        go (pc + 1)
+    | Kcharat (d, s, i) ->
+        ints.(d) <- str_char_at (as_str vals.(s)) ints.(i);
+        go (pc + 1)
+    | Ksubstring (d, s, i, j) ->
+        let str = as_str vals.(s) in
+        let i = ints.(i) and j = ints.(j) in
+        ctx.cycles <- ctx.cycles + Cost.dyn_str_substring i j;
+        vals.(d) <- Vstr (str_substring str i j);
+        go (pc + 1)
+    | Kstreq (d, a, b') ->
+        let x = as_str vals.(a) and y = as_str vals.(b') in
+        ctx.cycles <- ctx.cycles + Cost.dyn_str_cmp x y;
+        ints.(d) <- (if String.equal x y then 1 else 0);
+        go (pc + 1)
+    | Kindexof (d, s, pat, from) ->
+        let str = as_str vals.(s) and p = as_str vals.(pat) in
+        ctx.cycles <- ctx.cycles + Cost.dyn_str_scan str;
+        ints.(d) <- str_index_of str p ints.(from);
+        go (pc + 1)
+    | Kstrhash (d, s) ->
+        let str = as_str vals.(s) in
+        ctx.cycles <- ctx.cycles + Cost.dyn_str_scan str;
+        ints.(d) <- str_hash str;
+        go (pc + 1)
+    | Kitos (d, a) ->
+        vals.(d) <- Vstr (string_of_int ints.(a));
+        go (pc + 1)
+    | Kdtos (d, a) ->
+        vals.(d) <- Vstr (format_double flts.(a));
+        go (pc + 1)
+    | Kparsei (d, a) ->
+        ints.(d) <- parse_int (as_str vals.(a));
+        go (pc + 1)
+    | Kparsed (d, a) ->
+        flts.(d) <- parse_double (as_str vals.(a));
+        go (pc + 1)
+    | Kprints r ->
+        print_line ctx (as_str vals.(r));
+        go (pc + 1)
+    | Kprinti r ->
+        print_line ctx (string_of_int ints.(r));
+        go (pc + 1)
+    | Kprintd r ->
+        print_line ctx (print_double flts.(r));
+        go (pc + 1)
+    | Krngnew (d, s) ->
+        vals.(d) <- Vrng (rng_create ints.(s));
+        go (pc + 1)
+    | Krngint (d, r, b') ->
+        ints.(d) <- rng_next_int (as_rng vals.(r)) ints.(b');
+        go (pc + 1)
+    | Krngdouble (d, r) ->
+        flts.(d) <- rng_next_double (as_rng vals.(r));
+        go (pc + 1)
+    | Krnggauss (d, r) ->
+        flts.(d) <- rng_next_gaussian (as_rng vals.(r));
+        go (pc + 1)
+  in
+  go 0
+
+and invoke_method ctx pcode (callee : body) recv (args : src array) ints flts vals :
+    value =
+  let ci = Array.make callee.b_nints 0 in
+  let cf = Array.make callee.b_nflts 0.0 in
+  let cv = Array.make callee.b_nvals Vnull in
+  (match callee.b_slots.(0) with LVal d -> cv.(d) <- Vobj recv | _ -> assert false);
+  Array.iteri (fun i a -> set_arg callee ci cf cv (i + 1) a ints flts vals) args;
+  exec ctx pcode callee ci cf cv
+
+(* ------------------------------------------------------------------ *)
+(* Task invocation (the compiled counterpart of the oracle's) *)
+
+let invoke_task ctx (pcode : program_code) (task : Ir.taskinfo) (params : obj array)
+    ~(tag_binds : (Ir.slot * tag_inst) list) : invocation_result =
+  if Array.length params <> Array.length task.t_params then
+    invalid_arg "invoke_task: parameter count mismatch";
+  let b = pcode.p_tasks.(task.t_id) in
+  let ints = Array.make b.b_nints 0 in
+  let flts = Array.make b.b_nflts 0.0 in
+  let vals = Array.make b.b_nvals Vnull in
+  Array.iteri
+    (fun i o ->
+      match b.b_slots.(i) with LVal d -> vals.(d) <- Vobj o | _ -> assert false)
+    params;
+  List.iter
+    (fun (slot, t) ->
+      match b.b_slots.(slot) with LVal d -> vals.(d) <- Vtag t | _ -> assert false)
+    tag_binds;
+  let saved_created = ctx.created in
+  ctx.created <- [];
+  let out_start = Buffer.length ctx.out in
+  let start = ctx.cycles in
+  let exit_id =
+    try
+      ignore (exec ctx pcode b ints flts vals);
+      Array.length task.t_exits - 1 (* implicit exit *)
+    with Taskexit_exc id -> id
+  in
+  let created = List.rev ctx.created in
+  ctx.created <- saved_created;
+  let output = Buffer.sub ctx.out out_start (Buffer.length ctx.out - out_start) in
+  (* Rebuild the oracle-visible frame; [apply_exit] reads tag slots
+     out of it.  (A never-assigned unboxed slot reads back as its bank
+     default rather than the oracle's [Vnull]; nothing observes
+     non-tag slots.) *)
+  let frame =
+    Array.init task.t_nslots (fun s ->
+        match b.b_slots.(s) with
+        | LInt r -> Vint ints.(r)
+        | LBool r -> Vbool (ints.(r) <> 0)
+        | LFlt r -> Vfloat flts.(r)
+        | LVal r -> vals.(r))
+  in
+  {
+    tr_exit = exit_id;
+    tr_cycles = ctx.cycles - start;
+    tr_created = created;
+    tr_frame = frame;
+    tr_output = output;
+  }

@@ -31,6 +31,54 @@ let print = 50
 let rng_step = 20
 let cast = 2
 
+(* ------------------------------------------------------------------ *)
+(* Per-operation cost tables shared by the tree-walking oracle and the
+   bytecode compiler/executor.  Both engines must read the *same*
+   table: the compiler pre-aggregates these constants per basic block,
+   the tree-walker charges them per node, and the equivalence suite
+   asserts the totals are bit-identical.  Operations whose cost
+   depends on runtime data (string lengths, array allocation extents,
+   per-context bounds checking) get a [dyn_*] helper instead and are
+   charged at the executing instruction. *)
+
+module Ir = Bamboo_ir.Ir
+
+(** Constant cycle cost of a binary operator.  String comparison and
+    concatenation are dynamic ([dyn_str_cmp]/[dyn_str_concat]) and
+    cost 0 here. *)
+let of_binop : Ir.binop -> int = function
+  | IAdd | ISub | IBand | IBor | IBxor | IShl | IShr -> iarith
+  | IMul -> imul
+  | IDiv | IMod -> idiv
+  | FAdd | FSub -> farith
+  | FMul -> fmul
+  | FDiv -> fdiv
+  | ICmp _ | FCmp _ | BCmp _ | RCmp _ -> cmp
+  | SCmp _ | SConcat -> 0
+
+let dyn_str_cmp x y = str_base + (str_per_char * min (String.length x) (String.length y))
+let dyn_str_concat x y = str_base + (str_per_char * (String.length x + String.length y))
+let dyn_str_substring i j = str_base + (str_per_char * max 0 (j - i))
+let dyn_str_scan s = str_base + (str_per_char * String.length s)
+let dyn_alloc_array n = alloc_base + (alloc_word * n)
+let alloc_object nfields = alloc_base + (alloc_word * Value.object_words nfields)
+
+(** Constant cycle cost of a builtin.  [StrSubstring]/[StrEquals]/
+    [StrIndexOf]/[StrHash] are fully dynamic and cost 0 here. *)
+let of_builtin : Ir.builtin -> int = function
+  | MathSin | MathCos | MathTan | MathAtan | MathSqrt | MathPow
+  | MathAbs | MathLog | MathExp | MathFloor | MathCeil
+  | MathMin | MathMax -> math_fn
+  | MathIMin | MathIMax | MathIAbs -> iarith
+  | StrLen | StrCharAt -> str_base
+  | StrSubstring | StrEquals | StrIndexOf | StrHash -> 0
+  | IntToString | DoubleToString | ParseInt | ParseDouble -> str_base
+  | PrintStr | PrintInt | PrintDouble -> print
+  | RandomNew -> alloc_base
+  | RandomNextInt | RandomNextDouble -> rng_step
+  | RandomNextGaussian -> 2 * rng_step
+  | ArrayLength -> local
+
 (* Runtime costs (charged by the runtime system, not the interpreter): *)
 
 (** Dequeue a task invocation and run its guard checks. *)

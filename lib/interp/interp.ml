@@ -1,147 +1,28 @@
 (** IR interpreter with cycle accounting.
 
-    Executes Bamboo task and method bodies on real data while
-    charging the {!Cost} model for every operation.  The runtime
-    layers (profiling, single-core and many-core execution) drive it
-    through {!invoke_task}, {!alloc_object} and {!apply_exit}. *)
+    Two engines execute Bamboo task and method bodies over the shared
+    {!Ctx} context: the bytecode executor in {!Compile} (the default),
+    and the tree-walking oracle defined here, kept behind
+    [--interp-reference] / [BAMBOO_INTERP_REFERENCE=1].  Both charge
+    the {!Cost} model through the same tables and helpers, so their
+    cycle and fuel totals are bit-identical (the [interp.equivalence]
+    suite enforces it).  The runtime layers (profiling, single-core
+    and many-core execution) drive either engine through
+    {!invoke_task}, {!executor} and {!apply_exit}. *)
 
-module Ir = Bamboo_ir.Ir
 open Value
-
-exception Return_exc of value
-exception Break_exc
-exception Continue_exc
-exception Taskexit_exc of int
-
-type ctx = {
-  prog : Ir.program;
-  mutable cycles : int;              (* monotone cycle counter *)
-  mutable created : obj list;        (* allocations since last drain, reversed *)
-  mutable objects : obj list;        (* every allocation ever, reversed — the
-                                        final heap for output digesting *)
-  mutable next_oid : int;
-  mutable next_tagid : int;
-  id_stride : int;                   (* id increment: 1 sequentially; the
-                                        parallel backend gives core [c] the
-                                        ids congruent to [c] mod ncores *)
-  out : Buffer.t;                    (* program output from System print builtins *)
-  bounds_cost : int;                 (* extra cycles when bounds checks are on *)
-  mutable steps : int;               (* interpreter fuel guard *)
-  max_steps : int;
-}
-
-(** [create prog] builds an interpreter context.  [id_base]/[id_stride]
-    partition the object- and tag-id spaces so that contexts executing
-    concurrently on different cores never allocate colliding ids
-    (core [c] of [n] passes [~id_base:c ~id_stride:n]). *)
-let create ?(bounds_check = false) ?(max_steps = max_int) ?(id_base = 0) ?(id_stride = 1) prog
-    =
-  if id_stride < 1 then invalid_arg "Interp.create: id_stride must be >= 1";
-  {
-    prog;
-    cycles = 0;
-    created = [];
-    objects = [];
-    next_oid = id_base;
-    next_tagid = id_base;
-    id_stride;
-    out = Buffer.create 256;
-    bounds_cost = (if bounds_check then 2 else 0);
-    steps = 0;
-    max_steps;
-  }
-
-let charge ctx n = ctx.cycles <- ctx.cycles + n
-
-let fresh_oid ctx =
-  let id = ctx.next_oid in
-  ctx.next_oid <- id + ctx.id_stride;
-  id
-
-let fresh_tag ctx ty =
-  let id = ctx.next_tagid in
-  ctx.next_tagid <- id + ctx.id_stride;
-  { tg_id = id; tg_ty = ty; tg_bound = [] }
+include Ctx
 
 (* ------------------------------------------------------------------ *)
-(* Random: Java-compatible 48-bit LCG, fully deterministic. *)
+(* The tree-walking oracle *)
 
-let lcg_mult = 0x5DEECE66DL
-let lcg_add = 0xBL
-let lcg_mask = Int64.sub (Int64.shift_left 1L 48) 1L
-
-let rng_create seed =
-  {
-    r_state = Int64.logand (Int64.logxor (Int64.of_int seed) lcg_mult) lcg_mask;
-    r_gauss = nan;
-  }
-
-let rng_next r bits =
-  r.r_state <- Int64.logand (Int64.add (Int64.mul r.r_state lcg_mult) lcg_add) lcg_mask;
-  Int64.to_int (Int64.shift_right_logical r.r_state (48 - bits))
-
-let rng_next_int r bound =
-  if bound <= 0 then raise (Runtime_error "Random.nextInt: bound must be positive");
-  let v = rng_next r 31 in
-  v mod bound
-
-let rng_next_double r =
-  let hi = rng_next r 26 and lo = rng_next r 27 in
-  (float_of_int ((hi * 134217728) + lo)) /. 9007199254740992.0
-
-let rng_next_gaussian r =
-  if Float.is_nan r.r_gauss then begin
-    let rec loop () =
-      let v1 = (2.0 *. rng_next_double r) -. 1.0 in
-      let v2 = (2.0 *. rng_next_double r) -. 1.0 in
-      let s = (v1 *. v1) +. (v2 *. v2) in
-      if s >= 1.0 || s = 0.0 then loop ()
-      else begin
-        let multiplier = sqrt (-2.0 *. log s /. s) in
-        r.r_gauss <- v2 *. multiplier;
-        v1 *. multiplier
-      end
-    in
-    loop ()
-  end
-  else begin
-    let g = r.r_gauss in
-    r.r_gauss <- nan;
-    g
-  end
-
-(* ------------------------------------------------------------------ *)
-(* Allocation *)
-
-let default_of_typ (t : Ir.typ) =
-  match t with
-  | Tint -> Vint 0
-  | Tdouble -> Vfloat 0.0
-  | Tboolean -> Vbool false
-  | _ -> Vnull
-
-let rec alloc_array ctx (elem : Ir.typ) dims =
-  match dims with
-  | [] -> invalid_arg "alloc_array: no dimensions"
-  | [ n ] ->
-      if n < 0 then raise (Runtime_error "negative array size");
-      charge ctx (Cost.alloc_base + (Cost.alloc_word * n));
-      (match elem with
-      | Tint -> Varr (Iarr (Array.make n 0))
-      | Tdouble -> Varr (Farr (Array.make n 0.0))
-      | Tboolean -> Varr (Oarr (Array.make n (Vbool false)))
-      | _ -> Varr (Oarr (Array.make n Vnull)))
-  | n :: rest ->
-      if n < 0 then raise (Runtime_error "negative array size");
-      charge ctx (Cost.alloc_base + (Cost.alloc_word * n));
-      Varr (Oarr (Array.init n (fun _ -> alloc_array ctx elem rest)))
-
-(* ------------------------------------------------------------------ *)
-(* Evaluator *)
+let icmp (c : Ir.cmp) x y =
+  match c with
+  | Clt -> x < y | Cle -> x <= y | Cgt -> x > y | Cge -> x >= y
+  | Ceq -> x = y | Cne -> x <> y
 
 let rec eval ctx (frame : value array) (e : Ir.expr) : value =
-  ctx.steps <- ctx.steps + 1;
-  if ctx.steps > ctx.max_steps then raise (Runtime_error "interpreter fuel exhausted");
+  step ctx;
   match e with
   | Eint n -> charge ctx Cost.const; Vint n
   | Efloat f -> charge ctx Cost.const; Vfloat f
@@ -158,8 +39,7 @@ let rec eval ctx (frame : value array) (e : Ir.expr) : value =
       let idx = as_int (eval ctx frame i) in
       charge ctx (Cost.array_access + ctx.bounds_cost);
       let n = arr_length arr in
-      if idx < 0 || idx >= n then
-        raise (Runtime_error (Printf.sprintf "array index %d out of bounds [0,%d)" idx n));
+      if idx < 0 || idx >= n then bounds_error idx n;
       match arr with
       | Iarr a -> Vint a.(idx)
       | Farr a -> Vfloat a.(idx)
@@ -183,8 +63,7 @@ let rec eval ctx (frame : value array) (e : Ir.expr) : value =
       Vfloat (float_of_int (as_int (eval ctx frame a)))
   | Ecast (F2I, a) ->
       charge ctx Cost.cast;
-      let f = as_float (eval ctx frame a) in
-      if Float.is_nan f then Vint 0 else Vint (int_of_float f)
+      Vint (f2i (as_float (eval ctx frame a)))
   | Ecall (recv, cid, mid, args) ->
       let o = as_obj (eval ctx frame recv) in
       let argv = List.map (eval ctx frame) args in
@@ -200,62 +79,58 @@ let rec eval ctx (frame : value array) (e : Ir.expr) : value =
 and eval_bin ctx frame (op : Ir.binop) a b =
   let va = eval ctx frame a in
   let vb = eval ctx frame b in
-  let icmp (c : Ir.cmp) x y =
-    match c with
-    | Clt -> x < y | Cle -> x <= y | Cgt -> x > y | Cge -> x >= y
-    | Ceq -> x = y | Cne -> x <> y
-  in
+  charge ctx (Cost.of_binop op);
   match op with
-  | IAdd -> charge ctx Cost.iarith; Vint (as_int va + as_int vb)
-  | ISub -> charge ctx Cost.iarith; Vint (as_int va - as_int vb)
-  | IMul -> charge ctx Cost.imul; Vint (as_int va * as_int vb)
+  | IAdd -> Vint (as_int va + as_int vb)
+  | ISub -> Vint (as_int va - as_int vb)
+  | IMul -> Vint (as_int va * as_int vb)
   | IDiv ->
-      charge ctx Cost.idiv;
       let d = as_int vb in
       if d = 0 then raise (Runtime_error "division by zero");
       Vint (as_int va / d)
   | IMod ->
-      charge ctx Cost.idiv;
       let d = as_int vb in
       if d = 0 then raise (Runtime_error "modulo by zero");
       Vint (as_int va mod d)
-  | IBand -> charge ctx Cost.iarith; Vint (as_int va land as_int vb)
-  | IBor -> charge ctx Cost.iarith; Vint (as_int va lor as_int vb)
-  | IBxor -> charge ctx Cost.iarith; Vint (as_int va lxor as_int vb)
-  | IShl -> charge ctx Cost.iarith; Vint (as_int va lsl as_int vb)
-  | IShr -> charge ctx Cost.iarith; Vint (as_int va asr as_int vb)
-  | FAdd -> charge ctx Cost.farith; Vfloat (as_float va +. as_float vb)
-  | FSub -> charge ctx Cost.farith; Vfloat (as_float va -. as_float vb)
-  | FMul -> charge ctx Cost.fmul; Vfloat (as_float va *. as_float vb)
-  | FDiv -> charge ctx Cost.fdiv; Vfloat (as_float va /. as_float vb)
-  | ICmp c -> charge ctx Cost.cmp; Vbool (icmp c (as_int va) (as_int vb))
-  | FCmp c -> charge ctx Cost.cmp; Vbool (icmp c (compare (as_float va) (as_float vb)) 0)
+  | IBand -> Vint (as_int va land as_int vb)
+  | IBor -> Vint (as_int va lor as_int vb)
+  | IBxor -> Vint (as_int va lxor as_int vb)
+  | IShl -> Vint (as_int va lsl as_int vb)
+  | IShr -> Vint (as_int va asr as_int vb)
+  | FAdd -> Vfloat (as_float va +. as_float vb)
+  | FSub -> Vfloat (as_float va -. as_float vb)
+  | FMul -> Vfloat (as_float va *. as_float vb)
+  | FDiv -> Vfloat (as_float va /. as_float vb)
+  | ICmp c -> Vbool (icmp c (as_int va) (as_int vb))
+  | FCmp c -> Vbool (icmp c (fcompare (as_float va) (as_float vb)) 0)
   | SCmp c ->
       let x = as_str va and y = as_str vb in
-      charge ctx (Cost.str_base + (Cost.str_per_char * min (String.length x) (String.length y)));
+      charge ctx (Cost.dyn_str_cmp x y);
       Vbool (icmp c (compare x y) 0)
-  | BCmp c -> charge ctx Cost.cmp; Vbool (icmp c (compare (as_bool va) (as_bool vb)) 0)
+  | BCmp c -> Vbool (icmp c (compare (as_bool va) (as_bool vb)) 0)
   | RCmp c -> (
-      charge ctx Cost.cmp;
       match c with
       | Ceq -> Vbool (equal_value va vb)
       | Cne -> Vbool (not (equal_value va vb))
       | _ -> raise (Runtime_error "reference comparison must be == or !="))
   | SConcat ->
       let x = as_str va and y = as_str vb in
-      charge ctx (Cost.str_base + (Cost.str_per_char * (String.length x + String.length y)));
+      charge ctx (Cost.dyn_str_concat x y);
       Vstr (x ^ y)
 
 and eval_builtin ctx frame (b : Ir.builtin) args =
   let argv = List.map (eval ctx frame) args in
+  (* the constant part of the builtin's cost, from the shared table;
+     string builtins add their dynamic part in their arm below *)
+  charge ctx (Cost.of_builtin b);
   let f1 g =
     match argv with
-    | [ a ] -> charge ctx Cost.math_fn; Vfloat (g (as_float a))
+    | [ a ] -> Vfloat (g (as_float a))
     | _ -> raise (Runtime_error "builtin arity/type mismatch")
   in
   let f2 g =
     match argv with
-    | [ a; b ] -> charge ctx Cost.math_fn; Vfloat (g (as_float a) (as_float b))
+    | [ a; b ] -> Vfloat (g (as_float a) (as_float b))
     | _ -> raise (Runtime_error "builtin arity/type mismatch")
   in
   match (b, argv) with
@@ -270,97 +145,53 @@ and eval_builtin ctx frame (b : Ir.builtin) args =
   | MathCeil, _ -> f1 ceil
   | MathAbs, _ -> f1 abs_float
   | MathPow, _ -> f2 ( ** )
-  | MathMin, _ -> f2 min
-  | MathMax, _ -> f2 max
-  | MathIAbs, [ Vint n ] -> charge ctx Cost.iarith; Vint (abs n)
-  | MathIMin, [ Vint a; Vint b ] -> charge ctx Cost.iarith; Vint (min a b)
-  | MathIMax, [ Vint a; Vint b ] -> charge ctx Cost.iarith; Vint (max a b)
-  | StrLen, [ s ] -> charge ctx Cost.str_base; Vint (String.length (as_str s))
-  | StrCharAt, [ s; Vint i ] ->
-      let s = as_str s in
-      charge ctx Cost.str_base;
-      if i < 0 || i >= String.length s then raise (Runtime_error "charAt out of bounds");
-      Vint (Char.code s.[i])
+  | MathMin, _ -> f2 fmin
+  | MathMax, _ -> f2 fmax
+  | MathIAbs, [ Vint n ] -> Vint (abs n)
+  | MathIMin, [ Vint a; Vint b ] -> Vint (min a b)
+  | MathIMax, [ Vint a; Vint b ] -> Vint (max a b)
+  | StrLen, [ s ] -> Vint (String.length (as_str s))
+  | StrCharAt, [ s; Vint i ] -> Vint (str_char_at (as_str s) i)
   | StrSubstring, [ s; Vint i; Vint j ] ->
-      let s = as_str s in
-      charge ctx (Cost.str_base + (Cost.str_per_char * max 0 (j - i)));
-      if i < 0 || j > String.length s || i > j then
-        raise (Runtime_error "substring out of bounds");
-      Vstr (String.sub s i (j - i))
+      charge ctx (Cost.dyn_str_substring i j);
+      Vstr (str_substring (as_str s) i j)
   | StrEquals, [ a; b ] ->
       let x = as_str a and y = as_str b in
-      charge ctx (Cost.str_base + (Cost.str_per_char * min (String.length x) (String.length y)));
+      charge ctx (Cost.dyn_str_cmp x y);
       Vbool (String.equal x y)
-  | StrIndexOf, [ s; pat; Vint from ] -> (
-      let s = as_str s and pat = as_str pat in
-      charge ctx (Cost.str_base + (Cost.str_per_char * String.length s));
-      let n = String.length s and m = String.length pat in
-      let rec search i =
-        if i + m > n then Vint (-1)
-        else if String.sub s i m = pat then Vint i
-        else search (i + 1)
-      in
-      if m = 0 then Vint (max 0 from) else search (max 0 from))
+  | StrIndexOf, [ s; pat; Vint from ] ->
+      let s = as_str s in
+      charge ctx (Cost.dyn_str_scan s);
+      Vint (str_index_of s (as_str pat) from)
   | StrHash, [ s ] ->
       let s = as_str s in
-      charge ctx (Cost.str_base + (Cost.str_per_char * String.length s));
-      let h = ref 0 in
-      String.iter (fun c -> h := ((!h * 31) + Char.code c) land 0x3FFFFFFF) s;
-      Vint !h
-  | IntToString, [ Vint n ] -> charge ctx Cost.str_base; Vstr (string_of_int n)
-  | DoubleToString, [ Vfloat f ] -> charge ctx Cost.str_base; Vstr (Printf.sprintf "%g" f)
-  | ParseInt, [ s ] -> (
-      charge ctx Cost.str_base;
-      match int_of_string_opt (String.trim (as_str s)) with
-      | Some n -> Vint n
-      | None -> raise (Runtime_error ("Integer.parseInt: bad input " ^ as_str s)))
-  | ParseDouble, [ s ] -> (
-      charge ctx Cost.str_base;
-      match float_of_string_opt (String.trim (as_str s)) with
-      | Some f -> Vfloat f
-      | None -> raise (Runtime_error ("Double.parseDouble: bad input " ^ as_str s)))
+      charge ctx (Cost.dyn_str_scan s);
+      Vint (str_hash s)
+  | IntToString, [ Vint n ] -> Vstr (string_of_int n)
+  | DoubleToString, [ Vfloat f ] -> Vstr (format_double f)
+  | ParseInt, [ s ] -> Vint (parse_int (as_str s))
+  | ParseDouble, [ s ] -> Vfloat (parse_double (as_str s))
   | PrintStr, [ s ] ->
-      charge ctx Cost.print;
-      Buffer.add_string ctx.out (as_str s);
-      Buffer.add_char ctx.out '\n';
+      print_line ctx (as_str s);
       Vnull
   | PrintInt, [ Vint n ] ->
-      charge ctx Cost.print;
-      Buffer.add_string ctx.out (string_of_int n);
-      Buffer.add_char ctx.out '\n';
+      print_line ctx (string_of_int n);
       Vnull
   | PrintDouble, [ Vfloat f ] ->
-      charge ctx Cost.print;
-      Buffer.add_string ctx.out (Printf.sprintf "%.6f" f);
-      Buffer.add_char ctx.out '\n';
+      print_line ctx (print_double f);
       Vnull
-  | RandomNew, [ Vint seed ] -> charge ctx Cost.alloc_base; Vrng (rng_create seed)
-  | RandomNextInt, [ r; Vint bound ] -> charge ctx Cost.rng_step; Vint (rng_next_int (as_rng r) bound)
-  | RandomNextDouble, [ r ] -> charge ctx Cost.rng_step; Vfloat (rng_next_double (as_rng r))
-  | RandomNextGaussian, [ r ] ->
-      charge ctx (2 * Cost.rng_step);
-      Vfloat (rng_next_gaussian (as_rng r))
-  | ArrayLength, [ a ] -> charge ctx Cost.local; Vint (arr_length (as_arr a))
+  | RandomNew, [ Vint seed ] -> Vrng (rng_create seed)
+  | RandomNextInt, [ r; Vint bound ] -> Vint (rng_next_int (as_rng r) bound)
+  | RandomNextDouble, [ r ] -> Vfloat (rng_next_double (as_rng r))
+  | RandomNextGaussian, [ r ] -> Vfloat (rng_next_gaussian (as_rng r))
+  | ArrayLength, [ a ] -> Vint (arr_length (as_arr a))
   | _ -> raise (Runtime_error "builtin arity/type mismatch")
 
 and alloc_object ctx frame sid argv =
   let site = ctx.prog.sites.(sid) in
   let cls = ctx.prog.classes.(site.s_class) in
-  let nfields = Array.length cls.c_fields in
-  charge ctx (Cost.alloc_base + (Cost.alloc_word * object_words nfields));
-  let o =
-    {
-      o_id = fresh_oid ctx;
-      o_class = site.s_class;
-      o_site = sid;
-      o_fields = Array.init nfields (fun i -> default_of_typ cls.c_fields.(i).f_typ);
-      o_flags = Ir.site_initial_word site;
-      o_tags = [];
-      o_lock = Atomic.make (-1);
-      o_lock_until = 0;
-      o_gen = Atomic.make 0;
-    }
-  in
+  charge ctx (Cost.alloc_object (Array.length cls.c_fields));
+  let o = make_object ctx sid in
   (* Bind tags whose variables are in the *current* frame. *)
   List.iter
     (fun slot ->
@@ -390,8 +221,7 @@ and call_method ctx (recv : obj) cid mid argv =
 and exec_stmts ctx frame stmts = List.iter (exec_stmt ctx frame) stmts
 
 and exec_stmt ctx frame (s : Ir.stmt) =
-  ctx.steps <- ctx.steps + 1;
-  if ctx.steps > ctx.max_steps then raise (Runtime_error "interpreter fuel exhausted");
+  step ctx;
   match s with
   | Sassign (Llocal slot, e) ->
       let v = eval ctx frame e in
@@ -408,8 +238,7 @@ and exec_stmt ctx frame (s : Ir.stmt) =
       let v = eval ctx frame e in
       charge ctx (Cost.array_access + ctx.bounds_cost);
       let n = arr_length arr in
-      if idx < 0 || idx >= n then
-        raise (Runtime_error (Printf.sprintf "array index %d out of bounds [0,%d)" idx n));
+      if idx < 0 || idx >= n then bounds_error idx n;
       match arr with
       | Iarr a -> a.(idx) <- as_int v
       | Farr a -> a.(idx) <- as_float v
@@ -439,18 +268,10 @@ and exec_stmt ctx frame (s : Ir.stmt) =
 (* ------------------------------------------------------------------ *)
 (* Task invocation API used by the runtimes *)
 
-type invocation_result = {
-  tr_exit : int;                    (* exit index taken *)
-  tr_cycles : int;                  (* cycles charged by the body *)
-  tr_created : obj list;            (* objects allocated, in order *)
-  tr_frame : value array;           (* final frame (for tag slots) *)
-  tr_output : string;               (* program output emitted *)
-}
-
-(** Run one task invocation on the given parameter objects.
+(** Run one task invocation through the tree-walking oracle.
     [tag_binds] supplies the tag instances matched by dispatch for the
     task's [with]-bound tag variables. *)
-let invoke_task ctx (task : Ir.taskinfo) (params : obj array)
+let invoke_task_tree ctx (task : Ir.taskinfo) (params : obj array)
     ~(tag_binds : (Ir.slot * tag_inst) list) : invocation_result =
   if Array.length params <> Array.length task.t_params then
     invalid_arg "invoke_task: parameter count mismatch";
@@ -477,6 +298,45 @@ let invoke_task ctx (task : Ir.taskinfo) (params : obj array)
     tr_frame = frame;
     tr_output = output;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Engine selection *)
+
+(** When set, every context is created without compiled code and all
+    invocations run through the tree-walking oracle.  Seeded from
+    [BAMBOO_INTERP_REFERENCE], overridable by [--interp-reference]. *)
+let use_reference =
+  ref
+    (match Sys.getenv_opt "BAMBOO_INTERP_REFERENCE" with
+    | Some ("1" | "true" | "yes") -> true
+    | Some _ | None -> false)
+
+(** Build an interpreter context and (unless the reference oracle is
+    selected) attach the program's compiled bytecode, shared via the
+    per-program cache. *)
+let create ?bounds_check ?max_steps ?id_base ?id_stride prog =
+  let ctx = create ?bounds_check ?max_steps ?id_base ?id_stride prog in
+  if not !use_reference then ctx.code <- Some (Compile.get prog);
+  ctx
+
+(** The invocation engine bound to [ctx]: the bytecode executor when
+    the context carries compiled code, the tree-walking oracle
+    otherwise.  Runtimes resolve this once per context and thread the
+    resulting function through their schedulers. *)
+let executor ctx :
+    Ir.taskinfo -> obj array -> tag_binds:(Ir.slot * tag_inst) list -> invocation_result
+    =
+  match ctx.code with
+  | Some pcode -> fun task params ~tag_binds -> Compile.invoke_task ctx pcode task params ~tag_binds
+  | None -> fun task params ~tag_binds -> invoke_task_tree ctx task params ~tag_binds
+
+(** Run one task invocation on the given parameter objects through
+    [ctx]'s engine. *)
+let invoke_task ctx (task : Ir.taskinfo) (params : obj array)
+    ~(tag_binds : (Ir.slot * tag_inst) list) : invocation_result =
+  match ctx.code with
+  | Some pcode -> Compile.invoke_task ctx pcode task params ~tag_binds
+  | None -> invoke_task_tree ctx task params ~tag_binds
 
 (** Apply a task exit's flag and tag actions to the parameter objects.
     Returns the parameters whose flag word changed (their indices),
@@ -505,42 +365,3 @@ let apply_exit (task : Ir.taskinfo) exit_id (params : obj array) (frame : value 
         changed := pidx :: !changed)
     exit.x_actions;
   List.rev !changed
-
-(** Create the startup object that boots a Bamboo program: a
-    [StartupObject] in the [initialstate] abstract state whose [args]
-    field holds the command-line strings. *)
-let make_startup ctx (args : string list) =
-  let cid = ctx.prog.startup in
-  let cls = ctx.prog.classes.(cid) in
-  let nfields = Array.length cls.c_fields in
-  let o =
-    {
-      o_id = fresh_oid ctx;
-      o_class = cid;
-      o_site = -1;
-      o_fields = Array.init nfields (fun i -> default_of_typ cls.c_fields.(i).f_typ);
-      o_flags = 0;
-      o_tags = [];
-      o_lock = Atomic.make (-1);
-      o_lock_until = 0;
-      o_gen = Atomic.make 0;
-    }
-  in
-  (match Ir.flag_index cls "initialstate" with
-  | Some bit -> o.o_flags <- 1 lsl bit
-  | None -> ());
-  Array.iteri
-    (fun i (f : Ir.fieldinfo) ->
-      if f.f_name = "args" then
-        o.o_fields.(i) <- Varr (Oarr (Array.of_list (List.map (fun s -> Vstr s) args))))
-    cls.c_fields;
-  ctx.objects <- o :: ctx.objects;
-  o
-
-(** Program output accumulated so far. *)
-let output ctx = Buffer.contents ctx.out
-
-(** Every object this context ever allocated (startup object
-    included), in allocation order — the final heap handed to the
-    canonical output digest. *)
-let final_objects ctx = List.rev ctx.objects

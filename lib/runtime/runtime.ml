@@ -102,6 +102,13 @@ type state = {
   prog : Ir.program;
   layout : Layout.t;
   ictx : Interp.ctx;
+  invoke :
+    Ir.taskinfo ->
+    obj array ->
+    tag_binds:(Ir.slot * tag_inst) list ->
+    Interp.invocation_result;
+  (* [ictx]'s engine (bytecode executor or tree-walking oracle),
+     resolved once at state construction *)
   machine : Machine.t;
   cores : core array;
   events : event Pqueue.t;
@@ -455,7 +462,7 @@ let core_ready st core now =
                    [finish] because any conflicting invocation must
                    first take one of these locks. *)
                 let r =
-                  Interp.invoke_task st.ictx inv.iv_task
+                  st.invoke inv.iv_task
                     (Array.map (fun e -> e.en_obj) inv.iv_params)
                     ~tag_binds:inv.iv_tags
                 in
@@ -529,11 +536,13 @@ let run ?(args = []) ?(max_invocations = 2_000_000) ?(record_trace = false) ?loc
   let lock_groups =
     match lock_groups with Some g -> g | None -> default_lock_groups prog
   in
+  let ictx = Interp.create prog in
   let st =
     {
       prog;
       layout;
-      ictx = Interp.create prog;
+      ictx;
+      invoke = Interp.executor ictx;
       machine = layout.Layout.machine;
       cores = Array.init layout.Layout.machine.Machine.cores (make_core prog);
       events = Pqueue.create ~dummy:(Ready 0);
