@@ -140,19 +140,76 @@ let compile_diagnosed file format =
   | exception Bamboo_frontend.Lexer.Error (pos, msg) -> frontend_error pos "syntax error" msg
   | exception Bamboo_frontend.Typecheck.Error (pos, msg) -> frontend_error pos "type error" msg
 
+let deny_warnings_arg =
+  Arg.(
+    value & flag
+    & info [ "deny-warnings" ]
+        ~doc:"exit non-zero when any warning is reported, not only on errors")
+
+let effects_arg =
+  Arg.(
+    value & flag
+    & info [ "effects" ]
+        ~doc:
+          "also report the concurrency-effects analysis: per-task effect sets, sharing \
+           evidence and steal-safety interference classes (a $(b,metrics) and an \
+           $(b,effects) section in JSON, a trailing summary in text)")
+
+(** Per-rule diagnostic counts as a JSON object, every registered rule
+    present (zero included) so the schema is stable. *)
+let rule_counts_json ds =
+  let rules =
+    [ Bamboo.Check.rule_frontend; Bamboo.Check.rule_dead_task;
+      Bamboo.Check.rule_stuck_state; Bamboo.Check.rule_flag_hygiene;
+      Bamboo.Check.rule_tag_hygiene; Bamboo.Check.rule_unreachable_exit;
+      Bamboo.Check.rule_missing_exit; Bamboo.Check.rule_lock_order;
+      Bamboo.Check.rule_field_race; Bamboo.Check.rule_guard_race;
+      Bamboo.Check.rule_group_split; Bamboo.Check.rule_interference ]
+  in
+  Printf.sprintf "{%s}"
+    (String.concat ","
+       (List.map
+          (fun r ->
+            let n = List.length (List.filter (fun d -> d.Bamboo.Diagnostic.rule = r) ds) in
+            Printf.sprintf "\"%s\":%d" r n)
+          rules))
+
 let cmd_check =
-  let run file format =
+  let run file format deny_warnings effects =
     let prog = compile_diagnosed file format in
-    let ds = Bamboo.Check.run_program prog in
-    print_string (Bamboo.Diagnostic.render ~format ~file ds);
-    if Bamboo.Diagnostic.has_errors ds then exit 1
+    let t0 = Unix.gettimeofday () in
+    let input = Bamboo.Check.prepare prog in
+    let ds = Bamboo.Check.run input in
+    let wall = Unix.gettimeofday () -. t0 in
+    let extra =
+      if effects && format = Bamboo.Diagnostic.Json then
+        [
+          ( "metrics",
+            Printf.sprintf
+              "{\"wall_seconds\":%.6f,\"effects_wall_seconds\":%.6f,\"rules\":%s}" wall
+              input.Bamboo.Check.effects.Bamboo.Effects.seconds (rule_counts_json ds) );
+          ( "effects",
+            Bamboo.Check_effects.report_json prog input.Bamboo.Check.effects
+              ~lock_groups:input.Bamboo.Check.lock_groups );
+        ]
+      else []
+    in
+    print_string (Bamboo.Diagnostic.render ~format ~file ~extra ds);
+    if effects && format = Bamboo.Diagnostic.Text then
+      print_string
+        (Bamboo.Check_effects.report_text prog input.Bamboo.Check.effects
+           ~lock_groups:input.Bamboo.Check.lock_groups);
+    if
+      Bamboo.Diagnostic.has_errors ds
+      || (deny_warnings && Bamboo.Diagnostic.has_warnings ds)
+    then exit 1
   in
   Cmd.v
     (Cmd.info "check"
        ~doc:
          "run the static verifier (dead tasks, stuck states, flag/tag hygiene, exit \
-          reachability, lock-group audit) and print diagnostics")
-    Term.(const run $ file_arg $ format_arg)
+          reachability, lock-group audit, races, interference) and print diagnostics")
+    Term.(const run $ file_arg $ format_arg $ deny_warnings_arg $ effects_arg)
 
 let cmd_analyze =
   let run file =
@@ -288,7 +345,7 @@ let cmd_run =
 
 let cmd_exec =
   let run file args cores domains seed jobs layout_kind sim_reference exec_reference
-      interp_reference digest_only canon =
+      interp_reference digest_only canon sanitize =
     if exec_reference then Bamboo.Exec.use_reference := true;
     if interp_reference then Bamboo.Interp.use_reference := true;
     let prog = load file in
@@ -301,7 +358,10 @@ let cmd_exec =
           let prof = Bamboo.profile ~args prog in
           (Bamboo.synthesize ~seed ~jobs prog an prof (machine_of cores)).best
     in
-    let r = Bamboo.execute_parallel ~args ~domains ~seed prog an layout in
+    let sanitize =
+      if sanitize then Some (Bamboo.Effects.analyse prog an.astgs) else None
+    in
+    let r = Bamboo.execute_parallel ~args ~domains ~seed ?sanitize prog an layout in
     if digest_only then print_endline r.x_digest
     else if canon then
       print_endline (Bamboo.Canon.canonical prog ~output:r.x_output ~objects:r.x_objects)
@@ -312,7 +372,13 @@ let cmd_exec =
          messages, %d lock retries)\ndigest: %s\n"
         r.x_wall_seconds r.x_domains cores r.x_invocations r.x_cycles r.x_messages
         r.x_lock_retries r.x_digest
-    end
+    end;
+    (match (sanitize, r.x_violations) with
+    | Some _, [] -> if not digest_only && not canon then print_endline "sanitizer: clean"
+    | Some _, vs ->
+        List.iter (fun v -> Printf.eprintf "sanitizer: %s\n" v) vs;
+        exit 1
+    | None, _ -> ())
   in
   let layout_arg =
     Arg.(
@@ -346,6 +412,15 @@ let cmd_exec =
             "print the field-level canonical form instead of the output (for diffing \
              digest mismatches)")
   in
+  let sanitize_arg =
+    Arg.(
+      value & flag
+      & info [ "sanitize" ]
+          ~doc:
+            "run under the dynamic lockset sanitizer: every object access is checked \
+             against the static effect analysis' predictions and an Eraser-style shadow \
+             lockset; any violation is printed and the exit status is non-zero")
+  in
   Cmd.v
     (Cmd.info "exec"
        ~doc:
@@ -354,7 +429,7 @@ let cmd_exec =
     Term.(
       const run $ file_arg $ args_arg $ cores_arg $ domains_arg $ seed_arg $ jobs_arg
       $ layout_arg $ sim_reference_arg $ exec_reference_arg $ interp_reference_arg
-      $ digest_only_arg $ canon_arg)
+      $ digest_only_arg $ canon_arg $ sanitize_arg)
 
 let cmd_trace =
   let run file args cores seed jobs sim_reference =

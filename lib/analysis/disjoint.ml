@@ -49,6 +49,16 @@ end)
    (class, method) analysed within it, plus per-method return values. *)
 type var = Vtask of Ir.slot | Vmeth of Ir.class_id * Ir.method_id * Ir.slot | Vret of Ir.class_id * Ir.method_id
 
+(* One syntactic heap access, reported to an optional recorder during a
+   post-fixpoint pass over the task (see {!record_accesses}).  Field
+   events carry the full receiver node-set; element events are emitted
+   once per array node so each can be keyed by its element type. *)
+type access_event =
+  | Aread_field of NodeSet.t * Ir.class_id * Ir.field_id
+  | Awrite_field of NodeSet.t * Ir.class_id * Ir.field_id
+  | Aread_elem of node
+  | Awrite_elem of node
+
 type state = {
   prog : Ir.program;
   vars : (var, NodeSet.t ref) Hashtbl.t;
@@ -57,6 +67,7 @@ type state = {
   node_types : (node, Ir.typ) Hashtbl.t;           (* declared type, for materialization *)
   mutable changed : bool;
   mutable analysed_methods : (Ir.class_id * Ir.method_id) list;
+  mutable recorder : (access_event -> unit) option;
 }
 
 let is_ref_typ : Ir.typ -> bool = function Tclass _ | Tarray _ -> true | _ -> false
@@ -149,6 +160,8 @@ let elem_typ st n =
   | Some (Ir.Tarray t) -> Some t
   | _ -> None
 
+let record st ev = match st.recorder with Some f -> f ev | None -> ()
+
 let rec eval_expr st cx (e : Ir.expr) : NodeSet.t =
   match e with
   | Eint _ | Efloat _ | Ebool _ | Estr _ | Enull -> NodeSet.empty
@@ -157,11 +170,13 @@ let rec eval_expr st cx (e : Ir.expr) : NodeSet.t =
       let recv = eval_expr st cx r in
       let key = field_key st.prog cid fid in
       let ftyp = Ir.((class_of st.prog cid).c_fields.(fid).f_typ) in
+      record st (Aread_field (recv, cid, fid));
       NodeSet.fold (fun n acc -> NodeSet.union acc (load st n key ~typ:(Some ftyp))) recv
         NodeSet.empty
   | Eindex (a, i) ->
       ignore (eval_expr st cx i);
       let arr = eval_expr st cx a in
+      NodeSet.iter (fun n -> record st (Aread_elem n)) arr;
       NodeSet.fold
         (fun n acc -> NodeSet.union acc (load st n "[]" ~typ:(elem_typ st n)))
         arr NodeSet.empty
@@ -222,11 +237,13 @@ and exec_stmt st cx (s : Ir.stmt) =
       let recvs = eval_expr st cx r in
       let v = eval_expr st cx e in
       let key = field_key st.prog cid fid in
+      record st (Awrite_field (recvs, cid, fid));
       NodeSet.iter (fun n -> add_nodes st (heap_set st n key) v) recvs
   | Sassign (Lindex (a, i), e) ->
       ignore (eval_expr st cx i);
       let arrs = eval_expr st cx a in
       let v = eval_expr st cx e in
+      NodeSet.iter (fun n -> record st (Awrite_elem n)) arrs;
       NodeSet.iter (fun n -> add_nodes st (heap_set st n "[]") v) arrs
   | Sif (c, a, b) ->
       ignore (eval_expr st cx c);
@@ -275,8 +292,21 @@ type task_report = {
   dr_shared_pairs : (int * int) list;
 }
 
-(** Analyse one task. *)
-let analyse_task (prog : Ir.program) (task : Ir.taskinfo) : task_report =
+(* One pass over the task body and every method reached so far. *)
+let run_pass (st : state) (task : Ir.taskinfo) =
+  reset_arr_counter st Cxtask;
+  List.iter (exec_stmt st Cxtask) task.t_body;
+  List.iter
+    (fun (cid, mid) ->
+      let m = Ir.(class_of st.prog cid).c_methods.(mid) in
+      reset_arr_counter st (Cxmeth (cid, mid));
+      List.iter (exec_stmt st (Cxmeth (cid, mid))) m.m_body)
+    st.analysed_methods
+
+(** Solve one task's points-to constraints to fixpoint and return the
+    solver state (for clients that need more than the shared-pair
+    verdict, e.g. the effect analysis). *)
+let solve_task (prog : Ir.program) (task : Ir.taskinfo) : state =
   let st =
     {
       prog;
@@ -286,6 +316,7 @@ let analyse_task (prog : Ir.program) (task : Ir.taskinfo) : task_report =
       node_types = Hashtbl.create 32;
       changed = true;
       analysed_methods = [];
+      recorder = None;
     }
   in
   (* Seed parameters with their declared class types. *)
@@ -301,15 +332,30 @@ let analyse_task (prog : Ir.program) (task : Ir.taskinfo) : task_report =
   while st.changed && !iterations < 100 do
     st.changed <- false;
     incr iterations;
-    reset_arr_counter st Cxtask;
-    List.iter (exec_stmt st Cxtask) task.t_body;
-    List.iter
-      (fun (cid, mid) ->
-        let m = Ir.(class_of prog cid).c_methods.(mid) in
-        reset_arr_counter st (Cxmeth (cid, mid));
-        List.iter (exec_stmt st (Cxmeth (cid, mid))) m.m_body)
-      st.analysed_methods
+    run_pass st task
   done;
+  st
+
+(** One more pass over the solved task, reporting every syntactic heap
+    access to [f] with its (fixpoint) receiver node-set.  At fixpoint
+    the pass cannot grow any set, so the receiver sets it observes are
+    the final ones. *)
+let record_accesses (st : state) (task : Ir.taskinfo) (f : access_event -> unit) =
+  st.recorder <- Some f;
+  Fun.protect ~finally:(fun () -> st.recorder <- None) (fun () -> run_pass st task)
+
+(** All nodes mentioned anywhere in the solved state. *)
+let all_nodes (st : state) : NodeSet.t =
+  let acc = ref NodeSet.empty in
+  Hashtbl.iter (fun _ s -> acc := NodeSet.union !acc !s) st.vars;
+  Hashtbl.iter
+    (fun (src, _) targets -> acc := NodeSet.union (NodeSet.add src !acc) !targets)
+    st.heap;
+  !acc
+
+(** Analyse one task. *)
+let analyse_task (prog : Ir.program) (task : Ir.taskinfo) : task_report =
+  let st = solve_task prog task in
   let nparams = Array.length task.t_params in
   let reaches = Array.init nparams (fun i -> reach_from st (NParam i)) in
   let pairs = ref [] in

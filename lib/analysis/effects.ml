@@ -1,0 +1,337 @@
+(** Interprocedural concurrency-effects analysis.
+
+    For every task this module infers, from the IR body and every
+    method reachable through call sites, the task's *effect sets*:
+
+    - field and array-element reads/writes, attributed to the
+      parameter or allocation-site region they are rooted in (reusing
+      {!Disjoint}'s per-task points-to solution);
+    - flag and tag reads (guards) and writes (taskexit actions);
+    - whether the task produces output.
+
+    On top of the per-task effects it computes *share evidence*: pairs
+    of region-root classes whose regions may refer to a common object
+    after some task runs.  This generalizes {!Disjoint}'s parameter
+    pair verdict to allocation-site roots, so a creator task that
+    wires two fresh objects to a common child (invisible to the
+    parameter-pair check, which sees only one [StartupObject]
+    parameter) still produces evidence that the two classes share
+    state.
+
+    The static model is 1-limited over allocation sites: one abstract
+    node summarizes every dynamic object of a site, so sharing between
+    two instances of the *same* site (e.g. a loop wiring each instance
+    to one common fresh object) is not observable — exactly the
+    approximation the original disjointness analysis makes.  The
+    dynamic lockset sanitizer ([bamboo exec --sanitize]) is the
+    runtime cross-check covering that blind spot. *)
+
+module Ir = Bamboo_ir.Ir
+
+(* ------------------------------------------------------------------ *)
+(* Effect vocabulary *)
+
+(** What a field/element access touches: a named field of a class, or
+    the elements of arrays with a given element type. *)
+type atom = Afield of Ir.class_id * Ir.field_id | Aelem of Ir.typ
+
+(** A class whose objects may sit in two regions at once (share
+    witness): plain objects or arrays of a given element type. *)
+type witness = Wclass of Ir.class_id | Warr of Ir.typ
+
+(** One syntactic heap access, summarized.  [ac_roots] lists the
+    classes of the pre-existing regions (task parameters) or published
+    allocation-site regions the receiver may belong to; [ac_fresh]
+    records that the receiver may also be an object allocated by this
+    task itself (private until publication at taskexit). *)
+type access = {
+  ac_write : bool;
+  ac_atom : atom;
+  ac_roots : int list; (* root class ids, sorted, deduped *)
+  ac_fresh : bool;
+}
+
+(** Region sharing created by one task: objects of the witness classes
+    may be reachable from both a region rooted at [sh_class_a] and one
+    rooted at [sh_class_b]. *)
+type share = {
+  sh_task : Ir.task_id;
+  sh_class_a : Ir.class_id;
+  sh_class_b : Ir.class_id; (* sh_class_a <= sh_class_b *)
+  sh_witness : witness list;
+}
+
+type task_effects = {
+  ef_task : Ir.task_id;
+  ef_live : bool; (* every parameter guard satisfiable in the ASTG *)
+  ef_output : bool;
+  ef_accesses : access list;
+  ef_guard_flags : (Ir.class_id * Ir.flag_id) list;
+  ef_guard_tags : (Ir.class_id * Ir.tag_ty_id) list;
+  ef_flag_writes : (Ir.class_id * Ir.flag_id * Ir.pos) list;
+  ef_tag_writes : (Ir.class_id * Ir.tag_ty_id * Ir.pos) list;
+}
+
+type t = {
+  per_task : task_effects array;
+  shares : share list;
+  seconds : float; (* CPU time spent in this analysis *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Rendering helpers (shared by diagnostics, JSON report, sanitizer) *)
+
+let atom_name prog = function
+  | Afield (cid, fid) ->
+      Printf.sprintf "%s.%s" (Ir.class_of prog cid).c_name
+        (Ir.class_of prog cid).c_fields.(fid).f_name
+  | Aelem t -> Printf.sprintf "elem:%s" (Ir.string_of_typ t)
+
+let witness_name prog = function
+  | Wclass cid -> (Ir.class_of prog cid).c_name
+  | Warr t -> Ir.string_of_typ t ^ "[]"
+
+(** Does share evidence about [w] cover accesses to [atom]? *)
+let witness_covers w atom =
+  match (w, atom) with
+  | Wclass c, Afield (c', _) -> c = c'
+  | Warr t, Aelem t' -> t = t'
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Per-task inference *)
+
+(* The region-root class of an old node: the class of the base
+   parameter whose pre-existing region the node belongs to.  Fresh
+   nodes (sites, arrays) have no old root. *)
+let rec old_root_class (task : Ir.taskinfo) : Disjoint.node -> Ir.class_id option = function
+  | NParam i -> Some task.t_params.(i).p_class
+  | NReach (base, _) -> old_root_class task base
+  | NSite _ | NArr _ -> None
+
+let node_witness (st : Disjoint.state) prog (n : Disjoint.node) : witness option =
+  match n with
+  | NSite sid -> Some (Wclass prog.Ir.sites.(sid).s_class)
+  | _ -> (
+      match Hashtbl.find_opt st.node_types n with
+      | Some (Ir.Tclass name) -> Some (Wclass (Ir.find_class_exn prog name))
+      | Some (Ir.Tarray t) -> Some (Warr t)
+      | _ -> None)
+
+(* Summarize one recorded access event.  The receiver set splits into
+   old nodes (attributed to their root classes) and fresh nodes. *)
+let summarize_event task ~write nodes atom =
+  let roots = ref [] and fresh = ref false in
+  Disjoint.NodeSet.iter
+    (fun n ->
+      match old_root_class task n with
+      | Some c -> if not (List.mem c !roots) then roots := c :: !roots
+      | None -> fresh := true)
+    nodes;
+  { ac_write = write; ac_atom = atom; ac_roots = List.sort compare !roots; ac_fresh = !fresh }
+
+(* Published-site roots: sites additionally act as region roots of
+   their own class (objects escape at taskexit and become task
+   parameters later). *)
+let site_roots (st : Disjoint.state) =
+  Disjoint.NodeSet.filter (function Disjoint.NSite _ -> true | _ -> false) (Disjoint.all_nodes st)
+
+let root_class prog task : Disjoint.node -> Ir.class_id = function
+  | Disjoint.NParam i -> task.Ir.t_params.(i).p_class
+  | NSite sid -> prog.Ir.sites.(sid).s_class
+  | n -> (
+      match old_root_class task n with
+      | Some c -> c
+      | None -> invalid_arg "Effects.root_class: not a region root")
+
+(* Does [stmts], or any method body in [methods], print? *)
+let rec expr_prints (e : Ir.expr) =
+  match e with
+  | Ebuiltin ((PrintStr | PrintInt | PrintDouble), args) ->
+      ignore args;
+      true
+  | Eint _ | Efloat _ | Ebool _ | Estr _ | Enull | Elocal _ -> false
+  | Efield (r, _, _) -> expr_prints r
+  | Eindex (a, i) -> expr_prints a || expr_prints i
+  | Ebin (_, a, b) | Eand (a, b) | Eor (a, b) -> expr_prints a || expr_prints b
+  | Eun (_, a) | Ecast (_, a) -> expr_prints a
+  | Ebuiltin (_, args) | Enewarr (_, args) | Enew (_, args) -> List.exists expr_prints args
+  | Ecall (r, _, _, args) -> expr_prints r || List.exists expr_prints args
+
+let rec stmt_prints (s : Ir.stmt) =
+  match s with
+  | Sassign (Llocal _, e) -> expr_prints e
+  | Sassign (Lfield (r, _, _), e) -> expr_prints r || expr_prints e
+  | Sassign (Lindex (a, i), e) -> expr_prints a || expr_prints i || expr_prints e
+  | Sif (c, a, b) -> expr_prints c || List.exists stmt_prints a || List.exists stmt_prints b
+  | Swhile (c, b) -> expr_prints c || List.exists stmt_prints b
+  | Sreturn (Some e) | Sexpr e -> expr_prints e
+  | Sreturn None | Sbreak | Scontinue | Staskexit _ | Snewtag _ -> false
+
+let task_prints prog (st : Disjoint.state) (task : Ir.taskinfo) =
+  List.exists stmt_prints task.t_body
+  || List.exists
+       (fun (cid, mid) ->
+         List.exists stmt_prints Ir.((class_of prog cid).c_methods.(mid).m_body))
+       st.Disjoint.analysed_methods
+
+(* Flag/tag effects come straight from the IR: guards read, taskexit
+   actions write. *)
+let guard_effects prog (task : Ir.taskinfo) =
+  let flags = ref [] and tags = ref [] in
+  Array.iter
+    (fun (p : Ir.paraminfo) ->
+      let support = Ir.flagexp_support p.p_guard in
+      Array.iteri
+        (fun i _name ->
+          if support land (1 lsl i) <> 0 && not (List.mem (p.p_class, i) !flags) then
+            flags := (p.p_class, i) :: !flags)
+        (Ir.class_of prog p.p_class).c_flags;
+      List.iter
+        (fun (ty, _) -> if not (List.mem (p.p_class, ty) !tags) then tags := (p.p_class, ty) :: !tags)
+        p.p_tags)
+    task.t_params;
+  (List.rev !flags, List.rev !tags)
+
+let exit_effects (task : Ir.taskinfo) =
+  let slot_tags = Astg.task_slot_tags task in
+  let flags = ref [] and tags = ref [] in
+  Array.iter
+    (fun (x : Ir.exitinfo) ->
+      List.iter
+        (fun (pidx, (a : Ir.actions)) ->
+          let c = task.t_params.(pidx).p_class in
+          List.iter
+            (fun (f, _) ->
+              if not (List.exists (fun (c', f', _) -> c' = c && f' = f) !flags) then
+                flags := (c, f, x.x_pos) :: !flags)
+            a.a_set;
+          List.iter
+            (fun slot ->
+              match List.assoc_opt slot slot_tags with
+              | Some ty ->
+                  if not (List.exists (fun (c', t', _) -> c' = c && t' = ty) !tags) then
+                    tags := (c, ty, x.x_pos) :: !tags
+              | None -> ())
+            (a.a_addtags @ a.a_cleartags))
+        x.x_actions)
+    task.t_exits;
+  (List.rev !flags, List.rev !tags)
+
+(* ------------------------------------------------------------------ *)
+(* Whole-program analysis *)
+
+let analyse_task prog astgs (task : Ir.taskinfo) : task_effects * share list =
+  let st = Disjoint.solve_task prog task in
+  (* Collect deduped accesses from a recording pass. *)
+  let seen = Hashtbl.create 64 in
+  let accesses = ref [] in
+  let push ac =
+    if not (Hashtbl.mem seen ac) then begin
+      Hashtbl.replace seen ac ();
+      accesses := ac :: !accesses
+    end
+  in
+  Disjoint.record_accesses st task (fun ev ->
+      match ev with
+      | Aread_field (nodes, cid, fid) ->
+          push (summarize_event task ~write:false nodes (Afield (cid, fid)))
+      | Awrite_field (nodes, cid, fid) ->
+          push (summarize_event task ~write:true nodes (Afield (cid, fid)))
+      | Aread_elem n | Awrite_elem n ->
+          let write = match ev with Awrite_elem _ -> true | _ -> false in
+          let t =
+            match Hashtbl.find_opt st.node_types n with
+            | Some (Ir.Tarray t) -> t
+            | _ -> Ir.Tint (* untyped array node: collapse to int elements *)
+          in
+          push (summarize_event task ~write (Disjoint.NodeSet.singleton n) (Aelem t)));
+  (* Share evidence: pairwise region overlap over all roots (params and
+     allocation sites). *)
+  let roots =
+    Array.to_list (Array.init (Array.length task.t_params) (fun i -> Disjoint.NParam i))
+    @ Disjoint.NodeSet.elements (site_roots st)
+  in
+  let reach = List.map (fun r -> (r, Disjoint.reach_from st r)) roots in
+  let shares = ref [] in
+  let rec pairs = function
+    | [] -> ()
+    | (ra, sa) :: rest ->
+        List.iter
+          (fun (rb, sb) ->
+            let inter = Disjoint.NodeSet.inter sa sb in
+            if not (Disjoint.NodeSet.is_empty inter) then begin
+              let wits = ref [] in
+              Disjoint.NodeSet.iter
+                (fun n ->
+                  match node_witness st prog n with
+                  | Some w -> if not (List.mem w !wits) then wits := w :: !wits
+                  | None -> ())
+                inter;
+              let ca = root_class prog task ra and cb = root_class prog task rb in
+              let ca, cb = (min ca cb, max ca cb) in
+              shares :=
+                { sh_task = task.t_id; sh_class_a = ca; sh_class_b = cb; sh_witness = !wits }
+                :: !shares
+            end)
+          rest;
+        pairs rest
+  in
+  pairs reach;
+  let live =
+    Array.for_all
+      (fun (p : Ir.paraminfo) ->
+        List.exists (fun s -> Astg.astate_satisfies p s) astgs.(p.p_class).Astg.a_states)
+      task.t_params
+  in
+  let guard_flags, guard_tags = guard_effects prog task in
+  let flag_writes, tag_writes = exit_effects task in
+  ( {
+      ef_task = task.t_id;
+      ef_live = live;
+      ef_output = task_prints prog st task;
+      ef_accesses = List.rev !accesses;
+      ef_guard_flags = guard_flags;
+      ef_guard_tags = guard_tags;
+      ef_flag_writes = flag_writes;
+      ef_tag_writes = tag_writes;
+    },
+    List.rev !shares )
+
+let analyse (prog : Ir.program) (astgs : Astg.t array) : t =
+  let t0 = Sys.time () in
+  let shares = ref [] in
+  let per_task =
+    Array.map
+      (fun task ->
+        let ef, sh = analyse_task prog astgs task in
+        shares := !shares @ sh;
+        ef)
+      prog.tasks
+  in
+  { per_task; shares = !shares; seconds = Sys.time () -. t0 }
+
+(* ------------------------------------------------------------------ *)
+(* Share-evidence queries *)
+
+(** Witnesses recorded for the unordered class pair (a, b), across all
+    tasks. *)
+let share_witnesses (eff : t) a b =
+  let a, b = (min a b, max a b) in
+  List.concat_map
+    (fun sh -> if sh.sh_class_a = a && sh.sh_class_b = b then sh.sh_witness else [])
+    eff.shares
+
+(** The tasks whose execution may create sharing between regions
+    rooted at classes [a] and [b] covering [atom]. *)
+let sharing_tasks (eff : t) a b atom =
+  let a, b = (min a b, max a b) in
+  List.filter_map
+    (fun sh ->
+      if
+        sh.sh_class_a = a && sh.sh_class_b = b
+        && List.exists (fun w -> witness_covers w atom) sh.sh_witness
+      then Some sh.sh_task
+      else None)
+    eff.shares
+  |> List.sort_uniq compare

@@ -26,7 +26,10 @@
        the disjointness analysis must form a consistent (idempotent)
        table whose per-task acquisition sequences admit a global
        order, and every class of a multi-member group must use the
-       group lock.}}
+       group lock;}
+    {- [BAM008]–[BAM011] concurrency-effects rules (field races,
+       guard/effect races, splittable lock groups, steal-safety
+       interference classes) — see {!Effects}.}}
 
     [BAM000] is reserved for frontend (syntax/type) errors reported
     through the same rendering pipeline by the CLI. *)
@@ -44,6 +47,10 @@ let rule_tag_hygiene = "BAM004"
 let rule_unreachable_exit = "BAM005"
 let rule_missing_exit = "BAM006"
 let rule_lock_order = "BAM007"
+let rule_field_race = Effects.rule_field_race
+let rule_guard_race = Effects.rule_guard_race
+let rule_group_split = Effects.rule_group_split
+let rule_interference = Effects.rule_interference
 
 (** Everything the passes need, computed once. *)
 type input = {
@@ -51,13 +58,20 @@ type input = {
   astgs : Astg.t array;
   disjoint : Disjoint.task_report list;
   lock_groups : int array;
+  effects : Bamboo_analysis.Effects.t;
 }
+
+(** Build an input from already-computed base analyses, running the
+    effect analysis on top. *)
+let make_input (prog : Ir.program) ~astgs ~disjoint ~lock_groups : input =
+  let effects = Bamboo_analysis.Effects.analyse prog astgs in
+  { prog; astgs; disjoint; lock_groups; effects }
 
 let prepare (prog : Ir.program) : input =
   let astgs = Astg.of_program prog in
   let disjoint = Disjoint.analyse prog in
   let lock_groups = Disjoint.lock_groups prog disjoint in
-  { prog; astgs; disjoint; lock_groups }
+  make_input prog ~astgs ~disjoint ~lock_groups
 
 (* ------------------------------------------------------------------ *)
 (* BAM001: dead tasks *)
@@ -198,8 +212,11 @@ let flag_hygiene (i : input) : D.t list =
                           "flag %s of class %s is never used" name c.c_name;
                       ]
                   | false, true ->
+                      (* A dead store: no guard depends on the flag, so it
+                         cannot affect scheduling — informational, like the
+                         read-but-never-written case below. *)
                       [
-                        D.make ~rule:rule_flag_hygiene ~severity:D.Warning ~pos ~context
+                        D.make ~rule:rule_flag_hygiene ~severity:D.Info ~pos ~context
                           "flag %s of class %s is written but never read by any task guard \
                            (write-only)"
                           name c.c_name;
@@ -492,6 +509,18 @@ let lock_order (i : input) : D.t list = audit_lock_order i.prog i.disjoint i.loc
 (* ------------------------------------------------------------------ *)
 (* Driver *)
 
+let field_races (i : input) : D.t list =
+  Effects.field_races i.prog i.effects ~lock_groups:i.lock_groups
+
+let guard_races (i : input) : D.t list =
+  Effects.guard_races i.prog i.effects ~lock_groups:i.lock_groups
+
+let splittable_groups (i : input) : D.t list =
+  Effects.splittable_groups i.prog i.effects ~lock_groups:i.lock_groups
+
+let interference (i : input) : D.t list =
+  Effects.interference i.prog i.effects ~lock_groups:i.lock_groups
+
 let passes =
   [
     ("dead-tasks", dead_tasks);
@@ -500,6 +529,10 @@ let passes =
     ("tag-hygiene", tag_hygiene);
     ("exit-reachability", exit_reachability);
     ("lock-order", lock_order);
+    ("field-races", field_races);
+    ("guard-races", guard_races);
+    ("splittable-groups", splittable_groups);
+    ("interference", interference);
   ]
 
 (** Run every pass over prepared analysis results. *)

@@ -33,7 +33,9 @@ let make ~rule ~severity ?pos ?(context = []) fmt =
   Printf.ksprintf (fun message -> { rule; severity; pos; message; context }) fmt
 
 (* Deterministic report order: position first (so output follows the
-   source), then severity, rule, and message as tie-breakers. *)
+   source), then rule code, then severity and message as tie-breakers —
+   a total order over (span, rule), so reports are stable across passes
+   and pass-registration order. *)
 let compare_diag a b =
   let pos_key = function
     | Some (p : Ast.pos) -> (0, p.line, p.col)
@@ -41,15 +43,28 @@ let compare_diag a b =
   in
   match compare (pos_key a.pos) (pos_key b.pos) with
   | 0 -> (
-      match compare (severity_rank a.severity) (severity_rank b.severity) with
-      | 0 -> ( match compare a.rule b.rule with 0 -> compare a.message b.message | c -> c)
+      match compare a.rule b.rule with
+      | 0 -> (
+          match compare (severity_rank a.severity) (severity_rank b.severity) with
+          | 0 -> compare a.message b.message
+          | c -> c)
       | c -> c)
   | c -> c
 
-let sort ds = List.stable_sort compare_diag ds
+(** Sort into report order and drop exact duplicates (identical rule,
+    severity, position, message and context), so a fact reported by
+    two passes renders once. *)
+let sort ds =
+  let rec dedup = function
+    | a :: b :: rest when a = b -> dedup (b :: rest)
+    | a :: rest -> a :: dedup rest
+    | [] -> []
+  in
+  dedup (List.stable_sort compare_diag ds)
 
 let count sev ds = List.length (List.filter (fun d -> d.severity = sev) ds)
 let has_errors ds = List.exists (fun d -> d.severity = Error) ds
+let has_warnings ds = List.exists (fun d -> d.severity = Warning) ds
 
 (* ------------------------------------------------------------------ *)
 (* Text rendering *)
@@ -117,15 +132,23 @@ let to_json d =
 
 (** Full JSON report:
     [{"file":...,"summary":{"errors":N,"warnings":N,"infos":N},
-      "diagnostics":[...]}]. *)
-let render_json ?(file = "<input>") ds =
+      "diagnostics":[...]}].  [extra] appends additional top-level
+    sections, each a key plus an already-rendered JSON value (used by
+    the CLI for ["metrics"] and ["effects"]). *)
+let render_json ?(file = "<input>") ?(extra = []) ds =
   let sorted = sort ds in
+  let extra_fields =
+    String.concat "" (List.map (fun (k, v) -> Printf.sprintf ",\"%s\":%s" (json_escape k) v) extra)
+  in
   Printf.sprintf
-    "{\"file\":\"%s\",\"summary\":{\"errors\":%d,\"warnings\":%d,\"infos\":%d},\"diagnostics\":[%s]}\n"
+    "{\"file\":\"%s\",\"summary\":{\"errors\":%d,\"warnings\":%d,\"infos\":%d},\"diagnostics\":[%s]%s}\n"
     (json_escape file) (count Error sorted) (count Warning sorted) (count Info sorted)
     (String.concat "," (List.map to_json sorted))
+    extra_fields
 
 type format = Text | Json
 
-let render ?(format = Text) ?file ds =
-  match format with Text -> render_text ?file ds | Json -> render_json ?file ds
+let render ?(format = Text) ?file ?extra ds =
+  match format with
+  | Text -> render_text ?file ds
+  | Json -> render_json ?file ?extra ds

@@ -1,0 +1,379 @@
+(** Concurrency-effects rules (BAM008–BAM011) and the [--effects]
+    report, built on {!Bamboo_analysis.Effects}.
+
+    {ul
+    {- [BAM008] field race — two live tasks access the same field (or
+       array-element class) with at least one write, rooted at regions
+       for which some task creates share evidence, and the root
+       classes are not serialized by a shared lock group;}
+    {- [BAM009] guard/effect race — a taskexit writes a flag or tag
+       that another live task's guard reads, outside a shared lock
+       group: the snapshot-revalidation hazard the parallel backend
+       handles dynamically, catalogued statically;}
+    {- [BAM010] lock-group over-approximation — a multi-member lock
+       group whose members' effect sets never conflict even without
+       the group: splitting it would buy parallelism;}
+    {- [BAM011] steal-safety classification — the partition of live
+       tasks into interference classes (tasks that may contend on a
+       common lock key or on unprotected shared state), the static
+       contract for a work-stealing scheduler.}} *)
+
+module Ir = Bamboo_ir.Ir
+module E = Bamboo_analysis.Effects
+module Union_find = Bamboo_support.Union_find
+module D = Diagnostic
+
+let rule_field_race = "BAM008"
+let rule_guard_race = "BAM009"
+let rule_group_split = "BAM010"
+let rule_interference = "BAM011"
+
+(* ------------------------------------------------------------------ *)
+(* Conflict detection *)
+
+(** A pair of task accesses that may touch the same object unprotected. *)
+type conflict = {
+  cf_task_a : Ir.task_id;
+  cf_task_b : Ir.task_id; (* cf_task_a <= cf_task_b *)
+  cf_atom : E.atom;
+  cf_root_a : Ir.class_id;
+  cf_root_b : Ir.class_id; (* cf_root_a <= cf_root_b *)
+  cf_via : Ir.task_id list; (* tasks whose execution creates the sharing *)
+}
+
+let group_protected lock_groups ra rb =
+  Ir.uses_group_lock lock_groups ra
+  && Ir.uses_group_lock lock_groups rb
+  && lock_groups.(ra) = lock_groups.(rb)
+
+(** All field/element conflicts between live tasks.  A conflict needs
+    (1) the same atom with at least one write, (2) root classes with
+    share evidence covering that atom, and (3) — unless
+    [ignore_groups] — roots not serialized by one multi-member lock
+    group.  [restrict] limits both roots to a class set (used by the
+    BAM010 what-if query). *)
+let conflicts (eff : E.t) ~lock_groups ?(ignore_groups = false) ?restrict () : conflict list =
+  let allowed c = match restrict with None -> true | Some cs -> List.mem c cs in
+  let out = ref [] in
+  let seen = Hashtbl.create 32 in
+  let ntasks = Array.length eff.per_task in
+  for ia = 0 to ntasks - 1 do
+    for ib = ia to ntasks - 1 do
+      let ea = eff.per_task.(ia) and eb = eff.per_task.(ib) in
+      if ea.ef_live && eb.ef_live then
+        List.iter
+          (fun (aa : E.access) ->
+            List.iter
+              (fun (ab : E.access) ->
+                if aa.ac_atom = ab.ac_atom && (aa.ac_write || ab.ac_write) then
+                  List.iter
+                    (fun ra ->
+                      List.iter
+                        (fun rb ->
+                          if
+                            allowed ra && allowed rb
+                            && (ignore_groups || not (group_protected lock_groups ra rb))
+                          then
+                            let via = E.sharing_tasks eff ra rb aa.ac_atom in
+                            if via <> [] then begin
+                              let key = (ia, ib, aa.ac_atom, min ra rb, max ra rb) in
+                              if not (Hashtbl.mem seen key) then begin
+                                Hashtbl.replace seen key ();
+                                out :=
+                                  {
+                                    cf_task_a = ia;
+                                    cf_task_b = ib;
+                                    cf_atom = aa.ac_atom;
+                                    cf_root_a = min ra rb;
+                                    cf_root_b = max ra rb;
+                                    cf_via = via;
+                                  }
+                                  :: !out
+                              end
+                            end)
+                        ab.ac_roots)
+                    aa.ac_roots)
+              eb.ef_accesses)
+          ea.ef_accesses
+    done
+  done;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* BAM008: field races *)
+
+let field_races prog (eff : E.t) ~lock_groups : D.t list =
+  conflicts eff ~lock_groups ()
+  |> List.map (fun cf ->
+         let ta = prog.Ir.tasks.(cf.cf_task_a) and tb = prog.Ir.tasks.(cf.cf_task_b) in
+         let atom = E.atom_name prog cf.cf_atom in
+         let ca = (Ir.class_of prog cf.cf_root_a).c_name in
+         let cb = (Ir.class_of prog cf.cf_root_b).c_name in
+         let via =
+           String.concat ", " (List.map (fun t -> prog.Ir.tasks.(t).t_name) cf.cf_via)
+         in
+         D.make ~rule:rule_field_race ~severity:D.Error ~pos:ta.t_pos
+           ~context:
+             [
+               ("tasks", ta.t_name ^ "," ^ tb.t_name);
+               ("atom", atom);
+               ("roots", ca ^ "," ^ cb);
+               ("via", via);
+             ]
+           "tasks %s and %s may race on %s: accesses rooted at %s and %s can reach a common \
+            object (sharing created by task %s) and the classes do not share a lock group"
+           ta.t_name tb.t_name atom ca cb via)
+
+(* ------------------------------------------------------------------ *)
+(* BAM009: guard/effect races *)
+
+let guard_races prog (eff : E.t) ~lock_groups : D.t list =
+  let ds = ref [] in
+  let seen = Hashtbl.create 32 in
+  Array.iter
+    (fun (w : E.task_effects) ->
+      if w.ef_live then begin
+        (* Flag writes against other tasks' guard flags. *)
+        List.iter
+          (fun (c, f, pos) ->
+            Array.iter
+              (fun (r : E.task_effects) ->
+                if r.ef_live && r.ef_task <> w.ef_task && List.mem (c, f) r.ef_guard_flags
+                   && not (Ir.uses_group_lock lock_groups c)
+                then begin
+                  let key = (w.ef_task, r.ef_task, `Flag, c, f) in
+                  if not (Hashtbl.mem seen key) then begin
+                    Hashtbl.replace seen key ();
+                    let wt = prog.Ir.tasks.(w.ef_task) and rt = prog.Ir.tasks.(r.ef_task) in
+                    let cls = (Ir.class_of prog c).c_name in
+                    let flag = Ir.flag_name prog c f in
+                    ds :=
+                      D.make ~rule:rule_guard_race ~severity:D.Info ~pos
+                        ~context:
+                          [
+                            ("writer", wt.t_name);
+                            ("reader", rt.t_name);
+                            ("class", cls);
+                            ("flag", flag);
+                          ]
+                        "taskexit of %s writes flag %s of class %s, which the guard of task \
+                         %s reads; a stale dispatch snapshot is possible and must be \
+                         revalidated at lock time"
+                        wt.t_name flag cls rt.t_name
+                      :: !ds
+                  end
+                end)
+              eff.per_task)
+          w.ef_flag_writes;
+        (* Tag writes against other tasks' [with] bindings. *)
+        List.iter
+          (fun (c, ty, pos) ->
+            Array.iter
+              (fun (r : E.task_effects) ->
+                if r.ef_live && r.ef_task <> w.ef_task && List.mem (c, ty) r.ef_guard_tags
+                   && not (Ir.uses_group_lock lock_groups c)
+                then begin
+                  let key = (w.ef_task, r.ef_task, `Tag, c, ty) in
+                  if not (Hashtbl.mem seen key) then begin
+                    Hashtbl.replace seen key ();
+                    let wt = prog.Ir.tasks.(w.ef_task) and rt = prog.Ir.tasks.(r.ef_task) in
+                    let cls = (Ir.class_of prog c).c_name in
+                    let tag = prog.Ir.tag_types.(ty) in
+                    ds :=
+                      D.make ~rule:rule_guard_race ~severity:D.Info ~pos
+                        ~context:
+                          [
+                            ("writer", wt.t_name);
+                            ("reader", rt.t_name);
+                            ("class", cls);
+                            ("tag", tag);
+                          ]
+                        "taskexit of %s changes tag %s bindings of class %s, which task %s \
+                         consumes via 'with'; a stale dispatch snapshot is possible and must \
+                         be revalidated at lock time"
+                        wt.t_name tag cls rt.t_name
+                      :: !ds
+                  end
+                end)
+              eff.per_task)
+          w.ef_tag_writes
+      end)
+    eff.per_task;
+  List.rev !ds
+
+(* ------------------------------------------------------------------ *)
+(* BAM010: splittable lock groups *)
+
+let group_members lock_groups rep =
+  let out = ref [] in
+  Array.iteri (fun c g -> if g = rep then out := c :: !out) lock_groups;
+  List.rev !out
+
+let splittable_groups prog (eff : E.t) ~lock_groups : D.t list =
+  let reps =
+    Array.to_list lock_groups |> List.sort_uniq compare
+    |> List.filter (fun rep -> List.length (group_members lock_groups rep) >= 2)
+  in
+  List.filter_map
+    (fun rep ->
+      let members = group_members lock_groups rep in
+      let would_conflict =
+        conflicts eff ~lock_groups ~ignore_groups:true ~restrict:members () <> []
+      in
+      if would_conflict then None
+      else
+        let names = List.map (fun c -> (Ir.class_of prog c).c_name) members in
+        Some
+          (D.make ~rule:rule_group_split ~severity:D.Info
+             ~pos:(Ir.class_of prog rep).c_pos
+             ~context:[ ("group", String.concat "," names) ]
+             "lock group {%s} serializes its tasks, but the members' effect sets never \
+              conflict: the group could be split into per-object locks for more parallelism"
+             (String.concat ", " names)))
+    reps
+
+(* ------------------------------------------------------------------ *)
+(* BAM011: interference classes *)
+
+(** Partition the live tasks: two tasks interfere when they may contend
+    on a common lock key (a parameter class in common, or parameter
+    classes in one multi-member lock group) or appear together in an
+    unprotected BAM008 conflict.  Returns the classes as sorted task-id
+    lists, ordered by their smallest member. *)
+let interference_classes (eff : E.t) ~lock_groups (prog : Ir.program) : Ir.task_id list list =
+  let ntasks = Array.length prog.tasks in
+  let uf = Union_find.create ntasks in
+  let live t = eff.per_task.(t).ef_live in
+  for a = 0 to ntasks - 1 do
+    for b = a + 1 to ntasks - 1 do
+      if live a && live b then begin
+        let classes t =
+          Array.to_list prog.tasks.(t).t_params |> List.map (fun (p : Ir.paraminfo) -> p.p_class)
+        in
+        let contend =
+          List.exists
+            (fun ca ->
+              List.exists
+                (fun cb ->
+                  ca = cb
+                  || (Ir.uses_group_lock lock_groups ca
+                     && Ir.uses_group_lock lock_groups cb
+                     && lock_groups.(ca) = lock_groups.(cb)))
+                (classes b))
+            (classes a)
+        in
+        if contend then ignore (Union_find.union uf a b)
+      end
+    done
+  done;
+  List.iter
+    (fun cf -> if cf.cf_task_a <> cf.cf_task_b then ignore (Union_find.union uf cf.cf_task_a cf.cf_task_b))
+    (conflicts eff ~lock_groups ());
+  let by_rep = Hashtbl.create 8 in
+  for t = 0 to ntasks - 1 do
+    if live t then begin
+      let rep = Union_find.find uf t in
+      let cur = Option.value (Hashtbl.find_opt by_rep rep) ~default:[] in
+      Hashtbl.replace by_rep rep (t :: cur)
+    end
+  done;
+  Hashtbl.fold (fun _ members acc -> List.rev members :: acc) by_rep []
+  |> List.sort (fun a b -> compare (List.hd a) (List.hd b))
+
+let interference prog (eff : E.t) ~lock_groups : D.t list =
+  interference_classes eff ~lock_groups prog
+  |> List.filter_map (fun cls ->
+         match cls with
+         | [] | [ _ ] -> None
+         | first :: _ ->
+             let names = List.map (fun t -> prog.Ir.tasks.(t).t_name) cls in
+             Some
+               (D.make ~rule:rule_interference ~severity:D.Info
+                  ~pos:prog.Ir.tasks.(first).t_pos
+                  ~context:[ ("tasks", String.concat "," names) ]
+                  "tasks %s form one interference class: they may contend on common locks or \
+                   shared state, so a stealing scheduler must preserve their mutual exclusion"
+                  (String.concat ", " names)))
+
+(* ------------------------------------------------------------------ *)
+(* The --effects report *)
+
+let json_str s = "\"" ^ D.json_escape s ^ "\""
+let json_list xs = "[" ^ String.concat "," xs ^ "]"
+
+let flag_ref prog c f = (Ir.class_of prog c).Ir.c_name ^ "." ^ Ir.flag_name prog c f
+let tag_ref prog c ty = (Ir.class_of prog c).Ir.c_name ^ "." ^ prog.Ir.tag_types.(ty)
+
+(** The ["effects"] JSON section: per-task effect sets, share evidence
+    and the interference partition.  Schema (all arrays sorted):
+    [{"tasks":[{"name","live","output","reads","writes","guard_flags",
+       "guard_tags","flag_writes","tag_writes","interference_class"}],
+      "shares":[{"task","classes","witness"}],
+      "interference_classes":[{"tasks","steal_safe"}]}]. *)
+let report_json prog (eff : E.t) ~lock_groups : string =
+  let classes = interference_classes eff ~lock_groups prog in
+  let rep_of = Hashtbl.create 8 in
+  List.iter
+    (fun cls ->
+      match cls with
+      | first :: _ -> List.iter (fun t -> Hashtbl.replace rep_of t first) cls
+      | [] -> ())
+    classes;
+  let task_json (ef : E.task_effects) =
+    let t = prog.Ir.tasks.(ef.ef_task) in
+    let atoms write =
+      List.filter_map
+        (fun (a : E.access) ->
+          if a.ac_write = write then Some (E.atom_name prog a.ac_atom) else None)
+        ef.ef_accesses
+      |> List.sort_uniq compare
+    in
+    let iclass =
+      match Hashtbl.find_opt rep_of ef.ef_task with
+      | Some rep -> prog.Ir.tasks.(rep).t_name
+      | None -> t.t_name
+    in
+    Printf.sprintf
+      "{\"name\":%s,\"live\":%b,\"output\":%b,\"reads\":%s,\"writes\":%s,\"guard_flags\":%s,\"guard_tags\":%s,\"flag_writes\":%s,\"tag_writes\":%s,\"interference_class\":%s}"
+      (json_str t.t_name) ef.ef_live ef.ef_output
+      (json_list (List.map json_str (atoms false)))
+      (json_list (List.map json_str (atoms true)))
+      (json_list
+         (List.map (fun (c, f) -> json_str (flag_ref prog c f)) ef.ef_guard_flags))
+      (json_list (List.map (fun (c, ty) -> json_str (tag_ref prog c ty)) ef.ef_guard_tags))
+      (json_list
+         (List.map (fun (c, f, _) -> json_str (flag_ref prog c f)) ef.ef_flag_writes))
+      (json_list
+         (List.map (fun (c, ty, _) -> json_str (tag_ref prog c ty)) ef.ef_tag_writes))
+      (json_str iclass)
+  in
+  let share_json (sh : E.share) =
+    Printf.sprintf "{\"task\":%s,\"classes\":%s,\"witness\":%s}"
+      (json_str prog.Ir.tasks.(sh.sh_task).t_name)
+      (json_list
+         (List.map json_str
+            [
+              (Ir.class_of prog sh.sh_class_a).c_name; (Ir.class_of prog sh.sh_class_b).c_name;
+            ]))
+      (json_list
+         (List.sort_uniq compare (List.map (fun w -> json_str (E.witness_name prog w)) sh.sh_witness)))
+  in
+  let class_json cls =
+    Printf.sprintf "{\"tasks\":%s,\"steal_safe\":%b}"
+      (json_list (List.map (fun t -> json_str prog.Ir.tasks.(t).t_name) cls))
+      (List.length cls = 1)
+  in
+  Printf.sprintf "{\"tasks\":%s,\"shares\":%s,\"interference_classes\":%s}"
+    (json_list (Array.to_list (Array.map task_json eff.per_task)))
+    (json_list (List.map share_json eff.shares))
+    (json_list (List.map class_json classes))
+
+(** Human-readable interference summary for text-format [--effects]. *)
+let report_text prog (eff : E.t) ~lock_groups : string =
+  let classes = interference_classes eff ~lock_groups prog in
+  let line cls =
+    let names = List.map (fun t -> prog.Ir.tasks.(t).t_name) cls in
+    Printf.sprintf "  {%s}%s" (String.concat ", " names)
+      (if List.length cls = 1 then " (steal-safe)" else "")
+  in
+  "interference classes:\n" ^ String.concat "\n" (List.map line classes) ^ "\n"

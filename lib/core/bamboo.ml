@@ -35,8 +35,10 @@ module Icompile = Bamboo_interp.Compile
 module Cost = Bamboo_interp.Cost
 module Astg = Bamboo_analysis.Astg
 module Disjoint = Bamboo_analysis.Disjoint
+module Effects = Bamboo_analysis.Effects
 module Diagnostic = Bamboo_check.Diagnostic
 module Check = Bamboo_check.Check
+module Check_effects = Bamboo_check.Effects
 module Cstg = Bamboo_cstg.Cstg
 module Machine = Bamboo_machine.Machine
 module Layout = Bamboo_machine.Layout
@@ -49,6 +51,7 @@ module Dsa = Bamboo_synth.Dsa
 module Runtime = Bamboo_runtime.Runtime
 module Mailbox = Bamboo_support.Mailbox
 module Exec = Bamboo_exec.Exec
+module Sanitize = Bamboo_exec.Sanitize
 module Canon = Bamboo_exec.Canon
 
 (** Static analysis results bundled together. *)
@@ -71,11 +74,11 @@ let analyse (prog : Ir.program) : analysis =
   let lock_groups = Disjoint.lock_groups prog disjoint in
   { astgs; cstg; disjoint; lock_groups }
 
-(** Run the static verifier's full rule set (BAM001..BAM007) over
+(** Run the static verifier's full rule set (BAM001..BAM011) over
     already-computed analysis results; see {!Bamboo_check.Check}. *)
 let check (prog : Ir.program) (an : analysis) : Diagnostic.t list =
   Check.run
-    { Check.prog; astgs = an.astgs; disjoint = an.disjoint; lock_groups = an.lock_groups }
+    (Check.make_input prog ~astgs:an.astgs ~disjoint:an.disjoint ~lock_groups:an.lock_groups)
 
 (** Single-core profiling run (the paper's bootstrap profile). *)
 let profile ?(args = []) ?max_invocations (prog : Ir.program) : Profile.t =
@@ -98,9 +101,10 @@ let execute ?(args = []) ?max_invocations ?(record_trace = false) (prog : Ir.pro
 (** Execute the program for real on OCaml 5 domains — the parallel
     many-core backend (see {!Exec}); the sequential {!execute} is its
     equivalence oracle. *)
-let execute_parallel ?(args = []) ?max_invocations ?domains ?seed (prog : Ir.program)
-    (an : analysis) (layout : Layout.t) : Exec.result =
-  Exec.run ~args ?max_invocations ?domains ?seed ~lock_groups:an.lock_groups prog layout
+let execute_parallel ?(args = []) ?max_invocations ?domains ?seed ?sanitize
+    (prog : Ir.program) (an : analysis) (layout : Layout.t) : Exec.result =
+  Exec.run ~args ?max_invocations ?domains ?seed ?sanitize ~lock_groups:an.lock_groups prog
+    layout
 
 (** Estimate the execution of a layout with the scheduling simulator. *)
 let estimate ?max_invocations (prog : Ir.program) (prof : Profile.t) (layout : Layout.t) : int

@@ -117,6 +117,7 @@ type xcore = {
   ready : invocation Queue.t;           (* owner domain only *)
   psets : entry Deque.t array array;    (* owner domain only *)
   ictx : Interp.ctx;                    (* owner domain only *)
+  mutable san : Sanitize.session option;(* lockset sanitizer, when enabled *)
   invoke :
     Ir.taskinfo ->
     obj array ->
@@ -157,6 +158,7 @@ let make_xcore (prog : Ir.program) ncores cid =
           Array.init (Array.length t.t_params) (fun _ -> Deque.create ~dummy:dummy_entry))
         prog.tasks;
     ictx;
+    san = None;
     invoke = Interp.executor ictx;
     rr =Array.map (fun (t : Ir.taskinfo) -> Array.make (Array.length t.t_params) 0) prog.tasks;
     executed = 0;
@@ -379,8 +381,13 @@ let release_all cells = List.iter (fun c -> Atomic.set c (-1)) cells
 (** Outcome of one attempt at a ready invocation.  [`Ran] and
     [`Dropped] consume the invocation (the caller decrements the
     outstanding counter); [`Retry] leaves it queued and counted. *)
+let sanitize_key = function
+  | KGroup g -> Sanitize.Kgroup g
+  | KObj o -> Sanitize.Kobject o.o_id
+
 let run_invocation st (core : xcore) (inv : invocation) =
-  match try_lock_all core.cid (List.map (cell_of st) (lock_keys st inv)) with
+  let keys = lock_keys st inv in
+  match try_lock_all core.cid (List.map (cell_of st) keys) with
   | None ->
       core.retries <- core.retries + 1;
       Queue.add inv core.ready;
@@ -404,8 +411,17 @@ let run_invocation st (core : xcore) (inv : invocation) =
            parameter is locked; generation bumps and snapshots happen
            before release so receivers only ever see exact snapshots. *)
         let params = Array.map (fun e -> e.x_obj) inv.iv_params in
+        (match core.san with
+        | Some ses ->
+            Sanitize.enter ses ~task:inv.iv_task.Ir.t_id ~keys:(List.map sanitize_key keys)
+        | None -> ());
         let r = core.invoke inv.iv_task params ~tag_binds:inv.iv_tags in
         ignore (Interp.apply_exit inv.iv_task r.tr_exit params r.tr_frame);
+        (match core.san with
+        | Some ses ->
+            Sanitize.check_exit ses inv.iv_task r.tr_exit params;
+            Sanitize.leave ses
+        | None -> ());
         Array.iter (fun o -> Atomic.incr o.o_gen) params;
         let snaps = Array.map snapshot params in
         let created = List.map snapshot r.tr_created in
@@ -499,6 +515,7 @@ type result = {
   x_objects : obj list;
   x_digest : string;                (* {!Canon.digest}: output + abstract heap state *)
   x_per_core_invocations : int array;
+  x_violations : string list;       (* sanitizer reports; [] when not sanitizing *)
 }
 
 (** When set, {!run} executes on the sequential deterministic runtime
@@ -526,6 +543,7 @@ let reference_run ?args ?max_invocations ?lock_groups (prog : Ir.program) (layou
     x_objects = r.r_objects;
     x_digest = Canon.digest prog ~output:r.r_output ~objects:r.r_objects;
     x_per_core_invocations = [||];
+    x_violations = [];
   }
 
 (* ------------------------------------------------------------------ *)
@@ -537,10 +555,13 @@ let reference_run ?args ?max_invocations ?lock_groups (prog : Ir.program) (layou
     the per-domain jitter streams only — it cannot affect the digest,
     just the schedule.  [chaos] (default 0) is the probability of an
     injected random delay before each core step, used by the
-    randomized-schedule stress tests. *)
+    randomized-schedule stress tests.  [sanitize] installs the dynamic
+    lockset sanitizer ({!Sanitize}) with the given static effect
+    results; its reports land in [x_violations]. *)
 let run ?(args = []) ?(max_invocations = 2_000_000) ?lock_groups ?(domains = 4) ?(seed = 0)
-    ?(chaos = 0.0) (prog : Ir.program) (layout : Layout.t) : result =
-  if !use_reference then reference_run ~args ~max_invocations ?lock_groups prog layout
+    ?(chaos = 0.0) ?sanitize (prog : Ir.program) (layout : Layout.t) : result =
+  if !use_reference && sanitize = None then
+    reference_run ~args ~max_invocations ?lock_groups prog layout
   else begin
     (match Layout.validate prog layout with
     | [] -> ()
@@ -550,6 +571,19 @@ let run ?(args = []) ?(max_invocations = 2_000_000) ?lock_groups ?(domains = 4) 
     in
     let ncores = layout.Layout.machine.Machine.cores in
     let cores = Array.init ncores (make_xcore prog ncores) in
+    let sanitizer =
+      match sanitize with
+      | None -> None
+      | Some eff ->
+          let sn = Sanitize.create prog eff in
+          Array.iter
+            (fun core ->
+              let ses = Sanitize.session sn in
+              core.san <- Some ses;
+              core.ictx.Interp.monitor <- Some (Sanitize.monitor ses))
+            cores;
+          Some sn
+    in
     let consumer_table = build_consumer_table prog in
     let st =
       {
@@ -619,6 +653,8 @@ let run ?(args = []) ?(max_invocations = 2_000_000) ?lock_groups ?(domains = 4) 
       x_objects = objects;
       x_digest = Canon.digest prog ~output ~objects;
       x_per_core_invocations = Array.map (fun c -> c.executed) cores;
+      x_violations =
+        (match sanitizer with Some sn -> Sanitize.violations sn | None -> []);
     }
   end
 

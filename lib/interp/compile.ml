@@ -1347,28 +1347,44 @@ let rec exec (ctx : ctx) (pcode : program_code) (b : body) (ints : int array)
         ignore (as_arr vals.(r));
         go (pc + 1)
     | Kgetf_i (d, o, f) ->
-        ints.(d) <- as_int (as_obj vals.(o)).o_fields.(f);
+        let obj = as_obj vals.(o) in
+        notify_read ctx obj f;
+        ints.(d) <- as_int obj.o_fields.(f);
         go (pc + 1)
     | Kgetf_b (d, o, f) ->
-        ints.(d) <- (if as_bool (as_obj vals.(o)).o_fields.(f) then 1 else 0);
+        let obj = as_obj vals.(o) in
+        notify_read ctx obj f;
+        ints.(d) <- (if as_bool obj.o_fields.(f) then 1 else 0);
         go (pc + 1)
     | Kgetf_f (d, o, f) ->
-        flts.(d) <- as_float (as_obj vals.(o)).o_fields.(f);
+        let obj = as_obj vals.(o) in
+        notify_read ctx obj f;
+        flts.(d) <- as_float obj.o_fields.(f);
         go (pc + 1)
     | Kgetf_v (d, o, f) ->
-        vals.(d) <- (as_obj vals.(o)).o_fields.(f);
+        let obj = as_obj vals.(o) in
+        notify_read ctx obj f;
+        vals.(d) <- obj.o_fields.(f);
         go (pc + 1)
     | Ksetf_i (o, f, s) ->
-        (as_obj vals.(o)).o_fields.(f) <- Vint ints.(s);
+        let obj = as_obj vals.(o) in
+        notify_write ctx obj f;
+        obj.o_fields.(f) <- Vint ints.(s);
         go (pc + 1)
     | Ksetf_b (o, f, s) ->
-        (as_obj vals.(o)).o_fields.(f) <- Vbool (ints.(s) <> 0);
+        let obj = as_obj vals.(o) in
+        notify_write ctx obj f;
+        obj.o_fields.(f) <- Vbool (ints.(s) <> 0);
         go (pc + 1)
     | Ksetf_f (o, f, s) ->
-        (as_obj vals.(o)).o_fields.(f) <- Vfloat flts.(s);
+        let obj = as_obj vals.(o) in
+        notify_write ctx obj f;
+        obj.o_fields.(f) <- Vfloat flts.(s);
         go (pc + 1)
     | Ksetf_v (o, f, s) ->
-        (as_obj vals.(o)).o_fields.(f) <- vals.(s);
+        let obj = as_obj vals.(o) in
+        notify_write ctx obj f;
+        obj.o_fields.(f) <- vals.(s);
         go (pc + 1)
     | Kload_i (d, a, i) ->
         let arr = as_arr vals.(a) in

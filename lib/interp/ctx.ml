@@ -17,6 +17,18 @@ exception Break_exc
 exception Continue_exc
 exception Taskexit_exc of int
 
+(** Optional per-context access monitor, installed by the parallel
+    backend's lockset sanitizer: observes every object-field read and
+    write (by field index) and every allocation, on whichever engine
+    executes the body.  Monitors must not mutate interpreter state —
+    they observe only, so cycles/steps stay bit-identical with and
+    without one installed. *)
+type monitor = {
+  mn_read : obj -> int -> unit;
+  mn_write : obj -> int -> unit;
+  mn_alloc : obj -> unit;
+}
+
 type ctx = {
   prog : Ir.program;
   mutable cycles : int;              (* monotone cycle counter *)
@@ -35,6 +47,7 @@ type ctx = {
   mutable code : Bytecode.program_code option;
                                      (* compiled bodies; [None] routes every
                                         invocation through the tree-walker *)
+  mutable monitor : monitor option;  (* sanitizer hook; [None] = no observer *)
 }
 
 (** [create prog] builds an interpreter context.  [id_base]/[id_stride]
@@ -57,7 +70,11 @@ let create ?(bounds_check = false) ?(max_steps = max_int) ?(id_base = 0) ?(id_st
     steps = 0;
     max_steps;
     code = None;
+    monitor = None;
   }
+
+let notify_read ctx o fid = match ctx.monitor with Some m -> m.mn_read o fid | None -> ()
+let notify_write ctx o fid = match ctx.monitor with Some m -> m.mn_write o fid | None -> ()
 
 let charge ctx n = ctx.cycles <- ctx.cycles + n
 
@@ -237,17 +254,21 @@ let make_object ctx sid =
   let site = ctx.prog.sites.(sid) in
   let cls = ctx.prog.classes.(site.s_class) in
   let nfields = Array.length cls.c_fields in
-  {
-    o_id = fresh_oid ctx;
-    o_class = site.s_class;
-    o_site = sid;
-    o_fields = Array.init nfields (fun i -> default_of_typ cls.c_fields.(i).f_typ);
-    o_flags = Ir.site_initial_word site;
-    o_tags = [];
-    o_lock = Atomic.make (-1);
-    o_lock_until = 0;
-    o_gen = Atomic.make 0;
-  }
+  let o =
+    {
+      o_id = fresh_oid ctx;
+      o_class = site.s_class;
+      o_site = sid;
+      o_fields = Array.init nfields (fun i -> default_of_typ cls.c_fields.(i).f_typ);
+      o_flags = Ir.site_initial_word site;
+      o_tags = [];
+      o_lock = Atomic.make (-1);
+      o_lock_until = 0;
+      o_gen = Atomic.make 0;
+    }
+  in
+  (match ctx.monitor with Some m -> m.mn_alloc o | None -> ());
+  o
 
 (* ------------------------------------------------------------------ *)
 (* Invocation results, startup object, and final-state accessors *)

@@ -33,6 +33,7 @@ let rec eval ctx (frame : value array) (e : Ir.expr) : value =
   | Efield (r, _, fid) ->
       let o = as_obj (eval ctx frame r) in
       charge ctx Cost.field_access;
+      Ctx.notify_read ctx o fid;
       o.o_fields.(fid)
   | Eindex (a, i) -> (
       let arr = as_arr (eval ctx frame a) in
@@ -231,6 +232,7 @@ and exec_stmt ctx frame (s : Ir.stmt) =
       let o = as_obj (eval ctx frame r) in
       let v = eval ctx frame e in
       charge ctx Cost.field_access;
+      Ctx.notify_write ctx o fid;
       o.o_fields.(fid) <- v
   | Sassign (Lindex (a, i), e) -> (
       let arr = as_arr (eval ctx frame a) in

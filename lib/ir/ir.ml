@@ -258,6 +258,16 @@ let uses_group_lock (lock_groups : int array) (c : class_id) =
 let site_initial_word site =
   List.fold_left (fun w (f, v) -> if v then w lor (1 lsl f) else w) 0 site.s_flags
 
+(** Render a type as source syntax ([double[]], [Item], ...). *)
+let rec string_of_typ = function
+  | Tint -> "int"
+  | Tdouble -> "double"
+  | Tboolean -> "boolean"
+  | Tstring -> "String"
+  | Tvoid -> "void"
+  | Tclass n -> n
+  | Tarray t -> string_of_typ t ^ "[]"
+
 (** Render a flag word for a class as [{flag1, flag2}] (set bits only). *)
 let string_of_flagword p cid word =
   let c = p.classes.(cid) in

@@ -250,6 +250,92 @@ let test_cstg_reachable_sites_through_methods () =
   Helpers.check_bool "allocation inside called method is attributed" true
     (List.exists (fun (e : Cstg.new_edge) -> e.c_by = produce) g.new_edges)
 
+(* ------------------------------------------------------------------ *)
+(* Concurrency-effects analysis *)
+
+module Effects = Bamboo.Effects
+
+let counter_effects () =
+  let prog = counter_prog () in
+  let astgs = Astg.of_program prog in
+  (prog, Effects.analyse prog astgs)
+
+let task_eff prog (eff : Effects.t) name =
+  match Ir.find_task prog name with
+  | Some t -> eff.per_task.(t.t_id)
+  | None -> Alcotest.fail ("no task " ^ name)
+
+let atom_names prog (te : Effects.task_effects) ~write =
+  te.ef_accesses
+  |> List.filter (fun (a : Effects.access) -> a.ac_write = write)
+  |> List.map (fun (a : Effects.access) -> Effects.atom_name prog a.ac_atom)
+  |> List.sort_uniq compare
+
+let test_effects_counter_sets () =
+  let prog, eff = counter_effects () in
+  let collect = task_eff prog eff "collect" in
+  (* absorb/doubled are methods: their accesses must be attributed to
+     the calling task, interprocedurally. *)
+  Helpers.check_bool "collect reads Acc.total" true
+    (List.mem "Acc.total" (atom_names prog collect ~write:false));
+  Helpers.check_bool "collect reads Item.value" true
+    (List.mem "Item.value" (atom_names prog collect ~write:false));
+  Helpers.check_bool "collect writes Acc.seen" true
+    (List.mem "Acc.seen" (atom_names prog collect ~write:true));
+  let work = task_eff prog eff "work" in
+  Helpers.check_int "work touches no fields" 0 (List.length work.ef_accesses);
+  Helpers.check_bool "all tasks live" true
+    (Array.for_all (fun (te : Effects.task_effects) -> te.ef_live) eff.per_task)
+
+let test_effects_counter_guards_and_exits () =
+  let prog, eff = counter_effects () in
+  let collect = task_eff prog eff "collect" in
+  let item = Ir.find_class_exn prog "Item" and acc = Ir.find_class_exn prog "Acc" in
+  let flag c name = (c, Option.get (Ir.flag_index (Ir.class_of prog c) name)) in
+  Helpers.check_bool "collect guards Item.done" true
+    (List.mem (flag item "done") collect.ef_guard_flags);
+  Helpers.check_bool "collect guards Acc.open" true
+    (List.mem (flag acc "open") collect.ef_guard_flags);
+  let work = task_eff prog eff "work" in
+  let writes = List.map (fun (c, f, _) -> (c, f)) work.ef_flag_writes in
+  Helpers.check_bool "work writes Item.todo" true (List.mem (flag item "todo") writes);
+  Helpers.check_bool "work writes Item.done" true (List.mem (flag item "done") writes)
+
+let test_effects_no_false_share () =
+  (* The counter program never stores one old object into another:
+     no sharing evidence between distinct classes. *)
+  let _, eff = counter_effects () in
+  Helpers.check_int "no shares" 0 (List.length eff.shares)
+
+let test_effects_share_evidence () =
+  (* Creator wiring: startup stores one fresh Data into two fresh
+     handles; the share evidence names Data as the witness. *)
+  let prog =
+    Helpers.compile
+      {|
+      class Data { int v; }
+      class H { flag go; Data child; }
+      class K { flag go; Data child; }
+      task startup(StartupObject s in initialstate) {
+        Data d = new Data();
+        H h = new H(){go := true};
+        h.child = d;
+        K k = new K(){go := true};
+        k.child = d;
+        taskexit(s: initialstate := false);
+      }
+      |}
+  in
+  let eff = Effects.analyse prog (Astg.of_program prog) in
+  let hc = Ir.find_class_exn prog "H" and kc = Ir.find_class_exn prog "K" in
+  let dc = Ir.find_class_exn prog "Data" in
+  Helpers.check_bool "H and K share through Data" true
+    (List.exists
+       (fun (s : Effects.share) ->
+         s.sh_class_a = min hc kc && s.sh_class_b = max hc kc
+         && List.mem (Effects.Wclass dc) s.sh_witness)
+       eff.shares)
+
 let tests =
   [
     ( "analysis.astg",
@@ -270,6 +356,13 @@ let tests =
         Alcotest.test_case "local array ok" `Quick test_disjoint_local_array_only;
         Alcotest.test_case "fresh container ok" `Quick test_disjoint_shared_fresh_object;
         Alcotest.test_case "lock groups" `Quick test_lock_groups;
+      ] );
+    ( "analysis.effects",
+      [
+        Alcotest.test_case "counter effect sets" `Quick test_effects_counter_sets;
+        Alcotest.test_case "guards and exits" `Quick test_effects_counter_guards_and_exits;
+        Alcotest.test_case "no false sharing" `Quick test_effects_no_false_share;
+        Alcotest.test_case "creator-wired sharing" `Quick test_effects_share_evidence;
       ] );
     ( "analysis.cstg",
       [

@@ -101,7 +101,7 @@ let test_flag_hygiene () =
   | Some d -> Helpers.check_bool "unused is warning" true (d.severity = D.Warning)
   | None -> Alcotest.fail "no diagnostic for 'unused'");
   (match find "writeonly" with
-  | Some d -> Helpers.check_bool "writeonly is warning" true (d.severity = D.Warning)
+  | Some d -> Helpers.check_bool "writeonly is info" true (d.severity = D.Info)
   | None -> Alcotest.fail "no diagnostic for 'writeonly'");
   (match find "readonly" with
   | Some d -> Helpers.check_bool "readonly is info" true (d.severity = D.Info)
@@ -274,10 +274,167 @@ let test_lock_order_broken_table () =
     (D.has_errors (Check.audit_lock_order prog an.disjoint corrupt))
 
 (* ------------------------------------------------------------------ *)
-(* A fully clean program stays silent under every rule *)
+(* BAM008: field races *)
+
+(* Two creator-wired handles to one Data object: th and tk race on
+   Data.v with no common lock.  Invisible to the param-pair overlap
+   check (each task has a single parameter), caught by the share
+   evidence of the effect analysis. *)
+let race_src =
+  {|
+  class Data {
+    int v;
+    Data() { this.v = 0; }
+  }
+  class H { flag go; Data child; }
+  class K { flag go; Data child; }
+  task startup(StartupObject s in initialstate) {
+    Data d = new Data();
+    H h = new H(){go := true};
+    h.child = d;
+    K k = new K(){go := true};
+    k.child = d;
+    taskexit(s: initialstate := false);
+  }
+  task th(H h in go) {
+    h.child.v = h.child.v + 1;
+    taskexit(h: go := false);
+  }
+  task tk(K k in go) {
+    k.child.v = k.child.v + 2;
+    taskexit(k: go := false);
+  }
+  |}
+
+let test_field_race () =
+  match by_rule Check.rule_field_race (diags race_src) with
+  | d :: _ ->
+      Helpers.check_bool "error severity" true (d.severity = D.Error);
+      Helpers.check_bool "names the atom" true (List.assoc "atom" d.context = "Data.v")
+  | [] -> Alcotest.fail "expected a BAM008 error"
+
+let test_field_race_silent () =
+  Helpers.check_int "counter clean" 0 (rule_count Check.rule_field_race clean_src);
+  (* linked_src shares a pair but the lock group serializes it *)
+  Helpers.check_int "grouped pair clean" 0 (rule_count Check.rule_field_race linked_src)
+
+(* ------------------------------------------------------------------ *)
+(* BAM009: guard/effect races *)
+
+(* Self-handoff: the writer is also the only guard reader — silent. *)
+let self_handoff_src =
+  {|
+  class C { flag f; }
+  task startup(StartupObject s in initialstate) {
+    C c = new C(){f := true};
+    taskexit(s: initialstate := false);
+  }
+  task t(C c in f) { taskexit(c: f := false); }
+  |}
+
+let test_guard_race () =
+  match by_rule Check.rule_guard_race (diags clean_src) with
+  | [ d ] ->
+      Helpers.check_bool "info severity" true (d.severity = D.Info);
+      Helpers.check_bool "writer is work" true (List.assoc "writer" d.context = "work");
+      Helpers.check_bool "reader is collect" true (List.assoc "reader" d.context = "collect");
+      Helpers.check_bool "flag is done" true (List.assoc "flag" d.context = "done")
+  | ds -> Alcotest.fail (Printf.sprintf "expected exactly one BAM009, got %d" (List.length ds))
+
+let test_guard_race_silent () =
+  Helpers.check_int "self handoff clean" 0 (rule_count Check.rule_guard_race self_handoff_src)
+
+(* ------------------------------------------------------------------ *)
+(* BAM010: splittable lock groups *)
+
+(* linked_src's group {A, B} never conflicts through the heap: the
+   group exists only because of the stored reference, so it is
+   reported as splittable. *)
+let test_group_split () =
+  match by_rule Check.rule_group_split (diags linked_src) with
+  | [ d ] -> Helpers.check_bool "info severity" true (d.severity = D.Info)
+  | ds -> Alcotest.fail (Printf.sprintf "expected exactly one BAM010, got %d" (List.length ds))
+
+(* A second task reaches B through A's stored reference and writes the
+   same field as link: the group really serializes conflicting
+   accesses, so it must not be reported as splittable. *)
+let group_needed_src =
+  {|
+  class A { flag fa; flag ready; B child; }
+  class B { flag fb; int x; }
+  task startup(StartupObject s in initialstate) {
+    A a = new A(){fa := true};
+    B b = new B(){fb := true};
+    taskexit(s: initialstate := false);
+  }
+  task link(A a in fa, B b in fb) {
+    a.child = b;
+    b.x = 1;
+    taskexit(a: fa := false, ready := true; b: fb := false);
+  }
+  task use(A a in ready) {
+    a.child.x = a.child.x + 1;
+    taskexit(a: ready := false);
+  }
+  |}
+
+let test_group_split_silent () =
+  Helpers.check_int "conflicting group kept" 0 (rule_count Check.rule_group_split group_needed_src);
+  Helpers.check_int "ungrouped program silent" 0 (rule_count Check.rule_group_split clean_src)
+
+(* ------------------------------------------------------------------ *)
+(* BAM011: interference classes *)
+
+let interference_classes src =
+  let input = Check.prepare (Helpers.compile src) in
+  Bamboo.Check_effects.interference_classes input.Check.effects
+    ~lock_groups:input.Check.lock_groups input.Check.prog
+  |> List.map
+       (List.map (fun tid -> input.Check.prog.Ir.tasks.(tid).Ir.t_name))
+
+let test_interference () =
+  (match by_rule Check.rule_interference (diags clean_src) with
+  | [ d ] ->
+      Helpers.check_bool "info severity" true (d.severity = D.Info);
+      Helpers.check_bool "names both tasks" true
+        (List.assoc "tasks" d.context = "work,collect")
+  | ds -> Alcotest.fail (Printf.sprintf "expected exactly one BAM011, got %d" (List.length ds)));
+  Helpers.check_bool "counter classes" true
+    (interference_classes clean_src = [ [ "startup" ]; [ "work"; "collect" ] ])
+
+(* Interference classes pinned on benchmarks: the pipeline tasks form
+   one class, startup stays a steal-safe singleton. *)
+let test_interference_benchmarks () =
+  let classes name =
+    interference_classes (Bamboo_benchmarks.Registry.find name).b_source
+  in
+  Helpers.check_bool "KMeans" true
+    (classes "KMeans" = [ [ "startup" ]; [ "distribute"; "assignChunk"; "mergeChunk" ] ]);
+  Helpers.check_bool "KeywordCount" true
+    (classes "KeywordCount" = [ [ "startup" ]; [ "processText"; "mergeIntermediateResult" ] ])
+
+(* ------------------------------------------------------------------ *)
+(* The counter program: no errors or warnings; exactly the documented
+   handoff Infos under the concurrency rules *)
 
 let test_clean_program () =
-  Helpers.check_int "counter program has no diagnostics" 0 (List.length (diags clean_src))
+  let ds = diags clean_src in
+  Helpers.check_bool "no errors" false (D.has_errors ds);
+  Helpers.check_bool "no warnings" false (D.has_warnings ds);
+  Helpers.check_int "one BAM009 and one BAM011" 2 (List.length ds)
+
+(* Golden clean bill: every benchmark is free of errors and warnings
+   under every rule, including the concurrency rules — and reports
+   zero field races in particular. *)
+let test_benchmarks_clean_bill () =
+  List.iter
+    (fun (b : Bamboo_benchmarks.Bench_def.t) ->
+      let ds = diags b.b_source in
+      Helpers.check_bool (b.b_name ^ " has no errors") false (D.has_errors ds);
+      Helpers.check_bool (b.b_name ^ " has no warnings") false (D.has_warnings ds);
+      Helpers.check_int (b.b_name ^ " has no field races") 0
+        (List.length (by_rule Check.rule_field_race ds)))
+    Bamboo_benchmarks.Registry.all
 
 (* ------------------------------------------------------------------ *)
 (* Renderers *)
@@ -332,6 +489,30 @@ let test_sort_order () =
       Helpers.check_string "last (no pos)" "BAM007" c.rule
   | _ -> Alcotest.fail "sort changed length"
 
+let test_sort_same_span () =
+  (* Same position: rule code breaks the tie, severity after that. *)
+  let p = { Bamboo.Ast.line = 3; col = 1 } in
+  let mk rule severity = D.make ~rule ~severity ~pos:p "m" in
+  match D.sort [ mk "BAM009" D.Info; mk "BAM002" D.Warning; mk "BAM002" D.Error ] with
+  | [ a; b; c ] ->
+      Helpers.check_string "rule first" "BAM002" a.rule;
+      Helpers.check_bool "error before warning" true (a.severity = D.Error);
+      Helpers.check_bool "warning second" true (b.severity = D.Warning);
+      Helpers.check_string "higher code last" "BAM009" c.rule
+  | _ -> Alcotest.fail "sort changed length"
+
+let test_sort_dedup () =
+  let d = List.hd sample_diags in
+  Helpers.check_int "exact duplicates collapse" 3 (List.length (D.sort (d :: sample_diags)));
+  (* A differing context key keeps both. *)
+  let d' = { d with D.context = [ ("class", "D") ] } in
+  Helpers.check_int "near-duplicates stay" 4 (List.length (D.sort (d' :: d :: sample_diags)))
+
+let test_render_json_extra () =
+  Helpers.check_string "extra sections appended"
+    "{\"file\":\"x.bam\",\"summary\":{\"errors\":0,\"warnings\":0,\"infos\":0},\"diagnostics\":[],\"metrics\":{\"n\":1}}\n"
+    (D.render_json ~file:"x.bam" ~extra:[ ("metrics", "{\"n\":1}") ] [])
+
 (* Diagnostics over the paper benchmarks: every one passes the
    verifier with no errors (Infos and documented warnings only). *)
 let test_benchmarks_check_clean () =
@@ -363,8 +544,17 @@ let tests =
         Alcotest.test_case "BAM007 shared pair info" `Quick test_lock_order_shared_pair;
         Alcotest.test_case "BAM007 computed table clean" `Quick test_lock_order_computed_table_clean;
         Alcotest.test_case "BAM007 broken table" `Quick test_lock_order_broken_table;
+        Alcotest.test_case "BAM008 field race" `Quick test_field_race;
+        Alcotest.test_case "BAM008 silent" `Quick test_field_race_silent;
+        Alcotest.test_case "BAM009 guard race" `Quick test_guard_race;
+        Alcotest.test_case "BAM009 silent" `Quick test_guard_race_silent;
+        Alcotest.test_case "BAM010 splittable group" `Quick test_group_split;
+        Alcotest.test_case "BAM010 silent" `Quick test_group_split_silent;
+        Alcotest.test_case "BAM011 interference" `Quick test_interference;
+        Alcotest.test_case "BAM011 benchmark classes" `Quick test_interference_benchmarks;
         Alcotest.test_case "clean program" `Quick test_clean_program;
         Alcotest.test_case "benchmarks error-free" `Quick test_benchmarks_check_clean;
+        Alcotest.test_case "benchmarks clean bill" `Quick test_benchmarks_clean_bill;
       ] );
     ( "check.render",
       [
@@ -372,7 +562,10 @@ let tests =
         Alcotest.test_case "text empty" `Quick test_render_text_empty;
         Alcotest.test_case "json golden" `Quick test_render_json_golden;
         Alcotest.test_case "json empty" `Quick test_render_json_empty;
+        Alcotest.test_case "json extra sections" `Quick test_render_json_extra;
         Alcotest.test_case "format dispatch" `Quick test_render_dispatch;
         Alcotest.test_case "sort order" `Quick test_sort_order;
+        Alcotest.test_case "sort same span" `Quick test_sort_same_span;
+        Alcotest.test_case "sort dedup" `Quick test_sort_dedup;
       ] );
   ]

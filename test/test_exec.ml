@@ -138,9 +138,132 @@ let test_reference_escape_hatch () =
   let rp = Exec.run ~args:[ "3" ] ~domains:2 prog layout in
   Helpers.check_string "reference and parallel digests agree" r.x_digest rp.x_digest
 
+(* ------------------------------------------------------------------ *)
+(* Dynamic lockset sanitizer *)
+
+(** Every benchmark runs clean under the sanitizer at 1/2/4/8 domains:
+    the static effect analysis predicted every dynamic access, and no
+    object's shadow lockset ever emptied with a write.  This is the
+    soundness cross-check of the effects analysis — an unpredicted
+    access here means the static pass under-approximated. *)
+let test_sanitize_clean (b : Bench_def.t) () =
+  let args = Helpers.small_args b.b_name in
+  let prog = Bamboo.compile b.b_source in
+  let an = Bamboo.analyse prog in
+  let eff = Bamboo.Effects.analyse prog an.astgs in
+  let machine = Machine.with_cores Machine.tilepro64 8 in
+  let layout = Exec.spread_layout prog machine in
+  List.iter
+    (fun domains ->
+      let r =
+        Exec.run ~args ~domains ~seed:domains ~sanitize:eff ~lock_groups:an.lock_groups prog
+          layout
+      in
+      if r.x_violations <> [] then
+        Alcotest.failf "%s @ %d domains: %s" b.b_name domains
+          (String.concat "; " r.x_violations))
+    [ 1; 2; 4; 8 ]
+
+let sanitize_cases =
+  List.map
+    (fun (b : Bench_def.t) -> Alcotest.test_case b.b_name `Quick (test_sanitize_clean b))
+    Registry.all
+
+(* Creator-wired sharing: two handles to one Data object, written by
+   two single-parameter tasks holding only their own locks.  The
+   shadow lockset for the shared object empties on the second writer,
+   so the violation is detected deterministically — even at 1 domain,
+   where no physical race can happen. *)
+let racy_src =
+  {|
+  class Data {
+    int v;
+    Data() { this.v = 0; }
+  }
+  class H { flag go; Data child; }
+  class K { flag go; Data child; }
+  task startup(StartupObject s in initialstate) {
+    Data d = new Data();
+    H h = new H(){go := true};
+    h.child = d;
+    K k = new K(){go := true};
+    k.child = d;
+    taskexit(s: initialstate := false);
+  }
+  task th(H h in go) {
+    h.child.v = h.child.v + 1;
+    taskexit(h: go := false);
+  }
+  task tk(K k in go) {
+    k.child.v = k.child.v + 2;
+    taskexit(k: go := false);
+  }
+  |}
+
+let test_sanitize_detects_race () =
+  let prog = Helpers.compile racy_src in
+  let an = Bamboo.analyse prog in
+  let eff = Bamboo.Effects.analyse prog an.astgs in
+  let layout = Exec.spread_layout prog (Machine.with_cores Machine.tilepro64 4) in
+  List.iter
+    (fun domains ->
+      let r = Exec.run ~domains ~sanitize:eff ~lock_groups:an.lock_groups prog layout in
+      match r.x_violations with
+      | [ v ] ->
+          Helpers.check_bool
+            (Printf.sprintf "lockset violation named @ %d domains" domains)
+            true
+            (String.length v >= 17 && String.sub v 0 17 = "lockset violation");
+          Helpers.check_bool "names the field" true
+            (Str_find.contains v "Data.v")
+      | vs ->
+          Alcotest.failf "expected one violation @ %d domains, got %d" domains
+            (List.length vs))
+    [ 1; 4 ]
+
+(* White-box unsoundness injection: blank one task's predicted access
+   set and the sanitizer must flag its very real accesses as
+   unpredicted. *)
+let test_sanitize_unpredicted () =
+  let prog = Helpers.compile Helpers.counter_src in
+  let an = Bamboo.analyse prog in
+  let eff = Bamboo.Effects.analyse prog an.astgs in
+  let collect =
+    match Bamboo.Ir.find_task prog "collect" with Some t -> t.t_id | None -> -1
+  in
+  eff.per_task.(collect) <-
+    { (eff.per_task.(collect)) with ef_accesses = [] };
+  let layout = Exec.spread_layout prog (Machine.with_cores Machine.tilepro64 4) in
+  let r =
+    Exec.run ~args:[ "4" ] ~domains:2 ~sanitize:eff ~lock_groups:an.lock_groups prog layout
+  in
+  Helpers.check_bool "unpredicted accesses reported" true
+    (List.exists (fun v -> Str_find.contains v "unpredicted") r.x_violations)
+
+(* The monitor observes only: cycle accounting and digests are
+   bit-identical with the sanitizer on and off. *)
+let test_sanitize_transparent () =
+  let prog = Helpers.compile Helpers.counter_src in
+  let an = Bamboo.analyse prog in
+  let eff = Bamboo.Effects.analyse prog an.astgs in
+  let layout = Exec.spread_layout prog (Machine.with_cores Machine.tilepro64 4) in
+  let plain = Exec.run ~args:[ "5" ] ~domains:1 ~lock_groups:an.lock_groups prog layout in
+  let san =
+    Exec.run ~args:[ "5" ] ~domains:1 ~sanitize:eff ~lock_groups:an.lock_groups prog layout
+  in
+  Helpers.check_string "same digest" plain.x_digest san.x_digest;
+  Helpers.check_int "same cycles" plain.x_cycles san.x_cycles;
+  Helpers.check_int "no violations" 0 (List.length san.x_violations)
+
 let tests =
   [
     ("exec.equivalence", equivalence_cases);
+    ("exec.sanitize", sanitize_cases
+      @ [
+          Alcotest.test_case "detects creator-wired race" `Quick test_sanitize_detects_race;
+          Alcotest.test_case "flags unpredicted accesses" `Quick test_sanitize_unpredicted;
+          Alcotest.test_case "observer transparency" `Quick test_sanitize_transparent;
+        ]);
     ( "exec.protocol",
       [
         Alcotest.test_case "ordered try-lock model" `Quick test_trylock_model;
