@@ -11,6 +11,8 @@
      dune exec bench/main.exe simbench        -- simulator fast-path microbenchmark
      dune exec bench/main.exe execbench       -- domains-backend scaling curve
      dune exec bench/main.exe execbench --json BENCH_pr4.json  -- machine-readable curve
+     dune exec bench/main.exe stealbench      -- static vs work-stealing placement
+     dune exec bench/main.exe stealbench --json BENCH_pr7.json  -- machine-readable comparison
      dune exec bench/main.exe interpbench     -- bytecode executor vs tree-walking oracle
      dune exec bench/main.exe interpbench --json BENCH_pr5.json  -- machine-readable comparison
      dune exec bench/main.exe bechamel        -- Bechamel micro-benchmarks
@@ -81,6 +83,7 @@ let quick_args = function
   | "FilterBank" -> Some [ "6"; "64"; "8" ]
   | "Fractal" -> Some [ "32"; "16"; "8"; "24" ]
   | "Series" -> Some [ "8"; "40"; "4" ]
+  | "KeywordCount" -> Some [ "6"; "40" ]
   | _ -> None
 
 let quick_dsa_config =
@@ -423,6 +426,7 @@ type execpoint = {
   xp_messages : int;
   xp_retries : int;
   xp_cycles : int;
+  xp_idle_polls : int; (* scheduler steps that made no progress, summed over cores *)
 }
 
 type execrow = {
@@ -486,6 +490,7 @@ let execbench_results : execrow list Lazy.t =
                  xp_messages = r.x_messages;
                  xp_retries = r.x_lock_retries;
                  xp_cycles = r.x_cycles;
+                 xp_idle_polls = r.x_idle_polls;
                })
              exec_domain_counts
          in
@@ -534,6 +539,149 @@ let execbench () =
   print_endline "";
   if List.exists (fun r -> not r.xr_digest_ok) rows then (
     prerr_endline "[bench] execbench: digest mismatch against the sequential runtime";
+    exit 1)
+
+(* ------------------------------------------------------------------ *)
+(* stealbench: static placement vs the work-stealing scheduler
+   (--schedule steal) on the same 8-core spread layout.  Every point —
+   both modes, every domain count — is digest-checked against the
+   sequential runtime before its time is reported, so the comparison
+   can never trade correctness for speed.  Wall-clock differences only
+   mean anything on a host with real cores (CI's runner); steal counts
+   and idle-poll counts are meaningful everywhere. *)
+
+type stealpoint = {
+  sp_domains : int;
+  sp_static_wall : float;
+  sp_steal_wall : float;
+  sp_static_cycles : int;
+  sp_steal_cycles : int;
+  sp_static_idle_polls : int;
+  sp_steal_idle_polls : int;
+  sp_steal_attempts : int;
+  sp_steals : int;
+  sp_steal_aborts : int;
+  sp_stolen_invocations : int;
+  sp_core_stats : Bamboo.Exec.core_stats array; (* steal run, best rep *)
+}
+
+type stealrow = {
+  sr_name : string;
+  sr_cores : int;
+  sr_steal_safe_tasks : int; (* tasks the BAM011 contract lets thieves take *)
+  sr_tasks : int;
+  sr_digest : string;
+  sr_digest_ok : bool; (* both modes, all domain counts matched the reference *)
+  sr_points : stealpoint list;
+}
+
+let sp_speedup p = if p.sp_steal_wall > 0.0 then p.sp_static_wall /. p.sp_steal_wall else 0.0
+
+let stealbench_results : stealrow list Lazy.t =
+  lazy
+    (let machine = Bamboo.Machine.with_cores Bamboo.Machine.tilepro64 8 in
+     let reps = if !quick then 1 else 3 in
+     List.map
+       (fun (b : Bench_def.t) ->
+         Printf.eprintf "[bench] stealbench %s...\n%!" b.b_name;
+         let args =
+           if !quick then Option.value ~default:b.b_args (quick_args b.b_name) else b.b_args
+         in
+         let prog = Bamboo.compile b.b_source in
+         let an = Bamboo.analyse prog in
+         (* Compute the BAM011 steal-safety contract once per program
+            instead of per run (Exec.run would re-derive it). *)
+         let eff = Bamboo.Effects.analyse prog an.astgs in
+         let contract = Bamboo.Effects.steal_contract eff ~lock_groups:an.lock_groups prog in
+         let steal_safe = contract.Bamboo.Effects.st_safe in
+         let layout = Bamboo.Exec.spread_layout prog machine in
+         let seq = Bamboo.Runtime.run ~args ~lock_groups:an.lock_groups prog layout in
+         let expected =
+           Bamboo.Canon.digest prog ~output:seq.r_output ~objects:seq.r_objects
+         in
+         let ok = ref true in
+         let best_of schedule domains =
+           let best = ref None in
+           for rep = 1 to reps do
+             let r =
+               Bamboo.Exec.run ~args ~domains ~seed:(domains + rep)
+                 ~max_invocations:50_000_000 ~lock_groups:an.lock_groups ~schedule
+                 ~steal_safe prog layout
+             in
+             if r.Bamboo.Exec.x_digest <> expected then ok := false;
+             match !best with
+             | Some (b : Bamboo.Exec.result) when b.x_wall_seconds <= r.x_wall_seconds -> ()
+             | _ -> best := Some r
+           done;
+           Option.get !best
+         in
+         let points =
+           List.map
+             (fun domains ->
+               let st = best_of Bamboo.Exec.Static domains in
+               let sl = best_of Bamboo.Exec.Steal domains in
+               {
+                 sp_domains = domains;
+                 sp_static_wall = st.x_wall_seconds;
+                 sp_steal_wall = sl.x_wall_seconds;
+                 sp_static_cycles = st.x_cycles;
+                 sp_steal_cycles = sl.x_cycles;
+                 sp_static_idle_polls = st.x_idle_polls;
+                 sp_steal_idle_polls = sl.x_idle_polls;
+                 sp_steal_attempts = sl.x_steal_attempts;
+                 sp_steals = sl.x_steals;
+                 sp_steal_aborts = sl.x_steal_aborts;
+                 sp_stolen_invocations = sl.x_stolen_invocations;
+                 sp_core_stats = sl.x_core_stats;
+               })
+             exec_domain_counts
+         in
+         let safe_tasks = Array.fold_left (fun a s -> if s then a + 1 else a) 0 steal_safe in
+         {
+           sr_name = b.b_name;
+           sr_cores = machine.cores;
+           sr_steal_safe_tasks = safe_tasks;
+           sr_tasks = Array.length steal_safe;
+           sr_digest = expected;
+           sr_digest_ok = !ok;
+           sr_points = points;
+         })
+       Registry.all)
+
+let stealbench () =
+  let rows = Lazy.force stealbench_results in
+  print_endline "== stealbench: static vs work-stealing placement, 8-core spread layout ==";
+  Printf.printf
+    "   (wall seconds, best of %s; speedup is static/steal at the same domain count;\n\
+    \    every point digest-checked against the sequential runtime;\n\
+    \    host reports %d recommended domains — speedups need real cores)\n"
+    (if !quick then "1 rep" else "3 reps")
+    (Domain.recommended_domain_count ());
+  Table.print
+    ~headers:
+      [
+        "Benchmark"; "safe tasks"; "static@8 s"; "steal@8 s"; "spd@8";
+        "steals@8"; "aborts@8"; "idle st@8"; "idle sl@8"; "digest";
+      ]
+    (List.map
+       (fun r ->
+         let p = List.find (fun q -> q.sp_domains = 8) r.sr_points in
+         [
+           r.sr_name;
+           Printf.sprintf "%d/%d" r.sr_steal_safe_tasks r.sr_tasks;
+           Printf.sprintf "%.3f" p.sp_static_wall;
+           Printf.sprintf "%.3f" p.sp_steal_wall;
+           Printf.sprintf "%.2fx" (sp_speedup p);
+           string_of_int p.sp_steals;
+           string_of_int p.sp_steal_aborts;
+           string_of_int p.sp_static_idle_polls;
+           string_of_int p.sp_steal_idle_polls;
+           (if r.sr_digest_ok then "ok" else "MISMATCH");
+         ])
+       rows);
+  print_endline "";
+  if List.exists (fun r -> not r.sr_digest_ok) rows then (
+    prerr_endline "[bench] stealbench: digest mismatch against the sequential runtime";
     exit 1)
 
 (* ------------------------------------------------------------------ *)
@@ -709,6 +857,7 @@ let emit_exec_json path =
         ("messages", Int p.xp_messages);
         ("lock_retries", Int p.xp_retries);
         ("cycles", Int p.xp_cycles);
+        ("idle_polls", Int p.xp_idle_polls);
       ]
   in
   let row_obj r =
@@ -729,6 +878,60 @@ let emit_exec_json path =
          ("quick", Bool !quick);
          ("host_recommended_domains", Int (Domain.recommended_domain_count ()));
          ("benchmarks", Arr (List.map row_obj (Lazy.force execbench_results)));
+       ])
+
+let emit_steal_json path =
+  let open Json_out in
+  let core_obj (c : Bamboo.Exec.core_stats) =
+    Obj
+      [
+        ("core", Int c.cs_core);
+        ("invocations", Int c.cs_invocations);
+        ("stolen", Int c.cs_stolen);
+        ("busy_cycles", Int c.cs_busy_cycles);
+        ("idle_polls", Int c.cs_idle_polls);
+        ("steal_attempts", Int c.cs_steal_attempts);
+        ("steals", Int c.cs_steals);
+        ("steal_aborts", Int c.cs_steal_aborts);
+      ]
+  in
+  let point_obj p =
+    Obj
+      [
+        ("domains", Int p.sp_domains);
+        ("static_wall_seconds", Float p.sp_static_wall);
+        ("steal_wall_seconds", Float p.sp_steal_wall);
+        ("speedup_steal_vs_static", Float (sp_speedup p));
+        ("static_cycles", Int p.sp_static_cycles);
+        ("steal_cycles", Int p.sp_steal_cycles);
+        ("static_idle_polls", Int p.sp_static_idle_polls);
+        ("steal_idle_polls", Int p.sp_steal_idle_polls);
+        ("steal_attempts", Int p.sp_steal_attempts);
+        ("steals", Int p.sp_steals);
+        ("steal_aborts", Int p.sp_steal_aborts);
+        ("stolen_invocations", Int p.sp_stolen_invocations);
+        ("steal_core_stats", Arr (Array.to_list (Array.map core_obj p.sp_core_stats)));
+      ]
+  in
+  let row_obj r =
+    Obj
+      [
+        ("name", Str r.sr_name);
+        ("cores", Int r.sr_cores);
+        ("steal_safe_tasks", Int r.sr_steal_safe_tasks);
+        ("tasks", Int r.sr_tasks);
+        ("digest", Str r.sr_digest);
+        ("digest_ok", Bool r.sr_digest_ok);
+        ("points", Arr (List.map point_obj r.sr_points));
+      ]
+  in
+  write path
+    (Obj
+       [
+         ("schema", Str "BENCH_pr7");
+         ("quick", Bool !quick);
+         ("host_recommended_domains", Int (Domain.recommended_domain_count ()));
+         ("benchmarks", Arr (List.map row_obj (Lazy.force stealbench_results)));
        ])
 
 let emit_interp_json path =
@@ -796,6 +999,7 @@ let () =
   | "fig11" -> fig11 ()
   | "simbench" -> simbench ()
   | "execbench" -> execbench ()
+  | "stealbench" -> stealbench ()
   | "interpbench" -> interpbench ()
   | "bechamel" -> bechamel ()
   | "all" ->
@@ -805,15 +1009,18 @@ let () =
       fig11 ();
       simbench ();
       execbench ();
+      stealbench ();
       interpbench ()
   | other ->
       Printf.eprintf
-        "unknown target %s (fig7|fig9|fig10|fig11|simbench|execbench|interpbench|bechamel|all)\n"
+        "unknown target %s \
+         (fig7|fig9|fig10|fig11|simbench|execbench|stealbench|interpbench|bechamel|all)\n"
         other;
       exit 2);
   (match !json_path with
   | Some path ->
       if what = "execbench" then emit_exec_json path
+      else if what = "stealbench" then emit_steal_json path
       else if what = "interpbench" then emit_interp_json path
       else emit_json path
   | None -> ());

@@ -345,7 +345,7 @@ let cmd_run =
 
 let cmd_exec =
   let run file args cores domains seed jobs layout_kind sim_reference exec_reference
-      interp_reference digest_only canon sanitize =
+      interp_reference digest_only canon sanitize schedule =
     if exec_reference then Bamboo.Exec.use_reference := true;
     if interp_reference then Bamboo.Interp.use_reference := true;
     let prog = load file in
@@ -361,7 +361,7 @@ let cmd_exec =
     let sanitize =
       if sanitize then Some (Bamboo.Effects.analyse prog an.astgs) else None
     in
-    let r = Bamboo.execute_parallel ~args ~domains ~seed ?sanitize prog an layout in
+    let r = Bamboo.execute_parallel ~args ~domains ~seed ?sanitize ~schedule prog an layout in
     if digest_only then print_endline r.x_digest
     else if canon then
       print_endline (Bamboo.Canon.canonical prog ~output:r.x_output ~objects:r.x_objects)
@@ -371,7 +371,10 @@ let cmd_exec =
         "%.3f s wall on %d domains (%d cores; %d invocations, %d cycles charged, %d \
          messages, %d lock retries)\ndigest: %s\n"
         r.x_wall_seconds r.x_domains cores r.x_invocations r.x_cycles r.x_messages
-        r.x_lock_retries r.x_digest
+        r.x_lock_retries r.x_digest;
+      if schedule = Bamboo.Exec.Steal then
+        Printf.printf "steals: %d of %d attempts (%d lost races), %d invocations ran off-home, %d idle polls\n"
+          r.x_steals r.x_steal_attempts r.x_steal_aborts r.x_stolen_invocations r.x_idle_polls
     end;
     (match (sanitize, r.x_violations) with
     | Some _, [] -> if not digest_only && not canon then print_endline "sanitizer: clean"
@@ -421,6 +424,19 @@ let cmd_exec =
              against the static effect analysis' predictions and an Eraser-style shadow \
              lockset; any violation is printed and the exit status is non-zero")
   in
+  let schedule_arg =
+    Arg.(
+      value
+      & opt (enum [ ("static", Bamboo.Exec.Static); ("steal", Bamboo.Exec.Steal) ])
+          Bamboo.Exec.Static
+      & info [ "schedule" ]
+          ~docv:"MODE"
+          ~doc:
+            "work placement: $(b,static) runs every invocation on the core static routing \
+             assembled it on; $(b,steal) additionally lets idle domains steal invocations \
+             of BAM011 steal-safe tasks from busy cores' Chase-Lev deques (canonical \
+             digests are identical in both modes)")
+  in
   Cmd.v
     (Cmd.info "exec"
        ~doc:
@@ -429,7 +445,7 @@ let cmd_exec =
     Term.(
       const run $ file_arg $ args_arg $ cores_arg $ domains_arg $ seed_arg $ jobs_arg
       $ layout_arg $ sim_reference_arg $ exec_reference_arg $ interp_reference_arg
-      $ digest_only_arg $ canon_arg $ sanitize_arg)
+      $ digest_only_arg $ canon_arg $ sanitize_arg $ schedule_arg)
 
 let cmd_trace =
   let run file args cores seed jobs sim_reference =

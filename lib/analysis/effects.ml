@@ -27,6 +27,7 @@
     runtime cross-check covering that blind spot. *)
 
 module Ir = Bamboo_ir.Ir
+module Union_find = Bamboo_support.Union_find
 
 (* ------------------------------------------------------------------ *)
 (* Effect vocabulary *)
@@ -335,3 +336,158 @@ let sharing_tasks (eff : t) a b atom =
       else None)
     eff.shares
   |> List.sort_uniq compare
+
+(* ------------------------------------------------------------------ *)
+(* Conflict detection (the BAM008 engine) *)
+
+(** A pair of task accesses that may touch the same object unprotected. *)
+type conflict = {
+  cf_task_a : Ir.task_id;
+  cf_task_b : Ir.task_id; (* cf_task_a <= cf_task_b *)
+  cf_atom : atom;
+  cf_root_a : Ir.class_id;
+  cf_root_b : Ir.class_id; (* cf_root_a <= cf_root_b *)
+  cf_via : Ir.task_id list; (* tasks whose execution creates the sharing *)
+}
+
+let group_protected lock_groups ra rb =
+  Ir.uses_group_lock lock_groups ra
+  && Ir.uses_group_lock lock_groups rb
+  && lock_groups.(ra) = lock_groups.(rb)
+
+(** All field/element conflicts between live tasks.  A conflict needs
+    (1) the same atom with at least one write, (2) root classes with
+    share evidence covering that atom, and (3) — unless
+    [ignore_groups] — roots not serialized by one multi-member lock
+    group.  [restrict] limits both roots to a class set (used by the
+    BAM010 what-if query). *)
+let conflicts (eff : t) ~lock_groups ?(ignore_groups = false) ?restrict () : conflict list =
+  let allowed c = match restrict with None -> true | Some cs -> List.mem c cs in
+  let out = ref [] in
+  let seen = Hashtbl.create 32 in
+  let ntasks = Array.length eff.per_task in
+  for ia = 0 to ntasks - 1 do
+    for ib = ia to ntasks - 1 do
+      let ea = eff.per_task.(ia) and eb = eff.per_task.(ib) in
+      if ea.ef_live && eb.ef_live then
+        List.iter
+          (fun (aa : access) ->
+            List.iter
+              (fun (ab : access) ->
+                if aa.ac_atom = ab.ac_atom && (aa.ac_write || ab.ac_write) then
+                  List.iter
+                    (fun ra ->
+                      List.iter
+                        (fun rb ->
+                          if
+                            allowed ra && allowed rb
+                            && (ignore_groups || not (group_protected lock_groups ra rb))
+                          then
+                            let via = sharing_tasks eff ra rb aa.ac_atom in
+                            if via <> [] then begin
+                              let key = (ia, ib, aa.ac_atom, min ra rb, max ra rb) in
+                              if not (Hashtbl.mem seen key) then begin
+                                Hashtbl.replace seen key ();
+                                out :=
+                                  {
+                                    cf_task_a = ia;
+                                    cf_task_b = ib;
+                                    cf_atom = aa.ac_atom;
+                                    cf_root_a = min ra rb;
+                                    cf_root_b = max ra rb;
+                                    cf_via = via;
+                                  }
+                                  :: !out
+                              end
+                            end)
+                        ab.ac_roots)
+                    aa.ac_roots)
+              eb.ef_accesses)
+          ea.ef_accesses
+    done
+  done;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Interference partition and the steal-safety contract (BAM011) *)
+
+(** Partition the live tasks: two tasks interfere when they may contend
+    on a common lock key (a parameter class in common, or parameter
+    classes in one multi-member lock group) or appear together in an
+    unprotected BAM008 conflict.  Returns the classes as sorted task-id
+    lists, ordered by their smallest member. *)
+let interference_classes (eff : t) ~lock_groups (prog : Ir.program) : Ir.task_id list list =
+  let ntasks = Array.length prog.tasks in
+  let uf = Union_find.create ntasks in
+  let live t = eff.per_task.(t).ef_live in
+  for a = 0 to ntasks - 1 do
+    for b = a + 1 to ntasks - 1 do
+      if live a && live b then begin
+        let classes t =
+          Array.to_list prog.tasks.(t).t_params |> List.map (fun (p : Ir.paraminfo) -> p.p_class)
+        in
+        let contend =
+          List.exists
+            (fun ca ->
+              List.exists
+                (fun cb ->
+                  ca = cb
+                  || (Ir.uses_group_lock lock_groups ca
+                     && Ir.uses_group_lock lock_groups cb
+                     && lock_groups.(ca) = lock_groups.(cb)))
+                (classes b))
+            (classes a)
+        in
+        if contend then ignore (Union_find.union uf a b)
+      end
+    done
+  done;
+  List.iter
+    (fun cf -> if cf.cf_task_a <> cf.cf_task_b then ignore (Union_find.union uf cf.cf_task_a cf.cf_task_b))
+    (conflicts eff ~lock_groups ());
+  let by_rep = Hashtbl.create 8 in
+  for t = 0 to ntasks - 1 do
+    if live t then begin
+      let rep = Union_find.find uf t in
+      let cur = Option.value (Hashtbl.find_opt by_rep rep) ~default:[] in
+      Hashtbl.replace by_rep rep (t :: cur)
+    end
+  done;
+  Hashtbl.fold (fun _ members acc -> List.rev members :: acc) by_rep []
+  |> List.sort (fun a b -> compare (List.hd a) (List.hd b))
+
+(** The per-task steal contract a work-stealing scheduler consumes.
+
+    A task is {e steal-safe} when executing one of its invocations on
+    an arbitrary core (instead of the core static routing chose)
+    cannot break mutual exclusion.  All mutual exclusion in the
+    parallel backend comes from the global [Atomic] try-lock keys, so
+    the only stealable hazard is {e unprotected} sharing — interference
+    edges that exist only because of a BAM008 conflict, where the
+    static placement was the de-facto serializer.  Hence: a task is
+    steal-safe iff it is live and no member of its interference class
+    is an endpoint of an unprotected conflict; every edge inside such
+    a class is lock-arbitrated (shared parameter class or shared
+    multi-member lock group), which holds on any core.  Singleton
+    classes are trivially safe. *)
+type steal_contract = {
+  st_classes : Ir.task_id list list; (* interference partition of live tasks *)
+  st_class_safe : bool list;         (* parallel to [st_classes] *)
+  st_safe : bool array;              (* task id -> live and steal-safe *)
+}
+
+let steal_contract (eff : t) ~lock_groups (prog : Ir.program) : steal_contract =
+  let classes = interference_classes eff ~lock_groups prog in
+  let ntasks = Array.length prog.tasks in
+  let conflicted = Array.make ntasks false in
+  List.iter
+    (fun cf ->
+      conflicted.(cf.cf_task_a) <- true;
+      conflicted.(cf.cf_task_b) <- true)
+    (conflicts eff ~lock_groups ());
+  let class_safe = List.map (fun cls -> not (List.exists (fun t -> conflicted.(t)) cls)) classes in
+  let safe = Array.make ntasks false in
+  List.iter2
+    (fun cls ok -> if ok then List.iter (fun t -> safe.(t) <- true) cls)
+    classes class_safe;
+  { st_classes = classes; st_class_safe = class_safe; st_safe = safe }

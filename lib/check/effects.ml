@@ -20,7 +20,6 @@
 
 module Ir = Bamboo_ir.Ir
 module E = Bamboo_analysis.Effects
-module Union_find = Bamboo_support.Union_find
 module D = Diagnostic
 
 let rule_field_race = "BAM008"
@@ -31,8 +30,11 @@ let rule_interference = "BAM011"
 (* ------------------------------------------------------------------ *)
 (* Conflict detection *)
 
-(** A pair of task accesses that may touch the same object unprotected. *)
-type conflict = {
+(** The conflict engine lives in {!Bamboo_analysis.Effects} (so the
+    exec backend's stealing scheduler can consume the steal-safety
+    contract without depending on the verifier); re-exported here for
+    the rule passes. *)
+type conflict = E.conflict = {
   cf_task_a : Ir.task_id;
   cf_task_b : Ir.task_id; (* cf_task_a <= cf_task_b *)
   cf_atom : E.atom;
@@ -41,63 +43,7 @@ type conflict = {
   cf_via : Ir.task_id list; (* tasks whose execution creates the sharing *)
 }
 
-let group_protected lock_groups ra rb =
-  Ir.uses_group_lock lock_groups ra
-  && Ir.uses_group_lock lock_groups rb
-  && lock_groups.(ra) = lock_groups.(rb)
-
-(** All field/element conflicts between live tasks.  A conflict needs
-    (1) the same atom with at least one write, (2) root classes with
-    share evidence covering that atom, and (3) — unless
-    [ignore_groups] — roots not serialized by one multi-member lock
-    group.  [restrict] limits both roots to a class set (used by the
-    BAM010 what-if query). *)
-let conflicts (eff : E.t) ~lock_groups ?(ignore_groups = false) ?restrict () : conflict list =
-  let allowed c = match restrict with None -> true | Some cs -> List.mem c cs in
-  let out = ref [] in
-  let seen = Hashtbl.create 32 in
-  let ntasks = Array.length eff.per_task in
-  for ia = 0 to ntasks - 1 do
-    for ib = ia to ntasks - 1 do
-      let ea = eff.per_task.(ia) and eb = eff.per_task.(ib) in
-      if ea.ef_live && eb.ef_live then
-        List.iter
-          (fun (aa : E.access) ->
-            List.iter
-              (fun (ab : E.access) ->
-                if aa.ac_atom = ab.ac_atom && (aa.ac_write || ab.ac_write) then
-                  List.iter
-                    (fun ra ->
-                      List.iter
-                        (fun rb ->
-                          if
-                            allowed ra && allowed rb
-                            && (ignore_groups || not (group_protected lock_groups ra rb))
-                          then
-                            let via = E.sharing_tasks eff ra rb aa.ac_atom in
-                            if via <> [] then begin
-                              let key = (ia, ib, aa.ac_atom, min ra rb, max ra rb) in
-                              if not (Hashtbl.mem seen key) then begin
-                                Hashtbl.replace seen key ();
-                                out :=
-                                  {
-                                    cf_task_a = ia;
-                                    cf_task_b = ib;
-                                    cf_atom = aa.ac_atom;
-                                    cf_root_a = min ra rb;
-                                    cf_root_b = max ra rb;
-                                    cf_via = via;
-                                  }
-                                  :: !out
-                              end
-                            end)
-                        ab.ac_roots)
-                    aa.ac_roots)
-              eb.ef_accesses)
-          ea.ef_accesses
-    done
-  done;
-  List.rev !out
+let conflicts = E.conflicts
 
 (* ------------------------------------------------------------------ *)
 (* BAM008: field races *)
@@ -235,50 +181,11 @@ let splittable_groups prog (eff : E.t) ~lock_groups : D.t list =
 (* ------------------------------------------------------------------ *)
 (* BAM011: interference classes *)
 
-(** Partition the live tasks: two tasks interfere when they may contend
-    on a common lock key (a parameter class in common, or parameter
-    classes in one multi-member lock group) or appear together in an
-    unprotected BAM008 conflict.  Returns the classes as sorted task-id
-    lists, ordered by their smallest member. *)
-let interference_classes (eff : E.t) ~lock_groups (prog : Ir.program) : Ir.task_id list list =
-  let ntasks = Array.length prog.tasks in
-  let uf = Union_find.create ntasks in
-  let live t = eff.per_task.(t).ef_live in
-  for a = 0 to ntasks - 1 do
-    for b = a + 1 to ntasks - 1 do
-      if live a && live b then begin
-        let classes t =
-          Array.to_list prog.tasks.(t).t_params |> List.map (fun (p : Ir.paraminfo) -> p.p_class)
-        in
-        let contend =
-          List.exists
-            (fun ca ->
-              List.exists
-                (fun cb ->
-                  ca = cb
-                  || (Ir.uses_group_lock lock_groups ca
-                     && Ir.uses_group_lock lock_groups cb
-                     && lock_groups.(ca) = lock_groups.(cb)))
-                (classes b))
-            (classes a)
-        in
-        if contend then ignore (Union_find.union uf a b)
-      end
-    done
-  done;
-  List.iter
-    (fun cf -> if cf.cf_task_a <> cf.cf_task_b then ignore (Union_find.union uf cf.cf_task_a cf.cf_task_b))
-    (conflicts eff ~lock_groups ());
-  let by_rep = Hashtbl.create 8 in
-  for t = 0 to ntasks - 1 do
-    if live t then begin
-      let rep = Union_find.find uf t in
-      let cur = Option.value (Hashtbl.find_opt by_rep rep) ~default:[] in
-      Hashtbl.replace by_rep rep (t :: cur)
-    end
-  done;
-  Hashtbl.fold (fun _ members acc -> List.rev members :: acc) by_rep []
-  |> List.sort (fun a b -> compare (List.hd a) (List.hd b))
+(** The partition itself is computed by
+    {!Bamboo_analysis.Effects.interference_classes} (shared with the
+    stealing scheduler's contract); kept under its historical name
+    here for the rule pass and the tests. *)
+let interference_classes = E.interference_classes
 
 let interference prog (eff : E.t) ~lock_groups : D.t list =
   interference_classes eff ~lock_groups prog
@@ -311,7 +218,8 @@ let tag_ref prog c ty = (Ir.class_of prog c).Ir.c_name ^ "." ^ prog.Ir.tag_types
       "shares":[{"task","classes","witness"}],
       "interference_classes":[{"tasks","steal_safe"}]}]. *)
 let report_json prog (eff : E.t) ~lock_groups : string =
-  let classes = interference_classes eff ~lock_groups prog in
+  let sc = E.steal_contract eff ~lock_groups prog in
+  let classes = sc.E.st_classes in
   let rep_of = Hashtbl.create 8 in
   List.iter
     (fun cls ->
@@ -358,22 +266,27 @@ let report_json prog (eff : E.t) ~lock_groups : string =
       (json_list
          (List.sort_uniq compare (List.map (fun w -> json_str (E.witness_name prog w)) sh.sh_witness)))
   in
-  let class_json cls =
+  (* A class is steal-safe when every interference edge inside it is
+     lock-arbitrated (no unprotected BAM008 conflict touches it): the
+     contract consumed by [bamboo exec --schedule steal]. *)
+  let class_json cls safe =
     Printf.sprintf "{\"tasks\":%s,\"steal_safe\":%b}"
       (json_list (List.map (fun t -> json_str prog.Ir.tasks.(t).t_name) cls))
-      (List.length cls = 1)
+      safe
   in
   Printf.sprintf "{\"tasks\":%s,\"shares\":%s,\"interference_classes\":%s}"
     (json_list (Array.to_list (Array.map task_json eff.per_task)))
     (json_list (List.map share_json eff.shares))
-    (json_list (List.map class_json classes))
+    (json_list (List.map2 class_json classes sc.E.st_class_safe))
 
 (** Human-readable interference summary for text-format [--effects]. *)
 let report_text prog (eff : E.t) ~lock_groups : string =
-  let classes = interference_classes eff ~lock_groups prog in
-  let line cls =
+  let sc = E.steal_contract eff ~lock_groups prog in
+  let line cls safe =
     let names = List.map (fun t -> prog.Ir.tasks.(t).t_name) cls in
     Printf.sprintf "  {%s}%s" (String.concat ", " names)
-      (if List.length cls = 1 then " (steal-safe)" else "")
+      (if safe then " (steal-safe)" else "")
   in
-  "interference classes:\n" ^ String.concat "\n" (List.map line classes) ^ "\n"
+  "interference classes:\n"
+  ^ String.concat "\n" (List.map2 line sc.E.st_classes sc.E.st_class_safe)
+  ^ "\n"

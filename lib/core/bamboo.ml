@@ -50,6 +50,7 @@ module Evaluator = Bamboo_synth.Evaluator
 module Dsa = Bamboo_synth.Dsa
 module Runtime = Bamboo_runtime.Runtime
 module Mailbox = Bamboo_support.Mailbox
+module Chase_lev = Bamboo_support.Chase_lev
 module Exec = Bamboo_exec.Exec
 module Sanitize = Bamboo_exec.Sanitize
 module Canon = Bamboo_exec.Canon
@@ -100,11 +101,22 @@ let execute ?(args = []) ?max_invocations ?(record_trace = false) (prog : Ir.pro
 
 (** Execute the program for real on OCaml 5 domains — the parallel
     many-core backend (see {!Exec}); the sequential {!execute} is its
-    equivalence oracle. *)
+    equivalence oracle.  [schedule] picks the placement discipline
+    ([Exec.Static] or [Exec.Steal]); under [Steal] the BAM011
+    steal-safety contract is computed from the analysis results here
+    so {!Exec} does not re-run the effects pass. *)
 let execute_parallel ?(args = []) ?max_invocations ?domains ?seed ?sanitize
-    (prog : Ir.program) (an : analysis) (layout : Layout.t) : Exec.result =
-  Exec.run ~args ?max_invocations ?domains ?seed ?sanitize ~lock_groups:an.lock_groups prog
-    layout
+    ?(schedule = Exec.Static) (prog : Ir.program) (an : analysis) (layout : Layout.t) :
+    Exec.result =
+  let steal_safe =
+    match schedule with
+    | Exec.Static -> None
+    | Exec.Steal ->
+        let eff = Effects.analyse prog an.astgs in
+        Some (Effects.steal_contract eff ~lock_groups:an.lock_groups prog).Effects.st_safe
+  in
+  Exec.run ~args ?max_invocations ?domains ?seed ?sanitize ~schedule ?steal_safe
+    ~lock_groups:an.lock_groups prog layout
 
 (** Estimate the execution of a layout with the scheduling simulator. *)
 let estimate ?max_invocations (prog : Ir.program) (prof : Profile.t) (layout : Layout.t) : int

@@ -46,7 +46,10 @@ module Layout = Bamboo_machine.Layout
 module Runtime = Bamboo_runtime.Runtime
 module Mailbox = Bamboo_support.Mailbox
 module Deque = Bamboo_support.Deque
+module Chase_lev = Bamboo_support.Chase_lev
 module Prng = Bamboo_support.Prng
+module Astg = Bamboo_analysis.Astg
+module Effects = Bamboo_analysis.Effects
 open Value
 
 exception Exec_stuck of string
@@ -104,7 +107,28 @@ type invocation = {
   iv_task : Ir.taskinfo;
   iv_params : entry array;
   iv_tags : (Ir.slot * tag_inst) list;
+  iv_home : int;
+  (* the core that assembled this invocation — where dropped-parameter
+     entries must be re-delivered when a thief executes it elsewhere *)
 }
+
+(* ------------------------------------------------------------------ *)
+(* Scheduling policy *)
+
+(** How ready invocations are placed:
+
+    - [Static]: the PR 4 behaviour — every invocation runs on the core
+      whose routing assembled it;
+    - [Steal]: assembled invocations of {e steal-safe} tasks (the
+      BAM011 contract, {!Effects.steal_contract}) go to a per-core
+      Chase–Lev deque instead of the private ready queue, and an idle
+      domain — before backing off on its mailboxes — steals one from a
+      victim core and executes it locally.  Stealing whole invocations
+      (never raw parameter-set entries) preserves the tag-hash
+      "co-tagged objects meet at one core" property; the ordered
+      [Atomic] try-lock protocol preserves mutual exclusion on any
+      core, which is exactly what the steal-safety gate certifies. *)
+type schedule = Static | Steal
 
 (* ------------------------------------------------------------------ *)
 (* Per-core scheduler state *)
@@ -126,9 +150,16 @@ type xcore = {
   (* [ictx]'s engine (bytecode executor or tree-walking oracle),
      resolved once per core at construction *)
   rr : int array array;                 (* round-robin routing counters *)
+  stealq : invocation Chase_lev.t;      (* steal-safe work; stolen by any domain *)
+  stolen : invocation Queue.t;          (* stolen work awaiting a lock retry; owner only *)
   mutable executed : int;
   mutable retries : int;                (* failed lock-acquisition rounds *)
   mutable sent : int;                   (* cross-core messages pushed *)
+  mutable stolen_run : int;             (* invocations executed here, assembled elsewhere *)
+  mutable idle_polls : int;             (* scheduler steps that made no progress *)
+  mutable steal_attempts : int;         (* victim probes *)
+  mutable steal_hits : int;             (* successful steals *)
+  mutable steal_aborts : int;           (* steals lost to a CAS race *)
 }
 
 type state = {
@@ -144,10 +175,17 @@ type state = {
   total_invocations : int Atomic.t;     (* budget check only; results use per-core sums *)
   max_invocations : int;
   crashed : exn option Atomic.t;        (* first failure; all domains drain out *)
+  schedule : schedule;
+  steal_safe : bool array;              (* task id -> BAM011 steal-safe (all-false when Static) *)
+  victims : int array;                  (* active cores — the steal candidates *)
 }
 
 let make_xcore (prog : Ir.program) ncores cid =
   let ictx = Interp.create ~id_base:cid ~id_stride:ncores prog in
+  (* sentinel for the Chase–Lev slots; never executed *)
+  let dummy_invocation =
+    { iv_task = prog.tasks.(0); iv_params = [||]; iv_tags = []; iv_home = -1 }
+  in
   {
     cid;
     mailbox = Mailbox.create ();
@@ -161,9 +199,16 @@ let make_xcore (prog : Ir.program) ncores cid =
     san = None;
     invoke = Interp.executor ictx;
     rr =Array.map (fun (t : Ir.taskinfo) -> Array.make (Array.length t.t_params) 0) prog.tasks;
+    stealq = Chase_lev.create ~dummy:dummy_invocation ();
+    stolen = Queue.create ();
     executed = 0;
     retries = 0;
     sent = 0;
+    stolen_run = 0;
+    idle_polls = 0;
+    steal_attempts = 0;
+    steal_hits = 0;
+    steal_aborts = 0;
   }
 
 let build_consumer_table (prog : Ir.program) : consumers array =
@@ -182,25 +227,25 @@ let build_consumer_table (prog : Ir.program) : consumers array =
    routing never shares state across domains. *)
 
 let route st (core : xcore) (task : Ir.taskinfo) pidx (e : entry) =
-  let cores = Layout.cores_of st.layout task.t_id in
-  let n = Array.length cores in
-  if n = 0 then None
-  else if n = 1 then Some cores.(0)
-  else if Array.length task.t_params > 1 then begin
-    (* Multi-instance multi-parameter task: hash the bound tag
-       instance so all co-tagged objects meet at the same core. *)
-    match task.t_params.(pidx).p_tags with
-    | (tty, _) :: _ -> (
-        match List.find_opt (fun t -> t.tg_ty = tty) e.x_tags with
-        | Some tag -> Some cores.(tag.tg_id mod n)
-        | None -> None)
-    | [] -> Some cores.(0)
-  end
-  else begin
-    let c = core.rr.(task.t_id).(pidx) in
-    core.rr.(task.t_id).(pidx) <- c + 1;
-    Some cores.(c mod n)
-  end
+  let nparams = Array.length task.t_params in
+  let key =
+    if nparams <= 1 then 0
+    else
+      (* Multi-instance multi-parameter task: hash the bound tag
+         instance so all co-tagged objects meet at the same core. *)
+      match task.t_params.(pidx).p_tags with
+      | (tty, _) :: _ -> (
+          match List.find_opt (fun t -> t.tg_ty = tty) e.x_tags with
+          | Some tag -> tag.tg_id
+          | None -> Layout.no_key)
+      | [] -> 0
+  in
+  let c =
+    Layout.route_core
+      ~cores:(Layout.cores_of st.layout task.t_id)
+      ~nparams ~key ~rr:core.rr ~tid:task.t_id pidx
+  in
+  if c < 0 then None else Some c
 
 (** Send [e] to every core hosting a consumer it satisfies — one
     mailbox message per destination core (the receiver fans it out to
@@ -302,10 +347,26 @@ let try_assemble (core : xcore) (task : Ir.taskinfo) =
     if search 0 then begin
       Array.iteri (fun pidx slot -> Deque.delete sets.(pidx) slot) chosen;
       let tags = Hashtbl.fold (fun slot tag acc -> (slot, tag) :: acc) bindings [] in
-      Some { iv_task = task; iv_params = chosen_e; iv_tags = List.sort compare tags }
+      Some
+        {
+          iv_task = task;
+          iv_params = chosen_e;
+          iv_tags = List.sort compare tags;
+          iv_home = core.cid;
+        }
     end
     else None
   end
+
+(** Queue a freshly assembled invocation, counted.  Under [Steal],
+    steal-safe work goes to the core's public Chase–Lev deque where
+    idle domains can take it; everything else stays on the private
+    ready queue and can only ever run here. *)
+let enqueue_invocation st (core : xcore) (inv : invocation) =
+  Atomic.incr st.outstanding;
+  if st.schedule == Steal && st.steal_safe.(inv.iv_task.Ir.t_id) then
+    Chase_lev.push core.stealq inv
+  else Queue.add inv core.ready
 
 (** Insert an arriving entry into this core's parameter sets (one copy
     per matching hosted consumer) and enqueue every invocation it
@@ -321,8 +382,7 @@ let deliver st (core : xcore) (e : entry) =
           let rec assemble () =
             match try_assemble core task with
             | Some inv ->
-                Atomic.incr st.outstanding;
-                Queue.add inv core.ready;
+                enqueue_invocation st core inv;
                 assemble ()
             | None -> ()
           in
@@ -378,9 +438,11 @@ let release_all cells = List.iter (fun c -> Atomic.set c (-1)) cells
 (* ------------------------------------------------------------------ *)
 (* Invocation execution *)
 
-(** Outcome of one attempt at a ready invocation.  [`Ran] and
-    [`Dropped] consume the invocation (the caller decrements the
-    outstanding counter); [`Retry] leaves it queued and counted. *)
+(** Outcome of one attempt at an invocation.  [`Ran] and [`Dropped]
+    consume the invocation (the caller decrements the outstanding
+    counter); [`Retry] means the locks could not be taken — the caller
+    must requeue it wherever it came from (ready queue, stolen queue
+    or the core's own Chase–Lev deque), still counted. *)
 let sanitize_key = function
   | KGroup g -> Sanitize.Kgroup g
   | KObj o -> Sanitize.Kobject o.o_id
@@ -390,15 +452,27 @@ let run_invocation st (core : xcore) (inv : invocation) =
   match try_lock_all core.cid (List.map (cell_of st) keys) with
   | None ->
       core.retries <- core.retries + 1;
-      Queue.add inv core.ready;
       `Retry
   | Some cells ->
       if not (Array.for_all entry_fresh inv.iv_params) then begin
         (* A parameter was consumed by another invocation after this
            one was assembled: drop it, re-delivering the entries that
-           are still fresh (their snapshots are still exact). *)
+           are still fresh (their snapshots are still exact).  A
+           stolen invocation re-delivers by mailing the entries back
+           to its home core — this thief need not host the consumers,
+           and home is where routing placed them (counted before the
+           push, like any message). *)
         release_all cells;
-        Array.iter (fun e -> if entry_fresh e then deliver st core e) inv.iv_params;
+        Array.iter
+          (fun e ->
+            if entry_fresh e then
+              if inv.iv_home = core.cid then deliver st core e
+              else begin
+                Atomic.incr st.outstanding;
+                core.sent <- core.sent + 1;
+                Mailbox.push st.cores.(inv.iv_home).mailbox e
+              end)
+          inv.iv_params;
         `Dropped
       end
       else begin
@@ -427,6 +501,7 @@ let run_invocation st (core : xcore) (inv : invocation) =
         let created = List.map snapshot r.tr_created in
         release_all cells;
         core.executed <- core.executed + 1;
+        if inv.iv_home <> core.cid then core.stolen_run <- core.stolen_run + 1;
         (* Publication after release is safe: mailbox pushes are
            sequentially consistent, and any receiver must win the
            object's lock CAS before touching non-snapshot state, which
@@ -436,12 +511,29 @@ let run_invocation st (core : xcore) (inv : invocation) =
         `Ran
       end
 
+(** Sweep [q] once: run every queued invocation whose locks can be
+    taken; lock-contended ones go back to the tail, still counted. *)
+let sweep_queue st (core : xcore) (q : invocation Queue.t) progressed =
+  let n = Queue.length q in
+  for _ = 1 to n do
+    match Queue.take_opt q with
+    | None -> ()
+    | Some inv -> (
+        match run_invocation st core inv with
+        | `Ran | `Dropped ->
+            Atomic.decr st.outstanding;
+            progressed := true
+        | `Retry -> Queue.add inv q)
+  done
+
 (** One scheduler step for [core]: drain the mailbox, then sweep the
-    ready queue once, executing everything whose locks can be taken.
-    Returns [true] if any message was consumed or invocation
-    resolved.  The counter discipline — increment successors before
-    decrementing the work that produced them — is what makes the
-    quiescence check sound. *)
+    work queues once, executing everything whose locks can be taken.
+    Under [Steal] that includes the core's own Chase–Lev deque
+    (owner-side pops, racing thieves only for the last element) and
+    the queue of stolen-then-contended invocations.  Returns [true] if
+    any message was consumed or invocation resolved.  The counter
+    discipline — increment successors before decrementing the work
+    that produced them — is what makes the quiescence check sound. *)
 let step st (core : xcore) =
   let progressed = ref false in
   List.iter
@@ -450,20 +542,65 @@ let step st (core : xcore) =
       Atomic.decr st.outstanding;
       progressed := true)
     (Mailbox.drain core.mailbox);
-  let n = Queue.length core.ready in
-  (try
-     for _ = 1 to n do
-       match Queue.take_opt core.ready with
-       | None -> raise Exit
-       | Some inv -> (
-           match run_invocation st core inv with
-           | `Ran | `Dropped ->
-               Atomic.decr st.outstanding;
-               progressed := true
-           | `Retry -> ())
-     done
-   with Exit -> ());
+  sweep_queue st core core.ready progressed;
+  if st.schedule == Steal then begin
+    sweep_queue st core core.stolen progressed;
+    (* Bounded pop sweep of the own deque: contended invocations are
+       re-pushed at the end (visible to thieves again), and pops are
+       bounded by the pre-sweep size so a persistently contended
+       invocation cannot spin this loop forever. *)
+    let n = Chase_lev.size core.stealq in
+    let contended = ref [] in
+    (try
+       for _ = 1 to n do
+         match Chase_lev.pop core.stealq with
+         | None -> raise Exit (* thieves got there first *)
+         | Some inv -> (
+             match run_invocation st core inv with
+             | `Ran | `Dropped ->
+                 Atomic.decr st.outstanding;
+                 progressed := true
+             | `Retry -> contended := inv :: !contended)
+       done
+     with Exit -> ());
+    List.iter (Chase_lev.push core.stealq) !contended
+  end;
   !progressed
+
+(** Steal one invocation for [core] from some other active core's
+    deque, probing victims in random order, and run it here.  Returns
+    [true] when an invocation was stolen (even if its locks were busy
+    — it then waits on [core.stolen], counted, and retries in [step]).
+    The stolen invocation's accounting is exactly as at home: decrement
+    [outstanding] only after it ran or dropped, successors counted
+    first. *)
+let try_steal st (core : xcore) (rng : Prng.t) =
+  let nv = Array.length st.victims in
+  let rec probe start i =
+    if i >= nv then None
+    else
+      let vid = st.victims.((start + i) mod nv) in
+      if vid = core.cid then probe start (i + 1)
+      else begin
+        core.steal_attempts <- core.steal_attempts + 1;
+        match Chase_lev.steal st.cores.(vid).stealq with
+        | Chase_lev.Stolen inv -> Some inv
+        | Chase_lev.Empty -> probe start (i + 1)
+        | Chase_lev.Retry ->
+            core.steal_aborts <- core.steal_aborts + 1;
+            probe start (i + 1)
+      end
+  in
+  if nv <= 1 then false
+  else
+    match probe (Prng.int rng nv) 0 with
+    | None -> false
+    | Some inv ->
+        core.steal_hits <- core.steal_hits + 1;
+        (match run_invocation st core inv with
+        | `Ran | `Dropped -> Atomic.decr st.outstanding
+        | `Retry -> Queue.add inv core.stolen);
+        true
 
 (* ------------------------------------------------------------------ *)
 (* Domain loop, backoff, quiescence *)
@@ -475,10 +612,14 @@ let record_crash st e =
     makes progress the domain backs off exponentially with jitter from
     its own PRNG stream: short [cpu_relax] bursts first, then brief
     sleeps so an idle domain does not starve the ones still working.
-    [chaos > 0] injects random per-step delays (with that probability)
-    to shake out schedule-dependent bugs in the stress tests. *)
+    Under [Steal] an idle domain first tries to steal work for one of
+    its cores (rotating which, so every hosted interpreter context
+    gets used) before burning a backoff round.  [chaos > 0] injects
+    random per-step delays (with that probability) to shake out
+    schedule-dependent bugs in the stress tests. *)
 let domain_loop st (mycores : xcore array) (rng : Prng.t) ~chaos =
   let backoff = ref 0 in
+  let next_thief = ref 0 in
   while Atomic.get st.outstanding > 0 && Atomic.get st.crashed = None do
     let progressed = ref false in
     Array.iter
@@ -487,9 +628,17 @@ let domain_loop st (mycores : xcore array) (rng : Prng.t) ~chaos =
           for _ = 1 to 1 + Prng.int rng 64 do
             Domain.cpu_relax ()
           done;
-        try if step st core then progressed := true
+        try
+          if step st core then progressed := true
+          else core.idle_polls <- core.idle_polls + 1
         with e -> record_crash st e)
       mycores;
+    if (not !progressed) && st.schedule == Steal && Array.length mycores > 0 then begin
+      let thief = mycores.(!next_thief mod Array.length mycores) in
+      incr next_thief;
+      try if try_steal st thief rng then progressed := true
+      with e -> record_crash st e
+    end;
     if !progressed then backoff := 0
     else begin
       if !backoff < 8 then
@@ -504,6 +653,22 @@ let domain_loop st (mycores : xcore array) (rng : Prng.t) ~chaos =
 (* ------------------------------------------------------------------ *)
 (* Results *)
 
+(** Per-core utilization: how much work ran on the core, how much of
+    its scheduler's time was wasted polling, and its thief-side steal
+    ledger.  [cs_busy_cycles] are cost-model cycles charged to this
+    core's interpreter context (schedule-dependent under stealing —
+    work executes where it runs, the totals still sum identically). *)
+type core_stats = {
+  cs_core : int;
+  cs_invocations : int;
+  cs_stolen : int;                  (* invocations run here, assembled elsewhere *)
+  cs_busy_cycles : int;
+  cs_idle_polls : int;              (* scheduler steps that made no progress *)
+  cs_steal_attempts : int;          (* victim probes *)
+  cs_steals : int;                  (* successful steals *)
+  cs_steal_aborts : int;            (* steals lost to a CAS race *)
+}
+
 type result = {
   x_wall_seconds : float;
   x_cycles : int;                   (* cost-model cycles, summed over cores *)
@@ -516,6 +681,12 @@ type result = {
   x_digest : string;                (* {!Canon.digest}: output + abstract heap state *)
   x_per_core_invocations : int array;
   x_violations : string list;       (* sanitizer reports; [] when not sanitizing *)
+  x_core_stats : core_stats array;  (* per-core utilization, core order *)
+  x_idle_polls : int;               (* summed over cores *)
+  x_steal_attempts : int;
+  x_steals : int;
+  x_steal_aborts : int;
+  x_stolen_invocations : int;       (* invocations executed off their home core *)
 }
 
 (** When set, {!run} executes on the sequential deterministic runtime
@@ -544,6 +715,12 @@ let reference_run ?args ?max_invocations ?lock_groups (prog : Ir.program) (layou
     x_digest = Canon.digest prog ~output:r.r_output ~objects:r.r_objects;
     x_per_core_invocations = [||];
     x_violations = [];
+    x_core_stats = [||];
+    x_idle_polls = 0;
+    x_steal_attempts = 0;
+    x_steals = 0;
+    x_steal_aborts = 0;
+    x_stolen_invocations = 0;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -557,9 +734,16 @@ let reference_run ?args ?max_invocations ?lock_groups (prog : Ir.program) (layou
     injected random delay before each core step, used by the
     randomized-schedule stress tests.  [sanitize] installs the dynamic
     lockset sanitizer ({!Sanitize}) with the given static effect
-    results; its reports land in [x_violations]. *)
+    results; its reports land in [x_violations].
+
+    [schedule] selects the placement discipline ([Static] default;
+    [Steal] lets idle domains steal steal-safe invocations, see
+    {!schedule}).  [steal_safe] optionally supplies the BAM011
+    contract ({!Effects.steal_contract}[.st_safe]) — when absent under
+    [Steal] it is computed here from a fresh effects analysis. *)
 let run ?(args = []) ?(max_invocations = 2_000_000) ?lock_groups ?(domains = 4) ?(seed = 0)
-    ?(chaos = 0.0) ?sanitize (prog : Ir.program) (layout : Layout.t) : result =
+    ?(chaos = 0.0) ?sanitize ?(schedule = Static) ?steal_safe (prog : Ir.program)
+    (layout : Layout.t) : result =
   if !use_reference && sanitize = None then
     reference_run ~args ~max_invocations ?lock_groups prog layout
   else begin
@@ -568,6 +752,14 @@ let run ?(args = []) ?(max_invocations = 2_000_000) ?lock_groups ?(domains = 4) 
     | problems -> invalid_arg ("Exec.run: invalid layout: " ^ String.concat "; " problems));
     let lock_groups =
       match lock_groups with Some g -> g | None -> Runtime.default_lock_groups prog
+    in
+    let steal_safe =
+      match (schedule, steal_safe) with
+      | Static, _ -> Array.make (Array.length prog.Ir.tasks) false
+      | Steal, Some s -> s
+      | Steal, None ->
+          let eff = Effects.analyse prog (Astg.of_program prog) in
+          (Effects.steal_contract eff ~lock_groups prog).Effects.st_safe
     in
     let ncores = layout.Layout.machine.Machine.cores in
     let cores = Array.init ncores (make_xcore prog ncores) in
@@ -585,18 +777,28 @@ let run ?(args = []) ?(max_invocations = 2_000_000) ?lock_groups ?(domains = 4) 
           Some sn
     in
     let consumer_table = build_consumer_table prog in
+    let hosted =
+      Array.init ncores (fun cid ->
+          Array.map
+            (List.filter (fun ((t : Ir.taskinfo), _, _) ->
+                 Array.exists (fun c -> c = cid) (Layout.cores_of layout t.t_id)))
+            consumer_table)
+    in
+    (* Only cores hosting at least one consumer can ever receive work;
+       they are also the steal victims (all other deques stay empty). *)
+    let active =
+      Array.of_list
+        (List.filter
+           (fun cid -> Array.exists (fun cls -> cls <> []) hosted.(cid))
+           (List.init ncores Fun.id))
+    in
     let st =
       {
         prog;
         layout;
         cores;
         consumer_table;
-        hosted =
-          Array.init ncores (fun cid ->
-              Array.map
-                (List.filter (fun ((t : Ir.taskinfo), _, _) ->
-                     Array.exists (fun c -> c = cid) (Layout.cores_of layout t.t_id)))
-                consumer_table);
+        hosted;
         lock_groups;
         use_group = Array.init (Array.length prog.Ir.classes) (Ir.uses_group_lock lock_groups);
         group_locks = Array.init (Array.length prog.Ir.classes) (fun _ -> Atomic.make (-1));
@@ -604,14 +806,10 @@ let run ?(args = []) ?(max_invocations = 2_000_000) ?lock_groups ?(domains = 4) 
         total_invocations = Atomic.make 0;
         max_invocations;
         crashed = Atomic.make None;
+        schedule;
+        steal_safe;
+        victims = active;
       }
-    in
-    (* Only cores hosting at least one consumer can ever receive work. *)
-    let active =
-      Array.of_list
-        (List.filter
-           (fun cid -> Array.exists (fun cls -> cls <> []) st.hosted.(cid))
-           (List.init ncores Fun.id))
     in
     let ndomains = max 1 (min (min domains max_domains) (max 1 (Array.length active))) in
     let t0 = Unix.gettimeofday () in
@@ -642,12 +840,28 @@ let run ?(args = []) ?(max_invocations = 2_000_000) ?lock_groups ?(domains = 4) 
       String.concat "" (Array.to_list (Array.map (fun c -> Interp.output c.ictx) cores))
     in
     let objects = List.concat_map (fun c -> Interp.final_objects c.ictx) (Array.to_list cores) in
+    let core_stats =
+      Array.map
+        (fun c ->
+          {
+            cs_core = c.cid;
+            cs_invocations = c.executed;
+            cs_stolen = c.stolen_run;
+            cs_busy_cycles = c.ictx.Interp.cycles;
+            cs_idle_polls = c.idle_polls;
+            cs_steal_attempts = c.steal_attempts;
+            cs_steals = c.steal_hits;
+            cs_steal_aborts = c.steal_aborts;
+          })
+        cores
+    in
+    let sum f = Array.fold_left (fun a c -> a + f c) 0 cores in
     {
       x_wall_seconds = wall;
-      x_cycles = Array.fold_left (fun a c -> a + c.ictx.Interp.cycles) 0 cores;
-      x_invocations = Array.fold_left (fun a c -> a + c.executed) 0 cores;
-      x_lock_retries = Array.fold_left (fun a c -> a + c.retries) 0 cores;
-      x_messages = Array.fold_left (fun a c -> a + c.sent) 0 cores;
+      x_cycles = sum (fun c -> c.ictx.Interp.cycles);
+      x_invocations = sum (fun c -> c.executed);
+      x_lock_retries = sum (fun c -> c.retries);
+      x_messages = sum (fun c -> c.sent);
       x_domains = ndomains;
       x_output = output;
       x_objects = objects;
@@ -655,6 +869,12 @@ let run ?(args = []) ?(max_invocations = 2_000_000) ?lock_groups ?(domains = 4) 
       x_per_core_invocations = Array.map (fun c -> c.executed) cores;
       x_violations =
         (match sanitizer with Some sn -> Sanitize.violations sn | None -> []);
+      x_core_stats = core_stats;
+      x_idle_polls = sum (fun c -> c.idle_polls);
+      x_steal_attempts = sum (fun c -> c.steal_attempts);
+      x_steals = sum (fun c -> c.steal_hits);
+      x_steal_aborts = sum (fun c -> c.steal_aborts);
+      x_stolen_invocations = sum (fun c -> c.stolen_run);
     }
   end
 

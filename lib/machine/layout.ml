@@ -42,6 +42,45 @@ let tasks_on_core l core =
     l.assignment;
   List.rev !acc
 
+(* ------------------------------------------------------------------ *)
+(* Dispatch routing *)
+
+(** [key] argument of {!route_core} when a multi-parameter dispatch
+    has no routable tag key: the object lacks the required tag
+    instance, so it cannot be delivered anywhere. *)
+let no_key = min_int
+
+(** The one placement policy (§4.3.4), shared by the sequential
+    runtime, the parallel exec backend and the dense simulator so the
+    three schedulers cannot silently diverge:
+
+    - unhosted task → no destination;
+    - a single instantiation takes everything;
+    - multi-parameter multi-instance tasks hash [key] (the bound tag
+      instance's id) so all co-tagged objects meet at the same core —
+      [no_key] when the object carries no routable tag, and key [0]
+      (first core) for the untagged-parameter corner validated away by
+      {!multi_instance_ok};
+    - single-parameter tasks round-robin over the instantiations via
+      the caller-owned counter table [rr] (task → param), mutated in
+      place — per-core in the parallel backend, global in the
+      sequential schedulers.
+
+    [cores] is the task's instantiation list ([cores_of], or the
+    simulator's densified copy).  Returns the destination core id, or
+    [-1] for "nowhere" (kept as an unboxed sentinel: the dense
+    simulator routes on every dispatch event and must not allocate). *)
+let route_core ~(cores : int array) ~nparams ~key ~(rr : int array array) ~tid pidx =
+  let n = Array.length cores in
+  if n = 0 then -1
+  else if n = 1 then cores.(0)
+  else if nparams > 1 then if key == no_key then -1 else cores.(key mod n)
+  else begin
+    let c = rr.(tid).(pidx) in
+    rr.(tid).(pidx) <- c + 1;
+    cores.(c mod n)
+  end
+
 (** A multi-parameter task may have several instantiations only when
     every parameter carries a tag constraint — otherwise objects for
     different parameters could be enqueued at different instantiations

@@ -160,29 +160,29 @@ let satisfies (p : Ir.paraminfo) (o : obj) =
 (* ------------------------------------------------------------------ *)
 (* Routing *)
 
-(** Destination core for dispatching [o] to parameter [pidx] of [task]. *)
+(** Destination core for dispatching [o] to parameter [pidx] of
+    [task].  The placement policy itself is {!Layout.route_core},
+    shared with the parallel backend and the dense simulator; this
+    wrapper only computes the tag-hash key (the bound tag instance's
+    id) for multi-parameter tasks. *)
 let route st (task : Ir.taskinfo) pidx (o : obj) =
-  let cores = Layout.cores_of st.layout task.t_id in
-  let n = Array.length cores in
-  if n = 0 then None
-  else if n = 1 then Some cores.(0)
-  else if Array.length task.t_params > 1 then begin
-    (* Multi-instance multi-parameter task: hash the bound tag
-       instance so all co-tagged objects meet at the same core. *)
-    let p = task.t_params.(pidx) in
-    match p.p_tags with
-    | (tty, _) :: _ -> (
-        match List.find_opt (fun t -> t.tg_ty = tty) o.o_tags with
-        | Some tag -> Some cores.(tag.tg_id mod n)
-        | None -> None)
-    | [] -> Some cores.(0)
-  end
-  else begin
-    (* Round-robin distribution, as in the paper's layout tables. *)
-    let c = st.rr.(task.t_id).(pidx) in
-    st.rr.(task.t_id).(pidx) <- c + 1;
-    Some cores.(c mod n)
-  end
+  let nparams = Array.length task.t_params in
+  let key =
+    if nparams <= 1 then 0
+    else
+      match task.t_params.(pidx).p_tags with
+      | (tty, _) :: _ -> (
+          match List.find_opt (fun t -> t.tg_ty = tty) o.o_tags with
+          | Some tag -> tag.tg_id
+          | None -> Layout.no_key)
+      | [] -> 0
+  in
+  let c =
+    Layout.route_core
+      ~cores:(Layout.cores_of st.layout task.t_id)
+      ~nparams ~key ~rr:st.rr ~tid:task.t_id pidx
+  in
+  if c < 0 then None else Some c
 
 (* ------------------------------------------------------------------ *)
 (* Parameter sets and invocation assembly *)

@@ -115,20 +115,16 @@ let entry_valid_d (dp : Densify.dparam) (e : entry) =
 (* Routing (mirrors the runtime) *)
 
 (** Destination core for routing [tk] to parameter [pidx] of task
-    [tid], or -1 when the task is hosted nowhere. *)
+    [tid], or -1 when the task is hosted nowhere.  The policy is
+    {!Layout.route_core} (shared with both runtimes); the simulator's
+    tag-hash key is the token's creation group — co-created
+    (co-tagged) tokens share one — falling back to the token id for
+    groupless tokens. *)
 let route st tid pidx (tk : token) =
-  let cores = st.task_cores.(tid) in
-  let n = Array.length cores in
-  if n = 0 then -1
-  else if n = 1 then cores.(0)
-  else if Array.length st.d.Densify.d_tasks.(tid).dt_params > 1 then
-    (* Tag-hash routing: co-created (co-tagged) tokens share a hash. *)
-    cores.((if tk.tk_group >= 0 then tk.tk_group else tk.tk_id) mod n)
-  else begin
-    let c = st.rr.(tid).(pidx) in
-    st.rr.(tid).(pidx) <- c + 1;
-    cores.(c mod n)
-  end
+  Layout.route_core ~cores:st.task_cores.(tid)
+    ~nparams:(Array.length st.d.Densify.d_tasks.(tid).dt_params)
+    ~key:(if tk.tk_group >= 0 then tk.tk_group else tk.tk_id)
+    ~rr:st.rr ~tid pidx
 
 (* ------------------------------------------------------------------ *)
 (* Parameter sets and invocation assembly *)

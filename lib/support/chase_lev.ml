@@ -1,0 +1,129 @@
+(** Chase–Lev work-stealing deque: single owner, many thieves.
+
+    The owner pushes and pops at the {e bottom} of a circular growable
+    buffer with plain loads/stores on the fast path; thieves compete
+    for the {e top} element with a single [Atomic.compare_and_set].
+    The only owner-side synchronization is the last-element case,
+    where owner and thieves race for the same slot and the CAS on
+    [top] arbitrates (Chase & Lev, SPAA 2005; ordering discipline from
+    Lê et al., PPoPP 2013 — trivially satisfied here because OCaml 5
+    [Atomic]s are sequentially consistent).
+
+    Invariants this implementation relies on:
+
+    - [top] only ever increases; [bottom] is written by the owner
+      only.  The logical contents are the indices [top..bottom-1].
+    - The owner writes a slot only at indices >= [bottom], i.e. never
+      overwrites an element a thief may still be reading: the size
+      check before a push compares against a possibly-stale [top],
+      which under monotonicity is conservative.
+    - Growth copies the logical range into a fresh buffer; a thief
+      holding the old buffer can still be mid-steal, which is safe
+      because its target slot in the old buffer is never recycled (the
+      owner writes only to the new buffer afterwards) and the CAS on
+      [top] rejects the steal if the element was meanwhile taken.  The
+      buffer handle itself is an [Atomic] so a thief that observed a
+      post-growth [bottom] also observes the post-growth buffer.
+    - Slots are [dummy]-cleared only by the owner, and only after
+      [top] has moved past them, so a lagging thief can read a dummy
+      but never return it (its CAS must fail).  Elements stolen by
+      thieves are retained in the buffer until the owner's indices
+      wrap over them — bounded garbage retention, same policy as
+      {!Deque}'s tombstones. *)
+
+type 'a t = {
+  dummy : 'a;
+  buf : 'a array Atomic.t;
+  top : int Atomic.t;     (* next index thieves take; only increases *)
+  bottom : int Atomic.t;  (* next index the owner pushes; owner-written *)
+}
+
+type 'a steal_result = Stolen of 'a | Empty | Retry
+
+let create ?(capacity = 16) ~dummy () =
+  let capacity = max 2 capacity in
+  {
+    dummy;
+    buf = Atomic.make (Array.make capacity dummy);
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+  }
+
+(** Racy size estimate: exact for the owner, a lower bound going stale
+    for everyone else. *)
+let size q = max 0 (Atomic.get q.bottom - Atomic.get q.top)
+
+let grow q t b =
+  let old = Atomic.get q.buf in
+  let n = Array.length old in
+  let fresh = Array.make (2 * n) q.dummy in
+  for i = t to b - 1 do
+    fresh.(i mod (2 * n)) <- old.(i mod n)
+  done;
+  Atomic.set q.buf fresh
+
+(** Owner only.  Amortized O(1); never blocks on thieves. *)
+let push q x =
+  let b = Atomic.get q.bottom in
+  let t = Atomic.get q.top in
+  if b - t >= Array.length (Atomic.get q.buf) then grow q t b;
+  let buf = Atomic.get q.buf in
+  buf.(b mod Array.length buf) <- x;
+  (* The element store above is published by this SC write: a thief
+     that reads bottom > b also sees the slot contents. *)
+  Atomic.set q.bottom (b + 1)
+
+(** Owner only.  LIFO: takes the most recently pushed element, except
+    for the last element, where a CAS on [top] arbitrates against
+    concurrent thieves. *)
+let pop q =
+  let b = Atomic.get q.bottom - 1 in
+  (* Publish the taking intent before reading [top]: a thief that
+     then wins an element must have read [top] before our read, and
+     its subsequent [bottom] load cannot target index [b]. *)
+  Atomic.set q.bottom b;
+  let t = Atomic.get q.top in
+  let buf = Atomic.get q.buf in
+  if t < b then begin
+    (* more than one element: the bottom one is ours alone *)
+    let i = b mod Array.length buf in
+    let x = buf.(i) in
+    buf.(i) <- q.dummy;
+    Some x
+  end
+  else if t = b then begin
+    (* last element: race the thieves for it *)
+    let won = Atomic.compare_and_set q.top t (t + 1) in
+    Atomic.set q.bottom (b + 1);
+    if won then begin
+      let i = b mod Array.length buf in
+      let x = buf.(i) in
+      buf.(i) <- q.dummy;
+      Some x
+    end
+    else None
+  end
+  else begin
+    (* already empty: undo the intent *)
+    Atomic.set q.bottom (b + 1);
+    None
+  end
+
+(** Any domain.  [Retry] means the CAS was lost to a concurrent
+    steal or a last-element pop — the deque may well be non-empty, the
+    caller should try again (or try another victim). *)
+let steal q =
+  let t = Atomic.get q.top in
+  (* [top] before [bottom], in this order: it guarantees that if we
+     observe t < b then slot [t] was occupied at our [bottom] read,
+     and the CAS below detects any later consumption. *)
+  let b = Atomic.get q.bottom in
+  if t >= b then Empty
+  else begin
+    (* Read the buffer handle after [bottom]: an element only
+       reachable post-growth implies a post-growth [bottom], hence a
+       post-growth handle here. *)
+    let buf = Atomic.get q.buf in
+    let x = buf.(t mod Array.length buf) in
+    if Atomic.compare_and_set q.top t (t + 1) then Stolen x else Retry
+  end

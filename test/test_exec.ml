@@ -11,6 +11,7 @@ module Exec = Bamboo.Exec
 module Canon = Bamboo.Canon
 module Runtime = Bamboo.Runtime
 module Machine = Bamboo.Machine
+module Effects = Bamboo.Effects
 module Registry = Bamboo_benchmarks.Registry
 module Bench_def = Bamboo_benchmarks.Bench_def
 
@@ -48,6 +49,90 @@ let equivalence_cases =
     Registry.all
 
 (* ------------------------------------------------------------------ *)
+(* Work-stealing schedule: same oracle, steal placement *)
+
+(** The equivalence oracle again, under [--schedule steal]: digests
+    must stay bit-identical to the sequential runtime even when idle
+    domains move invocations off their home cores.  [Exec.run] derives
+    the BAM011 steal-safety contract itself here — this also covers
+    the self-computation path the CLI relies on. *)
+let test_steal_equivalence (b : Bench_def.t) () =
+  let args = Helpers.small_args b.b_name in
+  let prog = Bamboo.compile b.b_source in
+  let an = Bamboo.analyse prog in
+  let machine = Machine.with_cores Machine.tilepro64 8 in
+  let layout = Exec.spread_layout prog machine in
+  let expected = reference_digest prog layout ~args ~lock_groups:an.lock_groups in
+  List.iter
+    (fun domains ->
+      let r =
+        Exec.run ~args ~domains ~seed:domains ~schedule:Exec.Steal
+          ~lock_groups:an.lock_groups prog layout
+      in
+      Helpers.check_string
+        (Printf.sprintf "%s steal digest @ %d domains" b.b_name domains)
+        expected r.x_digest;
+      Helpers.check_bool
+        (Printf.sprintf "%s steal ledger consistent @ %d domains" b.b_name domains)
+        true
+        (r.x_steals <= r.x_steal_attempts && r.x_steals >= 0
+        && r.x_stolen_invocations <= r.x_invocations))
+    [ 1; 2; 4; 8 ]
+
+let steal_equivalence_cases =
+  List.map
+    (fun (b : Bench_def.t) ->
+      Alcotest.test_case b.b_name `Quick (test_steal_equivalence b))
+    Registry.all
+
+(** Every benchmark's every task is steal-safe under the BAM011
+    contract: the disjointness analysis arbitrates all their
+    interference with shared locks, so the whole suite actually
+    exercises stealing (nothing is pinned). *)
+let test_steal_contract_benchmarks () =
+  List.iter
+    (fun (b : Bench_def.t) ->
+      let prog = Bamboo.compile b.b_source in
+      let an = Bamboo.analyse prog in
+      let eff = Effects.analyse prog an.astgs in
+      let sc = Effects.steal_contract eff ~lock_groups:an.lock_groups prog in
+      Array.iteri
+        (fun t safe ->
+          if not safe then
+            Alcotest.failf "%s: task %s not steal-safe" b.b_name
+              prog.Bamboo.Ir.tasks.(t).t_name)
+        sc.Effects.st_safe)
+    Registry.all
+
+(** Sanitizer stays clean under stealing: moving an invocation to a
+    thief core must not change which locks protect which accesses
+    (the dynamic lockset is carried by the invocation's lock set, not
+    the executing core). *)
+let test_steal_sanitize_clean (b : Bench_def.t) () =
+  let args = Helpers.small_args b.b_name in
+  let prog = Bamboo.compile b.b_source in
+  let an = Bamboo.analyse prog in
+  let eff = Effects.analyse prog an.astgs in
+  let machine = Machine.with_cores Machine.tilepro64 8 in
+  let layout = Exec.spread_layout prog machine in
+  List.iter
+    (fun domains ->
+      let r =
+        Exec.run ~args ~domains ~seed:domains ~schedule:Exec.Steal ~sanitize:eff
+          ~lock_groups:an.lock_groups prog layout
+      in
+      if r.x_violations <> [] then
+        Alcotest.failf "%s steal @ %d domains: %s" b.b_name domains
+          (String.concat "; " r.x_violations))
+    [ 2; 8 ]
+
+let steal_sanitize_cases =
+  List.map
+    (fun (b : Bench_def.t) ->
+      Alcotest.test_case ("sanitize " ^ b.b_name) `Quick (test_steal_sanitize_clean b))
+    Registry.all
+
+(* ------------------------------------------------------------------ *)
 (* Randomized-schedule stress test *)
 
 (** 500 parallel runs of the counter program under chaos jitter (each
@@ -66,6 +151,30 @@ let test_stress_chaos () =
     let r = Exec.run ~args ~domains:4 ~seed ~chaos:0.3 ~lock_groups prog layout in
     if not (String.equal r.x_digest expected) then
       Alcotest.failf "digest diverged at seed %d" seed
+  done
+
+(** The same 500-seed chaos stress under steal placement: the jitter
+    idles cores at random moments, so steal timing varies per seed —
+    every schedule must still land on the sequential digest.  The
+    contract is precomputed once; 500 effect analyses would dominate
+    the test. *)
+let test_steal_stress_chaos () =
+  let prog = Helpers.compile Helpers.counter_src in
+  let args = [ "6" ] in
+  let machine = Machine.with_cores Machine.tilepro64 4 in
+  let layout = Exec.spread_layout prog machine in
+  let an = Bamboo.analyse prog in
+  let lock_groups = an.lock_groups in
+  let eff = Effects.analyse prog an.astgs in
+  let steal_safe = (Effects.steal_contract eff ~lock_groups prog).Effects.st_safe in
+  let expected = reference_digest prog layout ~args ~lock_groups in
+  for seed = 1 to 500 do
+    let r =
+      Exec.run ~args ~domains:4 ~seed ~chaos:0.3 ~schedule:Exec.Steal ~steal_safe
+        ~lock_groups prog layout
+    in
+    if not (String.equal r.x_digest expected) then
+      Alcotest.failf "steal digest diverged at seed %d" seed
   done
 
 (* ------------------------------------------------------------------ *)
@@ -221,6 +330,35 @@ let test_sanitize_detects_race () =
             (List.length vs))
     [ 1; 4 ]
 
+(** The steal-safety contract refuses to expose tasks with unprotected
+    conflicts: in [racy_src] the creator-wired writers [th]/[tk] are
+    pinned to their home cores while the conflict-free [startup] stays
+    stealable — and the program still runs to the sequential digest
+    under steal placement, because pinned tasks never enter a deque. *)
+let test_steal_contract_gates_racy () =
+  let prog = Helpers.compile racy_src in
+  let an = Bamboo.analyse prog in
+  let eff = Effects.analyse prog an.astgs in
+  let sc = Effects.steal_contract eff ~lock_groups:an.lock_groups prog in
+  let id name =
+    match Bamboo.Ir.find_task prog name with Some t -> t.t_id | None -> -1
+  in
+  Helpers.check_bool "startup steal-safe" true sc.Effects.st_safe.(id "startup");
+  Helpers.check_bool "th pinned" false sc.Effects.st_safe.(id "th");
+  Helpers.check_bool "tk pinned" false sc.Effects.st_safe.(id "tk");
+  let layout = Exec.spread_layout prog (Machine.with_cores Machine.tilepro64 4) in
+  let expected = reference_digest prog layout ~args:[] ~lock_groups:an.lock_groups in
+  List.iter
+    (fun domains ->
+      let r =
+        Exec.run ~domains ~seed:domains ~schedule:Exec.Steal ~lock_groups:an.lock_groups
+          prog layout
+      in
+      Helpers.check_string
+        (Printf.sprintf "racy digest under steal @ %d domains" domains)
+        expected r.x_digest)
+    [ 1; 2; 4 ]
+
 (* White-box unsoundness injection: blank one task's predicted access
    set and the sanitizer must flag its very real accesses as
    unpredicted. *)
@@ -258,6 +396,14 @@ let test_sanitize_transparent () =
 let tests =
   [
     ("exec.equivalence", equivalence_cases);
+    ( "exec.steal",
+      steal_equivalence_cases @ steal_sanitize_cases
+      @ [
+          Alcotest.test_case "benchmarks fully steal-safe" `Quick
+            test_steal_contract_benchmarks;
+          Alcotest.test_case "contract pins racy writers" `Quick
+            test_steal_contract_gates_racy;
+        ] );
     ("exec.sanitize", sanitize_cases
       @ [
           Alcotest.test_case "detects creator-wired race" `Quick test_sanitize_detects_race;
@@ -271,5 +417,8 @@ let tests =
         Alcotest.test_case "reference escape hatch" `Quick test_reference_escape_hatch;
       ] );
     ( "exec.stress",
-      [ Alcotest.test_case "500 chaos schedules" `Slow test_stress_chaos ] );
+      [
+        Alcotest.test_case "500 chaos schedules" `Slow test_stress_chaos;
+        Alcotest.test_case "500 chaos schedules (steal)" `Slow test_steal_stress_chaos;
+      ] );
   ]

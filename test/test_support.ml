@@ -471,6 +471,135 @@ let test_deque_clear () =
   Deque.push d 9;
   Alcotest.(check (list int)) "reusable after clear" [ 9 ] (Deque.to_list d)
 
+(* ------------------------------------------------------------------ *)
+(* Chase-Lev deque: the work-stealing channel of --schedule steal *)
+
+module Chase_lev = Bamboo.Chase_lev
+
+let test_chase_lev_ends () =
+  let q = Chase_lev.create ~dummy:(-1) () in
+  Helpers.check_int "fresh size" 0 (Chase_lev.size q);
+  Helpers.check_bool "empty pop" true (Chase_lev.pop q = None);
+  Helpers.check_bool "empty steal" true (Chase_lev.steal q = Chase_lev.Empty);
+  List.iter (Chase_lev.push q) [ 1; 2; 3; 4 ];
+  Helpers.check_int "size counts pending" 4 (Chase_lev.size q);
+  (match Chase_lev.steal q with
+  | Chase_lev.Stolen v -> Helpers.check_int "steal takes the oldest" 1 v
+  | _ -> Alcotest.fail "steal on non-empty deque");
+  (match Chase_lev.pop q with
+  | Some v -> Helpers.check_int "pop takes the newest" 4 v
+  | None -> Alcotest.fail "pop on non-empty deque");
+  Helpers.check_int "two taken" 2 (Chase_lev.size q)
+
+let test_chase_lev_grows () =
+  (* Push far past the initial capacity, then drain from both ends:
+     growth must preserve the logical [top, bottom) window. *)
+  let q = Chase_lev.create ~capacity:2 ~dummy:(-1) () in
+  for i = 0 to 999 do
+    Chase_lev.push q i
+  done;
+  for i = 0 to 499 do
+    match Chase_lev.steal q with
+    | Chase_lev.Stolen v -> Helpers.check_int "steals ascend from oldest" i v
+    | _ -> Alcotest.fail "steal"
+  done;
+  for i = 999 downto 500 do
+    match Chase_lev.pop q with
+    | Some v -> Helpers.check_int "pops descend from newest" i v
+    | None -> Alcotest.fail "pop"
+  done;
+  Helpers.check_int "drained" 0 (Chase_lev.size q)
+
+(* Sequential model-equivalence: with no concurrent thieves a steal
+   can never lose its CAS, so the deque must agree exactly with a
+   double-ended list model — push at the back, pop from the back,
+   steal from the front. *)
+let chase_lev_matches_model =
+  QCheck.Test.make ~name:"chase-lev matches double-ended list model" ~count:300
+    QCheck.(list (int_range (-2) 1000))
+    (fun cmds ->
+      let q = Chase_lev.create ~dummy:(-1) () in
+      let model = ref [] in
+      let ok = ref true in
+      List.iter
+        (fun c ->
+          if c >= 0 then begin
+            Chase_lev.push q c;
+            model := !model @ [ c ]
+          end
+          else if c = -1 then (
+            match (Chase_lev.pop q, List.rev !model) with
+            | None, [] -> ()
+            | Some v, last :: rest_rev ->
+                if v <> last then ok := false;
+                model := List.rev rest_rev
+            | _ -> ok := false)
+          else
+            match (Chase_lev.steal q, !model) with
+            | Chase_lev.Empty, [] -> ()
+            | Chase_lev.Stolen v, first :: rest ->
+                if v <> first then ok := false;
+                model := rest
+            | _ -> ok := false)
+        cmds;
+      !ok && Chase_lev.size q = List.length !model)
+
+(** One owner pushing/popping while three thief domains steal
+    concurrently: every element must be dispatched to exactly one
+    taker — the linearizability property the steal scheduler's
+    quiescence accounting relies on.  Growth is forced (capacity 2)
+    so thieves race against stale buffers too. *)
+let test_chase_lev_steal_stress () =
+  let n = 20_000 and nthieves = 3 in
+  let q = Chase_lev.create ~capacity:2 ~dummy:(-1) () in
+  let stop = Atomic.make false in
+  let thieves =
+    Array.init nthieves (fun _ ->
+        Domain.spawn (fun () ->
+            let mine = ref [] in
+            let rec loop () =
+              match Chase_lev.steal q with
+              | Chase_lev.Stolen v ->
+                  mine := v :: !mine;
+                  loop ()
+              | Chase_lev.Retry ->
+                  Domain.cpu_relax ();
+                  loop ()
+              | Chase_lev.Empty ->
+                  if Atomic.get stop then !mine
+                  else begin
+                    Domain.cpu_relax ();
+                    loop ()
+                  end
+            in
+            loop ()))
+  in
+  let popped = ref [] in
+  for i = 0 to n - 1 do
+    Chase_lev.push q i;
+    (* occasional owner pops race the thieves at the bottom end *)
+    if i land 7 = 0 then
+      match Chase_lev.pop q with Some v -> popped := v :: !popped | None -> ()
+  done;
+  let rec drain () =
+    match Chase_lev.pop q with
+    | Some v ->
+        popped := v :: !popped;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Atomic.set stop true;
+  let stolen = Array.map Domain.join thieves in
+  let counts = Array.make n 0 in
+  List.iter (fun v -> counts.(v) <- counts.(v) + 1) !popped;
+  Array.iter (List.iter (fun v -> counts.(v) <- counts.(v) + 1)) stolen;
+  Array.iteri
+    (fun i c -> if c <> 1 then Alcotest.failf "element %d dispatched %d times" i c)
+    counts;
+  Helpers.check_bool "some elements were stolen" true
+    (Array.exists (fun l -> l <> []) stolen || Domain.recommended_domain_count () = 1)
+
 (* Model-based property: any interleaving of push/delete/compact
    agrees with a simple list model on live contents and order. *)
 let deque_matches_model =
@@ -542,11 +671,15 @@ let tests =
         Alcotest.test_case "deque clear" `Quick test_deque_clear;
         Alcotest.test_case "mailbox fifo" `Quick test_mailbox_fifo;
         Alcotest.test_case "mailbox mpsc" `Quick test_mailbox_mpsc;
+        Alcotest.test_case "chase-lev ends" `Quick test_chase_lev_ends;
+        Alcotest.test_case "chase-lev grows" `Quick test_chase_lev_grows;
+        Alcotest.test_case "chase-lev steal stress" `Quick test_chase_lev_steal_stress;
         Alcotest.test_case "prng split streams" `Quick test_prng_split_independent;
       ] );
     Helpers.qsuite "support.qcheck"
       [
         mailbox_matches_queue;
+        chase_lev_matches_model;
         prng_int_in_bounds;
         prng_float_in_bounds;
         prng_shuffle_permutes;
