@@ -13,8 +13,8 @@
      dune exec bench/main.exe execbench --json BENCH_pr4.json  -- machine-readable curve
      dune exec bench/main.exe stealbench      -- static vs work-stealing placement
      dune exec bench/main.exe stealbench --json BENCH_pr7.json  -- machine-readable comparison
-     dune exec bench/main.exe interpbench     -- bytecode executor vs tree-walking oracle
-     dune exec bench/main.exe interpbench --json BENCH_pr5.json  -- machine-readable comparison
+     dune exec bench/main.exe interpbench     -- tree vs bytecode vs closure engines
+     dune exec bench/main.exe interpbench --json BENCH_pr8.json  -- machine-readable comparison
      dune exec bench/main.exe bechamel        -- Bechamel micro-benchmarks
 
    --jobs N fans candidate-layout simulation across N domains
@@ -510,7 +510,7 @@ let execbench () =
   Printf.printf
     "   (wall seconds, best of %s; speedup vs 1 domain; digest vs sequential runtime;\n\
     \    host reports %d recommended domains — speedups need real cores)\n"
-    (if !quick then "1 rep" else "3 reps")
+    (if !quick then "1 rep" else "5 reps")
     (Domain.recommended_domain_count ());
   Table.print
     ~headers:
@@ -655,7 +655,7 @@ let stealbench () =
     "   (wall seconds, best of %s; speedup is static/steal at the same domain count;\n\
     \    every point digest-checked against the sequential runtime;\n\
     \    host reports %d recommended domains — speedups need real cores)\n"
-    (if !quick then "1 rep" else "3 reps")
+    (if !quick then "1 rep" else "5 reps")
     (Domain.recommended_domain_count ());
   Table.print
     ~headers:
@@ -685,39 +685,54 @@ let stealbench () =
     exit 1)
 
 (* ------------------------------------------------------------------ *)
-(* interpbench: the two interpreter engines — tree-walking oracle vs
-   the flat bytecode executor — timed on the same sequential runtime
-   workload.  Every row cross-checks the canonical digest AND the
-   exact charged cycle total between the engines before reporting a
-   time; the speedup column counts bytecode compilation time against
-   the bytecode engine (it is part of end-to-end `bamboo run`). *)
+(* interpbench: the three interpreter engines — tree-walking oracle,
+   flat bytecode executor, and the closure-compiled engine — timed on
+   the same sequential runtime workload.  Every row cross-checks the
+   canonical digest AND the exact charged cycle total across all three
+   engines before reporting a time; the speedup columns count one-off
+   code generation against the engine that needs it (bytecode
+   compilation for both compiled tiers, plus closure codegen for the
+   closure tier — both are part of end-to-end `bamboo run`). *)
 
 type interprow = {
   ir_name : string;
   ir_compile_seconds : float;  (* IR -> bytecode, once per program *)
-  ir_ref_wall : float;
+  ir_closgen_seconds : float;  (* bytecode -> closures, once per program *)
+  ir_tree_wall : float;
   ir_byte_wall : float;
+  ir_clos_wall : float;
   ir_reps : int;
   ir_cycles : int;
   ir_cycles_ok : bool;
   ir_digest_ok : bool;
 }
 
-(* Wall-time speedup of the bytecode engine, with its one-off
-   compilation counted against it. *)
-let ir_speedup r =
+(* Wall-time speedup of the bytecode engine over the tree walker, with
+   its one-off compilation counted against it. *)
+let ir_speedup_byte r =
   let byte = r.ir_byte_wall +. r.ir_compile_seconds in
-  if byte > 0.0 then r.ir_ref_wall /. byte else 0.0
+  if byte > 0.0 then r.ir_tree_wall /. byte else 0.0
 
-let ir_cycles_per_sec r =
+(* Wall-time speedup of the closure engine over the bytecode engine.
+   Both tiers pay bytecode compilation; the closure tier additionally
+   pays closure codegen. *)
+let ir_speedup_clos r =
+  let clos = r.ir_clos_wall +. r.ir_compile_seconds +. r.ir_closgen_seconds in
+  if clos > 0.0 then (r.ir_byte_wall +. r.ir_compile_seconds) /. clos else 0.0
+
+let ir_byte_cycles_per_sec r =
   if r.ir_byte_wall > 0.0 then float_of_int r.ir_cycles /. r.ir_byte_wall else 0.0
+
+let ir_clos_cycles_per_sec r =
+  if r.ir_clos_wall > 0.0 then float_of_int r.ir_cycles /. r.ir_clos_wall else 0.0
 
 let interpbench_results : interprow list Lazy.t =
   lazy
-    (let reps = if !quick then 1 else 3 in
-     let with_engine ~reference f =
-       Bamboo.Interp.use_reference := reference;
-       Fun.protect ~finally:(fun () -> Bamboo.Interp.use_reference := false) f
+    (let reps = if !quick then 1 else 5 in
+     let with_engine e f =
+       let saved = !Bamboo.Interp.engine in
+       Bamboo.Interp.engine := e;
+       Fun.protect ~finally:(fun () -> Bamboo.Interp.engine := saved) f
      in
      List.map
        (fun (b : Bench_def.t) ->
@@ -729,8 +744,11 @@ let interpbench_results : interprow list Lazy.t =
          let t0 = Unix.gettimeofday () in
          ignore (Bamboo.Icompile.get prog);
          let compile_seconds = Unix.gettimeofday () -. t0 in
-         let time_engine ~reference =
-           with_engine ~reference (fun () ->
+         let t0 = Unix.gettimeofday () in
+         ignore (Bamboo.Iclosure.get prog);
+         let closgen_seconds = Unix.gettimeofday () -. t0 in
+         let time_engine e =
+           with_engine e (fun () ->
                let best = ref infinity and last = ref None in
                for _ = 1 to reps do
                  let t0 = Unix.gettimeofday () in
@@ -744,42 +762,48 @@ let interpbench_results : interprow list Lazy.t =
                  r.r_total_cycles,
                  Bamboo.Canon.digest prog ~output:r.r_output ~objects:r.r_objects ))
          in
-         let byte_wall, byte_cycles, byte_digest = time_engine ~reference:false in
-         let ref_wall, ref_cycles, ref_digest = time_engine ~reference:true in
+         let clos_wall, clos_cycles, clos_digest = time_engine Bamboo.Interp.Closure in
+         let byte_wall, byte_cycles, byte_digest = time_engine Bamboo.Interp.Bytecode in
+         let tree_wall, tree_cycles, tree_digest = time_engine Bamboo.Interp.Tree in
          {
            ir_name = b.b_name;
            ir_compile_seconds = compile_seconds;
-           ir_ref_wall = ref_wall;
+           ir_closgen_seconds = closgen_seconds;
+           ir_tree_wall = tree_wall;
            ir_byte_wall = byte_wall;
+           ir_clos_wall = clos_wall;
            ir_reps = reps;
-           ir_cycles = byte_cycles;
-           ir_cycles_ok = byte_cycles = ref_cycles;
-           ir_digest_ok = byte_digest = ref_digest;
+           ir_cycles = clos_cycles;
+           ir_cycles_ok = byte_cycles = tree_cycles && clos_cycles = tree_cycles;
+           ir_digest_ok = byte_digest = tree_digest && clos_digest = tree_digest;
          })
        Registry.all)
 
 let interpbench () =
   let rows = Lazy.force interpbench_results in
-  print_endline "== interpbench: bytecode executor vs tree-walking oracle ==";
+  print_endline "== interpbench: tree oracle vs bytecode vs closure engines ==";
   Printf.printf
-    "   (sequential runtime, best of %s; speedup counts bytecode compile time;\n\
-    \    cycles and digest are asserted bit-identical between the engines)\n"
-    (if !quick then "1 rep" else "3 reps");
+    "   (sequential runtime, best of %s; speedups count one-off codegen time;\n\
+    \    cycles and digest are asserted bit-identical across all three engines)\n"
+    (if !quick then "1 rep" else "5 reps");
   Table.print
     ~headers:
       [
-        "Benchmark"; "compile s"; "tree s"; "bytecode s"; "speedup";
-        "Mcycles/s"; "cycles"; "digest";
+        "Benchmark"; "compile s"; "closgen s"; "tree s"; "bytecode s"; "closure s";
+        "byte/tree"; "clos/byte"; "Mcycles/s"; "cycles"; "digest";
       ]
     (List.map
        (fun r ->
          [
            r.ir_name;
            Printf.sprintf "%.4f" r.ir_compile_seconds;
-           Printf.sprintf "%.3f" r.ir_ref_wall;
+           Printf.sprintf "%.4f" r.ir_closgen_seconds;
+           Printf.sprintf "%.3f" r.ir_tree_wall;
            Printf.sprintf "%.3f" r.ir_byte_wall;
-           Printf.sprintf "%.2fx" (ir_speedup r);
-           Printf.sprintf "%.1f" (ir_cycles_per_sec r /. 1e6);
+           Printf.sprintf "%.3f" r.ir_clos_wall;
+           Printf.sprintf "%.2fx" (ir_speedup_byte r);
+           Printf.sprintf "%.2fx" (ir_speedup_clos r);
+           Printf.sprintf "%.1f" (ir_clos_cycles_per_sec r /. 1e6);
            (if r.ir_cycles_ok then "ok" else "MISMATCH");
            (if r.ir_digest_ok then "ok" else "MISMATCH");
          ])
@@ -792,8 +816,9 @@ let interpbench () =
 (* ------------------------------------------------------------------ *)
 (* JSON emitters (machine-readable records so future PRs can track the
    perf trajectory): BENCH_pr3 = figures + simulator microbenchmark,
-   BENCH_pr4 = domains-backend scaling curve, BENCH_pr5 = interpreter
-   engine comparison.  All built on the shared Json_out tree. *)
+   BENCH_pr4 = domains-backend scaling curve, BENCH_pr8 = three-way
+   interpreter engine comparison (supersedes BENCH_pr5).  All built on
+   the shared Json_out tree. *)
 
 let emit_json path =
   let open Json_out in
@@ -941,12 +966,16 @@ let emit_interp_json path =
       [
         ("name", Str r.ir_name);
         ("compile_seconds", Float r.ir_compile_seconds);
-        ("reference_wall_seconds", Float r.ir_ref_wall);
+        ("closure_codegen_seconds", Float r.ir_closgen_seconds);
+        ("tree_wall_seconds", Float r.ir_tree_wall);
         ("bytecode_wall_seconds", Float r.ir_byte_wall);
+        ("closure_wall_seconds", Float r.ir_clos_wall);
         ("reps", Int r.ir_reps);
-        ("speedup", Float (ir_speedup r));
+        ("speedup_bytecode_vs_tree", Float (ir_speedup_byte r));
+        ("speedup_closure_vs_bytecode", Float (ir_speedup_clos r));
         ("cycles", Int r.ir_cycles);
-        ("bytecode_cycles_per_sec", Float (ir_cycles_per_sec r));
+        ("bytecode_cycles_per_sec", Float (ir_byte_cycles_per_sec r));
+        ("closure_cycles_per_sec", Float (ir_clos_cycles_per_sec r));
         ("cycles_ok", Bool r.ir_cycles_ok);
         ("digest_ok", Bool r.ir_digest_ok);
       ]
@@ -954,7 +983,7 @@ let emit_interp_json path =
   write path
     (Obj
        [
-         ("schema", Str "BENCH_pr5");
+         ("schema", Str "BENCH_pr8");
          ("quick", Bool !quick);
          ("benchmarks", Arr (List.map row_obj (Lazy.force interpbench_results)));
        ])

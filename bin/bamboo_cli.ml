@@ -104,14 +104,41 @@ let sim_reference_arg =
            (bit-identical results, slower; also enabled by the BAMBOO_SIM_REFERENCE \
            environment variable)")
 
+let engine_arg =
+  Arg.(
+    value
+    & opt
+        (some
+           (enum
+              [
+                ("tree", Bamboo.Interp.Tree);
+                ("bytecode", Bamboo.Interp.Bytecode);
+                ("closure", Bamboo.Interp.Closure);
+              ]))
+        None
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "interpreter engine for task bodies: $(b,closure) (direct-threaded closures, \
+           the default), $(b,bytecode) (dispatch-loop executor), or $(b,tree) (the \
+           tree-walking oracle) — all bit-identical on digests and cycle counts; also \
+           selectable via the BAMBOO_INTERP_ENGINE environment variable)")
+
 let interp_reference_arg =
   Arg.(
     value & flag
     & info [ "interp-reference" ]
         ~doc:
-          "execute task bodies with the tree-walking reference interpreter instead of the \
-           compiled bytecode executor (bit-identical digests and cycle counts, slower; \
-           also enabled by the BAMBOO_INTERP_REFERENCE environment variable)")
+          "deprecated alias for $(b,--engine tree) (also enabled by the \
+           BAMBOO_INTERP_REFERENCE environment variable)")
+
+(** Resolve the engine flags: an explicit [--engine] wins, the
+    deprecated [--interp-reference] maps to the tree walker, and
+    otherwise the environment-seeded default stands. *)
+let set_engine engine interp_reference =
+  match (engine, interp_reference) with
+  | Some e, _ -> Bamboo.Interp.engine := e
+  | None, true -> Bamboo.Interp.engine := Bamboo.Interp.Tree
+  | None, false -> ()
 
 let machine_of cores = Bamboo.Machine.with_cores Bamboo.Machine.tilepro64 cores
 
@@ -283,8 +310,8 @@ let cmd_taskflow =
     Term.(const run $ file_arg)
 
 let cmd_profile =
-  let run file args interp_reference =
-    if interp_reference then Bamboo.Interp.use_reference := true;
+  let run file args engine interp_reference =
+    set_engine engine interp_reference;
     let prog = load file in
     let prof, r = Bamboo.Profile.collect ~args prog in
     Printf.printf "single-core execution: %d cycles, %d invocations\n%s" r.r_total_cycles
@@ -293,7 +320,7 @@ let cmd_profile =
     Format.printf "%a@?" (fun fmt () -> Bamboo.Profile.pp fmt prog prof) ()
   in
   Cmd.v (Cmd.info "profile" ~doc:"run on one core and print the profile statistics")
-    Term.(const run $ file_arg $ args_arg $ interp_reference_arg)
+    Term.(const run $ file_arg $ args_arg $ engine_arg $ interp_reference_arg)
 
 let synthesize file args cores seed jobs sim_reference =
   if sim_reference then Bamboo.Schedsim.use_reference := true;
@@ -304,7 +331,8 @@ let synthesize file args cores seed jobs sim_reference =
   (prog, an, o)
 
 let cmd_synth =
-  let run file args cores seed jobs sim_reference =
+  let run file args cores seed jobs sim_reference engine interp_reference =
+    set_engine engine interp_reference;
     let prog, _, (o : Bamboo.Dsa.outcome) = synthesize file args cores seed jobs sim_reference in
     Printf.printf
       "estimated %d cycles; %d layouts evaluated (+%d cache hits, %d pruned) in %.1f s (%.0f \
@@ -316,11 +344,13 @@ let cmd_synth =
     print_string (Bamboo.Layout.to_string prog o.best)
   in
   Cmd.v (Cmd.info "synth" ~doc:"synthesize an optimized layout (candidates + DSA)")
-    Term.(const run $ file_arg $ args_arg $ cores_arg $ seed_arg $ jobs_arg $ sim_reference_arg)
+    Term.(
+      const run $ file_arg $ args_arg $ cores_arg $ seed_arg $ jobs_arg $ sim_reference_arg
+      $ engine_arg $ interp_reference_arg)
 
 let cmd_run =
-  let run file args cores seed jobs sim_reference interp_reference digest =
-    if interp_reference then Bamboo.Interp.use_reference := true;
+  let run file args cores seed jobs sim_reference engine interp_reference digest =
+    set_engine engine interp_reference;
     let prog, an, o = synthesize file args cores seed jobs sim_reference in
     let r = Bamboo.execute ~args prog an o.best in
     print_string r.r_output;
@@ -341,13 +371,13 @@ let cmd_run =
   Cmd.v (Cmd.info "run" ~doc:"synthesize a layout and execute the program on it")
     Term.(
       const run $ file_arg $ args_arg $ cores_arg $ seed_arg $ jobs_arg $ sim_reference_arg
-      $ interp_reference_arg $ digest_arg)
+      $ engine_arg $ interp_reference_arg $ digest_arg)
 
 let cmd_exec =
   let run file args cores domains seed jobs layout_kind sim_reference exec_reference
-      interp_reference digest_only canon sanitize schedule =
+      engine interp_reference digest_only canon sanitize schedule =
     if exec_reference then Bamboo.Exec.use_reference := true;
-    if interp_reference then Bamboo.Interp.use_reference := true;
+    set_engine engine interp_reference;
     let prog = load file in
     let an = Bamboo.analyse prog in
     let layout =
@@ -444,8 +474,8 @@ let cmd_exec =
           compare against $(b,bamboo run) with $(b,--exec-reference) or $(b,--digest-only))")
     Term.(
       const run $ file_arg $ args_arg $ cores_arg $ domains_arg $ seed_arg $ jobs_arg
-      $ layout_arg $ sim_reference_arg $ exec_reference_arg $ interp_reference_arg
-      $ digest_only_arg $ canon_arg $ sanitize_arg $ schedule_arg)
+      $ layout_arg $ sim_reference_arg $ exec_reference_arg $ engine_arg
+      $ interp_reference_arg $ digest_only_arg $ canon_arg $ sanitize_arg $ schedule_arg)
 
 let cmd_trace =
   let run file args cores seed jobs sim_reference =

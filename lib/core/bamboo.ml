@@ -32,6 +32,7 @@ module Value = Bamboo_interp.Value
 module Interp = Bamboo_interp.Interp
 module Bytecode = Bamboo_interp.Bytecode
 module Icompile = Bamboo_interp.Compile
+module Iclosure = Bamboo_interp.Closure
 module Cost = Bamboo_interp.Cost
 module Astg = Bamboo_analysis.Astg
 module Disjoint = Bamboo_analysis.Disjoint

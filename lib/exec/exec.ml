@@ -762,6 +762,12 @@ let run ?(args = []) ?(max_invocations = 2_000_000) ?lock_groups ?(domains = 4) 
           (Effects.steal_contract eff ~lock_groups prog).Effects.st_safe
     in
     let ncores = layout.Layout.machine.Machine.cores in
+    (* Compile the program for the selected engine here, on the main
+       domain, before any worker exists: the per-program code caches in
+       Compile/Closure are mutex-guarded (so a first-compile race would
+       be safe), but compiling up front keeps every worker's first
+       invocation off the lock and out of the timed parallel section. *)
+    Interp.precompile prog;
     let cores = Array.init ncores (make_xcore prog ncores) in
     let sanitizer =
       match sanitize with

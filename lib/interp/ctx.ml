@@ -44,10 +44,48 @@ type ctx = {
   bounds_cost : int;                 (* extra cycles when bounds checks are on *)
   mutable steps : int;               (* interpreter fuel guard *)
   max_steps : int;
-  mutable code : Bytecode.program_code option;
-                                     (* compiled bodies; [None] routes every
-                                        invocation through the tree-walker *)
+  mutable code : engine_code;        (* compiled bodies for the engine this
+                                        context was created under; [Etree]
+                                        routes every invocation through the
+                                        tree-walker *)
   mutable monitor : monitor option;  (* sanitizer hook; [None] = no observer *)
+}
+
+(** What a context executes with.  The three representations are the
+    three engines: no code (tree-walking oracle), bytecode (dispatch
+    loop in {!Compile}), or closure code (direct-threaded closures in
+    {!Closure}).  The closure types live here, next to [ctx], because
+    a closure frame carries its context. *)
+and engine_code =
+  | Etree
+  | Ebyte of Bytecode.program_code
+  | Eclos of closure_code
+
+(** One closure-compiled [Ir.program]: every task body and every
+    method body, mirroring {!Bytecode.program_code}. *)
+and closure_code = {
+  cc_tasks : centry array;
+  cc_methods : centry array array;  (* indexed [class_id].(method_id) *)
+}
+
+(** A compiled body entry.  [ce_entry] is the closure for the body's
+    first instruction; it is a mutable field (patched after all bodies
+    compile) so that mutually recursive methods can capture each
+    other's entries before either is built. *)
+and centry = {
+  ce_body : Bytecode.body;           (* bank sizes and the slot map *)
+  mutable ce_entry : cframe -> value;
+}
+
+(** The per-invocation state a closure chain threads through itself:
+    the three register banks plus the executing context.  Banks are
+    fresh per invocation, so closures capture register *indices* at
+    codegen and index into the frame at run time. *)
+and cframe = {
+  cfi : int array;                   (* unboxed ints and booleans (0/1) *)
+  cff : float array;                 (* unboxed floats *)
+  cfv : value array;                 (* boxed values *)
+  cfc : ctx;
 }
 
 (** [create prog] builds an interpreter context.  [id_base]/[id_stride]
@@ -69,7 +107,7 @@ let create ?(bounds_check = false) ?(max_steps = max_int) ?(id_base = 0) ?(id_st
     bounds_cost = (if bounds_check then 2 else 0);
     steps = 0;
     max_steps;
-    code = None;
+    code = Etree;
     monitor = None;
   }
 

@@ -1,14 +1,16 @@
-(** Equivalence suite for the two interpreter engines.
+(** Equivalence suite for the three interpreter engines.
 
-    The bytecode executor ({!Bamboo.Icompile}) must be observationally
-    indistinguishable from the tree-walking oracle kept behind
-    [Interp.use_reference]: same output, same canonical digest, same
+    The bytecode executor ({!Bamboo.Icompile}) and the closure engine
+    ({!Bamboo.Iclosure}) must both be observationally
+    indistinguishable from the tree-walking oracle selected by
+    [Interp.engine := Tree]: same output, same canonical digest, same
     error messages, and — because the whole experimental apparatus is
     built on the cycle model — *bit-identical* cycle and fuel totals.
     The suite checks all seven benchmarks sequentially and at 2/4/8
     domains, every interpreter error path by message equality, the
-    Java fidelity of [Random.nextInt], and a differential fuzzer over
-    randomly generated well-typed bodies. *)
+    Java fidelity of [Random.nextInt], a first-compile race across
+    domains, and a three-way differential fuzzer over randomly
+    generated well-typed bodies. *)
 
 module Interp = Bamboo.Interp
 module Canon = Bamboo.Canon
@@ -17,11 +19,18 @@ module Machine = Bamboo.Machine
 module Registry = Bamboo_benchmarks.Registry
 module Bench_def = Bamboo_benchmarks.Bench_def
 
-(** Run [f] with the tree-walking oracle selected (contexts created
-    inside [f] carry no compiled code). *)
-let with_reference f =
-  Interp.use_reference := true;
-  Fun.protect ~finally:(fun () -> Interp.use_reference := false) f
+(** Run [f] with engine [e] selected for contexts created inside it,
+    restoring the default afterwards. *)
+let with_engine e f =
+  let saved = !Interp.engine in
+  Interp.engine := e;
+  Fun.protect ~finally:(fun () -> Interp.engine := saved) f
+
+let with_reference f = with_engine Interp.Tree f
+
+(** The two compiled engines, each verified against the tree-walking
+    oracle. *)
+let compiled_engines = [ Interp.Bytecode; Interp.Closure ]
 
 (* ------------------------------------------------------------------ *)
 (* Sequential equivalence: output, digest, and exact cycles *)
@@ -39,11 +48,15 @@ let observe_seq prog args =
 let test_seq_equivalence (b : Bench_def.t) () =
   let args = Helpers.small_args b.b_name in
   let prog = Bamboo.compile b.b_source in
-  let compiled = observe_seq prog args in
   let tree = with_reference (fun () -> observe_seq prog args) in
-  Helpers.check_string (b.b_name ^ " output") tree.o_out compiled.o_out;
-  Helpers.check_string (b.b_name ^ " digest") tree.o_digest compiled.o_digest;
-  Helpers.check_int (b.b_name ^ " exact cycles") tree.o_cycles compiled.o_cycles
+  List.iter
+    (fun e ->
+      let name what = Printf.sprintf "%s %s (%s)" b.b_name what (Interp.engine_name e) in
+      let got = with_engine e (fun () -> observe_seq prog args) in
+      Helpers.check_string (name "output") tree.o_out got.o_out;
+      Helpers.check_string (name "digest") tree.o_digest got.o_digest;
+      Helpers.check_int (name "exact cycles") tree.o_cycles got.o_cycles)
+    compiled_engines
 
 (* ------------------------------------------------------------------ *)
 (* Parallel equivalence: digest (always) and exact charged cycles at
@@ -73,14 +86,21 @@ let test_par_equivalence (b : Bench_def.t) () =
         (domains, r.x_digest, r.x_cycles))
       [ 2; 4; 8 ]
   in
-  let compiled = run () in
   let tree = with_reference run in
-  List.iter2
-    (fun (d, cdig, ccyc) (_, tdig, tcyc) ->
-      Helpers.check_string (Printf.sprintf "%s digest @ %d domains" b.b_name d) tdig cdig;
-      if cycles_schedule_invariant b.b_name then
-        Helpers.check_int (Printf.sprintf "%s cycles @ %d domains" b.b_name d) tcyc ccyc)
-    compiled tree
+  List.iter
+    (fun e ->
+      let got = with_engine e run in
+      List.iter2
+        (fun (d, cdig, ccyc) (_, tdig, tcyc) ->
+          Helpers.check_string
+            (Printf.sprintf "%s digest @ %d domains (%s)" b.b_name d (Interp.engine_name e))
+            tdig cdig;
+          if cycles_schedule_invariant b.b_name then
+            Helpers.check_int
+              (Printf.sprintf "%s cycles @ %d domains (%s)" b.b_name d (Interp.engine_name e))
+              tcyc ccyc)
+        got tree)
+    compiled_engines
 
 let equivalence_cases =
   List.concat_map
@@ -112,9 +132,12 @@ let error_message ?classes body =
   | exception Bamboo.Value.Runtime_error m -> m
 
 let check_same_error name ?classes body =
-  let compiled = error_message ?classes body in
   let tree = with_reference (fun () -> error_message ?classes body) in
-  Helpers.check_string name tree compiled
+  List.iter
+    (fun e ->
+      let got = with_engine e (fun () -> error_message ?classes body) in
+      Helpers.check_string (name ^ " (" ^ Interp.engine_name e ^ ")") tree got)
+    compiled_engines
 
 let test_error_messages () =
   check_same_error "div by zero" "int z = 0; int q = 1 / z;";
@@ -132,9 +155,9 @@ let test_error_messages () =
   check_same_error "negative array size" "int n = 0 - 3; int[] a = new int[n];";
   check_same_error "nextInt bad bound" "Random r = new Random(1); int n = r.nextInt(0);"
 
-(** Fuel exhaustion must trip with the identical message under both
-    engines (the compiled executor checks fuel at block granularity,
-    but the message and exception are shared). *)
+(** Fuel exhaustion must trip with the identical message under all
+    engines (the compiled engines check fuel at block granularity, but
+    the message and exception are shared). *)
 let test_fuel_exhaustion () =
   let prog = Bamboo.compile (wrap "int i = 0; while (true) { i = i + 1; }") in
   let fuel_error () =
@@ -144,22 +167,64 @@ let test_fuel_exhaustion () =
     | _ -> Alcotest.fail "expected fuel exhaustion"
     | exception Bamboo.Value.Runtime_error m -> m
   in
-  let compiled = fuel_error () in
   let tree = with_reference fuel_error in
-  Helpers.check_string "fuel message" tree compiled;
-  Helpers.check_string "exact message" "interpreter fuel exhausted" compiled
+  Helpers.check_string "exact message" "interpreter fuel exhausted" tree;
+  List.iter
+    (fun e ->
+      let got = with_engine e fuel_error in
+      Helpers.check_string ("fuel message (" ^ Interp.engine_name e ^ ")") tree got)
+    compiled_engines
 
 (* ------------------------------------------------------------------ *)
 (* Engine plumbing *)
 
 let test_compile_cache () =
   let prog = Bamboo.compile Helpers.counter_src in
-  Helpers.check_bool "compiled code is cached per program" true
+  Helpers.check_bool "bytecode is cached per program" true
     (Bamboo.Icompile.get prog == Bamboo.Icompile.get prog);
-  let ctx = Interp.create prog in
-  Helpers.check_bool "contexts carry compiled code" true (ctx.Interp.code <> None);
-  let tctx = with_reference (fun () -> Interp.create prog) in
-  Helpers.check_bool "reference contexts carry none" true (tctx.Interp.code = None)
+  Helpers.check_bool "closure code is cached per program" true
+    (Bamboo.Iclosure.get prog == Bamboo.Iclosure.get prog);
+  let carries e =
+    let ctx = with_engine e (fun () -> Interp.create prog) in
+    match (e, ctx.Interp.code) with
+    | Interp.Tree, Interp.Etree
+    | Interp.Bytecode, Interp.Ebyte _
+    | Interp.Closure, Interp.Eclos _ -> true
+    | _ -> false
+  in
+  List.iter
+    (fun e ->
+      Helpers.check_bool
+        ("contexts carry " ^ Interp.engine_name e ^ " code")
+        true (carries e))
+    [ Interp.Tree; Interp.Bytecode; Interp.Closure ]
+
+(** Satellite regression: race the *first* compile of a fresh program
+    across domains, for both per-program code caches.  The caches are
+    mutex-guarded, so every domain must come back with the same
+    physically-shared compiled code (and nothing must crash).  Before
+    the guard existed this was a genuine data race on the cache
+    list. *)
+let test_compile_race () =
+  let race get =
+    let prog = Bamboo.compile Helpers.counter_src in
+    let barrier = Atomic.make 0 in
+    let workers =
+      Array.init 4 (fun _ ->
+          Domain.spawn (fun () ->
+              Atomic.incr barrier;
+              while Atomic.get barrier < 4 do
+                Domain.cpu_relax ()
+              done;
+              get prog))
+    in
+    let results = Array.map Domain.join workers in
+    Array.for_all (fun c -> c == results.(0)) results
+  in
+  Helpers.check_bool "bytecode first-compile race yields one shared code" true
+    (race Bamboo.Icompile.get);
+  Helpers.check_bool "closure first-compile race yields one shared code" true
+    (race Bamboo.Iclosure.get)
 
 (* ------------------------------------------------------------------ *)
 (* Java fidelity of Random.nextInt (values computed from the
@@ -353,20 +418,68 @@ let gen_body seed =
   fz_add fz "System.printDouble(x + y);\n";
   Buffer.contents fz.buf
 
+(** One engine's observation of a run, errors included: a normal run
+    ends in [Ok], a runtime error (notably fuel exhaustion under a
+    tight [max_steps] budget) in [Error msg].  Cycles are included in
+    both cases — an erroring run must have charged exactly as much as
+    the oracle before stopping. *)
+let observe_fuel prog ~max_steps =
+  let ctx = Interp.create ~max_steps prog in
+  let s = Interp.make_startup ctx [] in
+  match Interp.invoke_task ctx prog.tasks.(0) [| s |] ~tag_binds:[] with
+  | r -> Ok (r.Interp.tr_exit, r.Interp.tr_output, ctx.Interp.cycles, ctx.Interp.steps)
+  | exception Bamboo.Value.Runtime_error m -> Error (m, ctx.Interp.cycles, ctx.Interp.steps)
+
 let fuzz_engines_agree =
-  QCheck.Test.make ~name:"compiled and tree-walked engines agree on random bodies"
-    ~count:50
+  QCheck.Test.make
+    ~name:"tree, bytecode and closure engines agree on random bodies" ~count:50
     (QCheck.make ~print:gen_body QCheck.Gen.(0 -- 1_000_000))
     (fun seed ->
       let src = wrap (gen_body seed) in
       let prog = Bamboo.compile src in
-      let compiled = observe_seq prog [] in
       let tree = with_reference (fun () -> observe_seq prog []) in
-      if compiled.o_out <> tree.o_out then
-        QCheck.Test.fail_reportf "output mismatch:\n%s\nvs\n%s" compiled.o_out tree.o_out;
-      if compiled.o_cycles <> tree.o_cycles then
-        QCheck.Test.fail_reportf "cycle mismatch: %d vs %d" compiled.o_cycles tree.o_cycles;
-      compiled.o_digest = tree.o_digest)
+      List.iter
+        (fun e ->
+          let en = Interp.engine_name e in
+          let got = with_engine e (fun () -> observe_seq prog []) in
+          if got.o_out <> tree.o_out then
+            QCheck.Test.fail_reportf "%s output mismatch:\n%s\nvs\n%s" en got.o_out
+              tree.o_out;
+          if got.o_cycles <> tree.o_cycles then
+            QCheck.Test.fail_reportf "%s cycle mismatch: %d vs %d" en got.o_cycles
+              tree.o_cycles;
+          if got.o_digest <> tree.o_digest then
+            QCheck.Test.fail_reportf "%s digest mismatch" en)
+        compiled_engines;
+      (* Fuel differential: run the same body under a budget tight
+         enough that many generated bodies exhaust it.  Successful
+         runs must agree exactly three-way; erroring runs must agree
+         on the message three-way, and exactly (cycles and steps at
+         trip time included) between the two compiled tiers — the tree
+         walker trips mid-block, the compiled engines at the
+         block-aggregate [Kcost], so error-time counters are only
+         bit-identical within the compiled tier. *)
+      let budget = 150 in
+      let tree_fuel = with_reference (fun () -> observe_fuel prog ~max_steps:budget) in
+      let byte_fuel =
+        with_engine Interp.Bytecode (fun () -> observe_fuel prog ~max_steps:budget)
+      in
+      let clos_fuel =
+        with_engine Interp.Closure (fun () -> observe_fuel prog ~max_steps:budget)
+      in
+      (match (tree_fuel, byte_fuel, clos_fuel) with
+      | Ok t, Ok b, Ok c ->
+          if b <> t then QCheck.Test.fail_reportf "bytecode fuel-budget run mismatch";
+          if c <> t then QCheck.Test.fail_reportf "closure fuel-budget run mismatch"
+      | Error (mt, _, _), Error (mb, _, _), Error (mc, _, _) ->
+          if mb <> mt || mc <> mt then
+            QCheck.Test.fail_reportf "fuel error message mismatch: %S / %S / %S" mt mb mc
+      | _ ->
+          QCheck.Test.fail_reportf "fuel-budget success/error disagreement across engines");
+      if byte_fuel <> clos_fuel then
+        QCheck.Test.fail_reportf
+          "bytecode and closure disagree at the fuel boundary (cycles/steps at trip time)";
+      true)
 
 let tests =
   [
@@ -376,6 +489,7 @@ let tests =
         Alcotest.test_case "error messages" `Quick test_error_messages;
         Alcotest.test_case "fuel exhaustion" `Quick test_fuel_exhaustion;
         Alcotest.test_case "compile cache" `Quick test_compile_cache;
+        Alcotest.test_case "compile race" `Quick test_compile_race;
         Alcotest.test_case "rng java fidelity" `Quick test_rng_java_fidelity;
       ] );
     Helpers.qsuite "interp.fuzz" [ fuzz_engines_agree ];
