@@ -15,6 +15,8 @@
      dune exec bench/main.exe stealbench --json BENCH_pr7.json  -- machine-readable comparison
      dune exec bench/main.exe interpbench     -- tree vs bytecode vs closure engines
      dune exec bench/main.exe interpbench --json BENCH_pr8.json  -- machine-readable comparison
+     dune exec bench/main.exe synthbench      -- paper-scale multi-start synthesis
+     dune exec bench/main.exe synthbench --json BENCH_pr9.json  -- machine-readable panels
      dune exec bench/main.exe bechamel        -- Bechamel micro-benchmarks
 
    --jobs N fans candidate-layout simulation across N domains
@@ -814,11 +816,231 @@ let interpbench () =
     exit 1)
 
 (* ------------------------------------------------------------------ *)
+(* synthbench: paper-scale multi-start synthesis.  Three panels per
+   benchmark:
+
+   1. scale — repeated full syntheses (multi-start + tempering over a
+      shared sharded memo cache) on the Figure 10 machine, reporting
+      the best-bucket success rate the paper's "~1000 starting points"
+      claim rests on, plus cache hit rate and shard contention;
+   2. scaling — one synthesis per --jobs point with a FRESH evaluator
+      each (a warm cache would turn the second run into pure hits and
+      fake the curve), asserting bit-identical results across jobs;
+   3. mesh — the same synthesis against the mesh128/mesh256 scale-up
+      targets, to show where each benchmark's estimated speedup
+      saturates.
+
+   Wall-clock scaling only means anything with real cores (CI's
+   multi-core runner); success rates, hit rates, digests and the
+   jobs-determinism check are meaningful everywhere. *)
+
+type synthpoint = {
+  yp_jobs : int;
+  yp_wall : float;
+  yp_cycles : int;     (* best estimated cycles — must not depend on jobs *)
+  yp_evaluated : int;  (* distinct layouts simulated — must not either *)
+}
+
+type meshrow = {
+  my_machine : string;
+  my_cores : int;
+  my_best_cycles : int;
+  my_est_speedup : float; (* estimated 1-core cycles / best cycles *)
+  my_evaluated : int;
+  my_hit_rate : float;
+  my_shards : int;
+  my_contention : int;
+  my_wall : float;
+}
+
+type synthrow = {
+  sy_scale : Exp.synth_scale_result;
+  sy_points : synthpoint list;
+  sy_jobs_identical : bool; (* scaling points agree on cycles and evaluated *)
+  sy_mesh : meshrow list;
+}
+
+(* The Tracking attractor only shows at a workload with real task-level
+   slack, but full inputs make thousands of simulated syntheses
+   intractable — same lighter inputs as the Figure 10 panel. *)
+let synthbench_args (b : Bench_def.t) =
+  if !quick then quick_args b.b_name
+  else
+    match b.b_name with
+    | "KMeans" -> Some [ "6200"; "4"; "5"; "31"; "4" ]
+    | "Tracking" -> Some [ "96"; "62"; "31"; "3"; "62" ]
+    | _ -> None
+
+let synthbench_set : Bench_def.t list =
+  List.filter
+    (fun (b : Bench_def.t) -> List.mem b.b_name [ "Tracking"; "Fractal"; "KMeans" ])
+    Registry.paper_benchmarks
+
+let synthbench_results : synthrow list Lazy.t =
+  lazy
+    (let trials = if !quick then 8 else 20 in
+     let trial_starts = if !quick then 4 else 12 in
+     let sample = if !quick then 60 else 150 in
+     let starts = if !quick then 6 else 16 in
+     let reps = if !quick then 1 else 2 in
+     let cfg = Exp.synth_scale_config in
+     let jobs_points = List.filter (fun d -> d <= max 1 !jobs) exec_domain_counts in
+     List.map
+       (fun (b : Bench_def.t) ->
+         Printf.eprintf "[bench] synthbench %s...\n%!" b.b_name;
+         let args = Option.value ~default:b.b_args (synthbench_args b) in
+         let scale =
+           Exp.synth_scale ~trials ~starts:trial_starts ~sample ~jobs:!jobs ~args b
+         in
+         let prog = Bamboo.compile b.b_source in
+         let an = Bamboo.analyse prog in
+         let prof = Bamboo.profile ~args prog in
+         let est1 = Bamboo.estimate prog prof (Bamboo.Runtime.single_core_layout prog) in
+         let run_at j =
+           (* Fresh evaluator inside each synthesize call: every point
+              pays the same cache misses, so the walls are comparable. *)
+           let best = ref None in
+           for _ = 1 to reps do
+             let o =
+               Bamboo.Dsa.synthesize ~config:cfg ~starts ~tempering:true ~jobs:j ~seed:77
+                 prog an.cstg prof Bamboo.Machine.tilepro64
+             in
+             match !best with
+             | Some (k : Bamboo.Dsa.outcome) when k.seconds <= o.seconds -> ()
+             | _ -> best := Some o
+           done;
+           Option.get !best
+         in
+         let points =
+           List.map
+             (fun j ->
+               let o = run_at j in
+               {
+                 yp_jobs = j;
+                 yp_wall = o.seconds;
+                 yp_cycles = o.best_cycles;
+                 yp_evaluated = o.evaluated;
+               })
+             jobs_points
+         in
+         let jobs_identical =
+           match points with
+           | [] -> true
+           | p0 :: rest ->
+               List.for_all
+                 (fun p -> p.yp_cycles = p0.yp_cycles && p.yp_evaluated = p0.yp_evaluated)
+                 rest
+         in
+         let mesh =
+           List.map
+             (fun (m : Bamboo.Machine.t) ->
+               let ev =
+                 Bamboo.Evaluator.create ~jobs:!jobs
+                   ~max_invocations:cfg.Bamboo.Dsa.sim_max_invocations prog prof
+               in
+               Fun.protect ~finally:(fun () -> Bamboo.Evaluator.shutdown ev) @@ fun () ->
+               let o =
+                 Bamboo.Dsa.synthesize ~config:cfg ~starts ~tempering:true ~evaluator:ev
+                   ~seed:101 prog an.cstg prof m
+               in
+               let eval = Bamboo.Evaluator.evaluated ev in
+               let hits = Bamboo.Evaluator.cache_hits ev in
+               {
+                 my_machine = m.Bamboo.Machine.name;
+                 my_cores = m.Bamboo.Machine.cores;
+                 my_best_cycles = o.best_cycles;
+                 my_est_speedup =
+                   (if o.best_cycles > 0 then float_of_int est1 /. float_of_int o.best_cycles
+                    else 0.0);
+                 my_evaluated = eval;
+                 my_hit_rate =
+                   (if eval + hits > 0 then float_of_int hits /. float_of_int (eval + hits)
+                    else 0.0);
+                 my_shards = Bamboo.Evaluator.cache_shards ev;
+                 my_contention = Bamboo.Evaluator.cache_contention ev;
+                 my_wall = o.seconds;
+               })
+             [ Bamboo.Machine.tilepro64; Bamboo.Machine.m128; Bamboo.Machine.m256 ]
+         in
+         { sy_scale = scale; sy_points = points; sy_jobs_identical = jobs_identical; sy_mesh = mesh })
+       synthbench_set)
+
+let synthbench () =
+  let rows = Lazy.force synthbench_results in
+  print_endline "== synthbench: paper-scale multi-start synthesis ==";
+  Printf.printf
+    "   (success = trials landing in the lowest of 12 buckets spanning the sampled\n\
+    \    candidate range, the paper's Figure 10 criterion; --jobs here: %d)\n"
+    !jobs;
+  Table.print
+    ~headers:
+      [
+        "Benchmark"; "trials"; "starts"; "restarts"; "best bucket"; "within 5%";
+        "hit rate"; "shards"; "contended"; "starts/s"; "digest";
+      ]
+    (List.map
+       (fun r ->
+         let s = r.sy_scale in
+         [
+           s.ss_name;
+           string_of_int s.ss_trials;
+           string_of_int s.ss_starts;
+           string_of_int s.ss_restarts;
+           Printf.sprintf "%.0f%%" (100.0 *. s.ss_success);
+           Printf.sprintf "%.0f%%" (100.0 *. s.ss_strict);
+           Printf.sprintf "%.1f%%" (100.0 *. s.ss_hit_rate);
+           string_of_int s.ss_shards;
+           string_of_int s.ss_contention;
+           Printf.sprintf "%.1f" s.ss_starts_per_sec;
+           (if s.ss_digest_ok then "ok" else "MISMATCH");
+         ])
+       rows);
+  print_endline "";
+  print_endline "-- jobs scaling (fresh cache per point; cycles must not move) --";
+  List.iter
+    (fun r ->
+      Printf.printf "  %-12s %s %s\n" r.sy_scale.ss_name
+        (String.concat "  "
+           (List.map
+              (fun p -> Printf.sprintf "j%d: %.3fs" p.yp_jobs p.yp_wall)
+              r.sy_points))
+        (if r.sy_jobs_identical then "[identical]" else "[JOBS DIVERGED]"))
+    rows;
+  print_endline "";
+  print_endline "-- mesh scale-up sweep (estimated speedup over 1 core) --";
+  Table.print
+    ~headers:
+      [ "Benchmark"; "machine"; "cores"; "best cycles"; "est spd"; "hit rate"; "wall s" ]
+    (List.concat_map
+       (fun r ->
+         List.map
+           (fun m ->
+             [
+               r.sy_scale.ss_name;
+               m.my_machine;
+               string_of_int m.my_cores;
+               string_of_int m.my_best_cycles;
+               Printf.sprintf "%.1fx" m.my_est_speedup;
+               Printf.sprintf "%.1f%%" (100.0 *. m.my_hit_rate);
+               Printf.sprintf "%.3f" m.my_wall;
+             ])
+           r.sy_mesh)
+       rows);
+  print_endline "";
+  if List.exists (fun r -> not r.sy_scale.ss_digest_ok) rows then (
+    prerr_endline "[bench] synthbench: digest mismatch against the sequential runtime";
+    exit 1);
+  if List.exists (fun r -> not r.sy_jobs_identical) rows then (
+    prerr_endline "[bench] synthbench: synthesis results depend on --jobs";
+    exit 1)
+
+(* ------------------------------------------------------------------ *)
 (* JSON emitters (machine-readable records so future PRs can track the
    perf trajectory): BENCH_pr3 = figures + simulator microbenchmark,
    BENCH_pr4 = domains-backend scaling curve, BENCH_pr8 = three-way
-   interpreter engine comparison (supersedes BENCH_pr5).  All built on
-   the shared Json_out tree. *)
+   interpreter engine comparison (supersedes BENCH_pr5), BENCH_pr9 =
+   paper-scale synthesis panels.  All built on the shared Json_out
+   tree. *)
 
 let emit_json path =
   let open Json_out in
@@ -988,6 +1210,74 @@ let emit_interp_json path =
          ("benchmarks", Arr (List.map row_obj (Lazy.force interpbench_results)));
        ])
 
+let emit_synth_json path =
+  let open Json_out in
+  let point_obj p =
+    Obj
+      [
+        ("jobs", Int p.yp_jobs);
+        ("wall_seconds", Float p.yp_wall);
+        ("best_cycles", Int p.yp_cycles);
+        ("evaluated", Int p.yp_evaluated);
+      ]
+  in
+  let mesh_obj m =
+    Obj
+      [
+        ("machine", Str m.my_machine);
+        ("cores", Int m.my_cores);
+        ("best_cycles", Int m.my_best_cycles);
+        ("est_speedup", Float m.my_est_speedup);
+        ("evaluated", Int m.my_evaluated);
+        ("cache_hit_rate", Float m.my_hit_rate);
+        ("cache_shards", Int m.my_shards);
+        ("shard_contention", Int m.my_contention);
+        ("wall_seconds", Float m.my_wall);
+      ]
+  in
+  let row_obj r =
+    let s = r.sy_scale in
+    Obj
+      [
+        ("name", Str s.Exp.ss_name);
+        ( "scale",
+          Obj
+            [
+              ("machine", Str s.ss_machine);
+              ("cores", Int s.ss_cores);
+              ("trials", Int s.ss_trials);
+              ("starts", Int s.ss_starts);
+              ("restarts", Int s.ss_restarts);
+              ("best_cycles", Int s.ss_best_cycles);
+              ("worst_sample_cycles", Int s.ss_worst_sample);
+              ("best_bucket_rate", Float s.ss_success);
+              ("strict_rate", Float s.ss_strict);
+              ("evaluated", Int s.ss_evaluated);
+              ("cache_hits", Int s.ss_cache_hits);
+              ("cache_hit_rate", Float s.ss_hit_rate);
+              ("pruned", Int s.ss_pruned);
+              ("cache_shards", Int s.ss_shards);
+              ("shard_contention", Int s.ss_contention);
+              ("wall_seconds", Float s.ss_seconds);
+              ("starts_per_sec", Float s.ss_starts_per_sec);
+              ("digest_ok", Bool s.ss_digest_ok);
+              ("trial_cycles", Arr (List.map (fun c -> Float c) s.ss_outcomes));
+            ] );
+        ("jobs_identical", Bool r.sy_jobs_identical);
+        ("scaling", Arr (List.map point_obj r.sy_points));
+        ("mesh", Arr (List.map mesh_obj r.sy_mesh));
+      ]
+  in
+  write path
+    (Obj
+       [
+         ("schema", Str "BENCH_pr9");
+         ("quick", Bool !quick);
+         ("jobs", Int !jobs);
+         ("host_recommended_domains", Int (Domain.recommended_domain_count ()));
+         ("benchmarks", Arr (List.map row_obj (Lazy.force synthbench_results)));
+       ])
+
 let () =
   let argv = Array.to_list Sys.argv |> List.tl in
   let json_path = ref None in
@@ -1030,6 +1320,7 @@ let () =
   | "execbench" -> execbench ()
   | "stealbench" -> stealbench ()
   | "interpbench" -> interpbench ()
+  | "synthbench" -> synthbench ()
   | "bechamel" -> bechamel ()
   | "all" ->
       fig7 ();
@@ -1039,11 +1330,12 @@ let () =
       simbench ();
       execbench ();
       stealbench ();
-      interpbench ()
+      interpbench ();
+      synthbench ()
   | other ->
       Printf.eprintf
         "unknown target %s \
-         (fig7|fig9|fig10|fig11|simbench|execbench|stealbench|interpbench|bechamel|all)\n"
+         (fig7|fig9|fig10|fig11|simbench|execbench|stealbench|interpbench|synthbench|bechamel|all)\n"
         other;
       exit 2);
   (match !json_path with
@@ -1051,6 +1343,7 @@ let () =
       if what = "execbench" then emit_exec_json path
       else if what = "stealbench" then emit_steal_json path
       else if what = "interpbench" then emit_interp_json path
+      else if what = "synthbench" then emit_synth_json path
       else emit_json path
   | None -> ());
   print_endline "done."

@@ -85,6 +85,25 @@ let jobs_arg =
           "domains used by the parallel layout-evaluation engine, between 1 and 64 (results \
            are identical for any value; default: recommended domain count, capped at 8)")
 
+let starts_arg =
+  Arg.(
+    value
+    & opt (bounded_pos_int ~option:"--starts" ~cap:1024) 8
+    & info [ "starts" ]
+        ~doc:
+          "independent annealing chains the synthesis search runs (sharing one memo \
+           cache), between 1 and 1024; the paper used ~1000 starting points (results are \
+           identical for any $(b,--jobs) at a given $(b,--starts))")
+
+let tempering_arg =
+  Arg.(
+    value & flag
+    & info [ "tempering" ]
+        ~doc:
+          "anneal the DSA survival/continuation probabilities from exploration to \
+           exploitation over the iteration budget (helps searches stuck on a secondary \
+           attractor)")
+
 let domains_arg =
   Arg.(
     value
@@ -322,36 +341,39 @@ let cmd_profile =
   Cmd.v (Cmd.info "profile" ~doc:"run on one core and print the profile statistics")
     Term.(const run $ file_arg $ args_arg $ engine_arg $ interp_reference_arg)
 
-let synthesize file args cores seed jobs sim_reference =
+let synthesize file args cores seed jobs starts tempering sim_reference =
   if sim_reference then Bamboo.Schedsim.use_reference := true;
   let prog = load file in
   let an = Bamboo.analyse prog in
   let prof = Bamboo.profile ~args prog in
-  let o = Bamboo.synthesize ~seed ~jobs prog an prof (machine_of cores) in
+  let o = Bamboo.synthesize ~seed ~jobs ~starts ~tempering prog an prof (machine_of cores) in
   (prog, an, o)
 
 let cmd_synth =
-  let run file args cores seed jobs sim_reference engine interp_reference =
+  let run file args cores seed jobs starts tempering sim_reference engine interp_reference =
     set_engine engine interp_reference;
-    let prog, _, (o : Bamboo.Dsa.outcome) = synthesize file args cores seed jobs sim_reference in
+    let prog, _, (o : Bamboo.Dsa.outcome) =
+      synthesize file args cores seed jobs starts tempering sim_reference
+    in
     Printf.printf
-      "estimated %d cycles; %d layouts evaluated (+%d cache hits, %d pruned) in %.1f s (%.0f \
-       evals/s, %.3g events/s, jobs=%d)\n"
-      o.best_cycles o.evaluated o.cache_hits o.pruned o.seconds
+      "estimated %d cycles; %d layouts evaluated (+%d cache hits, %d pruned) over %d \
+       start(s) (%d restarts) in %.1f s (%.0f evals/s, %.3g events/s, jobs=%d)\n"
+      o.best_cycles o.evaluated o.cache_hits o.pruned o.starts o.restarts o.seconds
       (if o.seconds > 0.0 then float_of_int o.evaluated /. o.seconds else 0.0)
       (if o.seconds > 0.0 then float_of_int o.sim_events /. o.seconds else 0.0)
       jobs;
     print_string (Bamboo.Layout.to_string prog o.best)
   in
-  Cmd.v (Cmd.info "synth" ~doc:"synthesize an optimized layout (candidates + DSA)")
+  Cmd.v (Cmd.info "synth" ~doc:"synthesize an optimized layout (multi-start candidates + DSA)")
     Term.(
-      const run $ file_arg $ args_arg $ cores_arg $ seed_arg $ jobs_arg $ sim_reference_arg
-      $ engine_arg $ interp_reference_arg)
+      const run $ file_arg $ args_arg $ cores_arg $ seed_arg $ jobs_arg $ starts_arg
+      $ tempering_arg $ sim_reference_arg $ engine_arg $ interp_reference_arg)
 
 let cmd_run =
-  let run file args cores seed jobs sim_reference engine interp_reference digest =
+  let run file args cores seed jobs starts tempering sim_reference engine interp_reference
+      digest =
     set_engine engine interp_reference;
-    let prog, an, o = synthesize file args cores seed jobs sim_reference in
+    let prog, an, o = synthesize file args cores seed jobs starts tempering sim_reference in
     let r = Bamboo.execute ~args prog an o.best in
     print_string r.r_output;
     Printf.printf "%d cycles on %d cores (%d invocations, %d messages, %d failed locks)\n"
@@ -370,12 +392,12 @@ let cmd_run =
   in
   Cmd.v (Cmd.info "run" ~doc:"synthesize a layout and execute the program on it")
     Term.(
-      const run $ file_arg $ args_arg $ cores_arg $ seed_arg $ jobs_arg $ sim_reference_arg
-      $ engine_arg $ interp_reference_arg $ digest_arg)
+      const run $ file_arg $ args_arg $ cores_arg $ seed_arg $ jobs_arg $ starts_arg
+      $ tempering_arg $ sim_reference_arg $ engine_arg $ interp_reference_arg $ digest_arg)
 
 let cmd_exec =
-  let run file args cores domains seed jobs layout_kind sim_reference exec_reference
-      engine interp_reference digest_only canon sanitize schedule =
+  let run file args cores domains seed jobs starts tempering layout_kind sim_reference
+      exec_reference engine interp_reference digest_only canon sanitize schedule =
     if exec_reference then Bamboo.Exec.use_reference := true;
     set_engine engine interp_reference;
     let prog = load file in
@@ -386,7 +408,8 @@ let cmd_exec =
       | `Synth ->
           if sim_reference then Bamboo.Schedsim.use_reference := true;
           let prof = Bamboo.profile ~args prog in
-          (Bamboo.synthesize ~seed ~jobs prog an prof (machine_of cores)).best
+          (Bamboo.synthesize ~seed ~jobs ~starts ~tempering prog an prof (machine_of cores))
+            .best
     in
     let sanitize =
       if sanitize then Some (Bamboo.Effects.analyse prog an.astgs) else None
@@ -474,12 +497,13 @@ let cmd_exec =
           compare against $(b,bamboo run) with $(b,--exec-reference) or $(b,--digest-only))")
     Term.(
       const run $ file_arg $ args_arg $ cores_arg $ domains_arg $ seed_arg $ jobs_arg
-      $ layout_arg $ sim_reference_arg $ exec_reference_arg $ engine_arg
-      $ interp_reference_arg $ digest_only_arg $ canon_arg $ sanitize_arg $ schedule_arg)
+      $ starts_arg $ tempering_arg $ layout_arg $ sim_reference_arg $ exec_reference_arg
+      $ engine_arg $ interp_reference_arg $ digest_only_arg $ canon_arg $ sanitize_arg
+      $ schedule_arg)
 
 let cmd_trace =
-  let run file args cores seed jobs sim_reference =
-    let prog, _, o = synthesize file args cores seed jobs sim_reference in
+  let run file args cores seed jobs starts tempering sim_reference =
+    let prog, _, o = synthesize file args cores seed jobs starts tempering sim_reference in
     let prof = Bamboo.profile ~args prog in
     let sim = Bamboo.Schedsim.simulate prog prof o.best in
     let cp = Bamboo.Critpath.analyse sim in
@@ -487,7 +511,9 @@ let cmd_trace =
   in
   Cmd.v
     (Cmd.info "trace" ~doc:"print the simulated execution trace and critical path (paper Fig. 6)")
-    Term.(const run $ file_arg $ args_arg $ cores_arg $ seed_arg $ jobs_arg $ sim_reference_arg)
+    Term.(
+      const run $ file_arg $ args_arg $ cores_arg $ seed_arg $ jobs_arg $ starts_arg
+      $ tempering_arg $ sim_reference_arg)
 
 let cmd_dump =
   let run name seq =

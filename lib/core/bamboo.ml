@@ -19,6 +19,7 @@
 module Support = Bamboo_support
 module Prng = Bamboo_support.Prng
 module Pool = Bamboo_support.Pool
+module Sharded_table = Bamboo_support.Sharded_table
 module Stats = Bamboo_support.Stats
 module Table = Bamboo_support.Table
 module Dot = Bamboo_support.Dot
@@ -87,12 +88,15 @@ let profile ?(args = []) ?max_invocations (prog : Ir.program) : Profile.t =
   fst (Profile.collect ~args ?max_invocations prog)
 
 (** Synthesize an optimized layout for [machine] using candidate
-    generation and directed simulated annealing.  [jobs] sets the
-    width of the parallel evaluation engine; results are bit-identical
-    for any value. *)
-let synthesize ?config ?ncandidates ?jobs ?(seed = 42) (prog : Ir.program) (an : analysis)
-    (prof : Profile.t) (machine : Machine.t) : Dsa.outcome =
-  Dsa.synthesize ?config ?ncandidates ?jobs ~seed prog an.cstg prof machine
+    generation and multi-start directed simulated annealing.  [jobs]
+    sets the width of the parallel evaluation engine; [starts] the
+    number of independent annealing chains (sharing one memo cache);
+    [tempering] anneals the survival/continuation probabilities.
+    Results are bit-identical for any [jobs] at a given
+    [starts]/[tempering]/[seed]. *)
+let synthesize ?config ?ncandidates ?jobs ?starts ?tempering ?(seed = 42) (prog : Ir.program)
+    (an : analysis) (prof : Profile.t) (machine : Machine.t) : Dsa.outcome =
+  Dsa.synthesize ?config ?ncandidates ?jobs ?starts ?tempering ~seed prog an.cstg prof machine
 
 (** Execute the program under a layout on the cycle-level many-core
     runtime, using the analysis' shared-lock groups. *)
@@ -128,7 +132,7 @@ let estimate ?max_invocations (prog : Ir.program) (prof : Profile.t) (layout : L
     re-synthesize the layout for the observed workload.  Returns the
     new layout (and its estimate) computed from the records of a run
     under the old layout. *)
-let reoptimize ?config ?ncandidates ?jobs ?(seed = 43) (prog : Ir.program) (an : analysis)
-    (run : Runtime.result) (machine : Machine.t) : Dsa.outcome =
+let reoptimize ?config ?ncandidates ?jobs ?starts ?tempering ?(seed = 43) (prog : Ir.program)
+    (an : analysis) (run : Runtime.result) (machine : Machine.t) : Dsa.outcome =
   let prof = Profile.of_records prog ~total_cycles:run.r_total_cycles run.r_records in
-  Dsa.synthesize ?config ?ncandidates ?jobs ~seed prog an.cstg prof machine
+  Dsa.synthesize ?config ?ncandidates ?jobs ?starts ?tempering ~seed prog an.cstg prof machine

@@ -568,32 +568,50 @@ let step st (core : xcore) =
   !progressed
 
 (** Steal one invocation for [core] from some other active core's
-    deque, probing victims in random order, and run it here.  Returns
-    [true] when an invocation was stolen (even if its locks were busy
-    — it then waits on [core.stolen], counted, and retries in [step]).
-    The stolen invocation's accounting is exactly as at home: decrement
+    deque, probing victims in descending observed-load order, and run
+    it here.  Load is a racy snapshot of each victim's deque size —
+    advisory only (a stale read costs at most a wasted probe), but it
+    points thieves at the cores that actually have stealable work
+    instead of spraying probes uniformly.  Victims of equal observed
+    load keep a per-attempt random rotation so idle thieves do not
+    herd onto one victim.  Returns [true] when an invocation was
+    stolen (even if its locks were busy — it then waits on
+    [core.stolen], counted, and retries in [step]).  The stolen
+    invocation's accounting is exactly as at home: decrement
     [outstanding] only after it ran or dropped, successors counted
     first. *)
 let try_steal st (core : xcore) (rng : Prng.t) =
   let nv = Array.length st.victims in
-  let rec probe start i =
-    if i >= nv then None
-    else
-      let vid = st.victims.((start + i) mod nv) in
-      if vid = core.cid then probe start (i + 1)
-      else begin
-        core.steal_attempts <- core.steal_attempts + 1;
-        match Chase_lev.steal st.cores.(vid).stealq with
-        | Chase_lev.Stolen inv -> Some inv
-        | Chase_lev.Empty -> probe start (i + 1)
-        | Chase_lev.Retry ->
-            core.steal_aborts <- core.steal_aborts + 1;
-            probe start (i + 1)
-      end
-  in
   if nv <= 1 then false
-  else
-    match probe (Prng.int rng nv) 0 with
+  else begin
+    let loads = Array.map (fun vid -> Chase_lev.size st.cores.(vid).stealq) st.victims in
+    (* Rotate first so the stable sort breaks load ties in a random
+       order, then probe best-loaded victims first. *)
+    let start = Prng.int rng nv in
+    let order = Array.init nv (fun i -> (start + i) mod nv) in
+    Array.stable_sort (fun a b -> compare loads.(b) loads.(a)) order;
+    let rec probe i =
+      if i >= nv then None
+      else
+        let vi = order.(i) in
+        let vid = st.victims.(vi) in
+        (* Zero observed load: nothing visibly stealable there or at
+           any later (lighter) victim; give up rather than burn probes.
+           A push racing past the snapshot is caught on the next
+           attempt. *)
+        if vid = core.cid then probe (i + 1)
+        else if loads.(vi) = 0 then None
+        else begin
+          core.steal_attempts <- core.steal_attempts + 1;
+          match Chase_lev.steal st.cores.(vid).stealq with
+          | Chase_lev.Stolen inv -> Some inv
+          | Chase_lev.Empty -> probe (i + 1)
+          | Chase_lev.Retry ->
+              core.steal_aborts <- core.steal_aborts + 1;
+              probe (i + 1)
+        end
+    in
+    match probe 0 with
     | None -> false
     | Some inv ->
         core.steal_hits <- core.steal_hits + 1;
@@ -601,6 +619,7 @@ let try_steal st (core : xcore) (rng : Prng.t) =
         | `Ran | `Dropped -> Atomic.decr st.outstanding
         | `Retry -> Queue.add inv core.stolen);
         true
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Domain loop, backoff, quiescence *)

@@ -27,6 +27,22 @@ let m16 = { name = "mesh16"; cores = 16; mesh_w = 4; hop_latency = 2; per_word =
 (** Single-core configuration (profiling and overhead runs). *)
 let single = { name = "single"; cores = 1; mesh_w = 1; hop_latency = 0; per_word = 0 }
 
+(** 128-core 16x8 mesh — a projected scale-up of the TILEPro64 used by
+    the synthesis scaling sweep to show where each benchmark's
+    speedup breaks. *)
+let m128 = { name = "mesh128"; cores = 128; mesh_w = 16; hop_latency = 2; per_word = 1 }
+
+(** 256-core 16x16 mesh — the largest projected target. *)
+let m256 = { name = "mesh256"; cores = 256; mesh_w = 16; hop_latency = 2; per_word = 1 }
+
+(** Every named preset, smallest first. *)
+let presets = [ single; quad; m16; tilepro64; m128; m256 ]
+
+(** Look a preset up by its [name] field (case-insensitive). *)
+let preset name =
+  let want = String.lowercase_ascii name in
+  List.find_opt (fun m -> String.lowercase_ascii m.name = want) presets
+
 let with_cores m n = { m with name = Printf.sprintf "%s/%d" m.name n; cores = n }
 
 (** Manhattan distance between two cores on the mesh. *)

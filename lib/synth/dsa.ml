@@ -1,4 +1,4 @@
-(** Directed simulated annealing (§4.5).
+(** Directed simulated annealing (§4.5), at paper scale.
 
     Standard simulated annealing explores neighbours blindly; the
     paper's variant *directs* neighbour generation with the critical
@@ -7,7 +7,37 @@
     block key tasks are moved away.  Candidate pruning is
     probabilistic (good layouts survive with high probability, poor
     ones with low probability) and the search continues past a local
-    maximum with a fixed probability. *)
+    maximum with a fixed probability.
+
+    The paper ran this search from ~1000 starting points.  [optimize]
+    therefore drives [starts] {e independent annealing chains} in
+    lockstep rounds over one shared evaluator: each round gathers every
+    live chain's pending layouts into a single
+    {!Evaluator.batch_bounded} fan-out (each request bounded by its
+    own chain's incumbent), distributes the scores, and advances the
+    chains in fixed index order.  Chains share the memo cache — a
+    layout one chain scored is a hit for every other — but share no
+    randomness: each chain draws from its own PRNG stream split from
+    the root seed on the calling domain, so the whole search is
+    bit-identical for any [jobs] count.
+
+    Two policies target searches that stall on a secondary attractor
+    (ROADMAP item 3: Tracking):
+
+    - {b Restart}: a chain that fails to improve its incumbent for
+      [restart_stall] consecutive rounds abandons its pool and
+      re-seeds from fresh candidates ([synthesize] draws them from the
+      candidate generator at perturbed multiplicities; bare [optimize]
+      falls back to heavy shakes of the incumbent).  The incumbent
+      stays recorded as the chain's best, but the restarted pool is
+      evaluated {e unbounded} and bounded only by its own scores
+      afterwards, so the fresh basin is actually explored rather than
+      pruned against the score it is trying to escape.
+    - {b Tempering} ([~tempering:true]): survival and continuation
+      probabilities anneal with a temperature that cools linearly over
+      the iteration budget — early rounds keep poor layouts and push
+      past plateaus almost always (explore), late rounds fall back to
+      the paper's fixed probabilities (exploit). *)
 
 module Ir = Bamboo_ir.Ir
 module Machine = Bamboo_machine.Machine
@@ -29,6 +59,8 @@ type config = {
   max_neighbours : int;       (* neighbour layouts evaluated per layout per round *)
   max_pool : int;             (* surviving layouts carried between rounds *)
   sim_max_invocations : int;
+  restart_stall : int;        (* rounds without improvement before a chain
+                                 re-seeds; <= 0 disables restarts *)
 }
 
 let default_config =
@@ -44,15 +76,18 @@ let default_config =
     max_neighbours = 18;
     max_pool = 24;
     sim_max_invocations = 500_000;
+    restart_stall = 6;
   }
 
 type outcome = {
   best : Layout.t;
   best_cycles : int;
-  iterations : int;
+  iterations : int;           (* rounds advanced by the longest-lived chain *)
+  starts : int;               (* independent annealing chains run *)
+  restarts : int;             (* stalled-chain re-seeds, summed over chains *)
   evaluated : int;            (* distinct layouts simulated (cache misses) *)
   cache_hits : int;           (* evaluation requests served by the memo cache *)
-  pruned : int;               (* simulations abandoned against the incumbent's bound *)
+  pruned : int;               (* simulations abandoned against an incumbent's bound *)
   sim_events : int;           (* discrete events simulated across the search *)
   seconds : float;            (* wall-clock time of the search *)
 }
@@ -110,6 +145,11 @@ let shake rng prog layout =
   done;
   !l
 
+(** Aggressive mutation used to re-seed a restarted chain when no
+    candidate generator is available: several rounds of [shake]. *)
+let heavy_shake rng prog layout =
+  shake rng prog (shake rng prog (shake rng prog layout))
+
 let neighbours cfg rng prog (r : Schedsim.result) layout (ops : Critpath.opportunity list) =
   let ops = take cfg.max_ops_per_layout ops in
   let machine = layout.Layout.machine in
@@ -166,24 +206,190 @@ let neighbours cfg rng prog (r : Schedsim.result) layout (ops : Critpath.opportu
   directed @ random_moves
 
 (* ------------------------------------------------------------------ *)
+(* Annealing chains *)
+
+(** One independent annealing chain.  All of a chain's randomness
+    comes from [ch_rng] (split from the root seed on the calling
+    domain), all of its scores from the shared evaluator. *)
+type chain = {
+  ch_rng : Prng.t;
+  mutable ch_kept : (int * Layout.t) list;  (* scored survivors, sorted best-first *)
+  mutable ch_pending : Layout.t list;       (* layouts awaiting this round's scores *)
+  mutable ch_best : (int * Layout.t) option; (* incumbent across restarts *)
+  mutable ch_iter : int;                    (* rounds advanced *)
+  mutable ch_stall : int;                   (* consecutive rounds without improvement *)
+  mutable ch_shake : bool;                  (* plateaued: diversify the next round *)
+  mutable ch_live : bool;
+  mutable ch_restarts : int;
+}
+
+(** The bound a chain's next batch is pruned against: the best score
+    in its {e current} pool.  For a chain that never restarted this is
+    its incumbent (the best survivor is always kept); a freshly
+    restarted chain has an empty pool and therefore evaluates its new
+    basin unbounded instead of pruning it against the score it is
+    trying to escape. *)
+let chain_bound ch =
+  match ch.ch_kept with (c, _) :: _ when c < max_int -> Some c | _ -> None
+
+(** Linear cooling over the iteration budget: 1 on the first round,
+    0 at the end.  0 whenever tempering is off. *)
+let temperature cfg ~tempering ch =
+  if not tempering then 0.0
+  else max 0.0 (1.0 -. (float_of_int ch.ch_iter /. float_of_int (max 1 cfg.max_iterations)))
+
+(* Tempered probabilities: at full temperature poor layouts survive
+   like good ones and plateaus almost never stop the chain; both decay
+   to the paper's fixed values as the chain cools. *)
+let keep_bad_prob cfg ~tempering ch =
+  cfg.keep_bad_prob +. ((cfg.keep_good_prob -. cfg.keep_bad_prob) *. temperature cfg ~tempering ch)
+
+let continue_prob cfg ~tempering ch =
+  if not tempering then cfg.continue_prob (* exact baseline behaviour *)
+  else
+    min 0.98 (cfg.continue_prob +. ((0.95 -. cfg.continue_prob) *. temperature cfg ~tempering ch))
+
+(** Build the next round's requests from the scored pool: probabilistic
+    pruning, then critical-path-directed neighbours of the survivors
+    (plus shakes of the pool's best when the chain just plateaued). *)
+let plan_round cfg ~tempering ev prog ch (pool : (int * Layout.t) list) =
+  let keep_bad = keep_bad_prob cfg ~tempering ch in
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) pool in
+  let n = List.length sorted in
+  let kept =
+    List.filteri
+      (fun i (_, _) ->
+        let p = if i < (n + 1) / 2 then cfg.keep_good_prob else keep_bad in
+        i = 0 || Prng.float ch.ch_rng 1.0 < p)
+      sorted
+  in
+  let kept = take cfg.max_pool kept in
+  (* Directed neighbour generation.  The simulation of every kept
+     layout is a memo-cache hit — it was simulated when scored — so
+     the per-round critical-path pass costs no extra simulations. *)
+  let news =
+    List.concat_map
+      (fun (_, l) ->
+        match Evaluator.result ev l with
+        | None -> []   (* overrun or pruned: no complete trace to direct from *)
+        | Some r ->
+            let cp = Critpath.analyse r in
+            let ops = Critpath.opportunities cp in
+            neighbours cfg ch.ch_rng prog r l ops)
+      kept
+  in
+  (* Plateau: diversify around the pool's best layout so continued
+     search explores new directions rather than re-deriving the same
+     neighbours. *)
+  let shakes =
+    if ch.ch_shake then
+      match kept with
+      | (_, best) :: _ -> List.init 4 (fun _ -> shake ch.ch_rng prog best)
+      | [] -> []
+    else []
+  in
+  ch.ch_shake <- false;
+  (* Deduplicate against the surviving pool. *)
+  let seen = Hashtbl.create 64 in
+  List.iter (fun (_, l) -> Hashtbl.replace seen (Layout.canonical_key l) ()) kept;
+  let fresh =
+    List.filter
+      (fun l ->
+        let key = Layout.canonical_key l in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.replace seen key ();
+          true
+        end)
+      (news @ shakes)
+  in
+  ch.ch_kept <- kept;
+  ch.ch_pending <- fresh
+
+(** Abandon the pool and re-seed from [reseed].  The incumbent stays
+    in [ch_best] but deliberately {e not} in the pool: the fresh basin
+    is scored unbounded (see {!chain_bound}) and explored on its own
+    merits. *)
+let restart_chain cfg ~reseed prog ch =
+  ch.ch_restarts <- ch.ch_restarts + 1;
+  ch.ch_stall <- 0;
+  ch.ch_shake <- false;
+  let incumbent = match ch.ch_best with Some (_, l) -> l | None -> assert false in
+  let fresh =
+    match reseed ch.ch_rng with
+    | [] -> List.init (max 1 cfg.initial_candidates) (fun _ -> heavy_shake ch.ch_rng prog incumbent)
+    | ls -> ls
+  in
+  let seen = Hashtbl.create 16 in
+  Hashtbl.replace seen (Layout.canonical_key incumbent) ();
+  let fresh =
+    List.filter
+      (fun l ->
+        let key = Layout.canonical_key l in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.replace seen key ();
+          true
+        end)
+      fresh
+  in
+  ch.ch_kept <- [];
+  ch.ch_pending <- fresh
+
+(** Absorb one round of scores and decide the chain's next move:
+    update the incumbent, stop at the iteration budget or a lost
+    plateau draw, restart after [restart_stall] barren rounds, or plan
+    the next round of neighbours. *)
+let advance cfg ~tempering ~reseed ev prog ch (scored : (int * Layout.t) list) =
+  let pool = ch.ch_kept @ scored in
+  match pool with
+  | [] ->
+      (* Nothing survived and nothing scored — a restart produced no
+         valid fresh layout.  Retire the chain; its incumbent stands. *)
+      ch.ch_live <- false
+  | hd :: tl -> (
+      let round_best = List.fold_left min hd tl in
+      (match ch.ch_best with
+      | None -> ch.ch_best <- Some round_best (* seed round: no plateau logic yet *)
+      | Some (bc, _) when fst round_best < bc ->
+          ch.ch_best <- Some round_best;
+          ch.ch_stall <- 0
+      | Some _ ->
+          ch.ch_stall <- ch.ch_stall + 1;
+          if Prng.float ch.ch_rng 1.0 >= continue_prob cfg ~tempering ch then ch.ch_live <- false
+          else ch.ch_shake <- true);
+      if ch.ch_live then
+        if ch.ch_iter >= cfg.max_iterations then ch.ch_live <- false
+        else begin
+          ch.ch_iter <- ch.ch_iter + 1;
+          if cfg.restart_stall > 0 && ch.ch_stall >= cfg.restart_stall then
+            restart_chain cfg ~reseed prog ch
+          else plan_round cfg ~tempering ev prog ch pool
+        end)
+
+(* ------------------------------------------------------------------ *)
 (* Main loop *)
 
 (** Optimize starting from [seeds] (already-generated candidate
     layouts).  Returns the best layout found and its estimated
     cycles.
 
-    Evaluation runs through a {!Evaluator}: each round's batch of
-    unevaluated layouts is fanned across [jobs] domains and every
-    simulation is memoized on [Layout.canonical_key], so the
-    critical-path pass over kept layouts reuses the score-time
-    simulation instead of running it twice.  All randomness (pruning,
-    neighbour choice, plateau continuation) stays on the calling
-    domain in a fixed order, so outcomes are bit-identical for any
-    [jobs] value.  Pass [evaluator] to share a memo cache across
-    searches (e.g. repeated DSA starts over one profile). *)
-let optimize ?(config = default_config) ?(jobs = 1) ?evaluator ~seed (prog : Ir.program)
-    (profile : Profile.t) (seeds : Layout.t list) : outcome =
+    [starts] independent chains run in lockstep rounds: chain 0 starts
+    from [seeds], later chains from [reseed] (or shaken copies of
+    [seeds] without one), each with its own PRNG stream split from
+    [seed].  Every round, all live chains' pending layouts go to the
+    evaluator as {e one} batch — each request bounded by its own
+    chain's incumbent — and are fanned across [jobs] domains together;
+    the chains then advance in fixed index order.  Scores, bounds and
+    every random draw are independent of how the batch was scheduled,
+    so outcomes are bit-identical for any [jobs] and any given
+    [starts].  Pass [evaluator] to share a memo cache across searches
+    (e.g. repeated DSA trials over one profile). *)
+let optimize ?(config = default_config) ?(jobs = 1) ?evaluator ?(starts = 1)
+    ?(tempering = false) ?reseed ~seed (prog : Ir.program) (profile : Profile.t)
+    (seeds : Layout.t list) : outcome =
   if seeds = [] then invalid_arg "Dsa.optimize: no seed layouts";
+  if starts < 1 then invalid_arg "Dsa.optimize: starts must be >= 1";
   let t0 = Unix.gettimeofday () in
   let ev, owns_ev =
     match evaluator with
@@ -193,19 +399,52 @@ let optimize ?(config = default_config) ?(jobs = 1) ?evaluator ~seed (prog : Ir.
   in
   let evaluated0 = Evaluator.evaluated ev and hits0 = Evaluator.cache_hits ev in
   let pruned0 = Evaluator.pruned ev and events0 = Evaluator.sim_events ev in
-  let rng = Prng.create ~seed in
-  (* [?bound] is the incumbent's cycle count: any simulation provably
-     worse is abandoned ([Evaluator] scores it [max_int] and never
-     caches the truncated trace as complete).  Bounds derive only from
-     scores, which are jobs-independent, so pruning does not perturb
-     the bit-identical-for-any-[jobs] guarantee. *)
-  let eval_batch ?bound ls = List.combine (Evaluator.batch_cycles ?cycle_bound:bound ev ls) ls in
-  let finish (best_cycles, best) iterations =
+  let root = Prng.create ~seed in
+  let reseed =
+    match reseed with
+    | Some f -> f
+    | None -> fun rng -> List.map (fun l -> heavy_shake rng prog l) seeds
+  in
+  let mk_chain i =
+    let rng = Prng.split root in
+    let pending =
+      if i = 0 then seeds
+      else
+        match reseed rng with [] -> List.map (fun l -> shake rng prog l) seeds | ls -> ls
+    in
+    {
+      ch_rng = rng;
+      ch_kept = [];
+      ch_pending = pending;
+      ch_best = None;
+      ch_iter = 0;
+      ch_stall = 0;
+      ch_shake = false;
+      ch_live = true;
+      ch_restarts = 0;
+    }
+  in
+  let chains = Array.init starts mk_chain in
+  let finish () =
+    let best =
+      Array.fold_left
+        (fun acc ch ->
+          match (acc, ch.ch_best) with
+          | None, b -> b
+          | b, None -> b
+          | Some (ac, _), Some (bc, _) -> if bc < ac then ch.ch_best else acc)
+        None chains
+    in
+    let best_cycles, best =
+      match best with Some (c, l) -> (c, l) | None -> assert false (* seed round always scores *)
+    in
     if owns_ev then Evaluator.shutdown ev;
     {
       best;
       best_cycles;
-      iterations;
+      iterations = Array.fold_left (fun acc ch -> max acc ch.ch_iter) 0 chains;
+      starts;
+      restarts = Array.fold_left (fun acc ch -> acc + ch.ch_restarts) 0 chains;
       evaluated = Evaluator.evaluated ev - evaluated0;
       cache_hits = Evaluator.cache_hits ev - hits0;
       pruned = Evaluator.pruned ev - pruned0;
@@ -214,83 +453,55 @@ let optimize ?(config = default_config) ?(jobs = 1) ?evaluator ~seed (prog : Ir.
     }
   in
   match
-    (* The seed batch runs unbounded: there is no incumbent yet, and
-       the pool needs real scores to rank survivors. *)
-    let scored = eval_batch seeds in
-    let best = ref (List.fold_left min (List.hd scored) (List.tl scored)) in
-    let bound () = if fst !best = max_int then None else Some (fst !best) in
-    let pool = ref scored in
-    let iter = ref 0 in
-    let continue_ = ref true in
-    while !continue_ && !iter < config.max_iterations do
-      incr iter;
-      (* Probabilistic pruning. *)
-      let sorted = List.sort (fun (a, _) (b, _) -> compare a b) !pool in
-      let n = List.length sorted in
-      let kept =
-        List.filteri
-          (fun i (_, _) ->
-            let p = if i < (n + 1) / 2 then config.keep_good_prob else config.keep_bad_prob in
-            i = 0 || Prng.float rng 1.0 < p)
-          sorted
-      in
-      let kept = take config.max_pool kept in
-      (* Directed neighbour generation.  The simulation of every kept
-         layout is a memo-cache hit — it was simulated when scored —
-         so the per-round critical-path pass costs no extra
-         simulations. *)
-      let news =
-        List.concat_map
-          (fun (_, l) ->
-            match Evaluator.result ev l with
-            | None -> []   (* overrun or pruned: no complete trace to direct from *)
-            | Some r ->
-                let cp = Critpath.analyse r in
-                let ops = Critpath.opportunities cp in
-                neighbours config rng prog r l ops)
-          kept
-      in
-      (* Deduplicate against the pool. *)
-      let seen = Hashtbl.create 64 in
-      List.iter (fun (_, l) -> Hashtbl.replace seen (Layout.canonical_key l) ()) kept;
-      let news =
-        List.filter
-          (fun l ->
-            let key = Layout.canonical_key l in
-            if Hashtbl.mem seen key then false
-            else begin
-              Hashtbl.replace seen key ();
-              true
-            end)
-          news
-      in
-      let scored_news = eval_batch ?bound:(bound ()) news in
-      pool := kept @ scored_news;
-      let round_best = List.fold_left min (List.hd !pool) (List.tl !pool) in
-      if fst round_best < fst !best then best := round_best
-      else if Prng.float rng 1.0 >= config.continue_prob then continue_ := false
-      else begin
-        (* Plateau: diversify around the best layout so continued
-           search explores new directions rather than re-deriving the
-           same neighbours. *)
-        let shakes =
-          eval_batch ?bound:(bound ()) (List.init 4 (fun _ -> shake rng prog (snd !best)))
-        in
-        pool := !pool @ shakes
-      end
-    done;
-    (!best, !iter)
+    while Array.exists (fun ch -> ch.ch_live) chains do
+      (* One lockstep round: gather every live chain's requests, score
+         them in a single parallel fan-out, then advance the chains in
+         index order.  The request list (and so the cache's state at
+         every round boundary) is a deterministic function of the
+         chains' states alone. *)
+      let reqs = ref [] in
+      Array.iter
+        (fun ch ->
+          if ch.ch_live then begin
+            let bound = chain_bound ch in
+            reqs := List.rev_append (List.rev_map (fun l -> (l, bound)) ch.ch_pending) !reqs
+          end)
+        chains;
+      let scored = Evaluator.batch_bounded ev (List.rev !reqs) in
+      let remaining = ref scored in
+      Array.iter
+        (fun ch ->
+          if ch.ch_live then begin
+            let nreq = List.length ch.ch_pending in
+            let mine = take nreq !remaining in
+            remaining := List.filteri (fun i _ -> i >= nreq) !remaining;
+            let pairs = List.map2 (fun l c -> (Evaluator.cycles_of c, l)) ch.ch_pending mine in
+            ch.ch_pending <- [];
+            advance config ~tempering ~reseed ev prog ch pairs
+          end)
+        chains
+    done
   with
-  | (best, iter) -> finish best iter
+  | () -> finish ()
   | exception e ->
       if owns_ev then Evaluator.shutdown ev;
       raise e
 
-(** Full synthesis pipeline: candidate generation followed by DSA, as
-    the compiler's backend would run it. *)
-let synthesize ?(config = default_config) ?(ncandidates = 16) ?(jobs = 1) ?evaluator ~seed
-    (prog : Ir.program) (g : Cstg.t) (profile : Profile.t) (machine : Machine.t) : outcome =
-  let _grouping, _mults, seeds = Candidates.generate ~n:ncandidates ~seed prog g profile machine in
+(** Full synthesis pipeline: candidate generation followed by
+    multi-start DSA, as the compiler's backend would run it.  Restarted
+    (and extra) chains re-seed through the candidate generator at
+    perturbed multiplicities — fresh basins, not perturbations of the
+    stalled one. *)
+let synthesize ?(config = default_config) ?(ncandidates = 16) ?(jobs = 1) ?evaluator
+    ?(starts = 1) ?(tempering = false) ~seed (prog : Ir.program) (g : Cstg.t)
+    (profile : Profile.t) (machine : Machine.t) : outcome =
+  let grouping, mults, seeds = Candidates.generate ~n:ncandidates ~seed prog g profile machine in
   if seeds = [] then
     invalid_arg "Dsa.synthesize: candidate generation produced no valid layout";
-  optimize ~config ~jobs ?evaluator ~seed:(seed + 1) prog profile seeds
+  let reseed rng =
+    let mults' = Candidates.perturb_mults rng machine prog mults in
+    Candidates.random_candidates rng prog machine grouping mults'
+      (max 2 (min 6 (max 1 config.initial_candidates)))
+  in
+  optimize ~config ~jobs ?evaluator ~starts ~tempering ~reseed ~seed:(seed + 1) prog profile
+    seeds

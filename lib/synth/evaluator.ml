@@ -10,16 +10,23 @@
       the simulator's dense tables ({!Schedsim.prepare}); every
       simulation the evaluator runs reuses them.
     - {b Memoization}: results are cached keyed on
-      [Layout.canonical_key], and the cache stores the {e full}
-      [Schedsim.result] — not just the cycle count — so the
-      critical-path analysis of a kept layout reuses the simulation
-      that scored it instead of running it again.
-    - {b Parallelism}: [batch] fans the uncached layouts of a request
-      across a fixed {!Bamboo_support.Pool} of domains.  The
+      [Layout.canonical_key] in a {!Bamboo_support.Sharded_table} —
+      key-hash-striped mutex shards, so worker domains insert each
+      result the moment its simulation completes instead of handing it
+      back for a serial fill loop on the calling domain.  The cache
+      stores the {e full} [Schedsim.result] — not just the cycle count
+      — so the critical-path analysis of a kept layout reuses the
+      simulation that scored it instead of running it again.  The
+      [evaluated]/[cache_hits]/[pruned]/[sim_events] counters live
+      per-shard and merge on read; each fresh key is simulated exactly
+      once per batch, so the merged totals are independent of which
+      domain ran which simulation.
+    - {b Parallelism}: [batch_bounded] fans the uncached layouts of a
+      request across a fixed {!Bamboo_support.Pool} of domains.  The
       simulator touches no global mutable state and consumes no
       randomness, so per-layout results are independent of the domain
       that computed them: outputs are bit-identical for any [jobs].
-    - {b Pruning}: [batch ~cycle_bound:b] abandons any simulation
+    - {b Pruning}: a request bounded by [b] abandons any simulation
       whose simulated time provably exceeds [b] (see
       {!Schedsim.simulate_prepared}).  A pruned result is cached as
       [Pruned b] — never as a complete simulation — and counts as
@@ -27,7 +34,11 @@
       [b' <= b] (the true total exceeds [b >= b']), but an unbounded
       or looser request re-simulates and overwrites the entry, so
       whether a layout was pruned earlier never changes what a caller
-      observes — only what it pays.
+      observes — only what it pays.  [batch_bounded] carries a bound
+      {e per request}: multi-start DSA rounds combine chains with
+      different incumbents into one fan-out, and duplicate keys merge
+      to the loosest requested bound (unbounded if any requester is),
+      which answers every requester correctly.
 
     Callers must keep every RNG decision on their own domain;
     the evaluator never draws random numbers.  Bounds passed by
@@ -40,6 +51,7 @@ module Profile = Bamboo_profile.Profile
 module Layout = Bamboo_machine.Layout
 module Schedsim = Bamboo_sim.Schedsim
 module Pool = Bamboo_support.Pool
+module Sharded = Bamboo_support.Sharded_table
 
 (** What the cache knows about a layout.  [Overrun] (the simulator
     exceeded its invocation budget) and [Pruned] (the simulation was
@@ -50,6 +62,13 @@ type cached =
   | Overrun
   | Pruned of int (* bounded at b: the true total strictly exceeds b *)
 
+(* Per-shard counter slots (merged on read by the accessors). *)
+let c_evaluated = 0 (* simulations actually run *)
+let c_hits = 1 (* requests served from the cache *)
+let c_pruned = 2 (* simulations abandoned at a cycle bound *)
+let c_events = 3 (* discrete events simulated, total *)
+let n_counters = 4
+
 type t = {
   prog : Ir.program;
   profile : Profile.t;
@@ -57,18 +76,17 @@ type t = {
   max_invocations : int;
   pool : Pool.t;
   owns_pool : bool;
-  cache : (string, cached) Hashtbl.t;
-  mutable evaluated : int;     (* simulations actually run *)
-  mutable cache_hits : int;    (* requests served from the cache *)
-  mutable pruned : int;        (* simulations abandoned at a cycle bound *)
-  mutable sim_events : int;    (* discrete events simulated, total *)
+  cache : cached Sharded.t;
 }
 
-let create ?(jobs = 1) ?pool ?(max_invocations = 500_000) (prog : Ir.program)
+let create ?(jobs = 1) ?pool ?shards ?(max_invocations = 500_000) (prog : Ir.program)
     (profile : Profile.t) : t =
   let pool, owns_pool =
     match pool with Some p -> (p, false) | None -> (Pool.create ~jobs, true)
   in
+  (* Default the stripe count to comfortably exceed the worker count
+     so concurrent inserts rarely collide on a shard. *)
+  let shards = match shards with Some s -> s | None -> max 16 (4 * Pool.jobs pool) in
   {
     prog;
     profile;
@@ -76,24 +94,22 @@ let create ?(jobs = 1) ?pool ?(max_invocations = 500_000) (prog : Ir.program)
     max_invocations;
     pool;
     owns_pool;
-    cache = Hashtbl.create 256;
-    evaluated = 0;
-    cache_hits = 0;
-    pruned = 0;
-    sim_events = 0;
+    cache = Sharded.create ~shards ~counters:n_counters ();
   }
 
 let jobs t = Pool.jobs t.pool
-let evaluated t = t.evaluated
-let cache_hits t = t.cache_hits
-let pruned t = t.pruned
-let sim_events t = t.sim_events
-let cache_size t = Hashtbl.length t.cache
+let evaluated t = Sharded.counter t.cache c_evaluated
+let cache_hits t = Sharded.counter t.cache c_hits
+let pruned t = Sharded.counter t.cache c_pruned
+let sim_events t = Sharded.counter t.cache c_events
+let cache_size t = Sharded.length t.cache
+let cache_shards t = Sharded.shard_count t.cache
+let cache_contention t = Sharded.contention t.cache
 
 let shutdown t = if t.owns_pool then Pool.shutdown t.pool
 
-let with_evaluator ?jobs ?pool ?max_invocations prog profile f =
-  let t = create ?jobs ?pool ?max_invocations prog profile in
+let with_evaluator ?jobs ?pool ?shards ?max_invocations prog profile f =
+  let t = create ?jobs ?pool ?shards ?max_invocations prog profile in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
 (* An overrun raises before the simulator can report how many events
@@ -126,62 +142,129 @@ let cycles_of = function
   | Full (r : Schedsim.result) -> r.Schedsim.s_total_cycles
   | Overrun | Pruned _ -> max_int
 
-(** [batch t layouts] returns what is known about every layout, in
-    order.  Layouts without a usable cache entry are deduplicated by
-    canonical key and simulated in parallel on the pool (bounded by
-    [cycle_bound] if given); everything else is a cache hit. *)
-let batch ?cycle_bound t (layouts : Layout.t list) : cached list =
-  let keyed = List.map (fun l -> (Layout.canonical_key l, l)) layouts in
-  (* Keys without a usable entry, first occurrence wins. *)
-  let fresh_seen = Hashtbl.create 16 in
-  let fresh =
-    List.filter
-      (fun (key, _) ->
-        (match Hashtbl.find_opt t.cache key with
-        | Some c -> not (usable cycle_bound c)
-        | None -> true)
-        &&
-        if Hashtbl.mem fresh_seen key then false
-        else begin
-          Hashtbl.replace fresh_seen key ();
-          true
-        end)
-      keyed
+(* A group of requests sharing one canonical key: simulated (at most)
+   once, answered at every requesting position. *)
+type group = {
+  g_key : string;
+  g_layout : Layout.t;
+  mutable g_bound : int option; (* loosest requested bound; [None] = unbounded *)
+  mutable g_unbounded : bool;
+  mutable g_positions : int list; (* request indices answered by this group *)
+  mutable g_count : int;
+}
+
+(** [batch_bounded t reqs] returns what is known about every
+    [(layout, bound)] request, in order.  Requests are deduplicated by
+    canonical key in a single pass (the key is computed once per
+    layout); duplicate keys merge to the loosest requested bound.
+    Keys without a usable cache entry are simulated in parallel on the
+    pool, each worker inserting its result (and bumping the per-shard
+    counters) the moment its simulation completes; everything else is
+    a cache hit, filled positionally without a second lookup. *)
+let batch_bounded t (reqs : (Layout.t * int option) list) : cached list =
+  let reqs = Array.of_list reqs in
+  let n = Array.length reqs in
+  let responses = Array.make n None in
+  (* Single pass: hoist the canonical key once per layout, then either
+     answer from the cache, join an in-flight group, or open one. *)
+  let groups_tbl : (string, group) Hashtbl.t = Hashtbl.create 16 in
+  let groups = ref [] in
+  for i = 0 to n - 1 do
+    let layout, bound = reqs.(i) in
+    let key = Layout.canonical_key layout in
+    match Hashtbl.find_opt groups_tbl key with
+    | Some g ->
+        g.g_positions <- i :: g.g_positions;
+        g.g_count <- g.g_count + 1;
+        (match bound with
+        | None -> g.g_unbounded <- true
+        | Some b -> (
+            match g.g_bound with
+            | Some b0 when b0 >= b -> ()
+            | _ -> g.g_bound <- Some b))
+    | None -> (
+        match Sharded.find t.cache key with
+        | Some c when usable bound c ->
+            responses.(i) <- Some c;
+            Sharded.bump t.cache key c_hits 1
+        | _ ->
+            let g =
+              {
+                g_key = key;
+                g_layout = layout;
+                g_bound = bound;
+                g_unbounded = bound = None;
+                g_positions = [ i ];
+                g_count = 1;
+              }
+            in
+            Hashtbl.replace groups_tbl key g;
+            groups := g :: !groups)
+  done;
+  let fresh = Array.of_list (List.rev !groups) in
+  (* Simulating at the merged (loosest) bound answers every requester
+     in the group: a completion answers anyone, and a prune at the
+     loosest bound proves the true total exceeds every tighter one. *)
+  let results =
+    Pool.map t.pool
+      (fun g ->
+        let bound = if g.g_unbounded then None else g.g_bound in
+        let c, events = simulate_uncached t bound g.g_layout in
+        (* Per-domain insert at simulation completion: the result and
+           its counter bumps land on the key's shard under that
+           shard's lock — no post-fan-out serial fill loop. *)
+        Sharded.set t.cache g.g_key c;
+        Sharded.bump t.cache g.g_key c_evaluated 1;
+        Sharded.bump t.cache g.g_key c_events events;
+        (match c with
+        | Pruned _ -> Sharded.bump t.cache g.g_key c_pruned 1
+        | Full _ | Overrun -> ());
+        c)
+      fresh
   in
-  let fresh = Array.of_list fresh in
-  let results = Pool.map t.pool (fun (_, l) -> simulate_uncached t cycle_bound l) fresh in
   Array.iteri
-    (fun i (key, _) ->
-      let c, events = results.(i) in
-      Hashtbl.replace t.cache key c;
-      t.sim_events <- t.sim_events + events;
-      match c with Pruned _ -> t.pruned <- t.pruned + 1 | Full _ | Overrun -> ())
+    (fun j g ->
+      List.iter (fun i -> responses.(i) <- Some results.(j)) g.g_positions;
+      (* Duplicate requests coalesced into one simulation count as
+         hits, as they always have. *)
+      if g.g_count > 1 then Sharded.bump t.cache g.g_key c_hits (g.g_count - 1))
     fresh;
-  t.evaluated <- t.evaluated + Array.length fresh;
-  t.cache_hits <- t.cache_hits + (List.length keyed - Array.length fresh);
-  List.map (fun (key, _) -> Hashtbl.find t.cache key) keyed
+  Array.to_list
+    (Array.map (function Some c -> c | None -> assert false (* every position filled *)) responses)
+
+(** [batch t layouts] — every request under one shared [cycle_bound]
+    (or unbounded). *)
+let batch ?cycle_bound t (layouts : Layout.t list) : cached list =
+  batch_bounded t (List.map (fun l -> (l, cycle_bound)) layouts)
 
 (** [result t layout] — the full simulation of [layout] if one is
     available: [None] when the layout overran, or when the cache only
     holds a pruned (truncated) simulation.  Never re-simulates a
     pruned layout: the callers that want traces (the critical-path
     pass) only consume complete ones, and a layout pruned against an
-    incumbent is already known not to be worth the full price. *)
+    incumbent is already known not to be worth the full price.  A miss
+    goes through {!Sharded_table.compute}, so racing callers of the
+    same layout simulate it exactly once. *)
 let result t layout : Schedsim.result option =
   let key = Layout.canonical_key layout in
-  match Hashtbl.find_opt t.cache key with
-  | Some c ->
-      t.cache_hits <- t.cache_hits + 1;
-      (match c with Full r -> Some r | Overrun | Pruned _ -> None)
-  | None ->
-      let c, events = simulate_uncached t None layout in
-      Hashtbl.replace t.cache key c;
-      t.evaluated <- t.evaluated + 1;
-      t.sim_events <- t.sim_events + events;
-      (match c with
-      | Full r -> Some r
-      | Overrun -> None
-      | Pruned _ -> assert false (* unbounded simulations never prune *))
+  let events = ref 0 in
+  let c, computed =
+    Sharded.compute t.cache key (fun () ->
+        let c, ev = simulate_uncached t None layout in
+        events := ev;
+        c)
+  in
+  if computed then begin
+    Sharded.bump t.cache key c_evaluated 1;
+    Sharded.bump t.cache key c_events !events
+  end
+  else Sharded.bump t.cache key c_hits 1;
+  match c with
+  | Full r -> Some r
+  | Overrun -> None
+  | Pruned _ ->
+      assert (not computed) (* unbounded simulations never prune *);
+      None
 
 (** [batch_cycles t layouts] — parallel memoized scores, in order. *)
 let batch_cycles ?cycle_bound t layouts = List.map cycles_of (batch ?cycle_bound t layouts)

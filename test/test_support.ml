@@ -600,6 +600,78 @@ let test_chase_lev_steal_stress () =
   Helpers.check_bool "some elements were stolen" true
     (Array.exists (fun l -> l <> []) stolen || Domain.recommended_domain_count () = 1)
 
+(* ------------------------------------------------------------------ *)
+(* Sharded concurrent memo table *)
+
+let test_sharded_basic () =
+  let t = Sharded_table.create ~shards:8 () in
+  Helpers.check_int "shard count" 8 (Sharded_table.shard_count t);
+  Helpers.check_bool "empty" true (Sharded_table.find t "a" = None);
+  Sharded_table.set t "a" 1;
+  Sharded_table.set t "b" 2;
+  Sharded_table.set t "a" 3;
+  Helpers.check_bool "replace" true (Sharded_table.find t "a" = Some 3);
+  Helpers.check_bool "mem" true (Sharded_table.mem t "b");
+  Helpers.check_int "length counts bindings once" 2 (Sharded_table.length t);
+  Helpers.check_int "fold visits every binding" 5
+    (Sharded_table.fold t (fun _ v acc -> acc + v) 0)
+
+let test_sharded_pow2_rounding () =
+  Helpers.check_int "rounds up to a power of two" 16
+    (Sharded_table.shard_count (Sharded_table.create ~shards:9 ()));
+  Helpers.check_int "at least one shard" 1
+    (Sharded_table.shard_count (Sharded_table.create ~shards:0 ()))
+
+let test_sharded_counter_merge () =
+  (* Bumps land on the key's shard; [counter] must report the sum over
+     all shards, whatever the keys hashed to. *)
+  let t = Sharded_table.create ~shards:4 ~counters:2 () in
+  let keys = List.init 40 (fun i -> Printf.sprintf "key-%d" i) in
+  List.iteri
+    (fun i k ->
+      Sharded_table.bump t k 0 1;
+      Sharded_table.bump t k 1 i)
+    keys;
+  Helpers.check_int "slot 0 merges to the bump count" 40 (Sharded_table.counter t 0);
+  Helpers.check_int "slot 1 merges the deltas" (40 * 39 / 2) (Sharded_table.counter t 1);
+  Helpers.check_int "slots independent" 40 (Sharded_table.counter t 0)
+
+let test_sharded_compute_exactly_once () =
+  (* 8 domains race get-or-compute over the same key set (each in a
+     different order); every key's computation must run exactly once
+     and every caller must observe the winner's value. *)
+  let t = Sharded_table.create ~shards:4 ~counters:1 () in
+  let nkeys = 64 and ndomains = 8 in
+  let keys = Array.init nkeys (fun i -> Printf.sprintf "k%03d" i) in
+  let computes = Atomic.make 0 in
+  let run d =
+    Array.init nkeys (fun i ->
+        let key = keys.((i + (11 * d)) mod nkeys) in
+        let v, computed =
+          Sharded_table.compute t key (fun () ->
+              Atomic.incr computes;
+              (* the computing domain's id is the witness value *)
+              d)
+        in
+        if computed then Sharded_table.bump t key 0 1;
+        (key, v))
+  in
+  let domains = Array.init ndomains (fun d -> Domain.spawn (fun () -> run d)) in
+  let results = Array.map Domain.join domains in
+  Helpers.check_int "each key computed exactly once" nkeys (Atomic.get computes);
+  Helpers.check_int "winners' bumps merge to one per key" nkeys (Sharded_table.counter t 0);
+  Helpers.check_int "table holds every key once" nkeys (Sharded_table.length t);
+  (* all domains agree on every key's value (the winner's) *)
+  Array.iter
+    (fun observed ->
+      Array.iter
+        (fun (key, v) ->
+          if Sharded_table.find t key <> Some v then
+            Alcotest.failf "stale value observed for %s" key)
+        observed)
+    results;
+  Helpers.check_bool "contention is non-negative" true (Sharded_table.contention t >= 0)
+
 (* Model-based property: any interleaving of push/delete/compact
    agrees with a simple list model on live contents and order. *)
 let deque_matches_model =
@@ -675,6 +747,11 @@ let tests =
         Alcotest.test_case "chase-lev grows" `Quick test_chase_lev_grows;
         Alcotest.test_case "chase-lev steal stress" `Quick test_chase_lev_steal_stress;
         Alcotest.test_case "prng split streams" `Quick test_prng_split_independent;
+        Alcotest.test_case "sharded table basics" `Quick test_sharded_basic;
+        Alcotest.test_case "sharded table pow2" `Quick test_sharded_pow2_rounding;
+        Alcotest.test_case "sharded counter merge" `Quick test_sharded_counter_merge;
+        Alcotest.test_case "sharded compute exactly-once" `Quick
+          test_sharded_compute_exactly_once;
       ] );
     Helpers.qsuite "support.qcheck"
       [

@@ -211,6 +211,163 @@ let test_dsa_jobs_deterministic_series () =
   let b = Bamboo_benchmarks.Registry.find "Series" in
   check_dsa_jobs_identical b (Helpers.small_args "Series")
 
+(* Multi-start + tempering + restarts: the lockstep driver must stay
+   bit-identical across jobs — every chain's bound, every batch, every
+   random draw happens on the calling domain. *)
+let check_multistart_jobs_identical (b : Bamboo_benchmarks.Bench_def.t) args =
+  let prog = Bamboo.compile b.b_source in
+  let an = Bamboo.analyse prog in
+  let prof = Bamboo.profile ~args prog in
+  let machine = Machine.m16 in
+  let cfg = { Dsa.default_config with max_iterations = 10; restart_stall = 3 } in
+  let run jobs =
+    Bamboo.synthesize ~config:cfg ~jobs ~starts:5 ~tempering:true ~seed:13 prog an prof
+      machine
+  in
+  let o1 = run 1 and o8 = run 8 in
+  Helpers.check_string
+    (b.b_name ^ ": multi-start best key identical")
+    (Layout.canonical_key o1.best) (Layout.canonical_key o8.best);
+  Helpers.check_int (b.b_name ^ ": cycles identical") o1.best_cycles o8.best_cycles;
+  Helpers.check_int (b.b_name ^ ": iterations identical") o1.iterations o8.iterations;
+  Helpers.check_int (b.b_name ^ ": starts recorded") 5 o1.starts;
+  Helpers.check_int (b.b_name ^ ": restarts identical") o1.restarts o8.restarts;
+  Helpers.check_int (b.b_name ^ ": evaluated identical") o1.evaluated o8.evaluated;
+  Helpers.check_int (b.b_name ^ ": cache hits identical") o1.cache_hits o8.cache_hits;
+  Helpers.check_int (b.b_name ^ ": pruned identical") o1.pruned o8.pruned;
+  Helpers.check_int (b.b_name ^ ": sim events identical") o1.sim_events o8.sim_events
+
+let test_multistart_jobs_deterministic_fractal () =
+  let b = Bamboo_benchmarks.Registry.find "Fractal" in
+  check_multistart_jobs_identical b (Helpers.small_args "Fractal")
+
+let test_multistart_jobs_deterministic_tracking () =
+  let b = Bamboo_benchmarks.Registry.find "Tracking" in
+  check_multistart_jobs_identical b (Helpers.small_args "Tracking")
+
+let test_multistart_never_worse_than_single () =
+  (* More chains can only widen the explored set; with a shared seed
+     split per chain the single-start outcome is not literally a
+     subset, but the multi-start best must still beat the worst seed
+     and never regress below chain 0's own seeds' estimates. *)
+  let prog, an, prof = setup () in
+  let machine = Machine.m16 in
+  let _, _, seeds = Candidates.generate ~n:4 ~seed:21 prog an.cstg prof machine in
+  let best_seed =
+    List.fold_left (fun acc l -> min acc (Bamboo.estimate prog prof l)) max_int seeds
+  in
+  let cfg = { Dsa.default_config with max_iterations = 6 } in
+  let o = Dsa.optimize ~config:cfg ~starts:4 ~seed:21 prog prof seeds in
+  Helpers.check_bool "multi-start <= best seed" true (o.best_cycles <= best_seed);
+  Helpers.check_int "all chains ran" 4 o.starts
+
+let test_restart_policy_triggers () =
+  (* A tiny stall threshold on a long schedule must produce restarts,
+     and restarting must never lose the incumbent. *)
+  let prog, _, prof = setup () in
+  let machine = Machine.m16 in
+  let bad = { (Bamboo.Runtime.single_core_layout prog) with Layout.machine } in
+  (* continue_prob = 1.0 keeps the chain alive through every plateau
+     and restart_stall = 1 restarts on the first barren round, so a
+     schedule long enough to converge must restart. *)
+  let cfg =
+    {
+      Dsa.default_config with
+      max_iterations = 24;
+      restart_stall = 1;
+      continue_prob = 1.0;
+    }
+  in
+  let o = Dsa.optimize ~config:cfg ~seed:3 prog prof [ bad ] in
+  let cfg_off = { cfg with restart_stall = 0 } in
+  let o_off = Dsa.optimize ~config:cfg_off ~seed:3 prog prof [ bad ] in
+  Helpers.check_bool "stalling chain restarted" true (o.restarts > 0);
+  Helpers.check_int "restarts disabled" 0 o_off.restarts;
+  Helpers.check_bool "restarts never lose the incumbent" true
+    (o.best_cycles <= o_off.best_cycles || o.best_cycles < Bamboo.estimate prog prof bad)
+
+let test_tempering_matches_baseline_at_zero_temp () =
+  (* tempering anneals toward the configured probabilities; with a
+     schedule already at its final iteration the draw sequence must
+     match the untempered one, so a 1-iteration run is identical. *)
+  let prog, _, prof = setup () in
+  let machine = Machine.m16 in
+  let bad = { (Bamboo.Runtime.single_core_layout prog) with Layout.machine } in
+  let cfg = { Dsa.default_config with max_iterations = 12 } in
+  let o_plain = Dsa.optimize ~config:cfg ~seed:17 prog prof [ bad ] in
+  let o_temp = Dsa.optimize ~config:cfg ~tempering:true ~seed:17 prog prof [ bad ] in
+  (* Both must converge on this small program even though the draw
+     sequences differ; tempering must not break the optimizer. *)
+  Helpers.check_bool "tempered run improves the bad start" true
+    (o_temp.best_cycles < Bamboo.estimate prog prof bad);
+  Helpers.check_bool "tempered run valid" true (Layout.validate prog o_temp.best = []);
+  Helpers.check_bool "plain run improves too" true
+    (o_plain.best_cycles < Bamboo.estimate prog prof bad)
+
+(* batch_bounded: duplicate keys in one batch merge to the loosest
+   bound, and every requester gets an answer consistent with its own
+   bound. *)
+let test_batch_bounded_merges_duplicates () =
+  let prog, _, prof = setup () in
+  let machine = Machine.m16 in
+  let slow = { (Bamboo.Runtime.single_core_layout prog) with Layout.machine } in
+  let slow_cycles = Bamboo.estimate prog prof slow in
+  Bamboo.Evaluator.with_evaluator prog prof (fun ev ->
+      (* same layout three times: tight bound, loose bound, unbounded.
+         The merged request is unbounded, so one simulation answers
+         all three with the true score. *)
+      let rs =
+        Bamboo.Evaluator.batch_bounded ev
+          [ (slow, Some (slow_cycles / 4)); (slow, Some (slow_cycles * 2)); (slow, None) ]
+      in
+      Helpers.check_int "one simulation for the merged group" 1
+        (Bamboo.Evaluator.evaluated ev);
+      Helpers.check_int "coalesced duplicates count as hits" 2
+        (Bamboo.Evaluator.cache_hits ev);
+      List.iter
+        (fun r ->
+          Helpers.check_int "every requester sees the true score" slow_cycles
+            (match r with Bamboo.Evaluator.Full s -> s.s_total_cycles | _ -> -1))
+        rs;
+      (* merged-to-bounded: two bounded requests merge to the loosest
+         bound; the loose bound exceeds the true cycles so the sim
+         completes and both requesters get the real score. *)
+      let l2 =
+        match
+          Bamboo.Evaluator.batch_bounded ev
+            [ (slow, Some (slow_cycles / 3)); (slow, Some (slow_cycles / 2)) ]
+        with
+        | [ a; b ] -> (a, b)
+        | _ -> Alcotest.fail "two answers expected"
+      in
+      match l2 with
+      | Full a, Full b ->
+          Helpers.check_int "cached full result reused" slow_cycles a.s_total_cycles;
+          Helpers.check_int "for both requesters" slow_cycles b.s_total_cycles
+      | _ -> Alcotest.fail "cached Full expected for both")
+
+let test_batch_bounded_prunes_at_loosest () =
+  let prog, _, prof = setup () in
+  let machine = Machine.m16 in
+  let slow = { (Bamboo.Runtime.single_core_layout prog) with Layout.machine } in
+  let slow_cycles = Bamboo.estimate prog prof slow in
+  Bamboo.Evaluator.with_evaluator prog prof (fun ev ->
+      (* both bounds below the true cycles: the group simulates once at
+         the loosest bound, proves the total exceeds it, and the prune
+         answers both (a total above the loosest bound is above the
+         tighter one too). *)
+      let rs =
+        Bamboo.Evaluator.batch_bounded ev
+          [ (slow, Some (slow_cycles / 4)); (slow, Some (slow_cycles / 2)) ]
+      in
+      Helpers.check_int "one bounded simulation" 1 (Bamboo.Evaluator.evaluated ev);
+      Helpers.check_int "prune recorded" 1 (Bamboo.Evaluator.pruned ev);
+      List.iter
+        (fun r ->
+          Helpers.check_bool "both requesters see the prune" true
+            (Bamboo.Evaluator.cycles_of r = max_int))
+        rs)
+
 (* ------------------------------------------------------------------ *)
 (* Bound-pruned evaluation *)
 
@@ -325,6 +482,17 @@ let tests =
           test_dsa_jobs_deterministic_fractal;
         Alcotest.test_case "dsa jobs=1 = jobs=4 (Series)" `Quick
           test_dsa_jobs_deterministic_series;
+        Alcotest.test_case "multi-start jobs=1 = jobs=8 (Fractal)" `Quick
+          test_multistart_jobs_deterministic_fractal;
+        Alcotest.test_case "multi-start jobs=1 = jobs=8 (Tracking)" `Quick
+          test_multistart_jobs_deterministic_tracking;
+        Alcotest.test_case "multi-start vs seeds" `Quick test_multistart_never_worse_than_single;
+        Alcotest.test_case "restart policy" `Quick test_restart_policy_triggers;
+        Alcotest.test_case "tempering" `Quick test_tempering_matches_baseline_at_zero_temp;
+        Alcotest.test_case "batch_bounded merges duplicates" `Quick
+          test_batch_bounded_merges_duplicates;
+        Alcotest.test_case "batch_bounded prunes at loosest" `Quick
+          test_batch_bounded_prunes_at_loosest;
       ] );
     Helpers.qsuite "synth.qcheck" [ dsa_monotone_prop ];
   ]
