@@ -17,6 +17,8 @@
      dune exec bench/main.exe interpbench --json BENCH_pr8.json  -- machine-readable comparison
      dune exec bench/main.exe synthbench      -- paper-scale multi-start synthesis
      dune exec bench/main.exe synthbench --json BENCH_pr9.json  -- machine-readable panels
+     dune exec bench/main.exe servebench      -- streaming-runtime rate sweeps (saturation knee)
+     dune exec bench/main.exe servebench --json BENCH_pr10.json -- machine-readable sweeps
      dune exec bench/main.exe bechamel        -- Bechamel micro-benchmarks
 
    --jobs N fans candidate-layout simulation across N domains
@@ -382,12 +384,12 @@ let simbench_result : simbench Lazy.t =
          (Printf.sprintf "simbench: reference simulated %d events but dense %d" w_ref w_dense);
      let reps = if !quick then 1 else 3 in
      let time f =
-       let t0 = Unix.gettimeofday () in
+       let t0 = Bamboo.Clock.now () in
        let events = ref 0 in
        for _ = 1 to reps do
          events := !events + f ()
        done;
-       (Unix.gettimeofday () -. t0, !events)
+       (Bamboo.Clock.elapsed t0, !events)
      in
      let ref_seconds, ref_events = time run_ref in
      let dense_seconds, dense_events = time run_dense in
@@ -459,9 +461,9 @@ let execbench_results : execrow list Lazy.t =
          let prog = Bamboo.compile b.b_source in
          let an = Bamboo.analyse prog in
          let layout = Bamboo.Exec.spread_layout prog machine in
-         let t0 = Unix.gettimeofday () in
+         let t0 = Bamboo.Clock.now () in
          let seq = Bamboo.Runtime.run ~args ~lock_groups:an.lock_groups prog layout in
-         let seq_wall = Unix.gettimeofday () -. t0 in
+         let seq_wall = Bamboo.Clock.elapsed t0 in
          let expected =
            Bamboo.Canon.digest prog ~output:seq.r_output ~objects:seq.r_objects
          in
@@ -743,19 +745,19 @@ let interpbench_results : interprow list Lazy.t =
            if !quick then Option.value ~default:b.b_args (quick_args b.b_name) else b.b_args
          in
          let prog = Bamboo.compile b.b_source in
-         let t0 = Unix.gettimeofday () in
+         let t0 = Bamboo.Clock.now () in
          ignore (Bamboo.Icompile.get prog);
-         let compile_seconds = Unix.gettimeofday () -. t0 in
-         let t0 = Unix.gettimeofday () in
+         let compile_seconds = Bamboo.Clock.elapsed t0 in
+         let t0 = Bamboo.Clock.now () in
          ignore (Bamboo.Iclosure.get prog);
-         let closgen_seconds = Unix.gettimeofday () -. t0 in
+         let closgen_seconds = Bamboo.Clock.elapsed t0 in
          let time_engine e =
            with_engine e (fun () ->
                let best = ref infinity and last = ref None in
                for _ = 1 to reps do
-                 let t0 = Unix.gettimeofday () in
+                 let t0 = Bamboo.Clock.now () in
                  let r = Bamboo.Runtime.run_single ~args prog in
-                 let w = Unix.gettimeofday () -. t0 in
+                 let w = Bamboo.Clock.elapsed t0 in
                  if w < !best then best := w;
                  last := Some r
                done;
@@ -1035,12 +1037,208 @@ let synthbench () =
     exit 1)
 
 (* ------------------------------------------------------------------ *)
+(* servebench: rate sweeps over the streaming runtime to find the
+   saturation knee per benchmark, per domain count, per schedule.
+
+   The ladder is anchored to a *measured* capacity, not a guess: a
+   short shed-mode probe at an unsustainable offered rate measures the
+   sustained throughput the combo can actually deliver on this host,
+   and the sweep offers multiples of that.  This keeps the knee inside
+   the swept range on any machine (the CI runner may have 1 core or
+   64).  The knee is the highest offered rate the combo still serves
+   at >= 90% of offered; one extra low-rate point per combo runs the
+   closed-loop digest check against the sequential runtime. *)
+
+type servepoint = {
+  vp_offered : float;
+  vp_sustained : float;
+  vp_served : int;
+  vp_dropped : int;
+  vp_p50_ns : int;
+  vp_p95_ns : int;
+  vp_p99_ns : int;
+  vp_max_ns : int;
+}
+
+type servecombo = {
+  vc_domains : int;
+  vc_schedule : Bamboo.Exec.schedule;
+  vc_capacity : float;            (* probe: sustained req/s under overload *)
+  vc_points : servepoint list;
+  vc_knee_offered : float;        (* 0.0 if no point sustained >= 90% *)
+  vc_knee_sustained : float;
+  vc_check_rate : float;          (* closed-loop low-rate point *)
+  vc_check_served : int;
+  vc_check_mismatches : int;
+  vc_schedule_digest : string;
+}
+
+type serverow = { vr_name : string; vr_args : string list; vr_combos : servecombo list }
+
+let serve_benchmarks = [ "Fractal"; "KMeans"; "Series" ]
+let serve_rate_multipliers = [ 0.3; 0.6; 0.9; 1.3; 2.0 ]
+
+(* Fixed across every combo (not capacity-derived) so the check
+   points' schedule digests witness determinism: same seed, rate and
+   duration must give the identical arrival stream at every domain
+   count and schedule mode. *)
+let serve_check_rate = 40.0
+
+let servebench_results : serverow list Lazy.t =
+  lazy
+    (let machine = Bamboo.Machine.with_cores Bamboo.Machine.tilepro64 8 in
+     let domain_counts = if !quick then [ 2; 8 ] else exec_domain_counts in
+     let probe_duration = if !quick then 0.3 else 0.5 in
+     let point_duration = if !quick then 0.4 else 1.0 in
+     let check_duration = if !quick then 0.3 else 0.5 in
+     List.map
+       (fun name ->
+         let b = Registry.find name in
+         let args = Option.value ~default:b.b_args (quick_args b.b_name) in
+         let prog = Bamboo.compile b.b_source in
+         let an = Bamboo.analyse prog in
+         let layout = Bamboo.Exec.spread_layout prog machine in
+         let classes = [ { Bamboo.Serve.rc_name = name; rc_args = args; rc_weight = 1 } ] in
+         let serve ?(check = false) ~domains ~schedule ~rate ~duration () =
+           let config =
+             {
+               Bamboo.Serve.default_config with
+               sv_rate = rate;
+               sv_duration = duration;
+               sv_admission = (if check then Bamboo.Serve.Block else Bamboo.Serve.Shed);
+               sv_classes = classes;
+               sv_domains = domains;
+               sv_schedule = schedule;
+               sv_inflight = 2 * domains;
+               sv_check = check;
+             }
+           in
+           Bamboo.serve ~config prog an layout
+         in
+         let combos =
+           List.concat_map
+             (fun domains ->
+               List.map
+                 (fun schedule ->
+                   Printf.eprintf "[bench] servebench %s %dd %s...\n%!" name domains
+                     (match schedule with Bamboo.Exec.Static -> "static" | Steal -> "steal");
+                   (* Probe: offer far beyond capacity, shed the excess;
+                      sustained throughput is the combo's capacity. *)
+                   let probe =
+                     serve ~domains ~schedule ~rate:50_000.0 ~duration:probe_duration ()
+                   in
+                   let capacity = Float.max 20.0 probe.rp_sustained in
+                   let points =
+                     List.map
+                       (fun m ->
+                         let rate = Float.round (m *. capacity) in
+                         let r =
+                           serve ~domains ~schedule ~rate ~duration:point_duration ()
+                         in
+                         let c = List.hd r.rp_classes in
+                         {
+                           vp_offered = rate;
+                           vp_sustained = r.rp_sustained;
+                           vp_served = r.rp_served;
+                           vp_dropped = r.rp_dropped;
+                           vp_p50_ns = c.cr_p50_ns;
+                           vp_p95_ns = c.cr_p95_ns;
+                           vp_p99_ns = c.cr_p99_ns;
+                           vp_max_ns = c.cr_max_ns;
+                         })
+                       serve_rate_multipliers
+                   in
+                   let knee =
+                     List.fold_left
+                       (fun acc p ->
+                         if p.vp_sustained >= 0.9 *. p.vp_offered then
+                           match acc with
+                           | Some k when k.vp_offered >= p.vp_offered -> acc
+                           | _ -> Some p
+                         else acc)
+                       None points
+                   in
+                   let chk =
+                     serve ~check:true ~domains ~schedule ~rate:serve_check_rate
+                       ~duration:check_duration ()
+                   in
+                   {
+                     vc_domains = domains;
+                     vc_schedule = schedule;
+                     vc_capacity = capacity;
+                     vc_points = points;
+                     vc_knee_offered =
+                       (match knee with Some p -> p.vp_offered | None -> 0.0);
+                     vc_knee_sustained =
+                       (match knee with Some p -> p.vp_sustained | None -> 0.0);
+                     vc_check_rate = serve_check_rate;
+                     vc_check_served = chk.rp_served;
+                     vc_check_mismatches = chk.rp_mismatches;
+                     vc_schedule_digest = chk.rp_schedule_digest;
+                   })
+                 [ Bamboo.Exec.Static; Bamboo.Exec.Steal ])
+             domain_counts
+         in
+         { vr_name = name; vr_args = args; vr_combos = combos })
+       serve_benchmarks)
+
+let servebench () =
+  let rows = Lazy.force servebench_results in
+  print_endline "== servebench: open-loop rate sweep, saturation knee per combo ==";
+  Printf.printf
+    "   (capacity from a shed-mode overload probe; knee = highest offered rate served\n\
+    \    at >= 90%%; check = closed-loop digest point; host reports %d recommended domains)\n"
+    (Domain.recommended_domain_count ());
+  Table.print
+    ~headers:
+      [
+        "Benchmark"; "dom"; "sched"; "cap r/s"; "knee r/s"; "knee sus";
+        "p99@knee ms"; "chk served"; "chk bad";
+      ]
+    (List.concat_map
+       (fun r ->
+         List.map
+           (fun c ->
+             let p99 =
+               match
+                 List.find_opt (fun p -> p.vp_offered = c.vc_knee_offered) c.vc_points
+               with
+               | Some p -> Printf.sprintf "%.3f" (float_of_int p.vp_p99_ns /. 1e6)
+               | None -> "-"
+             in
+             [
+               r.vr_name;
+               string_of_int c.vc_domains;
+               (match c.vc_schedule with Bamboo.Exec.Static -> "static" | Steal -> "steal");
+               Printf.sprintf "%.0f" c.vc_capacity;
+               Printf.sprintf "%.0f" c.vc_knee_offered;
+               Printf.sprintf "%.0f" c.vc_knee_sustained;
+               p99;
+               string_of_int c.vc_check_served;
+               string_of_int c.vc_check_mismatches;
+             ])
+           r.vr_combos)
+       rows);
+  print_endline "";
+  if
+    List.exists
+      (fun r -> List.exists (fun c -> c.vc_check_mismatches > 0) r.vr_combos)
+      rows
+  then (
+    prerr_endline "[bench] servebench: closed-loop digest mismatch";
+    exit 1);
+  if List.exists (fun r -> List.exists (fun c -> c.vc_knee_offered = 0.0) r.vr_combos) rows
+  then (
+    prerr_endline "[bench] servebench: a combo never reached 90% of offered rate";
+    exit 1)
+
+(* ------------------------------------------------------------------ *)
 (* JSON emitters (machine-readable records so future PRs can track the
    perf trajectory): BENCH_pr3 = figures + simulator microbenchmark,
    BENCH_pr4 = domains-backend scaling curve, BENCH_pr8 = three-way
    interpreter engine comparison (supersedes BENCH_pr5), BENCH_pr9 =
-   paper-scale synthesis panels.  All built on the shared Json_out
-   tree. *)
+   paper-scale synthesis panels, BENCH_pr10 = streaming-runtime rate
+   sweeps.  All built on the shared Json_out tree. *)
 
 let emit_json path =
   let open Json_out in
@@ -1278,6 +1476,59 @@ let emit_synth_json path =
          ("benchmarks", Arr (List.map row_obj (Lazy.force synthbench_results)));
        ])
 
+let emit_serve_json path =
+  let open Json_out in
+  let point_obj p =
+    Obj
+      [
+        ("offered_rate", Float p.vp_offered);
+        ("sustained_rate", Float p.vp_sustained);
+        ("served", Int p.vp_served);
+        ("dropped", Int p.vp_dropped);
+        ("p50_ns", Int p.vp_p50_ns);
+        ("p95_ns", Int p.vp_p95_ns);
+        ("p99_ns", Int p.vp_p99_ns);
+        ("max_ns", Int p.vp_max_ns);
+      ]
+  in
+  let combo_obj c =
+    Obj
+      [
+        ("domains", Int c.vc_domains);
+        ( "schedule",
+          Str (match c.vc_schedule with Bamboo.Exec.Static -> "static" | Steal -> "steal") );
+        ("capacity_rate", Float c.vc_capacity);
+        ("points", Arr (List.map point_obj c.vc_points));
+        ("knee_offered_rate", Float c.vc_knee_offered);
+        ("knee_sustained_rate", Float c.vc_knee_sustained);
+        ( "check",
+          Obj
+            [
+              ("rate", Float c.vc_check_rate);
+              ("served", Int c.vc_check_served);
+              ("mismatches", Int c.vc_check_mismatches);
+              ("schedule_digest", Str c.vc_schedule_digest);
+            ] );
+      ]
+  in
+  let row_obj r =
+    Obj
+      [
+        ("name", Str r.vr_name);
+        ("args", Arr (List.map (fun a -> Str a) r.vr_args));
+        ("combos", Arr (List.map combo_obj r.vr_combos));
+      ]
+  in
+  write path
+    (Obj
+       [
+         ("schema", Str "BENCH_pr10");
+         ("quick", Bool !quick);
+         ("host_recommended_domains", Int (Domain.recommended_domain_count ()));
+         ("rate_multipliers", Arr (List.map (fun m -> Float m) serve_rate_multipliers));
+         ("benchmarks", Arr (List.map row_obj (Lazy.force servebench_results)));
+       ])
+
 let () =
   let argv = Array.to_list Sys.argv |> List.tl in
   let json_path = ref None in
@@ -1321,6 +1572,7 @@ let () =
   | "stealbench" -> stealbench ()
   | "interpbench" -> interpbench ()
   | "synthbench" -> synthbench ()
+  | "servebench" -> servebench ()
   | "bechamel" -> bechamel ()
   | "all" ->
       fig7 ();
@@ -1335,7 +1587,7 @@ let () =
   | other ->
       Printf.eprintf
         "unknown target %s \
-         (fig7|fig9|fig10|fig11|simbench|execbench|stealbench|interpbench|synthbench|bechamel|all)\n"
+         (fig7|fig9|fig10|fig11|simbench|execbench|stealbench|interpbench|synthbench|servebench|bechamel|all)\n"
         other;
       exit 2);
   (match !json_path with
@@ -1344,6 +1596,7 @@ let () =
       else if what = "stealbench" then emit_steal_json path
       else if what = "interpbench" then emit_interp_json path
       else if what = "synthbench" then emit_synth_json path
+      else if what = "servebench" then emit_serve_json path
       else emit_json path
   | None -> ());
   print_endline "done."

@@ -11,6 +11,7 @@
      bamboo synth      <file.bam> [-- args]    -- synthesize a 62-core layout
      bamboo run        <file.bam> [-- args]    -- synthesize and execute (deterministic)
      bamboo exec       <file.bam> [-- args]    -- execute for real on OCaml 5 domains
+     bamboo serve      <file.bam> [-- args]    -- open-loop request stream + latency report
      bamboo trace      <file.bam> [-- args]    -- simulated trace + critical path (Fig. 6)
      bamboo dump-bench <name>                  -- print a built-in benchmark's source
 
@@ -223,10 +224,10 @@ let rule_counts_json ds =
 let cmd_check =
   let run file format deny_warnings effects =
     let prog = compile_diagnosed file format in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Bamboo.Clock.now () in
     let input = Bamboo.Check.prepare prog in
     let ds = Bamboo.Check.run input in
-    let wall = Unix.gettimeofday () -. t0 in
+    let wall = Bamboo.Clock.elapsed t0 in
     let extra =
       if effects && format = Bamboo.Diagnostic.Json then
         [
@@ -501,6 +502,199 @@ let cmd_exec =
       $ engine_arg $ interp_reference_arg $ digest_only_arg $ canon_arg $ sanitize_arg
       $ schedule_arg)
 
+(* A request class on the command line: NAME=ARG,ARG,... or
+   NAME*WEIGHT=ARG,ARG,... (weight defaults to 1). *)
+let class_conv =
+  let parse s =
+    match String.index_opt s '=' with
+    | None -> Error (`Msg (Printf.sprintf "bad class spec %S, want NAME[*W]=a,b,c" s))
+    | Some eq ->
+        let head = String.sub s 0 eq in
+        let argstr = String.sub s (eq + 1) (String.length s - eq - 1) in
+        let args = if argstr = "" then [] else String.split_on_char ',' argstr in
+        let name, weight =
+          match String.index_opt head '*' with
+          | None -> (head, Ok 1)
+          | Some st ->
+              ( String.sub head 0 st,
+                match int_of_string_opt (String.sub head (st + 1) (String.length head - st - 1)) with
+                | Some w when w >= 1 -> Ok w
+                | _ -> Error (`Msg (Printf.sprintf "bad class weight in %S" s)) )
+        in
+        if name = "" then Error (`Msg (Printf.sprintf "empty class name in %S" s))
+        else
+          Result.map
+            (fun w -> { Bamboo.Serve.rc_name = name; rc_args = args; rc_weight = w })
+            weight
+  in
+  let print fmt (c : Bamboo.Serve.request_class) =
+    Format.fprintf fmt "%s*%d=%s" c.rc_name c.rc_weight (String.concat "," c.rc_args)
+  in
+  Arg.conv (parse, print)
+
+let cmd_serve =
+  let run file args cores domains seed jobs starts tempering layout_kind sim_reference
+      engine interp_reference schedule rate duration arrivals admission queue inflight
+      check classes =
+    set_engine engine interp_reference;
+    let prog = load file in
+    let an = Bamboo.analyse prog in
+    let layout =
+      match layout_kind with
+      | `Spread -> Bamboo.Exec.spread_layout prog (machine_of cores)
+      | `Synth ->
+          if sim_reference then Bamboo.Schedsim.use_reference := true;
+          let prof = Bamboo.profile ~args prog in
+          (Bamboo.synthesize ~seed ~jobs ~starts ~tempering prog an prof (machine_of cores))
+            .best
+    in
+    let classes =
+      match classes with
+      | [] -> [ { Bamboo.Serve.rc_name = "default"; rc_args = args; rc_weight = 1 } ]
+      | cs -> cs
+    in
+    let inflight = if inflight = 0 then 2 * domains else inflight in
+    let config =
+      {
+        Bamboo.Serve.sv_rate = rate;
+        sv_duration = duration;
+        sv_arrivals = arrivals;
+        sv_admission = admission;
+        sv_classes = classes;
+        sv_seed = seed;
+        sv_domains = domains;
+        sv_schedule = schedule;
+        sv_queue = queue;
+        sv_inflight = inflight;
+        sv_check = check;
+        sv_keep_output = false;
+      }
+    in
+    let r = Bamboo.serve ~config prog an layout in
+    let ms ns = float_of_int ns /. 1e6 in
+    Printf.printf
+      "serve %s: rate %.1f req/s (%s), %.2f s window, %d domains (%d cores), schedule %s, \
+       admission %s, queue %d, inflight %d\n"
+      file rate
+      (match arrivals with Bamboo.Serve.Poisson -> "poisson" | Uniform -> "uniform")
+      duration domains cores
+      (match schedule with Bamboo.Exec.Static -> "static" | Steal -> "steal")
+      (match admission with Bamboo.Serve.Block -> "block" | Shed -> "shed")
+      queue inflight;
+    Printf.printf
+      "scheduled %d  served %d  dropped %d (%.1f%%)  wall %.2f s  sustained %.1f req/s \
+       (offered %.1f)\n"
+      r.rp_scheduled r.rp_served r.rp_dropped
+      (if r.rp_scheduled = 0 then 0.0
+       else 100.0 *. float_of_int r.rp_dropped /. float_of_int r.rp_scheduled)
+      r.rp_wall r.rp_sustained r.rp_offered;
+    List.iter
+      (fun (c : Bamboo.Serve.class_report) ->
+        Printf.printf
+          "  class %-12s served %6d  dropped %5d | p50 %8.3f ms  p95 %8.3f ms  p99 %8.3f \
+           ms  max %8.3f ms  mean %8.3f ms\n"
+          c.cr_name c.cr_served c.cr_dropped (ms c.cr_p50_ns) (ms c.cr_p95_ns)
+          (ms c.cr_p99_ns) (ms c.cr_max_ns) (c.cr_mean_ns /. 1e6))
+      r.rp_classes;
+    if r.rp_stall_seconds > 0.0 then
+      Printf.printf "generator stalled %.3f s waiting for admission\n" r.rp_stall_seconds;
+    if check then begin
+      Printf.printf "digest checks: %d mismatches over %d served\n" r.rp_mismatches
+        r.rp_served;
+      if r.rp_mismatches > 0 then exit 1
+    end
+  in
+  let layout_arg =
+    Arg.(
+      value
+      & opt (enum [ ("spread", `Spread); ("synth", `Synth) ]) `Spread
+      & info [ "layout" ] ~docv:"KIND"
+          ~doc:
+            "task layout: $(b,spread) replicates every task over all cores \
+             (restriction-permitting), $(b,synth) runs full layout synthesis first")
+  in
+  let schedule_arg =
+    Arg.(
+      value
+      & opt (enum [ ("static", Bamboo.Exec.Static); ("steal", Bamboo.Exec.Steal) ])
+          Bamboo.Exec.Static
+      & info [ "schedule" ] ~docv:"MODE"
+          ~doc:"work placement while serving: $(b,static) or $(b,steal) (as in $(b,exec))")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt float 100.0
+      & info [ "rate" ] ~docv:"R"
+          ~doc:"offered load in requests per second (open loop: arrivals fire on schedule)")
+  in
+  let duration_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "duration" ] ~docv:"S"
+          ~doc:
+            "length of the generation window in seconds; the run then drains every \
+             admitted request before reporting")
+  in
+  let arrivals_arg =
+    Arg.(
+      value
+      & opt (enum [ ("poisson", Bamboo.Serve.Poisson); ("uniform", Bamboo.Serve.Uniform) ])
+          Bamboo.Serve.Poisson
+      & info [ "arrivals" ] ~docv:"DIST"
+          ~doc:
+            "inter-arrival distribution: $(b,poisson) (exponential gaps) or $(b,uniform) \
+             (constant gaps); both derive deterministically from $(b,--seed)")
+  in
+  let admission_arg =
+    Arg.(
+      value
+      & opt (enum [ ("block", Bamboo.Serve.Block); ("shed", Bamboo.Serve.Shed) ])
+          Bamboo.Serve.Shed
+      & info [ "admission" ] ~docv:"MODE"
+          ~doc:
+            "backpressure when the waiting room is full: $(b,block) stalls the generator, \
+             $(b,shed) drops the arrival (counted per class)")
+  in
+  let queue_arg =
+    Arg.(
+      value
+      & opt (bounded_pos_int ~option:"--queue" ~cap:1_000_000) 64
+      & info [ "queue" ] ~docv:"N" ~doc:"admission waiting-room capacity (bounded mailbox)")
+  in
+  let inflight_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "inflight" ] ~docv:"N"
+          ~doc:"max requests executing concurrently (0 = 2 x domains)")
+  in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "closed-loop equivalence mode: one request in flight at a time, each \
+             digest-checked against the sequential runtime (exit non-zero on any mismatch)")
+  in
+  let classes_arg =
+    Arg.(
+      value & opt_all class_conv []
+      & info [ "class" ] ~docv:"NAME[*W]=A,B,C"
+          ~doc:
+            "a request class: name, optional integer weight, and the startup arguments its \
+             requests are injected with (repeatable; default: one class $(b,default) using \
+             the positional arguments)")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "serve a deterministic open-loop request stream on the parallel backend and \
+          report sustained throughput plus per-class p50/p95/p99 latency")
+    Term.(
+      const run $ file_arg $ args_arg $ cores_arg $ domains_arg $ seed_arg $ jobs_arg
+      $ starts_arg $ tempering_arg $ layout_arg $ sim_reference_arg $ engine_arg
+      $ interp_reference_arg $ schedule_arg $ rate_arg $ duration_arg $ arrivals_arg
+      $ admission_arg $ queue_arg $ inflight_arg $ check_arg $ classes_arg)
+
 let cmd_trace =
   let run file args cores seed jobs starts tempering sim_reference =
     let prog, _, o = synthesize file args cores seed jobs starts tempering sim_reference in
@@ -532,4 +726,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ cmd_check; cmd_analyze; cmd_astg; cmd_cstg; cmd_taskflow; cmd_profile; cmd_synth;
-            cmd_run; cmd_exec; cmd_trace; cmd_dump ]))
+            cmd_run; cmd_exec; cmd_serve; cmd_trace; cmd_dump ]))

@@ -76,7 +76,7 @@ type task_effects = {
 type t = {
   per_task : task_effects array;
   shares : share list;
-  seconds : float; (* CPU time spent in this analysis *)
+  seconds : float; (* wall time spent in this analysis *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -300,7 +300,7 @@ let analyse_task prog astgs (task : Ir.taskinfo) : task_effects * share list =
     List.rev !shares )
 
 let analyse (prog : Ir.program) (astgs : Astg.t array) : t =
-  let t0 = Sys.time () in
+  let t0 = Bamboo_support.Clock.now () in
   let shares = ref [] in
   let per_task =
     Array.map
@@ -310,7 +310,7 @@ let analyse (prog : Ir.program) (astgs : Astg.t array) : t =
         ef)
       prog.tasks
   in
-  { per_task; shares = !shares; seconds = Sys.time () -. t0 }
+  { per_task; shares = !shares; seconds = Bamboo_support.Clock.elapsed t0 }
 
 (* ------------------------------------------------------------------ *)
 (* Share-evidence queries *)

@@ -288,13 +288,13 @@ let synth_scale ?(machine = Machine.m16) ?(trials = 20) ?(starts = 12) ?(temperi
   in
   let ev0 = Bamboo.Evaluator.evaluated ev and h0 = Bamboo.Evaluator.cache_hits ev in
   let p0 = Bamboo.Evaluator.pruned ev in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Bamboo.Clock.now () in
   let outcomes =
     List.init trials (fun t ->
         Bamboo.Dsa.synthesize ~config ~starts ~tempering ~evaluator:ev
           ~seed:(seed + (1000 * t)) prog an.cstg prof machine)
   in
-  let seconds = Unix.gettimeofday () -. t0 in
+  let seconds = Bamboo.Clock.elapsed t0 in
   let trial_scores = List.map (fun (o : Bamboo.Dsa.outcome) -> float_of_int o.best_cycles) outcomes in
   let pool = trial_scores @ sample_scores in
   let best = Stats.minf pool and worst = Stats.maxf pool in

@@ -17,6 +17,7 @@
     See the [examples/] directory for runnable walkthroughs. *)
 
 module Support = Bamboo_support
+module Clock = Bamboo_support.Clock
 module Prng = Bamboo_support.Prng
 module Pool = Bamboo_support.Pool
 module Sharded_table = Bamboo_support.Sharded_table
@@ -56,6 +57,8 @@ module Chase_lev = Bamboo_support.Chase_lev
 module Exec = Bamboo_exec.Exec
 module Sanitize = Bamboo_exec.Sanitize
 module Canon = Bamboo_exec.Canon
+module Serve = Bamboo_serve.Serve
+module Histogram = Bamboo_serve.Histogram
 
 (** Static analysis results bundled together. *)
 type analysis = {
@@ -122,6 +125,23 @@ let execute_parallel ?(args = []) ?max_invocations ?domains ?seed ?sanitize
   in
   Exec.run ~args ?max_invocations ?domains ?seed ?sanitize ~schedule ?steal_safe
     ~lock_groups:an.lock_groups prog layout
+
+(** Serve a deterministic open-loop request stream on the parallel
+    backend (see {!Serve}): arrivals at [config.sv_rate] req/s for
+    [config.sv_duration] seconds, per-class tail-latency histograms,
+    bounded-mailbox admission control.  Like {!execute_parallel}, the
+    BAM011 steal contract is computed here when the stream runs under
+    [Exec.Steal]. *)
+let serve ~(config : Serve.config) (prog : Ir.program) (an : analysis) (layout : Layout.t) :
+    Serve.report =
+  let steal_safe =
+    match config.Serve.sv_schedule with
+    | Exec.Static -> None
+    | Exec.Steal ->
+        let eff = Effects.analyse prog an.astgs in
+        Some (Effects.steal_contract eff ~lock_groups:an.lock_groups prog).Effects.st_safe
+  in
+  Serve.run ~lock_groups:an.lock_groups ?steal_safe ~config prog layout
 
 (** Estimate the execution of a layout with the scheduling simulator. *)
 let estimate ?max_invocations (prog : Ir.program) (prof : Profile.t) (layout : Layout.t) : int

@@ -45,6 +45,7 @@ module Machine = Bamboo_machine.Machine
 module Layout = Bamboo_machine.Layout
 module Runtime = Bamboo_runtime.Runtime
 module Mailbox = Bamboo_support.Mailbox
+module Clock = Bamboo_support.Clock
 module Deque = Bamboo_support.Deque
 module Chase_lev = Bamboo_support.Chase_lev
 module Prng = Bamboo_support.Prng
@@ -74,6 +75,11 @@ type entry = {
   x_gen : int;
   x_flags : int;
   x_tags : tag_inst list;
+  x_req : int;
+  (* the serve-mode request this object belongs to, or [-1] in batch
+     runs.  Objects never migrate between requests: every allocation
+     made while executing request [r] is dispatched with [x_req = r],
+     so the tag travels with the object's whole downstream cone. *)
 }
 
 let dummy_obj : obj =
@@ -89,14 +95,16 @@ let dummy_obj : obj =
     o_gen = Atomic.make min_int;
   }
 
-let dummy_entry = { x_obj = dummy_obj; x_gen = max_int; x_flags = 0; x_tags = [] }
+let dummy_entry = { x_obj = dummy_obj; x_gen = max_int; x_flags = 0; x_tags = []; x_req = -1 }
 
 let entry_fresh (e : entry) = Atomic.get e.x_obj.o_gen = e.x_gen
 
 (** Snapshot [o]'s dispatch-relevant state.  Only sound while the
-    caller holds [o]'s lock (or before any domain has been spawned). *)
-let snapshot (o : obj) =
-  { x_obj = o; x_gen = Atomic.get o.o_gen; x_flags = o.o_flags; x_tags = o.o_tags }
+    caller holds [o]'s lock (or before any domain has been spawned).
+    [req] tags the snapshot with the serve-mode request id ([-1] =
+    batch work). *)
+let snapshot ?(req = -1) (o : obj) =
+  { x_obj = o; x_gen = Atomic.get o.o_gen; x_flags = o.o_flags; x_tags = o.o_tags; x_req = req }
 
 (** Guard evaluation against the snapshot. *)
 let satisfies (p : Ir.paraminfo) (e : entry) =
@@ -110,6 +118,10 @@ type invocation = {
   iv_home : int;
   (* the core that assembled this invocation — where dropped-parameter
      entries must be re-delivered when a thief executes it elsewhere *)
+  iv_req : int;
+  (* request id inherited from the parameter entries ([-1] in batch
+     runs); {!try_assemble} never mixes entries of different requests,
+     so all parameters agree on it *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -153,6 +165,7 @@ type xcore = {
   stealq : invocation Chase_lev.t;      (* steal-safe work; stolen by any domain *)
   stolen : invocation Queue.t;          (* stolen work awaiting a lock retry; owner only *)
   mutable executed : int;
+  mutable trim_seen : int;              (* last trim watermark this core purged to *)
   mutable retries : int;                (* failed lock-acquisition rounds *)
   mutable sent : int;                   (* cross-core messages pushed *)
   mutable stolen_run : int;             (* invocations executed here, assembled elsewhere *)
@@ -160,6 +173,20 @@ type xcore = {
   mutable steal_attempts : int;         (* victim probes *)
   mutable steal_hits : int;             (* successful steals *)
   mutable steal_aborts : int;           (* steals lost to a CAS race *)
+}
+
+(** Per-request completion tracking for the serve runtime.  Every unit
+    of outstanding work (mailbox message or queued invocation) tagged
+    with request [r] is mirrored in [tk_pending.(r)]; the counter
+    follows the same discipline as the global quiescence counter —
+    successors are incremented before the work that produced them is
+    decremented — so it reaches zero exactly once, when the request's
+    entire downstream cone has resolved.  [tk_done] fires at that
+    transition, on whichever domain consumed the last piece of work
+    ([core] = that scheduler core's id, or the injector's). *)
+type tracker = {
+  tk_pending : int Atomic.t array;      (* request id -> in-flight work *)
+  tk_done : req:int -> core:int -> unit;
 }
 
 type state = {
@@ -175,6 +202,15 @@ type state = {
   total_invocations : int Atomic.t;     (* budget check only; results use per-core sums *)
   max_invocations : int;
   crashed : exn option Atomic.t;        (* first failure; all domains drain out *)
+  draining : bool Atomic.t;
+  (* batch runs drain from the start (quiescence = termination); a
+     serve session keeps domains parked through transient quiescence
+     until the generator closes the stream *)
+  trim_before : int Atomic.t;
+  (* serve-mode watermark: every request id below it is complete or
+     shed, so parked parameter-set entries tagged with one are dead
+     and may be purged (stays 0 in batch runs) *)
+  tracker : tracker option;             (* serve-mode completion hook *)
   schedule : schedule;
   steal_safe : bool array;              (* task id -> BAM011 steal-safe (all-false when Static) *)
   victims : int array;                  (* active cores — the steal candidates *)
@@ -184,7 +220,7 @@ let make_xcore (prog : Ir.program) ncores cid =
   let ictx = Interp.create ~id_base:cid ~id_stride:ncores prog in
   (* sentinel for the Chase–Lev slots; never executed *)
   let dummy_invocation =
-    { iv_task = prog.tasks.(0); iv_params = [||]; iv_tags = []; iv_home = -1 }
+    { iv_task = prog.tasks.(0); iv_params = [||]; iv_tags = []; iv_home = -1; iv_req = -1 }
   in
   {
     cid;
@@ -202,6 +238,7 @@ let make_xcore (prog : Ir.program) ncores cid =
     stealq = Chase_lev.create ~dummy:dummy_invocation ();
     stolen = Queue.create ();
     executed = 0;
+    trim_seen = 0;
     retries = 0;
     sent = 0;
     stolen_run = 0;
@@ -220,6 +257,29 @@ let build_consumer_table (prog : Ir.program) : consumers array =
         t.t_params)
     prog.tasks;
   Array.map List.rev table
+
+(* ------------------------------------------------------------------ *)
+(* Outstanding-work accounting.  All counter traffic goes through
+   these two helpers so the per-request tracker mirrors the global
+   quiescence counter exactly: one [count_up] per unit of work
+   created, one [count_down] per unit consumed, successors counted
+   before their producer is released. *)
+
+let count_up st req =
+  (match st.tracker with
+  | Some tk when req >= 0 -> Atomic.incr tk.tk_pending.(req)
+  | _ -> ());
+  Atomic.incr st.outstanding
+
+(** [core] is the scheduler core on which the unit of work was
+    consumed — it picks the (domain-exclusive) histogram a completed
+    request's latency is recorded into. *)
+let count_down st ~core req =
+  (match st.tracker with
+  | Some tk when req >= 0 ->
+      if Atomic.fetch_and_add tk.tk_pending.(req) (-1) = 1 then tk.tk_done ~req ~core
+  | _ -> ());
+  Atomic.decr st.outstanding
 
 (* ------------------------------------------------------------------ *)
 (* Routing: identical placement policy to the sequential runtime,
@@ -263,7 +323,7 @@ let dispatch st (core : xcore) (e : entry) =
     st.consumer_table.(e.x_obj.o_class);
   List.iter
     (fun dst ->
-      Atomic.incr st.outstanding;
+      count_up st e.x_req;
       if dst <> core.cid then core.sent <- core.sent + 1;
       Mailbox.push st.cores.(dst).mailbox e)
     !dsts
@@ -298,6 +358,13 @@ let try_assemble (core : xcore) (task : Ir.taskinfo) =
               Deque.delete set i;
               scan (i + 1)
             end
+            else if pidx > 0 && e.x_req <> chosen_e.(0).x_req then
+              (* Never assemble parameters from different serve-mode
+                 requests: each request must complete (and be digest-
+                 checked) as the closed system the sequential oracle
+                 executes.  Batch entries all carry [-1], so this
+                 constraint is vacuous outside serve. *)
+              scan (i + 1)
             else begin
               let distinct = ref true in
               for j = 0 to pidx - 1 do
@@ -353,6 +420,7 @@ let try_assemble (core : xcore) (task : Ir.taskinfo) =
           iv_params = chosen_e;
           iv_tags = List.sort compare tags;
           iv_home = core.cid;
+          iv_req = chosen_e.(0).x_req;
         }
     end
     else None
@@ -363,7 +431,7 @@ let try_assemble (core : xcore) (task : Ir.taskinfo) =
     idle domains can take it; everything else stays on the private
     ready queue and can only ever run here. *)
 let enqueue_invocation st (core : xcore) (inv : invocation) =
-  Atomic.incr st.outstanding;
+  count_up st inv.iv_req;
   if st.schedule == Steal && st.steal_safe.(inv.iv_task.Ir.t_id) then
     Chase_lev.push core.stealq inv
   else Queue.add inv core.ready
@@ -468,7 +536,7 @@ let run_invocation st (core : xcore) (inv : invocation) =
             if entry_fresh e then
               if inv.iv_home = core.cid then deliver st core e
               else begin
-                Atomic.incr st.outstanding;
+                count_up st e.x_req;
                 core.sent <- core.sent + 1;
                 Mailbox.push st.cores.(inv.iv_home).mailbox e
               end)
@@ -497,8 +565,8 @@ let run_invocation st (core : xcore) (inv : invocation) =
             Sanitize.leave ses
         | None -> ());
         Array.iter (fun o -> Atomic.incr o.o_gen) params;
-        let snaps = Array.map snapshot params in
-        let created = List.map snapshot r.tr_created in
+        let snaps = Array.map (snapshot ~req:inv.iv_req) params in
+        let created = List.map (snapshot ~req:inv.iv_req) r.tr_created in
         release_all cells;
         core.executed <- core.executed + 1;
         if inv.iv_home <> core.cid then core.stolen_run <- core.stolen_run + 1;
@@ -521,10 +589,31 @@ let sweep_queue st (core : xcore) (q : invocation Queue.t) progressed =
     | Some inv -> (
         match run_invocation st core inv with
         | `Ran | `Dropped ->
-            Atomic.decr st.outstanding;
+            count_down st ~core:core.cid inv.iv_req;
             progressed := true
         | `Retry -> Queue.add inv q)
   done
+
+(** Purge dead parameter-set entries: every request below the trim
+    watermark is complete or shed, so its parked entries can never
+    assemble again (request isolation) — drop them so a long-running
+    serve session's parameter sets do not accumulate one residue per
+    request forever.  Owner domain only, like any pset access. *)
+let purge_completed (core : xcore) before =
+  Array.iter
+    (fun sets ->
+      Array.iter
+        (fun set ->
+          let len = Deque.length set in
+          for i = 0 to len - 1 do
+            if Deque.is_live set i then begin
+              let e = Deque.get set i in
+              if e.x_req >= 0 && e.x_req < before then Deque.delete set i
+            end
+          done;
+          Deque.maybe_compact set)
+        sets)
+    core.psets
 
 (** One scheduler step for [core]: drain the mailbox, then sweep the
     work queues once, executing everything whose locks can be taken.
@@ -536,10 +625,15 @@ let sweep_queue st (core : xcore) (q : invocation Queue.t) progressed =
     that produced them — is what makes the quiescence check sound. *)
 let step st (core : xcore) =
   let progressed = ref false in
+  let trim = Atomic.get st.trim_before in
+  if trim > core.trim_seen then begin
+    core.trim_seen <- trim;
+    purge_completed core trim
+  end;
   List.iter
     (fun e ->
       deliver st core e;
-      Atomic.decr st.outstanding;
+      count_down st ~core:core.cid e.x_req;
       progressed := true)
     (Mailbox.drain core.mailbox);
   sweep_queue st core core.ready progressed;
@@ -558,7 +652,7 @@ let step st (core : xcore) =
          | Some inv -> (
              match run_invocation st core inv with
              | `Ran | `Dropped ->
-                 Atomic.decr st.outstanding;
+                 count_down st ~core:core.cid inv.iv_req;
                  progressed := true
              | `Retry -> contended := inv :: !contended)
        done
@@ -616,7 +710,7 @@ let try_steal st (core : xcore) (rng : Prng.t) =
     | Some inv ->
         core.steal_hits <- core.steal_hits + 1;
         (match run_invocation st core inv with
-        | `Ran | `Dropped -> Atomic.decr st.outstanding
+        | `Ran | `Dropped -> count_down st ~core:core.cid inv.iv_req
         | `Retry -> Queue.add inv core.stolen);
         true
   end
@@ -639,7 +733,15 @@ let record_crash st e =
 let domain_loop st (mycores : xcore array) (rng : Prng.t) ~chaos =
   let backoff = ref 0 in
   let next_thief = ref 0 in
-  while Atomic.get st.outstanding > 0 && Atomic.get st.crashed = None do
+  (* Epoch draining, not one-shot quiescence: a serve session's
+     outstanding counter hits zero between requests, so domains park
+     in the backoff (instead of exiting) until the stream is closed —
+     only [draining && outstanding = 0] terminates.  Batch runs set
+     [draining] before the first spawn, restoring the old condition. *)
+  while
+    (Atomic.get st.outstanding > 0 || not (Atomic.get st.draining))
+    && Atomic.get st.crashed = None
+  do
     let progressed = ref false in
     Array.iter
       (fun core ->
@@ -720,10 +822,10 @@ let use_reference =
 
 let reference_run ?args ?max_invocations ?lock_groups (prog : Ir.program) (layout : Layout.t) :
     result =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now () in
   let r = Runtime.run ?args ?max_invocations ?lock_groups prog layout in
   {
-    x_wall_seconds = Unix.gettimeofday () -. t0;
+    x_wall_seconds = Clock.elapsed t0;
     x_cycles = r.r_total_cycles;
     x_invocations = r.r_invocations;
     x_lock_retries = r.r_failed_locks;
@@ -744,6 +846,100 @@ let reference_run ?args ?max_invocations ?lock_groups (prog : Ir.program) (layou
 
 (* ------------------------------------------------------------------ *)
 (* Top-level run *)
+
+(** Build the shared scheduler state: validated layout, per-core
+    schedulers, consumer tables, counters.  [serving] switches the
+    session shape — an extra (never-scheduled) injector core's worth
+    of id-space ([stride = ncores + 1]) and epoch draining instead of
+    quiescence-at-start.  Returns the state and the active core ids
+    (the cores hosting at least one consumer). *)
+let build_state ~max_invocations ?lock_groups ~schedule ?steal_safe ?tracker ~serving
+    (prog : Ir.program) (layout : Layout.t) =
+  (match Layout.validate prog layout with
+  | [] -> ()
+  | problems -> invalid_arg ("Exec.run: invalid layout: " ^ String.concat "; " problems));
+  let lock_groups =
+    match lock_groups with Some g -> g | None -> Runtime.default_lock_groups prog
+  in
+  let steal_safe =
+    match (schedule, steal_safe) with
+    | Static, _ -> Array.make (Array.length prog.Ir.tasks) false
+    | Steal, Some s -> s
+    | Steal, None ->
+        let eff = Effects.analyse prog (Astg.of_program prog) in
+        (Effects.steal_contract eff ~lock_groups prog).Effects.st_safe
+  in
+  let ncores = layout.Layout.machine.Machine.cores in
+  (* Compile the program for the selected engine here, on the main
+     domain, before any worker exists: the per-program code caches in
+     Compile/Closure are mutex-guarded (so a first-compile race would
+     be safe), but compiling up front keeps every worker's first
+     invocation off the lock and out of the timed parallel section. *)
+  Interp.precompile prog;
+  let stride = if serving then ncores + 1 else ncores in
+  let cores = Array.init ncores (make_xcore prog stride) in
+  let consumer_table = build_consumer_table prog in
+  let hosted =
+    Array.init ncores (fun cid ->
+        Array.map
+          (List.filter (fun ((t : Ir.taskinfo), _, _) ->
+               Array.exists (fun c -> c = cid) (Layout.cores_of layout t.t_id)))
+          consumer_table)
+  in
+  (* Only cores hosting at least one consumer can ever receive work;
+     they are also the steal victims (all other deques stay empty). *)
+  let active =
+    Array.of_list
+      (List.filter
+         (fun cid -> Array.exists (fun cls -> cls <> []) hosted.(cid))
+         (List.init ncores Fun.id))
+  in
+  let st =
+    {
+      prog;
+      layout;
+      cores;
+      consumer_table;
+      hosted;
+      lock_groups;
+      use_group = Array.init (Array.length prog.Ir.classes) (Ir.uses_group_lock lock_groups);
+      group_locks = Array.init (Array.length prog.Ir.classes) (fun _ -> Atomic.make (-1));
+      outstanding = Atomic.make 0;
+      total_invocations = Atomic.make 0;
+      max_invocations;
+      crashed = Atomic.make None;
+      draining = Atomic.make (not serving);
+      trim_before = Atomic.make 0;
+      tracker;
+      schedule;
+      steal_safe;
+      victims = active;
+    }
+  in
+  (st, active)
+
+let collect_core_stats (cores : xcore array) =
+  Array.map
+    (fun c ->
+      {
+        cs_core = c.cid;
+        cs_invocations = c.executed;
+        cs_stolen = c.stolen_run;
+        cs_busy_cycles = c.ictx.Interp.cycles;
+        cs_idle_polls = c.idle_polls;
+        cs_steal_attempts = c.steal_attempts;
+        cs_steals = c.steal_hits;
+        cs_steal_aborts = c.steal_aborts;
+      })
+    cores
+
+(** The cores domain [d] of [ndomains] owns: every active core
+    congruent to [d]. *)
+let cores_of_domain st (active : int array) ndomains d =
+  Array.of_list
+    (List.filter_map
+       (fun i -> if i mod ndomains = d then Some st.cores.(active.(i)) else None)
+       (List.init (Array.length active) Fun.id))
 
 (** Execute [prog] under [layout] on [domains] OCaml domains.  The
     domain count is clamped to [1 .. min max_domains (active cores)];
@@ -766,28 +962,11 @@ let run ?(args = []) ?(max_invocations = 2_000_000) ?lock_groups ?(domains = 4) 
   if !use_reference && sanitize = None then
     reference_run ~args ~max_invocations ?lock_groups prog layout
   else begin
-    (match Layout.validate prog layout with
-    | [] -> ()
-    | problems -> invalid_arg ("Exec.run: invalid layout: " ^ String.concat "; " problems));
-    let lock_groups =
-      match lock_groups with Some g -> g | None -> Runtime.default_lock_groups prog
+    let st, active =
+      build_state ~max_invocations ?lock_groups ~schedule ?steal_safe ~serving:false prog
+        layout
     in
-    let steal_safe =
-      match (schedule, steal_safe) with
-      | Static, _ -> Array.make (Array.length prog.Ir.tasks) false
-      | Steal, Some s -> s
-      | Steal, None ->
-          let eff = Effects.analyse prog (Astg.of_program prog) in
-          (Effects.steal_contract eff ~lock_groups prog).Effects.st_safe
-    in
-    let ncores = layout.Layout.machine.Machine.cores in
-    (* Compile the program for the selected engine here, on the main
-       domain, before any worker exists: the per-program code caches in
-       Compile/Closure are mutex-guarded (so a first-compile race would
-       be safe), but compiling up front keeps every worker's first
-       invocation off the lock and out of the timed parallel section. *)
-    Interp.precompile prog;
-    let cores = Array.init ncores (make_xcore prog ncores) in
+    let cores = st.cores in
     let sanitizer =
       match sanitize with
       | None -> None
@@ -801,85 +980,31 @@ let run ?(args = []) ?(max_invocations = 2_000_000) ?lock_groups ?(domains = 4) 
             cores;
           Some sn
     in
-    let consumer_table = build_consumer_table prog in
-    let hosted =
-      Array.init ncores (fun cid ->
-          Array.map
-            (List.filter (fun ((t : Ir.taskinfo), _, _) ->
-                 Array.exists (fun c -> c = cid) (Layout.cores_of layout t.t_id)))
-            consumer_table)
-    in
-    (* Only cores hosting at least one consumer can ever receive work;
-       they are also the steal victims (all other deques stay empty). *)
-    let active =
-      Array.of_list
-        (List.filter
-           (fun cid -> Array.exists (fun cls -> cls <> []) hosted.(cid))
-           (List.init ncores Fun.id))
-    in
-    let st =
-      {
-        prog;
-        layout;
-        cores;
-        consumer_table;
-        hosted;
-        lock_groups;
-        use_group = Array.init (Array.length prog.Ir.classes) (Ir.uses_group_lock lock_groups);
-        group_locks = Array.init (Array.length prog.Ir.classes) (fun _ -> Atomic.make (-1));
-        outstanding = Atomic.make 0;
-        total_invocations = Atomic.make 0;
-        max_invocations;
-        crashed = Atomic.make None;
-        schedule;
-        steal_safe;
-        victims = active;
-      }
-    in
     let ndomains = max 1 (min (min domains max_domains) (max 1 (Array.length active))) in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Clock.now () in
     (* Boot: create the startup object on core 0's context and
        dispatch it before any domain exists (no lock needed). *)
     let startup = Interp.make_startup cores.(0).ictx args in
     dispatch st cores.(0) (snapshot startup);
     let root = Prng.create ~seed in
     let streams = Array.init ndomains (fun _ -> Prng.split root) in
-    let cores_of_domain d =
-      Array.of_list
-        (List.filter_map
-           (fun i -> if i mod ndomains = d then Some st.cores.(active.(i)) else None)
-           (List.init (Array.length active) Fun.id))
-    in
     let workers =
       Array.init (ndomains - 1) (fun i ->
           let d = i + 1 in
           Domain.spawn (fun () ->
-              try domain_loop st (cores_of_domain d) streams.(d) ~chaos
+              try domain_loop st (cores_of_domain st active ndomains d) streams.(d) ~chaos
               with e -> record_crash st e))
     in
-    (try domain_loop st (cores_of_domain 0) streams.(0) ~chaos with e -> record_crash st e);
+    (try domain_loop st (cores_of_domain st active ndomains 0) streams.(0) ~chaos
+     with e -> record_crash st e);
     Array.iter Domain.join workers;
     (match Atomic.get st.crashed with Some e -> raise e | None -> ());
-    let wall = Unix.gettimeofday () -. t0 in
+    let wall = Clock.elapsed t0 in
     let output =
       String.concat "" (Array.to_list (Array.map (fun c -> Interp.output c.ictx) cores))
     in
     let objects = List.concat_map (fun c -> Interp.final_objects c.ictx) (Array.to_list cores) in
-    let core_stats =
-      Array.map
-        (fun c ->
-          {
-            cs_core = c.cid;
-            cs_invocations = c.executed;
-            cs_stolen = c.stolen_run;
-            cs_busy_cycles = c.ictx.Interp.cycles;
-            cs_idle_polls = c.idle_polls;
-            cs_steal_attempts = c.steal_attempts;
-            cs_steals = c.steal_hits;
-            cs_steal_aborts = c.steal_aborts;
-          })
-        cores
-    in
+    let core_stats = collect_core_stats cores in
     let sum f = Array.fold_left (fun a c -> a + f c) 0 cores in
     {
       x_wall_seconds = wall;
@@ -902,6 +1027,85 @@ let run ?(args = []) ?(max_invocations = 2_000_000) ?lock_groups ?(domains = 4) 
       x_stolen_invocations = sum (fun c -> c.stolen_run);
     }
   end
+
+(* ------------------------------------------------------------------ *)
+(* Streaming sessions: the serve runtime's injection surface.
+
+   A session is the parallel backend kept alive between requests:
+   workers are spawned once and park in their idle backoff whenever
+   the outstanding counter is transiently zero, and the caller's
+   thread (the load generator) injects startup objects while they run.
+   Injection is made race-free by giving the injector its own
+   pseudo-core: core id [ncores], never scheduled by any domain, with
+   its own interpreter context (id partition [ncores] of stride
+   [ncores + 1] — the scheduler cores use partitions [0 .. ncores-1]
+   of the same stride) and its own round-robin routing counters.  The
+   canonical digest ({!Canon.digest}) abstracts object/tag ids away,
+   so the different stride cannot move a program's digest. *)
+
+type session = {
+  ses_st : state;
+  ses_injector : xcore;               (* pseudo-core, caller's thread only *)
+  ses_workers : unit Domain.t array;
+  ses_domains : int;
+}
+
+(** Spawn the backend and leave it idling for injections.  All
+    [ndomains] workers are real spawned domains — the caller's thread
+    stays free to generate load.  [tracker] receives per-request
+    completion callbacks; it must be sized for every request id that
+    will ever be injected. *)
+let open_session ?(max_invocations = max_int) ?lock_groups ?(domains = 4) ?(seed = 0)
+    ?(schedule = Static) ?steal_safe ~(tracker : tracker) (prog : Ir.program)
+    (layout : Layout.t) : session =
+  let st, active =
+    build_state ~max_invocations ?lock_groups ~schedule ?steal_safe ~tracker ~serving:true
+      prog layout
+  in
+  let ncores = Array.length st.cores in
+  let injector = make_xcore prog (ncores + 1) ncores in
+  let ndomains = max 1 (min (min domains max_domains) (max 1 (Array.length active))) in
+  let root = Prng.create ~seed in
+  let streams = Array.init ndomains (fun _ -> Prng.split root) in
+  let workers =
+    Array.init ndomains (fun d ->
+        Domain.spawn (fun () ->
+            try domain_loop st (cores_of_domain st active ndomains d) streams.(d) ~chaos:0.0
+            with e -> record_crash st e))
+  in
+  { ses_st = st; ses_injector = injector; ses_workers = workers; ses_domains = ndomains }
+
+(** Inject one request: boot a startup object tagged [req] into the
+    running backend.  Caller's thread only.  A guard increment keeps
+    the request's tracker counter above zero across the dispatch
+    fan-out, so [tk_done] cannot fire while the injection is still in
+    progress (and fires from here if the startup object satisfies no
+    consumer at all). *)
+let inject (ses : session) ~req (args : string list) =
+  let st = ses.ses_st in
+  count_up st req;
+  let startup = Interp.make_startup ses.ses_injector.ictx args in
+  dispatch st ses.ses_injector (snapshot ~req startup);
+  count_down st ~core:ses.ses_injector.cid req
+
+(** First worker failure, if any — the generator polls this to stop
+    feeding a crashed backend. *)
+let session_crashed (ses : session) = Atomic.get ses.ses_st.crashed
+
+(** Raise the purge watermark: every request id below [before] is
+    complete or shed, and its parked parameter-set entries may be
+    reclaimed by the cores (lazily, on their next scheduler step). *)
+let advance_trim (ses : session) before =
+  if before > Atomic.get ses.ses_st.trim_before then
+    Atomic.set ses.ses_st.trim_before before
+
+(** Close the stream: workers drain every remaining obligation, then
+    exit; the first worker crash (if any) is re-raised here.  The
+    caller must have stopped injecting. *)
+let close_session (ses : session) =
+  Atomic.set ses.ses_st.draining true;
+  Array.iter Domain.join ses.ses_workers;
+  match Atomic.get ses.ses_st.crashed with Some e -> raise e | None -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Layout helpers *)

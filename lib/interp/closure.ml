@@ -1164,7 +1164,7 @@ let closurify_body (prog : Ir.program) (cc : closure_code) (b : body) : blk =
               tags;
             (match ctor with Some inv -> ignore (inv f o) | None -> ());
             ctx.created <- o :: ctx.created;
-            ctx.objects <- o :: ctx.objects;
+            if ctx.retain then ctx.objects <- o :: ctx.objects;
             f.cfv.(nd) <- Vobj o;
             k f
       | Knewarr (d, elem, dims) ->

@@ -1511,7 +1511,7 @@ let rec exec (ctx : ctx) (pcode : program_code) (b : body) (ints : int array)
                  o n.k_nargs ints flts vals)
         | None -> ());
         ctx.created <- o :: ctx.created;
-        ctx.objects <- o :: ctx.objects;
+        if ctx.retain then ctx.objects <- o :: ctx.objects;
         vals.(n.k_nd) <- Vobj o;
         go (pc + 1)
     | Knewarr (d, elem, dims) ->

@@ -49,6 +49,14 @@ type ctx = {
                                         routes every invocation through the
                                         tree-walker *)
   mutable monitor : monitor option;  (* sanitizer hook; [None] = no observer *)
+  mutable retain : bool;             (* retain program output and the final-heap
+                                        object list.  On (the default) for every
+                                        batch entry point — digests need both.
+                                        The serve runtime turns it off for
+                                        open-loop streams, where neither is ever
+                                        read and a long-running process must not
+                                        accumulate per-request state; costs are
+                                        still charged identically *)
 }
 
 (** What a context executes with.  The three representations are the
@@ -109,6 +117,7 @@ let create ?(bounds_check = false) ?(max_steps = max_int) ?(id_base = 0) ?(id_st
     max_steps;
     code = Etree;
     monitor = None;
+    retain = true;
   }
 
 let notify_read ctx o fid = match ctx.monitor with Some m -> m.mn_read o fid | None -> ()
@@ -251,8 +260,10 @@ let str_hash s =
   !h
 
 let print_line ctx s =
-  Buffer.add_string ctx.out s;
-  Buffer.add_char ctx.out '\n'
+  if ctx.retain then begin
+    Buffer.add_string ctx.out s;
+    Buffer.add_char ctx.out '\n'
+  end
 
 let bounds_error idx n =
   raise (Runtime_error (Printf.sprintf "array index %d out of bounds [0,%d)" idx n))
@@ -347,7 +358,7 @@ let make_startup ctx (args : string list) =
       if f.f_name = "args" then
         o.o_fields.(i) <- Varr (Oarr (Array.of_list (List.map (fun s -> Vstr s) args))))
     cls.c_fields;
-  ctx.objects <- o :: ctx.objects;
+  if ctx.retain then ctx.objects <- o :: ctx.objects;
   o
 
 (** Program output accumulated so far. *)

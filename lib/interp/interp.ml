@@ -206,7 +206,7 @@ and alloc_object ctx frame sid argv =
   | Some mid -> ignore (call_method ctx o site.s_class mid argv)
   | None -> ());
   ctx.created <- o :: ctx.created;
-  ctx.objects <- o :: ctx.objects;
+  if ctx.retain then ctx.objects <- o :: ctx.objects;
   o
 
 and call_method ctx (recv : obj) cid mid argv =

@@ -1,0 +1,129 @@
+(** Log-bucketed latency histograms (HdrHistogram-style).
+
+    The serve runtime records one latency sample per completed request
+    — at saturation that is tens of thousands of samples per second,
+    from several domains at once — so the recording structure must be
+    O(1), allocation-free, and mergeable.  This is the standard
+    log-linear layout: values below [nsub] get exact unit buckets;
+    above that, each power-of-two octave is split into [nsub]
+    sub-buckets, so a bucket's width is at most [1/nsub] of its lower
+    bound and any quantile read back from bucket bounds is within a
+    [1/32] relative error of the exact order statistic (exact below
+    32).
+
+    Concurrency model: none.  A histogram is owned by one domain (the
+    serve runtime keeps one per scheduler core per request class) and
+    the owners' instances are [merge]d after the workers have been
+    joined — merge is associative and commutative, so the merge order
+    cannot change any reported quantile. *)
+
+(** Sub-buckets per octave (32 = 2^sub_bits). *)
+let sub_bits = 5
+
+let nsub = 1 lsl sub_bits
+
+(* Slot layout: values [0, nsub) map to slots [0, nsub) exactly.  A
+   larger value [v] with top bit [msb >= sub_bits] keeps its [sub_bits]
+   leading mantissa bits: [slot = (shift + 1) * nsub + (mantissa -
+   nsub)] where [shift = msb - sub_bits] and [mantissa = v lsr shift]
+   is in [nsub, 2*nsub).  The layout is contiguous: v = nsub-1 -> slot
+   nsub-1, v = nsub -> slot nsub.  62-bit values end at slot
+   [(62 - sub_bits + 1) * nsub + nsub - 1]. *)
+let nslots = ((63 - sub_bits) * nsub) + nsub
+
+let msb_index v =
+  let rec go v i = if v <= 1 then i else go (v lsr 1) (i + 1) in
+  go v 0
+
+let slot_of v =
+  if v < nsub then v
+  else begin
+    let shift = msb_index v - sub_bits in
+    ((shift + 1) * nsub) + ((v lsr shift) - nsub)
+  end
+
+(** Lowest value mapping to [slot]. *)
+let slot_lo slot =
+  if slot < nsub then slot
+  else begin
+    let shift = (slot / nsub) - 1 in
+    (nsub + (slot mod nsub)) lsl shift
+  end
+
+(** Highest value mapping to [slot] — the bound reported for
+    quantiles, so reads err high (within the bucket) never low. *)
+let slot_hi slot =
+  if slot < nsub then slot
+  else begin
+    let shift = (slot / nsub) - 1 in
+    slot_lo slot + (1 lsl shift) - 1
+  end
+
+type t = {
+  counts : int array;
+  mutable total : int;
+  mutable sum : float;     (* of clamped samples; mean only, not quantiles *)
+  mutable vmin : int;
+  mutable vmax : int;
+}
+
+let create () =
+  { counts = Array.make nslots 0; total = 0; sum = 0.0; vmin = max_int; vmax = 0 }
+
+let count t = t.total
+let is_empty t = t.total = 0
+
+(** Record one sample.  Negative values clamp to 0 (the serve runtime
+    never produces them — latency is measured on a monotonic clock —
+    but a histogram must not crash on a caller's bad sample). *)
+let add t v =
+  let v = if v < 0 then 0 else v in
+  let s = slot_of v in
+  t.counts.(s) <- t.counts.(s) + 1;
+  t.total <- t.total + 1;
+  t.sum <- t.sum +. float_of_int v;
+  if v < t.vmin then t.vmin <- v;
+  if v > t.vmax then t.vmax <- v
+
+(** Merge [b] into a fresh histogram with [a] — commutative and
+    associative, so per-core instances can be folded in any order. *)
+let merge a b =
+  let m = create () in
+  Array.iteri (fun i c -> m.counts.(i) <- c + b.counts.(i)) a.counts;
+  m.total <- a.total + b.total;
+  m.sum <- a.sum +. b.sum;
+  m.vmin <- min a.vmin b.vmin;
+  m.vmax <- max a.vmax b.vmax;
+  m
+
+let min_value t = if t.total = 0 then 0 else t.vmin
+let max_value t = if t.total = 0 then 0 else t.vmax
+let mean t = if t.total = 0 then 0.0 else t.sum /. float_of_int t.total
+
+(** Nearest-rank quantile: the upper bound of the bucket holding the
+    [ceil (q * total)]-th smallest sample, clamped to the exact
+    maximum (so [quantile t 1.0 = max_value t]).  Within [1/32]
+    relative error of the exact order statistic; exact below 32. *)
+let quantile t q =
+  if t.total = 0 then 0
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let rank = max 1 (int_of_float (ceil (q *. float_of_int t.total))) in
+    let rec walk slot seen =
+      if slot >= nslots then t.vmax
+      else begin
+        let seen = seen + t.counts.(slot) in
+        if seen >= rank then min (slot_hi slot) t.vmax else walk (slot + 1) seen
+      end
+    in
+    walk 0 0
+  end
+
+(** Non-empty buckets as [(lo, hi, count)], ascending — the exportable
+    shape (bench JSON, merge tests). *)
+let buckets t =
+  let acc = ref [] in
+  for slot = nslots - 1 downto 0 do
+    if t.counts.(slot) > 0 then acc := (slot_lo slot, slot_hi slot, t.counts.(slot)) :: !acc
+  done;
+  !acc

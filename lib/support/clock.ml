@@ -1,0 +1,30 @@
+(** Monotonic wall clock.
+
+    Every duration in the system — makespan walls, bench points, and
+    especially the serve runtime's per-request latencies — must come
+    from a clock that cannot step backwards.  [Unix.gettimeofday] is
+    civil time: NTP slews and steps pass straight through it, so a
+    measurement taken across an adjustment can come out negative or
+    wildly long.  This module wraps the process-wide monotonic clock
+    ([CLOCK_MONOTONIC] via bechamel's noalloc stub) behind the two
+    shapes the codebase uses: raw nanosecond stamps for latency math
+    and float seconds for the familiar [t0 ... elapsed] pattern.
+
+    The epoch is arbitrary (boot-relative on Linux): stamps are only
+    meaningful subtracted from one another, never as calendar time. *)
+
+(** Current monotonic time in nanoseconds.  Only differences are
+    meaningful. *)
+let now_ns () : int64 = Monotonic_clock.now ()
+
+(** Current monotonic time in seconds, for duration arithmetic in the
+    [let t0 = now () ... now () -. t0] style. *)
+let now () : float = Int64.to_float (now_ns ()) *. 1e-9
+
+(** Seconds elapsed since [t0] (a stamp from {!now}).  Never negative:
+    the clock is monotonic, but float rounding at the ns -> s
+    conversion is clamped anyway. *)
+let elapsed t0 = Float.max 0.0 (now () -. t0)
+
+(** Nanoseconds elapsed since [t0_ns] (a stamp from {!now_ns}). *)
+let elapsed_ns t0_ns = Int64.max 0L (Int64.sub (now_ns ()) t0_ns)

@@ -48,3 +48,60 @@ let drain t =
 let length t =
   let rec go n = function Nil -> n | Cons (_, rest) -> go (n + 1) rest in
   go 0 (Atomic.get t.head)
+
+(** Bounded MPSC mailbox: the same Treiber stack wrapped in an atomic
+    occupancy counter so producers can be refused instead of growing
+    the queue without bound.  This is the admission edge of the serve
+    runtime's backpressure: a [try_push] that returns [false] is the
+    signal to shed the request or stall the producer.
+
+    The bound is enforced by reservation: a producer first
+    [fetch_and_add]s the occupancy counter and only pushes if the
+    pre-increment value was below capacity (backing the increment out
+    otherwise), so at most [capacity] messages are ever buffered — the
+    counter over-counts transiently during a failed reservation but
+    never under-counts, and occupancy is released only after the
+    consumer has actually taken the messages out.  [drain] keeps the
+    unbounded mailbox's guarantees: whole-chain exchange, FIFO per
+    drain, per-producer FIFO, and the same publication-fence role. *)
+module Bounded = struct
+  type 'a bounded = {
+    inner : 'a t;
+    size : int Atomic.t;  (* reserved occupancy, <= capacity + racers *)
+    capacity : int;
+  }
+
+  let create ~capacity =
+    if capacity < 1 then invalid_arg "Mailbox.Bounded.create: capacity must be >= 1";
+    { inner = create (); size = Atomic.make 0; capacity }
+
+  let capacity t = t.capacity
+  let is_empty t = is_empty t.inner
+
+  (** Reserved occupancy: pushed-but-not-drained messages (plus any
+      producer mid-reservation).  Exact between operations when quiet;
+      racy but conservative (never under) while producers are live. *)
+  let length t = Atomic.get t.size
+
+  (** Push [x] unless the mailbox is full; [false] means the message
+      was refused and the producer owns the backpressure decision. *)
+  let try_push t x =
+    if Atomic.fetch_and_add t.size 1 < t.capacity then begin
+      push t.inner x;
+      true
+    end
+    else begin
+      Atomic.decr t.size;
+      false
+    end
+
+  (** Take every pending message, oldest first, releasing their
+      occupancy so producers may push again.  Single consumer only,
+      like {!drain}. *)
+  let drain t =
+    let xs = drain t.inner in
+    (match xs with
+    | [] -> ()
+    | _ -> ignore (Atomic.fetch_and_add t.size (-(List.length xs))));
+    xs
+end

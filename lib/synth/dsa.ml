@@ -390,7 +390,7 @@ let optimize ?(config = default_config) ?(jobs = 1) ?evaluator ?(starts = 1)
     (seeds : Layout.t list) : outcome =
   if seeds = [] then invalid_arg "Dsa.optimize: no seed layouts";
   if starts < 1 then invalid_arg "Dsa.optimize: starts must be >= 1";
-  let t0 = Unix.gettimeofday () in
+  let t0 = Bamboo_support.Clock.now () in
   let ev, owns_ev =
     match evaluator with
     | Some e -> (e, false)
@@ -449,7 +449,7 @@ let optimize ?(config = default_config) ?(jobs = 1) ?evaluator ?(starts = 1)
       cache_hits = Evaluator.cache_hits ev - hits0;
       pruned = Evaluator.pruned ev - pruned0;
       sim_events = Evaluator.sim_events ev - events0;
-      seconds = Unix.gettimeofday () -. t0;
+      seconds = Bamboo_support.Clock.elapsed t0;
     }
   in
   match

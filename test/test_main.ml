@@ -6,4 +6,4 @@ let () =
    @ Test_ir.tests @ Test_analysis.tests @ Test_check.tests @ Test_runtime.tests
    @ Test_sim.tests @ Test_synth.tests
    @ Test_benchmarks.tests @ Test_experiments.tests @ Test_exec.tests
-   @ Test_interp_equiv.tests)
+   @ Test_interp_equiv.tests @ Test_serve.tests)

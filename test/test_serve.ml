@@ -1,0 +1,324 @@
+(** Tests for the streaming serve runtime: histogram quantile accuracy
+    and merge algebra, arrival-schedule determinism, end-to-end serve
+    determinism across domain counts and schedules, the closed-loop
+    digest oracle, shed-mode accounting, and cross-request isolation. *)
+
+module H = Bamboo.Histogram
+module Serve = Bamboo.Serve
+module Registry = Bamboo_benchmarks.Registry
+module Bench_def = Bamboo_benchmarks.Bench_def
+
+(* ------------------------------------------------------------------ *)
+(* Histogram *)
+
+let test_hist_empty () =
+  let h = H.create () in
+  Helpers.check_bool "fresh histogram empty" true (H.is_empty h);
+  Helpers.check_int "count" 0 (H.count h);
+  Helpers.check_int "quantile of empty" 0 (H.quantile h 0.5);
+  Helpers.check_int "min of empty" 0 (H.min_value h);
+  Helpers.check_int "max of empty" 0 (H.max_value h);
+  Alcotest.(check (float 0.0)) "mean of empty" 0.0 (H.mean h);
+  Alcotest.(check (list (triple int int int))) "no buckets" [] (H.buckets h)
+
+(** A single sample is reported exactly at every quantile: the bucket
+    bound is clamped to the observed maximum. *)
+let test_hist_single () =
+  List.iter
+    (fun v ->
+      let h = H.create () in
+      H.add h v;
+      List.iter
+        (fun q ->
+          Helpers.check_int (Printf.sprintf "q%.2f of single %d" q v) v (H.quantile h q))
+        [ 0.0; 0.5; 0.99; 1.0 ];
+      Helpers.check_int "min" v (H.min_value h);
+      Helpers.check_int "max" v (H.max_value h))
+    [ 0; 1; 31; 32; 33; 1000; 123_456_789 ]
+
+let test_hist_negative_clamps () =
+  let h = H.create () in
+  H.add h (-5);
+  Helpers.check_int "negative clamps to 0" 0 (H.quantile h 1.0);
+  Helpers.check_int "count still 1" 1 (H.count h)
+
+(* Exact nearest-rank order statistic over the raw samples — the
+   oracle the bucketed quantile is compared against. *)
+let exact_quantile samples q =
+  let a = Array.of_list samples in
+  Array.sort compare a;
+  let n = Array.length a in
+  let rank = max 1 (int_of_float (ceil (q *. float_of_int n))) in
+  a.(rank - 1)
+
+(** The log-bucketed quantile never under-reports the exact order
+    statistic and over-reports by at most the bucket width: 1/32
+    relative (exact below 32). *)
+let hist_quantile_close =
+  QCheck.Test.make ~name:"histogram quantile within bucket width of exact" ~count:300
+    QCheck.(list_of_size Gen.(1 -- 200) (int_bound 2_000_000))
+    (fun samples ->
+      QCheck.assume (samples <> []);
+      let h = H.create () in
+      List.iter (H.add h) samples;
+      List.for_all
+        (fun q ->
+          let e = exact_quantile samples q in
+          let b = H.quantile h q in
+          e <= b && b <= e + max 1 (e / 32))
+        [ 0.0; 0.25; 0.5; 0.9; 0.95; 0.99; 1.0 ])
+
+let hist_fingerprint h =
+  (H.count h, H.min_value h, H.max_value h, H.buckets h)
+
+(** Merging is commutative and agrees with recording the concatenated
+    sample stream into one histogram — so the per-core rows of the
+    serve runtime can be folded in any order. *)
+let hist_merge_commutes =
+  QCheck.Test.make ~name:"histogram merge commutes and matches concatenation" ~count:200
+    QCheck.(pair (list (int_bound 1_000_000)) (list (int_bound 1_000_000)))
+    (fun (xs, ys) ->
+      let of_list l =
+        let h = H.create () in
+        List.iter (H.add h) l;
+        h
+      in
+      let a = of_list xs and b = of_list ys in
+      hist_fingerprint (H.merge a b) = hist_fingerprint (H.merge b a)
+      && hist_fingerprint (H.merge a b) = hist_fingerprint (of_list (xs @ ys)))
+
+let test_hist_merge_associative () =
+  let of_list l =
+    let h = H.create () in
+    List.iter (H.add h) l;
+    h
+  in
+  let a = of_list [ 1; 2; 3 ] and b = of_list [ 40; 5000 ] and c = of_list [ 7 ] in
+  Helpers.check_bool "merge associative" true
+    (hist_fingerprint (H.merge (H.merge a b) c) = hist_fingerprint (H.merge a (H.merge b c)))
+
+(* ------------------------------------------------------------------ *)
+(* Arrival schedule *)
+
+let one_class = [| { Serve.rc_name = "only"; rc_args = []; rc_weight = 1 } |]
+
+let two_classes =
+  [|
+    { Serve.rc_name = "light"; rc_args = []; rc_weight = 3 };
+    { Serve.rc_name = "heavy"; rc_args = []; rc_weight = 1 };
+  |]
+
+let test_schedule_deterministic () =
+  let gen seed =
+    Serve.gen_schedule ~seed ~rate:500.0 ~duration:1.0 ~arrivals:Serve.Poisson two_classes
+  in
+  let a = gen 7 and b = gen 7 and c = gen 8 in
+  Helpers.check_bool "same seed, same schedule" true (a = b);
+  Helpers.check_string "same digest" (Serve.schedule_digest a) (Serve.schedule_digest b);
+  Helpers.check_bool "different seed, different schedule" true
+    (Serve.schedule_digest a <> Serve.schedule_digest c);
+  Array.iteri (fun i (x : Serve.arrival) -> Helpers.check_int "ids dense" i x.a_id) a;
+  Array.iter
+    (fun (x : Serve.arrival) ->
+      Helpers.check_bool "class in range" true (x.a_class >= 0 && x.a_class < 2))
+    a;
+  let sorted = ref true in
+  Array.iteri
+    (fun i (x : Serve.arrival) -> if i > 0 then sorted := !sorted && x.a_ns >= a.(i - 1).a_ns)
+    a;
+  Helpers.check_bool "arrival times nondecreasing" true !sorted
+
+let test_schedule_uniform () =
+  let a =
+    Serve.gen_schedule ~seed:1 ~rate:100.0 ~duration:0.5 ~arrivals:Serve.Uniform one_class
+  in
+  let n = Array.length a in
+  Helpers.check_bool "uniform count ~ rate x duration" true (n >= 49 && n <= 50);
+  Array.iteri
+    (fun i (x : Serve.arrival) ->
+      if i > 0 then begin
+        let gap = Int64.to_int (Int64.sub x.a_ns a.(i - 1).a_ns) in
+        if abs (gap - 10_000_000) > 1_000 then
+          Alcotest.failf "uniform gap %d at arrival %d" gap i
+      end)
+    a
+
+let test_schedule_validates () =
+  let bad f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Helpers.check_bool "rejects rate 0" true
+    (bad (fun () ->
+         Serve.gen_schedule ~seed:0 ~rate:0.0 ~duration:1.0 ~arrivals:Serve.Uniform one_class));
+  Helpers.check_bool "rejects empty classes" true
+    (bad (fun () ->
+         Serve.gen_schedule ~seed:0 ~rate:1.0 ~duration:1.0 ~arrivals:Serve.Uniform [||]));
+  Helpers.check_bool "rejects absurd volume" true
+    (bad (fun () ->
+         Serve.gen_schedule ~seed:0 ~rate:1e9 ~duration:10.0 ~arrivals:Serve.Uniform one_class))
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end serve runs *)
+
+let setup name =
+  let b = Registry.find name in
+  let prog = Bamboo.compile b.Bench_def.b_source in
+  let an = Bamboo.analyse prog in
+  let machine = Bamboo.Machine.with_cores Bamboo.Machine.tilepro64 8 in
+  let layout = Bamboo.Exec.spread_layout prog machine in
+  (prog, an, layout)
+
+let serve_config ?(admission = Serve.Block) ?(check = false) ?(keep_output = false)
+    ?(queue = 64) ?(inflight = 4) ~name ~args ~rate ~duration ~domains ~schedule () =
+  {
+    Serve.default_config with
+    sv_rate = rate;
+    sv_duration = duration;
+    sv_admission = admission;
+    sv_classes = [ { Serve.rc_name = name; rc_args = args; rc_weight = 1 } ];
+    sv_seed = 11;
+    sv_domains = domains;
+    sv_schedule = schedule;
+    sv_queue = queue;
+    sv_inflight = inflight;
+    sv_check = check;
+    sv_keep_output = keep_output;
+  }
+
+(** The acceptance property: identical seed/rate/duration produce the
+    identical injection schedule and served/drop counts at any domain
+    count and either schedule mode.  Block admission with a full drain
+    means every scheduled request is served, so the counts must agree
+    exactly — and the schedule digest is the witness that the arrival
+    stream itself never depended on the backend shape. *)
+let test_serve_deterministic () =
+  let name = "KeywordCount" in
+  let prog, an, layout = setup name in
+  let args = Helpers.small_args name in
+  let run ~domains ~schedule =
+    Bamboo.serve
+      ~config:(serve_config ~name ~args ~rate:300.0 ~duration:0.2 ~domains ~schedule ())
+      prog an layout
+  in
+  let base = run ~domains:1 ~schedule:Bamboo.Exec.Static in
+  Helpers.check_bool "scheduled some requests" true (base.rp_scheduled > 0);
+  List.iter
+    (fun (domains, schedule, label) ->
+      let r = run ~domains ~schedule in
+      Helpers.check_string (label ^ ": same schedule digest") base.rp_schedule_digest
+        r.rp_schedule_digest;
+      Helpers.check_int (label ^ ": same scheduled") base.rp_scheduled r.rp_scheduled;
+      Helpers.check_int (label ^ ": all served") r.rp_scheduled r.rp_served;
+      Helpers.check_int (label ^ ": no drops") 0 r.rp_dropped)
+    [
+      (1, Bamboo.Exec.Static, "1d static");
+      (2, Bamboo.Exec.Static, "2d static");
+      (2, Bamboo.Exec.Steal, "2d steal");
+      (4, Bamboo.Exec.Steal, "4d steal");
+    ];
+  Helpers.check_int "base all served" base.rp_scheduled base.rp_served;
+  Helpers.check_int "base no drops" 0 base.rp_dropped
+
+(** Closed-loop digest oracle: every request's output/heap delta
+    matches the sequential runtime — on two benchmarks, both schedule
+    modes. *)
+let test_serve_check (name : string) () =
+  let prog, an, layout = setup name in
+  let args = Helpers.small_args name in
+  List.iter
+    (fun schedule ->
+      let r =
+        Bamboo.serve
+          ~config:
+            (serve_config ~check:true ~name ~args ~rate:80.0 ~duration:0.2 ~domains:2
+               ~schedule ())
+          prog an layout
+      in
+      Helpers.check_bool "served some requests" true (r.rp_served > 0);
+      Helpers.check_int "all served" r.rp_scheduled r.rp_served;
+      Helpers.check_int "zero digest mismatches" 0 r.rp_mismatches)
+    [ Bamboo.Exec.Static; Bamboo.Exec.Steal ]
+
+(** Shed admission under deliberate overload: a tiny waiting room and
+    window must drop, and the ledger must balance exactly. *)
+let test_serve_shed_accounting () =
+  let name = "KeywordCount" in
+  let prog, an, layout = setup name in
+  let args = Helpers.small_args name in
+  let r =
+    Bamboo.serve
+      ~config:
+        (serve_config ~admission:Serve.Shed ~queue:2 ~inflight:1 ~name ~args ~rate:4000.0
+           ~duration:0.15 ~domains:1 ~schedule:Bamboo.Exec.Static ())
+      prog an layout
+  in
+  Helpers.check_int "served + dropped = scheduled" r.rp_scheduled (r.rp_served + r.rp_dropped);
+  Helpers.check_bool "overload sheds" true (r.rp_dropped > 0);
+  Helpers.check_bool "still serves" true (r.rp_served > 0);
+  let c = List.hd r.rp_classes in
+  Helpers.check_int "class ledger matches" r.rp_served c.cr_served;
+  Helpers.check_int "class drops match" r.rp_dropped c.cr_dropped
+
+(** Cross-request isolation: with overlapping in-flight requests, the
+    multiset of output lines must be exactly [served] copies of one
+    sequential run's lines — a request pairing another request's
+    parameter objects would corrupt its output. *)
+let test_serve_isolation () =
+  let name = "KeywordCount" in
+  let prog, an, layout = setup name in
+  let args = Helpers.small_args name in
+  let seq = Bamboo.execute ~args prog an layout in
+  let lines s = List.sort compare (String.split_on_char '\n' (String.trim s)) in
+  let seq_lines = lines seq.r_output in
+  let r =
+    Bamboo.serve
+      ~config:
+        (serve_config ~keep_output:true ~inflight:6 ~name ~args ~rate:400.0 ~duration:0.2
+           ~domains:2 ~schedule:Bamboo.Exec.Static ())
+      prog an layout
+  in
+  Helpers.check_bool "served several overlapping requests" true (r.rp_served > 1);
+  let expected = List.sort compare (List.concat (List.init r.rp_served (fun _ -> seq_lines))) in
+  Alcotest.(check (list string)) "output is served x sequential lines" expected
+    (lines r.rp_output)
+
+(** Latency histograms in the report are populated and ordered. *)
+let test_serve_report_quantiles () =
+  let name = "Series" in
+  let prog, an, layout = setup name in
+  let args = Helpers.small_args name in
+  let r =
+    Bamboo.serve
+      ~config:
+        (serve_config ~name ~args ~rate:150.0 ~duration:0.2 ~domains:2
+           ~schedule:Bamboo.Exec.Static ())
+      prog an layout
+  in
+  let c = List.hd r.rp_classes in
+  Helpers.check_int "histogram holds every served request" r.rp_served (H.count c.cr_hist);
+  Helpers.check_bool "p50 positive" true (c.cr_p50_ns > 0);
+  Helpers.check_bool "quantiles ordered" true
+    (c.cr_p50_ns <= c.cr_p95_ns && c.cr_p95_ns <= c.cr_p99_ns && c.cr_p99_ns <= c.cr_max_ns);
+  (* the generation window ends at the *last arrival*, which lands
+     anywhere below --duration under Poisson gaps *)
+  Helpers.check_bool "wall covers the stream" true (r.rp_wall > 0.0)
+
+let tests =
+  [
+    ( "serve",
+      [
+        Alcotest.test_case "histogram empty" `Quick test_hist_empty;
+        Alcotest.test_case "histogram single sample" `Quick test_hist_single;
+        Alcotest.test_case "histogram clamps negatives" `Quick test_hist_negative_clamps;
+        Alcotest.test_case "histogram merge associative" `Quick test_hist_merge_associative;
+        Alcotest.test_case "schedule deterministic" `Quick test_schedule_deterministic;
+        Alcotest.test_case "schedule uniform gaps" `Quick test_schedule_uniform;
+        Alcotest.test_case "schedule validates" `Quick test_schedule_validates;
+        Alcotest.test_case "serve deterministic counts" `Quick test_serve_deterministic;
+        Alcotest.test_case "serve digest check KeywordCount" `Quick
+          (test_serve_check "KeywordCount");
+        Alcotest.test_case "serve digest check Fractal" `Quick (test_serve_check "Fractal");
+        Alcotest.test_case "serve shed accounting" `Quick test_serve_shed_accounting;
+        Alcotest.test_case "serve request isolation" `Quick test_serve_isolation;
+        Alcotest.test_case "serve report quantiles" `Quick test_serve_report_quantiles;
+      ] );
+    Helpers.qsuite "serve.qcheck" [ hist_quantile_close; hist_merge_commutes ];
+  ]

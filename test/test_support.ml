@@ -358,6 +358,72 @@ let test_mailbox_mpsc () =
     seen
 
 (* ------------------------------------------------------------------ *)
+(* Bounded mailbox: the serve runtime's admission waiting room *)
+
+let test_bounded_capacity () =
+  Alcotest.check_raises "capacity must be positive"
+    (Invalid_argument "Mailbox.Bounded.create: capacity must be >= 1") (fun () ->
+      ignore (Bamboo.Mailbox.Bounded.create ~capacity:0));
+  let m = Bamboo.Mailbox.Bounded.create ~capacity:4 in
+  Helpers.check_int "capacity recorded" 4 (Bamboo.Mailbox.Bounded.capacity m);
+  Helpers.check_bool "fresh bounded mailbox empty" true (Bamboo.Mailbox.Bounded.is_empty m);
+  for i = 1 to 4 do
+    Helpers.check_bool (Printf.sprintf "push %d admitted" i) true
+      (Bamboo.Mailbox.Bounded.try_push m i)
+  done;
+  Helpers.check_int "length at capacity" 4 (Bamboo.Mailbox.Bounded.length m);
+  Helpers.check_bool "push over capacity rejected" false (Bamboo.Mailbox.Bounded.try_push m 5);
+  Helpers.check_bool "still rejected" false (Bamboo.Mailbox.Bounded.try_push m 6);
+  Helpers.check_int "rejection leaves length alone" 4 (Bamboo.Mailbox.Bounded.length m);
+  Alcotest.(check (list int)) "drain is FIFO" [ 1; 2; 3; 4 ]
+    (Bamboo.Mailbox.Bounded.drain m);
+  Helpers.check_bool "drain frees space" true (Bamboo.Mailbox.Bounded.try_push m 7);
+  Alcotest.(check (list int)) "reuse after drain" [ 7 ] (Bamboo.Mailbox.Bounded.drain m)
+
+(** Four producers hammer a capacity-8 mailbox with [try_push] retry
+    loops while the main domain drains: every message arrives exactly
+    once, per-producer FIFO holds, and no drained batch ever exceeds
+    the capacity (the bound is never transiently broken). *)
+let test_bounded_mpsc () =
+  let capacity = 8 in
+  let m = Bamboo.Mailbox.Bounded.create ~capacity in
+  let nproducers = 4 and nmsgs = 250 in
+  let producers =
+    Array.init nproducers (fun p ->
+        Domain.spawn (fun () ->
+            for seq = 0 to nmsgs - 1 do
+              while not (Bamboo.Mailbox.Bounded.try_push m (p, seq)) do
+                Domain.cpu_relax ()
+              done
+            done))
+  in
+  let seen = Array.make nproducers (-1) in
+  let received = ref 0 in
+  let deadline = Bamboo.Clock.now () +. 30.0 in
+  while !received < nproducers * nmsgs && Bamboo.Clock.now () < deadline do
+    let batch = Bamboo.Mailbox.Bounded.drain m in
+    if List.length batch > capacity then
+      Alcotest.failf "drained %d messages from a capacity-%d mailbox" (List.length batch)
+        capacity;
+    List.iter
+      (fun (p, seq) ->
+        if seq <= seen.(p) then
+          Alcotest.failf "producer %d reordered: %d after %d" p seq seen.(p);
+        seen.(p) <- seq;
+        incr received)
+      batch;
+    Domain.cpu_relax ()
+  done;
+  Array.iter Domain.join producers;
+  List.iter
+    (fun (p, seq) -> seen.(p) <- max seen.(p) seq; incr received)
+    (Bamboo.Mailbox.Bounded.drain m);
+  Helpers.check_int "every message delivered exactly once" (nproducers * nmsgs) !received;
+  Array.iteri
+    (fun p last -> Helpers.check_int (Printf.sprintf "producer %d complete" p) (nmsgs - 1) last)
+    seen
+
+(* ------------------------------------------------------------------ *)
 (* PRNG stream splitting (the per-domain jitter streams) *)
 
 (** Streams split from one root never collide in their first 10k
@@ -743,6 +809,8 @@ let tests =
         Alcotest.test_case "deque clear" `Quick test_deque_clear;
         Alcotest.test_case "mailbox fifo" `Quick test_mailbox_fifo;
         Alcotest.test_case "mailbox mpsc" `Quick test_mailbox_mpsc;
+        Alcotest.test_case "bounded mailbox capacity" `Quick test_bounded_capacity;
+        Alcotest.test_case "bounded mailbox mpsc" `Quick test_bounded_mpsc;
         Alcotest.test_case "chase-lev ends" `Quick test_chase_lev_ends;
         Alcotest.test_case "chase-lev grows" `Quick test_chase_lev_grows;
         Alcotest.test_case "chase-lev steal stress" `Quick test_chase_lev_steal_stress;
